@@ -1,0 +1,81 @@
+//! One benchmark per paper artifact: measures the cost of regenerating
+//! each table and figure at test scale, so regressions in any stage of an
+//! experiment pipeline (generation, codec, sanitation, inference,
+//! metrics) surface immediately.
+//!
+//! These run the *same code* as the `bgp-eval` binaries, on a smaller
+//! world; `cargo run -p bgp-eval --bin <artifact>` regenerates the
+//! full-scale numbers recorded in EXPERIMENTS.md.
+
+use bgp_eval::world::{realistic_roles, AmbientCommunities, World};
+use bgp_eval::{fig2, fig3, fig4, fig5, fig6, table1, table2, table3, table4, tables56};
+use bgp_sim::prelude::*;
+use bgp_topology::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_world() -> World {
+    let mut cfg = TopologyConfig::small();
+    cfg.transit = 40;
+    cfg.edge = 160;
+    cfg.collector_peers = 20;
+    let graph = cfg.seed(1).build();
+    let paths = PathSubstrate::generate(&graph, 4).paths;
+    let cones = CustomerCones::compute(&graph);
+    World { graph, paths, cones }
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let world = bench_world();
+    let mut g = c.benchmark_group("paper_tables");
+    g.sample_size(10);
+    g.bench_function("table1_datasets_overview", |b| {
+        b.iter(|| black_box(table1::run(&world, 1).datasets.len()))
+    });
+    g.bench_function("table2_scenarios", |b| {
+        b.iter(|| black_box(table2::run(&world, 1).rows.len()))
+    });
+    g.bench_function("table3_real_data", |b| {
+        b.iter(|| black_box(table3::run(&world, 1).datasets.len()))
+    });
+    g.bench_function("table4_peering", |b| {
+        b.iter(|| black_box(table4::run(&world, 3, 8, 1).experiments.len()))
+    });
+    g.bench_function("tables56_confusion", |b| {
+        b.iter(|| black_box(tables56::run(&world, 1).scenarios.len()))
+    });
+    g.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let world = bench_world();
+    let mut g = c.benchmark_group("paper_figures");
+    g.sample_size(10);
+    g.bench_function("fig2_roc_sweep", |b| {
+        b.iter(|| black_box(fig2::run(&world, &[0.5, 0.75, 1.0], 1).curves.len()))
+    });
+    g.bench_function("fig3_stability_3days", |b| {
+        b.iter(|| black_box(fig3::run(&world, 3, 1).days))
+    });
+    g.bench_function("fig4_longitudinal_3q", |b| {
+        let mut cfg = TopologyConfig::small();
+        cfg.transit = 30;
+        cfg.edge = 100;
+        cfg.collector_peers = 14;
+        cfg.seed = 1;
+        b.iter(|| black_box(fig4::run(&cfg, 3, 1).quarters.len()))
+    });
+    let roles = realistic_roles(&world.graph, &world.cones, 1);
+    let prop = Propagator::new(&world.graph, &roles);
+    let tuples = AmbientCommunities::paper_like(1).decorate_vec(&prop.tuples(&world.paths));
+    g.bench_function("fig5_peer_types", |b| {
+        b.iter(|| black_box(fig5::run(&tuples).peers.len()))
+    });
+    g.bench_function("fig6_cone_cdfs", |b| {
+        b.iter(|| black_box(fig6::run(&tuples, &world.cones).tagging[0].len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures);
+criterion_main!(benches);

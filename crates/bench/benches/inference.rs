@@ -1,0 +1,120 @@
+//! Inference engine benchmarks: scaling in input size, thread speedup,
+//! and the column-vs-row ablation the paper's §5.7 design discussion
+//! motivates.
+
+use bgp_infer::prelude::*;
+use bgp_types::tuple::PathCommTuple;
+use bgp_sim::prelude::*;
+use bgp_topology::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn dataset(n_edge: usize) -> Vec<PathCommTuple> {
+    let mut cfg = TopologyConfig::small();
+    cfg.transit = 50;
+    cfg.edge = n_edge;
+    cfg.collector_peers = 25;
+    let g = cfg.seed(3).build();
+    let paths = PathSubstrate::generate(&g, 4).paths;
+    let ds = Scenario::Random.materialize(&g, &paths, 3);
+    ds.tuples
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inference_scaling");
+    g.sample_size(10);
+    for n_edge in [100usize, 300, 600] {
+        let tuples = dataset(n_edge);
+        g.throughput(Throughput::Elements(tuples.len() as u64));
+        g.bench_with_input(BenchmarkId::new("column", tuples.len()), &tuples, |b, t| {
+            let cfg = InferenceConfig { threads: 1, ..Default::default() };
+            b.iter(|| black_box(InferenceEngine::new(cfg.clone()).run(t).counters.len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_threads(c: &mut Criterion) {
+    let tuples = dataset(600);
+    let mut g = c.benchmark_group("inference_threads");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(tuples.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            let cfg = InferenceConfig { threads, ..Default::default() };
+            b.iter(|| black_box(InferenceEngine::new(cfg.clone()).run(&tuples).counters.len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_column_vs_row(c: &mut Criterion) {
+    // The §5.7 ablation: the row-based baseline is cheaper per tuple but
+    // guesses on hidden behavior; this quantifies the cost of correctness.
+    let tuples = dataset(400);
+    let mut g = c.benchmark_group("column_vs_row");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(tuples.len() as u64));
+    g.bench_function("column", |b| {
+        let cfg = InferenceConfig { threads: 1, ..Default::default() };
+        b.iter(|| black_box(InferenceEngine::new(cfg.clone()).run(&tuples).counters.len()))
+    });
+    g.bench_function("row", |b| {
+        b.iter(|| black_box(run_row_based(&tuples, Thresholds::default()).counters.len()))
+    });
+    g.finish();
+}
+
+fn bench_threshold_sweep(c: &mut Criterion) {
+    // Figure 2's cost driver: a full re-run per threshold point.
+    let tuples = dataset(200);
+    let mut g = c.benchmark_group("threshold_sweep");
+    g.sample_size(10);
+    g.bench_function("three_points", |b| {
+        b.iter(|| {
+            for thr in [0.5, 0.75, 1.0] {
+                let cfg = InferenceConfig {
+                    thresholds: Thresholds::uniform(thr),
+                    threads: 1,
+                    ..Default::default()
+                };
+                black_box(InferenceEngine::new(cfg).run(&tuples).counters.len());
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_postprocessing(c: &mut Criterion) {
+    // Cost of the post-classification analyses a downstream user runs:
+    // community attribution (the §8 extension) and selectivity reporting.
+    let tuples = dataset(400);
+    let outcome = InferenceEngine::new(InferenceConfig { threads: 1, ..Default::default() })
+        .run(&tuples);
+    let mut g = c.benchmark_group("postprocessing");
+    g.sample_size(20);
+    g.bench_function("attribution", |b| {
+        b.iter(|| {
+            black_box(
+                attribute(&tuples, &outcome, &AttributionConfig::default()).value_count(),
+            )
+        })
+    });
+    g.bench_function("selectivity_report", |b| {
+        b.iter(|| black_box(selectivity_report(&outcome).len()))
+    });
+    g.bench_function("db_export", |b| {
+        b.iter(|| black_box(bgp_infer::db::export(&outcome).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scaling,
+    bench_threads,
+    bench_column_vs_row,
+    bench_threshold_sweep,
+    bench_postprocessing
+);
+criterion_main!(benches);

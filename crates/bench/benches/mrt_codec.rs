@@ -1,0 +1,63 @@
+//! MRT codec throughput: encode and decode rates for update messages and
+//! RIB archives — the substrate cost every real-data pipeline pays before
+//! inference even starts.
+
+use bgp_mrt::{extract_tuples, MrtWriter};
+use bgp_types::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn make_update(i: u32) -> UpdateMessage {
+    UpdateMessage::announcement(
+        Asn(60_000 + (i % 100)),
+        i as u64,
+        Prefix::v4((0x1000_0000u32 + i * 256).to_be_bytes(), 24),
+        RawAsPath::from_sequence(vec![
+            Asn(60_000 + (i % 100)),
+            Asn(3356),
+            Asn(1_00_000 + i % 1_000),
+            Asn(200_000 + i),
+        ]),
+        CommunitySet::from_iter([
+            AnyCommunity::regular(3356, (i % 65_536) as u16),
+            AnyCommunity::regular((i % 60_000) as u16, 2),
+            AnyCommunity::large(200_000 + i, i, 0),
+        ]),
+    )
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let updates: Vec<UpdateMessage> = (0..1_000).map(make_update).collect();
+    let mut g = c.benchmark_group("mrt_encode");
+    g.throughput(Throughput::Elements(updates.len() as u64));
+    g.bench_function("updates_1k", |b| {
+        b.iter(|| {
+            let mut w = MrtWriter::new();
+            for u in &updates {
+                w.write_update(black_box(u)).unwrap();
+            }
+            black_box(w.byte_len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut w = MrtWriter::new();
+    for i in 0..1_000 {
+        w.write_update(&make_update(i)).unwrap();
+    }
+    let bytes = w.into_bytes();
+    let mut g = c.benchmark_group("mrt_decode");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("updates_1k", |b| {
+        b.iter(|| {
+            let (tuples, raw) = extract_tuples(black_box(&bytes)).unwrap();
+            black_box((tuples.len(), raw))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Substrate costs: topology generation, valley-free routing, customer
+//! cones, and community propagation.
+
+use bgp_sim::prelude::*;
+use bgp_topology::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn small_graph() -> AsGraph {
+    let mut cfg = TopologyConfig::small();
+    cfg.transit = 60;
+    cfg.edge = 400;
+    cfg.collector_peers = 30;
+    cfg.seed(1).build()
+}
+
+fn bench_topology_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology");
+    g.sample_size(20);
+    g.bench_function("generate_small", |b| {
+        b.iter(|| black_box(TopologyConfig::small().seed(1).build().node_count()))
+    });
+    g.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let graph = small_graph();
+    let origin = graph.node_ids().last().unwrap();
+    let mut g = c.benchmark_group("routing");
+    g.bench_function("tree_one_origin", |b| {
+        b.iter(|| black_box(RoutingTree::compute(&graph, origin).reachable_count()))
+    });
+    g.sample_size(10);
+    g.bench_function("substrate_64_origins", |b| {
+        let origins: Vec<NodeId> = graph.node_ids().take(64).collect();
+        b.iter(|| black_box(PathSubstrate::generate_for_origins(&graph, &origins, 4).len()))
+    });
+    g.finish();
+}
+
+fn bench_cones(c: &mut Criterion) {
+    let graph = small_graph();
+    c.bench_function("customer_cones", |b| {
+        b.iter(|| black_box(CustomerCones::compute(&graph).size(0)))
+    });
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let graph = small_graph();
+    let paths = PathSubstrate::generate(&graph, 4).paths;
+    let roles = Scenario::Random.assign_roles(&graph, 1);
+    let prop = Propagator::new(&graph, &roles);
+    let mut g = c.benchmark_group("propagation");
+    g.throughput(criterion::Throughput::Elements(paths.len() as u64));
+    g.sample_size(20);
+    g.bench_function("output_all_paths", |b| {
+        b.iter(|| black_box(prop.tuples(&paths).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_topology_build, bench_routing, bench_cones, bench_propagation);
+criterion_main!(benches);

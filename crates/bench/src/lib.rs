@@ -1,0 +1,13 @@
+//! # bgp-bench
+//!
+//! Criterion benchmark crate. All benchmarks live under `benches/`:
+//!
+//! * `mrt_codec` — encode/decode throughput of the RFC 6396 codec;
+//! * `substrate` — topology generation, valley-free routing, customer
+//!   cones, community propagation;
+//! * `inference` — engine scaling, thread speedup, the column-vs-row
+//!   ablation (§5.7), and threshold-sweep cost;
+//! * `experiments` — one benchmark per paper table/figure, running the
+//!   same code as the `bgp-eval` binaries at test scale.
+//!
+//! Run with `cargo bench --workspace`.

@@ -1,0 +1,172 @@
+//! Route-collector projects (paper §4).
+//!
+//! The paper ingests four projects — RIPE RIS, RouteViews, Isolario, PCH —
+//! which differ in how many peers feed them, whether their RIB snapshots
+//! include the community attribute, and how updates are binned. A
+//! [`CollectorProject`] captures those per-project properties; the archive
+//! generator uses them to produce project-specific MRT data from one
+//! shared simulated Internet.
+
+use bgp_topology::prelude::*;
+use bgp_types::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One collector project's configuration.
+#[derive(Debug, Clone)]
+pub struct CollectorProject {
+    /// Project name (used in reports).
+    pub name: &'static str,
+    /// Fraction of the topology's collector peers feeding this project.
+    pub peer_share: f64,
+    /// Whether RIB snapshots are available *with communities* (false for
+    /// PCH, whose RIBs lack the community attribute and are excluded).
+    pub ribs_with_communities: bool,
+    /// Mean number of update re-announcements per (peer, origin) pair per
+    /// day — models update churn volume differences between projects.
+    pub update_intensity: f64,
+    /// Update-file binning in minutes (RIPE publishes 5-minute files,
+    /// RouteViews 15-minute ones); `build_day` splits the update stream
+    /// into per-bin MRT files on these boundaries.
+    pub update_bin_minutes: u32,
+    /// Share of this project's peers that are IXP route servers: their ASN
+    /// does not appear in the AS paths they forward (the MRT Peer AS
+    /// Number field still names them), which is exactly why the paper's
+    /// §4.1 pipeline prepends the peer ASN when `A1` differs from it.
+    pub route_server_share: f64,
+    /// Seed salt so projects pick different peer subsets.
+    pub salt: u64,
+}
+
+impl CollectorProject {
+    /// RIPE RIS analogue.
+    pub fn ripe() -> Self {
+        CollectorProject {
+            name: "RIPE",
+            update_bin_minutes: 5,
+            peer_share: 0.69,
+            ribs_with_communities: true,
+            update_intensity: 1.2,
+            route_server_share: 0.10,
+            salt: 101,
+        }
+    }
+
+    /// RouteViews analogue.
+    pub fn routeviews() -> Self {
+        CollectorProject {
+            name: "RouteViews",
+            update_bin_minutes: 15,
+            peer_share: 0.38,
+            ribs_with_communities: true,
+            update_intensity: 1.5,
+            route_server_share: 0.15,
+            salt: 202,
+        }
+    }
+
+    /// Isolario analogue.
+    pub fn isolario() -> Self {
+        CollectorProject {
+            name: "Isolario",
+            update_bin_minutes: 5,
+            peer_share: 0.14,
+            ribs_with_communities: true,
+            update_intensity: 1.1,
+            route_server_share: 0.05,
+            salt: 303,
+        }
+    }
+
+    /// PCH analogue: many peers, update-only (no community-bearing RIBs).
+    pub fn pch() -> Self {
+        CollectorProject {
+            name: "PCH",
+            update_bin_minutes: 1440,
+            peer_share: 0.9,
+            ribs_with_communities: false,
+            update_intensity: 0.4,
+            route_server_share: 0.5, // PCH collectors sit at IXPs
+            salt: 404,
+        }
+    }
+
+    /// The three projects the paper aggregates into `d_May21`.
+    pub fn aggregated_trio() -> Vec<CollectorProject> {
+        vec![Self::ripe(), Self::routeviews(), Self::isolario()]
+    }
+
+    /// Whether `peer` acts as an IXP route server in this project
+    /// (deterministic per (project, seed, peer)).
+    pub fn is_route_server(&self, peer: Asn, seed: u64) -> bool {
+        use std::hash::{DefaultHasher, Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        (self.salt, seed, 0x52u8, peer.0).hash(&mut h);
+        (h.finish() % 1_000) as f64 / 1_000.0 < self.route_server_share
+    }
+
+    /// Select this project's peer subset from a topology, deterministically
+    /// per (project, seed).
+    pub fn select_peers(&self, g: &AsGraph, seed: u64) -> Vec<Asn> {
+        let mut peers = g.collector_peers();
+        peers.sort(); // canonical order before seeded shuffle
+        let mut rng = StdRng::seed_from_u64(seed ^ self.salt);
+        peers.shuffle(&mut rng);
+        let take = ((peers.len() as f64) * self.peer_share).round().max(1.0) as usize;
+        let mut out: Vec<Asn> = peers.into_iter().take(take).collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> AsGraph {
+        let mut cfg = TopologyConfig::small();
+        cfg.collector_peers = 40;
+        cfg.seed(3).build()
+    }
+
+    #[test]
+    fn peer_share_respected() {
+        let g = graph();
+        let ripe = CollectorProject::ripe().select_peers(&g, 1);
+        let iso = CollectorProject::isolario().select_peers(&g, 1);
+        assert!(ripe.len() > iso.len());
+        assert_eq!(ripe.len(), (40.0f64 * 0.69).round() as usize);
+    }
+
+    #[test]
+    fn deterministic_selection() {
+        let g = graph();
+        let a = CollectorProject::ripe().select_peers(&g, 7);
+        let b = CollectorProject::ripe().select_peers(&g, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn projects_differ_in_peers() {
+        let g = graph();
+        let a = CollectorProject::ripe().select_peers(&g, 7);
+        let b = CollectorProject::routeviews().select_peers(&g, 7);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn all_selected_are_collector_peers() {
+        let g = graph();
+        let all = g.collector_peers();
+        for p in CollectorProject::pch().select_peers(&g, 2) {
+            assert!(all.contains(&p));
+        }
+    }
+
+    #[test]
+    fn pch_has_no_community_ribs() {
+        assert!(!CollectorProject::pch().ribs_with_communities);
+        assert!(CollectorProject::ripe().ribs_with_communities);
+    }
+}

@@ -1,0 +1,299 @@
+//! Community attribution — the paper's stated future work (§8).
+//!
+//! > "We wish to identify not only whether an AS is a tagger, but also
+//! > which communities it adds. This ability will be especially useful to
+//! > differentiate signaling versus informational communities."
+//!
+//! Given an inference outcome and the tuple corpus, this module attributes
+//! concrete community values to the ASes that set them, under the same
+//! conservative conditions the classifier uses:
+//!
+//! * a community `X:v` is attributed to AS `X` only on tuples where `X` is
+//!   on the path and every AS upstream of `X` satisfies `is_forward`
+//!   (otherwise someone else could have injected it);
+//! * attribution distinguishes **informational** candidates (values that
+//!   appear on effectively every announcement `X` emits — location tags
+//!   and the like) from **signaling/action** candidates (values appearing
+//!   on a small share of announcements — blackhole, prepend requests).
+
+use crate::counters::Thresholds;
+use crate::engine::InferenceOutcome;
+use bgp_types::prelude::*;
+use std::collections::HashMap;
+
+/// How a community value is (probably) used by its owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UsageKind {
+    /// Appears on ≥ the informational share of the AS's announcements:
+    /// consistent, automated tagging (geo/ingress markers).
+    Informational,
+    /// Appears on < the signaling share: selective, per-event use
+    /// (blackholing, traffic engineering requests).
+    Signaling,
+    /// In between — not enough separation to call.
+    Ambiguous,
+}
+
+/// One attributed community value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributedCommunity {
+    /// The community value.
+    pub community: AnyCommunity,
+    /// Tuples (with clean upstream) where the owner was on-path.
+    pub opportunities: u64,
+    /// Of which the community was present.
+    pub occurrences: u64,
+    /// The usage classification.
+    pub kind: UsageKind,
+}
+
+impl AttributedCommunity {
+    /// Share of opportunities where the value appeared.
+    pub fn share(&self) -> f64 {
+        if self.opportunities == 0 {
+            0.0
+        } else {
+            self.occurrences as f64 / self.opportunities as f64
+        }
+    }
+}
+
+/// Attribution configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AttributionConfig {
+    /// Share at or above which a value counts as informational.
+    pub informational_share: f64,
+    /// Share at or below which a value counts as signaling.
+    pub signaling_share: f64,
+    /// Minimum opportunities before attributing anything.
+    pub min_opportunities: u64,
+}
+
+impl Default for AttributionConfig {
+    fn default() -> Self {
+        AttributionConfig {
+            informational_share: 0.90,
+            signaling_share: 0.10,
+            min_opportunities: 5,
+        }
+    }
+}
+
+/// Per-AS attributed community dictionary.
+#[derive(Debug, Clone, Default)]
+pub struct AttributionMap {
+    per_as: HashMap<Asn, Vec<AttributedCommunity>>,
+}
+
+impl AttributionMap {
+    /// Attributed values of one AS (empty slice if none).
+    pub fn of(&self, asn: Asn) -> &[AttributedCommunity] {
+        self.per_as.get(&asn).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of ASes with at least one attribution.
+    pub fn as_count(&self) -> usize {
+        self.per_as.len()
+    }
+
+    /// Total attributed community values.
+    pub fn value_count(&self) -> usize {
+        self.per_as.values().map(Vec::len).sum()
+    }
+
+    /// Iterate (ASN, attributions).
+    pub fn iter(&self) -> impl Iterator<Item = (Asn, &[AttributedCommunity])> {
+        self.per_as.iter().map(|(&a, v)| (a, v.as_slice()))
+    }
+}
+
+/// Attribute community values to inferred taggers.
+///
+/// Only ASes whose tagging classification is `tagger` receive
+/// attributions; the upstream-forward condition mirrors Cond1 so an
+/// attribution is backed by the same evidence standard as the
+/// classification itself.
+pub fn attribute(
+    tuples: &[PathCommTuple],
+    outcome: &InferenceOutcome,
+    config: &AttributionConfig,
+) -> AttributionMap {
+    let th: Thresholds = outcome.thresholds;
+
+    // (owner, community) -> (opportunities, occurrences)
+    let mut counts: HashMap<(Asn, AnyCommunity), (u64, u64)> = HashMap::new();
+    // owner -> clean-upstream opportunities (denominator shared by all its
+    // values; avoids double counting per value).
+    let mut opportunities: HashMap<Asn, u64> = HashMap::new();
+
+    for t in tuples {
+        let asns = t.path.asns();
+        // Walk positions while the upstream prefix stays forward-clean.
+        for (i, &ax) in asns.iter().enumerate() {
+            let clean = asns[..i].iter().all(|&u| outcome.counters.is_forward(u, &th));
+            if !clean {
+                break;
+            }
+            if !outcome.counters.is_tagger(ax, &th) {
+                continue;
+            }
+            *opportunities.entry(ax).or_insert(0) += 1;
+            for c in t.comm.with_upper(ax) {
+                counts.entry((ax, *c)).or_insert((0, 0)).1 += 1;
+            }
+        }
+    }
+
+    let mut map = AttributionMap::default();
+    for ((owner, community), (_, occurrences)) in counts {
+        let opp = opportunities.get(&owner).copied().unwrap_or(0);
+        if opp < config.min_opportunities {
+            continue;
+        }
+        let share = occurrences as f64 / opp as f64;
+        let kind = if share >= config.informational_share {
+            UsageKind::Informational
+        } else if share <= config.signaling_share {
+            UsageKind::Signaling
+        } else {
+            UsageKind::Ambiguous
+        };
+        map.per_as.entry(owner).or_default().push(AttributedCommunity {
+            community,
+            opportunities: opp,
+            occurrences,
+            kind,
+        });
+    }
+    for v in map.per_as.values_mut() {
+        v.sort_by(|a, b| a.community.cmp(&b.community));
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{InferenceConfig, InferenceEngine};
+
+    fn tagged(p: &[u32], comms: &[(u32, u32)]) -> PathCommTuple {
+        PathCommTuple::new(
+            path(p),
+            CommunitySet::from_iter(
+                comms.iter().map(|&(upper, val)| AnyCommunity::tag_for(Asn(upper), val)),
+            ),
+        )
+    }
+
+    fn run(tuples: &[PathCommTuple]) -> InferenceOutcome {
+        InferenceEngine::new(InferenceConfig { threads: 1, ..Default::default() }).run(tuples)
+    }
+
+    #[test]
+    fn informational_value_attributed() {
+        // Peer 5 tags every announcement with 5:100.
+        let tuples: Vec<PathCommTuple> =
+            (0..20u32).map(|i| tagged(&[5, 1000 + i], &[(5, 100)])).collect();
+        let outcome = run(&tuples);
+        let map = attribute(&tuples, &outcome, &AttributionConfig::default());
+        let attrs = map.of(Asn(5));
+        assert_eq!(attrs.len(), 1);
+        assert_eq!(attrs[0].community, AnyCommunity::tag_for(Asn(5), 100));
+        assert_eq!(attrs[0].kind, UsageKind::Informational);
+        assert!((attrs[0].share() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn signaling_value_separated() {
+        // 5:100 on everything (informational), 5:666 on one announcement
+        // (signaling, e.g. a blackhole request).
+        let mut tuples: Vec<PathCommTuple> =
+            (0..30u32).map(|i| tagged(&[5, 1000 + i], &[(5, 100)])).collect();
+        tuples.push(tagged(&[5, 2000], &[(5, 100), (5, 666)]));
+        let outcome = run(&tuples);
+        let map = attribute(&tuples, &outcome, &AttributionConfig::default());
+        let attrs = map.of(Asn(5));
+        assert_eq!(attrs.len(), 2);
+        let info = attrs.iter().find(|a| a.community == AnyCommunity::tag_for(Asn(5), 100));
+        let sig = attrs.iter().find(|a| a.community == AnyCommunity::tag_for(Asn(5), 666));
+        assert_eq!(info.unwrap().kind, UsageKind::Informational);
+        assert_eq!(sig.unwrap().kind, UsageKind::Signaling);
+    }
+
+    #[test]
+    fn silent_ases_get_no_attribution() {
+        let tuples: Vec<PathCommTuple> =
+            (0..10u32).map(|i| tagged(&[7, 1000 + i], &[])).collect();
+        let outcome = run(&tuples);
+        let map = attribute(&tuples, &outcome, &AttributionConfig::default());
+        assert!(map.of(Asn(7)).is_empty());
+        assert_eq!(map.as_count(), 0);
+    }
+
+    #[test]
+    fn attribution_blocked_behind_cleaner() {
+        // 5 is a visible tagger via direct peering; 2 is a cleaner. Tuples
+        // through 2 must not contribute opportunities for 5.
+        let mut tuples: Vec<PathCommTuple> =
+            (0..10u32).map(|i| tagged(&[5, 1000 + i], &[(5, 100)])).collect();
+        for i in 0..10u32 {
+            tuples.push(tagged(&[2, 5, 1100 + i], &[])); // 2 cleans
+        }
+        let outcome = run(&tuples);
+        let map = attribute(&tuples, &outcome, &AttributionConfig::default());
+        let attrs = map.of(Asn(5));
+        assert_eq!(attrs.len(), 1);
+        // Only the 10 direct tuples count as opportunities.
+        assert_eq!(attrs[0].opportunities, 10);
+        assert_eq!(attrs[0].kind, UsageKind::Informational);
+    }
+
+    #[test]
+    fn min_opportunities_gate() {
+        let tuples = vec![tagged(&[5, 1000], &[(5, 1)]), tagged(&[5, 1001], &[(5, 1)])];
+        let outcome = run(&tuples);
+        let map = attribute(&tuples, &outcome, &AttributionConfig::default());
+        assert!(map.of(Asn(5)).is_empty(), "2 < min_opportunities");
+        let lax = AttributionConfig { min_opportunities: 1, ..Default::default() };
+        assert_eq!(attribute(&tuples, &outcome, &lax).of(Asn(5)).len(), 1);
+    }
+
+    #[test]
+    fn ambiguous_band() {
+        // Value on ~50% of announcements.
+        let tuples: Vec<PathCommTuple> = (0..20u32)
+            .map(|i| {
+                if i % 2 == 0 {
+                    tagged(&[5, 1000 + i], &[(5, 100), (5, 7)])
+                } else {
+                    tagged(&[5, 1000 + i], &[(5, 100)])
+                }
+            })
+            .collect();
+        let outcome = run(&tuples);
+        let map = attribute(&tuples, &outcome, &AttributionConfig::default());
+        let seven = map
+            .of(Asn(5))
+            .iter()
+            .find(|a| a.community == AnyCommunity::tag_for(Asn(5), 7))
+            .unwrap();
+        assert_eq!(seven.kind, UsageKind::Ambiguous);
+        assert_eq!(map.value_count(), 2);
+    }
+
+    #[test]
+    fn foreign_attribution_via_mid_path_tagger() {
+        // 5 tags mid-path; 1 forwards. 5's value attributed from foreign
+        // observations once 1 is known-forward.
+        let mut tuples: Vec<PathCommTuple> =
+            (0..10u32).map(|i| tagged(&[5, 1000 + i], &[(5, 100)])).collect();
+        for i in 0..10u32 {
+            tuples.push(tagged(&[1, 5, 1200 + i], &[(5, 100)]));
+        }
+        let outcome = run(&tuples);
+        let map = attribute(&tuples, &outcome, &AttributionConfig::default());
+        let attrs = map.of(Asn(5));
+        assert_eq!(attrs.len(), 1);
+        assert!(attrs[0].opportunities >= 15, "foreign tuples must count");
+    }
+}

@@ -1,0 +1,206 @@
+//! Inference database export/import.
+//!
+//! The paper publishes its per-AS inferences as a public resource (its
+//! reference \[5\]); this
+//! module provides the equivalent: a line-oriented text format
+//! (`asn<TAB>class<TAB>t s f c`) that round-trips the full outcome, plus a
+//! tiny hand-rolled writer/reader so we stay within the sanctioned
+//! dependency set (serde derives exist on the types for users who want
+//! their own containers).
+
+use crate::classify::Class;
+use crate::counters::{AsCounters, CounterStore, Thresholds};
+use crate::engine::InferenceOutcome;
+use bgp_types::prelude::*;
+use std::fmt::Write as _;
+
+/// Serialize an outcome to the release format.
+///
+/// Header lines (`#`) carry the thresholds; each record line is
+/// `asn<TAB>class<TAB>t<SP>s<SP>f<SP>c`.
+pub fn export(outcome: &InferenceOutcome) -> String {
+    let mut out = String::new();
+    let th = outcome.thresholds;
+    writeln!(
+        out,
+        "# bgp-community-usage inference db v1\n# thresholds tagger={} silent={} forward={} cleaner={}",
+        th.tagger, th.silent, th.forward, th.cleaner
+    )
+    .expect("string write");
+    let mut rows: Vec<(Asn, AsCounters)> = outcome.counters.iter().collect();
+    rows.sort_by_key(|&(a, _)| a);
+    for (asn, c) in rows {
+        let class = outcome.class_of(asn);
+        writeln!(out, "{}\t{}\t{} {} {} {}", asn.0, class, c.t, c.s, c.f, c.c)
+            .expect("string write");
+    }
+    out
+}
+
+/// Parse errors for the release format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Deserialize an outcome from the release format.
+pub fn import(text: &str) -> Result<InferenceOutcome, ParseError> {
+    let mut thresholds = Thresholds::default();
+    let mut counters = CounterStore::new();
+
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let err = |message: String| ParseError { line: lineno, message };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            if let Some(vals) = rest.trim().strip_prefix("thresholds ") {
+                for kv in vals.split_whitespace() {
+                    let (k, v) = kv
+                        .split_once('=')
+                        .ok_or_else(|| err(format!("bad threshold field {kv:?}")))?;
+                    let v: f64 =
+                        v.parse().map_err(|e| err(format!("bad threshold value: {e}")))?;
+                    match k {
+                        "tagger" => thresholds.tagger = v,
+                        "silent" => thresholds.silent = v,
+                        "forward" => thresholds.forward = v,
+                        "cleaner" => thresholds.cleaner = v,
+                        other => return Err(err(format!("unknown threshold {other:?}"))),
+                    }
+                }
+            }
+            continue;
+        }
+        let mut fields = line.split('\t');
+        let asn: u32 = fields
+            .next()
+            .ok_or_else(|| err("missing asn".into()))?
+            .parse()
+            .map_err(|e| err(format!("bad asn: {e}")))?;
+        let _class = fields.next().ok_or_else(|| err("missing class".into()))?;
+        let nums = fields.next().ok_or_else(|| err("missing counters".into()))?;
+        let mut it = nums.split_whitespace();
+        let mut next = |name: &str| -> Result<u64, ParseError> {
+            it.next()
+                .ok_or_else(|| ParseError { line: lineno, message: format!("missing {name}") })?
+                .parse()
+                .map_err(|e| ParseError { line: lineno, message: format!("bad {name}: {e}") })
+        };
+        let c = AsCounters { t: next("t")?, s: next("s")?, f: next("f")?, c: next("c")? };
+        *counters.entry(Asn(asn)) = c;
+    }
+
+    Ok(InferenceOutcome { counters, thresholds, deepest_active_index: 0 })
+}
+
+/// A compact per-AS view for downstream consumers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DbRecord {
+    /// The AS.
+    pub asn: Asn,
+    /// Its classification.
+    pub class: Class,
+    /// Raw counters behind the classification.
+    pub counters: AsCounters,
+}
+
+/// Flatten an outcome into records, sorted by ASN.
+pub fn records(outcome: &InferenceOutcome) -> Vec<DbRecord> {
+    let mut v: Vec<DbRecord> = outcome
+        .counters
+        .iter()
+        .map(|(asn, counters)| DbRecord { asn, class: outcome.class_of(asn), counters })
+        .collect();
+    v.sort_by_key(|r| r.asn);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{InferenceConfig, InferenceEngine};
+
+    fn sample_outcome() -> InferenceOutcome {
+        let tuples = vec![
+            PathCommTuple::new(
+                path(&[5, 9]),
+                CommunitySet::from_iter([AnyCommunity::regular(5, 100)]),
+            ),
+            PathCommTuple::new(
+                path(&[1, 5, 9]),
+                CommunitySet::from_iter([
+                    AnyCommunity::regular(1, 100),
+                    AnyCommunity::regular(5, 100),
+                ]),
+            ),
+        ];
+        InferenceEngine::new(InferenceConfig { threads: 1, ..Default::default() }).run(&tuples)
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let outcome = sample_outcome();
+        let text = export(&outcome);
+        let back = import(&text).unwrap();
+        assert_eq!(back.thresholds, outcome.thresholds);
+        for (asn, c) in outcome.counters.iter() {
+            assert_eq!(back.counters.get(asn), c, "counters of {asn}");
+            assert_eq!(back.class_of(asn), outcome.class_of(asn));
+        }
+        assert_eq!(back.counters.len(), outcome.counters.len());
+    }
+
+    #[test]
+    fn export_is_sorted_and_parsable_lines() {
+        let text = export(&sample_outcome());
+        let data_lines: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert!(!data_lines.is_empty());
+        let asns: Vec<u32> = data_lines
+            .iter()
+            .map(|l| l.split('\t').next().unwrap().parse().unwrap())
+            .collect();
+        let mut sorted = asns.clone();
+        sorted.sort_unstable();
+        assert_eq!(asns, sorted);
+    }
+
+    #[test]
+    fn import_rejects_garbage() {
+        assert!(import("not\ta\tvalid line here").is_err());
+        let err = import("99999999x\ttf\t1 2 3 4").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn import_rejects_short_counters() {
+        assert!(import("12\ttf\t1 2 3").is_err());
+    }
+
+    #[test]
+    fn import_tolerates_blank_and_comment_lines() {
+        let out = import("# hello\n\n12\ttf\t10 0 5 0\n").unwrap();
+        assert_eq!(out.counters.get(Asn(12)).t, 10);
+    }
+
+    #[test]
+    fn records_sorted() {
+        let rs = records(&sample_outcome());
+        assert!(rs.windows(2).all(|w| w[0].asn < w[1].asn));
+        assert!(!rs.is_empty());
+    }
+}

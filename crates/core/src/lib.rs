@@ -1,0 +1,164 @@
+//! # bgp-infer
+//!
+//! The paper's primary contribution: a passive algorithm inferring per-AS
+//! BGP community usage — does an AS **tag** announcements with its own
+//! communities, and does it **forward or clean** communities set by others
+//! — from nothing but `(AS path, community set)` observations at route
+//! collectors.
+//!
+//! Pipeline:
+//!
+//! 1. [`sanitize`] — §4.1 data cleaning (AS_SET removal, peer prepending,
+//!    prepend collapse, unallocated-resource filters);
+//! 2. [`source`] — §3.2 community source grouping (peer / foreign / stray
+//!    / private);
+//! 3. [`engine`] — §5.6 column-based counting under Cond1/Cond2, the
+//!    algorithm of Listing 1;
+//! 4. [`classify`] + [`counters`] — §5.3/§5.5 threshold classification
+//!    into `t/s/u/n × f/c/u/n`;
+//! 5. [`metrics`] — §6 precision/recall, confusion matrices, ROC sweeps;
+//! 6. [`row`] — the Listing 2 row-based baseline, kept as comparator;
+//! 7. [`db`] — export/import of the inference database (the paper's
+//!    public release artifact).
+//!
+//! ```
+//! use bgp_infer::prelude::*;
+//! use bgp_types::prelude::*;
+//!
+//! // Peer AS5 tags; AS1 forwards AS5's tag.
+//! let tuples = vec![
+//!     PathCommTuple::new(path(&[5, 9]),
+//!         CommunitySet::from_iter([AnyCommunity::regular(5, 100)])),
+//!     PathCommTuple::new(path(&[1, 5, 9]),
+//!         CommunitySet::from_iter([AnyCommunity::regular(5, 100)])),
+//! ];
+//! let outcome = InferenceEngine::new(InferenceConfig::default()).run(&tuples);
+//! assert_eq!(outcome.class_of(Asn(5)).tagging, TaggingClass::Tagger);
+//! assert_eq!(outcome.class_of(Asn(1)).forwarding, ForwardingClass::Forward);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod attribution;
+pub mod classify;
+pub mod counters;
+pub mod db;
+pub mod engine;
+pub mod metrics;
+pub mod row;
+pub mod sanitize;
+pub mod selectivity;
+pub mod source;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::attribution::{
+        attribute, AttributedCommunity, AttributionConfig, AttributionMap, UsageKind,
+    };
+    pub use crate::classify::{Class, ForwardingClass, TaggingClass};
+    pub use crate::counters::{AsCounters, CounterStore, Thresholds};
+    pub use crate::db::{export, import, records, DbRecord};
+    pub use crate::engine::{InferenceConfig, InferenceEngine, InferenceOutcome};
+    pub use crate::metrics::{
+        precision_recall, roc_sweep, ConfusionMatrix, PrecisionRecall, RocPoint, TruthEntry,
+        TruthForwarding, TruthTagging,
+    };
+    pub use crate::row::run_row_based;
+    pub use crate::sanitize::{SanitationStats, Sanitizer};
+    pub use crate::selectivity::{selectivity_report, SelectivityRecord, SelectivityVerdict};
+    pub use crate::source::{classify_community, retain_inferable, SourceCounts, SourceGroup};
+}
+
+#[cfg(test)]
+mod proptests {
+    use crate::prelude::*;
+    use bgp_types::prelude::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Generate a random tuple corpus with a planted consistent world:
+    /// even ASNs tag, odd ASNs are silent; every AS forwards.
+    fn planted_world(seed: u64, n_paths: usize) -> Vec<PathCommTuple> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tuples = Vec::new();
+        for _ in 0..n_paths {
+            let len = rng.random_range(1..6usize);
+            let mut asns: Vec<u32> = Vec::new();
+            while asns.len() < len {
+                let a = rng.random_range(2u32..60);
+                if !asns.contains(&a) {
+                    asns.push(a);
+                }
+            }
+            let comm = CommunitySet::from_iter(
+                asns.iter().filter(|a| *a % 2 == 0).map(|&a| AnyCommunity::tag_for(Asn(a), 100)),
+            );
+            tuples.push(PathCommTuple::new(path(&asns), comm));
+        }
+        tuples
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// In an all-forward world with consistent taggers, the engine
+        /// never misclassifies: every decided tagging class matches parity.
+        #[test]
+        fn no_misclassification_in_consistent_world(seed in 0u64..1000) {
+            let tuples = planted_world(seed, 300);
+            let outcome = InferenceEngine::new(
+                InferenceConfig { threads: 1, ..Default::default() }).run(&tuples);
+            for (asn, class) in outcome.classes() {
+                match class.tagging {
+                    TaggingClass::Tagger => prop_assert_eq!(asn.0 % 2, 0, "AS{} wrong", asn.0),
+                    TaggingClass::Silent => prop_assert_eq!(asn.0 % 2, 1, "AS{} wrong", asn.0),
+                    _ => {}
+                }
+                // Everyone forwards: no cleaner inference may appear.
+                prop_assert_ne!(class.forwarding, ForwardingClass::Cleaner);
+            }
+        }
+
+        /// Thread count never changes results.
+        #[test]
+        fn thread_invariance(seed in 0u64..200, threads in 1usize..8) {
+            let tuples = planted_world(seed, 1500);
+            let a = InferenceEngine::new(
+                InferenceConfig { threads: 1, ..Default::default() }).run(&tuples);
+            let b = InferenceEngine::new(
+                InferenceConfig { threads, ..Default::default() }).run(&tuples);
+            prop_assert_eq!(a.classes(), b.classes());
+        }
+
+        /// Counters are monotone in input: adding tuples never removes
+        /// counter mass.
+        #[test]
+        fn counter_monotonicity(seed in 0u64..200) {
+            let tuples = planted_world(seed, 200);
+            let half = &tuples[..100];
+            let cfg = InferenceConfig { threads: 1, ..Default::default() };
+            let small = InferenceEngine::new(cfg.clone()).run(half);
+            let big = InferenceEngine::new(cfg).run(&tuples);
+            // Total counter mass grows.
+            let mass = |o: &InferenceOutcome| -> u64 {
+                o.counters.iter().map(|(_, c)| c.t + c.s + c.f + c.c).sum()
+            };
+            prop_assert!(mass(&big) >= mass(&small));
+        }
+
+        /// The db export/import round-trip preserves classifications for
+        /// arbitrary engine outcomes.
+        #[test]
+        fn db_roundtrip(seed in 0u64..200) {
+            let tuples = planted_world(seed, 120);
+            let outcome = InferenceEngine::new(
+                InferenceConfig { threads: 1, ..Default::default() }).run(&tuples);
+            let back = import(&export(&outcome)).unwrap();
+            for (asn, class) in outcome.classes() {
+                prop_assert_eq!(back.class_of(asn), class);
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Dataset-level sanitation (paper §4.1).
+//!
+//! Path-shape transforms (AS_SET removal, peer prepending, prepend
+//! collapse) live on [`bgp_types::as_path::RawAsPath::sanitize`]; this
+//! module implements the registry-driven filters — dropping tuples that
+//! mention unallocated ASNs or unallocated/bogon prefixes — and the
+//! end-to-end pipeline from raw update/RIB entries to a deduplicated
+//! [`TupleSet`].
+
+use bgp_types::prelude::*;
+
+/// Counters describing what the pipeline dropped (for Table 1's
+/// before/after rows and for debugging data quality).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SanitationStats {
+    /// Entries offered to the pipeline.
+    pub offered: u64,
+    /// Entries dropped: unallocated/reserved ASN on path.
+    pub dropped_asn: u64,
+    /// Entries dropped: unallocated or bogon prefix.
+    pub dropped_prefix: u64,
+    /// Entries dropped: path empty after cleaning (pure AS_SET, AS0...).
+    pub dropped_path: u64,
+    /// Entries kept.
+    pub kept: u64,
+}
+
+/// Registry-driven tuple filter.
+#[derive(Debug, Clone, Default)]
+pub struct Sanitizer {
+    asn_registry: AsnRegistry,
+    prefix_registry: PrefixRegistry,
+}
+
+impl Sanitizer {
+    /// Build from registries.
+    pub fn new(asn_registry: AsnRegistry, prefix_registry: PrefixRegistry) -> Self {
+        Sanitizer { asn_registry, prefix_registry }
+    }
+
+    /// A permissive sanitizer: every public-range resource is allocated.
+    pub fn permissive() -> Self {
+        Sanitizer {
+            asn_registry: AsnRegistry::permissive(),
+            prefix_registry: PrefixRegistry::permissive(),
+        }
+    }
+
+    /// The ASN registry in use.
+    pub fn asn_registry(&self) -> &AsnRegistry {
+        &self.asn_registry
+    }
+
+    /// Process one raw (pre-sanitation) announcement into zero or one
+    /// tuple, updating `stats`.
+    pub fn process(
+        &self,
+        peer_asn: Asn,
+        raw_path: &RawAsPath,
+        prefix: Option<&Prefix>,
+        comm: &CommunitySet,
+        stats: &mut SanitationStats,
+    ) -> Option<PathCommTuple> {
+        stats.offered += 1;
+
+        if let Some(p) = prefix {
+            if !self.prefix_registry.is_allocated(p) {
+                stats.dropped_prefix += 1;
+                return None;
+            }
+        }
+
+        let Some(path) = raw_path.sanitize(Some(peer_asn)) else {
+            stats.dropped_path += 1;
+            return None;
+        };
+
+        if path.asns().iter().any(|&a| !self.asn_registry.is_allocated(a)) {
+            stats.dropped_asn += 1;
+            return None;
+        }
+
+        stats.kept += 1;
+        Some(PathCommTuple::new(path, comm.clone()))
+    }
+
+    /// Run a batch of update messages through the pipeline into a
+    /// deduplicated [`TupleSet`].
+    pub fn ingest_updates<'a, I: IntoIterator<Item = &'a UpdateMessage>>(
+        &self,
+        updates: I,
+        set: &mut TupleSet,
+    ) -> SanitationStats {
+        let mut stats = SanitationStats::default();
+        for u in updates {
+            if u.announced.is_empty() {
+                continue; // withdrawals carry no usable (path, comm)
+            }
+            for prefix in &u.announced {
+                if let Some(t) = self.process(
+                    u.peer_asn,
+                    &u.attributes.as_path,
+                    Some(prefix),
+                    &u.attributes.communities,
+                    &mut stats,
+                ) {
+                    set.insert(t);
+                }
+            }
+        }
+        stats
+    }
+
+    /// Run RIB entries through the pipeline.
+    pub fn ingest_rib<'a, I: IntoIterator<Item = &'a RibEntry>>(
+        &self,
+        entries: I,
+        set: &mut TupleSet,
+    ) -> SanitationStats {
+        let mut stats = SanitationStats::default();
+        for e in entries {
+            if let Some(t) = self.process(
+                e.peer_asn,
+                &e.attributes.as_path,
+                Some(&e.prefix),
+                &e.attributes.communities,
+                &mut stats,
+            ) {
+                set.insert(t);
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(asns: &[u32]) -> RawAsPath {
+        RawAsPath::from_sequence(asns.iter().map(|&v| Asn(v)).collect())
+    }
+
+    #[test]
+    fn permissive_keeps_clean_entries() {
+        let s = Sanitizer::permissive();
+        let mut st = SanitationStats::default();
+        let t = s
+            .process(
+                Asn(10),
+                &raw(&[10, 20, 30]),
+                Some(&Prefix::v4([193, 0, 0, 0], 16)),
+                &CommunitySet::new(),
+                &mut st,
+            )
+            .unwrap();
+        assert_eq!(t.path.asns().len(), 3);
+        assert_eq!(st.kept, 1);
+    }
+
+    #[test]
+    fn drops_bogon_prefix() {
+        let s = Sanitizer::permissive();
+        let mut st = SanitationStats::default();
+        let got = s.process(
+            Asn(10),
+            &raw(&[10, 20]),
+            Some(&Prefix::v4([10, 0, 0, 0], 8)),
+            &CommunitySet::new(),
+            &mut st,
+        );
+        assert!(got.is_none());
+        assert_eq!(st.dropped_prefix, 1);
+    }
+
+    #[test]
+    fn drops_unallocated_asn() {
+        let mut reg = AsnRegistry::new();
+        reg.allocate(Asn(10));
+        reg.allocate(Asn(20));
+        let s = Sanitizer::new(reg, PrefixRegistry::permissive());
+        let mut st = SanitationStats::default();
+        // 30 not allocated.
+        let got =
+            s.process(Asn(10), &raw(&[10, 20, 30]), None, &CommunitySet::new(), &mut st);
+        assert!(got.is_none());
+        assert_eq!(st.dropped_asn, 1);
+        // All allocated: kept.
+        let got = s.process(Asn(10), &raw(&[10, 20]), None, &CommunitySet::new(), &mut st);
+        assert!(got.is_some());
+    }
+
+    #[test]
+    fn drops_as0_path() {
+        let s = Sanitizer::permissive();
+        let mut st = SanitationStats::default();
+        let got = s.process(Asn(10), &raw(&[10, 0, 30]), None, &CommunitySet::new(), &mut st);
+        assert!(got.is_none());
+        assert_eq!(st.dropped_path, 1);
+    }
+
+    #[test]
+    fn ingest_updates_dedups() {
+        let s = Sanitizer::permissive();
+        let mut set = TupleSet::new();
+        let u = UpdateMessage::announcement(
+            Asn(10),
+            0,
+            Prefix::v4([193, 0, 0, 0], 16),
+            raw(&[10, 20]),
+            CommunitySet::new(),
+        );
+        let stats = s.ingest_updates([&u, &u.clone()], &mut set);
+        assert_eq!(stats.kept, 2);
+        assert_eq!(set.len(), 1, "identical tuples deduplicated");
+        assert_eq!(set.total_ingested(), 2);
+    }
+
+    #[test]
+    fn ingest_rib_entries() {
+        let s = Sanitizer::permissive();
+        let mut set = TupleSet::new();
+        let e = RibEntry::new(
+            Asn(10),
+            Prefix::v4([193, 0, 0, 0], 16),
+            raw(&[10, 20, 30]),
+            CommunitySet::from_iter([AnyCommunity::regular(20, 5)]),
+        );
+        let stats = s.ingest_rib([&e], &mut set);
+        assert_eq!(stats.kept, 1);
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn withdrawal_only_updates_skipped() {
+        let s = Sanitizer::permissive();
+        let mut set = TupleSet::new();
+        let mut u = UpdateMessage::announcement(
+            Asn(10),
+            0,
+            Prefix::v4([193, 0, 0, 0], 16),
+            raw(&[10, 20]),
+            CommunitySet::new(),
+        );
+        u.withdrawn = u.announced.drain(..).collect();
+        let stats = s.ingest_updates([&u], &mut set);
+        assert_eq!(stats.offered, 0);
+        assert!(set.is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! Selectivity reporting for `undecided` ASes.
+//!
+//! The classifier deliberately refuses to decide when an AS's counters
+//! contradict (paper §5.4: selective tagging "can lead to a contradicting
+//! perception of community usage"). For operators and researchers the
+//! *degree* of contradiction is itself signal: an AS tagging 60% of its
+//! announcements is very likely a relationship-selective tagger, while
+//! 99.4% is probably a consistent tagger with a data glitch. This module
+//! turns raw counters into that report.
+
+use crate::classify::{ForwardingClass, TaggingClass};
+use crate::engine::InferenceOutcome;
+use bgp_types::prelude::*;
+
+/// Why an AS landed in `undecided`, quantified.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectivityRecord {
+    /// The AS.
+    pub asn: Asn,
+    /// `t/(t+s)` — the tagging share (None without tagging counters).
+    pub tag_share: Option<f64>,
+    /// `f/(f+c)` — the forwarding share (None without counters).
+    pub fwd_share: Option<f64>,
+    /// Total tagging observations.
+    pub tag_observations: u64,
+    /// Total forwarding observations.
+    pub fwd_observations: u64,
+    /// Heuristic verdict on the tagging side.
+    pub verdict: SelectivityVerdict,
+}
+
+/// Interpretation bands for a contradicting tagging share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectivityVerdict {
+    /// Share in the middle band: behaves differently per neighbor class —
+    /// the classic relationship-selective tagger.
+    LikelySelective,
+    /// Share just below the threshold: probably consistent, undermined by
+    /// a few contradicting observations (noise, route leaks).
+    NearConsistent,
+    /// Too few observations to say anything.
+    InsufficientData,
+}
+
+/// Minimum observations before a verdict other than `InsufficientData`.
+pub const MIN_OBSERVATIONS: u64 = 10;
+
+/// Band edge: shares within this distance of 0.0/1.0 count as
+/// near-consistent rather than selective.
+pub const NEAR_BAND: f64 = 0.05;
+
+/// Build the selectivity report for every `undecided` AS in an outcome.
+pub fn selectivity_report(outcome: &InferenceOutcome) -> Vec<SelectivityRecord> {
+    let mut out = Vec::new();
+    for (asn, counters) in outcome.counters.iter() {
+        let class = outcome.class_of(asn);
+        let tag_undecided = class.tagging == TaggingClass::Undecided;
+        let fwd_undecided = class.forwarding == ForwardingClass::Undecided;
+        if !tag_undecided && !fwd_undecided {
+            continue;
+        }
+        let tag_obs = counters.t + counters.s;
+        let fwd_obs = counters.f + counters.c;
+        let share = counters.tag_share();
+        let verdict = if tag_undecided {
+            match share {
+                _ if tag_obs < MIN_OBSERVATIONS => SelectivityVerdict::InsufficientData,
+                Some(x) if x <= NEAR_BAND || x >= 1.0 - NEAR_BAND => {
+                    SelectivityVerdict::NearConsistent
+                }
+                Some(_) => SelectivityVerdict::LikelySelective,
+                None => SelectivityVerdict::InsufficientData,
+            }
+        } else {
+            // Forwarding-only undecided: use the forwarding share bands.
+            match counters.fwd_share() {
+                _ if fwd_obs < MIN_OBSERVATIONS => SelectivityVerdict::InsufficientData,
+                Some(x) if x <= NEAR_BAND || x >= 1.0 - NEAR_BAND => {
+                    SelectivityVerdict::NearConsistent
+                }
+                Some(_) => SelectivityVerdict::LikelySelective,
+                None => SelectivityVerdict::InsufficientData,
+            }
+        };
+        out.push(SelectivityRecord {
+            asn,
+            tag_share: share,
+            fwd_share: counters.fwd_share(),
+            tag_observations: tag_obs,
+            fwd_observations: fwd_obs,
+            verdict,
+        });
+    }
+    out.sort_by_key(|r| r.asn);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::AsCounters;
+    use crate::engine::{InferenceConfig, InferenceEngine, InferenceOutcome};
+    use crate::counters::{CounterStore, Thresholds};
+
+    fn outcome_with(counters: &[(u32, AsCounters)]) -> InferenceOutcome {
+        let mut store = CounterStore::new();
+        for &(asn, c) in counters {
+            *store.entry(Asn(asn)) = c;
+        }
+        InferenceOutcome {
+            counters: store,
+            thresholds: Thresholds::default(),
+            deepest_active_index: 1,
+        }
+    }
+
+    #[test]
+    fn mid_band_is_selective() {
+        let o = outcome_with(&[(1, AsCounters { t: 60, s: 40, f: 0, c: 0 })]);
+        let r = selectivity_report(&o);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].verdict, SelectivityVerdict::LikelySelective);
+        assert!((r[0].tag_share.unwrap() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn near_band_is_near_consistent() {
+        let o = outcome_with(&[(1, AsCounters { t: 970, s: 30, f: 0, c: 0 })]);
+        let r = selectivity_report(&o);
+        assert_eq!(r[0].verdict, SelectivityVerdict::NearConsistent);
+    }
+
+    #[test]
+    fn few_observations_insufficient() {
+        let o = outcome_with(&[(1, AsCounters { t: 3, s: 2, f: 0, c: 0 })]);
+        let r = selectivity_report(&o);
+        assert_eq!(r[0].verdict, SelectivityVerdict::InsufficientData);
+    }
+
+    #[test]
+    fn decided_ases_excluded() {
+        let o = outcome_with(&[
+            (1, AsCounters { t: 100, s: 0, f: 0, c: 0 }), // tagger
+            (2, AsCounters { t: 0, s: 100, f: 100, c: 0 }), // silent-forward
+        ]);
+        assert!(selectivity_report(&o).is_empty());
+    }
+
+    #[test]
+    fn forwarding_only_undecided_reported() {
+        let o = outcome_with(&[(1, AsCounters { t: 100, s: 0, f: 50, c: 50 })]);
+        let r = selectivity_report(&o);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].verdict, SelectivityVerdict::LikelySelective);
+        assert!((r[0].fwd_share.unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn end_to_end_selective_tagger_flagged() {
+        // A peer tagging 70% of its announcements.
+        let mut tuples = Vec::new();
+        for i in 0..100u32 {
+            let comm = if i % 10 < 7 {
+                CommunitySet::from_iter([AnyCommunity::regular(9, 1)])
+            } else {
+                CommunitySet::new()
+            };
+            tuples.push(PathCommTuple::new(path(&[9, 5000 + i]), comm));
+        }
+        let outcome =
+            InferenceEngine::new(InferenceConfig { threads: 1, ..Default::default() })
+                .run(&tuples);
+        let report = selectivity_report(&outcome);
+        let rec = report.iter().find(|r| r.asn == Asn(9)).expect("AS9 reported");
+        assert_eq!(rec.verdict, SelectivityVerdict::LikelySelective);
+        assert_eq!(rec.tag_observations, 100);
+    }
+}

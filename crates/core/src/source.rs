@@ -1,0 +1,171 @@
+//! Community source classification (paper §3.2).
+//!
+//! Given a `(path, comm)` tuple, each community is grouped by where its
+//! upper field sits relative to the AS path:
+//!
+//! * **peer** — upper field equals the collector peer `A1`;
+//! * **foreign** — upper field equals some other on-path ASN `Ai`, `i>1`;
+//! * **stray** — upper field is a public ASN not on the path;
+//! * **private** — upper field is in reserved/private ASN space.
+//!
+//! The inference ignores stray and private communities (no evidence of who
+//! set them); Figure 5 counts all four types at fully-classified peers.
+
+use bgp_types::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Source group of a community relative to one AS path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SourceGroup {
+    /// Upper field == `A1`.
+    Peer,
+    /// Upper field on-path at `i > 1`.
+    Foreign,
+    /// Public ASN not on the path.
+    Stray,
+    /// Reserved/private/unallocatable ASN.
+    Private,
+}
+
+/// Classify one community against a path.
+pub fn classify_community(comm: &AnyCommunity, path: &AsPath) -> SourceGroup {
+    let upper = comm.upper_field();
+    if upper.is_reserved_or_private() {
+        return SourceGroup::Private;
+    }
+    match path.position(upper) {
+        Some(1) => SourceGroup::Peer,
+        Some(_) => SourceGroup::Foreign,
+        None => SourceGroup::Stray,
+    }
+}
+
+/// Per-type counts for one tuple or an aggregation (Figure 5 rows).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceCounts {
+    /// Communities whose upper field is the collector peer.
+    pub peer: u64,
+    /// On-path, non-peer upper fields.
+    pub foreign: u64,
+    /// Off-path public upper fields.
+    pub stray: u64,
+    /// Reserved/private upper fields.
+    pub private: u64,
+}
+
+impl SourceCounts {
+    /// Count the communities of one tuple.
+    pub fn of_tuple(t: &PathCommTuple) -> Self {
+        let mut out = SourceCounts::default();
+        for c in t.comm.iter() {
+            match classify_community(c, &t.path) {
+                SourceGroup::Peer => out.peer += 1,
+                SourceGroup::Foreign => out.foreign += 1,
+                SourceGroup::Stray => out.stray += 1,
+                SourceGroup::Private => out.private += 1,
+            }
+        }
+        out
+    }
+
+    /// Element-wise accumulate.
+    pub fn add(&mut self, other: &SourceCounts) {
+        self.peer += other.peer;
+        self.foreign += other.foreign;
+        self.stray += other.stray;
+        self.private += other.private;
+    }
+
+    /// Total communities counted.
+    pub fn total(&self) -> u64 {
+        self.peer + self.foreign + self.stray + self.private
+    }
+}
+
+/// Strip stray and private communities from a tuple (what the counting
+/// passes effectively do — §5.1 "necessarily ignores stray and private").
+pub fn retain_inferable(t: &PathCommTuple) -> PathCommTuple {
+    let mut out = t.clone();
+    out.comm.retain(|c| {
+        matches!(
+            classify_community(c, &t.path),
+            SourceGroup::Peer | SourceGroup::Foreign
+        )
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple() -> PathCommTuple {
+        PathCommTuple::new(
+            path(&[100, 200, 300]),
+            CommunitySet::from_iter([
+                AnyCommunity::regular(100, 1),    // peer
+                AnyCommunity::regular(200, 2),    // foreign
+                AnyCommunity::regular(300, 3),    // foreign
+                AnyCommunity::regular(999, 4),    // stray
+                AnyCommunity::regular(64512, 5),  // private
+                AnyCommunity::regular(0, 6),      // private (reserved 0)
+            ]),
+        )
+    }
+
+    #[test]
+    fn classification_matrix() {
+        let t = tuple();
+        let got = SourceCounts::of_tuple(&t);
+        assert_eq!(got, SourceCounts { peer: 1, foreign: 2, stray: 1, private: 2 });
+        assert_eq!(got.total(), 6);
+    }
+
+    #[test]
+    fn large_communities_classified_too() {
+        let t = PathCommTuple::new(
+            path(&[100, 200_000]),
+            CommunitySet::from_iter([
+                AnyCommunity::large(200_000, 1, 2), // foreign (on-path 32-bit)
+                AnyCommunity::large(4_200_000_000, 1, 2), // private range
+            ]),
+        );
+        let got = SourceCounts::of_tuple(&t);
+        assert_eq!(got.foreign, 1);
+        assert_eq!(got.private, 1);
+    }
+
+    #[test]
+    fn peer_vs_foreign_depends_on_path() {
+        // Same community is peer in one path, foreign in another (§3.2).
+        let c = AnyCommunity::regular(200, 7);
+        assert_eq!(classify_community(&c, &path(&[200, 300])), SourceGroup::Peer);
+        assert_eq!(classify_community(&c, &path(&[100, 200])), SourceGroup::Foreign);
+        assert_eq!(classify_community(&c, &path(&[100, 300])), SourceGroup::Stray);
+    }
+
+    #[test]
+    fn retain_inferable_strips_stray_private() {
+        let t = tuple();
+        let kept = retain_inferable(&t);
+        assert_eq!(kept.comm.len(), 3);
+        assert!(kept.comm.contains_upper(Asn(100)));
+        assert!(kept.comm.contains_upper(Asn(200)));
+        assert!(!kept.comm.contains_upper(Asn(999)));
+        assert!(!kept.comm.contains_upper(Asn(64512)));
+    }
+
+    #[test]
+    fn accumulate() {
+        let mut a = SourceCounts { peer: 1, foreign: 2, stray: 3, private: 4 };
+        a.add(&SourceCounts { peer: 10, foreign: 20, stray: 30, private: 40 });
+        assert_eq!(a.total(), 110);
+    }
+
+    #[test]
+    fn well_known_is_private() {
+        // 65535:666 -> upper 65535 is reserved.
+        let c = AnyCommunity::Regular(Community::NO_EXPORT);
+        assert_eq!(classify_community(&c, &path(&[1, 2])), SourceGroup::Private);
+    }
+}

@@ -1,0 +1,17 @@
+//! Helper: write a day of simulated MRT to disk for CLI smoke tests.
+use bgp_collector::prelude::*;
+use bgp_eval::world::realistic_roles;
+use bgp_topology::prelude::*;
+
+fn main() {
+    let mut cfg = TopologyConfig::small();
+    cfg.collector_peers = 30;
+    let g = cfg.seed(1).build();
+    let paths = PathSubstrate::generate(&g, 4).paths;
+    let cones = CustomerCones::compute(&g);
+    let roles = realistic_roles(&g, &cones, 1);
+    let day = ArchiveBuilder::new(&g, &roles).build_day(&CollectorProject::ripe(), &paths, 1);
+    std::fs::write("/tmp/test_rib.mrt", &day.rib_bytes).unwrap();
+    std::fs::write("/tmp/test_updates.mrt", &day.update_bytes).unwrap();
+    eprintln!("wrote {} + {} bytes", day.rib_bytes.len(), day.update_bytes.len());
+}

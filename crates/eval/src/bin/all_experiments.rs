@@ -1,0 +1,33 @@
+//! Runs every table and figure in sequence and writes a combined report —
+//! the one-shot reproduction of the paper's evaluation section.
+use bgp_eval::prelude::*;
+use bgp_eval::{fig2, fig3, fig4, fig5, fig6, table1, table2, table3, table4, tables56};
+use bgp_sim::prelude::*;
+
+fn main() {
+    let scale = EvalScale::from_env();
+    eprintln!("building world at {scale:?} scale...");
+    let world = World::build(scale, 1);
+    let seeds: usize = std::env::var("BGP_EVAL_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+
+    println!("{}", table1::run(&world, 1).render());
+    println!("{}", table2::run(&world, seeds).render());
+    println!("{}", fig2::run(&world, &fig2::default_thresholds(), 1).render());
+    println!("{}", table3::run(&world, 1).render());
+    println!("{}", fig3::run(&world, 5, 1).render());
+    println!("{}", fig4::run(&scale.config(), 8, 1).render());
+
+    let roles = realistic_roles(&world.graph, &world.cones, 1);
+    let prop = Propagator::new(&world.graph, &roles);
+    let tuples = AmbientCommunities::paper_like(1).decorate_vec(&prop.tuples(&world.paths));
+    println!("{}", fig5::run(&tuples).render());
+    println!("{}", fig6::run(&tuples, &world.cones).render());
+
+    println!("{}", table4::run(&world, 3, 12, 1).render());
+    let t56 = tables56::run(&world, 1);
+    println!("{}", t56.render_table5());
+    println!("{}", t56.render_table6());
+}

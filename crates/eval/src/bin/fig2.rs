@@ -1,0 +1,11 @@
+//! Regenerates Figure 2 (ROC threshold sweeps for random-p / random-pp).
+use bgp_eval::fig2;
+use bgp_eval::prelude::*;
+
+fn main() {
+    let scale = EvalScale::from_env();
+    eprintln!("building world at {scale:?} scale...");
+    let world = World::build(scale, 1);
+    let fig = fig2::run(&world, &fig2::default_thresholds(), 1);
+    println!("{}", fig.render());
+}

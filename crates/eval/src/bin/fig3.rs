@@ -1,0 +1,11 @@
+//! Regenerates Figure 3 (stability over five successive days).
+use bgp_eval::fig3;
+use bgp_eval::prelude::*;
+
+fn main() {
+    let scale = EvalScale::from_env();
+    eprintln!("building world at {scale:?} scale...");
+    let world = World::build(scale, 1);
+    let fig = fig3::run(&world, 5, 1);
+    println!("{}", fig.render());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 4 (longitudinal view, 8 quarterly snapshots).
+use bgp_eval::fig4;
+use bgp_eval::prelude::*;
+
+fn main() {
+    let scale = EvalScale::from_env();
+    eprintln!("running longitudinal experiment at {scale:?} scale...");
+    let fig = fig4::run(&scale.config(), 8, 1);
+    println!("{}", fig.render());
+}

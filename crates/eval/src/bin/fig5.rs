@@ -1,0 +1,15 @@
+//! Regenerates Figure 5 (community types at fully-classified peer ASes).
+use bgp_eval::fig5;
+use bgp_eval::prelude::*;
+use bgp_sim::prelude::*;
+
+fn main() {
+    let scale = EvalScale::from_env();
+    eprintln!("building world at {scale:?} scale...");
+    let world = World::build(scale, 1);
+    let roles = realistic_roles(&world.graph, &world.cones, 1);
+    let prop = Propagator::new(&world.graph, &roles);
+    let tuples = AmbientCommunities::paper_like(1).decorate_vec(&prop.tuples(&world.paths));
+    let fig = fig5::run(&tuples);
+    println!("{}", fig.render());
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 6 (customer-cone CDFs per inferred class).
+use bgp_eval::fig6;
+use bgp_eval::prelude::*;
+use bgp_sim::prelude::*;
+
+fn main() {
+    let scale = EvalScale::from_env();
+    eprintln!("building world at {scale:?} scale...");
+    let world = World::build(scale, 1);
+    let roles = realistic_roles(&world.graph, &world.cones, 1);
+    let tuples = Propagator::new(&world.graph, &roles).tuples(&world.paths);
+    let fig = fig6::run(&tuples, &world.cones);
+    println!("{}", fig.render());
+}

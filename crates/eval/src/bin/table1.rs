@@ -1,0 +1,11 @@
+//! Regenerates Table 1 (data sets overview). Scale via `BGP_EVAL_SCALE`.
+use bgp_eval::prelude::*;
+use bgp_eval::table1;
+
+fn main() {
+    let scale = EvalScale::from_env();
+    eprintln!("building world at {scale:?} scale...");
+    let world = World::build(scale, 1);
+    let t1 = table1::run(&world, 1);
+    println!("{}", t1.render());
+}

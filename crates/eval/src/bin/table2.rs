@@ -1,0 +1,15 @@
+//! Regenerates Table 2 (scenario classification results).
+use bgp_eval::prelude::*;
+use bgp_eval::table2;
+
+fn main() {
+    let scale = EvalScale::from_env();
+    let seeds: usize = std::env::var("BGP_EVAL_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(table2::DEFAULT_SEEDS);
+    eprintln!("building world at {scale:?} scale; {seeds} seeds per random scenario...");
+    let world = World::build(scale, 1);
+    let t2 = table2::run(&world, seeds);
+    println!("{}", t2.render());
+}

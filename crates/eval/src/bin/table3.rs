@@ -1,0 +1,11 @@
+//! Regenerates Table 3 (classification on simulated-real BGP data).
+use bgp_eval::prelude::*;
+use bgp_eval::table3;
+
+fn main() {
+    let scale = EvalScale::from_env();
+    eprintln!("building world at {scale:?} scale...");
+    let world = World::build(scale, 1);
+    let t3 = table3::run(&world, 1);
+    println!("{}", t3.render());
+}

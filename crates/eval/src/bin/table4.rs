@@ -1,0 +1,11 @@
+//! Regenerates Table 4 (PEERING testbed validation, 3 experiments).
+use bgp_eval::prelude::*;
+use bgp_eval::table4;
+
+fn main() {
+    let scale = EvalScale::from_env();
+    eprintln!("building world at {scale:?} scale...");
+    let world = World::build(scale, 1);
+    let t4 = table4::run(&world, 3, 12, 1);
+    println!("{}", t4.render());
+}

@@ -1,0 +1,12 @@
+//! Regenerates appendix Tables 5 & 6 (confusion matrices per scenario).
+use bgp_eval::prelude::*;
+use bgp_eval::tables56;
+
+fn main() {
+    let scale = EvalScale::from_env();
+    eprintln!("building world at {scale:?} scale...");
+    let world = World::build(scale, 1);
+    let t = tables56::run(&world, 1);
+    println!("{}", t.render_table5());
+    println!("{}", t.render_table6());
+}

@@ -1,0 +1,195 @@
+//! Figure 6 — customer-cone size distributions per inferred class.
+//!
+//! CDFs of customer cone size, split by tagging class (tagger / silent /
+//! undecided / none) and forwarding class (forward / cleaner / undecided /
+//! none). The paper's finding: every behavior except `silent` and `none`
+//! concentrates in large-cone ASes; `none` is almost entirely leaves.
+
+use crate::report::{ratio, Table};
+use bgp_infer::prelude::*;
+use bgp_topology::prelude::CustomerCones;
+use bgp_types::prelude::*;
+use std::collections::BTreeSet;
+
+/// An empirical CDF over cone sizes.
+#[derive(Debug, Clone, Default)]
+pub struct ConeCdf {
+    /// Sorted cone sizes of the class members.
+    pub sizes: Vec<u32>,
+}
+
+impl ConeCdf {
+    /// Fraction of members with cone size ≤ `x`.
+    pub fn proportion_le(&self, x: u32) -> f64 {
+        if self.sizes.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sizes.partition_point(|&s| s <= x);
+        idx as f64 / self.sizes.len() as f64
+    }
+
+    /// Median cone size (0 when empty).
+    pub fn median(&self) -> u32 {
+        if self.sizes.is_empty() {
+            0
+        } else {
+            self.sizes[self.sizes.len() / 2]
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Whether the class is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+}
+
+/// The computed Figure 6.
+#[derive(Debug, Clone, Default)]
+pub struct Fig6 {
+    /// Tagging CDFs: tagger / silent / undecided / none.
+    pub tagging: [ConeCdf; 4],
+    /// Forwarding CDFs: forward / cleaner / undecided / none.
+    pub forwarding: [ConeCdf; 4],
+}
+
+/// Class labels for the two panels.
+pub const TAGGING_LABELS: [&str; 4] = ["tagger", "silent", "undecided", "none"];
+/// Forwarding panel labels.
+pub const FORWARDING_LABELS: [&str; 4] = ["forward", "cleaner", "undecided", "none"];
+
+/// Run: classify, join with cones, build CDFs.
+pub fn run(tuples: &[PathCommTuple], cones: &CustomerCones) -> Fig6 {
+    let outcome = InferenceEngine::new(InferenceConfig::default()).run(tuples);
+    let mut observed: BTreeSet<Asn> = BTreeSet::new();
+    for t in tuples {
+        observed.extend(t.path.asns().iter().copied());
+    }
+
+    let mut fig = Fig6::default();
+    for &asn in &observed {
+        let class = outcome.class_of(asn);
+        let cone = cones.size_of_asn(asn);
+        let ti = match class.tagging {
+            TaggingClass::Tagger => 0,
+            TaggingClass::Silent => 1,
+            TaggingClass::Undecided => 2,
+            TaggingClass::None => 3,
+        };
+        fig.tagging[ti].sizes.push(cone);
+        let fi = match class.forwarding {
+            ForwardingClass::Forward => 0,
+            ForwardingClass::Cleaner => 1,
+            ForwardingClass::Undecided => 2,
+            ForwardingClass::None => 3,
+        };
+        fig.forwarding[fi].sizes.push(cone);
+    }
+    for cdf in fig.tagging.iter_mut().chain(fig.forwarding.iter_mut()) {
+        cdf.sizes.sort_unstable();
+    }
+    fig
+}
+
+impl Fig6 {
+    /// Render both panels as `P[cone <= x]` tables at decade marks.
+    pub fn render(&self) -> String {
+        let marks = [1u32, 10, 100, 1_000, 10_000];
+        let mut out = String::new();
+        for (title, labels, cdfs) in [
+            ("Figure 6: cone CDF by tagging class", &TAGGING_LABELS, &self.tagging),
+            ("Figure 6: cone CDF by forwarding class", &FORWARDING_LABELS, &self.forwarding),
+        ] {
+            let mut header = vec!["class", "n"];
+            let mark_labels: Vec<String> = marks.iter().map(|m| format!("<={m}")).collect();
+            header.extend(mark_labels.iter().map(String::as_str));
+            let mut t = Table::new(title, &header);
+            for (i, label) in labels.iter().enumerate() {
+                let cdf = &cdfs[i];
+                let mut cells = vec![label.to_string(), cdf.len().to_string()];
+                cells.extend(marks.iter().map(|&m| ratio(cdf.proportion_le(m))));
+                t.row(&cells);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{realistic_roles, World};
+    use bgp_sim::prelude::*;
+    use bgp_topology::prelude::*;
+
+    fn world_and_tuples() -> (World, Vec<PathCommTuple>) {
+        let mut cfg = TopologyConfig::small();
+        cfg.transit = 35;
+        cfg.edge = 130;
+        cfg.collector_peers = 16;
+        let graph = cfg.seed(37).build();
+        let paths = PathSubstrate::generate(&graph, 2).paths;
+        let cones = CustomerCones::compute(&graph);
+        let w = World { graph, paths, cones };
+        let roles = realistic_roles(&w.graph, &w.cones, 3);
+        let tuples = Propagator::new(&w.graph, &roles).tuples(&w.paths);
+        (w, tuples)
+    }
+
+    #[test]
+    fn paper_shapes() {
+        let (w, tuples) = world_and_tuples();
+        let fig = run(&tuples, &w.cones);
+
+        let tagger = &fig.tagging[0];
+        let silent = &fig.tagging[1];
+        let none = &fig.tagging[3];
+        assert!(!tagger.is_empty() && !silent.is_empty());
+
+        // Silent skews to leaves: most have cone 1 (paper: ~70%).
+        assert!(
+            silent.proportion_le(1) > 0.4,
+            "silent leaf share {}",
+            silent.proportion_le(1)
+        );
+        // Taggers skew large: far fewer are leaves.
+        assert!(
+            tagger.proportion_le(1) < silent.proportion_le(1),
+            "taggers must be larger than silent"
+        );
+        // `none` is overwhelmingly leaves (paper: ~90%).
+        assert!(none.proportion_le(1) > 0.7, "none leaf share {}", none.proportion_le(1));
+
+        // Forward/cleaner inferences only exist for transit ASes: their
+        // median cone exceeds 1.
+        let fwd = &fig.forwarding[0];
+        if !fwd.is_empty() {
+            assert!(fwd.median() > 1);
+        }
+    }
+
+    #[test]
+    fn cdf_math() {
+        let cdf = ConeCdf { sizes: vec![1, 1, 5, 100] };
+        assert_eq!(cdf.proportion_le(0), 0.0);
+        assert_eq!(cdf.proportion_le(1), 0.5);
+        assert_eq!(cdf.proportion_le(5), 0.75);
+        assert_eq!(cdf.proportion_le(1_000), 1.0);
+        assert_eq!(cdf.median(), 5);
+        assert_eq!(ConeCdf::default().median(), 0);
+    }
+
+    #[test]
+    fn renders() {
+        let (w, tuples) = world_and_tuples();
+        let s = run(&tuples, &w.cones).render();
+        assert!(s.contains("tagging class"));
+        assert!(s.contains("forwarding class"));
+    }
+}

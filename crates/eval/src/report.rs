@@ -1,0 +1,153 @@
+//! Plain-text table rendering for experiment reports.
+//!
+//! Every experiment binary prints an ASCII table mirroring the paper's
+//! layout, so paper-vs-measured comparison is a side-by-side read. The
+//! renderer right-aligns numeric cells and keeps a stable column order.
+
+/// A simple table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title and column headers.
+    pub fn new<S: Into<String>>(title: S, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (cells stringified by the caller).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience row from display items.
+    pub fn row_display<D: std::fmt::Display>(&mut self, cells: &[D]) -> &mut Self {
+        let v: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&v)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                // Left-align the first column (labels), right-align the rest.
+                if i == 0 {
+                    line.push_str(&format!(" {:<width$} ", cell, width = widths[i]));
+                } else {
+                    line.push_str(&format!(" {:>width$} ", cell, width = widths[i]));
+                }
+                if i + 1 < ncols {
+                    line.push('|');
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a count with thousands separators (`12,345`).
+pub fn thousands(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Format a ratio as `0.93`.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a percentage as `93%`.
+pub fn percent(v: f64) -> String {
+    format!("{:.0}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["name", "count"]);
+        t.row(&["alpha".into(), "5".into()]);
+        t.row(&["b".into(), "12345".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("alpha"));
+        let lines: Vec<&str> = s.lines().collect();
+        // All data lines same width.
+        assert_eq!(lines[3].len(), lines[4].len());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        Table::new("x", &["a", "b"]).row(&["only one".into()]);
+    }
+
+    #[test]
+    fn thousands_formatting() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1_000), "1,000");
+        assert_eq!(thousands(1_234_567), "1,234,567");
+    }
+
+    #[test]
+    fn ratio_percent() {
+        assert_eq!(ratio(0.934), "0.93");
+        assert_eq!(percent(0.78), "78%");
+    }
+}

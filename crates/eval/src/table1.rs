@@ -1,0 +1,131 @@
+//! Table 1 — data sets overview.
+//!
+//! Generates one simulated day (RIBs + updates) for each collector project
+//! analogue, ingests each through the MRT codec and sanitation pipeline,
+//! and reports every row of the paper's Table 1 per project plus the
+//! `d_May21`-style aggregate of RIPE + RouteViews + Isolario. PCH is
+//! update-only, exactly as in the paper.
+
+use crate::report::{thousands, Table};
+use crate::world::{realistic_roles, World};
+use bgp_collector::prelude::*;
+use bgp_types::prelude::*;
+
+/// The computed Table 1: one stats column per dataset.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// Stats for RIPE, RouteViews, Isolario, the aggregate, and PCH.
+    pub datasets: Vec<DatasetStats>,
+}
+
+/// Run the experiment.
+pub fn run(world: &World, seed: u64) -> Table1 {
+    let roles = realistic_roles(&world.graph, &world.cones, seed);
+    let ambient = crate::world::AmbientCommunities::paper_like(seed);
+    let builder = ArchiveBuilder::new(&world.graph, &roles);
+
+    let mut datasets = Vec::new();
+    let mut aggregate_set = TupleSet::new();
+    let mut aggregate_days: Vec<DayArchive> = Vec::new();
+
+    for project in CollectorProject::aggregated_trio() {
+        let day = builder.build_day(&project, &world.paths, seed);
+        let mut set = TupleSet::new();
+        ingest_day(&day, &mut set).expect("self-generated archive parses");
+        let set = ambient.decorate_set(&set);
+        aggregate_set.merge(&set);
+        datasets.push(DatasetStats::compute(project.name, &[&day], &set));
+        aggregate_days.push(day);
+    }
+
+    let refs: Vec<&DayArchive> = aggregate_days.iter().collect();
+    datasets.push(DatasetStats::compute("d_May21", &refs, &aggregate_set));
+
+    let pch = builder.build_day(&CollectorProject::pch(), &world.paths, seed);
+    let mut pch_set = TupleSet::new();
+    ingest_day(&pch, &mut pch_set).expect("pch archive parses");
+    let pch_set = ambient.decorate_set(&pch_set);
+    datasets.push(DatasetStats::compute("PCH", &[&pch], &pch_set));
+
+    Table1 { datasets }
+}
+
+impl Table1 {
+    /// Render in the paper's layout (datasets as columns).
+    pub fn render(&self) -> String {
+        let mut header: Vec<&str> = vec!["Input data"];
+        let names: Vec<String> = self.datasets.iter().map(|d| d.name.clone()).collect();
+        header.extend(names.iter().map(String::as_str));
+        let mut t = Table::new("Table 1: Data sets overview", &header);
+
+        let rows: Vec<(&str, fn(&DatasetStats) -> u64)> = vec![
+            ("Entries total", |d| d.entries_total),
+            ("incl. RIB entries", |d| d.rib_entries),
+            ("Uniq. (path,comm)", |d| d.unique_tuples),
+            ("AS numbers", |d| d.as_numbers),
+            ("After cleaning", |d| d.after_cleaning),
+            ("incl. Leaf ASes", |d| d.leaf_ases),
+            ("incl. 32-bit ASes", |d| d.ases_32bit),
+            ("Collector peers", |d| d.collector_peers),
+            ("Communities", |d| d.communities_total),
+            ("incl. large", |d| d.communities_large),
+            ("Unique communities", |d| d.unique_communities),
+            ("incl. large (uniq)", |d| d.unique_large),
+            ("Uniq. upper (regular)", |d| d.upper_regular),
+            ("Uniq. upper (large)", |d| d.upper_large),
+            ("Uniq. upper (both)", |d| d.upper_both),
+            ("w/o private", |d| d.upper_wo_private),
+            ("w/o stray", |d| d.upper_wo_stray),
+        ];
+        for (label, get) in rows {
+            let mut cells = vec![label.to_string()];
+            cells.extend(self.datasets.iter().map(|d| thousands(get(d))));
+            t.row(&cells);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::EvalScale;
+
+    fn tiny_world() -> World {
+        let mut cfg = EvalScale::Small.config();
+        cfg.transit = 25;
+        cfg.edge = 80;
+        cfg.collector_peers = 12;
+        let graph = cfg.seed(4).build();
+        let paths = bgp_topology::routing::PathSubstrate::generate(&graph, 2).paths;
+        let cones = bgp_topology::cone::CustomerCones::compute(&graph);
+        World { graph, paths, cones }
+    }
+
+    #[test]
+    fn shape_matches_paper() {
+        let w = tiny_world();
+        let t1 = run(&w, 1);
+        assert_eq!(t1.datasets.len(), 5);
+        assert_eq!(t1.datasets[3].name, "d_May21");
+        assert_eq!(t1.datasets[4].name, "PCH");
+
+        // PCH is update-only.
+        assert_eq!(t1.datasets[4].rib_entries, 0);
+        // The aggregate dominates each member on unique tuples.
+        for i in 0..3 {
+            assert!(t1.datasets[3].unique_tuples >= t1.datasets[i].unique_tuples);
+        }
+        // Exclusion chain holds everywhere.
+        for d in &t1.datasets {
+            assert!(d.upper_wo_stray <= d.upper_wo_private);
+            assert!(d.upper_wo_private <= d.upper_both);
+        }
+        // Ambient decoration must produce stray/private mass:
+        // upper_both strictly above upper_wo_private in the aggregate.
+        assert!(t1.datasets[3].upper_both > t1.datasets[3].upper_wo_private);
+        let rendered = t1.render();
+        assert!(rendered.contains("Entries total"));
+        assert!(rendered.contains("w/o stray"));
+    }
+}

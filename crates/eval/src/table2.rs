@@ -1,0 +1,225 @@
+//! Table 2 — classification results on the §6 scenarios.
+//!
+//! For every scenario (`alltc`, `alltf`, `random`, `random+noise`,
+//! `random-p`, `random-pp`) the harness materializes ground truth over the
+//! world's path substrate, runs the inference at the 99% threshold, and
+//! reports the paper's columns: precision/recall for tagging and
+//! forwarding, full-classification counts (`tc sc tf sf`), partial counts
+//! (`tn sn nc nf`), and the none/undecided block (`nn u* *u uu`). Random
+//! scenarios are averaged over multiple seeds, as in the paper.
+
+use crate::report::{ratio, thousands, Table};
+use crate::world::{truth_map, World};
+use bgp_infer::prelude::*;
+use bgp_sim::prelude::*;
+
+/// Aggregated results for one scenario.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioResult {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Mean precision/recall.
+    pub pr: PrecisionRecall,
+    /// Mean counts for the 12 class columns, in paper order:
+    /// tc, sc, tf, sf, tn, sn, nc, nf, nn, u*, *u, uu.
+    pub columns: [f64; 12],
+}
+
+/// Column labels in paper order.
+pub const COLUMN_LABELS: [&str; 12] =
+    ["tc", "sc", "tf", "sf", "tn", "sn", "nc", "nf", "nn", "u*", "*u", "uu"];
+
+/// The full Table 2.
+#[derive(Debug, Clone, Default)]
+pub struct Table2 {
+    /// One row per scenario, paper order.
+    pub rows: Vec<ScenarioResult>,
+}
+
+/// How many seeds to average random scenarios over (paper: 10).
+pub const DEFAULT_SEEDS: usize = 10;
+
+/// Run one scenario once and produce its counts.
+pub fn run_scenario_once(world: &World, scenario: Scenario, seed: u64) -> ScenarioResult {
+    let ds = scenario.materialize(&world.graph, &world.paths, seed);
+    let outcome = InferenceEngine::new(InferenceConfig::default()).run(&ds.tuples);
+    let truth = truth_map(&ds);
+    let pr = precision_recall(&outcome, &truth);
+
+    let mut columns = [0f64; 12];
+    for &asn in truth.keys() {
+        let class = outcome.class_of(asn);
+        let idx = column_index(&class);
+        columns[idx] += 1.0;
+    }
+    ScenarioResult { name: scenario.name(), pr, columns }
+}
+
+/// Map a class to its Table 2 column.
+fn column_index(class: &Class) -> usize {
+    use ForwardingClass as F;
+    use TaggingClass as T;
+    match (class.tagging, class.forwarding) {
+        (T::Tagger, F::Cleaner) => 0,
+        (T::Silent, F::Cleaner) => 1,
+        (T::Tagger, F::Forward) => 2,
+        (T::Silent, F::Forward) => 3,
+        (T::Tagger, F::None) => 4,
+        (T::Silent, F::None) => 5,
+        (T::None, F::Cleaner) => 6,
+        (T::None, F::Forward) => 7,
+        (T::None, F::None) => 8,
+        (T::Undecided, F::Undecided) => 11,
+        (T::Undecided, _) => 9,
+        (_, F::Undecided) => 10,
+    }
+}
+
+/// Run the whole table.
+pub fn run(world: &World, seeds: usize) -> Table2 {
+    let mut rows = Vec::new();
+    for scenario in Scenario::ALL {
+        let n = match scenario {
+            Scenario::AllTc | Scenario::AllTf => 1,
+            _ => seeds.max(1),
+        };
+        let mut acc = ScenarioResult { name: scenario.name(), ..Default::default() };
+        for s in 0..n {
+            let r = run_scenario_once(world, scenario, 1_000 + s as u64);
+            acc.pr.tagging_recall += r.pr.tagging_recall;
+            acc.pr.tagging_precision += r.pr.tagging_precision;
+            acc.pr.forwarding_recall += r.pr.forwarding_recall;
+            acc.pr.forwarding_precision += r.pr.forwarding_precision;
+            for i in 0..12 {
+                acc.columns[i] += r.columns[i];
+            }
+        }
+        let nf = n as f64;
+        acc.pr.tagging_recall /= nf;
+        acc.pr.tagging_precision /= nf;
+        acc.pr.forwarding_recall /= nf;
+        acc.pr.forwarding_precision /= nf;
+        for c in &mut acc.columns {
+            *c /= nf;
+        }
+        rows.push(acc);
+    }
+    Table2 { rows }
+}
+
+impl Table2 {
+    /// Lookup one scenario's row.
+    pub fn scenario(&self, name: &str) -> Option<&ScenarioResult> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+
+    /// Render in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut header = vec!["scenario", "t.rec", "t.prec", "f.rec", "f.prec"];
+        header.extend(COLUMN_LABELS);
+        let mut t = Table::new(
+            "Table 2: Classification results with consistent and selective behavior (thresholds 99%)",
+            &header,
+        );
+        for r in &self.rows {
+            let mut cells = vec![
+                r.name.to_string(),
+                ratio(r.pr.tagging_recall),
+                ratio(r.pr.tagging_precision),
+                ratio(r.pr.forwarding_recall),
+                ratio(r.pr.forwarding_precision),
+            ];
+            cells.extend(r.columns.iter().map(|&c| thousands(c.round() as u64)));
+            t.row(&cells);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_topology::prelude::*;
+
+    fn tiny_world() -> World {
+        let mut cfg = TopologyConfig::small();
+        cfg.transit = 30;
+        cfg.edge = 120;
+        cfg.collector_peers = 12;
+        let graph = cfg.seed(13).build();
+        let paths = PathSubstrate::generate(&graph, 2).paths;
+        let cones = CustomerCones::compute(&graph);
+        World { graph, paths, cones }
+    }
+
+    #[test]
+    fn consistent_scenarios_have_perfect_precision() {
+        let w = tiny_world();
+        for scenario in [Scenario::AllTf, Scenario::AllTc, Scenario::Random] {
+            let r = run_scenario_once(&w, scenario, 7);
+            assert!(
+                r.pr.tagging_precision > 0.999,
+                "{}: tagging precision {}",
+                scenario.name(),
+                r.pr.tagging_precision
+            );
+            assert!(
+                r.pr.forwarding_precision > 0.999,
+                "{}: forwarding precision {}",
+                scenario.name(),
+                r.pr.forwarding_precision
+            );
+        }
+    }
+
+    #[test]
+    fn alltf_beats_alltc_on_coverage() {
+        let w = tiny_world();
+        let tf = run_scenario_once(&w, Scenario::AllTf, 7);
+        let tc = run_scenario_once(&w, Scenario::AllTc, 7);
+        // nn column (index 8): alltc hides nearly everything.
+        assert!(tc.columns[8] > tf.columns[8], "alltc must leave more ASes unclassified");
+        // alltf classifies tf ASes; alltc classifies tc ASes.
+        assert!(tf.columns[2] > 0.0);
+        assert!(tc.columns[0] > 0.0);
+        assert_eq!(tf.columns[0], 0.0, "no tc inferences in an alltf world");
+    }
+
+    #[test]
+    fn noise_pushes_silent_to_undecided() {
+        let w = tiny_world();
+        let clean = run_scenario_once(&w, Scenario::Random, 9);
+        let noisy = run_scenario_once(&w, Scenario::RandomNoise, 9);
+        // Tagging-undecided mass (u* + uu) grows under noise.
+        let und = |r: &ScenarioResult| r.columns[9] + r.columns[11];
+        assert!(und(&noisy) > und(&clean), "noise must create undecided tagging");
+        // Precision stays high: noise mostly creates confusion (undecided),
+        // not wrong calls. The paper's 73k-AS substrate rounds to 1.00 with
+        // ~53 misses; this 160-AS test world widens the band.
+        assert!(noisy.pr.tagging_precision > 0.9, "noisy precision {}", noisy.pr.tagging_precision);
+    }
+
+    #[test]
+    fn selective_depresses_recall() {
+        let w = tiny_world();
+        let random = run_scenario_once(&w, Scenario::Random, 11);
+        let p = run_scenario_once(&w, Scenario::RandomP, 11);
+        let pp = run_scenario_once(&w, Scenario::RandomPp, 11);
+        assert!(p.pr.tagging_recall < random.pr.tagging_recall);
+        assert!(pp.pr.tagging_recall <= p.pr.tagging_recall);
+        // Precision dips (selective taggers skew silent) but stays well
+        // above chance; the paper reports 0.86/0.89 at 73k-AS scale.
+        assert!(p.pr.tagging_precision > 0.6, "random-p precision {}", p.pr.tagging_precision);
+        assert!(p.pr.tagging_precision < random.pr.tagging_precision);
+    }
+
+    #[test]
+    fn full_table_renders() {
+        let w = tiny_world();
+        let t2 = run(&w, 2);
+        assert_eq!(t2.rows.len(), 6);
+        let s = t2.render();
+        assert!(s.contains("random-pp"));
+        assert!(t2.scenario("alltf").is_some());
+    }
+}

@@ -1,0 +1,203 @@
+//! Tables 5 & 6 (appendix) — confusion matrices per scenario.
+//!
+//! Assigned roles vs. classification results for tagging (Table 5) and
+//! forwarding (Table 6), with separate rows for hidden behavior and leaf
+//! ASes — the ground-truth accounting that demonstrates the algorithm
+//! *abstains* on hidden ASes instead of guessing.
+
+use crate::report::{thousands, Table};
+use crate::world::{truth_map, World};
+use bgp_infer::prelude::*;
+use bgp_sim::prelude::*;
+
+/// One scenario's confusion matrices.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfusion {
+    /// Scenario name.
+    pub name: &'static str,
+    /// The matrices.
+    pub matrix: ConfusionMatrix,
+}
+
+/// The computed appendix tables.
+#[derive(Debug, Clone, Default)]
+pub struct Tables56 {
+    /// One entry per scenario, paper order.
+    pub scenarios: Vec<ScenarioConfusion>,
+}
+
+/// Run every scenario once and collect matrices.
+pub fn run(world: &World, seed: u64) -> Tables56 {
+    let mut out = Tables56::default();
+    for scenario in Scenario::ALL {
+        let ds = scenario.materialize(&world.graph, &world.paths, seed);
+        let outcome = InferenceEngine::new(InferenceConfig::default()).run(&ds.tuples);
+        let truth = truth_map(&ds);
+        let matrix = ConfusionMatrix::build(&outcome, &truth);
+        out.scenarios.push(ScenarioConfusion { name: scenario.name(), matrix });
+    }
+    out
+}
+
+/// Row specs for the tagging table (label, qualifier).
+const TAGGING_ROWS: [(&str, &str); 6] = [
+    ("tagger", ""),
+    ("silent", ""),
+    ("selective", ""),
+    ("tagger", "hidden"),
+    ("silent", "hidden"),
+    ("selective", "hidden"),
+];
+
+/// Row specs for the forwarding table.
+const FORWARDING_ROWS: [(&str, &str); 6] = [
+    ("forward", ""),
+    ("cleaner", ""),
+    ("forward", "hidden"),
+    ("cleaner", "hidden"),
+    ("forward", "leaf"),
+    ("cleaner", "leaf"),
+];
+
+impl Tables56 {
+    /// Find one scenario's matrices.
+    pub fn scenario(&self, name: &str) -> Option<&ConfusionMatrix> {
+        self.scenarios.iter().find(|s| s.name == name).map(|s| &s.matrix)
+    }
+
+    /// Render Table 5 (tagging).
+    pub fn render_table5(&self) -> String {
+        let mut out = String::new();
+        for sc in &self.scenarios {
+            let mut t = Table::new(
+                format!("Table 5: tagging confusion — {}", sc.name),
+                &["assigned role", "tagger", "silent", "undecided", "none"],
+            );
+            for (label, qual) in TAGGING_ROWS {
+                let row = sc.matrix.tagging_row(label, qual);
+                if row.total() == 0 {
+                    continue;
+                }
+                let name =
+                    if qual.is_empty() { label.to_string() } else { format!("{label} ({qual})") };
+                t.row(&[
+                    name,
+                    thousands(row.pos),
+                    thousands(row.neg),
+                    thousands(row.undecided),
+                    thousands(row.none),
+                ]);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render Table 6 (forwarding).
+    pub fn render_table6(&self) -> String {
+        let mut out = String::new();
+        for sc in &self.scenarios {
+            let mut t = Table::new(
+                format!("Table 6: forwarding confusion — {}", sc.name),
+                &["assigned role", "forward", "cleaner", "undecided", "none"],
+            );
+            for (label, qual) in FORWARDING_ROWS {
+                let row = sc.matrix.forwarding_row(label, qual);
+                if row.total() == 0 {
+                    continue;
+                }
+                let name =
+                    if qual.is_empty() { label.to_string() } else { format!("{label} ({qual})") };
+                t.row(&[
+                    name,
+                    thousands(row.pos),
+                    thousands(row.neg),
+                    thousands(row.undecided),
+                    thousands(row.none),
+                ]);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_topology::prelude::*;
+    use crate::world::World;
+
+    fn tiny_world() -> World {
+        let mut cfg = TopologyConfig::small();
+        cfg.transit = 30;
+        cfg.edge = 110;
+        cfg.collector_peers = 14;
+        let graph = cfg.seed(43).build();
+        let paths = PathSubstrate::generate(&graph, 2).paths;
+        let cones = CustomerCones::compute(&graph);
+        World { graph, paths, cones }
+    }
+
+    #[test]
+    fn hidden_ases_never_classified() {
+        let w = tiny_world();
+        let t56 = run(&w, 5);
+        for sc in &t56.scenarios {
+            for (label, qual) in TAGGING_ROWS {
+                if qual != "hidden" {
+                    continue;
+                }
+                let row = sc.matrix.tagging_row(label, qual);
+                // The paper tolerates a sub-0.5% leak under noise; in
+                // noise-free scenarios the leak must be zero.
+                let classified = row.pos + row.neg;
+                if sc.name != "random+noise" {
+                    assert_eq!(classified, 0, "{}: hidden {label} classified", sc.name);
+                } else {
+                    let leak = classified as f64 / row.total().max(1) as f64;
+                    assert!(leak < 0.01, "{}: hidden leak {leak}", sc.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_cross_misclassification_in_consistent_scenarios() {
+        let w = tiny_world();
+        let t56 = run(&w, 5);
+        for name in ["alltf", "alltc", "random"] {
+            let m = t56.scenario(name).unwrap();
+            // Visible taggers never classified silent and vice versa.
+            assert_eq!(m.tagging_row("tagger", "").neg, 0, "{name}: tagger->silent");
+            assert_eq!(m.tagging_row("silent", "").pos, 0, "{name}: silent->tagger");
+            assert_eq!(m.forwarding_row("forward", "").neg, 0, "{name}: forward->cleaner");
+            assert_eq!(m.forwarding_row("cleaner", "").pos, 0, "{name}: cleaner->forward");
+        }
+    }
+
+    #[test]
+    fn leaves_have_no_forwarding_inference() {
+        let w = tiny_world();
+        let t56 = run(&w, 5);
+        for sc in &t56.scenarios {
+            for label in ["forward", "cleaner"] {
+                let row = sc.matrix.forwarding_row(label, "leaf");
+                assert_eq!(row.pos + row.neg + row.undecided, 0, "{}: leaf {label}", sc.name);
+            }
+        }
+    }
+
+    #[test]
+    fn renders() {
+        let w = tiny_world();
+        let t56 = run(&w, 5);
+        let t5 = t56.render_table5();
+        let t6 = t56.render_table6();
+        assert!(t5.contains("tagging confusion"));
+        assert!(t6.contains("forwarding confusion"));
+        assert!(t5.contains("random-pp"));
+    }
+}

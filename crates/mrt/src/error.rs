@@ -1,0 +1,101 @@
+//! Error types for the MRT/BGP codec.
+//!
+//! Decoding untrusted archive bytes must never panic; every malformed input
+//! maps to a structured [`MrtError`]. Truncation is distinguished from
+//! corruption so streaming readers can tell "need more bytes" apart from
+//! "bad frame".
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding MRT records and the BGP
+/// messages they wrap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrtError {
+    /// Input ended before a complete record/field was read.
+    Truncated {
+        /// What was being decoded.
+        context: &'static str,
+        /// Bytes needed beyond what was available.
+        needed: usize,
+    },
+    /// A type/subtype combination this codec does not implement.
+    UnsupportedType {
+        /// MRT type field.
+        mrt_type: u16,
+        /// MRT subtype field.
+        subtype: u16,
+    },
+    /// A structurally invalid value.
+    Malformed {
+        /// What was being decoded.
+        context: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A length field contradicts the surrounding structure.
+    LengthMismatch {
+        /// What was being decoded.
+        context: &'static str,
+        /// Declared length.
+        declared: usize,
+        /// Actually available/consumed length.
+        actual: usize,
+    },
+    /// Attempt to encode a value that does not fit the wire format.
+    EncodeOverflow {
+        /// What was being encoded.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for MrtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrtError::Truncated { context, needed } => {
+                write!(f, "truncated input while decoding {context}: {needed} more byte(s) needed")
+            }
+            MrtError::UnsupportedType { mrt_type, subtype } => {
+                write!(f, "unsupported MRT type/subtype {mrt_type}/{subtype}")
+            }
+            MrtError::Malformed { context, detail } => {
+                write!(f, "malformed {context}: {detail}")
+            }
+            MrtError::LengthMismatch { context, declared, actual } => {
+                write!(f, "length mismatch in {context}: declared {declared}, actual {actual}")
+            }
+            MrtError::EncodeOverflow { context } => {
+                write!(f, "value too large to encode in {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MrtError {}
+
+/// Codec result alias.
+pub type Result<T> = std::result::Result<T, MrtError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = MrtError::Truncated { context: "header", needed: 4 };
+        assert!(e.to_string().contains("header"));
+        let e = MrtError::UnsupportedType { mrt_type: 99, subtype: 1 };
+        assert!(e.to_string().contains("99/1"));
+        let e = MrtError::LengthMismatch { context: "attr", declared: 10, actual: 7 };
+        assert!(e.to_string().contains("10"));
+        let e = MrtError::Malformed { context: "origin", detail: "code 9".into() };
+        assert!(e.to_string().contains("origin"));
+        let e = MrtError::EncodeOverflow { context: "nlri" };
+        assert!(e.to_string().contains("nlri"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&MrtError::EncodeOverflow { context: "x" });
+    }
+}

@@ -1,0 +1,563 @@
+//! Legacy MRT record types still present in real collector archives:
+//!
+//! * `TABLE_DUMP (12)` — the pre-TABLE_DUMP_V2 RIB format (one record per
+//!   (prefix, peer) with 2-byte peer ASNs);
+//! * `BGP4MP (16) / BGP4MP_MESSAGE (1)` — update messages from 2-byte-ASN
+//!   sessions, where 32-bit ASNs appear as `AS_TRANS` (23456) in AS_PATH
+//!   and the true path travels in the optional `AS4_PATH` attribute
+//!   (RFC 6793).
+//!
+//! The decoder reconstructs the real path from `AS_PATH` + `AS4_PATH`
+//! using the RFC 6793 §4.2.3 rule: when the AS4_PATH is no longer than
+//! the AS_PATH, the leading excess of AS_PATH is prepended to AS4_PATH;
+//! a longer AS4_PATH is ignored (treated as garbage), keeping AS_PATH.
+
+use crate::attributes::{decode_nlri_prefix, ATTR_AS_PATH};
+use crate::error::{MrtError, Result};
+use crate::record::{MrtHeader, TYPE_BGP4MP};
+use crate::wire::{Cursor, PutExt};
+use bgp_types::prelude::*;
+
+/// MRT type: legacy TABLE_DUMP.
+pub const TYPE_TABLE_DUMP: u16 = 12;
+/// TABLE_DUMP subtype: AFI IPv4.
+pub const SUBTYPE_TABLE_DUMP_AFI_IPV4: u16 = 1;
+/// BGP4MP subtype: MESSAGE with 2-byte ASNs.
+pub const SUBTYPE_BGP4MP_MESSAGE: u16 = 1;
+
+/// AS4_PATH attribute type code (RFC 6793).
+pub const ATTR_AS4_PATH: u8 = 17;
+
+/// Decode a 2-byte-ASN AS_PATH attribute value into segments.
+fn decode_as_path_2byte(val: &mut Cursor<'_>) -> Result<RawAsPath> {
+    let mut segments = Vec::new();
+    while !val.is_exhausted() {
+        let seg_type = val.get_u8("segment type")?;
+        let count = val.get_u8("segment length")? as usize;
+        let mut asns = Vec::with_capacity(count);
+        for _ in 0..count {
+            asns.push(Asn(val.get_u16("segment asn16")? as u32));
+        }
+        segments.push(match seg_type {
+            1 => PathSegment::Set(asns),
+            2 => PathSegment::Sequence(asns),
+            other => {
+                return Err(MrtError::Malformed {
+                    context: "AS_PATH segment type",
+                    detail: format!("type {other}"),
+                })
+            }
+        });
+    }
+    Ok(RawAsPath { segments })
+}
+
+/// Decode a 4-byte-ASN path attribute value (AS4_PATH payload).
+fn decode_as_path_4byte(val: &mut Cursor<'_>) -> Result<RawAsPath> {
+    let mut segments = Vec::new();
+    while !val.is_exhausted() {
+        let seg_type = val.get_u8("segment type")?;
+        let count = val.get_u8("segment length")? as usize;
+        let mut asns = Vec::with_capacity(count);
+        for _ in 0..count {
+            asns.push(Asn(val.get_u32("segment asn")?));
+        }
+        segments.push(match seg_type {
+            1 => PathSegment::Set(asns),
+            2 => PathSegment::Sequence(asns),
+            other => {
+                return Err(MrtError::Malformed {
+                    context: "AS4_PATH segment type",
+                    detail: format!("type {other}"),
+                })
+            }
+        });
+    }
+    Ok(RawAsPath { segments })
+}
+
+/// RFC 6793 §4.2.3 path reconstruction.
+///
+/// If the AS4_PATH has at most as many hops as the AS_PATH, the result is
+/// the leading `(len(AS_PATH) - len(AS4_PATH))` hops of AS_PATH followed
+/// by the whole AS4_PATH. Otherwise the AS4_PATH is ignored.
+pub fn merge_as4_path(as_path: &RawAsPath, as4_path: Option<&RawAsPath>) -> RawAsPath {
+    let Some(as4) = as4_path else {
+        return as_path.clone();
+    };
+    let n2 = as_path.raw_len();
+    let n4 = as4.raw_len();
+    if n4 > n2 {
+        return as_path.clone();
+    }
+    let keep = n2 - n4;
+    let mut merged: Vec<Asn> = as_path.flatten().into_iter().take(keep).collect();
+    merged.extend(as4.flatten());
+    RawAsPath::from_sequence(merged)
+}
+
+/// Decode the attribute section of a 2-byte-ASN message: like the regular
+/// decoder but AS_PATH carries u16 ASNs and AS4_PATH is honored.
+fn decode_attributes_2byte(c: &mut Cursor<'_>) -> Result<PathAttributes> {
+    use crate::attributes::{
+        ATTR_COMMUNITIES, ATTR_LARGE_COMMUNITIES, ATTR_NEXT_HOP, ATTR_ORIGIN, FLAG_EXTENDED,
+    };
+    let mut attrs = PathAttributes::default();
+    let mut as4_path: Option<RawAsPath> = None;
+
+    while !c.is_exhausted() {
+        let flags = c.get_u8("attribute flags")?;
+        let type_code = c.get_u8("attribute type")?;
+        let len = if flags & FLAG_EXTENDED != 0 {
+            c.get_u16("attribute extended length")? as usize
+        } else {
+            c.get_u8("attribute length")? as usize
+        };
+        let mut val = c.sub(len, "attribute value")?;
+        match type_code {
+            ATTR_ORIGIN => {
+                let code = val.get_u8("origin code")?;
+                attrs.origin = Origin::from_code(code);
+            }
+            ATTR_AS_PATH => attrs.as_path = decode_as_path_2byte(&mut val)?,
+            ATTR_AS4_PATH => as4_path = Some(decode_as_path_4byte(&mut val)?),
+            ATTR_NEXT_HOP => {
+                let b = val.get_bytes(4, "next hop")?;
+                attrs.next_hop = Some([b[0], b[1], b[2], b[3]]);
+            }
+            ATTR_COMMUNITIES => {
+                while val.remaining() >= 4 {
+                    let raw = val.get_u32("community")?;
+                    attrs.communities.insert(AnyCommunity::Regular(Community(raw)));
+                }
+            }
+            ATTR_LARGE_COMMUNITIES => {
+                while val.remaining() >= 12 {
+                    let ga = val.get_u32("large ga")?;
+                    let l1 = val.get_u32("large l1")?;
+                    let l2 = val.get_u32("large l2")?;
+                    attrs.communities.insert(AnyCommunity::large(ga, l1, l2));
+                }
+            }
+            _ => {
+                // Skip unknown attributes (lossless round-trip is not a
+                // goal for legacy ingestion).
+                let n = val.remaining();
+                val.get_bytes(n, "skip")?;
+            }
+        }
+    }
+    attrs.as_path = merge_as4_path(&attrs.as_path, as4_path.as_ref());
+    Ok(attrs)
+}
+
+/// Decode a `BGP4MP_MESSAGE` (2-byte ASN) body into an [`UpdateMessage`].
+pub fn decode_bgp4mp_message(timestamp: u32, body: &mut Cursor<'_>) -> Result<UpdateMessage> {
+    let peer_asn = Asn(body.get_u16("peer asn16")? as u32);
+    let _local = body.get_u16("local asn16")?;
+    let _ifidx = body.get_u16("interface index")?;
+    let afi = body.get_u16("afi")?;
+    let ip_len = match afi {
+        1 => 4,
+        2 => 16,
+        other => {
+            return Err(MrtError::Malformed {
+                context: "bgp4mp afi",
+                detail: format!("afi {other}"),
+            })
+        }
+    };
+    let peer_ip = body.get_bytes(ip_len, "peer ip")?.to_vec();
+    body.get_bytes(ip_len, "local ip")?;
+
+    let marker = body.get_bytes(16, "bgp marker")?;
+    if marker.iter().any(|&b| b != 0xFF) {
+        return Err(MrtError::Malformed { context: "bgp marker", detail: "non-0xFF".into() });
+    }
+    let msg_len = body.get_u16("bgp length")? as usize;
+    if msg_len < 19 {
+        return Err(MrtError::Malformed {
+            context: "bgp message length",
+            detail: format!("{msg_len} < 19"),
+        });
+    }
+    let msg_type = body.get_u8("bgp type")?;
+    if msg_type != 2 {
+        return Err(MrtError::UnsupportedType { mrt_type: TYPE_BGP4MP, subtype: msg_type as u16 });
+    }
+    let mut msg = body.sub(msg_len - 19, "bgp update body")?;
+
+    let withdrawn_len = msg.get_u16("withdrawn length")? as usize;
+    let mut wcur = msg.sub(withdrawn_len, "withdrawn")?;
+    let mut withdrawn = Vec::new();
+    while !wcur.is_exhausted() {
+        withdrawn.push(decode_nlri_prefix(&mut wcur, false)?);
+    }
+    let attrs_len = msg.get_u16("attributes length")? as usize;
+    let mut acur = msg.sub(attrs_len, "attributes")?;
+    let attributes = decode_attributes_2byte(&mut acur)?;
+    let mut announced = Vec::new();
+    while !msg.is_exhausted() {
+        announced.push(decode_nlri_prefix(&mut msg, false)?);
+    }
+
+    Ok(UpdateMessage {
+        peer_asn,
+        peer_ip,
+        timestamp: timestamp as u64,
+        withdrawn,
+        announced,
+        attributes,
+    })
+}
+
+/// Decode a legacy `TABLE_DUMP` (AFI IPv4) body into a [`RibEntry`].
+pub fn decode_table_dump_v1(body: &mut Cursor<'_>) -> Result<RibEntry> {
+    let _view = body.get_u16("view number")?;
+    let _seq = body.get_u16("sequence")?;
+    let pfx = body.get_u32("prefix")?;
+    let len = body.get_u8("prefix length")?;
+    if len > 32 {
+        return Err(MrtError::Malformed {
+            context: "table_dump prefix length",
+            detail: format!("/{len}"),
+        });
+    }
+    let _status = body.get_u8("status")?;
+    let originated = body.get_u32("originated time")?;
+    let peer_ip = body.get_bytes(4, "peer ip")?.to_vec();
+    let peer_asn = Asn(body.get_u16("peer asn16")? as u32);
+    let attr_len = body.get_u16("attribute length")? as usize;
+    let mut acur = body.sub(attr_len, "attributes")?;
+    let attributes = decode_attributes_2byte(&mut acur)?;
+    Ok(RibEntry {
+        peer_asn,
+        peer_ip,
+        originated: originated as u64,
+        prefix: Prefix::v4(pfx.to_be_bytes(), len),
+        attributes,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Encoders (used for tests and for generating legacy-format fixtures).
+// ---------------------------------------------------------------------------
+
+/// Encode a 2-byte AS_PATH value, substituting AS_TRANS for wide ASNs, and
+/// optionally an AS4_PATH value carrying the true path.
+fn encode_legacy_paths(path: &RawAsPath) -> (Vec<u8>, Option<Vec<u8>>) {
+    let mut two = Vec::new();
+    let mut needs_as4 = false;
+    for seg in &path.segments {
+        let (ty, asns) = match seg {
+            PathSegment::Set(v) => (1u8, v),
+            PathSegment::Sequence(v) => (2u8, v),
+        };
+        if asns.is_empty() {
+            continue;
+        }
+        two.put_u8(ty);
+        two.put_u8(asns.len() as u8);
+        for a in asns {
+            if a.is_16bit() {
+                two.put_u16(a.0 as u16);
+            } else {
+                needs_as4 = true;
+                two.put_u16(23456); // AS_TRANS
+            }
+        }
+    }
+    if !needs_as4 {
+        return (two, None);
+    }
+    let mut four = Vec::new();
+    for seg in &path.segments {
+        let (ty, asns) = match seg {
+            PathSegment::Set(v) => (1u8, v),
+            PathSegment::Sequence(v) => (2u8, v),
+        };
+        if asns.is_empty() {
+            continue;
+        }
+        four.put_u8(ty);
+        four.put_u8(asns.len() as u8);
+        for a in asns {
+            four.put_u32(a.0);
+        }
+    }
+    (two, Some(four))
+}
+
+/// Encode an [`UpdateMessage`] as a legacy `BGP4MP_MESSAGE` record
+/// (complete with MRT header). IPv4 NLRI only.
+pub fn encode_bgp4mp_message(msg: &UpdateMessage) -> Result<Vec<u8>> {
+    use crate::attributes::{
+        encode_nlri_prefix, ATTR_COMMUNITIES, ATTR_NEXT_HOP, ATTR_ORIGIN, FLAG_OPTIONAL,
+        FLAG_TRANSITIVE,
+    };
+    if msg.peer_asn.is_32bit_only() {
+        return Err(MrtError::EncodeOverflow { context: "legacy peer asn" });
+    }
+
+    let mut attrs = Vec::new();
+    let put_attr = |out: &mut Vec<u8>, flags: u8, ty: u8, val: &[u8]| {
+        out.put_u8(flags);
+        out.put_u8(ty);
+        out.put_u8(val.len() as u8);
+        out.extend_from_slice(val);
+    };
+    if let Some(origin) = msg.attributes.origin {
+        put_attr(&mut attrs, FLAG_TRANSITIVE, ATTR_ORIGIN, &[origin.code()]);
+    }
+    let (two, four) = encode_legacy_paths(&msg.attributes.as_path);
+    put_attr(&mut attrs, FLAG_TRANSITIVE, ATTR_AS_PATH, &two);
+    if let Some(four) = four {
+        put_attr(&mut attrs, FLAG_OPTIONAL | FLAG_TRANSITIVE, ATTR_AS4_PATH, &four);
+    }
+    if let Some(nh) = msg.attributes.next_hop {
+        put_attr(&mut attrs, FLAG_TRANSITIVE, ATTR_NEXT_HOP, &nh);
+    }
+    let mut comms = Vec::new();
+    for c in msg.attributes.communities.iter() {
+        if let AnyCommunity::Regular(c) = c {
+            comms.put_u32(c.raw());
+        }
+    }
+    if !comms.is_empty() {
+        put_attr(&mut attrs, FLAG_OPTIONAL | FLAG_TRANSITIVE, ATTR_COMMUNITIES, &comms);
+    }
+
+    let mut nlri = Vec::new();
+    for p in msg.announced.iter().filter(|p| p.is_v4()) {
+        encode_nlri_prefix(&mut nlri, p);
+    }
+    let mut withdrawn = Vec::new();
+    for p in msg.withdrawn.iter().filter(|p| p.is_v4()) {
+        encode_nlri_prefix(&mut withdrawn, p);
+    }
+
+    let total = 19 + 2 + withdrawn.len() + 2 + attrs.len() + nlri.len();
+    let mut bgp = Vec::new();
+    bgp.extend_from_slice(&[0xFF; 16]);
+    bgp.put_u16(total as u16);
+    bgp.put_u8(2);
+    bgp.put_u16(withdrawn.len() as u16);
+    bgp.extend_from_slice(&withdrawn);
+    bgp.put_u16(attrs.len() as u16);
+    bgp.extend_from_slice(&attrs);
+    bgp.extend_from_slice(&nlri);
+
+    let mut body = Vec::new();
+    body.put_u16(msg.peer_asn.0 as u16);
+    body.put_u16(0);
+    body.put_u16(0);
+    body.put_u16(1); // AFI v4
+    let mut ip = msg.peer_ip.clone();
+    ip.resize(4, 0);
+    body.extend_from_slice(&ip);
+    body.extend_from_slice(&[0u8; 4]);
+    body.extend_from_slice(&bgp);
+
+    let mut out = Vec::new();
+    MrtHeader {
+        timestamp: msg.timestamp as u32,
+        mrt_type: TYPE_BGP4MP,
+        subtype: SUBTYPE_BGP4MP_MESSAGE,
+        length: body.len() as u32,
+    }
+    .encode(&mut out);
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+/// Encode a legacy `TABLE_DUMP` (AFI IPv4) record for one RIB entry.
+pub fn encode_table_dump_v1(entry: &RibEntry, sequence: u16) -> Result<Vec<u8>> {
+    use crate::attributes::{ATTR_COMMUNITIES, ATTR_NEXT_HOP, ATTR_ORIGIN, FLAG_OPTIONAL, FLAG_TRANSITIVE};
+    let Prefix::V4 { net, len } = entry.prefix else {
+        return Err(MrtError::Malformed {
+            context: "table_dump prefix",
+            detail: "IPv6 not supported by TABLE_DUMP AFI 1".into(),
+        });
+    };
+    if entry.peer_asn.is_32bit_only() {
+        return Err(MrtError::EncodeOverflow { context: "legacy peer asn" });
+    }
+
+    let mut attrs = Vec::new();
+    let put_attr = |out: &mut Vec<u8>, flags: u8, ty: u8, val: &[u8]| {
+        out.put_u8(flags);
+        out.put_u8(ty);
+        out.put_u8(val.len() as u8);
+        out.extend_from_slice(val);
+    };
+    if let Some(origin) = entry.attributes.origin {
+        put_attr(&mut attrs, FLAG_TRANSITIVE, ATTR_ORIGIN, &[origin.code()]);
+    }
+    let (two, four) = encode_legacy_paths(&entry.attributes.as_path);
+    put_attr(&mut attrs, FLAG_TRANSITIVE, ATTR_AS_PATH, &two);
+    if let Some(four) = four {
+        put_attr(&mut attrs, FLAG_OPTIONAL | FLAG_TRANSITIVE, ATTR_AS4_PATH, &four);
+    }
+    if let Some(nh) = entry.attributes.next_hop {
+        put_attr(&mut attrs, FLAG_TRANSITIVE, ATTR_NEXT_HOP, &nh);
+    }
+    let mut comms = Vec::new();
+    for c in entry.attributes.communities.iter() {
+        if let AnyCommunity::Regular(c) = c {
+            comms.put_u32(c.raw());
+        }
+    }
+    if !comms.is_empty() {
+        put_attr(&mut attrs, FLAG_OPTIONAL | FLAG_TRANSITIVE, ATTR_COMMUNITIES, &comms);
+    }
+
+    let mut body = Vec::new();
+    body.put_u16(0); // view
+    body.put_u16(sequence);
+    body.put_u32(net);
+    body.put_u8(len);
+    body.put_u8(1); // status
+    body.put_u32(entry.originated as u32);
+    let mut ip = entry.peer_ip.clone();
+    ip.resize(4, 0);
+    body.extend_from_slice(&ip);
+    body.put_u16(entry.peer_asn.0 as u16);
+    body.put_u16(attrs.len() as u16);
+    body.extend_from_slice(&attrs);
+
+    let mut out = Vec::new();
+    MrtHeader {
+        timestamp: entry.originated as u32,
+        mrt_type: TYPE_TABLE_DUMP,
+        subtype: SUBTYPE_TABLE_DUMP_AFI_IPV4,
+        length: body.len() as u32,
+    }
+    .encode(&mut out);
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{decode_record, MrtRecord};
+
+    fn legacy_update(path: &[u32], comms: &[(u16, u16)]) -> UpdateMessage {
+        UpdateMessage::announcement(
+            Asn(3356),
+            7,
+            Prefix::v4([16, 0, 0, 0], 24),
+            RawAsPath::from_sequence(path.iter().map(|&v| Asn(v)).collect()),
+            CommunitySet::from_iter(comms.iter().map(|&(a, b)| AnyCommunity::regular(a, b))),
+        )
+    }
+
+    #[test]
+    fn bgp4mp_message_roundtrip_16bit_only() {
+        let msg = legacy_update(&[3356, 174, 15169], &[(3356, 7)]);
+        let bytes = encode_bgp4mp_message(&msg).unwrap();
+        match decode_record(&mut Cursor::new(&bytes), None).unwrap() {
+            MrtRecord::Update(got) => {
+                assert_eq!(got.peer_asn, msg.peer_asn);
+                assert_eq!(got.attributes.as_path, msg.attributes.as_path);
+                assert_eq!(got.attributes.communities, msg.attributes.communities);
+                assert_eq!(got.announced, msg.announced);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn as4_path_reconstruction() {
+        // Path contains a 32-bit ASN: AS_PATH carries AS_TRANS, AS4_PATH
+        // carries the truth; decode must reconstruct the true path.
+        let msg = legacy_update(&[3356, 200_000, 15169], &[]);
+        let bytes = encode_bgp4mp_message(&msg).unwrap();
+        match decode_record(&mut Cursor::new(&bytes), None).unwrap() {
+            MrtRecord::Update(got) => {
+                assert_eq!(got.attributes.as_path.flatten(), msg.attributes.as_path.flatten());
+                assert!(!got
+                    .attributes
+                    .as_path
+                    .flatten()
+                    .contains(&Asn(23456)), "AS_TRANS leaked through");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_rules() {
+        let as2 = RawAsPath::from_sequence(vec![Asn(1), Asn(23456), Asn(3)]);
+        let as4 = RawAsPath::from_sequence(vec![Asn(200_000), Asn(3)]);
+        // AS4 shorter: keep leading 1 hop of AS_PATH + AS4_PATH.
+        let merged = merge_as4_path(&as2, Some(&as4));
+        assert_eq!(merged.flatten(), vec![Asn(1), Asn(200_000), Asn(3)]);
+        // AS4 longer than AS_PATH: ignored.
+        let too_long = RawAsPath::from_sequence(vec![Asn(9); 5]);
+        assert_eq!(merge_as4_path(&as2, Some(&too_long)).flatten(), as2.flatten());
+        // No AS4: identity.
+        assert_eq!(merge_as4_path(&as2, None), as2);
+    }
+
+    #[test]
+    fn table_dump_v1_roundtrip() {
+        let entry = RibEntry::new(
+            Asn(7018),
+            Prefix::v4([16, 0, 4, 0], 24),
+            RawAsPath::from_sequence(vec![Asn(7018), Asn(200_123), Asn(15169)]),
+            CommunitySet::from_iter([AnyCommunity::regular(7018, 9)]),
+        );
+        let bytes = encode_table_dump_v1(&entry, 42).unwrap();
+        match decode_record(&mut Cursor::new(&bytes), None).unwrap() {
+            MrtRecord::RibEntries(entries) => {
+                assert_eq!(entries.len(), 1);
+                assert_eq!(entries[0].peer_asn, Asn(7018));
+                assert_eq!(entries[0].prefix, entry.prefix);
+                assert_eq!(
+                    entries[0].attributes.as_path.flatten(),
+                    entry.attributes.as_path.flatten()
+                );
+                assert_eq!(entries[0].attributes.communities, entry.attributes.communities);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_encoders_reject_wide_peers() {
+        let mut msg = legacy_update(&[3356], &[]);
+        msg.peer_asn = Asn(200_000);
+        assert!(encode_bgp4mp_message(&msg).is_err());
+        let entry = RibEntry::new(
+            Asn(200_000),
+            Prefix::v4([16, 0, 0, 0], 24),
+            RawAsPath::from_sequence(vec![Asn(200_000)]),
+            CommunitySet::new(),
+        );
+        assert!(encode_table_dump_v1(&entry, 0).is_err());
+    }
+
+    #[test]
+    fn table_dump_rejects_v6_prefix() {
+        let entry = RibEntry::new(
+            Asn(7018),
+            "2001:678::/32".parse().unwrap(),
+            RawAsPath::from_sequence(vec![Asn(7018)]),
+            CommunitySet::new(),
+        );
+        assert!(encode_table_dump_v1(&entry, 0).is_err());
+    }
+
+    #[test]
+    fn truncations_error_cleanly() {
+        let msg = legacy_update(&[3356, 200_000, 15169], &[(3356, 1)]);
+        let bytes = encode_bgp4mp_message(&msg).unwrap();
+        for cut in 1..bytes.len() {
+            assert!(
+                decode_record(&mut Cursor::new(&bytes[..cut]), None).is_err(),
+                "cut {cut}"
+            );
+        }
+    }
+}

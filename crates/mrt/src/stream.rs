@@ -1,0 +1,293 @@
+//! Streaming MRT archive reader/writer.
+//!
+//! [`MrtWriter`] serializes records into an in-memory archive (or any
+//! `Vec<u8>`-backed file image). [`MrtReader`] iterates records back out,
+//! tracking the active PEER_INDEX_TABLE so RIB entries resolve their peers
+//! — exactly how consumers of RIPE/RouteViews dumps (e.g. bgpkit-parser)
+//! behave.
+//!
+//! The reader is an `Iterator<Item = Result<MrtRecord>>`, so callers can
+//! choose to abort or skip on malformed frames. Resynchronisation after a
+//! corrupt frame is impossible in MRT (lengths chain), matching real-world
+//! tooling.
+
+use crate::error::Result;
+use crate::record::{
+    decode_record, encode_peer_index, encode_rib_group, encode_update, MrtRecord, PeerIndexTable,
+    RibGroup,
+};
+use crate::wire::Cursor;
+use bgp_types::prelude::*;
+
+/// Serializes MRT records into a contiguous archive buffer.
+#[derive(Debug, Default)]
+pub struct MrtWriter {
+    buf: Vec<u8>,
+    records: usize,
+}
+
+impl MrtWriter {
+    /// New empty archive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a BGP4MP_MESSAGE_AS4 update record.
+    pub fn write_update(&mut self, msg: &UpdateMessage) -> Result<()> {
+        let bytes = encode_update(msg)?;
+        self.buf.extend_from_slice(&bytes);
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Append a PEER_INDEX_TABLE record (must precede RIB records).
+    pub fn write_peer_index(&mut self, table: &PeerIndexTable, timestamp: u32) -> Result<()> {
+        let bytes = encode_peer_index(table, timestamp)?;
+        self.buf.extend_from_slice(&bytes);
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Append a RIB record for one prefix.
+    pub fn write_rib_group(&mut self, group: &RibGroup, timestamp: u32) -> Result<()> {
+        let bytes = encode_rib_group(group, timestamp)?;
+        self.buf.extend_from_slice(&bytes);
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Number of records written.
+    pub fn record_count(&self) -> usize {
+        self.records
+    }
+
+    /// Size of the archive in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Finish and take the archive bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Iterates records out of an MRT archive.
+pub struct MrtReader<'a> {
+    cursor: Cursor<'a>,
+    peer_table: Option<PeerIndexTable>,
+    failed: bool,
+}
+
+impl<'a> MrtReader<'a> {
+    /// Wrap archive bytes.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        MrtReader { cursor: Cursor::new(bytes), peer_table: None, failed: false }
+    }
+
+    /// The PEER_INDEX_TABLE seen so far, if any.
+    pub fn peer_table(&self) -> Option<&PeerIndexTable> {
+        self.peer_table.as_ref()
+    }
+
+    /// Decode every record, failing on the first error.
+    pub fn read_all(mut self) -> Result<Vec<MrtRecord>> {
+        let mut out = Vec::new();
+        while let Some(r) = self.next() {
+            out.push(r?);
+        }
+        Ok(out)
+    }
+}
+
+impl Iterator for MrtReader<'_> {
+    type Item = Result<MrtRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.cursor.is_exhausted() {
+            return None;
+        }
+        match decode_record(&mut self.cursor, self.peer_table.as_ref()) {
+            Ok(MrtRecord::PeerIndex(t)) => {
+                self.peer_table = Some(t.clone());
+                Some(Ok(MrtRecord::PeerIndex(t)))
+            }
+            Ok(r) => Some(Ok(r)),
+            Err(e) => {
+                // Lengths chain; once a frame is bad the stream is dead.
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Convenience: extract every `(path, comm)` observation from an archive,
+/// sanitizing paths per the paper's §4.1 pipeline (AS_SET removal, peer
+/// prepending, prepend collapse) and dropping unusable entries.
+///
+/// Returns the tuples plus the number of raw entries seen (for Table 1's
+/// "Entries total" accounting). Withdrawals carry no path and are skipped.
+pub fn extract_tuples(bytes: &[u8]) -> Result<(Vec<PathCommTuple>, u64)> {
+    let mut tuples = Vec::new();
+    let mut raw_entries = 0u64;
+    for record in MrtReader::new(bytes) {
+        match record? {
+            MrtRecord::Update(u) => {
+                raw_entries += 1;
+                if u.announced.is_empty() {
+                    continue;
+                }
+                if let Some(path) = u.attributes.as_path.sanitize(Some(u.peer_asn)) {
+                    tuples.push(PathCommTuple::new(path, u.attributes.communities.clone()));
+                }
+            }
+            MrtRecord::RibEntries(entries) => {
+                for e in entries {
+                    raw_entries += 1;
+                    if let Some(path) = e.attributes.as_path.sanitize(Some(e.peer_asn)) {
+                        tuples.push(PathCommTuple::new(path, e.attributes.communities.clone()));
+                    }
+                }
+            }
+            MrtRecord::PeerIndex(_) => {}
+        }
+    }
+    Ok((tuples, raw_entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::PeerEntry;
+
+    fn update(peer: u32, path: &[u32], comms: &[(u16, u16)], ts: u64) -> UpdateMessage {
+        UpdateMessage::announcement(
+            Asn(peer),
+            ts,
+            Prefix::v4([203, 0, 114, 0], 24),
+            RawAsPath::from_sequence(path.iter().map(|&v| Asn(v)).collect()),
+            CommunitySet::from_iter(comms.iter().map(|&(a, b)| AnyCommunity::regular(a, b))),
+        )
+    }
+
+    #[test]
+    fn write_read_mixed_archive() {
+        let mut w = MrtWriter::new();
+        let table = PeerIndexTable {
+            collector_id: 1,
+            view_name: "test".into(),
+            peers: vec![PeerEntry { bgp_id: 1, ip: vec![192, 0, 2, 1], asn: Asn(64500) }],
+        };
+        w.write_peer_index(&table, 0).unwrap();
+        let g = RibGroup {
+            sequence: 0,
+            prefix: Prefix::v4([193, 0, 0, 0], 16),
+            entries: vec![(
+                0,
+                0,
+                PathAttributes {
+                    as_path: RawAsPath::from_sequence(vec![Asn(64500), Asn(3356)]),
+                    ..Default::default()
+                },
+            )],
+        };
+        w.write_rib_group(&g, 0).unwrap();
+        w.write_update(&update(64500, &[64500, 3356, 15169], &[(3356, 1)], 100)).unwrap();
+        assert_eq!(w.record_count(), 3);
+
+        let bytes = w.into_bytes();
+        let records = MrtReader::new(&bytes).read_all().unwrap();
+        assert_eq!(records.len(), 3);
+        assert!(matches!(records[0], MrtRecord::PeerIndex(_)));
+        assert!(matches!(records[1], MrtRecord::RibEntries(_)));
+        assert!(matches!(records[2], MrtRecord::Update(_)));
+    }
+
+    #[test]
+    fn rib_entries_resolve_peers_via_stream_state() {
+        let mut w = MrtWriter::new();
+        let table = PeerIndexTable {
+            collector_id: 1,
+            view_name: String::new(),
+            peers: vec![PeerEntry { bgp_id: 1, ip: vec![10, 0, 0, 1], asn: Asn(7018) }],
+        };
+        w.write_peer_index(&table, 0).unwrap();
+        let g = RibGroup {
+            sequence: 1,
+            prefix: Prefix::v4([8, 8, 0, 0], 16),
+            entries: vec![(
+                0,
+                5,
+                PathAttributes {
+                    as_path: RawAsPath::from_sequence(vec![Asn(7018), Asn(15169)]),
+                    ..Default::default()
+                },
+            )],
+        };
+        w.write_rib_group(&g, 0).unwrap();
+        let bytes = w.into_bytes();
+        let recs = MrtReader::new(&bytes).read_all().unwrap();
+        match &recs[1] {
+            MrtRecord::RibEntries(es) => assert_eq!(es[0].peer_asn, Asn(7018)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extract_tuples_sanitizes() {
+        let mut w = MrtWriter::new();
+        // Path with prepending; peer equals first hop.
+        w.write_update(&update(64500, &[64500, 64500, 3356], &[(3356, 9)], 0)).unwrap();
+        let (tuples, raw) = extract_tuples(w.as_bytes()).unwrap();
+        assert_eq!(raw, 1);
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(tuples[0].path.asns(), &[Asn(64500), Asn(3356)]);
+        assert!(tuples[0].comm.contains_upper(Asn(3356)));
+    }
+
+    #[test]
+    fn extract_tuples_prepends_missing_peer() {
+        // Route-server style: peer ASN not on path.
+        let mut w = MrtWriter::new();
+        w.write_update(&update(6695, &[64500, 3356], &[], 0)).unwrap();
+        let (tuples, _) = extract_tuples(w.as_bytes()).unwrap();
+        assert_eq!(tuples[0].path.peer(), Asn(6695));
+        assert_eq!(tuples[0].path.len(), 3);
+    }
+
+    #[test]
+    fn corrupt_archive_reports_error_then_stops() {
+        let mut w = MrtWriter::new();
+        w.write_update(&update(1, &[1, 2], &[], 0)).unwrap();
+        let mut bytes = w.into_bytes();
+        bytes.truncate(bytes.len() - 3);
+        let results: Vec<_> = MrtReader::new(&bytes).collect();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].is_err());
+    }
+
+    #[test]
+    fn empty_archive_yields_nothing() {
+        assert!(MrtReader::new(&[]).read_all().unwrap().is_empty());
+        let (tuples, raw) = extract_tuples(&[]).unwrap();
+        assert!(tuples.is_empty());
+        assert_eq!(raw, 0);
+    }
+
+    #[test]
+    fn withdrawal_only_updates_counted_but_not_tupled() {
+        let mut w = MrtWriter::new();
+        let mut u = update(1, &[1, 2], &[], 0);
+        u.withdrawn = u.announced.drain(..).collect();
+        w.write_update(&u).unwrap();
+        let (tuples, raw) = extract_tuples(w.as_bytes()).unwrap();
+        assert_eq!(raw, 1);
+        assert!(tuples.is_empty());
+    }
+}

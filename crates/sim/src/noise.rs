@@ -1,0 +1,163 @@
+//! The §6.1 noise model.
+//!
+//! Two noise sources stress the inference:
+//!
+//! 1. **Action communities** — ~50% of ASes are designated *noisy*; with 5%
+//!    probability (per path occurrence) such an AS attaches a community
+//!    whose upper field is its *upstream neighbor's* ASN. At the collector
+//!    this makes a silent upstream AS look like a tagger.
+//! 2. **Origin communities** — with 5% probability per tuple, a community
+//!    carrying the *originator's* ASN appears in the final update
+//!    regardless of on-path cleaning, contradicting cleaner inferences.
+//!
+//! Both decisions are derived from a keyed hash of (seed, AS, path) so the
+//! whole data generation stays deterministic under a fixed seed — no RNG
+//! state threading through the propagation hot path.
+
+use bgp_types::prelude::*;
+use std::collections::HashSet;
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+/// Configuration and state for noise injection.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    /// ASes that may emit action communities (the "50% of all ASes").
+    noisy: HashSet<Asn>,
+    /// Per-occurrence probability of noise source 1.
+    pub action_prob: f64,
+    /// Per-tuple probability of noise source 2.
+    pub origin_prob: f64,
+    seed: u64,
+}
+
+impl NoiseModel {
+    /// Paper defaults: 50% of ASes noisy, both sources at 5%.
+    pub fn paper_defaults<I: IntoIterator<Item = Asn>>(all_asns: I, seed: u64) -> Self {
+        let noisy = all_asns
+            .into_iter()
+            .filter(|a| stable_hash((seed, 0xA5u8, a.0)) % 2 == 0)
+            .collect();
+        NoiseModel { noisy, action_prob: 0.05, origin_prob: 0.05, seed }
+    }
+
+    /// A noise model that never fires (for differential tests).
+    pub fn disabled() -> Self {
+        NoiseModel { noisy: HashSet::new(), action_prob: 0.0, origin_prob: 0.0, seed: 0 }
+    }
+
+    /// Number of noisy ASes.
+    pub fn noisy_count(&self) -> usize {
+        self.noisy.len()
+    }
+
+    /// Whether an AS is in the noisy set.
+    pub fn is_noisy(&self, asn: Asn) -> bool {
+        self.noisy.contains(&asn)
+    }
+
+    /// Noise source 1: does `asn` (at 1-based position `x` of `path`)
+    /// attach an action community defined by its upstream neighbor?
+    pub fn action_community_fires(&self, asn: Asn, path: &AsPath, x: usize) -> bool {
+        if !self.noisy.contains(&asn) {
+            return false;
+        }
+        let h = stable_hash((self.seed, 0x01u8, asn.0, path.asns(), x));
+        prob_hit(h, self.action_prob)
+    }
+
+    /// Noise source 2: does this tuple carry a spurious origin community?
+    pub fn origin_community_fires(&self, path: &AsPath) -> bool {
+        let h = stable_hash((self.seed, 0x02u8, path.asns()));
+        prob_hit(h, self.origin_prob)
+    }
+}
+
+fn stable_hash<T: Hash>(value: T) -> u64 {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+fn prob_hit(hash: u64, prob: f64) -> bool {
+    if prob <= 0.0 {
+        return false;
+    }
+    // Map the hash to [0, 1).
+    (hash as f64 / u64::MAX as f64) < prob
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asns(n: u32) -> Vec<Asn> {
+        (1..=n).map(Asn).collect()
+    }
+
+    #[test]
+    fn roughly_half_noisy() {
+        let m = NoiseModel::paper_defaults(asns(10_000), 1);
+        let share = m.noisy_count() as f64 / 10_000.0;
+        assert!((0.45..0.55).contains(&share), "noisy share {share}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = NoiseModel::paper_defaults(asns(100), 7);
+        let b = NoiseModel::paper_defaults(asns(100), 7);
+        let p = path(&[1, 2, 3]);
+        for x in 1..=3 {
+            for asn in 1..=100u32 {
+                assert_eq!(
+                    a.action_community_fires(Asn(asn), &p, x),
+                    b.action_community_fires(Asn(asn), &p, x)
+                );
+            }
+        }
+        assert_eq!(a.origin_community_fires(&p), b.origin_community_fires(&p));
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let a = NoiseModel::paper_defaults(asns(2_000), 1);
+        let b = NoiseModel::paper_defaults(asns(2_000), 2);
+        let same = (1..=2_000u32).filter(|&v| a.is_noisy(Asn(v)) == b.is_noisy(Asn(v))).count();
+        assert!(same < 1_900, "noisy sets nearly identical across seeds");
+    }
+
+    #[test]
+    fn fire_rate_near_five_percent() {
+        let m = NoiseModel::paper_defaults(asns(10), 3);
+        let noisy: Vec<Asn> = (1..=10u32).map(Asn).filter(|&a| m.is_noisy(a)).collect();
+        assert!(!noisy.is_empty());
+        let trials = 20_000;
+        let mut hits = 0;
+        for i in 0..trials {
+            let p = path(&[1_000 + i, 2_000 + i, noisy[0].0]);
+            if m.action_community_fires(noisy[0], &p, 3) {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / trials as f64;
+        assert!((0.03..0.07).contains(&rate), "action rate {rate}");
+    }
+
+    #[test]
+    fn disabled_never_fires() {
+        let m = NoiseModel::disabled();
+        let p = path(&[1, 2, 3]);
+        assert!(!m.action_community_fires(Asn(1), &p, 1));
+        assert!(!m.origin_community_fires(&p));
+        assert_eq!(m.noisy_count(), 0);
+    }
+
+    #[test]
+    fn non_noisy_as_never_fires_action() {
+        let m = NoiseModel::paper_defaults(asns(100), 5);
+        let quiet = (1..=100u32).map(Asn).find(|&a| !m.is_noisy(a)).unwrap();
+        for i in 0..1_000u32 {
+            let p = path(&[500 + i, quiet.0, 900]);
+            assert!(!m.action_community_fires(quiet, &p, 2));
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! PEERING testbed analogue (paper §7.4).
+//!
+//! The paper validates inferences by announcing a /24 they control from the
+//! PEERING testbed (AS 47065) via 12 Points of Presence, attaching a unique
+//! pair of communities per PoP, and checking logical consistency at the
+//! collectors: if the communities are missing, some on-path AS must be a
+//! cleaner; if they are present, no on-path AS may be a cleaner.
+//!
+//! Here we graft a testbed AS onto an existing simulated Internet (with its
+//! ground-truth roles), announce through `n_pops` upstream attachment
+//! points, and record what each collector peer sees.
+
+use crate::propagate::Propagator;
+use crate::role::RoleAssignment;
+use bgp_topology::prelude::*;
+use bgp_types::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The PEERING testbed ASN.
+pub const PEERING_ASN: Asn = Asn(47065);
+
+/// One observation of the testbed prefix at a collector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeeringObservation {
+    /// The AS path from collector peer to the testbed origin.
+    pub path: AsPath,
+    /// The community set received.
+    pub comm: CommunitySet,
+    /// Index of the PoP the route egressed through.
+    pub pop: usize,
+    /// Whether the testbed's own communities survived to the collector.
+    pub our_communities_present: bool,
+}
+
+/// Result of one testbed experiment.
+#[derive(Debug, Clone)]
+pub struct PeeringExperiment {
+    /// The grafted topology (original graph + testbed node).
+    pub graph: AsGraph,
+    /// PoP attachment providers (ASNs).
+    pub pops: Vec<Asn>,
+    /// Everything the collectors saw.
+    pub observations: Vec<PeeringObservation>,
+}
+
+/// The community pair announced via PoP `i`.
+pub fn pop_communities(pop: usize) -> [AnyCommunity; 2] {
+    let base = (pop as u32) * 2 + 1;
+    [
+        AnyCommunity::regular(PEERING_ASN.0 as u16, base as u16),
+        AnyCommunity::regular(PEERING_ASN.0 as u16, (base + 1) as u16),
+    ]
+}
+
+impl PeeringExperiment {
+    /// Run the experiment: graft the testbed AS below `n_pops` transit
+    /// providers (chosen seeded), announce, and collect observations.
+    ///
+    /// `roles` must cover every AS of `base` — the testbed AS itself needs
+    /// no role (its tagging is the experiment's community injection).
+    pub fn run(base: &AsGraph, roles: &RoleAssignment, n_pops: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut graph = base.clone();
+
+        // Choose PoP providers among transit ASes (prefer well-connected).
+        let mut transit: Vec<NodeId> = graph
+            .node_ids()
+            .filter(|&id| !graph.is_stub(id) && graph.node(id).tier != Tier::Edge)
+            .collect();
+        transit.shuffle(&mut rng);
+        let pop_ids: Vec<NodeId> = transit.into_iter().take(n_pops).collect();
+        assert!(!pop_ids.is_empty(), "topology has no transit ASes to attach to");
+
+        let origin = graph.add_node(PEERING_ASN, Tier::Edge);
+        for &p in &pop_ids {
+            graph.add_edge(origin, p, Relationship::CustomerToProvider);
+        }
+
+        // Route from everyone to the testbed origin.
+        let tree = RoutingTree::compute(&graph, origin);
+        let prop = Propagator::new(base, roles);
+
+        let mut observations = Vec::new();
+        for peer in graph.collector_peer_ids() {
+            let Some(path) = tree.as_path(&graph, peer) else { continue };
+            if path.len() < 2 {
+                continue; // the origin itself peering with a collector
+            }
+            // The PoP is the AS right before the origin on the path.
+            let pop_asn = path.at(path.len() - 1).expect("n-1 within path");
+            let pop = pop_ids
+                .iter()
+                .position(|&id| graph.asn_of(id) == pop_asn)
+                .expect("next hop from origin is an attachment PoP");
+
+            let comm = Self::propagate(&prop, &path, pop);
+            let ours = pop_communities(pop);
+            let present = comm.contains(&ours[0]) || comm.contains(&ours[1]);
+            observations.push(PeeringObservation {
+                path,
+                comm,
+                pop,
+                our_communities_present: present,
+            });
+        }
+
+        let pops = pop_ids.iter().map(|&id| graph.asn_of(id)).collect();
+        PeeringExperiment { graph, pops, observations }
+    }
+
+    /// Propagate the testbed announcement along `path` (peer..origin):
+    /// the origin contributes the PoP community pair; every other AS
+    /// applies its ground-truth role exactly as in [`Propagator`].
+    fn propagate(prop: &Propagator<'_>, path: &AsPath, pop: usize) -> CommunitySet {
+        let asns = path.asns();
+        let n = asns.len();
+        let mut acc = CommunitySet::from_iter(pop_communities(pop));
+
+        // Positions n-1 down to 1 are regular ASes (position n is origin).
+        for x in (1..n).rev() {
+            let ax = asns[x - 1];
+            let receiver = if x == 1 { None } else { Some(asns[x - 2]) };
+            if !prop.forwards_on_edge(ax, receiver) {
+                acc.clear();
+            }
+            if prop.tags_on_edge(ax, receiver) {
+                acc.insert(crate::propagate::tag_community(ax));
+            }
+        }
+        acc
+    }
+
+    /// Unique `(path, comm)` observations (the paper deduplicates before
+    /// the consistency check).
+    pub fn unique_observations(&self) -> Vec<&PeeringObservation> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for o in &self.observations {
+            if seen.insert((o.path.clone(), o.comm.clone())) {
+                out.push(o);
+            }
+        }
+        out
+    }
+
+    /// Ground-truth check: does `path` contain a cleaner (excluding the
+    /// origin, whose forwarding is irrelevant)?
+    pub fn path_has_cleaner(&self, roles: &RoleAssignment, path: &AsPath) -> bool {
+        let asns = path.asns();
+        asns[..asns.len() - 1].iter().any(|&a| !roles.role(a).is_forward())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    fn world() -> (AsGraph, RoleAssignment) {
+        let mut cfg = TopologyConfig::small();
+        cfg.transit = 50;
+        cfg.edge = 150;
+        cfg.collector_peers = 15;
+        let g = cfg.seed(8).build();
+        let roles = Scenario::Random.assign_roles(&g, 8);
+        (g, roles)
+    }
+
+    #[test]
+    fn experiment_produces_observations() {
+        let (g, roles) = world();
+        let exp = PeeringExperiment::run(&g, &roles, 6, 1);
+        assert_eq!(exp.pops.len(), 6);
+        assert!(!exp.observations.is_empty());
+        // Every observed path ends at the testbed.
+        for o in &exp.observations {
+            assert_eq!(o.path.origin(), PEERING_ASN);
+        }
+    }
+
+    #[test]
+    fn consistency_with_ground_truth() {
+        // The core §7.4 invariant, checked against ground truth (not
+        // inference): our communities present <=> no cleaner on path.
+        let (g, roles) = world();
+        let exp = PeeringExperiment::run(&g, &roles, 8, 2);
+        for o in &exp.observations {
+            let has_cleaner = exp.path_has_cleaner(&roles, &o.path);
+            assert_eq!(
+                o.our_communities_present, !has_cleaner,
+                "path {} comm {} cleaner={}",
+                o.path, o.comm, has_cleaner
+            );
+        }
+    }
+
+    #[test]
+    fn all_forward_world_preserves_communities() {
+        let (g, _) = world();
+        let roles = Scenario::AllTf.assign_roles(&g, 1);
+        let exp = PeeringExperiment::run(&g, &roles, 4, 3);
+        assert!(!exp.observations.is_empty());
+        for o in &exp.observations {
+            assert!(o.our_communities_present);
+        }
+    }
+
+    #[test]
+    fn all_cleaner_world_strips_communities() {
+        let (g, _) = world();
+        let roles = Scenario::AllTc.assign_roles(&g, 1);
+        let exp = PeeringExperiment::run(&g, &roles, 4, 3);
+        for o in &exp.observations {
+            // Paths of length 2 are peer->origin: the peer cleans.
+            assert!(!o.our_communities_present);
+        }
+    }
+
+    #[test]
+    fn pop_communities_unique_per_pop() {
+        let a = pop_communities(0);
+        let b = pop_communities(1);
+        assert_ne!(a, b);
+        for c in a.iter().chain(b.iter()) {
+            assert_eq!(c.upper_field(), PEERING_ASN);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (g, roles) = world();
+        let a = PeeringExperiment::run(&g, &roles, 5, 9);
+        let b = PeeringExperiment::run(&g, &roles, 5, 9);
+        assert_eq!(a.observations, b.observations);
+        assert_eq!(a.pops, b.pops);
+    }
+
+    #[test]
+    fn unique_observations_dedup() {
+        let (g, roles) = world();
+        let exp = PeeringExperiment::run(&g, &roles, 5, 4);
+        let uniq = exp.unique_observations();
+        assert!(uniq.len() <= exp.observations.len());
+    }
+}

@@ -1,0 +1,365 @@
+//! Community propagation along AS paths per the paper's formal model
+//! (§3.3.2):
+//!
+//! ```text
+//! output(A) = tagging(A) ∪ forwarding(A, input(A))
+//! input(Ax) = output(Ax+1)
+//! ```
+//!
+//! Given a path `A1..An` and ground-truth roles, this computes
+//! `output(A1)` — the community set a route collector records — walking
+//! from the origin upstream. Selective taggers consult the business
+//! relationship toward the *receiving* neighbor (or the collector for
+//! `A1`), and the optional noise model injects the two §6.1 noise sources.
+
+use crate::noise::NoiseModel;
+use crate::role::{ForwardingBehavior, RoleAssignment, TaggingBehavior};
+use bgp_topology::prelude::*;
+use bgp_types::prelude::*;
+
+/// The community value a tagger attaches (the low-order part). One
+/// informational community per tagger keeps dataset sizes interpretable;
+/// the inference only tests upper-field membership, so richer values would
+/// not change any result.
+pub const TAG_VALUE: u32 = 100;
+
+/// Compute the canonical community a tagger AS emits.
+pub fn tag_community(asn: Asn) -> AnyCommunity {
+    AnyCommunity::tag_for(asn, TAG_VALUE)
+}
+
+/// Propagation engine: computes `output(A1)` for paths over a topology.
+pub struct Propagator<'a> {
+    graph: &'a AsGraph,
+    roles: &'a RoleAssignment,
+    noise: Option<&'a NoiseModel>,
+}
+
+impl<'a> Propagator<'a> {
+    /// Build a propagator without noise.
+    pub fn new(graph: &'a AsGraph, roles: &'a RoleAssignment) -> Self {
+        Propagator { graph, roles, noise: None }
+    }
+
+    /// Attach a noise model.
+    pub fn with_noise(mut self, noise: &'a NoiseModel) -> Self {
+        self.noise = Some(noise);
+        self
+    }
+
+    /// The ground-truth role assignment this propagator uses.
+    pub fn roles(&self) -> &RoleAssignment {
+        self.roles
+    }
+
+    /// The topology this propagator resolves relationships against.
+    pub fn graph(&self) -> &AsGraph {
+        self.graph
+    }
+
+    /// The relationship of `sender` toward `receiver` (how the receiver is
+    /// related *from the sender's view*), or `None` when the receiver is
+    /// the collector.
+    fn receiver_kind(&self, sender: Asn, receiver: Option<Asn>) -> Option<EdgeKind> {
+        let receiver = receiver?;
+        let s = self.graph.id_of(sender)?;
+        let r = self.graph.id_of(receiver)?;
+        self.graph.relationship(s, r)
+    }
+
+    /// Whether `asn` adds its own communities when announcing to
+    /// `receiver` (`None` = collector).
+    pub fn tags_on_edge(&self, asn: Asn, receiver: Option<Asn>) -> bool {
+        match self.roles.role(asn).tagging {
+            TaggingBehavior::Tagger => true,
+            TaggingBehavior::Silent => false,
+            TaggingBehavior::Selective(policy) => {
+                policy.tags_toward(self.receiver_kind(asn, receiver))
+            }
+        }
+    }
+
+    /// Whether `asn` forwards foreign communities when announcing to
+    /// `receiver` (`None` = collector). Selective forwarders reuse the
+    /// tagging policy vocabulary: they forward on sessions the policy
+    /// "tags toward" and clean elsewhere.
+    pub fn forwards_on_edge(&self, asn: Asn, receiver: Option<Asn>) -> bool {
+        match self.roles.role(asn).forwarding {
+            ForwardingBehavior::Forward => true,
+            ForwardingBehavior::Cleaner => false,
+            ForwardingBehavior::SelectiveForward(policy) => {
+                policy.tags_toward(self.receiver_kind(asn, receiver))
+            }
+        }
+    }
+
+    /// Compute `output(A1)` for one path.
+    ///
+    /// Walk from the origin `An` upstream to `A1`; at each hop `Ax`:
+    ///
+    /// 1. if `Ax` is a cleaner, drop the accumulated set (forwarding(∅));
+    /// 2. if `Ax` tags toward its receiver (`Ax-1`, or the collector when
+    ///    `x == 1`), union in `Ax:*`;
+    /// 3. apply per-hop noise if configured.
+    pub fn output(&self, path: &AsPath) -> CommunitySet {
+        let asns = path.asns();
+        let n = asns.len();
+        let mut acc = CommunitySet::new();
+
+        // Iterate x = n down to 1 (1-based); receiver of Ax is A(x-1) or
+        // the collector for x == 1.
+        for x in (1..=n).rev() {
+            let ax = asns[x - 1];
+            let receiver = if x == 1 { None } else { Some(asns[x - 2]) };
+
+            // forwarding(Ax, input): cleaning empties the inherited set
+            // (edge-aware for the selective-forwarding extension).
+            if !self.forwards_on_edge(ax, receiver) {
+                acc.clear();
+            }
+
+            // tagging(Ax): union own communities if tagging toward receiver.
+            if self.tags_on_edge(ax, receiver) {
+                acc.insert(tag_community(ax));
+            }
+
+            // Noise source 1 (§6.1): a "noisy" AS occasionally attaches an
+            // action community defined by its upstream neighbor.
+            if let Some(noise) = self.noise {
+                if let Some(upstream) = receiver {
+                    if noise.action_community_fires(ax, path, x) {
+                        acc.insert(tag_community(upstream));
+                    }
+                }
+            }
+        }
+
+        // Noise source 2 (§6.1): a community carrying the originator's ASN
+        // appears in the update regardless of on-path cleaning.
+        if let Some(noise) = self.noise {
+            if noise.origin_community_fires(path) {
+                acc.insert(tag_community(path.origin()));
+            }
+        }
+
+        acc
+    }
+
+    /// Compute tuples for a whole substrate (borrowed paths).
+    ///
+    /// Parallelizes across scoped worker threads for large substrates;
+    /// output order always matches `paths` order.
+    pub fn tuples(&self, paths: &[AsPath]) -> Vec<PathCommTuple> {
+        const PARALLEL_MIN: usize = 8_192;
+        if paths.len() < PARALLEL_MIN {
+            return paths
+                .iter()
+                .map(|p| PathCommTuple::new(p.clone(), self.output(p)))
+                .collect();
+        }
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let chunk = paths.len().div_ceil(threads);
+        let mut out = Vec::with_capacity(paths.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = paths
+                .chunks(chunk)
+                .map(|shard| {
+                    s.spawn(move || {
+                        shard
+                            .iter()
+                            .map(|p| PathCommTuple::new(p.clone(), self.output(p)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("propagation worker panicked"));
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::role::{Role, SelectivePolicy};
+    use bgp_topology::prelude::{Relationship, Tier};
+
+    /// Chain topology peer <- mid <- origin with explicit roles.
+    fn chain(roles: [Role; 3]) -> (AsGraph, RoleAssignment, AsPath) {
+        let mut g = AsGraph::new();
+        let a = g.add_node(Asn(10), Tier::Transit); // A1 peer
+        let b = g.add_node(Asn(20), Tier::Transit); // A2
+        let c = g.add_node(Asn(30), Tier::Edge); // A3 origin
+        g.add_edge(b, a, Relationship::CustomerToProvider);
+        g.add_edge(c, b, Relationship::CustomerToProvider);
+        let mut ra = RoleAssignment::new();
+        ra.set(Asn(10), roles[0]);
+        ra.set(Asn(20), roles[1]);
+        ra.set(Asn(30), roles[2]);
+        (g, ra, path(&[10, 20, 30]))
+    }
+
+    #[test]
+    fn all_taggers_forward_everything() {
+        let (g, ra, p) = chain([Role::TF, Role::TF, Role::TF]);
+        let out = Propagator::new(&g, &ra).output(&p);
+        assert_eq!(out.len(), 3);
+        for asn in [10u32, 20, 30] {
+            assert!(out.contains_upper(Asn(asn)), "missing {asn}:*");
+        }
+    }
+
+    #[test]
+    fn cleaner_hides_downstream() {
+        // A2 is a cleaner: origin's tag never reaches the collector, but
+        // A2's own tag (added when sending to A1) does.
+        let (g, ra, p) = chain([Role::TF, Role::TC, Role::TF]);
+        let out = Propagator::new(&g, &ra).output(&p);
+        assert!(!out.contains_upper(Asn(30)));
+        assert!(out.contains_upper(Asn(20)));
+        assert!(out.contains_upper(Asn(10)));
+    }
+
+    #[test]
+    fn peer_cleaner_empties_everything_but_own_tag() {
+        let (g, ra, p) = chain([Role::TC, Role::TF, Role::TF]);
+        let out = Propagator::new(&g, &ra).output(&p);
+        assert_eq!(out.len(), 1);
+        assert!(out.contains_upper(Asn(10)));
+    }
+
+    #[test]
+    fn silent_cleaner_outputs_empty() {
+        let (g, ra, p) = chain([Role::SC, Role::TF, Role::TF]);
+        let out = Propagator::new(&g, &ra).output(&p);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn silent_forward_passes_through() {
+        let (g, ra, p) = chain([Role::SF, Role::SF, Role::TF]);
+        let out = Propagator::new(&g, &ra).output(&p);
+        assert_eq!(out.len(), 1);
+        assert!(out.contains_upper(Asn(30)));
+    }
+
+    #[test]
+    fn selective_no_provider_skips_provider_edge() {
+        // A3 (origin) is a selective NoProvider tagger; A2 is its provider,
+        // so no tag on the A3->A2 edge.
+        let sel = Role {
+            tagging: TaggingBehavior::Selective(SelectivePolicy::NoProvider),
+            forwarding: ForwardingBehavior::Forward,
+        };
+        let (g, ra, p) = chain([Role::SF, Role::SF, sel]);
+        let out = Propagator::new(&g, &ra).output(&p);
+        assert!(!out.contains_upper(Asn(30)));
+    }
+
+    #[test]
+    fn selective_tags_collector_session() {
+        // A1 is selective NoProvider: receiver is the collector -> tags.
+        let sel = Role {
+            tagging: TaggingBehavior::Selective(SelectivePolicy::NoProvider),
+            forwarding: ForwardingBehavior::Forward,
+        };
+        let (g, ra, p) = chain([sel, Role::SF, Role::SF]);
+        let out = Propagator::new(&g, &ra).output(&p);
+        assert!(out.contains_upper(Asn(10)));
+    }
+
+    #[test]
+    fn selective_no_provider_tags_peer_edge() {
+        // Build peer <-peer- mid so the selective mid tags toward a peer.
+        let mut g = AsGraph::new();
+        let a = g.add_node(Asn(10), Tier::Transit);
+        let b = g.add_node(Asn(20), Tier::Transit);
+        let c = g.add_node(Asn(30), Tier::Edge);
+        g.add_edge(a, b, Relationship::PeerToPeer);
+        g.add_edge(c, b, Relationship::CustomerToProvider);
+        let sel = Role {
+            tagging: TaggingBehavior::Selective(SelectivePolicy::NoProvider),
+            forwarding: ForwardingBehavior::Forward,
+        };
+        let mut ra = RoleAssignment::new();
+        ra.set(Asn(10), Role::SF);
+        ra.set(Asn(20), sel);
+        ra.set(Asn(30), Role::SF);
+        let out = Propagator::new(&g, &ra).output(&path(&[10, 20, 30]));
+        assert!(out.contains_upper(Asn(20)), "NoProvider tags toward peers");
+
+        // NoProviderNoPeer must not tag toward a peer.
+        let sel2 = Role {
+            tagging: TaggingBehavior::Selective(SelectivePolicy::NoProviderNoPeer),
+            forwarding: ForwardingBehavior::Forward,
+        };
+        ra.set(Asn(20), sel2);
+        let out2 = Propagator::new(&g, &ra).output(&path(&[10, 20, 30]));
+        assert!(!out2.contains_upper(Asn(20)));
+    }
+
+    #[test]
+    fn selective_forwarding_extension_edge_aware() {
+        // A2 forwards toward customers/collectors but cleans toward its
+        // provider A1' — model: SelectiveForward(NoProvider) cleans when
+        // the receiver is a provider.
+        use crate::role::ForwardingBehavior;
+        let sel_fwd = Role {
+            tagging: TaggingBehavior::Silent,
+            forwarding: ForwardingBehavior::SelectiveForward(SelectivePolicy::NoProvider),
+        };
+        // Chain: A1 (provider of A2) <- A2 <- A3 (tagger origin).
+        let (g, mut ra, p) = chain([Role::SF, Role::SF, Role::TF]);
+        ra.set(Asn(20), sel_fwd);
+        let out = Propagator::new(&g, &ra).output(&p);
+        // A2 sends to A1, its provider -> cleans -> A3's tag gone.
+        assert!(!out.contains_upper(Asn(30)), "selective forwarder must clean toward provider");
+
+        // Same AS as collector peer: receiver is the collector -> forwards.
+        let direct = path(&[20, 30]);
+        let out2 = Propagator::new(&g, &ra).output(&direct);
+        assert!(out2.contains_upper(Asn(30)), "selective forwarder forwards to collectors");
+    }
+
+    #[test]
+    fn tag_community_uses_right_variant() {
+        assert!(!tag_community(Asn(3356)).is_large());
+        assert!(tag_community(Asn(200_000)).is_large());
+        assert_eq!(tag_community(Asn(3356)).upper_field(), Asn(3356));
+    }
+
+    #[test]
+    fn parallel_tuples_match_serial_order() {
+        // Build >8192 paths to cross the parallel threshold; outputs must
+        // be identical and in input order.
+        let (g, ra, _) = chain([Role::TF, Role::TF, Role::TF]);
+        let paths: Vec<AsPath> = (0..9_000)
+            .map(|i| {
+                // Rotate between the chain's three single/multi-hop paths.
+                match i % 3 {
+                    0 => path(&[10]),
+                    1 => path(&[10, 20]),
+                    _ => path(&[10, 20, 30]),
+                }
+            })
+            .collect();
+        let prop = Propagator::new(&g, &ra);
+        let batch = prop.tuples(&paths);
+        assert_eq!(batch.len(), paths.len());
+        for (t, p) in batch.iter().zip(&paths) {
+            assert_eq!(&t.path, p);
+            assert_eq!(t.comm, prop.output(p));
+        }
+    }
+
+    #[test]
+    fn tuples_batch_matches_single() {
+        let (g, ra, p) = chain([Role::TF, Role::TF, Role::TF]);
+        let prop = Propagator::new(&g, &ra);
+        let batch = prop.tuples(std::slice::from_ref(&p));
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].comm, prop.output(&p));
+    }
+}

@@ -1,0 +1,235 @@
+//! Ground-truth community-usage roles (the paper's mental model, §3.3).
+//!
+//! Every AS has a **tagging** behavior (does it add its own communities on
+//! external sessions?) and a **forwarding** behavior (does it pass on
+//! communities set by others?). Scenarios in §6 additionally use
+//! *selective* taggers that tag only on some relationship types.
+
+use bgp_topology::prelude::EdgeKind;
+use bgp_types::prelude::*;
+use std::collections::HashMap;
+
+/// Relationship-conditional tagging policy for selective taggers (§6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectivePolicy {
+    /// Tag on customer, peer and collector sessions — not toward providers
+    /// (scenario `random-p`).
+    NoProvider,
+    /// Tag on customer and collector sessions only (scenario `random-pp`).
+    NoProviderNoPeer,
+    /// Tag only toward route collectors, never toward any AS neighbor
+    /// (the worst-case of §5.4).
+    CollectorOnly,
+}
+
+impl SelectivePolicy {
+    /// Whether an AS with this policy tags an announcement it is sending to
+    /// a neighbor related as `receiver` (from the sender's perspective), or
+    /// to a collector when `receiver` is `None`.
+    pub fn tags_toward(self, receiver: Option<EdgeKind>) -> bool {
+        match (self, receiver) {
+            // Collector sessions are always tagged in the paper's scenarios.
+            (_, None) => true,
+            (SelectivePolicy::NoProvider, Some(EdgeKind::Provider)) => false,
+            (SelectivePolicy::NoProvider, Some(_)) => true,
+            (SelectivePolicy::NoProviderNoPeer, Some(EdgeKind::Customer)) => true,
+            (SelectivePolicy::NoProviderNoPeer, Some(_)) => false,
+            (SelectivePolicy::CollectorOnly, Some(_)) => false,
+        }
+    }
+}
+
+/// Tagging behavior of an AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaggingBehavior {
+    /// Consistently adds own communities on all external sessions.
+    Tagger,
+    /// Never emits own communities on external sessions.
+    Silent,
+    /// Tags only on sessions allowed by the policy.
+    Selective(SelectivePolicy),
+}
+
+/// Forwarding behavior of an AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ForwardingBehavior {
+    /// Passes on communities set by other ASes.
+    Forward,
+    /// Strips all received communities.
+    Cleaner,
+    /// Extension beyond the paper's evaluated scenarios (§5.4 notes ASes
+    /// "may add own and remove other communities selectively, e.g., on a
+    /// per-session basis"): forwards only toward receivers the policy
+    /// allows, cleans otherwise.
+    SelectiveForward(SelectivePolicy),
+}
+
+/// The complete ground-truth role of one AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Role {
+    /// Tagging side.
+    pub tagging: TaggingBehavior,
+    /// Forwarding side.
+    pub forwarding: ForwardingBehavior,
+}
+
+impl Role {
+    /// `tf` — tagger-forward.
+    pub const TF: Role =
+        Role { tagging: TaggingBehavior::Tagger, forwarding: ForwardingBehavior::Forward };
+    /// `tc` — tagger-cleaner.
+    pub const TC: Role =
+        Role { tagging: TaggingBehavior::Tagger, forwarding: ForwardingBehavior::Cleaner };
+    /// `sf` — silent-forward.
+    pub const SF: Role =
+        Role { tagging: TaggingBehavior::Silent, forwarding: ForwardingBehavior::Forward };
+    /// `sc` — silent-cleaner.
+    pub const SC: Role =
+        Role { tagging: TaggingBehavior::Silent, forwarding: ForwardingBehavior::Cleaner };
+
+    /// Short name like `tf` / `tc` / `sf` / `sc`; selective taggers render
+    /// as `Tf`/`Tc` (capital T marks selectivity).
+    pub fn short(&self) -> String {
+        let t = match self.tagging {
+            TaggingBehavior::Tagger => 't',
+            TaggingBehavior::Silent => 's',
+            TaggingBehavior::Selective(_) => 'T',
+        };
+        let f = match self.forwarding {
+            ForwardingBehavior::Forward => 'f',
+            ForwardingBehavior::Cleaner => 'c',
+            ForwardingBehavior::SelectiveForward(_) => 'F',
+        };
+        format!("{t}{f}")
+    }
+
+    /// Whether the AS is a (consistent) tagger.
+    pub fn is_tagger(&self) -> bool {
+        self.tagging == TaggingBehavior::Tagger
+    }
+
+    /// Whether the AS is selective.
+    pub fn is_selective(&self) -> bool {
+        matches!(self.tagging, TaggingBehavior::Selective(_))
+    }
+
+    /// Whether the AS consistently forwards foreign communities.
+    pub fn is_forward(&self) -> bool {
+        self.forwarding == ForwardingBehavior::Forward
+    }
+
+    /// Whether the AS's forwarding is selective.
+    pub fn is_selective_forward(&self) -> bool {
+        matches!(self.forwarding, ForwardingBehavior::SelectiveForward(_))
+    }
+}
+
+/// Ground-truth role assignment for a whole topology.
+#[derive(Debug, Clone, Default)]
+pub struct RoleAssignment {
+    roles: HashMap<Asn, Role>,
+}
+
+impl RoleAssignment {
+    /// Empty assignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the role of one AS.
+    pub fn set(&mut self, asn: Asn, role: Role) {
+        self.roles.insert(asn, role);
+    }
+
+    /// Role of an AS. Panics on unknown ASNs — scenarios must assign every
+    /// AS a role before propagation.
+    pub fn role(&self, asn: Asn) -> Role {
+        *self.roles.get(&asn).unwrap_or_else(|| panic!("no role assigned for {asn}"))
+    }
+
+    /// Role, if assigned.
+    pub fn get(&self, asn: Asn) -> Option<Role> {
+        self.roles.get(&asn).copied()
+    }
+
+    /// Number of assigned ASes.
+    pub fn len(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// Whether no roles are assigned.
+    pub fn is_empty(&self) -> bool {
+        self.roles.is_empty()
+    }
+
+    /// Iterate (ASN, role) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Asn, Role)> + '_ {
+        self.roles.iter().map(|(&a, &r)| (a, r))
+    }
+
+    /// Count ASes per short role name.
+    pub fn counts(&self) -> HashMap<String, usize> {
+        let mut out = HashMap::new();
+        for (_, r) in self.iter() {
+            *out.entry(r.short()).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_names() {
+        assert_eq!(Role::TF.short(), "tf");
+        assert_eq!(Role::TC.short(), "tc");
+        assert_eq!(Role::SF.short(), "sf");
+        assert_eq!(Role::SC.short(), "sc");
+        let sel = Role {
+            tagging: TaggingBehavior::Selective(SelectivePolicy::NoProvider),
+            forwarding: ForwardingBehavior::Forward,
+        };
+        assert_eq!(sel.short(), "Tf");
+    }
+
+    #[test]
+    fn selective_policy_matrix() {
+        use EdgeKind::*;
+        let p = SelectivePolicy::NoProvider;
+        assert!(!p.tags_toward(Some(Provider)));
+        assert!(p.tags_toward(Some(Peer)));
+        assert!(p.tags_toward(Some(Customer)));
+        assert!(p.tags_toward(None)); // collector
+
+        let pp = SelectivePolicy::NoProviderNoPeer;
+        assert!(!pp.tags_toward(Some(Provider)));
+        assert!(!pp.tags_toward(Some(Peer)));
+        assert!(pp.tags_toward(Some(Customer)));
+        assert!(pp.tags_toward(None));
+
+        let co = SelectivePolicy::CollectorOnly;
+        assert!(!co.tags_toward(Some(Customer)));
+        assert!(co.tags_toward(None));
+    }
+
+    #[test]
+    fn assignment_roundtrip() {
+        let mut a = RoleAssignment::new();
+        a.set(Asn(1), Role::TF);
+        a.set(Asn(2), Role::SC);
+        assert_eq!(a.role(Asn(1)), Role::TF);
+        assert_eq!(a.get(Asn(3)), None);
+        assert_eq!(a.len(), 2);
+        let counts = a.counts();
+        assert_eq!(counts["tf"], 1);
+        assert_eq!(counts["sc"], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no role assigned")]
+    fn missing_role_panics() {
+        RoleAssignment::new().role(Asn(9));
+    }
+}

@@ -1,0 +1,274 @@
+//! Scenario generators (paper §6.1–§6.2).
+//!
+//! A scenario assigns ground-truth roles to every AS of a topology, runs
+//! the propagation model over a path substrate, and returns the resulting
+//! `(path, comm)` tuples together with the roles and the visibility
+//! annotation — everything the verification experiments (Table 2, Fig. 2,
+//! Tables 5/6) need.
+//!
+//! | Scenario       | Roles                                               |
+//! |----------------|-----------------------------------------------------|
+//! | `alltf`        | every AS tagger-forward (max visibility)            |
+//! | `alltc`        | every AS tagger-cleaner (min visibility)            |
+//! | `random`       | uniform over {tf, tc, sf, sc}                       |
+//! | `random+noise` | `random` roles + the §6.1 noise model               |
+//! | `random-p`     | `random`, ~50% of taggers selective (no providers)  |
+//! | `random-pp`    | `random`, ~50% selective (no providers, no peers)   |
+
+use crate::noise::NoiseModel;
+use crate::propagate::Propagator;
+use crate::role::{ForwardingBehavior, Role, RoleAssignment, SelectivePolicy, TaggingBehavior};
+use crate::visibility::Visibility;
+use bgp_topology::prelude::*;
+use bgp_types::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Which §6 scenario to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// All ASes tagger-forward.
+    AllTf,
+    /// All ASes tagger-cleaner.
+    AllTc,
+    /// Uniform random over the four consistent roles.
+    Random,
+    /// `Random` plus the noise model.
+    RandomNoise,
+    /// `Random` with ~50% of taggers selective: no tagging toward providers.
+    RandomP,
+    /// `Random` with ~50% of taggers selective: tagging toward customers
+    /// and collectors only.
+    RandomPp,
+}
+
+impl Scenario {
+    /// All six scenarios in paper order.
+    pub const ALL: [Scenario; 6] = [
+        Scenario::AllTc,
+        Scenario::AllTf,
+        Scenario::Random,
+        Scenario::RandomNoise,
+        Scenario::RandomP,
+        Scenario::RandomPp,
+    ];
+
+    /// The paper's name for the scenario.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::AllTf => "alltf",
+            Scenario::AllTc => "alltc",
+            Scenario::Random => "random",
+            Scenario::RandomNoise => "random+noise",
+            Scenario::RandomP => "random-p",
+            Scenario::RandomPp => "random-pp",
+        }
+    }
+
+    /// Assign ground-truth roles for this scenario.
+    ///
+    /// `random+noise` uses the same seed stream as `random` so the two are
+    /// role-identical (the paper re-uses the same seed to isolate the
+    /// noise effect).
+    pub fn assign_roles(&self, g: &AsGraph, seed: u64) -> RoleAssignment {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ra = RoleAssignment::new();
+        match self {
+            Scenario::AllTf => {
+                for asn in g.asns() {
+                    ra.set(asn, Role::TF);
+                }
+            }
+            Scenario::AllTc => {
+                for asn in g.asns() {
+                    ra.set(asn, Role::TC);
+                }
+            }
+            Scenario::Random | Scenario::RandomNoise => {
+                for asn in g.asns() {
+                    ra.set(asn, random_role(&mut rng));
+                }
+            }
+            Scenario::RandomP | Scenario::RandomPp => {
+                let policy = if *self == Scenario::RandomP {
+                    SelectivePolicy::NoProvider
+                } else {
+                    SelectivePolicy::NoProviderNoPeer
+                };
+                for asn in g.asns() {
+                    let mut role = random_role(&mut rng);
+                    // ~50% of taggers become selective.
+                    if role.is_tagger() && rng.random_bool(0.5) {
+                        role.tagging = TaggingBehavior::Selective(policy);
+                    }
+                    ra.set(asn, role);
+                }
+            }
+        }
+        ra
+    }
+
+    /// Materialize the scenario: assign roles, propagate communities over
+    /// `paths`, compute visibility.
+    pub fn materialize(&self, g: &AsGraph, paths: &[AsPath], seed: u64) -> GroundTruthDataset {
+        let roles = self.assign_roles(g, seed);
+        let noise = match self {
+            Scenario::RandomNoise => Some(NoiseModel::paper_defaults(g.asns(), seed)),
+            _ => None,
+        };
+        let tuples = {
+            let mut prop = Propagator::new(g, &roles);
+            if let Some(n) = &noise {
+                prop = prop.with_noise(n);
+            }
+            prop.tuples(paths)
+        };
+        // Visibility is defined on the noise-free model: hidden-ness is a
+        // topological property of roles, not of noise.
+        let vis_prop = Propagator::new(g, &roles);
+        let visibility = Visibility::compute(&vis_prop, paths);
+        GroundTruthDataset { scenario: *self, roles, tuples, visibility }
+    }
+}
+
+fn random_role(rng: &mut StdRng) -> Role {
+    let tagging =
+        if rng.random_bool(0.5) { TaggingBehavior::Tagger } else { TaggingBehavior::Silent };
+    let forwarding =
+        if rng.random_bool(0.5) { ForwardingBehavior::Forward } else { ForwardingBehavior::Cleaner };
+    Role { tagging, forwarding }
+}
+
+/// A fully materialized ground-truth dataset: the input to verification.
+#[derive(Debug, Clone)]
+pub struct GroundTruthDataset {
+    /// Which scenario produced it.
+    pub scenario: Scenario,
+    /// Ground-truth roles.
+    pub roles: RoleAssignment,
+    /// The `(path, comm)` tuples as a collector would record them.
+    pub tuples: Vec<PathCommTuple>,
+    /// Ground-truth observability annotation.
+    pub visibility: Visibility,
+}
+
+impl GroundTruthDataset {
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_world() -> (AsGraph, Vec<AsPath>) {
+        let mut cfg = TopologyConfig::small();
+        cfg.transit = 40;
+        cfg.edge = 160;
+        cfg.collector_peers = 12;
+        let g = cfg.seed(5).build();
+        let origins: Vec<NodeId> = g.node_ids().collect();
+        let substrate = PathSubstrate::generate_for_origins(&g, &origins, 4);
+        (g, substrate.paths)
+    }
+
+    #[test]
+    fn alltf_everything_tagged() {
+        let (g, paths) = small_world();
+        let ds = Scenario::AllTf.materialize(&g, &paths, 1);
+        for t in &ds.tuples {
+            // Every AS on the path contributed its community.
+            for &a in t.path.asns() {
+                assert!(t.comm.contains_upper(a));
+            }
+        }
+    }
+
+    #[test]
+    fn alltc_only_peer_tag_survives() {
+        let (g, paths) = small_world();
+        let ds = Scenario::AllTc.materialize(&g, &paths, 1);
+        for t in &ds.tuples {
+            assert_eq!(t.comm.len(), 1, "cleaner peers keep only their own tag");
+            assert!(t.comm.contains_upper(t.path.peer()));
+        }
+    }
+
+    #[test]
+    fn random_role_distribution_uniform() {
+        let (g, _) = small_world();
+        let ra = Scenario::Random.assign_roles(&g, 3);
+        let counts = ra.counts();
+        let n = g.node_count() as f64;
+        for k in ["tf", "tc", "sf", "sc"] {
+            let share = counts[k] as f64 / n;
+            assert!((0.17..0.33).contains(&share), "{k} share {share}");
+        }
+    }
+
+    #[test]
+    fn random_and_noise_share_roles() {
+        let (g, _) = small_world();
+        let a = Scenario::Random.assign_roles(&g, 9);
+        let b = Scenario::RandomNoise.assign_roles(&g, 9);
+        for asn in g.asns() {
+            assert_eq!(a.role(asn), b.role(asn));
+        }
+    }
+
+    #[test]
+    fn selective_share_of_taggers() {
+        let (g, _) = small_world();
+        let ra = Scenario::RandomP.assign_roles(&g, 4);
+        let (mut sel, mut tag) = (0, 0);
+        for (_, r) in ra.iter() {
+            if r.is_selective() {
+                sel += 1;
+            } else if r.is_tagger() {
+                tag += 1;
+            }
+        }
+        let share = sel as f64 / (sel + tag) as f64;
+        assert!((0.4..0.6).contains(&share), "selective share {share}");
+    }
+
+    #[test]
+    fn noise_changes_outputs_but_not_roles() {
+        let (g, paths) = small_world();
+        let clean = Scenario::Random.materialize(&g, &paths, 11);
+        let noisy = Scenario::RandomNoise.materialize(&g, &paths, 11);
+        assert_eq!(clean.len(), noisy.len());
+        let differing = clean
+            .tuples
+            .iter()
+            .zip(&noisy.tuples)
+            .filter(|(a, b)| a.comm != b.comm)
+            .count();
+        assert!(differing > 0, "noise must perturb some outputs");
+        // Expected perturbation band: path-occurrence noise at 5% +
+        // tuple noise at 5% -> roughly 5-25% of tuples affected.
+        let share = differing as f64 / clean.len() as f64;
+        assert!(share < 0.5, "noise share {share} too large");
+    }
+
+    #[test]
+    fn materialize_deterministic() {
+        let (g, paths) = small_world();
+        let a = Scenario::RandomPp.materialize(&g, &paths, 21);
+        let b = Scenario::RandomPp.materialize(&g, &paths, 21);
+        assert_eq!(a.tuples, b.tuples);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = Scenario::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["alltc", "alltf", "random", "random+noise", "random-p", "random-pp"]);
+    }
+}

@@ -1,0 +1,263 @@
+//! Ground-truth visibility annotation (paper §5.1.2–§5.1.3, §6.4).
+//!
+//! Even with perfect knowledge of every AS's role, some behavior is
+//! fundamentally unobservable at collectors:
+//!
+//! * an AS's **tagging** behavior is *hidden* when on every path through it
+//!   some upstream AS is a cleaner;
+//! * an AS's **forwarding** behavior is *hidden* when no path offers both a
+//!   clean upstream and a visible downstream tagger;
+//! * **leaf** ASes (only ever path origins) have no forwarding behavior to
+//!   observe at all.
+//!
+//! The confusion matrices of Tables 5/6 report these rows separately; this
+//! module computes them from the ground-truth roles, independent of the
+//! inference.
+
+use crate::propagate::Propagator;
+use bgp_types::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// Per-AS ground-truth observability.
+#[derive(Debug, Clone, Default)]
+pub struct Visibility {
+    /// ASes whose tagging behavior is visible on at least one tuple.
+    pub tagging_visible: HashSet<Asn>,
+    /// ASes whose forwarding behavior is visible on at least one tuple.
+    pub forwarding_visible: HashSet<Asn>,
+    /// ASes that never appear at a non-terminal path position.
+    pub leaves: HashSet<Asn>,
+    /// Every AS seen on any path.
+    pub all: HashSet<Asn>,
+}
+
+impl Visibility {
+    /// Compute visibility for a set of paths under ground-truth roles.
+    ///
+    /// `prop` supplies both the forwarding roles (via its role assignment)
+    /// and the relationship-aware "does this AS tag on this edge" test
+    /// needed for selective taggers.
+    pub fn compute(prop: &Propagator<'_>, paths: &[AsPath]) -> Self {
+        let mut v = Visibility::default();
+        let mut non_terminal: HashSet<Asn> = HashSet::new();
+
+        for p in paths {
+            let asns = p.asns();
+            let n = asns.len();
+            v.all.extend(asns.iter().copied());
+            for &a in &asns[..n - 1] {
+                non_terminal.insert(a);
+            }
+
+            // Walk upstream prefix: clean[x] = all A_i (i < x) forward.
+            let mut upstream_clean = true;
+            for x in 1..=n {
+                let ax = asns[x - 1];
+                if upstream_clean {
+                    v.tagging_visible.insert(ax);
+                    // Forwarding visible: need a downstream tagger A_t whose
+                    // tag actually traverses A_x, with forwarders between.
+                    if x < n && Self::downstream_tagger_visible(prop, asns, x) {
+                        v.forwarding_visible.insert(ax);
+                    }
+                }
+                // Does A_x keep the chain clean for positions x+1..?
+                if !prop.roles().role(ax).is_forward() {
+                    upstream_clean = false;
+                }
+                if !upstream_clean && x >= 1 {
+                    // Nothing further downstream can be visible on this path.
+                    break;
+                }
+            }
+        }
+
+        v.leaves = v.all.difference(&non_terminal).copied().collect();
+        v
+    }
+
+    /// Is there a `t > x` with `A_t` tagging toward `A_{t-1}` and every AS
+    /// strictly between `x` and `t` forwarding?
+    fn downstream_tagger_visible(prop: &Propagator<'_>, asns: &[Asn], x: usize) -> bool {
+        let n = asns.len();
+        for t in (x + 1)..=n {
+            let at = asns[t - 1];
+            // All A_j with x < j < t must forward.
+            // (Checked incrementally: if A_{t-1} for t-1 > x is a cleaner,
+            // no later t can work either.)
+            if prop.tags_on_edge(at, Some(asns[t - 2])) {
+                return true;
+            }
+            if !prop.roles().role(at).is_forward() {
+                return false; // tags from beyond A_t are cleaned here
+            }
+        }
+        false
+    }
+
+    /// Tagging hidden: seen somewhere, never with a clean upstream.
+    pub fn tagging_hidden(&self, asn: Asn) -> bool {
+        self.all.contains(&asn) && !self.tagging_visible.contains(&asn)
+    }
+
+    /// Forwarding hidden: a transit AS whose forwarding is never
+    /// observable.
+    pub fn forwarding_hidden(&self, asn: Asn) -> bool {
+        self.all.contains(&asn)
+            && !self.leaves.contains(&asn)
+            && !self.forwarding_visible.contains(&asn)
+    }
+
+    /// Whether the AS is a leaf in the substrate.
+    pub fn is_leaf(&self, asn: Asn) -> bool {
+        self.leaves.contains(&asn)
+    }
+
+    /// Summary counts: (all, tagging visible, forwarding visible, leaves).
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        (
+            self.all.len(),
+            self.tagging_visible.len(),
+            self.forwarding_visible.len(),
+            self.leaves.len(),
+        )
+    }
+
+    /// Group visibility per AS into a map for fast joins in eval code.
+    pub fn tagging_visibility_map(&self) -> HashMap<Asn, bool> {
+        self.all.iter().map(|&a| (a, self.tagging_visible.contains(&a))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::role::{Role, RoleAssignment};
+    use bgp_topology::prelude::{AsGraph, Relationship, Tier};
+
+    fn setup(roles: [(u32, Role); 4]) -> (AsGraph, RoleAssignment) {
+        let mut g = AsGraph::new();
+        let ids: Vec<_> = roles
+            .iter()
+            .enumerate()
+            .map(|(i, &(asn, _))| {
+                g.add_node(Asn(asn), if i == roles.len() - 1 { Tier::Edge } else { Tier::Transit })
+            })
+            .collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[1], w[0], Relationship::CustomerToProvider);
+        }
+        let mut ra = RoleAssignment::new();
+        for &(asn, role) in &roles {
+            ra.set(Asn(asn), role);
+        }
+        (g, ra)
+    }
+
+    #[test]
+    fn cleaner_hides_everything_downstream() {
+        // A1 tf, A2 tc (cleaner), A3 tf, A4 tf.
+        let (g, ra) =
+            setup([(1, Role::TF), (2, Role::TC), (3, Role::TF), (4, Role::TF)]);
+        let prop = Propagator::new(&g, &ra);
+        let paths = vec![path(&[1, 2, 3, 4])];
+        let v = Visibility::compute(&prop, &paths);
+        assert!(v.tagging_visible.contains(&Asn(1)));
+        assert!(v.tagging_visible.contains(&Asn(2)));
+        assert!(!v.tagging_visible.contains(&Asn(3)), "hidden behind cleaner A2");
+        assert!(v.tagging_hidden(Asn(3)));
+        assert!(v.tagging_hidden(Asn(4)));
+    }
+
+    #[test]
+    fn forwarding_needs_downstream_tagger() {
+        // A1 sf, A2 sf, A3 silent origin: nobody downstream of A1/A2 tags,
+        // so no forwarding visibility anywhere.
+        let (g, ra) =
+            setup([(1, Role::SF), (2, Role::SF), (3, Role::SF), (4, Role::SC)]);
+        let prop = Propagator::new(&g, &ra);
+        let paths = vec![path(&[1, 2, 3, 4])];
+        let v = Visibility::compute(&prop, &paths);
+        assert!(v.forwarding_visible.is_empty());
+        assert!(v.forwarding_hidden(Asn(1)));
+        // Leaf A4 is not "hidden": it has nothing to observe.
+        assert!(!v.forwarding_hidden(Asn(4)));
+        assert!(v.is_leaf(Asn(4)));
+    }
+
+    #[test]
+    fn forwarding_visible_with_tagger_origin() {
+        let (g, ra) =
+            setup([(1, Role::SF), (2, Role::SF), (3, Role::SF), (4, Role::TF)]);
+        let prop = Propagator::new(&g, &ra);
+        let paths = vec![path(&[1, 2, 3, 4])];
+        let v = Visibility::compute(&prop, &paths);
+        for a in [1u32, 2, 3] {
+            assert!(v.forwarding_visible.contains(&Asn(a)), "AS{a} forwarding visible");
+        }
+        assert!(!v.forwarding_visible.contains(&Asn(4)), "origin is a leaf");
+    }
+
+    #[test]
+    fn intermediate_cleaner_blocks_tagger_light() {
+        // A4 tags, but A3 cleans: A2's forwarding cannot be judged from
+        // A4's tag; A3 itself tags though, so A2 IS illuminated by A3.
+        let (g, ra) =
+            setup([(1, Role::SF), (2, Role::SF), (3, Role::TC), (4, Role::TF)]);
+        let prop = Propagator::new(&g, &ra);
+        let paths = vec![path(&[1, 2, 3, 4])];
+        let v = Visibility::compute(&prop, &paths);
+        assert!(v.forwarding_visible.contains(&Asn(2)), "A3's own tag illuminates A2");
+        // A3's forwarding: downstream tagger A4 exists and is adjacent.
+        assert!(v.forwarding_visible.contains(&Asn(3)));
+    }
+
+    #[test]
+    fn silent_cleaner_between_blocks() {
+        // A3 silent-cleaner, A4 tagger: A4's tag is eaten by A3 and A3 adds
+        // nothing, so A2 gets no downstream light.
+        let (g, ra) =
+            setup([(1, Role::SF), (2, Role::SF), (3, Role::SC), (4, Role::TF)]);
+        let prop = Propagator::new(&g, &ra);
+        let paths = vec![path(&[1, 2, 3, 4])];
+        let v = Visibility::compute(&prop, &paths);
+        assert!(!v.forwarding_visible.contains(&Asn(2)));
+        assert!(v.forwarding_visible.contains(&Asn(3)), "A4 illuminates A3");
+    }
+
+    #[test]
+    fn multiple_paths_union_visibility() {
+        // Path 1 hides A3 behind a cleaner; path 2 shows it cleanly.
+        let mut g = AsGraph::new();
+        let a1 = g.add_node(Asn(1), Tier::Transit);
+        let a2 = g.add_node(Asn(2), Tier::Transit);
+        let a3 = g.add_node(Asn(3), Tier::Edge);
+        let b1 = g.add_node(Asn(5), Tier::Transit);
+        g.add_edge(a2, a1, Relationship::CustomerToProvider);
+        g.add_edge(a3, a2, Relationship::CustomerToProvider);
+        g.add_edge(a3, b1, Relationship::CustomerToProvider);
+        let mut ra = RoleAssignment::new();
+        ra.set(Asn(1), Role::TF);
+        ra.set(Asn(2), Role::TC); // cleaner on path 1
+        ra.set(Asn(3), Role::TF);
+        ra.set(Asn(5), Role::SF); // clean path 2
+        let prop = Propagator::new(&g, &ra);
+        let paths = vec![path(&[1, 2, 3]), path(&[5, 3])];
+        let v = Visibility::compute(&prop, &paths);
+        assert!(v.tagging_visible.contains(&Asn(3)), "visible via second path");
+        assert!(!v.tagging_hidden(Asn(3)));
+    }
+
+    #[test]
+    fn counts_shape() {
+        let (g, ra) =
+            setup([(1, Role::TF), (2, Role::TF), (3, Role::TF), (4, Role::TF)]);
+        let prop = Propagator::new(&g, &ra);
+        let v = Visibility::compute(&prop, &[path(&[1, 2, 3, 4])]);
+        let (all, tv, fv, leaves) = v.counts();
+        assert_eq!(all, 4);
+        assert_eq!(tv, 4);
+        assert_eq!(fv, 3);
+        assert_eq!(leaves, 1);
+    }
+}

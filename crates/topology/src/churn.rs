@@ -1,0 +1,186 @@
+//! Topology churn: evolving a graph over time.
+//!
+//! The paper's longitudinal experiment (Figure 4) runs the inference on
+//! quarterly snapshots over two years and finds stable class counts. To
+//! reproduce the *shape* of that experiment we need a time-evolving
+//! substrate: a base topology where, each epoch, some edge ASes disappear
+//! and new ones appear while the transit core persists — which is how the
+//! real AS-level graph actually evolves (churn concentrates at the edge).
+
+use crate::generate::TopologyConfig;
+use crate::graph::{AsGraph, NodeId, Relationship, Tier};
+use bgp_types::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Produces a sequence of topology snapshots with edge churn.
+#[derive(Debug, Clone)]
+pub struct ChurnModel {
+    /// Fraction of edge ASes replaced per epoch (paper-era reality: a few
+    /// percent per quarter).
+    pub edge_churn: f64,
+    /// Seed for churn decisions.
+    pub seed: u64,
+}
+
+impl Default for ChurnModel {
+    fn default() -> Self {
+        ChurnModel { edge_churn: 0.03, seed: 7 }
+    }
+}
+
+impl ChurnModel {
+    /// Generate `epochs` snapshots starting from `cfg`'s base topology.
+    ///
+    /// Snapshot 0 is the base graph; each later snapshot replaces
+    /// `edge_churn` of the edge ASes with fresh ones (new ASNs, new
+    /// provider choices). Core (Tier-1/transit) ASes and their ASNs are
+    /// stable across snapshots, so per-AS behavior comparisons over time
+    /// are meaningful.
+    pub fn snapshots(&self, cfg: &TopologyConfig, epochs: usize) -> Vec<AsGraph> {
+        let base = cfg.build();
+        let mut out = Vec::with_capacity(epochs);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut current = base;
+        out.push(current.clone());
+        for epoch in 1..epochs {
+            current = self.step(&current, &mut rng, cfg, epoch);
+            out.push(current.clone());
+        }
+        out
+    }
+
+    /// One churn step: rebuild the graph, dropping a random subset of edge
+    /// ASes and adding replacements.
+    fn step(&self, g: &AsGraph, rng: &mut StdRng, cfg: &TopologyConfig, epoch: usize) -> AsGraph {
+        let edge_ids: Vec<NodeId> =
+            g.node_ids().filter(|&id| g.node(id).tier == Tier::Edge).collect();
+        let n_replace = ((edge_ids.len() as f64) * self.edge_churn).round() as usize;
+        let mut removed: BTreeSet<NodeId> = BTreeSet::new();
+        while removed.len() < n_replace && removed.len() < edge_ids.len() {
+            removed.insert(*edge_ids.choose(rng).unwrap());
+        }
+
+        let mut ng = AsGraph::new();
+        // Copy survivors, remembering id remapping.
+        let mut remap: Vec<Option<NodeId>> = vec![None; g.node_count()];
+        for id in g.node_ids() {
+            if removed.contains(&id) {
+                continue;
+            }
+            let node = g.node(id);
+            let nid = ng.add_node(node.asn, node.tier);
+            ng.set_collector_peer(nid, node.collector_peer);
+            remap[id as usize] = Some(nid);
+        }
+        for id in g.node_ids() {
+            let Some(a) = remap[id as usize] else { continue };
+            for &p in g.providers(id) {
+                if let Some(b) = remap[p as usize] {
+                    ng.add_edge(a, b, Relationship::CustomerToProvider);
+                }
+            }
+            for &p in g.peers(id) {
+                if p > id {
+                    if let Some(b) = remap[p as usize] {
+                        ng.add_edge(a, b, Relationship::PeerToPeer);
+                    }
+                }
+            }
+        }
+
+        // Add replacements with fresh ASNs attached to random transit ASes.
+        let existing: BTreeSet<Asn> = ng.asns().collect();
+        let transits: Vec<NodeId> =
+            ng.node_ids().filter(|&id| ng.node(id).tier != Tier::Edge).collect();
+        let mut added = 0;
+        while added < n_replace {
+            let v = if rng.random_bool(cfg.frac_32bit) {
+                rng.random_range(131_072u32..4_199_999_999)
+            } else {
+                rng.random_range(1u32..64_495)
+            };
+            let asn = Asn(v);
+            if !asn.is_public_range() || existing.contains(&asn) || ng.id_of(asn).is_some() {
+                continue;
+            }
+            let nid = ng.add_node(asn, Tier::Edge);
+            let nproviders = 1 + (epoch + added) % 2;
+            for _ in 0..nproviders {
+                if let Some(&p) = transits.choose(rng) {
+                    ng.add_edge(nid, p, Relationship::CustomerToProvider);
+                }
+            }
+            added += 1;
+        }
+        ng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_preserve_core() {
+        let cfg = TopologyConfig::small();
+        let snaps = ChurnModel::default().snapshots(&cfg, 4);
+        assert_eq!(snaps.len(), 4);
+        let core0: BTreeSet<Asn> = snaps[0]
+            .node_ids()
+            .filter(|&id| snaps[0].node(id).tier != Tier::Edge)
+            .map(|id| snaps[0].asn_of(id))
+            .collect();
+        for s in &snaps[1..] {
+            let core: BTreeSet<Asn> = s
+                .node_ids()
+                .filter(|&id| s.node(id).tier != Tier::Edge)
+                .map(|id| s.asn_of(id))
+                .collect();
+            assert_eq!(core, core0, "core ASes must persist across churn");
+        }
+    }
+
+    #[test]
+    fn node_count_stable() {
+        let cfg = TopologyConfig::small();
+        let snaps = ChurnModel::default().snapshots(&cfg, 3);
+        for s in &snaps {
+            assert_eq!(s.node_count(), cfg.total());
+        }
+    }
+
+    #[test]
+    fn edges_churn() {
+        let cfg = TopologyConfig::small();
+        let snaps = ChurnModel { edge_churn: 0.1, seed: 3 }.snapshots(&cfg, 2);
+        let edges0: BTreeSet<Asn> = snaps[0]
+            .node_ids()
+            .filter(|&id| snaps[0].node(id).tier == Tier::Edge)
+            .map(|id| snaps[0].asn_of(id))
+            .collect();
+        let edges1: BTreeSet<Asn> = snaps[1]
+            .node_ids()
+            .filter(|&id| snaps[1].node(id).tier == Tier::Edge)
+            .map(|id| snaps[1].asn_of(id))
+            .collect();
+        let departed = edges0.difference(&edges1).count();
+        let arrived = edges1.difference(&edges0).count();
+        assert!(departed > 0 && arrived > 0);
+        assert_eq!(departed, arrived); // replacement keeps size constant
+    }
+
+    #[test]
+    fn churned_graphs_still_connected() {
+        let cfg = TopologyConfig::small();
+        let snaps = ChurnModel::default().snapshots(&cfg, 3);
+        let last = snaps.last().unwrap();
+        for id in last.node_ids() {
+            if last.node(id).tier != Tier::Tier1 {
+                assert!(!last.providers(id).is_empty() || !last.peers(id).is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Seeded generation of Internet-like AS topologies.
+//!
+//! The generator produces the macro-structure the paper's substrate (real
+//! AS paths from `d_May21`) exhibits:
+//!
+//! * a small transit-free **Tier-1 clique**,
+//! * a middle layer of **transit** providers with 1–3 providers each,
+//!   preferentially attached (rich get richer) plus lateral peering,
+//! * a large majority (~83% in the paper) of **edge/leaf** ASes with
+//!   multihomed provider links and no customers,
+//! * a realistic **32-bit ASN share** (~43% in Table 1),
+//! * a set of **collector peers** biased toward large ASes but including
+//!   some stubs (the paper observes 64 of 766 peers appearing as leaves).
+//!
+//! Everything is driven by a single `u64` seed for reproducibility.
+
+use crate::graph::{AsGraph, NodeId, Relationship, Tier};
+use bgp_types::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::{IndexedRandom, SliceRandom};
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Configuration for topology generation.
+#[derive(Debug, Clone)]
+pub struct TopologyConfig {
+    /// Number of Tier-1 (clique) ASes.
+    pub tier1: usize,
+    /// Number of transit ASes.
+    pub transit: usize,
+    /// Number of edge (stub) ASes.
+    pub edge: usize,
+    /// Number of collector peers to select.
+    pub collector_peers: usize,
+    /// Fraction of ASes receiving a 32-bit-only ASN (paper: ≈0.43).
+    pub frac_32bit: f64,
+    /// Probability of an extra lateral peer link per transit AS.
+    pub transit_peering: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TopologyConfig {
+    /// A laptop-scale topology (~1.2k ASes) for tests and examples.
+    pub fn small() -> Self {
+        TopologyConfig {
+            tier1: 8,
+            transit: 180,
+            edge: 1_000,
+            collector_peers: 60,
+            frac_32bit: 0.43,
+            transit_peering: 0.4,
+            seed: 1,
+        }
+    }
+
+    /// The default experiment scale (~7.3k ASes): a 1:10 scale model of the
+    /// paper's 72,951-AS substrate, preserving the tier proportions.
+    pub fn paper_scale() -> Self {
+        TopologyConfig {
+            tier1: 12,
+            transit: 1_230,
+            edge: 6_050,
+            collector_peers: 77, // 766 / 10, ≈1% of ASes as in the paper
+            frac_32bit: 0.43,
+            transit_peering: 0.5,
+            seed: 1,
+        }
+    }
+
+    /// Full paper scale (~73k ASes). Expensive: minutes per routing pass.
+    pub fn full_scale() -> Self {
+        TopologyConfig {
+            tier1: 15,
+            transit: 12_300,
+            edge: 60_400,
+            collector_peers: 766,
+            frac_32bit: 0.43,
+            transit_peering: 0.5,
+            seed: 1,
+        }
+    }
+
+    /// Set the seed (builder style).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total AS count this config will generate.
+    pub fn total(&self) -> usize {
+        self.tier1 + self.transit + self.edge
+    }
+
+    /// Generate the topology.
+    pub fn build(&self) -> AsGraph {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut g = AsGraph::new();
+
+        let asns = generate_asns(self.total(), self.frac_32bit, &mut rng);
+        let mut it = asns.into_iter();
+
+        // Tier-1 clique.
+        let t1: Vec<NodeId> =
+            (0..self.tier1).map(|_| g.add_node(it.next().unwrap(), Tier::Tier1)).collect();
+        for i in 0..t1.len() {
+            for j in (i + 1)..t1.len() {
+                g.add_edge(t1[i], t1[j], Relationship::PeerToPeer);
+            }
+        }
+
+        // Transit layer with preferential attachment: provider chosen with
+        // probability proportional to current customer count + 1.
+        let mut transits: Vec<NodeId> = Vec::with_capacity(self.transit);
+        for _ in 0..self.transit {
+            let id = g.add_node(it.next().unwrap(), Tier::Transit);
+            let nproviders = 1 + rng.random_range(0..3.min(1 + transits.len()));
+            let mut chosen = BTreeSet::new();
+            for _ in 0..nproviders {
+                let p = pick_provider(&g, &t1, &transits, &mut rng);
+                if p != id {
+                    chosen.insert(p);
+                }
+            }
+            for p in chosen {
+                g.add_edge(id, p, Relationship::CustomerToProvider);
+            }
+            // Lateral peering among transit ASes.
+            if !transits.is_empty() && rng.random_bool(self.transit_peering) {
+                let peer = *transits.choose(&mut rng).unwrap();
+                g.add_edge(id, peer, Relationship::PeerToPeer);
+            }
+            transits.push(id);
+        }
+
+        // Edge layer: multihome to 1..=3 transit (rarely Tier-1) providers.
+        for _ in 0..self.edge {
+            let id = g.add_node(it.next().unwrap(), Tier::Edge);
+            let nproviders = 1 + rng.random_range(0..3usize);
+            let mut chosen = BTreeSet::new();
+            for _ in 0..nproviders {
+                let p = if !transits.is_empty() && rng.random_bool(0.93) {
+                    pick_provider(&g, &[], &transits, &mut rng)
+                } else {
+                    *t1.choose(&mut rng).unwrap()
+                };
+                chosen.insert(p);
+            }
+            for p in chosen {
+                g.add_edge(id, p, Relationship::CustomerToProvider);
+            }
+        }
+
+        // Collector peers: all Tier-1, then transit by descending degree,
+        // plus ~8% stubs (the paper sees a small leaf share among peers).
+        let n_stub_peers = (self.collector_peers as f64 * 0.08).round() as usize;
+        let n_large_peers = self.collector_peers.saturating_sub(n_stub_peers);
+        let mut large: Vec<NodeId> = t1.iter().chain(transits.iter()).copied().collect();
+        large.sort_by_key(|&id| std::cmp::Reverse(g.customers(id).len()));
+        for &id in large.iter().take(n_large_peers) {
+            g.set_collector_peer(id, true);
+        }
+        let mut stubs: Vec<NodeId> =
+            g.node_ids().filter(|&id| g.is_stub(id) && g.node(id).tier == Tier::Edge).collect();
+        stubs.shuffle(&mut rng);
+        for &id in stubs.iter().take(n_stub_peers) {
+            g.set_collector_peer(id, true);
+        }
+
+        g
+    }
+}
+
+/// Draw `n` unique public ASNs with roughly `frac_32bit` of them 32-bit.
+fn generate_asns(n: usize, frac_32bit: f64, rng: &mut StdRng) -> Vec<Asn> {
+    let mut set = BTreeSet::new();
+    while set.len() < n {
+        let v = if rng.random_bool(frac_32bit) {
+            rng.random_range(131_072u32..4_199_999_999)
+        } else {
+            rng.random_range(1u32..64_495)
+        };
+        let asn = Asn(v);
+        if asn.is_public_range() {
+            set.insert(asn);
+        }
+    }
+    let mut v: Vec<Asn> = set.into_iter().collect();
+    v.shuffle(rng);
+    v
+}
+
+/// Preferential attachment: weight candidates by customer degree + 1.
+fn pick_provider(g: &AsGraph, t1: &[NodeId], transits: &[NodeId], rng: &mut StdRng) -> NodeId {
+    let candidates: Vec<NodeId> = t1.iter().chain(transits.iter()).copied().collect();
+    debug_assert!(!candidates.is_empty(), "no provider candidates");
+    let total: usize = candidates.iter().map(|&c| g.customers(c).len() + 1).sum();
+    let mut pick = rng.random_range(0..total);
+    for &c in &candidates {
+        let w = g.customers(c).len() + 1;
+        if pick < w {
+            return c;
+        }
+        pick -= w;
+    }
+    *candidates.last().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_topology_shape() {
+        let cfg = TopologyConfig::small();
+        let g = cfg.build();
+        assert_eq!(g.node_count(), cfg.total());
+        // Every non-Tier1 node has at least one provider (connectivity).
+        for id in g.node_ids() {
+            if g.node(id).tier != Tier::Tier1 {
+                assert!(!g.providers(id).is_empty(), "node {id} disconnected");
+            }
+        }
+        // Edge nodes have no customers.
+        for id in g.node_ids() {
+            if g.node(id).tier == Tier::Edge {
+                assert!(g.is_stub(id));
+            }
+        }
+        assert_eq!(g.collector_peers().len(), cfg.collector_peers);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = TopologyConfig::small().seed(42).build();
+        let b = TopologyConfig::small().seed(42).build();
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        let asns_a: Vec<Asn> = a.asns().collect();
+        let asns_b: Vec<Asn> = b.asns().collect();
+        assert_eq!(asns_a, asns_b);
+        assert_eq!(a.collector_peers(), b.collector_peers());
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let a = TopologyConfig::small().seed(1).build();
+        let b = TopologyConfig::small().seed(2).build();
+        let asns_a: Vec<Asn> = a.asns().collect();
+        let asns_b: Vec<Asn> = b.asns().collect();
+        assert_ne!(asns_a, asns_b);
+    }
+
+    #[test]
+    fn thirty_two_bit_share_close_to_config() {
+        let g = TopologyConfig::small().seed(3).build();
+        let n32 = g.asns().filter(|a| a.is_32bit_only()).count();
+        let share = n32 as f64 / g.node_count() as f64;
+        assert!((0.3..0.55).contains(&share), "32-bit share {share} out of band");
+    }
+
+    #[test]
+    fn all_asns_public() {
+        let g = TopologyConfig::small().seed(4).build();
+        assert!(g.asns().all(|a| a.is_public_range()));
+    }
+
+    #[test]
+    fn tier1_clique_fully_peered() {
+        let g = TopologyConfig::small().seed(5).build();
+        let t1: Vec<_> = g.node_ids().filter(|&id| g.node(id).tier == Tier::Tier1).collect();
+        for &a in &t1 {
+            for &b in &t1 {
+                if a != b {
+                    assert!(g.peers(a).contains(&b), "tier1 clique edge missing");
+                }
+            }
+            // Tier-1s have no providers.
+            assert!(g.providers(a).is_empty());
+        }
+    }
+
+    #[test]
+    fn collector_peers_include_stubs() {
+        let g = TopologyConfig::small().seed(6).build();
+        let stub_peers = g
+            .collector_peer_ids()
+            .into_iter()
+            .filter(|&id| g.is_stub(id))
+            .count();
+        assert!(stub_peers > 0, "expected some stub collector peers");
+    }
+}

@@ -1,0 +1,294 @@
+//! The AS-level graph: nodes, business relationships, adjacency.
+//!
+//! Edges carry the two Gao–Rexford relationship types the paper's selective
+//! scenarios depend on (§6.2): **customer→provider** (c2p) and
+//! **peer↔peer** (p2p). The graph is stored index-based with dense
+//! adjacency lists split by relationship direction, because the routing
+//! pass (three-stage valley-free BFS) iterates providers / customers /
+//! peers of a node separately and hot.
+
+use bgp_types::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Business relationship of an edge, from the perspective of (a, b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Relationship {
+    /// `a` is a customer of `b` (a pays b for transit).
+    CustomerToProvider,
+    /// `a` and `b` are settlement-free peers.
+    PeerToPeer,
+}
+
+/// Dense node identifier inside one [`AsGraph`].
+pub type NodeId = u32;
+
+/// Tier of an AS in the generated hierarchy (used for peer selection and
+/// characterization; inference never sees this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// Transit-free core (clique).
+    Tier1,
+    /// Regional/national transit provider.
+    Transit,
+    /// Edge network: originates prefixes, no customers.
+    Edge,
+}
+
+/// One AS in the graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AsNode {
+    /// The AS number.
+    pub asn: Asn,
+    /// Hierarchy tier.
+    pub tier: Tier,
+    /// Whether this AS peers with a route collector.
+    pub collector_peer: bool,
+}
+
+/// An immutable-after-build AS-level topology.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AsGraph {
+    nodes: Vec<AsNode>,
+    by_asn: HashMap<Asn, NodeId>,
+    /// Providers of each node (edges the node pays for).
+    providers: Vec<Vec<NodeId>>,
+    /// Customers of each node.
+    customers: Vec<Vec<NodeId>>,
+    /// Peers of each node.
+    peers: Vec<Vec<NodeId>>,
+}
+
+impl AsGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node; returns its dense id. Panics on duplicate ASN — the
+    /// generator owns ASN uniqueness.
+    pub fn add_node(&mut self, asn: Asn, tier: Tier) -> NodeId {
+        assert!(
+            !self.by_asn.contains_key(&asn),
+            "duplicate ASN {asn} inserted into graph"
+        );
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(AsNode { asn, tier, collector_peer: false });
+        self.by_asn.insert(asn, id);
+        self.providers.push(Vec::new());
+        self.customers.push(Vec::new());
+        self.peers.push(Vec::new());
+        id
+    }
+
+    /// Add an edge. For [`Relationship::CustomerToProvider`], `a` is the
+    /// customer and `b` the provider. Duplicate edges are ignored.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, rel: Relationship) {
+        if a == b {
+            return;
+        }
+        match rel {
+            Relationship::CustomerToProvider => {
+                if !self.providers[a as usize].contains(&b) {
+                    self.providers[a as usize].push(b);
+                    self.customers[b as usize].push(a);
+                }
+            }
+            Relationship::PeerToPeer => {
+                if !self.peers[a as usize].contains(&b) {
+                    self.peers[a as usize].push(b);
+                    self.peers[b as usize].push(a);
+                }
+            }
+        }
+    }
+
+    /// Mark a node as a collector peer.
+    pub fn set_collector_peer(&mut self, id: NodeId, is_peer: bool) {
+        self.nodes[id as usize].collector_peer = is_peer;
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges (c2p + p2p, each counted once).
+    pub fn edge_count(&self) -> usize {
+        let c2p: usize = self.providers.iter().map(Vec::len).sum();
+        let p2p: usize = self.peers.iter().map(Vec::len).sum();
+        c2p + p2p / 2
+    }
+
+    /// Node data by id.
+    pub fn node(&self, id: NodeId) -> &AsNode {
+        &self.nodes[id as usize]
+    }
+
+    /// Dense id for an ASN.
+    pub fn id_of(&self, asn: Asn) -> Option<NodeId> {
+        self.by_asn.get(&asn).copied()
+    }
+
+    /// ASN for a dense id.
+    pub fn asn_of(&self, id: NodeId) -> Asn {
+        self.nodes[id as usize].asn
+    }
+
+    /// Providers of `id`.
+    pub fn providers(&self, id: NodeId) -> &[NodeId] {
+        &self.providers[id as usize]
+    }
+
+    /// Customers of `id`.
+    pub fn customers(&self, id: NodeId) -> &[NodeId] {
+        &self.customers[id as usize]
+    }
+
+    /// Peers of `id`.
+    pub fn peers(&self, id: NodeId) -> &[NodeId] {
+        &self.peers[id as usize]
+    }
+
+    /// Iterate all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.nodes.len() as NodeId
+    }
+
+    /// All ASNs in the graph.
+    pub fn asns(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.nodes.iter().map(|n| n.asn)
+    }
+
+    /// ASNs of all collector peers.
+    pub fn collector_peers(&self) -> Vec<Asn> {
+        self.nodes.iter().filter(|n| n.collector_peer).map(|n| n.asn).collect()
+    }
+
+    /// Node ids of all collector peers.
+    pub fn collector_peer_ids(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&id| self.nodes[id as usize].collector_peer).collect()
+    }
+
+    /// Whether a node has no customers (an *edge* of the AS-level graph;
+    /// such ASes can only ever appear as path origins).
+    pub fn is_stub(&self, id: NodeId) -> bool {
+        self.customers[id as usize].is_empty()
+    }
+
+    /// The relationship between adjacent nodes `a` and `b` from `a`'s
+    /// perspective, or `None` when not adjacent.
+    pub fn relationship(&self, a: NodeId, b: NodeId) -> Option<EdgeKind> {
+        if self.providers[a as usize].contains(&b) {
+            Some(EdgeKind::Provider)
+        } else if self.customers[a as usize].contains(&b) {
+            Some(EdgeKind::Customer)
+        } else if self.peers[a as usize].contains(&b) {
+            Some(EdgeKind::Peer)
+        } else {
+            None
+        }
+    }
+}
+
+/// How a neighbor relates to a node: the node's Provider, Customer or Peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Neighbor is my provider (I pay them).
+    Provider,
+    /// Neighbor is my customer (they pay me).
+    Customer,
+    /// Neighbor is my settlement-free peer.
+    Peer,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (AsGraph, NodeId, NodeId, NodeId) {
+        let mut g = AsGraph::new();
+        let p = g.add_node(Asn(100), Tier::Tier1);
+        let t = g.add_node(Asn(200), Tier::Transit);
+        let e = g.add_node(Asn(300), Tier::Edge);
+        g.add_edge(t, p, Relationship::CustomerToProvider);
+        g.add_edge(e, t, Relationship::CustomerToProvider);
+        (g, p, t, e)
+    }
+
+    #[test]
+    fn adjacency_directions() {
+        let (g, p, t, e) = tiny();
+        assert_eq!(g.providers(t), &[p]);
+        assert_eq!(g.customers(p), &[t]);
+        assert_eq!(g.providers(e), &[t]);
+        assert!(g.customers(e).is_empty());
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn peer_edges_are_symmetric() {
+        let mut g = AsGraph::new();
+        let a = g.add_node(Asn(1), Tier::Tier1);
+        let b = g.add_node(Asn(2), Tier::Tier1);
+        g.add_edge(a, b, Relationship::PeerToPeer);
+        assert_eq!(g.peers(a), &[b]);
+        assert_eq!(g.peers(b), &[a]);
+        assert_eq!(g.edge_count(), 1);
+        // Duplicate insert ignored.
+        g.add_edge(b, a, Relationship::PeerToPeer);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_loop_ignored() {
+        let mut g = AsGraph::new();
+        let a = g.add_node(Asn(1), Tier::Edge);
+        g.add_edge(a, a, Relationship::PeerToPeer);
+        g.add_edge(a, a, Relationship::CustomerToProvider);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn relationship_lookup() {
+        let (g, p, t, e) = tiny();
+        assert_eq!(g.relationship(t, p), Some(EdgeKind::Provider));
+        assert_eq!(g.relationship(p, t), Some(EdgeKind::Customer));
+        assert_eq!(g.relationship(p, e), None);
+    }
+
+    #[test]
+    fn stub_detection() {
+        let (g, p, t, e) = tiny();
+        assert!(g.is_stub(e));
+        assert!(!g.is_stub(t));
+        assert!(!g.is_stub(p));
+    }
+
+    #[test]
+    fn collector_peer_marking() {
+        let (mut g, p, _, e) = tiny();
+        g.set_collector_peer(p, true);
+        g.set_collector_peer(e, true);
+        let mut peers = g.collector_peers();
+        peers.sort();
+        assert_eq!(peers, vec![Asn(100), Asn(300)]);
+        assert_eq!(g.collector_peer_ids().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate ASN")]
+    fn duplicate_asn_panics() {
+        let mut g = AsGraph::new();
+        g.add_node(Asn(1), Tier::Edge);
+        g.add_node(Asn(1), Tier::Edge);
+    }
+
+    #[test]
+    fn id_asn_mapping() {
+        let (g, p, ..) = tiny();
+        assert_eq!(g.id_of(Asn(100)), Some(p));
+        assert_eq!(g.asn_of(p), Asn(100));
+        assert_eq!(g.id_of(Asn(999)), None);
+    }
+}

@@ -1,0 +1,426 @@
+//! Valley-free route computation (Gao–Rexford model).
+//!
+//! For a destination AS `o`, announcements propagate:
+//!
+//! 1. **uphill** — routes learned from a customer are exported to
+//!    providers (and everyone else);
+//! 2. **across** — routes learned from a customer are exported to peers;
+//! 3. **downhill** — every route is exported to customers.
+//!
+//! Each AS picks one best route with the standard preference: customer >
+//! peer > provider, then shortest AS path, then lowest next-hop ASN (our
+//! deterministic analogue of router-id tie-breaking). The result is a
+//! routing tree rooted at `o`; the AS path observed at any collector peer
+//! is the tree path from the peer down to `o` — exactly the `A1..An`
+//! sequence in MRT data.
+//!
+//! One routing pass is `O(E)`; computing the full substrate runs one pass
+//! per origin, parallelized over origins with scoped threads.
+
+use crate::graph::{AsGraph, NodeId};
+use bgp_types::prelude::*;
+
+/// How a node learned its best route (preference order matters: lower is
+/// more preferred).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RouteKind {
+    /// The node is the origin itself.
+    Origin,
+    /// Learned from a customer.
+    Customer,
+    /// Learned from a peer.
+    Peer,
+    /// Learned from a provider.
+    Provider,
+}
+
+/// A node's best route toward the current origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Route preference class.
+    pub kind: RouteKind,
+    /// Hops to the origin.
+    pub len: u16,
+    /// Next hop toward the origin.
+    pub next: NodeId,
+}
+
+/// Routing state for one origin: `routes[node]` is the node's best route.
+#[derive(Debug, Clone)]
+pub struct RoutingTree {
+    /// The origin node.
+    pub origin: NodeId,
+    routes: Vec<Option<Route>>,
+}
+
+impl RoutingTree {
+    /// Compute the valley-free routing tree for `origin`.
+    pub fn compute(g: &AsGraph, origin: NodeId) -> Self {
+        let n = g.node_count();
+        let mut routes: Vec<Option<Route>> = vec![None; n];
+        routes[origin as usize] = Some(Route { kind: RouteKind::Origin, len: 0, next: origin });
+
+        // --- Stage 1: uphill BFS (customer routes) --------------------
+        // Frontier contains nodes whose route may be exported to providers.
+        let mut frontier = vec![origin];
+        let mut level: u16 = 0;
+        while !frontier.is_empty() {
+            level += 1;
+            // Gather candidates for this level: provider p of u gets (u).
+            let mut candidates: Vec<(NodeId, NodeId)> = Vec::new(); // (p, next=u)
+            for &u in &frontier {
+                for &p in g.providers(u) {
+                    if routes[p as usize].is_none() {
+                        candidates.push((p, u));
+                    }
+                }
+            }
+            // Deterministic best pick per node: lowest next-hop ASN.
+            candidates.sort_by_key(|&(p, u)| (p, g.asn_of(u)));
+            let mut next_frontier = Vec::new();
+            for (p, u) in candidates {
+                if routes[p as usize].is_none() {
+                    routes[p as usize] =
+                        Some(Route { kind: RouteKind::Customer, len: level, next: u });
+                    next_frontier.push(p);
+                }
+            }
+            frontier = next_frontier;
+        }
+
+        // --- Stage 2: one peer hop ------------------------------------
+        // Only customer/origin routes are exported to peers.
+        let mut peer_candidates: Vec<(NodeId, u16, NodeId)> = Vec::new(); // (v, len, next=u)
+        for u in 0..n as NodeId {
+            if let Some(r) = routes[u as usize] {
+                if matches!(r.kind, RouteKind::Origin | RouteKind::Customer) {
+                    for &v in g.peers(u) {
+                        if routes[v as usize].is_none() {
+                            peer_candidates.push((v, r.len + 1, u));
+                        }
+                    }
+                }
+            }
+        }
+        peer_candidates.sort_by_key(|&(v, len, u)| (v, len, g.asn_of(u)));
+        for (v, len, u) in peer_candidates {
+            if routes[v as usize].is_none() {
+                routes[v as usize] = Some(Route { kind: RouteKind::Peer, len, next: u });
+            }
+        }
+
+        // --- Stage 3: downhill bucket-BFS (provider routes) -----------
+        // Every routed node exports to its customers; provider routes may
+        // cascade further downhill only.
+        let max_len = routes.iter().flatten().map(|r| r.len).max().unwrap_or(0) as usize;
+        let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); max_len + n + 2];
+        for u in 0..n as NodeId {
+            if let Some(r) = routes[u as usize] {
+                buckets[r.len as usize].push(u);
+            }
+        }
+        let mut l = 0;
+        while l < buckets.len() {
+            // Sort for deterministic tie-breaking within a level.
+            let mut us = std::mem::take(&mut buckets[l]);
+            us.sort_by_key(|&u| g.asn_of(u));
+            for u in us {
+                let r = routes[u as usize].expect("bucketed node has route");
+                if r.len as usize != l {
+                    continue; // superseded (shouldn't happen; guard anyway)
+                }
+                for &c in g.customers(u) {
+                    if routes[c as usize].is_none() {
+                        let nr = Route { kind: RouteKind::Provider, len: r.len + 1, next: u };
+                        routes[c as usize] = Some(nr);
+                        buckets[nr.len as usize].push(c);
+                    }
+                }
+            }
+            l += 1;
+        }
+
+        RoutingTree { origin, routes }
+    }
+
+    /// The best route of `node`, if reachable.
+    pub fn route(&self, node: NodeId) -> Option<Route> {
+        self.routes[node as usize]
+    }
+
+    /// Number of nodes with a route (including the origin).
+    pub fn reachable_count(&self) -> usize {
+        self.routes.iter().flatten().count()
+    }
+
+    /// The AS path from `from` to the origin as node ids
+    /// (`from, ..., origin`), or `None` if unreachable.
+    pub fn node_path(&self, from: NodeId) -> Option<Vec<NodeId>> {
+        let mut out = Vec::new();
+        let mut cur = from;
+        loop {
+            let r = self.routes[cur as usize]?;
+            out.push(cur);
+            if r.kind == RouteKind::Origin {
+                return Some(out);
+            }
+            cur = r.next;
+            if out.len() > self.routes.len() {
+                unreachable!("routing loop detected");
+            }
+        }
+    }
+
+    /// The AS path from `from` to the origin as an [`AsPath`]
+    /// (`A1 = from`, `An = origin`).
+    pub fn as_path(&self, g: &AsGraph, from: NodeId) -> Option<AsPath> {
+        let nodes = self.node_path(from)?;
+        AsPath::new(nodes.into_iter().map(|id| g.asn_of(id)).collect())
+    }
+}
+
+/// The full path substrate: for every origin, the paths seen at every
+/// collector peer. This is the simulation analogue of the unique AS paths
+/// in `d_May21`.
+#[derive(Debug, Clone, Default)]
+pub struct PathSubstrate {
+    /// All unique observed paths (`A1` = collector peer, `An` = origin).
+    pub paths: Vec<AsPath>,
+}
+
+impl PathSubstrate {
+    /// Compute paths from every collector peer to every origin in `g`,
+    /// parallelized over origins across `threads` scoped workers.
+    pub fn generate(g: &AsGraph, threads: usize) -> Self {
+        let origins: Vec<NodeId> = g.node_ids().collect();
+        Self::generate_for_origins(g, &origins, threads)
+    }
+
+    /// Compute paths toward the given origins only.
+    pub fn generate_for_origins(g: &AsGraph, origins: &[NodeId], threads: usize) -> Self {
+        let threads = threads.max(1);
+        let peers = g.collector_peer_ids();
+        let chunks: Vec<&[NodeId]> =
+            origins.chunks(origins.len().div_ceil(threads).max(1)).collect();
+
+        let mut paths: Vec<AsPath> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    let peers = &peers;
+                    s.spawn(move || {
+                        let mut local = Vec::new();
+                        for &o in chunk {
+                            let tree = RoutingTree::compute(g, o);
+                            for &p in peers {
+                                if let Some(path) = tree.as_path(g, p) {
+                                    local.push(path);
+                                }
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                paths.extend(h.join().expect("routing worker panicked"));
+            }
+        });
+
+        paths.sort_unstable();
+        paths.dedup();
+        PathSubstrate { paths }
+    }
+
+    /// Number of unique paths.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether no paths exist.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Mean path length (for substrate sanity checks).
+    pub fn mean_len(&self) -> f64 {
+        if self.paths.is_empty() {
+            return 0.0;
+        }
+        self.paths.iter().map(|p| p.len()).sum::<usize>() as f64 / self.paths.len() as f64
+    }
+
+    /// Maximum path length.
+    pub fn max_len(&self) -> usize {
+        self.paths.iter().map(|p| p.len()).max().unwrap_or(0)
+    }
+}
+
+/// Check a node-id path for valley-freeness in `g` (test/diagnostic
+/// helper): uphill (c2p) segments, at most one peer edge, then downhill.
+pub fn is_valley_free(g: &AsGraph, path: &[NodeId]) -> bool {
+    use crate::graph::EdgeKind;
+    // Phases: 0 = uphill allowed, 1 = after peer edge, 2 = downhill only.
+    // The path here runs peer -> origin, i.e. *against* announcement flow;
+    // reverse it so edges follow the announcement (origin -> peer).
+    let rev: Vec<NodeId> = path.iter().rev().copied().collect();
+    let mut phase = 0;
+    for w in rev.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let kind = match g.relationship(a, b) {
+            Some(k) => k,
+            None => return false,
+        };
+        match (phase, kind) {
+            (0, EdgeKind::Provider) => {}                  // still climbing
+            (0, EdgeKind::Peer) => phase = 2,              // single lateral step
+            (0, EdgeKind::Customer) => phase = 2,          // started descending
+            (2, EdgeKind::Customer) => {}                  // keep descending
+            _ => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::TopologyConfig;
+    use crate::graph::{AsGraph, Relationship, Tier};
+
+    /// Build the classic toy topology:
+    ///
+    /// ```text
+    ///   T1a ──peer── T1b
+    ///    │            │
+    ///   Ta           Tb        (transit customers of T1s)
+    ///    │            │
+    ///   Ea           Eb        (edges)
+    /// ```
+    fn toy() -> (AsGraph, [NodeId; 6]) {
+        let mut g = AsGraph::new();
+        let t1a = g.add_node(Asn(10), Tier::Tier1);
+        let t1b = g.add_node(Asn(20), Tier::Tier1);
+        let ta = g.add_node(Asn(100), Tier::Transit);
+        let tb = g.add_node(Asn(200), Tier::Transit);
+        let ea = g.add_node(Asn(1000), Tier::Edge);
+        let eb = g.add_node(Asn(2000), Tier::Edge);
+        g.add_edge(t1a, t1b, Relationship::PeerToPeer);
+        g.add_edge(ta, t1a, Relationship::CustomerToProvider);
+        g.add_edge(tb, t1b, Relationship::CustomerToProvider);
+        g.add_edge(ea, ta, Relationship::CustomerToProvider);
+        g.add_edge(eb, tb, Relationship::CustomerToProvider);
+        (g, [t1a, t1b, ta, tb, ea, eb])
+    }
+
+    #[test]
+    fn tree_reaches_everyone_in_connected_graph() {
+        let (g, ids) = toy();
+        let tree = RoutingTree::compute(&g, ids[4]); // origin = Ea
+        assert_eq!(tree.reachable_count(), 6);
+    }
+
+    #[test]
+    fn paths_follow_valley_free_shape() {
+        let (g, ids) = toy();
+        let [t1a, t1b, _ta, _tb, ea, eb] = ids;
+        let tree = RoutingTree::compute(&g, ea);
+        // Path from Eb to Ea must cross both T1s via their peer link:
+        // Eb -> Tb -> T1b -> T1a -> Ta -> Ea.
+        let p = tree.node_path(eb).unwrap();
+        assert_eq!(p.len(), 6);
+        assert!(is_valley_free(&g, &p));
+        assert!(p.contains(&t1a) && p.contains(&t1b));
+    }
+
+    #[test]
+    fn customer_route_preferred_over_peer() {
+        // Origin is customer of both X and Y; X and Y peer. X must route
+        // via its customer (the origin), never via Y.
+        let mut g = AsGraph::new();
+        let x = g.add_node(Asn(1), Tier::Transit);
+        let y = g.add_node(Asn(2), Tier::Transit);
+        let o = g.add_node(Asn(3), Tier::Edge);
+        g.add_edge(x, y, Relationship::PeerToPeer);
+        g.add_edge(o, x, Relationship::CustomerToProvider);
+        g.add_edge(o, y, Relationship::CustomerToProvider);
+        let tree = RoutingTree::compute(&g, o);
+        let rx = tree.route(x).unwrap();
+        assert_eq!(rx.kind, RouteKind::Customer);
+        assert_eq!(rx.next, o);
+    }
+
+    #[test]
+    fn no_valley_paths_anywhere_small_topology() {
+        let g = TopologyConfig::small().seed(11).build();
+        // Sample some origins and check every collector-peer path.
+        let origins: Vec<NodeId> = g.node_ids().step_by(97).collect();
+        for &o in &origins {
+            let tree = RoutingTree::compute(&g, o);
+            for p in g.collector_peer_ids() {
+                if let Some(path) = tree.node_path(p) {
+                    assert!(is_valley_free(&g, &path), "valley in path {path:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn as_path_orientation() {
+        let (g, ids) = toy();
+        let [.., ea, eb] = ids;
+        let tree = RoutingTree::compute(&g, ea);
+        let p = tree.as_path(&g, eb).unwrap();
+        assert_eq!(p.peer(), Asn(2000)); // A1 = observer (Eb)
+        assert_eq!(p.origin(), Asn(1000)); // An = origin (Ea)
+    }
+
+    #[test]
+    fn substrate_generation_dedups_and_parallel_matches_serial() {
+        let g = TopologyConfig::small().seed(12).build();
+        let origins: Vec<NodeId> = g.node_ids().filter(|i| i % 29 == 0).collect();
+        let serial = PathSubstrate::generate_for_origins(&g, &origins, 1);
+        let parallel = PathSubstrate::generate_for_origins(&g, &origins, 4);
+        assert_eq!(serial.paths, parallel.paths);
+        assert!(!serial.is_empty());
+        // Mean path length in a plausible Internet-like band.
+        assert!(serial.mean_len() > 1.5 && serial.mean_len() < 8.0, "mean {}", serial.mean_len());
+    }
+
+    #[test]
+    fn unreachable_node_has_no_path() {
+        let mut g = AsGraph::new();
+        let a = g.add_node(Asn(1), Tier::Edge);
+        let b = g.add_node(Asn(2), Tier::Edge); // disconnected
+        let tree = RoutingTree::compute(&g, a);
+        assert!(tree.node_path(b).is_none());
+        assert!(tree.as_path(&g, b).is_none());
+        assert_eq!(tree.reachable_count(), 1);
+    }
+
+    #[test]
+    fn origin_path_is_single_hop() {
+        let (g, ids) = toy();
+        let tree = RoutingTree::compute(&g, ids[4]);
+        let p = tree.as_path(&g, ids[4]).unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Two equally long provider paths; lowest next-hop ASN must win.
+        let mut g = AsGraph::new();
+        let o = g.add_node(Asn(5), Tier::Edge);
+        let p1 = g.add_node(Asn(10), Tier::Transit);
+        let p2 = g.add_node(Asn(11), Tier::Transit);
+        let top = g.add_node(Asn(1), Tier::Tier1);
+        g.add_edge(o, p1, Relationship::CustomerToProvider);
+        g.add_edge(o, p2, Relationship::CustomerToProvider);
+        g.add_edge(p1, top, Relationship::CustomerToProvider);
+        g.add_edge(p2, top, Relationship::CustomerToProvider);
+        let tree = RoutingTree::compute(&g, o);
+        // top hears from both p1 (AS10) and p2 (AS11): AS10 wins.
+        assert_eq!(tree.route(top).unwrap().next, p1);
+    }
+}

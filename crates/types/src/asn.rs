@@ -1,0 +1,189 @@
+//! Autonomous System Numbers (ASNs).
+//!
+//! ASNs were originally 16-bit identifiers (RFC 4271); RFC 6793 expanded the
+//! space to 32 bits. Several ranges are reserved by IANA and must never
+//! appear as the source of a public routing announcement. The IMC'21
+//! community-usage paper relies on distinguishing *public* (allocatable)
+//! ASNs from *private/reserved* ones when grouping communities into the
+//! `peer` / `foreign` / `stray` / `private` source classes (paper §3.2).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An Autonomous System Number.
+///
+/// Stored uniformly as a `u32`; 16-bit ASNs occupy the low half of the
+/// space. `Asn` is `Copy`, ordered, and hashable so it can key counter maps
+/// in the inference engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Asn(pub u32);
+
+/// AS_TRANS (RFC 6793): substituted for 32-bit ASNs on 2-byte-only sessions.
+pub const AS_TRANS: Asn = Asn(23456);
+
+impl Asn {
+    /// The reserved ASN 0 (RFC 7607): must never be routed.
+    pub const ZERO: Asn = Asn(0);
+
+    /// Construct an ASN from a raw u32 value.
+    #[inline]
+    pub const fn new(value: u32) -> Self {
+        Asn(value)
+    }
+
+    /// The raw numeric value.
+    #[inline]
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this ASN fits in the original 16-bit space.
+    #[inline]
+    pub const fn is_16bit(self) -> bool {
+        self.0 <= u16::MAX as u32
+    }
+
+    /// Whether this ASN requires the 32-bit extension (RFC 6793).
+    ///
+    /// The paper's Table 1 reports ~31k "32-bit ASes" per dataset; this
+    /// predicate implements that split.
+    #[inline]
+    pub const fn is_32bit_only(self) -> bool {
+        self.0 > u16::MAX as u32
+    }
+
+    /// Whether the ASN falls in an IANA-reserved or private range and is
+    /// therefore *not* a public ASN.
+    ///
+    /// Ranges (per IANA autonomous-system-numbers registry):
+    /// * `0` — reserved (RFC 7607)
+    /// * `23456` — AS_TRANS (RFC 6793)
+    /// * `64496..=64511` — documentation (RFC 5398)
+    /// * `64512..=65534` — private use (RFC 6996)
+    /// * `65535` — reserved (RFC 7300)
+    /// * `65536..=65551` — documentation (RFC 5398)
+    /// * `4200000000..=4294967294` — private use (RFC 6996)
+    /// * `4294967295` — reserved (RFC 7300)
+    pub const fn is_reserved_or_private(self) -> bool {
+        matches!(
+            self.0,
+            0 | 23456
+                | 64496..=64511
+                | 64512..=65534
+                | 65535
+                | 65536..=65551
+                | 4_200_000_000..=4_294_967_294
+                | 4_294_967_295
+        )
+    }
+
+    /// Whether the ASN is in a range IANA can allocate to operators.
+    ///
+    /// Note: *allocatable* is necessary but not sufficient for a community
+    /// upper field to be meaningful — the registry
+    /// ([`crate::registry::AsnRegistry`]) additionally tracks whether the
+    /// specific number is currently allocated.
+    #[inline]
+    pub const fn is_public_range(self) -> bool {
+        !self.is_reserved_or_private()
+    }
+
+    /// Render in `asdot+`-free plain notation (the common convention for
+    /// collector data and the paper's examples).
+    pub fn as_plain(self) -> String {
+        self.0.to_string()
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(v: u32) -> Self {
+        Asn(v)
+    }
+}
+
+impl From<u16> for Asn {
+    fn from(v: u16) -> Self {
+        Asn(v as u32)
+    }
+}
+
+impl From<Asn> for u32 {
+    fn from(a: Asn) -> u32 {
+        a.0
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl std::str::FromStr for Asn {
+    type Err = std::num::ParseIntError;
+
+    /// Parse either `1234` or `AS1234`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.strip_prefix("AS").or_else(|| s.strip_prefix("as")).unwrap_or(s);
+        s.parse::<u32>().map(Asn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_bit_split() {
+        assert!(Asn(65535).is_16bit());
+        assert!(!Asn(65536).is_16bit());
+        assert!(Asn(65536).is_32bit_only());
+        assert!(!Asn(3356).is_32bit_only());
+    }
+
+    #[test]
+    fn reserved_ranges() {
+        for v in [0u32, 23456, 64496, 64511, 64512, 65000, 65534, 65535, 65536, 65551] {
+            assert!(Asn(v).is_reserved_or_private(), "AS{v} should be reserved/private");
+        }
+        assert!(Asn(4_200_000_000).is_reserved_or_private());
+        assert!(Asn(4_294_967_295).is_reserved_or_private());
+    }
+
+    #[test]
+    fn public_ranges() {
+        for v in [1u32, 3356, 23455, 23457, 64495, 65552, 131072, 4_199_999_999] {
+            assert!(Asn(v).is_public_range(), "AS{v} should be public-range");
+        }
+    }
+
+    #[test]
+    fn display_and_parse() {
+        assert_eq!(Asn(3356).to_string(), "AS3356");
+        assert_eq!("AS3356".parse::<Asn>().unwrap(), Asn(3356));
+        assert_eq!("3356".parse::<Asn>().unwrap(), Asn(3356));
+        assert!("ASx".parse::<Asn>().is_err());
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Asn = 7018u16.into();
+        assert_eq!(u32::from(a), 7018);
+        let b: Asn = 400_000u32.into();
+        assert!(b.is_32bit_only());
+    }
+
+    #[test]
+    fn as_trans_is_not_public() {
+        assert!(AS_TRANS.is_reserved_or_private());
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Asn(2) < Asn(10));
+        let mut v = vec![Asn(30), Asn(1), Asn(7)];
+        v.sort();
+        assert_eq!(v, vec![Asn(1), Asn(7), Asn(30)]);
+    }
+}

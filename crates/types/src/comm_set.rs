@@ -1,0 +1,249 @@
+//! Community sets: the `comm` half of the paper's `(path, comm)` tuples.
+//!
+//! A community attribute carries an unordered set of communities. The
+//! inference algorithm's hot operation is *"does this set contain any
+//! community whose upper field is ASN `A`?"* (`A:*` membership, paper §5.3),
+//! so the set keeps its elements sorted and additionally exposes an
+//! upper-field membership test that is O(log n).
+
+use crate::asn::Asn;
+use crate::community::AnyCommunity;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A sorted, deduplicated set of communities.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CommunitySet {
+    items: Vec<AnyCommunity>,
+}
+
+impl CommunitySet {
+    /// The empty set (a *silent-and-cleaner* output, in mental-model terms).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from any iterator; duplicates are removed.
+    pub fn from_iter<I: IntoIterator<Item = AnyCommunity>>(iter: I) -> Self {
+        let mut items: Vec<AnyCommunity> = iter.into_iter().collect();
+        items.sort_unstable();
+        items.dedup();
+        CommunitySet { items }
+    }
+
+    /// Number of communities in the set.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Insert a community, keeping sortedness. Returns `true` if new.
+    pub fn insert(&mut self, c: AnyCommunity) -> bool {
+        match self.items.binary_search(&c) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.items.insert(pos, c);
+                true
+            }
+        }
+    }
+
+    /// Exact membership.
+    pub fn contains(&self, c: &AnyCommunity) -> bool {
+        self.items.binary_search(c).is_ok()
+    }
+
+    /// The paper's `A:* ∈ comm` test: does any community carry upper field
+    /// `asn`? (Both variants are considered, per §3.2.)
+    pub fn contains_upper(&self, asn: Asn) -> bool {
+        self.items.iter().any(|c| c.upper_field() == asn)
+    }
+
+    /// All communities whose upper field is `asn`.
+    pub fn with_upper(&self, asn: Asn) -> impl Iterator<Item = &AnyCommunity> {
+        self.items.iter().filter(move |c| c.upper_field() == asn)
+    }
+
+    /// Union, consuming neither operand — `output(A) = tagging(A) ∪
+    /// forwarding(A, input)` in the mental model (§3.3.2).
+    pub fn union(&self, other: &CommunitySet) -> CommunitySet {
+        // Merge two sorted vecs.
+        let mut out = Vec::with_capacity(self.items.len() + other.items.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.items[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.items[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.items[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.items[i..]);
+        out.extend_from_slice(&other.items[j..]);
+        CommunitySet { items: out }
+    }
+
+    /// In-place union.
+    pub fn extend_union(&mut self, other: &CommunitySet) {
+        if other.is_empty() {
+            return;
+        }
+        *self = self.union(other);
+    }
+
+    /// Remove every community for which `pred` returns false.
+    pub fn retain<F: FnMut(&AnyCommunity) -> bool>(&mut self, pred: F) {
+        self.items.retain(pred);
+    }
+
+    /// Drop all communities (what a *cleaner* does on the forwarding path).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Iterate in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &AnyCommunity> {
+        self.items.iter()
+    }
+
+    /// Count of large-variant communities (Table 1's `incl. large` rows).
+    pub fn large_count(&self) -> usize {
+        self.items.iter().filter(|c| c.is_large()).count()
+    }
+
+    /// Distinct upper fields present in the set.
+    pub fn upper_fields(&self) -> Vec<Asn> {
+        let mut v: Vec<Asn> = self.items.iter().map(|c| c.upper_field()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+impl FromIterator<AnyCommunity> for CommunitySet {
+    fn from_iter<I: IntoIterator<Item = AnyCommunity>>(iter: I) -> Self {
+        CommunitySet::from_iter(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a CommunitySet {
+    type Item = &'a AnyCommunity;
+    type IntoIter = std::slice::Iter<'a, AnyCommunity>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+impl fmt::Display for CommunitySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "∅");
+        }
+        let mut first = true;
+        for c in &self.items {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::community::AnyCommunity as C;
+
+    #[test]
+    fn insert_dedups_and_sorts() {
+        let mut s = CommunitySet::new();
+        assert!(s.insert(C::regular(30, 1)));
+        assert!(s.insert(C::regular(10, 1)));
+        assert!(!s.insert(C::regular(30, 1)));
+        assert_eq!(s.len(), 2);
+        let v: Vec<_> = s.iter().cloned().collect();
+        assert_eq!(v, vec![C::regular(10, 1), C::regular(30, 1)]);
+    }
+
+    #[test]
+    fn from_iter_dedups() {
+        let s = CommunitySet::from_iter([C::regular(1, 1), C::regular(1, 1), C::regular(2, 2)]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn upper_membership_covers_both_variants() {
+        let s = CommunitySet::from_iter([C::regular(3356, 1), C::large(200_000, 5, 6)]);
+        assert!(s.contains_upper(Asn(3356)));
+        assert!(s.contains_upper(Asn(200_000)));
+        assert!(!s.contains_upper(Asn(1)));
+    }
+
+    #[test]
+    fn union_is_sorted_and_deduped() {
+        let a = CommunitySet::from_iter([C::regular(1, 1), C::regular(3, 3)]);
+        let b = CommunitySet::from_iter([C::regular(2, 2), C::regular(3, 3)]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3);
+        assert!(u.contains(&C::regular(1, 1)));
+        assert!(u.contains(&C::regular(2, 2)));
+        assert!(u.contains(&C::regular(3, 3)));
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let a = CommunitySet::from_iter([C::regular(1, 1)]);
+        assert_eq!(a.union(&CommunitySet::new()), a);
+        assert_eq!(CommunitySet::new().union(&a), a);
+    }
+
+    #[test]
+    fn clear_models_cleaner() {
+        let mut s = CommunitySet::from_iter([C::regular(1, 1), C::large(9, 9, 9)]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.to_string(), "∅");
+    }
+
+    #[test]
+    fn large_count() {
+        let s = CommunitySet::from_iter([C::regular(1, 1), C::large(9, 9, 9), C::large(9, 9, 10)]);
+        assert_eq!(s.large_count(), 2);
+    }
+
+    #[test]
+    fn upper_fields_dedup() {
+        let s = CommunitySet::from_iter([C::regular(5, 1), C::regular(5, 2), C::regular(7, 1)]);
+        assert_eq!(s.upper_fields(), vec![Asn(5), Asn(7)]);
+    }
+
+    #[test]
+    fn retain_filters() {
+        let mut s = CommunitySet::from_iter([C::regular(5, 1), C::regular(7, 1)]);
+        s.retain(|c| c.upper_field() == Asn(5));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains_upper(Asn(5)));
+    }
+
+    #[test]
+    fn display_format() {
+        let s = CommunitySet::from_iter([C::regular(3356, 1), C::regular(174, 2)]);
+        assert_eq!(s.to_string(), "174:2 3356:1");
+    }
+}

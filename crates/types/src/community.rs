@@ -1,0 +1,269 @@
+//! BGP community values.
+//!
+//! Two variants matter for this work (paper §3.2):
+//!
+//! * **Regular communities** (RFC 1997): a 32-bit value written `α:β` where
+//!   by convention `α` is the 16-bit ASN that defines the meaning of `β`.
+//! * **Large communities** (RFC 8092): `α:β:γ` with a 32-bit `α` (the
+//!   *Global Administrator*) and two further 32-bit fields, introduced so
+//!   32-bit ASes can follow the same convention.
+//!
+//! The paper calls `α` the **upper field** in both variants; the inference
+//! algorithm assumes (for `peer` and `foreign` communities) that the upper
+//! field names the AS that set the community.
+
+use crate::asn::Asn;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A regular (RFC 1997) community, `α:β` packed into 32 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Community(pub u32);
+
+impl Community {
+    /// Well-known NO_EXPORT (RFC 1997).
+    pub const NO_EXPORT: Community = Community(0xFFFF_FF01);
+    /// Well-known NO_ADVERTISE (RFC 1997).
+    pub const NO_ADVERTISE: Community = Community(0xFFFF_FF02);
+    /// Well-known NO_EXPORT_SUBCONFED (RFC 1997).
+    pub const NO_EXPORT_SUBCONFED: Community = Community(0xFFFF_FF03);
+    /// BLACKHOLE (RFC 7999).
+    pub const BLACKHOLE: Community = Community(0xFFFF_029A);
+    /// GRACEFUL_SHUTDOWN (RFC 8326).
+    pub const GRACEFUL_SHUTDOWN: Community = Community(0xFFFF_0000);
+
+    /// Build from upper (`α`) and lower (`β`) 16-bit halves.
+    pub const fn new(upper: u16, lower: u16) -> Self {
+        Community(((upper as u32) << 16) | lower as u32)
+    }
+
+    /// The upper field `α` — conventionally the defining ASN.
+    pub const fn upper(self) -> u16 {
+        (self.0 >> 16) as u16
+    }
+
+    /// The lower field `β` — the operator-defined value.
+    pub const fn lower(self) -> u16 {
+        self.0 as u16
+    }
+
+    /// Whether this is a well-known community in `0xFFFF0000..=0xFFFFFFFF`
+    /// (RFC 1997 reserves `0xFFFF....`; `0x0000....` is also reserved).
+    pub const fn is_well_known(self) -> bool {
+        self.upper() == 0xFFFF || self.upper() == 0x0000
+    }
+
+    /// Raw 32-bit wire value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.upper(), self.lower())
+    }
+}
+
+impl std::str::FromStr for Community {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (a, b) = s.split_once(':').ok_or_else(|| format!("missing ':' in {s:?}"))?;
+        let upper: u16 = a.parse().map_err(|e| format!("bad upper: {e}"))?;
+        let lower: u16 = b.parse().map_err(|e| format!("bad lower: {e}"))?;
+        Ok(Community::new(upper, lower))
+    }
+}
+
+/// A large (RFC 8092) community, `α:β:γ`, three 32-bit fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LargeCommunity {
+    /// Global Administrator — conventionally the defining ASN (32-bit).
+    pub global_admin: u32,
+    /// First local data part.
+    pub local1: u32,
+    /// Second local data part.
+    pub local2: u32,
+}
+
+impl LargeCommunity {
+    /// Build from the three fields.
+    pub const fn new(global_admin: u32, local1: u32, local2: u32) -> Self {
+        LargeCommunity { global_admin, local1, local2 }
+    }
+}
+
+impl fmt::Display for LargeCommunity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.global_admin, self.local1, self.local2)
+    }
+}
+
+impl std::str::FromStr for LargeCommunity {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut it = s.split(':');
+        let mut next = |name: &str| -> Result<u32, String> {
+            it.next()
+                .ok_or_else(|| format!("missing {name} in {s:?}"))?
+                .parse::<u32>()
+                .map_err(|e| format!("bad {name}: {e}"))
+        };
+        let ga = next("global_admin")?;
+        let l1 = next("local1")?;
+        let l2 = next("local2")?;
+        if it.next().is_some() {
+            return Err(format!("too many fields in {s:?}"));
+        }
+        Ok(LargeCommunity::new(ga, l1, l2))
+    }
+}
+
+/// Either community variant, unified behind the paper's *upper field*
+/// abstraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AnyCommunity {
+    /// Regular RFC 1997 community.
+    Regular(Community),
+    /// Large RFC 8092 community.
+    Large(LargeCommunity),
+}
+
+impl AnyCommunity {
+    /// The upper field as an ASN: the 16-bit `α` for regular communities,
+    /// the 32-bit Global Administrator for large ones.
+    pub fn upper_field(&self) -> Asn {
+        match self {
+            AnyCommunity::Regular(c) => Asn(c.upper() as u32),
+            AnyCommunity::Large(c) => Asn(c.global_admin),
+        }
+    }
+
+    /// Whether this is the large variant.
+    pub fn is_large(&self) -> bool {
+        matches!(self, AnyCommunity::Large(_))
+    }
+
+    /// Whether this is a reserved well-known value (regular variant only —
+    /// RFC 8092 defines no well-known large communities).
+    pub fn is_well_known(&self) -> bool {
+        match self {
+            AnyCommunity::Regular(c) => c.is_well_known(),
+            AnyCommunity::Large(_) => false,
+        }
+    }
+
+    /// Convenience constructor: a regular community `upper:lower`.
+    pub fn regular(upper: u16, lower: u16) -> Self {
+        AnyCommunity::Regular(Community::new(upper, lower))
+    }
+
+    /// Convenience constructor: a large community `ga:l1:l2`.
+    pub fn large(ga: u32, l1: u32, l2: u32) -> Self {
+        AnyCommunity::Large(LargeCommunity::new(ga, l1, l2))
+    }
+
+    /// The community an AS would use to tag with its own ASN in the upper
+    /// field: regular `asn:value` when the ASN fits 16 bits, large
+    /// `asn:value:0` otherwise. This mirrors the convention the paper
+    /// assumes taggers follow.
+    pub fn tag_for(asn: Asn, value: u32) -> Self {
+        if asn.is_16bit() {
+            AnyCommunity::Regular(Community::new(asn.0 as u16, value as u16))
+        } else {
+            AnyCommunity::Large(LargeCommunity::new(asn.0, value, 0))
+        }
+    }
+}
+
+impl From<Community> for AnyCommunity {
+    fn from(c: Community) -> Self {
+        AnyCommunity::Regular(c)
+    }
+}
+
+impl From<LargeCommunity> for AnyCommunity {
+    fn from(c: LargeCommunity) -> Self {
+        AnyCommunity::Large(c)
+    }
+}
+
+impl fmt::Display for AnyCommunity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnyCommunity::Regular(c) => c.fmt(f),
+            AnyCommunity::Large(c) => c.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_pack_unpack() {
+        let c = Community::new(3356, 123);
+        assert_eq!(c.upper(), 3356);
+        assert_eq!(c.lower(), 123);
+        assert_eq!(c.raw(), (3356u32 << 16) | 123);
+    }
+
+    #[test]
+    fn well_known_values() {
+        assert_eq!(Community::NO_EXPORT.to_string(), "65535:65281");
+        assert!(Community::NO_EXPORT.is_well_known());
+        assert!(Community::BLACKHOLE.is_well_known());
+        assert!(Community::new(0, 666).is_well_known());
+        assert!(!Community::new(3356, 666).is_well_known());
+    }
+
+    #[test]
+    fn display_and_parse_regular() {
+        let c: Community = "3356:2001".parse().unwrap();
+        assert_eq!(c, Community::new(3356, 2001));
+        assert_eq!(c.to_string(), "3356:2001");
+        assert!("3356".parse::<Community>().is_err());
+        assert!("99999:1".parse::<Community>().is_err());
+    }
+
+    #[test]
+    fn display_and_parse_large() {
+        let c: LargeCommunity = "196615:100:1".parse().unwrap();
+        assert_eq!(c, LargeCommunity::new(196615, 100, 1));
+        assert_eq!(c.to_string(), "196615:100:1");
+        assert!("1:2".parse::<LargeCommunity>().is_err());
+        assert!("1:2:3:4".parse::<LargeCommunity>().is_err());
+    }
+
+    #[test]
+    fn upper_field_unification() {
+        assert_eq!(AnyCommunity::regular(3356, 1).upper_field(), Asn(3356));
+        assert_eq!(AnyCommunity::large(196615, 1, 2).upper_field(), Asn(196615));
+    }
+
+    #[test]
+    fn tag_for_picks_variant_by_asn_width() {
+        let small = AnyCommunity::tag_for(Asn(3356), 7);
+        assert!(!small.is_large());
+        assert_eq!(small.upper_field(), Asn(3356));
+        let big = AnyCommunity::tag_for(Asn(200_000), 7);
+        assert!(big.is_large());
+        assert_eq!(big.upper_field(), Asn(200_000));
+    }
+
+    #[test]
+    fn large_is_never_well_known() {
+        assert!(!AnyCommunity::large(0xFFFF, 1, 2).is_well_known());
+    }
+
+    #[test]
+    fn ordering_regular_then_large() {
+        let r = AnyCommunity::regular(1, 1);
+        let l = AnyCommunity::large(1, 1, 1);
+        assert!(r < l); // enum variant order: Regular < Large
+    }
+}

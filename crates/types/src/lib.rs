@@ -1,0 +1,164 @@
+//! # bgp-types
+//!
+//! Core BGP data model for the IMC'21 *AS-Level BGP Community Usage
+//! Classification* reproduction: ASNs, communities (regular RFC 1997 and
+//! large RFC 8092), community sets, AS paths with the paper's sanitation
+//! transforms, prefixes, UPDATE/RIB models, allocation registries, and the
+//! `(path, comm)` tuples that the inference algorithm consumes.
+//!
+//! The types here are deliberately dependency-light so every other crate in
+//! the workspace (codec, topology, simulator, collector, inference, eval)
+//! can share them.
+//!
+//! ```
+//! use bgp_types::prelude::*;
+//!
+//! let p = path(&[64500, 3356, 174]);        // A1=64500 (peer) .. An=174 (origin)
+//! let comm = CommunitySet::from_iter([AnyCommunity::regular(3356, 2001)]);
+//! assert!(comm.contains_upper(Asn(3356)));  // "3356:* ∈ comm"
+//! let t = PathCommTuple::new(p, comm);
+//! assert_eq!(t.path.origin(), Asn(174));
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod as_path;
+pub mod asn;
+pub mod comm_set;
+pub mod community;
+pub mod prefix;
+pub mod registry;
+pub mod tuple;
+pub mod update;
+pub mod wellknown;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::as_path::{path, AsPath, PathSegment, RawAsPath};
+    pub use crate::asn::Asn;
+    pub use crate::comm_set::CommunitySet;
+    pub use crate::community::{AnyCommunity, Community, LargeCommunity};
+    pub use crate::prefix::Prefix;
+    pub use crate::registry::{Allocation, AsnRegistry, PrefixRegistry};
+    pub use crate::tuple::{PathCommTuple, TupleSet};
+    pub use crate::update::{Origin, PathAttributes, RibEntry, UpdateMessage};
+    pub use crate::wellknown::{display_name, lookup as wellknown_lookup, WellKnown};
+}
+
+#[cfg(test)]
+mod proptests {
+    use crate::prelude::*;
+    use proptest::prelude::*;
+
+    fn arb_asn() -> impl Strategy<Value = Asn> {
+        prop_oneof![
+            (1u32..65536).prop_map(Asn),       // 16-bit space
+            (65536u32..400_000).prop_map(Asn), // 32-bit space
+        ]
+    }
+
+    fn arb_community() -> impl Strategy<Value = AnyCommunity> {
+        prop_oneof![
+            (any::<u16>(), any::<u16>()).prop_map(|(a, b)| AnyCommunity::regular(a, b)),
+            (any::<u32>(), any::<u32>(), any::<u32>())
+                .prop_map(|(a, b, c)| AnyCommunity::large(a, b, c)),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn community_set_union_commutes(
+            xs in prop::collection::vec(arb_community(), 0..20),
+            ys in prop::collection::vec(arb_community(), 0..20),
+        ) {
+            let a = CommunitySet::from_iter(xs);
+            let b = CommunitySet::from_iter(ys);
+            prop_assert_eq!(a.union(&b), b.union(&a));
+        }
+
+        #[test]
+        fn community_set_union_idempotent(
+            xs in prop::collection::vec(arb_community(), 0..20),
+        ) {
+            let a = CommunitySet::from_iter(xs);
+            prop_assert_eq!(a.union(&a), a.clone());
+        }
+
+        #[test]
+        fn community_set_union_contains_both(
+            xs in prop::collection::vec(arb_community(), 0..10),
+            ys in prop::collection::vec(arb_community(), 0..10),
+        ) {
+            let a = CommunitySet::from_iter(xs.clone());
+            let b = CommunitySet::from_iter(ys.clone());
+            let u = a.union(&b);
+            for c in xs.iter().chain(ys.iter()) {
+                prop_assert!(u.contains(c));
+            }
+            prop_assert!(u.len() <= a.len() + b.len());
+        }
+
+        #[test]
+        fn sanitize_is_idempotent(asns in prop::collection::vec(arb_asn(), 1..12)) {
+            let raw = RawAsPath::from_sequence(asns);
+            if let Some(clean) = raw.sanitize(None) {
+                let again = RawAsPath::from_sequence(clean.asns().to_vec())
+                    .sanitize(None)
+                    .expect("clean path stays clean");
+                prop_assert_eq!(clean, again);
+            }
+        }
+
+        #[test]
+        fn sanitize_never_leaves_adjacent_duplicates(
+            asns in prop::collection::vec(arb_asn(), 1..16),
+        ) {
+            if let Some(clean) = RawAsPath::from_sequence(asns).sanitize(None) {
+                for w in clean.asns().windows(2) {
+                    prop_assert_ne!(w[0], w[1]);
+                }
+            }
+        }
+
+        #[test]
+        fn peer_prepend_makes_peer_first(
+            asns in prop::collection::vec(arb_asn(), 1..8),
+            peer in arb_asn(),
+        ) {
+            if let Some(clean) = RawAsPath::from_sequence(asns).sanitize(Some(peer)) {
+                prop_assert_eq!(clean.peer(), peer);
+            }
+        }
+
+        #[test]
+        fn prefix_parse_display_roundtrip(net in any::<u32>(), len in 0u8..=32) {
+            let p = Prefix::v4(net.to_be_bytes(), len);
+            let parsed: Prefix = p.to_string().parse().unwrap();
+            prop_assert_eq!(p, parsed);
+        }
+
+        #[test]
+        fn community_parse_display_roundtrip(a in any::<u16>(), b in any::<u16>()) {
+            let c = Community::new(a, b);
+            let parsed: Community = c.to_string().parse().unwrap();
+            prop_assert_eq!(c, parsed);
+        }
+
+        #[test]
+        fn tuple_set_len_le_total(ts in prop::collection::vec(
+            (prop::collection::vec(arb_asn(), 1..5), prop::collection::vec(arb_community(), 0..4)),
+            0..30,
+        )) {
+            let mut s = TupleSet::new();
+            for (asns, comms) in ts {
+                if let Some(p) = AsPath::new(asns) {
+                    s.insert(PathCommTuple::new(p, CommunitySet::from_iter(comms)));
+                }
+            }
+            prop_assert!(s.len() as u64 <= s.total_ingested());
+        }
+    }
+}
+
+pub use community::Community as RegularCommunity;

@@ -1,0 +1,271 @@
+//! IP prefixes (IPv4 and IPv6 CIDR blocks).
+//!
+//! Prefixes identify the NLRI of BGP announcements. The inference algorithm
+//! itself only needs prefixes for sanitation (dropping unallocated space,
+//! paper §4.1) and for selecting the PEERING validation prefix (§7.4), but
+//! the MRT codec requires full binary encode/decode of both families.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// An IP prefix: address family, masked network bits, and prefix length.
+///
+/// The network address is stored masked (host bits zero), so equal CIDR
+/// blocks written differently compare equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Prefix {
+    /// IPv4 CIDR block.
+    V4 {
+        /// Network address with host bits cleared.
+        net: u32,
+        /// Prefix length, `0..=32`.
+        len: u8,
+    },
+    /// IPv6 CIDR block.
+    V6 {
+        /// Network address with host bits cleared.
+        net: u128,
+        /// Prefix length, `0..=128`.
+        len: u8,
+    },
+}
+
+impl Prefix {
+    /// Build an IPv4 prefix from octets, masking host bits.
+    pub fn v4(octets: [u8; 4], len: u8) -> Self {
+        let len = len.min(32);
+        let raw = u32::from_be_bytes(octets);
+        Prefix::V4 { net: mask_v4(raw, len), len }
+    }
+
+    /// Build an IPv6 prefix from 16 octets, masking host bits.
+    pub fn v6(octets: [u8; 16], len: u8) -> Self {
+        let len = len.min(128);
+        let raw = u128::from_be_bytes(octets);
+        Prefix::V6 { net: mask_v6(raw, len), len }
+    }
+
+    /// Prefix length in bits.
+    pub fn len(&self) -> u8 {
+        match self {
+            Prefix::V4 { len, .. } | Prefix::V6 { len, .. } => *len,
+        }
+    }
+
+    /// True when the prefix length is zero (default route).
+    pub fn is_default(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the prefix is IPv4.
+    pub fn is_v4(&self) -> bool {
+        matches!(self, Prefix::V4 { .. })
+    }
+
+    /// Whether the prefix is IPv6.
+    pub fn is_v6(&self) -> bool {
+        matches!(self, Prefix::V6 { .. })
+    }
+
+    /// Whether `other` is fully contained in `self` (same family, longer or
+    /// equal mask, matching network bits).
+    pub fn covers(&self, other: &Prefix) -> bool {
+        match (self, other) {
+            (Prefix::V4 { net: a, len: la }, Prefix::V4 { net: b, len: lb }) => {
+                lb >= la && mask_v4(*b, *la) == *a
+            }
+            (Prefix::V6 { net: a, len: la }, Prefix::V6 { net: b, len: lb }) => {
+                lb >= la && mask_v6(*b, *la) == *a
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the prefix falls in well-known bogon space (private,
+    /// loopback, link-local, documentation, multicast, reserved).
+    pub fn is_bogon(&self) -> bool {
+        const BOGONS_V4: &[([u8; 4], u8)] = &[
+            ([0, 0, 0, 0], 8),
+            ([10, 0, 0, 0], 8),
+            ([100, 64, 0, 0], 10),
+            ([127, 0, 0, 0], 8),
+            ([169, 254, 0, 0], 16),
+            ([172, 16, 0, 0], 12),
+            ([192, 0, 0, 0], 24),
+            ([192, 0, 2, 0], 24),
+            ([192, 168, 0, 0], 16),
+            ([198, 18, 0, 0], 15),
+            ([198, 51, 100, 0], 24),
+            ([203, 0, 113, 0], 24),
+            ([224, 0, 0, 0], 4),
+            ([240, 0, 0, 0], 4),
+        ];
+        match self {
+            Prefix::V4 { .. } => {
+                BOGONS_V4.iter().any(|&(o, l)| Prefix::v4(o, l).covers(self))
+            }
+            Prefix::V6 { net, .. } => {
+                let top = (net >> 112) as u16;
+                // ::/8 (incl. loopback/unspecified), fc00::/7 ULA,
+                // fe80::/10 link-local, ff00::/8 multicast, 2001:db8::/32 doc
+                (top & 0xff00) == 0
+                    || (top & 0xfe00) == 0xfc00
+                    || (top & 0xffc0) == 0xfe80
+                    || (top & 0xff00) == 0xff00
+                    || (*net >> 96) as u32 == 0x2001_0db8
+            }
+        }
+    }
+
+    /// Network bytes, big-endian, full width (4 or 16 bytes).
+    pub fn net_bytes(&self) -> Vec<u8> {
+        match self {
+            Prefix::V4 { net, .. } => net.to_be_bytes().to_vec(),
+            Prefix::V6 { net, .. } => net.to_be_bytes().to_vec(),
+        }
+    }
+
+    /// Number of bytes needed to encode the network portion in BGP NLRI
+    /// packed form: `ceil(len / 8)`.
+    pub fn nlri_byte_len(&self) -> usize {
+        (self.len() as usize + 7) / 8
+    }
+}
+
+fn mask_v4(raw: u32, len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        raw & (u32::MAX << (32 - len as u32))
+    }
+}
+
+fn mask_v6(raw: u128, len: u8) -> u128 {
+    if len == 0 {
+        0
+    } else {
+        raw & (u128::MAX << (128 - len as u32))
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Prefix::V4 { net, len } => write!(f, "{}/{}", Ipv4Addr::from(*net), len),
+            Prefix::V6 { net, len } => write!(f, "{}/{}", Ipv6Addr::from(*net), len),
+        }
+    }
+}
+
+impl PartialOrd for Prefix {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Prefix {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // v4 before v6, then by network, then by length.
+        match (self, other) {
+            (Prefix::V4 { net: a, len: la }, Prefix::V4 { net: b, len: lb }) => {
+                a.cmp(b).then(la.cmp(lb))
+            }
+            (Prefix::V6 { net: a, len: la }, Prefix::V6 { net: b, len: lb }) => {
+                a.cmp(b).then(la.cmp(lb))
+            }
+            (Prefix::V4 { .. }, Prefix::V6 { .. }) => Ordering::Less,
+            (Prefix::V6 { .. }, Prefix::V4 { .. }) => Ordering::Greater,
+        }
+    }
+}
+
+impl std::str::FromStr for Prefix {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s.split_once('/').ok_or_else(|| format!("missing '/' in {s:?}"))?;
+        let len: u8 = len.parse().map_err(|e| format!("bad length: {e}"))?;
+        if let Ok(v4) = addr.parse::<Ipv4Addr>() {
+            if len > 32 {
+                return Err(format!("/{} too long for IPv4", len));
+            }
+            Ok(Prefix::v4(v4.octets(), len))
+        } else if let Ok(v6) = addr.parse::<Ipv6Addr>() {
+            if len > 128 {
+                return Err(format!("/{} too long for IPv6", len));
+            }
+            Ok(Prefix::v6(v6.octets(), len))
+        } else {
+            Err(format!("unparseable address {addr:?}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_normalizes() {
+        assert_eq!(Prefix::v4([192, 168, 1, 77], 24), Prefix::v4([192, 168, 1, 0], 24));
+        assert_eq!(Prefix::v4([1, 2, 3, 4], 0), Prefix::v4([0, 0, 0, 0], 0));
+    }
+
+    #[test]
+    fn covers() {
+        let a = Prefix::v4([10, 0, 0, 0], 8);
+        let b = Prefix::v4([10, 1, 0, 0], 16);
+        assert!(a.covers(&b));
+        assert!(!b.covers(&a));
+        assert!(a.covers(&a));
+        let v6 = Prefix::v6([0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0], 32);
+        assert!(!a.covers(&v6));
+    }
+
+    #[test]
+    fn bogon_detection_v4() {
+        assert!(Prefix::v4([10, 1, 2, 0], 24).is_bogon());
+        assert!(Prefix::v4([192, 168, 0, 0], 16).is_bogon());
+        assert!(Prefix::v4([198, 51, 100, 0], 24).is_bogon());
+        assert!(!Prefix::v4([193, 0, 0, 0], 16).is_bogon());
+        assert!(!Prefix::v4([8, 8, 8, 0], 24).is_bogon());
+    }
+
+    #[test]
+    fn bogon_detection_v6() {
+        let doc = "2001:db8::/32".parse::<Prefix>().unwrap();
+        assert!(doc.is_bogon());
+        let ula = "fc00::/7".parse::<Prefix>().unwrap();
+        assert!(ula.is_bogon());
+        let global = "2a00::/12".parse::<Prefix>().unwrap();
+        assert!(!global.is_bogon());
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in ["193.0.0.0/16", "10.0.0.0/8", "2001:db8::/32", "0.0.0.0/0"] {
+            let p: Prefix = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+        assert!("193.0.0.0".parse::<Prefix>().is_err());
+        assert!("193.0.0.0/33".parse::<Prefix>().is_err());
+        assert!("xyz/8".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn nlri_byte_len() {
+        assert_eq!(Prefix::v4([193, 0, 0, 0], 16).nlri_byte_len(), 2);
+        assert_eq!(Prefix::v4([193, 0, 0, 0], 17).nlri_byte_len(), 3);
+        assert_eq!(Prefix::v4([0, 0, 0, 0], 0).nlri_byte_len(), 0);
+        assert_eq!("2001:db8::/32".parse::<Prefix>().unwrap().nlri_byte_len(), 4);
+    }
+
+    #[test]
+    fn ordering_v4_before_v6() {
+        let v4 = Prefix::v4([255, 255, 255, 255], 32);
+        let v6 = "::/0".parse::<Prefix>().unwrap();
+        assert!(v4 < v6);
+    }
+}

@@ -1,0 +1,266 @@
+//! Allocation registry for ASNs and prefixes.
+//!
+//! The paper's sanitation pipeline (§4.1) removes "routing information that
+//! includes unallocated prefixes or ASNs using current allocation
+//! information from the regional registries". Public route collectors ship
+//! real RIR delegation files; this module implements the same interface over
+//! either (a) explicit allocation ranges loaded from delegation-style
+//! records, or (b) a synthetic allocation consistent with a generated
+//! topology.
+
+use crate::asn::Asn;
+use crate::prefix::Prefix;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Allocation status of a resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Allocation {
+    /// Allocated/assigned by an RIR and usable in the public Internet.
+    Allocated,
+    /// In an allocatable range but not currently delegated.
+    Unallocated,
+    /// Reserved, private, or documentation space — never publicly valid.
+    Reserved,
+}
+
+/// A contiguous allocated ASN range, as found in RIR delegation files
+/// (`aut-num|start|count`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsnRange {
+    /// First ASN in the range.
+    pub start: u32,
+    /// Number of consecutive ASNs.
+    pub count: u32,
+}
+
+impl AsnRange {
+    /// Whether `asn` falls inside this range.
+    pub fn contains(&self, asn: Asn) -> bool {
+        asn.0 >= self.start && (asn.0 - self.start) < self.count
+    }
+}
+
+/// Registry of allocated ASNs and prefixes.
+///
+/// The inference pipeline consults this to (a) drop tuples whose path
+/// mentions unallocated ASNs and (b) decide whether a community upper field
+/// is `private` (paper §3.2). Lookups are O(log n) over sorted ranges plus
+/// an exact-member set for synthetic allocations.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AsnRegistry {
+    /// Sorted, disjoint allocated ranges (delegation-file style).
+    ranges: Vec<AsnRange>,
+    /// Individually allocated ASNs (synthetic topologies register here).
+    members: BTreeSet<u32>,
+    /// If true, every public-range ASN is treated as allocated. Useful for
+    /// analyses that only need the reserved/private split.
+    assume_all_allocated: bool,
+}
+
+impl AsnRegistry {
+    /// An empty registry: nothing allocated.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A permissive registry treating every public-range ASN as allocated.
+    pub fn permissive() -> Self {
+        AsnRegistry { assume_all_allocated: true, ..Self::default() }
+    }
+
+    /// Register a delegation-style range. Ranges are kept sorted; adjacent
+    /// or overlapping inserts are coalesced.
+    pub fn add_range(&mut self, start: u32, count: u32) {
+        if count == 0 {
+            return;
+        }
+        self.ranges.push(AsnRange { start, count });
+        self.ranges.sort_by_key(|r| r.start);
+        // Coalesce overlapping/adjacent ranges.
+        let mut merged: Vec<AsnRange> = Vec::with_capacity(self.ranges.len());
+        for r in self.ranges.drain(..) {
+            match merged.last_mut() {
+                Some(last) if r.start <= last.start.saturating_add(last.count) => {
+                    let last_end = last.start as u64 + last.count as u64;
+                    let r_end = r.start as u64 + r.count as u64;
+                    let new_end = last_end.max(r_end);
+                    last.count = (new_end - last.start as u64) as u32;
+                }
+                _ => merged.push(r),
+            }
+        }
+        self.ranges = merged;
+    }
+
+    /// Register a single allocated ASN.
+    pub fn allocate(&mut self, asn: Asn) {
+        self.members.insert(asn.0);
+    }
+
+    /// Register every ASN in an iterator (e.g. all nodes of a generated
+    /// topology).
+    pub fn allocate_all<I: IntoIterator<Item = Asn>>(&mut self, iter: I) {
+        for a in iter {
+            self.allocate(a);
+        }
+    }
+
+    /// Allocation status of `asn`.
+    pub fn status(&self, asn: Asn) -> Allocation {
+        if asn.is_reserved_or_private() {
+            return Allocation::Reserved;
+        }
+        if self.assume_all_allocated
+            || self.members.contains(&asn.0)
+            || self.range_contains(asn)
+        {
+            Allocation::Allocated
+        } else {
+            Allocation::Unallocated
+        }
+    }
+
+    /// Whether `asn` is allocated (public and delegated).
+    pub fn is_allocated(&self, asn: Asn) -> bool {
+        self.status(asn) == Allocation::Allocated
+    }
+
+    /// Whether `asn` is in reserved/private space. This is the predicate
+    /// that makes a community `private` in the paper's taxonomy.
+    pub fn is_private(&self, asn: Asn) -> bool {
+        asn.is_reserved_or_private()
+    }
+
+    /// Number of individually registered ASNs (ranges not expanded).
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    fn range_contains(&self, asn: Asn) -> bool {
+        // Binary search over sorted disjoint ranges.
+        let idx = self.ranges.partition_point(|r| r.start <= asn.0);
+        idx > 0 && self.ranges[idx - 1].contains(asn)
+    }
+}
+
+/// Registry of allocated prefixes; mirrors [`AsnRegistry`] for NLRI
+/// sanitation. Synthetic datasets register the exact prefixes the topology
+/// originates; bogon space is always rejected.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PrefixRegistry {
+    members: BTreeSet<Prefix>,
+    assume_all_allocated: bool,
+}
+
+impl PrefixRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registry treating every non-bogon prefix as allocated.
+    pub fn permissive() -> Self {
+        PrefixRegistry { assume_all_allocated: true, ..Self::default() }
+    }
+
+    /// Register an allocated prefix.
+    pub fn allocate(&mut self, p: Prefix) {
+        self.members.insert(p);
+    }
+
+    /// Allocation status of a prefix.
+    pub fn status(&self, p: &Prefix) -> Allocation {
+        if p.is_bogon() {
+            Allocation::Reserved
+        } else if self.assume_all_allocated || self.members.contains(p) {
+            Allocation::Allocated
+        } else {
+            Allocation::Unallocated
+        }
+    }
+
+    /// Whether the prefix is allocated.
+    pub fn is_allocated(&self, p: &Prefix) -> bool {
+        self.status(p) == Allocation::Allocated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_registry_allocates_nothing() {
+        let reg = AsnRegistry::new();
+        assert_eq!(reg.status(Asn(3356)), Allocation::Unallocated);
+        assert_eq!(reg.status(Asn(64512)), Allocation::Reserved);
+    }
+
+    #[test]
+    fn permissive_allocates_public_only() {
+        let reg = AsnRegistry::permissive();
+        assert_eq!(reg.status(Asn(3356)), Allocation::Allocated);
+        assert_eq!(reg.status(Asn(0)), Allocation::Reserved);
+        assert_eq!(reg.status(Asn(4_294_967_295)), Allocation::Reserved);
+    }
+
+    #[test]
+    fn member_allocation() {
+        let mut reg = AsnRegistry::new();
+        reg.allocate(Asn(7018));
+        assert!(reg.is_allocated(Asn(7018)));
+        assert!(!reg.is_allocated(Asn(7019)));
+        assert_eq!(reg.member_count(), 1);
+    }
+
+    #[test]
+    fn range_allocation_and_coalescing() {
+        let mut reg = AsnRegistry::new();
+        reg.add_range(100, 10); // 100..110
+        reg.add_range(110, 5); // adjacent -> coalesce to 100..115
+        reg.add_range(200, 1);
+        assert!(reg.is_allocated(Asn(100)));
+        assert!(reg.is_allocated(Asn(109)));
+        assert!(reg.is_allocated(Asn(114)));
+        assert!(!reg.is_allocated(Asn(115)));
+        assert!(reg.is_allocated(Asn(200)));
+        assert!(!reg.is_allocated(Asn(199)));
+    }
+
+    #[test]
+    fn overlapping_ranges_coalesce() {
+        let mut reg = AsnRegistry::new();
+        reg.add_range(100, 50);
+        reg.add_range(120, 100); // overlaps -> 100..220
+        assert!(reg.is_allocated(Asn(219)));
+        assert!(!reg.is_allocated(Asn(220)));
+    }
+
+    #[test]
+    fn reserved_beats_ranges() {
+        let mut reg = AsnRegistry::new();
+        reg.add_range(64500, 100); // straddles documentation + private space
+        assert_eq!(reg.status(Asn(64512)), Allocation::Reserved);
+    }
+
+    #[test]
+    fn zero_count_range_is_noop() {
+        let mut reg = AsnRegistry::new();
+        reg.add_range(5, 0);
+        assert!(!reg.is_allocated(Asn(5)));
+    }
+
+    #[test]
+    fn prefix_registry() {
+        use crate::prefix::Prefix;
+        let mut reg = PrefixRegistry::new();
+        let p = Prefix::v4([10, 0, 0, 0], 8); // bogon (RFC1918)
+        let q = Prefix::v4([193, 0, 0, 0], 16);
+        reg.allocate(q);
+        assert_eq!(reg.status(&p), Allocation::Reserved);
+        assert_eq!(reg.status(&q), Allocation::Allocated);
+        assert_eq!(reg.status(&Prefix::v4([198, 51, 0, 0], 16)), Allocation::Unallocated);
+        assert!(PrefixRegistry::permissive().is_allocated(&q));
+    }
+}

@@ -1,0 +1,196 @@
+//! BGP UPDATE message model (RFC 4271 §4.3) and RIB entry model.
+//!
+//! This is the semantic layer above the wire format: the MRT codec
+//! (`bgp-mrt`) converts between these structs and bytes; the collector
+//! layer produces streams of them; the inference pipeline reduces them to
+//! `(path, comm)` tuples.
+
+use crate::as_path::RawAsPath;
+use crate::asn::Asn;
+use crate::comm_set::CommunitySet;
+use crate::prefix::Prefix;
+use serde::{Deserialize, Serialize};
+
+/// BGP ORIGIN attribute values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Origin {
+    /// Learned from an IGP.
+    Igp,
+    /// Learned via EGP (historic).
+    Egp,
+    /// Origin unknown/incomplete (e.g. redistributed statics).
+    Incomplete,
+}
+
+impl Origin {
+    /// RFC 4271 wire value.
+    pub fn code(self) -> u8 {
+        match self {
+            Origin::Igp => 0,
+            Origin::Egp => 1,
+            Origin::Incomplete => 2,
+        }
+    }
+
+    /// Decode from wire value.
+    pub fn from_code(c: u8) -> Option<Self> {
+        match c {
+            0 => Some(Origin::Igp),
+            1 => Some(Origin::Egp),
+            2 => Some(Origin::Incomplete),
+            _ => None,
+        }
+    }
+}
+
+/// Path attributes relevant to this study.
+///
+/// `NEXT_HOP`, `MED`, `LOCAL_PREF` etc. are carried opaquely where needed by
+/// the codec; only the attributes the paper's pipeline consumes are modeled
+/// semantically.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PathAttributes {
+    /// ORIGIN attribute, if present.
+    pub origin: Option<Origin>,
+    /// AS_PATH attribute (raw, pre-sanitation).
+    pub as_path: RawAsPath,
+    /// IPv4 next hop, if present.
+    pub next_hop: Option<[u8; 4]>,
+    /// Combined regular + large communities.
+    pub communities: CommunitySet,
+}
+
+/// A BGP UPDATE, as captured by a route collector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateMessage {
+    /// The collector peer that sent this update (MRT Peer AS Number field).
+    pub peer_asn: Asn,
+    /// Peer IP (opaque bytes; 4 or 16).
+    pub peer_ip: Vec<u8>,
+    /// Capture timestamp, seconds since epoch.
+    pub timestamp: u64,
+    /// Prefixes withdrawn.
+    pub withdrawn: Vec<Prefix>,
+    /// Prefixes announced.
+    pub announced: Vec<Prefix>,
+    /// Attributes applying to all announced prefixes.
+    pub attributes: PathAttributes,
+}
+
+impl UpdateMessage {
+    /// A minimal announcement used pervasively in tests and generators.
+    pub fn announcement(
+        peer_asn: Asn,
+        timestamp: u64,
+        prefix: Prefix,
+        as_path: RawAsPath,
+        communities: CommunitySet,
+    ) -> Self {
+        UpdateMessage {
+            peer_asn,
+            peer_ip: vec![192, 0, 2, 1],
+            timestamp,
+            withdrawn: Vec::new(),
+            announced: vec![prefix],
+            attributes: PathAttributes {
+                origin: Some(Origin::Igp),
+                as_path,
+                next_hop: Some([192, 0, 2, 1]),
+                communities,
+            },
+        }
+    }
+
+    /// Whether this update only withdraws.
+    pub fn is_withdrawal_only(&self) -> bool {
+        self.announced.is_empty() && !self.withdrawn.is_empty()
+    }
+}
+
+/// One RIB (routing table snapshot) entry: a prefix as seen from one
+/// collector peer at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RibEntry {
+    /// Collector peer holding the route.
+    pub peer_asn: Asn,
+    /// Peer IP (opaque bytes).
+    pub peer_ip: Vec<u8>,
+    /// Time the route was originated/last updated.
+    pub originated: u64,
+    /// The prefix.
+    pub prefix: Prefix,
+    /// Attributes.
+    pub attributes: PathAttributes,
+}
+
+impl RibEntry {
+    /// Build an entry with the common defaults.
+    pub fn new(peer_asn: Asn, prefix: Prefix, as_path: RawAsPath, communities: CommunitySet) -> Self {
+        RibEntry {
+            peer_asn,
+            peer_ip: vec![192, 0, 2, 1],
+            originated: 0,
+            prefix,
+            attributes: PathAttributes {
+                origin: Some(Origin::Igp),
+                as_path,
+                next_hop: Some([192, 0, 2, 1]),
+                communities,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::community::AnyCommunity;
+
+    #[test]
+    fn origin_codes_roundtrip() {
+        for o in [Origin::Igp, Origin::Egp, Origin::Incomplete] {
+            assert_eq!(Origin::from_code(o.code()), Some(o));
+        }
+        assert_eq!(Origin::from_code(3), None);
+    }
+
+    #[test]
+    fn announcement_constructor() {
+        let u = UpdateMessage::announcement(
+            Asn(64500),
+            1_621_382_400,
+            Prefix::v4([203, 0, 114, 0], 24),
+            RawAsPath::from_sequence(vec![Asn(64500), Asn(3356)]),
+            CommunitySet::from_iter([AnyCommunity::regular(3356, 100)]),
+        );
+        assert_eq!(u.announced.len(), 1);
+        assert!(u.withdrawn.is_empty());
+        assert!(!u.is_withdrawal_only());
+        assert_eq!(u.attributes.communities.len(), 1);
+    }
+
+    #[test]
+    fn withdrawal_only() {
+        let mut u = UpdateMessage::announcement(
+            Asn(1),
+            0,
+            Prefix::v4([203, 0, 114, 0], 24),
+            RawAsPath::from_sequence(vec![Asn(1)]),
+            CommunitySet::new(),
+        );
+        u.withdrawn = u.announced.drain(..).collect();
+        assert!(u.is_withdrawal_only());
+    }
+
+    #[test]
+    fn rib_entry_defaults() {
+        let e = RibEntry::new(
+            Asn(2),
+            Prefix::v4([198, 51, 0, 0], 16),
+            RawAsPath::from_sequence(vec![Asn(2), Asn(7)]),
+            CommunitySet::new(),
+        );
+        assert_eq!(e.peer_asn, Asn(2));
+        assert_eq!(e.attributes.origin, Some(Origin::Igp));
+    }
+}

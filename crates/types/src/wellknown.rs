@@ -1,0 +1,137 @@
+//! Well-known BGP communities and their standardized router behaviors.
+//!
+//! RFC 1997 reserves `0xFFFF0000–0xFFFFFFFF`; RFC 8642 documents how
+//! routers actually treat the well-known values. The inference pipeline
+//! classifies these as `private` (their upper field is not an ASN), but a
+//! production consumer of the classification database needs to *name*
+//! them — blackhole telemetry, graceful-shutdown detection, NO_EXPORT
+//! audits all start here.
+
+use crate::community::{AnyCommunity, Community};
+
+/// A named well-known community.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WellKnown {
+    /// The community value.
+    pub community: Community,
+    /// IANA name.
+    pub name: &'static str,
+    /// Defining document.
+    pub rfc: &'static str,
+    /// Whether routers act on it by default (RFC 8642 "behavior by
+    /// default" column) as opposed to requiring explicit policy.
+    pub default_action: bool,
+}
+
+/// The IANA "BGP Well-known Communities" registry entries this library
+/// recognizes.
+pub const REGISTRY: &[WellKnown] = &[
+    WellKnown {
+        community: Community(0xFFFF_0000),
+        name: "GRACEFUL_SHUTDOWN",
+        rfc: "RFC8326",
+        default_action: false,
+    },
+    WellKnown {
+        community: Community(0xFFFF_0001),
+        name: "ACCEPT_OWN",
+        rfc: "RFC7611",
+        default_action: false,
+    },
+    WellKnown {
+        community: Community(0xFFFF_029A),
+        name: "BLACKHOLE",
+        rfc: "RFC7999",
+        default_action: false,
+    },
+    WellKnown {
+        community: Community(0xFFFF_FF01),
+        name: "NO_EXPORT",
+        rfc: "RFC1997",
+        default_action: true,
+    },
+    WellKnown {
+        community: Community(0xFFFF_FF02),
+        name: "NO_ADVERTISE",
+        rfc: "RFC1997",
+        default_action: true,
+    },
+    WellKnown {
+        community: Community(0xFFFF_FF03),
+        name: "NO_EXPORT_SUBCONFED",
+        rfc: "RFC1997",
+        default_action: true,
+    },
+    WellKnown {
+        community: Community(0xFFFF_FF04),
+        name: "NOPEER",
+        rfc: "RFC3765",
+        default_action: false,
+    },
+];
+
+/// Look up a community in the registry.
+pub fn lookup(c: &Community) -> Option<&'static WellKnown> {
+    REGISTRY.iter().find(|w| w.community == *c)
+}
+
+/// Look up either community variant (large communities have no well-known
+/// registry and always return `None`).
+pub fn lookup_any(c: &AnyCommunity) -> Option<&'static WellKnown> {
+    match c {
+        AnyCommunity::Regular(c) => lookup(c),
+        AnyCommunity::Large(_) => None,
+    }
+}
+
+/// Human-readable rendering: the registry name when known, the numeric
+/// form otherwise.
+pub fn display_name(c: &AnyCommunity) -> String {
+    match lookup_any(c) {
+        Some(w) => w.name.to_string(),
+        None => c.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_consistency() {
+        for w in REGISTRY {
+            assert!(w.community.is_well_known(), "{} outside reserved range", w.name);
+            assert_eq!(lookup(&w.community), Some(w));
+        }
+        // No duplicate values or names.
+        let mut values: Vec<u32> = REGISTRY.iter().map(|w| w.community.raw()).collect();
+        values.sort_unstable();
+        values.dedup();
+        assert_eq!(values.len(), REGISTRY.len());
+    }
+
+    #[test]
+    fn canonical_lookups() {
+        assert_eq!(lookup(&Community::NO_EXPORT).unwrap().name, "NO_EXPORT");
+        assert_eq!(lookup(&Community::BLACKHOLE).unwrap().name, "BLACKHOLE");
+        assert_eq!(lookup(&Community::GRACEFUL_SHUTDOWN).unwrap().name, "GRACEFUL_SHUTDOWN");
+        assert!(lookup(&Community::new(3356, 1)).is_none());
+    }
+
+    #[test]
+    fn rfc1997_defaults_are_default_action() {
+        for name in ["NO_EXPORT", "NO_ADVERTISE", "NO_EXPORT_SUBCONFED"] {
+            let w = REGISTRY.iter().find(|w| w.name == name).unwrap();
+            assert!(w.default_action, "{name} is acted on by default");
+        }
+        assert!(!lookup(&Community::BLACKHOLE).unwrap().default_action);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(display_name(&AnyCommunity::Regular(Community::NO_EXPORT)), "NO_EXPORT");
+        assert_eq!(display_name(&AnyCommunity::regular(3356, 7)), "3356:7");
+        assert_eq!(display_name(&AnyCommunity::large(1, 2, 3)), "1:2:3");
+        assert!(lookup_any(&AnyCommunity::large(0xFFFF_FF01, 0, 0)).is_none());
+    }
+}

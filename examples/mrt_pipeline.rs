@@ -1,0 +1,77 @@
+//! The production data path, end to end:
+//!
+//! simulated Internet → **MRT bytes** (TABLE_DUMP_V2 RIBs + BGP4MP
+//! updates) → MRT decode → §4.1 sanitation → deduplicated tuples →
+//! inference → released classification database.
+//!
+//! This is what running the paper's pipeline on a real collector archive
+//! looks like — only the bytes come from the simulator instead of
+//! `rrc00.ripe.net`.
+//!
+//! ```sh
+//! cargo run --release --example mrt_pipeline
+//! ```
+
+use bgp_community_usage::infer::db;
+use bgp_community_usage::prelude::*;
+
+fn main() {
+    // Build a world with realistic (skewed, sparse) community usage.
+    let mut cfg = TopologyConfig::small();
+    cfg.collector_peers = 40;
+    let topo = cfg.seed(7).build();
+    let paths = PathSubstrate::generate(&topo, 4).paths;
+    let cones = CustomerCones::compute(&topo);
+    let roles = bgp_eval::world::realistic_roles(&topo, &cones, 7);
+
+    // Render one day of RIPE-style MRT data.
+    let builder = ArchiveBuilder::new(&topo, &roles);
+    let day = builder.build_day(&CollectorProject::ripe(), &paths, 7);
+    println!(
+        "generated MRT archives: {} RIB bytes ({} entries), {} update bytes ({} messages)",
+        day.rib_bytes.len(),
+        day.rib_entries,
+        day.update_bytes.len(),
+        day.update_messages
+    );
+
+    // Parse the bytes back and sanitize into tuples.
+    let mut tuples = TupleSet::new();
+    ingest_day(&day, &mut tuples).expect("archive round-trips");
+    println!(
+        "ingested: {} raw entries -> {} unique (path, comm) tuples",
+        tuples.total_ingested(),
+        tuples.len()
+    );
+
+    // Dataset statistics (the Table 1 rows).
+    let stats = DatasetStats::compute("example", &[&day], &tuples);
+    println!(
+        "dataset: {} ASes ({} leaves, {} 32-bit), {} communities ({} large)",
+        stats.as_numbers,
+        stats.leaf_ases,
+        stats.ases_32bit,
+        stats.communities_total,
+        stats.communities_large
+    );
+
+    // Infer and summarize.
+    let outcome = InferenceEngine::new(InferenceConfig::default()).run(&tuples.to_vec());
+    let mut counts = std::collections::BTreeMap::new();
+    for (_, class) in outcome.classes() {
+        *counts.entry(class.as_str()).or_insert(0u32) += 1;
+    }
+    println!("\nclassification counts: {counts:?}");
+
+    // Export the inference database (the paper's public release artifact)
+    // and prove it round-trips.
+    let exported = db::export(&outcome);
+    let lines = exported.lines().count();
+    let reimported = db::import(&exported).expect("db parses");
+    assert_eq!(reimported.counters.len(), outcome.counters.len());
+    println!("\ninference db: {lines} lines, round-trips losslessly");
+    println!("first records:");
+    for line in exported.lines().take(6) {
+        println!("  {line}");
+    }
+}

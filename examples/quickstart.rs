@@ -1,0 +1,71 @@
+//! Quickstart: the whole study in ~60 lines.
+//!
+//! Builds a small Internet-like topology, assigns ground-truth community
+//! usage roles, propagates communities to route collectors per the paper's
+//! mental model, runs the passive inference algorithm, and compares the
+//! inferences against the ground truth.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bgp_community_usage::prelude::*;
+
+fn main() {
+    // 1. An Internet in miniature: Tier-1 clique, transit layer, edge.
+    let mut cfg = TopologyConfig::small();
+    cfg.collector_peers = 40;
+    let topo = cfg.seed(42).build();
+    println!(
+        "topology: {} ASes, {} edges, {} collector peers",
+        topo.node_count(),
+        topo.edge_count(),
+        topo.collector_peers().len()
+    );
+
+    // 2. Valley-free paths from every collector peer to every origin —
+    //    the substrate the paper takes from RIPE/RouteViews/Isolario.
+    let paths = PathSubstrate::generate(&topo, 4).paths;
+    println!("substrate: {} unique AS paths", paths.len());
+
+    // 3. Ground truth: uniform random roles (the paper's `random`
+    //    scenario), propagated per output(A) = tagging(A) ∪ forwarding(A).
+    let dataset = Scenario::Random.materialize(&topo, &paths, 42);
+    println!("dataset: {} (path, community-set) tuples", dataset.tuples.len());
+
+    // 4. Inference at the paper's 99% thresholds.
+    let outcome = InferenceEngine::new(InferenceConfig::default()).run(&dataset.tuples);
+
+    // 5. Score against ground truth.
+    let (mut correct, mut wrong, mut abstained) = (0u32, 0u32, 0u32);
+    for (asn, role) in dataset.roles.iter() {
+        let class = outcome.class_of(asn);
+        match class.tagging {
+            TaggingClass::Tagger => {
+                if role.is_tagger() {
+                    correct += 1;
+                } else {
+                    wrong += 1;
+                }
+            }
+            TaggingClass::Silent => {
+                if !role.is_tagger() && !role.is_selective() {
+                    correct += 1;
+                } else {
+                    wrong += 1;
+                }
+            }
+            _ => abstained += 1,
+        }
+    }
+    println!("\ntagging inference: {correct} correct, {wrong} wrong, {abstained} abstained");
+    assert_eq!(wrong, 0, "the paper's claim: when it decides, it is correct");
+
+    // 6. Show a few concrete classifications.
+    println!("\nsample classifications (tagging+forwarding):");
+    for asn in topo.collector_peers().into_iter().take(8) {
+        let class = outcome.class_of(asn);
+        let truth = dataset.roles.role(asn);
+        println!("  {asn:>12}  inferred={class}  truth={}", truth.short());
+    }
+}

@@ -1,0 +1,140 @@
+//! End-to-end integration: simulator → MRT bytes → parse → sanitize →
+//! infer → export, with determinism and correctness checks across crate
+//! boundaries.
+
+use bgp_community_usage::infer::db;
+use bgp_community_usage::prelude::*;
+
+fn world(seed: u64) -> (AsGraph, Vec<AsPath>, CustomerCones) {
+    let mut cfg = TopologyConfig::small();
+    cfg.transit = 40;
+    cfg.edge = 150;
+    cfg.collector_peers = 20;
+    let g = cfg.seed(seed).build();
+    let paths = PathSubstrate::generate(&g, 4).paths;
+    let cones = CustomerCones::compute(&g);
+    (g, paths, cones)
+}
+
+#[test]
+fn mrt_roundtrip_preserves_inference() {
+    // Inference over direct tuples must equal inference over tuples that
+    // took the full MRT encode/decode/sanitize detour.
+    let (g, paths, _) = world(5);
+    let roles = Scenario::Random.assign_roles(&g, 5);
+    let prop = Propagator::new(&g, &roles);
+    let direct = prop.tuples(&paths);
+
+    let day = ArchiveBuilder::new(&g, &roles).build_day(&CollectorProject::ripe(), &paths, 5);
+    let mut via_mrt = TupleSet::new();
+    ingest_day(&day, &mut via_mrt).expect("archive parses");
+
+    // The archive covers the project's peer subset; restrict the direct
+    // tuples to that subset for comparison.
+    let peers = CollectorProject::ripe().select_peers(&g, 5);
+    let direct_subset: Vec<PathCommTuple> =
+        direct.into_iter().filter(|t| peers.contains(&t.path.peer())).collect();
+
+    let cfg = InferenceConfig::default();
+    let a = InferenceEngine::new(cfg.clone()).run(&direct_subset);
+    let b = InferenceEngine::new(cfg).run(&via_mrt.to_vec());
+    assert_eq!(a.classes(), b.classes(), "MRT detour changed inference results");
+}
+
+#[test]
+fn full_pipeline_deterministic() {
+    let run_once = || {
+        let (g, paths, cones) = world(9);
+        let roles = bgp_eval::world::realistic_roles(&g, &cones, 9);
+        let day =
+            ArchiveBuilder::new(&g, &roles).build_day(&CollectorProject::routeviews(), &paths, 9);
+        let mut set = TupleSet::new();
+        ingest_day(&day, &mut set).expect("parses");
+        let outcome = InferenceEngine::new(InferenceConfig::default()).run(&set.to_vec());
+        db::export(&outcome)
+    };
+    assert_eq!(run_once(), run_once(), "pipeline must be bit-deterministic");
+}
+
+#[test]
+fn db_export_reimport_identity() {
+    let (g, paths, _) = world(13);
+    let roles = Scenario::Random.assign_roles(&g, 13);
+    let tuples = Propagator::new(&g, &roles).tuples(&paths);
+    let outcome = InferenceEngine::new(InferenceConfig::default()).run(&tuples);
+    let text = db::export(&outcome);
+    let back = db::import(&text).expect("parses");
+    for (asn, class) in outcome.classes() {
+        assert_eq!(back.class_of(asn), class);
+    }
+    // And exporting the re-import is a fixed point.
+    assert_eq!(db::export(&back), text);
+}
+
+#[test]
+fn sanitation_stats_account_for_everything() {
+    let (g, paths, _) = world(17);
+    let roles = Scenario::AllTf.assign_roles(&g, 17);
+    let prop = Propagator::new(&g, &roles);
+
+    let sanitizer = Sanitizer::permissive();
+    let mut set = TupleSet::new();
+    let updates: Vec<UpdateMessage> = paths
+        .iter()
+        .take(500)
+        .enumerate()
+        .map(|(i, p)| {
+            UpdateMessage::announcement(
+                p.peer(),
+                i as u64,
+                origin_prefix(i),
+                RawAsPath::from_sequence(p.asns().to_vec()),
+                prop.output(p),
+            )
+        })
+        .collect();
+    let stats = sanitizer.ingest_updates(updates.iter(), &mut set);
+    assert_eq!(stats.offered, 500);
+    assert_eq!(
+        stats.kept + stats.dropped_asn + stats.dropped_prefix + stats.dropped_path,
+        stats.offered
+    );
+    assert_eq!(stats.kept, 500, "clean synthetic data must all survive");
+}
+
+#[test]
+fn aggregation_strictly_improves_coverage() {
+    // d_May21-style aggregation: the union of three projects classifies at
+    // least as many ASes as each project alone.
+    let (g, paths, cones) = world(21);
+    let roles = bgp_eval::world::realistic_roles(&g, &cones, 21);
+    let builder = ArchiveBuilder::new(&g, &roles);
+
+    let mut aggregate = TupleSet::new();
+    let mut individual_best = 0usize;
+    for project in CollectorProject::aggregated_trio() {
+        let day = builder.build_day(&project, &paths, 21);
+        let mut set = TupleSet::new();
+        ingest_day(&day, &mut set).expect("parses");
+        let outcome = InferenceEngine::new(InferenceConfig::default()).run(&set.to_vec());
+        let decided = outcome
+            .classes()
+            .into_iter()
+            .filter(|(_, c)| {
+                matches!(c.tagging, TaggingClass::Tagger | TaggingClass::Silent)
+            })
+            .count();
+        individual_best = individual_best.max(decided);
+        aggregate.merge(&set);
+    }
+    let outcome = InferenceEngine::new(InferenceConfig::default()).run(&aggregate.to_vec());
+    let agg_decided = outcome
+        .classes()
+        .into_iter()
+        .filter(|(_, c)| matches!(c.tagging, TaggingClass::Tagger | TaggingClass::Silent))
+        .count();
+    assert!(
+        agg_decided >= individual_best,
+        "aggregate decided {agg_decided} < best individual {individual_best}"
+    );
+}

@@ -1,0 +1,120 @@
+//! End-to-end behavior of the selective-forwarding extension: an AS that
+//! forwards toward collectors/customers but cleans toward peers/providers
+//! is the §5.4 worst case for a passive observer — from the collector's
+//! vantage it looks like a clean `forward`, while the rest of the Internet
+//! sees a cleaner. These tests pin down exactly what the algorithm can and
+//! cannot see, which is the honest framing the paper gives for selective
+//! behavior in general.
+
+use bgp_community_usage::prelude::*;
+
+/// Build a world and flip a slice of forwards into selective forwarders
+/// that clean toward providers (and peers) but forward down/out.
+fn selective_world(
+    seed: u64,
+    policy: SelectivePolicy,
+) -> (AsGraph, RoleAssignment, Vec<AsPath>) {
+    let mut cfg = TopologyConfig::small();
+    cfg.transit = 40;
+    cfg.edge = 150;
+    cfg.collector_peers = 24;
+    let g = cfg.seed(seed).build();
+    let paths = PathSubstrate::generate(&g, 4).paths;
+    let mut roles = Scenario::Random.assign_roles(&g, seed);
+    // Every 5th forward AS becomes a selective forwarder.
+    let mut i = 0;
+    for asn in g.asns().collect::<Vec<_>>() {
+        let role = roles.role(asn);
+        if role.is_forward() {
+            i += 1;
+            if i % 5 == 0 {
+                roles.set(
+                    asn,
+                    Role { tagging: role.tagging, forwarding: ForwardingBehavior::SelectiveForward(policy) },
+                );
+            }
+        }
+    }
+    (g, roles, paths)
+}
+
+#[test]
+fn propagation_is_edge_aware() {
+    let (g, roles, paths) = selective_world(3, SelectivePolicy::NoProvider);
+    let prop = Propagator::new(&g, &roles);
+    // Model invariant still holds edge-aware: a community never survives a
+    // hop where the sender cleans toward that receiver.
+    for p in paths.iter().take(5_000) {
+        let out = prop.output(p);
+        let asns = p.asns();
+        for (i, &a) in asns.iter().enumerate() {
+            // If any AS strictly upstream cleans on its sending edge, a's
+            // tag cannot appear.
+            let blocked = (0..i).any(|j| {
+                let receiver = if j == 0 { None } else { Some(asns[j - 1]) };
+                !prop.forwards_on_edge(asns[j], receiver)
+            });
+            if blocked {
+                assert!(!out.contains_upper(a), "tag of {a} leaked on {p}");
+            }
+        }
+    }
+}
+
+#[test]
+fn collector_facing_forwarding_is_what_gets_classified() {
+    // With NoProvider selective forwarding, the cleaning happens on
+    // provider edges (deep in paths), while collector edges forward. The
+    // passive algorithm can only see the collector-facing behavior:
+    // selective forwarders at peer positions classify as forward, and no
+    // crash/misclassification storm occurs elsewhere.
+    let (g, roles, paths) = selective_world(7, SelectivePolicy::NoProvider);
+    let prop = Propagator::new(&g, &roles);
+    let tuples = prop.tuples(&paths);
+    let outcome = InferenceEngine::new(InferenceConfig::default()).run(&tuples);
+
+    let mut sel_peers_forward = 0u32;
+    let mut sel_peers_cleaner = 0u32;
+    for &peer in &g.collector_peers() {
+        if roles.role(peer).is_selective_forward() {
+            match outcome.class_of(peer).forwarding {
+                ForwardingClass::Forward => sel_peers_forward += 1,
+                ForwardingClass::Cleaner => sel_peers_cleaner += 1,
+                _ => {}
+            }
+        }
+    }
+    // Collector sessions forward under NoProvider, so any decided
+    // selective peer must be seen as forward — never as cleaner.
+    assert_eq!(sel_peers_cleaner, 0, "collector-facing forwarding misread as cleaning");
+    if sel_peers_forward == 0 {
+        // Seed landed without decided selective peers; the invariant above
+        // (no cleaner classification) is still the meaningful assertion.
+        eprintln!("note: no selective peer received a forwarding decision at this scale");
+    }
+}
+
+#[test]
+fn consistent_ases_unharmed_by_selective_neighbors() {
+    // The presence of selective forwarders must not create
+    // misclassifications of consistent ASes (it may reduce coverage).
+    let (g, roles, paths) = selective_world(11, SelectivePolicy::NoProviderNoPeer);
+    let prop = Propagator::new(&g, &roles);
+    let tuples = prop.tuples(&paths);
+    let outcome = InferenceEngine::new(InferenceConfig::default()).run(&tuples);
+
+    for (asn, role) in roles.iter() {
+        if role.is_selective() || role.is_selective_forward() {
+            continue;
+        }
+        match outcome.class_of(asn).tagging {
+            TaggingClass::Tagger => {
+                assert!(role.is_tagger(), "{asn}: silent misread as tagger")
+            }
+            TaggingClass::Silent => {
+                assert!(!role.is_tagger(), "{asn}: tagger misread as silent")
+            }
+            _ => {}
+        }
+    }
+}
