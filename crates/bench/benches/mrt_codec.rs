@@ -15,7 +15,7 @@ fn make_update(i: u32) -> UpdateMessage {
         RawAsPath::from_sequence(vec![
             Asn(60_000 + (i % 100)),
             Asn(3356),
-            Asn(1_00_000 + i % 1_000),
+            Asn(100_000 + i % 1_000),
             Asn(200_000 + i),
         ]),
         CommunitySet::from_iter([

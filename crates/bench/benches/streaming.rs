@@ -1,0 +1,143 @@
+//! Streaming pipeline benchmarks: batch `InferenceEngine::run` vs the
+//! `bgp-stream` sharded pipeline at 1/2/4 shards on `sim`-generated
+//! workloads, plus the epoch-overhead and ingest-path costs.
+//!
+//! The shard sweep quantifies the coordinator's parallel speedup: each
+//! phase counts shard-local on its own thread, so on a multi-core host
+//! 4-shard throughput should exceed 1-shard by well over 1.5×; on a
+//! single-core container the sweep instead measures sharding overhead
+//! (expect ~flat numbers there — the threads serialize).
+
+use bgp_sim::prelude::*;
+use bgp_stream::prelude::*;
+use bgp_topology::prelude::*;
+use bgp_types::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bgp_infer::prelude::{InferenceConfig, InferenceEngine};
+
+fn dataset(n_edge: usize) -> Vec<PathCommTuple> {
+    let mut cfg = TopologyConfig::small();
+    cfg.transit = 50;
+    cfg.edge = n_edge;
+    cfg.collector_peers = 25;
+    let g = cfg.seed(3).build();
+    let paths = PathSubstrate::generate(&g, 4).paths;
+    Scenario::Random.materialize(&g, &paths, 3).tuples
+}
+
+fn run_stream(tuples: &[PathCommTuple], shards: usize, epoch: EpochPolicy) -> usize {
+    let mut pipe = StreamPipeline::new(StreamConfig {
+        shards,
+        epoch,
+        dedup: false,
+        ..Default::default()
+    });
+    for (i, t) in tuples.iter().enumerate() {
+        pipe.push(StreamEvent::new(i as u64, t.clone()));
+    }
+    pipe.finish().outcome.counters.len()
+}
+
+/// Batch engine vs streaming pipeline, one epoch (the pure counting
+/// comparison: same arithmetic, different scheduler).
+fn bench_batch_vs_stream(c: &mut Criterion) {
+    let tuples = dataset(400);
+    let mut g = c.benchmark_group("batch_vs_stream");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(tuples.len() as u64));
+    g.bench_function("batch_1_thread", |b| {
+        let cfg = InferenceConfig { threads: 1, ..Default::default() };
+        b.iter(|| black_box(InferenceEngine::new(cfg.clone()).run(&tuples).counters.len()))
+    });
+    for shards in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("stream", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| black_box(run_stream(&tuples, shards, EpochPolicy::manual())))
+            },
+        );
+    }
+    g.finish();
+}
+
+/// The shard sweep the acceptance criterion watches: identical workload,
+/// 1/2/4 shards, single final epoch.
+fn bench_shard_scaling(c: &mut Criterion) {
+    let tuples = dataset(600);
+    let mut g = c.benchmark_group("stream_shards");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(tuples.len() as u64));
+    for shards in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &shards| {
+            b.iter(|| black_box(run_stream(&tuples, shards, EpochPolicy::manual())))
+        });
+    }
+    g.finish();
+}
+
+/// What epoch frequency costs: every seal is a full recount, so epochs
+/// per run scale the counting bill — this is the knob a deployment tunes
+/// against its liveness requirement.
+fn bench_epoch_overhead(c: &mut Criterion) {
+    let tuples = dataset(300);
+    let mut g = c.benchmark_group("epoch_overhead");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(tuples.len() as u64));
+    for epochs in [1usize, 4, 16] {
+        let every = tuples.len().div_ceil(epochs).max(1) as u64;
+        g.bench_with_input(
+            BenchmarkId::new("epochs", epochs),
+            &every,
+            |b, &every| {
+                b.iter(|| {
+                    black_box(run_stream(&tuples, 2, EpochPolicy::every_events(every)))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Ingest-path cost: streaming a simulated feed (dedup on, duplicates
+/// included) through the full pipeline, as `bgp-stream-infer --sim` does.
+fn bench_feed_ingest(c: &mut Criterion) {
+    let mut cfg = TopologyConfig::small();
+    cfg.transit = 40;
+    cfg.edge = 300;
+    cfg.collector_peers = 20;
+    let g_topo = cfg.seed(5).build();
+    let paths = PathSubstrate::generate(&g_topo, 3).paths;
+    let ds = Scenario::Random.materialize(&g_topo, &paths, 5);
+    let feed = UpdateFeed::new(&ds, 5, 2);
+    let events: Vec<(u64, PathCommTuple)> = feed.events().to_vec();
+
+    let mut g = c.benchmark_group("feed_ingest");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(events.len() as u64));
+    g.bench_function("dedup_pipeline_4_shards", |b| {
+        b.iter(|| {
+            let mut pipe = StreamPipeline::new(StreamConfig {
+                shards: 4,
+                epoch: EpochPolicy::manual(),
+                ..Default::default()
+            });
+            for (ts, t) in &events {
+                pipe.push(StreamEvent::new(*ts, t.clone()));
+            }
+            black_box(pipe.finish().unique_tuples)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batch_vs_stream,
+    bench_shard_scaling,
+    bench_epoch_overhead,
+    bench_feed_ingest
+);
+criterion_main!(benches);

@@ -37,6 +37,20 @@ pub struct DayArchive {
     pub update_messages: u64,
 }
 
+impl DayArchive {
+    /// The archive as the chunk sequence a streaming consumer polls: the
+    /// RIB snapshot first (when the project publishes one), then each
+    /// per-bin update file in publication order. Concatenating the chunks
+    /// reproduces `rib_bytes` + `update_bytes`; consuming them one at a
+    /// time (e.g. via `bgp-stream`'s `DaySource`) bounds ingest memory to
+    /// one file instead of one day.
+    pub fn chunks(&self) -> impl Iterator<Item = &[u8]> {
+        std::iter::once(self.rib_bytes.as_slice())
+            .filter(|b| !b.is_empty())
+            .chain(self.update_files.iter().map(|f| f.as_slice()))
+    }
+}
+
 /// Deterministic per-origin prefix: maps the i-th origin into public
 /// 16.0.0.0/8 space as a /24.
 pub fn origin_prefix(index: usize) -> Prefix {
@@ -157,7 +171,7 @@ impl<'a> ArchiveBuilder<'a> {
             let comm = prop.output(p);
             let prefix = origin_prefix(origin_index[&p.origin()]);
             for k in 0..n_updates {
-                let ts = self.day_start as u64 + (h.rotate_left(k as u32) % 86_400);
+                let ts = self.day_start as u64 + (h.rotate_left(k) % 86_400);
                 messages.push(UpdateMessage::announcement(
                     p.peer(),
                     ts,
@@ -261,7 +275,7 @@ fn poissonish(hash: u64, mean: f64) -> u32 {
     // Inverse-CDF of a geometric distribution with the same mean.
     let p = 1.0 / (1.0 + mean);
     let k = (1.0 - u).ln() / (1.0 - p).ln();
-    k.floor().min(12.0).max(0.0) as u32
+    k.floor().clamp(0.0, 12.0) as u32
 }
 
 #[cfg(test)]

@@ -166,7 +166,7 @@ pub fn attribute(
         });
     }
     for v in map.per_as.values_mut() {
-        v.sort_by(|a, b| a.community.cmp(&b.community));
+        v.sort_by_key(|a| a.community);
     }
     map
 }

@@ -106,6 +106,77 @@ impl InferenceOutcome {
     }
 }
 
+/// Which of the two per-column counting passes (§5.6) is being executed.
+///
+/// One column `x` of Listing 1 runs a [`CountPhase::Tagging`] pass over
+/// every tuple, merges the resulting deltas, then runs a
+/// [`CountPhase::Forwarding`] pass — the tagging evidence gathered in the
+/// first pass feeds the Cond2 tagger search of the second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CountPhase {
+    /// Count `t`/`s`: does `Ax` put its own community on the wire?
+    Tagging,
+    /// Count `f`/`c`: does `Ax` pass a downstream tagger's community on?
+    Forwarding,
+}
+
+/// Count one tuple's contribution to column `x` during `phase`.
+///
+/// This is the reentrant core of the algorithm, shared by the batch
+/// [`InferenceEngine`] and the streaming shards in `bgp-stream`: it reads
+/// the Cond1/Cond2 predicates from the immutable `counters` snapshot
+/// (state as of the previous phase boundary) and accumulates increments
+/// into `delta`. Because `counters` is never written here, calls are
+/// order-free within a phase — any partition of the tuple set counted on
+/// any number of threads and merged with [`CounterStore::merge`] yields
+/// byte-identical results to a serial pass.
+#[allow(clippy::too_many_arguments)]
+pub fn count_tuple_at(
+    counters: &CounterStore,
+    th: &Thresholds,
+    tuple: &PathCommTuple,
+    x: usize,
+    phase: CountPhase,
+    enforce_cond1: bool,
+    enforce_cond2: bool,
+    delta: &mut HashMap<Asn, AsCounters>,
+) {
+    let Some(ax) = tuple.path.at(x) else { return };
+    if enforce_cond1 && !cond1(counters, th, &tuple.path, x) {
+        return;
+    }
+    match phase {
+        CountPhase::Tagging => {
+            let e = delta.entry(ax).or_default();
+            if tuple.comm.contains_upper(ax) {
+                e.t += 1;
+            } else {
+                e.s += 1;
+            }
+        }
+        CountPhase::Forwarding => {
+            let at = if enforce_cond2 {
+                match cond2_tagger(counters, th, &tuple.path, x) {
+                    Some(at) => at,
+                    None => return,
+                }
+            } else {
+                // Ablated: use the adjacent downstream AS blindly.
+                match tuple.path.at(x + 1) {
+                    Some(a) => a,
+                    None => return,
+                }
+            };
+            let e = delta.entry(ax).or_default();
+            if tuple.comm.contains_upper(at) {
+                e.f += 1;
+            } else {
+                e.c += 1;
+            }
+        }
+    }
+}
+
 /// The column-based inference engine.
 #[derive(Debug, Clone, Default)]
 pub struct InferenceEngine {
@@ -126,49 +197,28 @@ impl InferenceEngine {
         let deepest = self.config.max_index.unwrap_or(max_len).min(max_len);
         let mut deepest_active = 0;
 
+        let enforce1 = self.config.enforce_cond1;
+        let enforce2 = self.config.enforce_cond2;
         for x in 1..=deepest {
             // PHASE 1: count tagging at index x.
-            let enforce1 = self.config.enforce_cond1;
             let delta = self.parallel_count(tuples, |t, delta| {
-                let Some(ax) = t.path.at(x) else { return };
-                if enforce1 && !cond1(&counters, &th, &t.path, x) {
-                    return;
-                }
-                let e = delta.entry(ax).or_default();
-                if t.comm.contains_upper(ax) {
-                    e.t += 1;
-                } else {
-                    e.s += 1;
-                }
+                count_tuple_at(&counters, &th, t, x, CountPhase::Tagging, enforce1, enforce2, delta)
             });
             let active1 = !delta.is_empty();
             counters.merge(&delta);
 
             // PHASE 2: count forwarding at index x.
-            let enforce2 = self.config.enforce_cond2;
             let delta = self.parallel_count(tuples, |t, delta| {
-                let Some(ax) = t.path.at(x) else { return };
-                if enforce1 && !cond1(&counters, &th, &t.path, x) {
-                    return;
-                }
-                let at = if enforce2 {
-                    match cond2_tagger(&counters, &th, &t.path, x) {
-                        Some(at) => at,
-                        None => return,
-                    }
-                } else {
-                    // Ablated: use the adjacent downstream AS blindly.
-                    match t.path.at(x + 1) {
-                        Some(a) => a,
-                        None => return,
-                    }
-                };
-                let e = delta.entry(ax).or_default();
-                if t.comm.contains_upper(at) {
-                    e.f += 1;
-                } else {
-                    e.c += 1;
-                }
+                count_tuple_at(
+                    &counters,
+                    &th,
+                    t,
+                    x,
+                    CountPhase::Forwarding,
+                    enforce1,
+                    enforce2,
+                    delta,
+                )
             });
             let active2 = !delta.is_empty();
             counters.merge(&delta);

@@ -21,6 +21,29 @@
 //! 7. [`db`] — export/import of the inference database (the paper's
 //!    public release artifact).
 //!
+//! ## Batch vs. stream
+//!
+//! This crate is the **batch** half of the pipeline:
+//! [`engine::InferenceEngine::run`] consumes a finished tuple slice and
+//! returns one [`engine::InferenceOutcome`]. The **streaming** half lives
+//! in the `bgp-stream` crate, which ingests `(path, comm)` observations
+//! continuously (chunked MRT, collector day archives, simulated feeds),
+//! shards them across workers, and re-derives classifications at epoch
+//! boundaries — publishing versioned snapshots and per-epoch class flips
+//! instead of a single end-of-run answer.
+//!
+//! The two halves share their arithmetic: the per-tuple counting step is
+//! the public, reentrant [`engine::count_tuple_at`], which evaluates
+//! Cond1/Cond2 against an immutable counter snapshot and accumulates into
+//! a caller-owned delta map. Within one (column, phase) that makes
+//! counting order-free — any partition of the tuples, counted on any
+//! number of threads/shards and folded with
+//! [`counters::CounterStore::merge`], produces byte-identical counters.
+//! The batch engine's thread fan-out and `bgp-stream`'s shard fan-out are
+//! two schedulers over the same primitive, which is why streaming results
+//! are bit-for-bit equal to batch results on the same input (pinned by
+//! `tests/stream_parity.rs` at the workspace root).
+//!
 //! ```
 //! use bgp_infer::prelude::*;
 //! use bgp_types::prelude::*;

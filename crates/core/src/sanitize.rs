@@ -51,6 +51,11 @@ impl Sanitizer {
         &self.asn_registry
     }
 
+    /// The prefix registry in use.
+    pub fn prefix_registry(&self) -> &PrefixRegistry {
+        &self.prefix_registry
+    }
+
     /// Process one raw (pre-sanitation) announcement into zero or one
     /// tuple, updating `stats`.
     pub fn process(

@@ -72,13 +72,13 @@ pub fn run(world: &World, days: usize, seed: u64) -> Fig3 {
     }
 
     let mut fig = Fig3 { days, ..Default::default() };
-    for ci in 0..4 {
+    for (ci, class_history) in history.iter().enumerate() {
         for day in 0..days {
-            let today = &history[ci][day];
+            let today = &class_history[day];
             let mut dc = DayCounts::default();
             for &asn in today {
-                let seen_before = history[ci][..day].iter().any(|s| s.contains(&asn));
-                let stable_since_day1 = history[ci][..day].iter().all(|s| s.contains(&asn));
+                let seen_before = class_history[..day].iter().any(|s| s.contains(&asn));
+                let stable_since_day1 = class_history[..day].iter().all(|s| s.contains(&asn));
                 if !seen_before {
                     dc.new += 1;
                 } else if stable_since_day1 {

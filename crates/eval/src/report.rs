@@ -64,13 +64,13 @@ impl Table {
             .join("+");
         let fmt_row = |cells: &[String]| -> String {
             let mut line = String::new();
-            for i in 0..ncols {
+            for (i, &width) in widths.iter().enumerate().take(ncols) {
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
                 // Left-align the first column (labels), right-align the rest.
                 if i == 0 {
-                    line.push_str(&format!(" {:<width$} ", cell, width = widths[i]));
+                    line.push_str(&format!(" {cell:<width$} "));
                 } else {
-                    line.push_str(&format!(" {:>width$} ", cell, width = widths[i]));
+                    line.push_str(&format!(" {cell:>width$} "));
                 }
                 if i + 1 < ncols {
                     line.push('|');
@@ -95,7 +95,7 @@ pub fn thousands(n: u64) -> String {
     let s = n.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

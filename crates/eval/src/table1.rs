@@ -50,6 +50,9 @@ pub fn run(world: &World, seed: u64) -> Table1 {
     Table1 { datasets }
 }
 
+/// One rendered row: label plus the stat it projects out of a dataset.
+type StatRow = (&'static str, fn(&DatasetStats) -> u64);
+
 impl Table1 {
     /// Render in the paper's layout (datasets as columns).
     pub fn render(&self) -> String {
@@ -58,7 +61,7 @@ impl Table1 {
         header.extend(names.iter().map(String::as_str));
         let mut t = Table::new("Table 1: Data sets overview", &header);
 
-        let rows: Vec<(&str, fn(&DatasetStats) -> u64)> = vec![
+        let rows: Vec<StatRow> = vec![
             ("Entries total", |d| d.entries_total),
             ("incl. RIB entries", |d| d.rib_entries),
             ("Uniq. (path,comm)", |d| d.unique_tuples),

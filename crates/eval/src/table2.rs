@@ -208,9 +208,20 @@ mod tests {
         assert!(p.pr.tagging_recall < random.pr.tagging_recall);
         assert!(pp.pr.tagging_recall <= p.pr.tagging_recall);
         // Precision dips (selective taggers skew silent) but stays well
-        // above chance; the paper reports 0.86/0.89 at 73k-AS scale.
-        assert!(p.pr.tagging_precision > 0.6, "random-p precision {}", p.pr.tagging_precision);
-        assert!(p.pr.tagging_precision < random.pr.tagging_precision);
+        // above chance; the paper reports 0.86/0.89 at 73k-AS scale. On a
+        // 160-AS world a single seed can land on a draw (every selective
+        // tagger the collector sees happens to tag consistently), so the
+        // precision comparison averages over seeds, as the paper's Table 2
+        // itself does for random scenarios.
+        let seeds = 11..21u64;
+        let mean = |scenario: Scenario| {
+            seeds.clone().map(|s| run_scenario_once(&w, scenario, s).pr.tagging_precision).sum::<f64>()
+                / seeds.clone().count() as f64
+        };
+        let random_prec = mean(Scenario::Random);
+        let p_prec = mean(Scenario::RandomP);
+        assert!(p_prec > 0.6, "random-p precision {p_prec}");
+        assert!(p_prec < random_prec, "random-p {p_prec} vs random {random_prec}");
     }
 
     #[test]

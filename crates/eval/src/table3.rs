@@ -96,6 +96,9 @@ pub fn run(world: &World, seed: u64) -> Table3 {
     Table3 { datasets }
 }
 
+/// One rendered row: label plus the count it projects out of a dataset.
+type CountRow = (&'static str, Box<dyn Fn(&ClassCounts) -> u64>);
+
 impl Table3 {
     /// Find a dataset column by name.
     pub fn dataset(&self, name: &str) -> Option<&ClassCounts> {
@@ -109,7 +112,7 @@ impl Table3 {
         header.extend(names.iter().map(String::as_str));
         let mut t = Table::new("Table 3: Classification results using (simulated) real BGP data", &header);
 
-        let sections: Vec<(&str, Box<dyn Fn(&ClassCounts) -> u64>)> = vec![
+        let sections: Vec<CountRow> = vec![
             ("tagger", Box::new(|d: &ClassCounts| d.tagging[0])),
             ("silent", Box::new(|d: &ClassCounts| d.tagging[1])),
             ("undecided (tag)", Box::new(|d: &ClassCounts| d.tagging[2])),

@@ -169,7 +169,7 @@ impl AmbientCommunities {
             // uppers among 6.6k total); draw from a ~150-slot pool (1:10
             // scale) and skip anything actually on the path.
             let slot = (h >> 32) % 150;
-            let mut cand = 1 + ((self.seed.wrapping_mul(2654435761) ^ slot * 397) % 60_000) as u32;
+            let mut cand = 1 + ((self.seed.wrapping_mul(2654435761) ^ (slot * 397)) % 60_000) as u32;
             while t.path.contains(Asn(cand)) || Asn(cand).is_reserved_or_private() {
                 cand = 1 + (cand + 7) % 64_000;
             }

@@ -82,7 +82,7 @@ pub fn decode_nlri_prefix(c: &mut Cursor<'_>, v6: bool) -> Result<Prefix> {
             detail: format!("/{} exceeds maximum /{max}", len),
         });
     }
-    let nbytes = (len as usize + 7) / 8;
+    let nbytes = (len as usize).div_ceil(8);
     let raw = c.get_bytes(nbytes, "nlri prefix bytes")?;
     if v6 {
         let mut o = [0u8; 16];

@@ -47,7 +47,7 @@ pub mod wire;
 
 pub use error::{MrtError, Result};
 pub use record::{MrtHeader, MrtRecord, PeerEntry, PeerIndexTable, RibGroup};
-pub use stream::{extract_tuples, MrtReader, MrtWriter};
+pub use stream::{extract_tuples, MrtReader, MrtWriter, TupleStream};
 
 #[cfg(test)]
 mod proptests {

@@ -96,9 +96,9 @@ impl<'a> MrtReader<'a> {
     }
 
     /// Decode every record, failing on the first error.
-    pub fn read_all(mut self) -> Result<Vec<MrtRecord>> {
+    pub fn read_all(self) -> Result<Vec<MrtRecord>> {
         let mut out = Vec::new();
-        while let Some(r) = self.next() {
+        for r in self {
             out.push(r?);
         }
         Ok(out)
@@ -127,38 +127,117 @@ impl Iterator for MrtReader<'_> {
     }
 }
 
+/// Lazy, record-at-a-time tuple extraction: the streaming counterpart of
+/// [`extract_tuples`]. Yields `(timestamp, tuple)` pairs as records
+/// decode — update messages carry their capture time, RIB entries their
+/// `originated` time — applying the path-shape sanitation (AS_SET
+/// removal, peer prepending, prepend collapse) per entry. Memory stays
+/// bounded by one record regardless of archive size.
+pub struct TupleStream<'a> {
+    reader: MrtReader<'a>,
+    pending: std::collections::VecDeque<(u64, PathCommTuple)>,
+    raw_entries: u64,
+    kept: u64,
+    shape_dropped: u64,
+    failed: bool,
+}
+
+impl<'a> TupleStream<'a> {
+    /// Stream tuples out of archive bytes.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        TupleStream {
+            reader: MrtReader::new(bytes),
+            pending: std::collections::VecDeque::new(),
+            raw_entries: 0,
+            kept: 0,
+            shape_dropped: 0,
+            failed: false,
+        }
+    }
+
+    /// Raw entries seen so far (Table 1's "Entries total" accounting —
+    /// final once the iterator is exhausted).
+    pub fn raw_entries(&self) -> u64 {
+        self.raw_entries
+    }
+
+    /// Tuples yielded so far.
+    pub fn kept(&self) -> u64 {
+        self.kept
+    }
+
+    /// Announcements dropped so far because the path was unusable after
+    /// shape cleaning (pure AS_SET, AS0, empty).
+    pub fn shape_dropped(&self) -> u64 {
+        self.shape_dropped
+    }
+}
+
+impl Iterator for TupleStream<'_> {
+    type Item = Result<(u64, PathCommTuple)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(item) = self.pending.pop_front() {
+                return Some(Ok(item));
+            }
+            if self.failed {
+                return None;
+            }
+            match self.reader.next()? {
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+                Ok(MrtRecord::PeerIndex(_)) => {}
+                Ok(MrtRecord::Update(u)) => {
+                    self.raw_entries += 1;
+                    if u.announced.is_empty() {
+                        continue; // withdrawals carry no usable (path, comm)
+                    }
+                    if let Some(path) = u.attributes.as_path.sanitize(Some(u.peer_asn)) {
+                        self.kept += 1;
+                        self.pending.push_back((
+                            u.timestamp,
+                            PathCommTuple::new(path, u.attributes.communities.clone()),
+                        ));
+                    } else {
+                        self.shape_dropped += 1;
+                    }
+                }
+                Ok(MrtRecord::RibEntries(entries)) => {
+                    for e in entries {
+                        self.raw_entries += 1;
+                        if let Some(path) = e.attributes.as_path.sanitize(Some(e.peer_asn)) {
+                            self.kept += 1;
+                            self.pending.push_back((
+                                e.originated,
+                                PathCommTuple::new(path, e.attributes.communities.clone()),
+                            ));
+                        } else {
+                            self.shape_dropped += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Convenience: extract every `(path, comm)` observation from an archive,
 /// sanitizing paths per the paper's §4.1 pipeline (AS_SET removal, peer
 /// prepending, prepend collapse) and dropping unusable entries.
 ///
 /// Returns the tuples plus the number of raw entries seen (for Table 1's
 /// "Entries total" accounting). Withdrawals carry no path and are skipped.
+/// This is [`TupleStream`] drained into a vector.
 pub fn extract_tuples(bytes: &[u8]) -> Result<(Vec<PathCommTuple>, u64)> {
+    let mut stream = TupleStream::new(bytes);
     let mut tuples = Vec::new();
-    let mut raw_entries = 0u64;
-    for record in MrtReader::new(bytes) {
-        match record? {
-            MrtRecord::Update(u) => {
-                raw_entries += 1;
-                if u.announced.is_empty() {
-                    continue;
-                }
-                if let Some(path) = u.attributes.as_path.sanitize(Some(u.peer_asn)) {
-                    tuples.push(PathCommTuple::new(path, u.attributes.communities.clone()));
-                }
-            }
-            MrtRecord::RibEntries(entries) => {
-                for e in entries {
-                    raw_entries += 1;
-                    if let Some(path) = e.attributes.as_path.sanitize(Some(e.peer_asn)) {
-                        tuples.push(PathCommTuple::new(path, e.attributes.communities.clone()));
-                    }
-                }
-            }
-            MrtRecord::PeerIndex(_) => {}
-        }
+    for item in &mut stream {
+        tuples.push(item?.1);
     }
-    Ok((tuples, raw_entries))
+    Ok((tuples, stream.raw_entries()))
 }
 
 #[cfg(test)]
@@ -259,6 +338,37 @@ mod tests {
         let (tuples, _) = extract_tuples(w.as_bytes()).unwrap();
         assert_eq!(tuples[0].path.peer(), Asn(6695));
         assert_eq!(tuples[0].path.len(), 3);
+    }
+
+    #[test]
+    fn tuple_stream_matches_extract_and_carries_timestamps() {
+        let mut w = MrtWriter::new();
+        w.write_update(&update(64500, &[64500, 3356], &[(3356, 1)], 100)).unwrap();
+        w.write_update(&update(64501, &[64501, 174], &[], 200)).unwrap();
+        let bytes = w.into_bytes();
+
+        let mut stream = TupleStream::new(&bytes);
+        let streamed: Vec<(u64, PathCommTuple)> =
+            (&mut stream).map(|r| r.unwrap()).collect();
+        let (batch, raw) = extract_tuples(&bytes).unwrap();
+        assert_eq!(stream.raw_entries(), raw);
+        assert_eq!(streamed.len(), batch.len());
+        assert_eq!(streamed[0].0, 100);
+        assert_eq!(streamed[1].0, 200);
+        for ((_, s), b) in streamed.iter().zip(&batch) {
+            assert_eq!(s, b);
+        }
+    }
+
+    #[test]
+    fn tuple_stream_stops_at_first_error() {
+        let mut w = MrtWriter::new();
+        w.write_update(&update(1, &[1, 2], &[], 0)).unwrap();
+        let mut bytes = w.into_bytes();
+        bytes.truncate(bytes.len() - 3);
+        let results: Vec<_> = TupleStream::new(&bytes).collect();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].is_err());
     }
 
     #[test]

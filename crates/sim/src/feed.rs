@@ -1,0 +1,137 @@
+//! Scenario-as-stream adapter: turn a materialized ground-truth dataset
+//! into a live update feed.
+//!
+//! The batch experiments hand the engine a finished tuple vector; a
+//! streaming consumer wants the same world delivered the way a collector
+//! would see it — as timestamped re-announcements trickling in over a
+//! day, with popular routes re-announced more than once and everything
+//! interleaved by time. [`UpdateFeed`] produces exactly that,
+//! deterministically per seed, so streaming runs are reproducible and
+//! comparable against the batch engine on the identical tuple set.
+
+use crate::scenario::GroundTruthDataset;
+use bgp_types::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Default feed day start (2021-05-19T00:00:00Z, the paper's d_May21).
+pub const FEED_DAY_START: u64 = 1_621_382_400;
+
+/// A deterministic, time-ordered stream of `(timestamp, tuple)` events
+/// over one simulated day.
+#[derive(Debug, Clone)]
+pub struct UpdateFeed {
+    events: Vec<(u64, PathCommTuple)>,
+    cursor: usize,
+}
+
+impl UpdateFeed {
+    /// Build a feed from a dataset: every tuple is announced at least
+    /// once, plus `0..=extra_repeats` pseudo-random re-announcements, all
+    /// at pseudo-random offsets within the day, sorted by timestamp.
+    pub fn new(ds: &GroundTruthDataset, seed: u64, extra_repeats: u32) -> Self {
+        Self::from_tuples(&ds.tuples, seed, extra_repeats)
+    }
+
+    /// Build a feed from a raw tuple list (same semantics as
+    /// [`UpdateFeed::new`]).
+    pub fn from_tuples(tuples: &[PathCommTuple], seed: u64, extra_repeats: u32) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_FEED);
+        let mut events = Vec::with_capacity(tuples.len());
+        for t in tuples {
+            let repeats = 1 + if extra_repeats > 0 {
+                rng.random_range(0..=extra_repeats)
+            } else {
+                0
+            };
+            for _ in 0..repeats {
+                let ts = FEED_DAY_START + rng.random_range(0u64..86_400);
+                events.push((ts, t.clone()));
+            }
+        }
+        events.sort_by_key(|a| a.0);
+        UpdateFeed { events, cursor: 0 }
+    }
+
+    /// Total events the feed will deliver.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the feed has no events at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events not yet delivered.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+
+    /// Borrow the full (already sorted) event list.
+    pub fn events(&self) -> &[(u64, PathCommTuple)] {
+        &self.events
+    }
+}
+
+impl Iterator for UpdateFeed {
+    type Item = (u64, PathCommTuple);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let ev = self.events.get(self.cursor)?.clone();
+        self.cursor += 1;
+        Some(ev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuples() -> Vec<PathCommTuple> {
+        (0..50u32)
+            .map(|i| {
+                PathCommTuple::new(
+                    path(&[10 + i % 5, 100 + i]),
+                    CommunitySet::from_iter([AnyCommunity::tag_for(Asn(10 + i % 5), 100)]),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = UpdateFeed::from_tuples(&tuples(), 7, 3);
+        let b = UpdateFeed::from_tuples(&tuples(), 7, 3);
+        assert_eq!(a.events(), b.events());
+        let c = UpdateFeed::from_tuples(&tuples(), 8, 3);
+        assert_ne!(a.events(), c.events());
+    }
+
+    #[test]
+    fn covers_every_tuple_at_least_once() {
+        let ts = tuples();
+        let feed = UpdateFeed::from_tuples(&ts, 3, 2);
+        assert!(feed.len() >= ts.len());
+        for t in &ts {
+            assert!(feed.events().iter().any(|(_, e)| e == t), "missing {t:?}");
+        }
+    }
+
+    #[test]
+    fn time_ordered_within_day() {
+        let feed = UpdateFeed::from_tuples(&tuples(), 11, 4);
+        let times: Vec<u64> = feed.events().iter().map(|(t, _)| *t).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert!(times.iter().all(|&t| (FEED_DAY_START..FEED_DAY_START + 86_400).contains(&t)));
+    }
+
+    #[test]
+    fn iterator_drains() {
+        let mut feed = UpdateFeed::from_tuples(&tuples(), 1, 0);
+        let n = feed.len();
+        assert_eq!(n, 50, "extra_repeats=0 delivers each tuple once");
+        assert_eq!(feed.by_ref().count(), n);
+        assert_eq!(feed.remaining(), 0);
+    }
+}

@@ -21,6 +21,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod feed;
 pub mod noise;
 pub mod peering;
 pub mod propagate;
@@ -30,6 +31,7 @@ pub mod visibility;
 
 /// Commonly used items.
 pub mod prelude {
+    pub use crate::feed::{UpdateFeed, FEED_DAY_START};
     pub use crate::noise::NoiseModel;
     pub use crate::peering::{pop_communities, PeeringExperiment, PeeringObservation, PEERING_ASN};
     pub use crate::propagate::{tag_community, Propagator, TAG_VALUE};

@@ -1,0 +1,248 @@
+//! `bgp-stream-infer` — the streaming front end of the inference
+//! pipeline: drive the sharded epoch pipeline over MRT archive files or a
+//! simulated scenario feed, printing one line per sealed epoch (events,
+//! unique tuples, class flips) and writing the final per-AS database.
+//!
+//! ```text
+//! USAGE:
+//!   bgp-stream-infer [OPTIONS] <MRT-FILE>...
+//!   bgp-stream-infer [OPTIONS] --sim <SCENARIO>
+//!
+//! OPTIONS:
+//!   -s, --shards <N>            worker shards (default: cores)
+//!   -e, --epoch-events <N>      seal an epoch every N events (default 8192)
+//!       --epoch-secs <S>        seal an epoch every S seconds of stream time
+//!   -t, --threshold <0.5..=1.0> classification threshold (default 0.99)
+//!   -b, --batch <N>             ingest pull size (default 1024)
+//!   -o, --output <FILE>         write the final inference db here (default stdout)
+//!       --sim <SCENARIO>        stream a simulated scenario instead of files
+//!                               (alltf|alltc|random|random+noise|random-p|random-pp)
+//!       --seed <N>              simulation seed (default 7)
+//!       --repeats <N>           extra re-announcements per tuple in --sim (default 2)
+//!       --flips                 print every class flip, not just counts
+//!   -h, --help                  show this help
+//! ```
+//!
+//! Input files must be raw (uncompressed) MRT as served by RIPE RIS,
+//! RouteViews, or this workspace's own `bgp-collector` generator.
+
+use bgp_sim::prelude::*;
+use bgp_stream::prelude::*;
+use bgp_topology::prelude::*;
+use std::io::Write;
+use std::process::ExitCode;
+
+struct Options {
+    shards: usize,
+    epoch_events: Option<u64>,
+    epoch_secs: Option<u64>,
+    threshold: f64,
+    batch: usize,
+    output: Option<String>,
+    sim: Option<String>,
+    seed: u64,
+    repeats: u32,
+    print_flips: bool,
+    inputs: Vec<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: bgp-stream-infer [-s SHARDS] [-e EVENTS] [--epoch-secs S] [-t THRESHOLD]\n\
+     \x20                      [-b BATCH] [-o FILE] [--flips] <MRT-FILE>... | --sim SCENARIO\n\
+     Streams MRT archives (or a simulated feed) through the sharded epoch pipeline,\n\
+     reporting per-epoch class flips, and writes the final inference database."
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        shards: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        epoch_events: None,
+        epoch_secs: None,
+        threshold: 0.99,
+        batch: 1024,
+        output: None,
+        sim: None,
+        seed: 7,
+        repeats: 2,
+        print_flips: false,
+        inputs: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut num = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "-s" | "--shards" => {
+                opts.shards = num(arg)?.parse().map_err(|e| format!("bad shards: {e}"))?;
+                if opts.shards == 0 {
+                    return Err("shards must be >= 1".into());
+                }
+            }
+            "-e" | "--epoch-events" => {
+                opts.epoch_events =
+                    Some(num(arg)?.parse().map_err(|e| format!("bad epoch-events: {e}"))?);
+            }
+            "--epoch-secs" => {
+                opts.epoch_secs =
+                    Some(num(arg)?.parse().map_err(|e| format!("bad epoch-secs: {e}"))?);
+            }
+            "-t" | "--threshold" => {
+                opts.threshold =
+                    num(arg)?.parse().map_err(|e| format!("bad threshold: {e}"))?;
+                if !(0.5..=1.0).contains(&opts.threshold) {
+                    return Err(format!("threshold {} outside 0.5..=1.0", opts.threshold));
+                }
+            }
+            "-b" | "--batch" => {
+                opts.batch = num(arg)?.parse().map_err(|e| format!("bad batch: {e}"))?;
+            }
+            "-o" | "--output" => opts.output = Some(num(arg)?),
+            "--sim" => opts.sim = Some(num(arg)?),
+            "--seed" => {
+                opts.seed = num(arg)?.parse().map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--repeats" => {
+                opts.repeats = num(arg)?.parse().map_err(|e| format!("bad repeats: {e}"))?;
+            }
+            "--flips" => opts.print_flips = true,
+            "-h" | "--help" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown option {other}")),
+            file => opts.inputs.push(file.to_string()),
+        }
+    }
+    if opts.sim.is_none() && opts.inputs.is_empty() {
+        return Err("no MRT files given and no --sim scenario".into());
+    }
+    if opts.sim.is_some() && !opts.inputs.is_empty() {
+        return Err("--sim and MRT files are mutually exclusive".into());
+    }
+    Ok(opts)
+}
+
+fn scenario_by_name(name: &str) -> Option<Scenario> {
+    Scenario::ALL.into_iter().find(|s| s.name() == name)
+}
+
+fn epoch_policy(opts: &Options) -> EpochPolicy {
+    match (opts.epoch_events, opts.epoch_secs) {
+        (Some(e), Some(s)) => EpochPolicy::either(e, s),
+        (Some(e), None) => EpochPolicy::every_events(e),
+        (None, Some(s)) => EpochPolicy::every_span(s),
+        (None, None) => EpochPolicy::default(),
+    }
+}
+
+fn report_epoch(snap: &EpochSnapshot, print_flips: bool) {
+    eprintln!(
+        "epoch {:>4} v{:<4} sealed_at={} events={:<8} unique={:<8} classified={:<6} flips={}",
+        snap.epoch,
+        snap.version,
+        snap.sealed_at,
+        snap.events,
+        snap.unique_tuples,
+        snap.classes.len(),
+        snap.flips.len(),
+    );
+    if print_flips {
+        for f in &snap.flips {
+            eprintln!("  flip {f}");
+        }
+    }
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let mut pipe = StreamPipeline::new(StreamConfig {
+        shards: opts.shards,
+        epoch: epoch_policy(opts),
+        thresholds: bgp_infer::counters::Thresholds::uniform(opts.threshold),
+        // Long-running front end: epochs are reported as they seal, and
+        // only the final db is exported, so historical counter stores
+        // would be dead weight.
+        compact_history: true,
+        ..Default::default()
+    });
+    let mut reported = 0usize;
+    let report_new = |pipe: &StreamPipeline, reported: &mut usize| {
+        for snap in &pipe.snapshots()[*reported..] {
+            report_epoch(snap, opts.print_flips);
+        }
+        *reported = pipe.snapshots().len();
+    };
+
+    if let Some(name) = &opts.sim {
+        let scenario = scenario_by_name(name)
+            .ok_or_else(|| format!("unknown scenario {name:?} (see --help)"))?;
+        let mut cfg = TopologyConfig::small();
+        cfg.collector_peers = 12;
+        let graph = cfg.seed(opts.seed).build();
+        let paths = PathSubstrate::generate(&graph, 3).paths;
+        let ds = scenario.materialize(&graph, &paths, opts.seed);
+        eprintln!("simulated scenario {name}: {} tuples", ds.tuples.len());
+        let feed = UpdateFeed::new(&ds, opts.seed, opts.repeats);
+        let mut source =
+            IterSource::new(feed.map(|(ts, tuple)| StreamEvent::new(ts, tuple)));
+        pipe.drive(&mut source, opts.batch).map_err(|e| e.to_string())?;
+        report_new(&pipe, &mut reported);
+    } else {
+        for file in &opts.inputs {
+            let bytes =
+                std::fs::read(file).map_err(|e| format!("read {file}: {e}"))?;
+            let mut source = MrtSource::new(&bytes);
+            pipe.drive(&mut source, opts.batch)
+                .map_err(|e| format!("{file}: {e}"))?;
+            report_new(&pipe, &mut reported);
+            let st = source.stats();
+            eprintln!(
+                "{file}: {} raw entries, kept {} dropped {}",
+                source.raw_entries(),
+                st.kept,
+                st.offered - st.kept,
+            );
+        }
+    }
+
+    let out = pipe.finish();
+    for snap in &out.snapshots[reported..] {
+        report_epoch(snap, opts.print_flips);
+    }
+    eprintln!(
+        "stream done: {} events, {} unique tuples ({} dups), {} epochs, shard loads {:?}",
+        out.total_events,
+        out.unique_tuples,
+        out.duplicates,
+        out.epochs(),
+        out.shard_loads,
+    );
+
+    let db = out.export_db();
+    match &opts.output {
+        Some(path) => std::fs::write(path, db).map_err(|e| format!("write {path}: {e}"))?,
+        None => std::io::stdout()
+            .write_all(db.as_bytes())
+            .map_err(|e| format!("write stdout: {e}"))?,
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                eprintln!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,512 @@
+//! Ingest layer: chunked sources of timestamped tuples.
+//!
+//! A [`TupleSource`] hands the pipeline bounded batches of
+//! [`StreamEvent`]s instead of one giant tuple vector, so decode and
+//! sanitation memory stay bounded by one record, not one archive. (The
+//! MRT-backed sources still borrow the archive *bytes* as a slice — per
+//! [`bgp_mrt::MrtReader`]'s design — so whole-file bytes are the
+//! caller's to provide, e.g. via `fs::read` or an mmap; what never
+//! materializes is the tuple vector.) Three sources cover the
+//! workspace's data planes:
+//!
+//! * [`MrtSource`] — pulls records incrementally out of a
+//!   [`bgp_mrt::TupleStream`], the §4.1 path-shape cleaning used by the
+//!   batch [`bgp_mrt::extract_tuples`] itself (an optional
+//!   [`Sanitizer`](bgp_infer::sanitize::Sanitizer) adds the registry
+//!   filters on top);
+//! * [`DaySource`] — walks a generated [`DayArchive`]'s chunks (RIB
+//!   snapshot, then each per-bin update file) the way a poller walks a
+//!   collector's published files;
+//! * [`IterSource`] — adapts any in-memory event iterator (e.g. the
+//!   [`bgp_sim::feed::UpdateFeed`] scenario stream).
+
+use bgp_collector::archive::DayArchive;
+use bgp_infer::prelude::{SanitationStats, Sanitizer};
+use bgp_mrt::{MrtReader, MrtRecord, TupleStream};
+use bgp_types::prelude::*;
+
+/// One timestamped `(path, comm)` observation entering the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamEvent {
+    /// Capture time, seconds since epoch (drives time-based epochs).
+    pub timestamp: u64,
+    /// The sanitized observation.
+    pub tuple: PathCommTuple,
+}
+
+impl StreamEvent {
+    /// Construct an event.
+    pub fn new(timestamp: u64, tuple: PathCommTuple) -> Self {
+        StreamEvent { timestamp, tuple }
+    }
+}
+
+/// Errors a source can surface mid-stream.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The underlying MRT bytes failed to decode.
+    Mrt(bgp_mrt::MrtError),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Mrt(e) => write!(f, "mrt decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<bgp_mrt::MrtError> for IngestError {
+    fn from(e: bgp_mrt::MrtError) -> Self {
+        IngestError::Mrt(e)
+    }
+}
+
+/// A pull-based source of event batches.
+pub trait TupleSource {
+    /// Produce up to `max` events. An empty batch means the source is
+    /// exhausted; errors are sticky (callers should stop on the first).
+    fn next_batch(&mut self, max: usize) -> Result<Vec<StreamEvent>, IngestError>;
+}
+
+/// Streams one MRT archive's records through the §4.1 sanitation pipeline
+/// without ever materializing the full tuple vector.
+///
+/// The default ([`MrtSource::new`]) wraps [`bgp_mrt::TupleStream`] — the
+/// exact record-at-a-time extraction behind the batch
+/// [`bgp_mrt::extract_tuples`] — so it applies path-shape cleaning only
+/// and emits **one event per update message** (a multi-prefix
+/// announcement carries one `(path, comm)`). Sharing that implementation
+/// is what makes the stream/batch parity guarantee hold on arbitrary
+/// archives, including ones mentioning reserved ASNs.
+/// [`MrtSource::with_sanitizer`] layers the registry filters on top for
+/// deployments that want them; that mode deliberately diverges from the
+/// registry-less batch reference.
+pub struct MrtSource<'a> {
+    mode: Mode<'a>,
+    done: bool,
+}
+
+enum Mode<'a> {
+    /// Batch-parity reference: the same extraction the batch path runs.
+    Shape(TupleStream<'a>),
+    /// Registry overlay: raw records, filtered through
+    /// [`Sanitizer::process`] (which owns the drop rules and stats).
+    Registry {
+        reader: MrtReader<'a>,
+        sanitizer: Sanitizer,
+        stats: SanitationStats,
+        /// Entries decoded from the current record but not yet emitted
+        /// (one TABLE_DUMP_V2 record carries a whole prefix group).
+        pending: Vec<StreamEvent>,
+        raw_entries: u64,
+    },
+}
+
+impl<'a> MrtSource<'a> {
+    /// Stream `bytes` with path-shape cleaning only — the batch
+    /// [`bgp_mrt::extract_tuples`] semantics, record for record.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        MrtSource { mode: Mode::Shape(TupleStream::new(bytes)), done: false }
+    }
+
+    /// Stream `bytes` through a caller-provided registry-driven sanitizer
+    /// (drops tuples mentioning unallocated ASNs or bogon prefixes, on
+    /// top of the shape cleaning).
+    pub fn with_sanitizer(bytes: &'a [u8], sanitizer: Sanitizer) -> Self {
+        MrtSource {
+            mode: Mode::Registry {
+                reader: MrtReader::new(bytes),
+                sanitizer,
+                stats: SanitationStats::default(),
+                pending: Vec::new(),
+                raw_entries: 0,
+            },
+            done: false,
+        }
+    }
+
+    /// Sanitation counters accumulated so far.
+    pub fn stats(&self) -> SanitationStats {
+        match &self.mode {
+            Mode::Shape(s) => SanitationStats {
+                offered: s.kept() + s.shape_dropped(),
+                dropped_path: s.shape_dropped(),
+                kept: s.kept(),
+                ..SanitationStats::default()
+            },
+            Mode::Registry { stats, .. } => *stats,
+        }
+    }
+
+    /// Raw MRT entries seen so far (Table 1's "entries" accounting).
+    pub fn raw_entries(&self) -> u64 {
+        match &self.mode {
+            Mode::Shape(s) => s.raw_entries(),
+            Mode::Registry { raw_entries, .. } => *raw_entries,
+        }
+    }
+}
+
+/// Registry-filter one entry into at most one event. `prefix_ok` reports
+/// whether any announced prefix passed the registry — the batch pipeline
+/// keeps an update's tuple as long as any of its prefixes does (the
+/// tuple is identical across them); the rest of the rules and the stats
+/// bookkeeping live in [`Sanitizer::process`].
+#[allow(clippy::too_many_arguments)]
+fn registry_sanitize_into(
+    sanitizer: &Sanitizer,
+    stats: &mut SanitationStats,
+    peer: Asn,
+    raw_path: &RawAsPath,
+    prefix_ok: bool,
+    comm: &CommunitySet,
+    ts: u64,
+    out: &mut Vec<StreamEvent>,
+) {
+    if !prefix_ok {
+        stats.offered += 1;
+        stats.dropped_prefix += 1;
+        return;
+    }
+    if let Some(t) = sanitizer.process(peer, raw_path, None, comm, stats) {
+        out.push(StreamEvent::new(ts, t));
+    }
+}
+
+impl TupleSource for MrtSource<'_> {
+    fn next_batch(&mut self, max: usize) -> Result<Vec<StreamEvent>, IngestError> {
+        let mut out = Vec::new();
+        if self.done {
+            return Ok(out);
+        }
+        match &mut self.mode {
+            Mode::Shape(stream) => {
+                while out.len() < max {
+                    match stream.next() {
+                        None => {
+                            self.done = true;
+                            break;
+                        }
+                        Some(Err(e)) => {
+                            self.done = true;
+                            return Err(e.into());
+                        }
+                        Some(Ok((ts, tuple))) => out.push(StreamEvent::new(ts, tuple)),
+                    }
+                }
+            }
+            Mode::Registry { reader, sanitizer, stats, pending, raw_entries } => {
+                while out.len() < max {
+                    if let Some(ev) = pending.pop() {
+                        out.push(ev);
+                        continue;
+                    }
+                    match reader.next() {
+                        None => {
+                            self.done = true;
+                            break;
+                        }
+                        Some(Err(e)) => {
+                            self.done = true;
+                            return Err(e.into());
+                        }
+                        Some(Ok(MrtRecord::PeerIndex(_))) => {}
+                        Some(Ok(MrtRecord::Update(u))) => {
+                            *raw_entries += 1;
+                            if u.announced.is_empty() {
+                                continue; // withdrawals carry no usable (path, comm)
+                            }
+                            let prefix_ok = u
+                                .announced
+                                .iter()
+                                .any(|p| sanitizer.prefix_registry().is_allocated(p));
+                            registry_sanitize_into(
+                                sanitizer,
+                                stats,
+                                u.peer_asn,
+                                &u.attributes.as_path,
+                                prefix_ok,
+                                &u.attributes.communities,
+                                u.timestamp,
+                                pending,
+                            );
+                            pending.reverse(); // popped back-to-front above
+                        }
+                        Some(Ok(MrtRecord::RibEntries(entries))) => {
+                            for e in &entries {
+                                *raw_entries += 1;
+                                let prefix_ok =
+                                    sanitizer.prefix_registry().is_allocated(&e.prefix);
+                                registry_sanitize_into(
+                                    sanitizer,
+                                    stats,
+                                    e.peer_asn,
+                                    &e.attributes.as_path,
+                                    prefix_ok,
+                                    &e.attributes.communities,
+                                    e.originated,
+                                    pending,
+                                );
+                            }
+                            pending.reverse();
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Streams a generated collector day — RIB snapshot, then each update bin
+/// in publication order — as one continuous source.
+pub struct DaySource<'a> {
+    chunks: Vec<&'a [u8]>,
+    current: Option<MrtSource<'a>>,
+    next_chunk: usize,
+    stats: SanitationStats,
+    raw_entries: u64,
+    failed: bool,
+}
+
+impl<'a> DaySource<'a> {
+    /// Walk `archive`'s chunks (see [`DayArchive::chunks`]).
+    pub fn new(archive: &'a DayArchive) -> Self {
+        DaySource {
+            chunks: archive.chunks().collect(),
+            current: None,
+            next_chunk: 0,
+            stats: SanitationStats::default(),
+            raw_entries: 0,
+            failed: false,
+        }
+    }
+
+    /// Sanitation counters accumulated across finished chunks.
+    pub fn stats(&self) -> SanitationStats {
+        self.stats
+    }
+
+    /// Raw MRT entries seen across finished chunks.
+    pub fn raw_entries(&self) -> u64 {
+        self.raw_entries
+    }
+}
+
+impl TupleSource for DaySource<'_> {
+    fn next_batch(&mut self, max: usize) -> Result<Vec<StreamEvent>, IngestError> {
+        // Sticky failure: a decode error poisons the whole day — skipping
+        // to the next chunk would silently drop the failed chunk's tail.
+        if self.failed {
+            return Ok(Vec::new());
+        }
+        loop {
+            if let Some(src) = self.current.as_mut() {
+                let batch = match src.next_batch(max) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        self.failed = true;
+                        return Err(e);
+                    }
+                };
+                if !batch.is_empty() {
+                    return Ok(batch);
+                }
+                self.stats = add_stats(self.stats, src.stats());
+                self.raw_entries += src.raw_entries();
+                self.current = None;
+            }
+            match self.chunks.get(self.next_chunk) {
+                None => return Ok(Vec::new()),
+                Some(bytes) => {
+                    self.current = Some(MrtSource::new(bytes));
+                    self.next_chunk += 1;
+                }
+            }
+        }
+    }
+}
+
+fn add_stats(a: SanitationStats, b: SanitationStats) -> SanitationStats {
+    SanitationStats {
+        offered: a.offered + b.offered,
+        dropped_asn: a.dropped_asn + b.dropped_asn,
+        dropped_prefix: a.dropped_prefix + b.dropped_prefix,
+        dropped_path: a.dropped_path + b.dropped_path,
+        kept: a.kept + b.kept,
+    }
+}
+
+/// Adapts any event iterator (a simulated feed, a replayed trace) into a
+/// [`TupleSource`].
+pub struct IterSource<I> {
+    inner: I,
+}
+
+impl<I: Iterator<Item = StreamEvent>> IterSource<I> {
+    /// Wrap an iterator.
+    pub fn new(inner: I) -> Self {
+        IterSource { inner }
+    }
+}
+
+impl<I: Iterator<Item = StreamEvent>> TupleSource for IterSource<I> {
+    fn next_batch(&mut self, max: usize) -> Result<Vec<StreamEvent>, IngestError> {
+        Ok(self.inner.by_ref().take(max).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_mrt::MrtWriter;
+
+    fn update(peer: u32, path: &[u32], tag: Option<u32>, ts: u64) -> UpdateMessage {
+        UpdateMessage::announcement(
+            Asn(peer),
+            ts,
+            Prefix::v4([203, 0, 114, 0], 24),
+            RawAsPath::from_sequence(path.iter().map(|&v| Asn(v)).collect()),
+            CommunitySet::from_iter(tag.map(|a| AnyCommunity::tag_for(Asn(a), 100))),
+        )
+    }
+
+    #[test]
+    fn mrt_source_streams_in_batches() {
+        let mut w = MrtWriter::new();
+        for i in 0..10u32 {
+            w.write_update(&update(3000 + i, &[3000 + i, 3356], Some(3356), i as u64)).unwrap();
+        }
+        let bytes = w.into_bytes();
+        let mut src = MrtSource::new(&bytes);
+        let mut total = 0;
+        loop {
+            let batch = src.next_batch(3).unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            assert!(batch.len() <= 3);
+            total += batch.len();
+        }
+        assert_eq!(total, 10);
+        assert_eq!(src.raw_entries(), 10);
+        assert_eq!(src.stats().kept, 10);
+    }
+
+    #[test]
+    fn mrt_source_matches_extract_tuples() {
+        let mut w = MrtWriter::new();
+        // Prepending + route-server style peers exercise sanitation.
+        w.write_update(&update(3320, &[3320, 3320, 3356], Some(3356), 5)).unwrap();
+        w.write_update(&update(6695, &[3320, 3356], None, 6)).unwrap();
+        let bytes = w.into_bytes();
+
+        let (batch_tuples, raw) = bgp_mrt::extract_tuples(&bytes).unwrap();
+        let mut src = MrtSource::new(&bytes);
+        let mut streamed = Vec::new();
+        loop {
+            let b = src.next_batch(1).unwrap();
+            if b.is_empty() {
+                break;
+            }
+            streamed.extend(b.into_iter().map(|e| e.tuple));
+        }
+        assert_eq!(streamed, batch_tuples);
+        assert_eq!(src.raw_entries(), raw);
+    }
+
+    #[test]
+    fn mrt_source_keeps_reserved_asns_like_the_batch_path() {
+        // extract_tuples applies no registry filter; the default
+        // MrtSource must not either, or real archives mentioning private
+        // ASNs (64512+) would classify differently batch vs stream.
+        let mut w = MrtWriter::new();
+        w.write_update(&update(64512, &[64512, 3356], Some(3356), 1)).unwrap();
+        let bytes = w.into_bytes();
+
+        let (batch_tuples, _) = bgp_mrt::extract_tuples(&bytes).unwrap();
+        assert_eq!(batch_tuples.len(), 1);
+        let mut src = MrtSource::new(&bytes);
+        let streamed = src.next_batch(16).unwrap();
+        assert_eq!(streamed.len(), 1);
+        assert_eq!(streamed[0].tuple, batch_tuples[0]);
+
+        // The registry-filtered mode drops it, by request only.
+        let mut strict = MrtSource::with_sanitizer(&bytes, Sanitizer::permissive());
+        assert!(strict.next_batch(16).unwrap().is_empty());
+        assert_eq!(strict.stats().dropped_asn, 1);
+    }
+
+    #[test]
+    fn multi_prefix_update_emits_one_event() {
+        // One update announcing N prefixes carries one (path, comm):
+        // extract_tuples yields one tuple, so the stream must emit one
+        // event — per-prefix emission would overcount with dedup off.
+        let mut u = update(3320, &[3320, 3356], Some(3356), 9);
+        u.announced.push(Prefix::v4([198, 51, 100, 0], 24));
+        u.announced.push(Prefix::v4([203, 0, 113, 0], 24));
+        let mut w = MrtWriter::new();
+        w.write_update(&u).unwrap();
+        let bytes = w.into_bytes();
+
+        let (batch_tuples, _) = bgp_mrt::extract_tuples(&bytes).unwrap();
+        let mut src = MrtSource::new(&bytes);
+        let streamed = src.next_batch(16).unwrap();
+        assert_eq!(batch_tuples.len(), 1);
+        assert_eq!(streamed.len(), 1);
+        assert_eq!(streamed[0].tuple, batch_tuples[0]);
+        assert_eq!(src.stats().kept, 1);
+    }
+
+    #[test]
+    fn day_source_error_is_sticky() {
+        let mut w = MrtWriter::new();
+        w.write_update(&update(1, &[1, 2], None, 0)).unwrap();
+        let good = w.into_bytes();
+        let mut corrupt = good.clone();
+        corrupt.truncate(corrupt.len() - 3);
+
+        let archive = DayArchive {
+            project: "test",
+            rib_bytes: corrupt,
+            update_bytes: good.clone(),
+            update_files: vec![good],
+            rib_entries: 1,
+            update_messages: 1,
+        };
+        let mut src = DaySource::new(&archive);
+        assert!(src.next_batch(16).is_err());
+        // A retry must not silently resume at the next chunk: the failed
+        // chunk's tail is gone, so the day stays poisoned.
+        assert!(src.next_batch(16).unwrap().is_empty());
+        assert!(src.next_batch(16).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mrt_source_surfaces_decode_errors() {
+        let mut w = MrtWriter::new();
+        w.write_update(&update(1, &[1, 2], None, 0)).unwrap();
+        let mut bytes = w.into_bytes();
+        bytes.truncate(bytes.len() - 3);
+        let mut src = MrtSource::new(&bytes);
+        assert!(src.next_batch(64).is_err());
+        // Sticky: after the error the source reports exhaustion.
+        assert!(src.next_batch(64).unwrap().is_empty());
+    }
+
+    #[test]
+    fn iter_source_drains() {
+        let evs: Vec<StreamEvent> = (0..5)
+            .map(|i| {
+                StreamEvent::new(i, PathCommTuple::new(path(&[1, 2]), CommunitySet::new()))
+            })
+            .collect();
+        let mut src = IterSource::new(evs.into_iter());
+        assert_eq!(src.next_batch(2).unwrap().len(), 2);
+        assert_eq!(src.next_batch(10).unwrap().len(), 3);
+        assert!(src.next_batch(10).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Query/export layer: the finished stream's answer surface.
+
+use crate::epoch::{ClassFlip, EpochSnapshot};
+use bgp_infer::classify::Class;
+use bgp_infer::counters::Thresholds;
+use bgp_infer::engine::InferenceOutcome;
+use bgp_types::prelude::*;
+
+/// The result of a completed streaming run — the streaming mirror of
+/// [`InferenceOutcome`], with the epoch history attached.
+///
+/// `class_of` / `classes` / `reclassify` behave exactly as on the batch
+/// outcome (and, by the parity guarantee, *return* exactly what a batch
+/// run over the same tuples would). [`export_db`](StreamOutcome::export_db)
+/// writes the paper's release format through [`bgp_infer::db`], so a
+/// streaming deployment publishes byte-compatible databases.
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// Final inference state (identical shape to a batch run).
+    pub outcome: InferenceOutcome,
+    /// Every sealed epoch, in order. Never empty.
+    pub snapshots: Vec<EpochSnapshot>,
+    /// Total events ingested.
+    pub total_events: u64,
+    /// Unique tuples stored.
+    pub unique_tuples: usize,
+    /// Dedup hits observed.
+    pub duplicates: u64,
+    /// Stored-tuple count per shard (load-balance introspection).
+    pub shard_loads: Vec<usize>,
+}
+
+impl StreamOutcome {
+    /// Final classification of one AS.
+    pub fn class_of(&self, asn: Asn) -> Class {
+        self.outcome.class_of(asn)
+    }
+
+    /// Final classification of every counted AS, sorted by ASN.
+    pub fn classes(&self) -> Vec<(Asn, Class)> {
+        self.outcome.classes()
+    }
+
+    /// Re-classify every counted AS under different thresholds without
+    /// re-counting (same approximation the batch engine documents).
+    pub fn reclassify(&self, thresholds: Thresholds) -> Vec<(Asn, Class)> {
+        self.outcome.reclassify(thresholds)
+    }
+
+    /// Number of sealed epochs.
+    pub fn epochs(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// All class flips across the whole run, in epoch order.
+    pub fn all_flips(&self) -> impl Iterator<Item = (u64, &ClassFlip)> {
+        self.snapshots.iter().flat_map(|s| s.flips.iter().map(move |f| (s.epoch, f)))
+    }
+
+    /// Export the final state in the paper's release db format.
+    pub fn export_db(&self) -> String {
+        bgp_infer::db::export(&self.outcome)
+    }
+
+    /// Export one historical epoch in the release db format. `None` for
+    /// an out-of-range epoch or one compacted away by
+    /// `StreamConfig::compact_history`.
+    pub fn export_epoch_db(&self, epoch: usize) -> Option<String> {
+        self.snapshots.get(epoch).and_then(|s| s.outcome.as_ref()).map(bgp_infer::db::export)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::EpochPolicy;
+    use crate::ingest::StreamEvent;
+    use crate::pipeline::{StreamConfig, StreamPipeline};
+    use bgp_infer::classify::TaggingClass;
+
+    fn run() -> StreamOutcome {
+        let mut pipe = StreamPipeline::new(StreamConfig {
+            shards: 2,
+            epoch: EpochPolicy::every_events(2),
+            ..Default::default()
+        });
+        let mk = |p: &[u32], tags: &[u32]| {
+            PathCommTuple::new(
+                path(p),
+                CommunitySet::from_iter(
+                    tags.iter().map(|&a| AnyCommunity::tag_for(Asn(a), 100)),
+                ),
+            )
+        };
+        pipe.push(StreamEvent::new(10, mk(&[5, 9], &[5])));
+        pipe.push(StreamEvent::new(20, mk(&[1, 5, 9], &[1, 5])));
+        pipe.push(StreamEvent::new(30, mk(&[2, 9], &[])));
+        pipe.finish()
+    }
+
+    #[test]
+    fn query_surface_mirrors_batch_outcome() {
+        let out = run();
+        assert_eq!(out.class_of(Asn(5)).tagging, TaggingClass::Tagger);
+        let classes = out.classes();
+        assert!(classes.windows(2).all(|w| w[0].0 < w[1].0));
+        let relaxed = out.reclassify(Thresholds::uniform(0.5));
+        assert_eq!(relaxed.len(), classes.len());
+    }
+
+    #[test]
+    fn db_exports_roundtrip() {
+        let out = run();
+        let text = out.export_db();
+        let back = bgp_infer::db::import(&text).unwrap();
+        for (asn, class) in out.classes() {
+            assert_eq!(back.class_of(asn), class);
+        }
+        // Historical epoch export exists for every sealed epoch.
+        assert_eq!(out.epochs(), 2);
+        assert!(out.export_epoch_db(0).is_some());
+        assert!(out.export_epoch_db(5).is_none());
+    }
+
+    #[test]
+    fn flip_stream_covers_history() {
+        let out = run();
+        let flips: Vec<_> = out.all_flips().collect();
+        assert!(!flips.is_empty());
+        // Epoch indices are ordered.
+        assert!(flips.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+}

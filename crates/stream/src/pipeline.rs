@@ -1,0 +1,320 @@
+//! The coordinator: ingest → shard → epoch, in one push-driven object.
+
+use crate::epoch::{diff_classes, EpochPolicy, EpochSnapshot};
+use crate::ingest::{IngestError, StreamEvent, TupleSource};
+use crate::outcome::StreamOutcome;
+use crate::shard::ShardSet;
+use bgp_infer::classify::Class;
+use bgp_infer::counters::Thresholds;
+use bgp_infer::engine::InferenceOutcome;
+use bgp_types::prelude::*;
+use std::collections::HashMap;
+
+/// Configuration of a streaming inference run.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Worker shards (1 = serial coordinator-thread counting).
+    pub shards: usize,
+    /// When to seal epochs.
+    pub epoch: EpochPolicy,
+    /// Classification thresholds (shared with the batch engine).
+    pub thresholds: Thresholds,
+    /// Optional cap on the deepest path column processed.
+    pub max_index: Option<usize>,
+    /// Enforce Cond1 (clean upstream) — see `InferenceConfig`.
+    pub enforce_cond1: bool,
+    /// Enforce Cond2 (visible downstream tagger) — see `InferenceConfig`.
+    pub enforce_cond2: bool,
+    /// Deduplicate identical tuples (the paper's `TupleSet` semantics).
+    /// Disable to mirror a batch run over a raw (non-deduplicated) slice.
+    pub dedup: bool,
+    /// Keep only the latest snapshot's full counter store, dropping the
+    /// `outcome` of older epochs as new ones seal. Classes and flips are
+    /// kept for every epoch either way; what compaction costs is
+    /// [`StreamOutcome::export_epoch_db`]/`reclassify` on *historical*
+    /// epochs. On a long-lived stream the history would otherwise grow by
+    /// a full per-AS counter table every epoch, without bound.
+    pub compact_history: bool,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            shards: 4,
+            epoch: EpochPolicy::default(),
+            thresholds: Thresholds::default(),
+            max_index: None,
+            enforce_cond1: true,
+            enforce_cond2: true,
+            dedup: true,
+            compact_history: false,
+        }
+    }
+}
+
+/// Push-driven streaming inference.
+///
+/// Feed events with [`push`](StreamPipeline::push) /
+/// [`push_batch`](StreamPipeline::push_batch) or drain a whole
+/// [`TupleSource`] with [`drive`](StreamPipeline::drive); epochs seal
+/// automatically per the [`EpochPolicy`], and [`finish`](StreamPipeline::finish)
+/// seals the trailing partial epoch and returns the [`StreamOutcome`].
+#[derive(Debug)]
+pub struct StreamPipeline {
+    cfg: StreamConfig,
+    shards: ShardSet,
+    snapshots: Vec<EpochSnapshot>,
+    prev_classes: HashMap<Asn, Class>,
+    events_in_epoch: u64,
+    total_events: u64,
+    epoch_start_ts: Option<u64>,
+    last_ts: u64,
+}
+
+impl StreamPipeline {
+    /// New pipeline.
+    pub fn new(cfg: StreamConfig) -> Self {
+        let shards = ShardSet::new(cfg.shards, cfg.dedup);
+        StreamPipeline {
+            cfg,
+            shards,
+            snapshots: Vec::new(),
+            prev_classes: HashMap::new(),
+            events_in_epoch: 0,
+            total_events: 0,
+            epoch_start_ts: None,
+            last_ts: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// Events ingested so far.
+    pub fn total_events(&self) -> u64 {
+        self.total_events
+    }
+
+    /// Unique tuples stored so far.
+    pub fn stored_tuples(&self) -> usize {
+        self.shards.stored_tuples()
+    }
+
+    /// Sealed snapshots so far.
+    pub fn snapshots(&self) -> &[EpochSnapshot] {
+        &self.snapshots
+    }
+
+    /// The latest sealed snapshot, if any epoch has sealed.
+    pub fn latest(&self) -> Option<&EpochSnapshot> {
+        self.snapshots.last()
+    }
+
+    /// Live classification of one AS as of the latest sealed epoch
+    /// ([`Class::NONE`] before the first seal).
+    pub fn class_of(&self, asn: Asn) -> Class {
+        self.latest().map_or(Class::NONE, |s| s.class_of(asn))
+    }
+
+    /// Ingest one event. Returns the snapshot sealed by this event, if
+    /// the epoch policy tripped.
+    pub fn push(&mut self, ev: StreamEvent) -> Option<&EpochSnapshot> {
+        self.epoch_start_ts.get_or_insert(ev.timestamp);
+        self.last_ts = ev.timestamp;
+        self.total_events += 1;
+        self.events_in_epoch += 1;
+        self.shards.push(ev.tuple);
+
+        let span = self.last_ts.saturating_sub(self.epoch_start_ts.unwrap_or(self.last_ts));
+        if self.cfg.epoch.should_seal(self.events_in_epoch, span) {
+            Some(self.seal_epoch())
+        } else {
+            None
+        }
+    }
+
+    /// Ingest a batch; returns how many epochs sealed.
+    pub fn push_batch(&mut self, events: impl IntoIterator<Item = StreamEvent>) -> usize {
+        let before = self.snapshots.len();
+        for ev in events {
+            self.push(ev);
+        }
+        self.snapshots.len() - before
+    }
+
+    /// Drain a source to exhaustion in `batch`-sized pulls. Returns how
+    /// many epochs sealed. Errors stop ingestion at the failing record
+    /// (everything already pushed stays counted).
+    pub fn drive(
+        &mut self,
+        source: &mut dyn TupleSource,
+        batch: usize,
+    ) -> Result<usize, IngestError> {
+        let before = self.snapshots.len();
+        loop {
+            let events = source.next_batch(batch.max(1))?;
+            if events.is_empty() {
+                break;
+            }
+            self.push_batch(events);
+        }
+        Ok(self.snapshots.len() - before)
+    }
+
+    /// Force-seal the running epoch: recount everything stored (phases
+    /// shard-parallel), version the classifications, and diff against the
+    /// previous snapshot. Idempotent on an empty epoch only in the sense
+    /// that it still produces a (possibly flip-free) snapshot.
+    pub fn seal_epoch(&mut self) -> &EpochSnapshot {
+        let (counters, deepest_active_index) = self.shards.recount(
+            &self.cfg.thresholds,
+            self.cfg.max_index,
+            self.cfg.enforce_cond1,
+            self.cfg.enforce_cond2,
+            self.cfg.shards > 1,
+        );
+        let outcome = InferenceOutcome {
+            counters,
+            thresholds: self.cfg.thresholds,
+            deepest_active_index,
+        };
+        let classes = outcome.classes();
+        let flips = diff_classes(&self.prev_classes, &classes);
+        for &(asn, class) in &classes {
+            self.prev_classes.insert(asn, class);
+        }
+        let epoch = self.snapshots.len() as u64;
+        let snapshot = EpochSnapshot {
+            epoch,
+            version: epoch + 1,
+            sealed_at: self.last_ts,
+            events: self.events_in_epoch,
+            total_events: self.total_events,
+            unique_tuples: self.shards.stored_tuples(),
+            outcome: Some(outcome),
+            classes,
+            flips,
+        };
+        self.events_in_epoch = 0;
+        self.epoch_start_ts = None;
+        if self.cfg.compact_history {
+            if let Some(prev) = self.snapshots.last_mut() {
+                prev.outcome = None;
+            }
+        }
+        self.snapshots.push(snapshot);
+        self.snapshots.last().expect("just pushed")
+    }
+
+    /// Seal any trailing partial epoch and return the final outcome.
+    pub fn finish(mut self) -> StreamOutcome {
+        if self.events_in_epoch > 0 || self.snapshots.is_empty() {
+            self.seal_epoch();
+        }
+        let last = self.snapshots.last().expect("finish always seals once");
+        StreamOutcome {
+            outcome: last.outcome.clone().expect("latest snapshot is never compacted"),
+            total_events: self.total_events,
+            unique_tuples: self.shards.stored_tuples(),
+            duplicates: self.shards.duplicates(),
+            shard_loads: self.shards.shard_loads(),
+            snapshots: self.snapshots,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::StreamEvent;
+    use bgp_infer::classify::TaggingClass;
+
+    fn tag_tuple(p: &[u32], uppers: &[u32]) -> PathCommTuple {
+        PathCommTuple::new(
+            path(p),
+            CommunitySet::from_iter(uppers.iter().map(|&u| AnyCommunity::tag_for(Asn(u), 100))),
+        )
+    }
+
+    #[test]
+    fn epochs_seal_by_event_count() {
+        let mut pipe = StreamPipeline::new(StreamConfig {
+            shards: 2,
+            epoch: EpochPolicy::every_events(5),
+            ..Default::default()
+        });
+        for i in 0..12u64 {
+            pipe.push(StreamEvent::new(i, tag_tuple(&[1, 9], &[1])));
+        }
+        assert_eq!(pipe.snapshots().len(), 2);
+        let out = pipe.finish(); // trailing 2 events seal a third epoch
+        assert_eq!(out.snapshots.len(), 3);
+        assert_eq!(out.snapshots[0].version, 1);
+        assert_eq!(out.snapshots[2].version, 3);
+        assert_eq!(out.total_events, 12);
+    }
+
+    #[test]
+    fn epochs_seal_by_time_span() {
+        let mut pipe = StreamPipeline::new(StreamConfig {
+            shards: 1,
+            epoch: EpochPolicy::every_span(100),
+            ..Default::default()
+        });
+        assert!(pipe.push(StreamEvent::new(1_000, tag_tuple(&[1, 9], &[1]))).is_none());
+        assert!(pipe.push(StreamEvent::new(1_050, tag_tuple(&[2, 9], &[]))).is_none());
+        let sealed = pipe.push(StreamEvent::new(1_100, tag_tuple(&[1, 8], &[1])));
+        assert!(sealed.is_some());
+        assert_eq!(sealed.unwrap().sealed_at, 1_100);
+    }
+
+    #[test]
+    fn live_class_updates_between_epochs() {
+        let mut pipe = StreamPipeline::new(StreamConfig {
+            shards: 2,
+            epoch: EpochPolicy::every_events(1),
+            ..Default::default()
+        });
+        assert_eq!(pipe.class_of(Asn(1)), Class::NONE);
+        pipe.push(StreamEvent::new(0, tag_tuple(&[1, 9], &[1])));
+        assert_eq!(pipe.class_of(Asn(1)).tagging, TaggingClass::Tagger);
+        // A contradicting observation flips 1 to undecided next epoch.
+        pipe.push(StreamEvent::new(1, tag_tuple(&[1, 8], &[])));
+        assert_eq!(pipe.class_of(Asn(1)).tagging, TaggingClass::Undecided);
+        let flips = &pipe.latest().unwrap().flips;
+        assert!(flips.iter().any(|f| f.asn == Asn(1)));
+    }
+
+    #[test]
+    fn compact_history_keeps_only_latest_outcome() {
+        let mut pipe = StreamPipeline::new(StreamConfig {
+            shards: 1,
+            epoch: EpochPolicy::every_events(2),
+            compact_history: true,
+            ..Default::default()
+        });
+        for i in 0..6u64 {
+            pipe.push(StreamEvent::new(i, tag_tuple(&[1, 9], &[1])));
+        }
+        let out = pipe.finish();
+        assert_eq!(out.snapshots.len(), 3);
+        assert!(out.snapshots[..2].iter().all(|s| s.outcome.is_none()));
+        assert!(out.snapshots.last().unwrap().outcome.is_some());
+        // Compacted epochs still answer class queries and keep flips;
+        // only their counter-store exports are gone.
+        assert_eq!(out.snapshots[0].class_of(Asn(1)).tagging.code(), 't');
+        assert!(!out.snapshots[0].flips.is_empty());
+        assert!(out.export_epoch_db(0).is_none());
+        assert!(out.export_epoch_db(2).is_some());
+    }
+
+    #[test]
+    fn empty_stream_finishes_clean() {
+        let out = StreamPipeline::new(StreamConfig::default()).finish();
+        assert_eq!(out.total_events, 0);
+        assert_eq!(out.snapshots.len(), 1);
+        assert!(out.outcome.counters.is_empty());
+    }
+}

@@ -1,0 +1,323 @@
+//! Shard layer: partitioned tuple ownership and parallel phase counting.
+//!
+//! Incoming tuples are routed onto `N` shards by an FNV-1a hash of their
+//! on-path ASNs, so an identical tuple always lands on the same shard —
+//! which makes per-shard deduplication equivalent to global deduplication.
+//! Each shard owns its tuples privately; during a counting phase every
+//! shard produces a private `HashMap<Asn, AsCounters>` delta against the
+//! shared read-only counter snapshot, and the coordinator folds the deltas
+//! in with [`CounterStore::merge`]. Addition commutes, and the phase
+//! conditions only read the snapshot, so the merged result is identical
+//! for every shard count — the property the batch engine's
+//! `parallel_matches_serial` test established, now load-bearing across
+//! epochs.
+
+use bgp_infer::counters::{AsCounters, CounterStore, Thresholds};
+use bgp_infer::engine::{count_tuple_at, CountPhase};
+use bgp_types::prelude::*;
+use std::collections::{BTreeSet, HashMap};
+
+/// One worker shard: a privately owned tuple partition. Deduplicated
+/// streams live in the ordered `seen` set (stored once — counting is
+/// order-free, so set order is as good as arrival order); raw streams
+/// append to `tuples`. Exactly one of the two is populated per run.
+#[derive(Debug, Default)]
+struct Shard {
+    seen: BTreeSet<PathCommTuple>,
+    tuples: Vec<PathCommTuple>,
+    max_path_len: usize,
+}
+
+impl Shard {
+    fn push(&mut self, t: PathCommTuple, dedup: bool) -> bool {
+        let path_len = t.path.len();
+        if dedup {
+            if !self.seen.insert(t) {
+                return false;
+            }
+        } else {
+            self.tuples.push(t);
+        }
+        self.max_path_len = self.max_path_len.max(path_len);
+        true
+    }
+
+    fn len(&self) -> usize {
+        self.seen.len() + self.tuples.len()
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &PathCommTuple> {
+        self.seen.iter().chain(self.tuples.iter())
+    }
+
+    fn count(
+        &self,
+        counters: &CounterStore,
+        th: &Thresholds,
+        x: usize,
+        phase: CountPhase,
+        enforce_cond1: bool,
+        enforce_cond2: bool,
+    ) -> HashMap<Asn, AsCounters> {
+        let mut delta = HashMap::new();
+        for t in self.iter() {
+            count_tuple_at(counters, th, t, x, phase, enforce_cond1, enforce_cond2, &mut delta);
+        }
+        delta
+    }
+}
+
+/// Stable tuple→shard routing: FNV-1a over the on-path ASNs.
+fn route_hash(path: &AsPath) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for asn in path.asns() {
+        for b in asn.0.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// `N` shards plus the coordinator-side counting entry points.
+#[derive(Debug)]
+pub struct ShardSet {
+    shards: Vec<Shard>,
+    dedup: bool,
+    unique: usize,
+    duplicates: u64,
+}
+
+impl ShardSet {
+    /// `n` empty shards (`n >= 1`). With `dedup`, repeated identical
+    /// tuples are counted once, as the paper's `TupleSet` pipeline does.
+    pub fn new(n: usize, dedup: bool) -> Self {
+        let n = n.max(1);
+        ShardSet {
+            shards: (0..n).map(|_| Shard::default()).collect(),
+            dedup,
+            unique: 0,
+            duplicates: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a tuple routes to.
+    pub fn route(&self, path: &AsPath) -> usize {
+        (route_hash(path) % self.shards.len() as u64) as usize
+    }
+
+    /// Offer a tuple; returns `true` when stored (not a dedup hit).
+    pub fn push(&mut self, t: PathCommTuple) -> bool {
+        let idx = self.route(&t.path);
+        let stored = self.shards[idx].push(t, self.dedup);
+        if stored {
+            self.unique += 1;
+        } else {
+            self.duplicates += 1;
+        }
+        stored
+    }
+
+    /// Tuples stored across all shards.
+    pub fn stored_tuples(&self) -> usize {
+        self.unique
+    }
+
+    /// Dedup hits observed.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Longest path currently stored.
+    pub fn max_path_len(&self) -> usize {
+        self.shards.iter().map(|s| s.max_path_len).max().unwrap_or(0)
+    }
+
+    /// Per-shard stored-tuple counts (load-balance introspection).
+    pub fn shard_loads(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.len()).collect()
+    }
+
+    /// Run one counting phase at column `x`: every shard counts its own
+    /// tuples against the `counters` snapshot (on its own thread when
+    /// `parallel`), and the deltas are folded into one map. Returns the
+    /// combined delta; the caller merges it with [`CounterStore::merge`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn count_phase(
+        &self,
+        counters: &CounterStore,
+        th: &Thresholds,
+        x: usize,
+        phase: CountPhase,
+        enforce_cond1: bool,
+        enforce_cond2: bool,
+        parallel: bool,
+    ) -> HashMap<Asn, AsCounters> {
+        // Same small-work guard as the batch engine's parallel_count:
+        // below this, spawn+join costs more than the counting itself
+        // (hit hard by fine-grained epoch policies like every_events(1)).
+        let parallel = parallel && self.stored_tuples() >= 1_024;
+        let mut merged: HashMap<Asn, AsCounters> = HashMap::new();
+        let mut fold = |delta: HashMap<Asn, AsCounters>| {
+            for (asn, d) in delta {
+                let e = merged.entry(asn).or_default();
+                e.t += d.t;
+                e.s += d.s;
+                e.f += d.f;
+                e.c += d.c;
+            }
+        };
+        if !parallel || self.shards.len() == 1 {
+            for s in &self.shards {
+                fold(s.count(counters, th, x, phase, enforce_cond1, enforce_cond2));
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter()
+                    .map(|s| {
+                        scope.spawn(move || {
+                            s.count(counters, th, x, phase, enforce_cond1, enforce_cond2)
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    fold(h.join().expect("shard counting worker panicked"));
+                }
+            });
+        }
+        merged
+    }
+
+    /// Full recount over everything currently stored: the exact column
+    /// loop of the batch engine (tagging phase, merge, forwarding phase,
+    /// merge, next column), phases counted shard-parallel. Returns the
+    /// final counters and the deepest column where anything counted.
+    pub fn recount(
+        &self,
+        th: &Thresholds,
+        max_index: Option<usize>,
+        enforce_cond1: bool,
+        enforce_cond2: bool,
+        parallel: bool,
+    ) -> (CounterStore, usize) {
+        let mut counters = CounterStore::new();
+        let max_len = self.max_path_len();
+        let deepest = max_index.unwrap_or(max_len).min(max_len);
+        let mut deepest_active = 0;
+        for x in 1..=deepest {
+            let delta = self.count_phase(
+                &counters,
+                th,
+                x,
+                CountPhase::Tagging,
+                enforce_cond1,
+                enforce_cond2,
+                parallel,
+            );
+            let active1 = !delta.is_empty();
+            counters.merge(&delta);
+
+            let delta = self.count_phase(
+                &counters,
+                th,
+                x,
+                CountPhase::Forwarding,
+                enforce_cond1,
+                enforce_cond2,
+                parallel,
+            );
+            let active2 = !delta.is_empty();
+            counters.merge(&delta);
+
+            if active1 || active2 {
+                deepest_active = x;
+            }
+        }
+        (counters, deepest_active)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_infer::engine::{InferenceConfig, InferenceEngine};
+
+    fn tup(p: &[u32], uppers: &[u32]) -> PathCommTuple {
+        PathCommTuple::new(
+            path(p),
+            CommunitySet::from_iter(uppers.iter().map(|&u| AnyCommunity::tag_for(Asn(u), 100))),
+        )
+    }
+
+    fn corpus() -> Vec<PathCommTuple> {
+        let mut v = Vec::new();
+        for i in 0..500u32 {
+            let peer = 10 + (i % 7);
+            v.push(tup(&[peer, 100 + (i % 40), 10_000 + i], &[peer, 100 + (i % 40)]));
+        }
+        v
+    }
+
+    #[test]
+    fn routing_is_stable_and_total() {
+        let set = ShardSet::new(4, true);
+        for t in corpus() {
+            let a = set.route(&t.path);
+            let b = set.route(&t.path);
+            assert_eq!(a, b);
+            assert!(a < 4);
+        }
+    }
+
+    #[test]
+    fn dedup_is_global_across_shards() {
+        let mut set = ShardSet::new(4, true);
+        for t in corpus() {
+            set.push(t);
+        }
+        let unique = set.stored_tuples();
+        for t in corpus() {
+            assert!(!set.push(t), "duplicate accepted");
+        }
+        assert_eq!(set.stored_tuples(), unique);
+        assert_eq!(set.duplicates(), unique as u64);
+    }
+
+    #[test]
+    fn recount_matches_batch_engine_any_shard_count() {
+        let tuples = corpus();
+        let batch = InferenceEngine::new(InferenceConfig { threads: 1, ..Default::default() })
+            .run(&tuples);
+        for shards in [1usize, 2, 4, 7] {
+            let mut set = ShardSet::new(shards, false);
+            for t in tuples.clone() {
+                set.push(t);
+            }
+            let (counters, deepest) =
+                set.recount(&batch.thresholds, None, true, true, shards > 1);
+            assert_eq!(deepest, batch.deepest_active_index, "{shards} shards");
+            let mut got: Vec<(Asn, AsCounters)> = counters.iter().collect();
+            let mut want: Vec<(Asn, AsCounters)> = batch.counters.iter().collect();
+            got.sort_by_key(|&(a, _)| a);
+            want.sort_by_key(|&(a, _)| a);
+            assert_eq!(got, want, "{shards} shards diverged from batch");
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_shards() {
+        let mut set = ShardSet::new(4, true);
+        for t in corpus() {
+            set.push(t);
+        }
+        let loads = set.shard_loads();
+        assert_eq!(loads.len(), 4);
+        assert!(loads.iter().all(|&l| l > 0), "a shard got nothing: {loads:?}");
+    }
+}

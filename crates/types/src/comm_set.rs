@@ -23,14 +23,6 @@ impl CommunitySet {
         Self::default()
     }
 
-    /// Build from any iterator; duplicates are removed.
-    pub fn from_iter<I: IntoIterator<Item = AnyCommunity>>(iter: I) -> Self {
-        let mut items: Vec<AnyCommunity> = iter.into_iter().collect();
-        items.sort_unstable();
-        items.dedup();
-        CommunitySet { items }
-    }
-
     /// Number of communities in the set.
     pub fn len(&self) -> usize {
         self.items.len()
@@ -135,7 +127,10 @@ impl CommunitySet {
 
 impl FromIterator<AnyCommunity> for CommunitySet {
     fn from_iter<I: IntoIterator<Item = AnyCommunity>>(iter: I) -> Self {
-        CommunitySet::from_iter(iter)
+        let mut items: Vec<AnyCommunity> = iter.into_iter().collect();
+        items.sort_unstable();
+        items.dedup();
+        CommunitySet { items }
     }
 }
 

@@ -46,6 +46,8 @@ pub mod prelude {
     pub use crate::wellknown::{display_name, lookup as wellknown_lookup, WellKnown};
 }
 
+pub use community::Community as RegularCommunity;
+
 #[cfg(test)]
 mod proptests {
     use crate::prelude::*;
@@ -160,5 +162,3 @@ mod proptests {
         }
     }
 }
-
-pub use community::Community as RegularCommunity;

@@ -47,7 +47,10 @@ impl Prefix {
         Prefix::V6 { net: mask_v6(raw, len), len }
     }
 
-    /// Prefix length in bits.
+    /// Prefix length in bits. A length of 0 is a valid prefix (the
+    /// default route, see [`Prefix::is_default`]), not an "empty" one, so
+    /// no `is_empty` counterpart exists.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         match self {
             Prefix::V4 { len, .. } | Prefix::V6 { len, .. } => *len,
@@ -130,7 +133,7 @@ impl Prefix {
     /// Number of bytes needed to encode the network portion in BGP NLRI
     /// packed form: `ceil(len / 8)`.
     pub fn nlri_byte_len(&self) -> usize {
-        (self.len() as usize + 7) / 8
+        (self.len() as usize).div_ceil(8)
     }
 }
 

@@ -1,0 +1,273 @@
+//! Vendored offline shim for `criterion` (see `crates/vendor/README.md`).
+//!
+//! A minimal wall-clock benchmark harness exposing the criterion API this
+//! workspace's benches use: [`Criterion::bench_function`], benchmark
+//! groups with `sample_size`/`throughput`/`bench_with_input`,
+//! [`BenchmarkId`], [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement model: calibrate an iteration
+//! count so one sample takes a few milliseconds, then time `sample_size`
+//! samples and report the median (plus min/max spread and derived
+//! throughput). No statistics beyond that, no HTML reports, no baselines —
+//! numbers go to stdout.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target time for one calibrated sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(5);
+/// Hard cap on samples per benchmark, whatever `sample_size` says: this
+/// shim is for relative comparisons in CI, not publication-grade stats.
+const MAX_SAMPLES: usize = 15;
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Input elements processed per iteration.
+    Elements(u64),
+    /// Input bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Just the parameter (the group name provides context).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// Render to the printed identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Times the closure under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run the routine `self.iters` times, recording total elapsed time.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(label: &str, sample_size: usize, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibrate: double the iteration count until one sample is long
+    // enough to time reliably.
+    let mut iters: u64 = 1;
+    let per_iter_ns = loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= SAMPLE_TARGET || iters >= 1 << 20 {
+            break b.elapsed.as_nanos() as f64 / iters as f64;
+        }
+        iters *= 2;
+    };
+    let _ = per_iter_ns;
+
+    let samples = sample_size.clamp(1, MAX_SAMPLES);
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        times.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    let median = times[times.len() / 2];
+    let min = times[0];
+    let max = times[times.len() - 1];
+
+    let mut line = format!(
+        "{label:<50} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max)
+    );
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        let rate = count as f64 / (median / 1e9);
+        line.push_str(&format!("  thrpt: {} {unit}", fmt_quantity(rate)));
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn fmt_quantity(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.3}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.3}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.3}K", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// The benchmark driver (one per `criterion_group!`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run one standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, 10, None, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark (capped internally).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Throughput basis for subsequent benchmarks in this group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_one(&label, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_one(&label, self.sample_size, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("col", 42).id, "col/42");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+
+    #[test]
+    fn bencher_measures() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim_selftest");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

@@ -1,0 +1,18 @@
+//! Vendored offline shim for `serde` (see `crates/vendor/README.md`).
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` so that
+//! downstream users with a real serde can plug the types into their own
+//! containers; nothing in-tree serializes through serde. The shim exports
+//! the two trait names as markers and re-exports no-op derive macros under
+//! the same names, which is exactly the surface `use serde::{Deserialize,
+//! Serialize}` + `#[derive(...)]` needs.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

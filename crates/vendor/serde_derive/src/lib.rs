@@ -1,0 +1,21 @@
+//! Vendored offline shim for `serde_derive` (see `crates/vendor/README.md`).
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as an
+//! interface annotation — nothing serializes through serde at runtime (the
+//! inference db has its own hand-rolled text format in `bgp_infer::db`).
+//! These derives therefore expand to nothing: the annotation compiles, and
+//! no impl is generated.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -14,6 +14,8 @@
 //! * [`infer`] — **the paper's contribution**: the passive per-AS community
 //!   usage inference algorithm
 //! * [`eval`] — regenerators for every table and figure in the paper
+//! * [`stream`] — streaming incremental inference: sharded parallel
+//!   ingest, epoch snapshots, live reclassification
 //!
 //! ## Quickstart
 //!
@@ -46,6 +48,7 @@ pub use bgp_eval as eval;
 pub use bgp_infer as infer;
 pub use bgp_mrt as mrt;
 pub use bgp_sim as sim;
+pub use bgp_stream as stream;
 pub use bgp_topology as topology;
 pub use bgp_types as types;
 
@@ -54,6 +57,7 @@ pub mod prelude {
     pub use bgp_collector::prelude::*;
     pub use bgp_infer::prelude::*;
     pub use bgp_sim::prelude::*;
+    pub use bgp_stream::prelude::*;
     pub use bgp_topology::prelude::*;
     pub use bgp_types::prelude::*;
 }

@@ -70,8 +70,11 @@ fn without_cond1_hidden_ases_get_classified() {
 /// neighbors get charged as cleaners.
 #[test]
 fn without_cond2_forwarding_precision_collapses() {
-    let w = world(37);
-    let ds = Scenario::Random.materialize(&w.graph, &w.paths, 37);
+    // Seed picked so the random world actually contains the damage
+    // pattern (taggers in front of silent neighbors); which seeds do is a
+    // property of the RNG stream, not of the engine.
+    let w = world(59);
+    let ds = Scenario::Random.materialize(&w.graph, &w.paths, 59);
     let truth = truth_map(&ds);
 
     let full = InferenceEngine::new(InferenceConfig::default()).run(&ds.tuples);

@@ -45,8 +45,7 @@ fn mixed_era_archive_ingests_coherently() {
 fn legacy_table_dump_feeds_inference() {
     // A small legacy-only RIB: peer 7018 tags, origin silent; a second
     // entry proves 7018 forwards 3356's tag.
-    let entries = vec![
-        RibEntry::new(
+    let entries = [RibEntry::new(
             Asn(3356),
             Prefix::v4([16, 0, 1, 0], 24),
             RawAsPath::from_sequence(vec![Asn(3356), Asn(15169)]),
@@ -57,8 +56,7 @@ fn legacy_table_dump_feeds_inference() {
             Prefix::v4([16, 0, 1, 0], 24),
             RawAsPath::from_sequence(vec![Asn(7018), Asn(3356), Asn(15169)]),
             CommunitySet::from_iter([AnyCommunity::regular(3356, 9)]),
-        ),
-    ];
+        )];
     let mut archive = Vec::new();
     for (i, e) in entries.iter().enumerate() {
         archive.extend_from_slice(&legacy::encode_table_dump_v1(e, i as u16).unwrap());

@@ -1,0 +1,202 @@
+//! Parity and epoch-semantics guarantees of the `bgp-stream` pipeline:
+//! streaming must produce *identical* `(Asn, Class)` output (and raw
+//! counters) to the batch `InferenceEngine::run` on the same input, for
+//! any shard count and any epoch slicing; snapshots version monotonically
+//! and their flip streams compose back into the final classification.
+
+use bgp_community_usage::prelude::*;
+use std::collections::HashMap;
+
+fn world(seed: u64) -> GroundTruthDataset {
+    let mut cfg = TopologyConfig::small();
+    cfg.transit = 30;
+    cfg.edge = 100;
+    cfg.collector_peers = 14;
+    let g = cfg.seed(seed).build();
+    let paths = PathSubstrate::generate(&g, 3).paths;
+    Scenario::Random.materialize(&g, &paths, seed)
+}
+
+fn batch_outcome(tuples: &[PathCommTuple]) -> InferenceOutcome {
+    InferenceEngine::new(InferenceConfig { threads: 1, ..Default::default() }).run(tuples)
+}
+
+fn stream_over(
+    tuples: &[PathCommTuple],
+    shards: usize,
+    epoch: EpochPolicy,
+) -> StreamOutcome {
+    let mut pipe = StreamPipeline::new(StreamConfig {
+        shards,
+        epoch,
+        dedup: false, // mirror the batch engine's raw-slice semantics
+        ..Default::default()
+    });
+    for (i, t) in tuples.iter().enumerate() {
+        pipe.push(StreamEvent::new(i as u64, t.clone()));
+    }
+    pipe.finish()
+}
+
+fn assert_counter_parity(batch: &InferenceOutcome, stream: &StreamOutcome, ctx: &str) {
+    // Classes AND the raw counters behind them must match exactly.
+    assert_eq!(batch.classes(), stream.classes(), "{ctx}: classes diverged");
+    let mut got: Vec<(Asn, AsCounters)> = stream.outcome.counters.iter().collect();
+    let mut want: Vec<(Asn, AsCounters)> = batch.counters.iter().collect();
+    got.sort_by_key(|&(a, _)| a);
+    want.sort_by_key(|&(a, _)| a);
+    assert_eq!(got, want, "{ctx}: counters diverged");
+    assert_eq!(
+        batch.deepest_active_index, stream.outcome.deepest_active_index,
+        "{ctx}: deepest active index diverged"
+    );
+}
+
+#[test]
+fn stream_matches_batch_for_every_shard_count() {
+    let ds = world(11);
+    let batch = batch_outcome(&ds.tuples);
+    for shards in [1usize, 2, 4, 8] {
+        let out = stream_over(&ds.tuples, shards, EpochPolicy::manual());
+        assert_counter_parity(&batch, &out, &format!("{shards} shards"));
+    }
+}
+
+#[test]
+fn epoch_slicing_never_changes_the_final_answer() {
+    let ds = world(13);
+    let batch = batch_outcome(&ds.tuples);
+    for epoch in [
+        EpochPolicy::manual(),
+        EpochPolicy::every_events(1),
+        EpochPolicy::every_events(97),
+        EpochPolicy::either(64, 3),
+    ] {
+        let out = stream_over(&ds.tuples, 4, epoch);
+        assert_counter_parity(&batch, &out, &format!("{epoch:?}"));
+    }
+}
+
+#[test]
+fn shard_count_cannot_change_snapshots() {
+    // Determinism across shard counts must hold per-epoch, not just at
+    // the end: same events, same epoch policy => identical snapshot
+    // classes and flips for 1, 2 and 4 shards.
+    let ds = world(17);
+    let policy = EpochPolicy::every_events(200);
+    let runs: Vec<StreamOutcome> =
+        [1usize, 2, 4].iter().map(|&s| stream_over(&ds.tuples, s, policy)).collect();
+    for other in &runs[1..] {
+        assert_eq!(runs[0].epochs(), other.epochs());
+        for (a, b) in runs[0].snapshots.iter().zip(&other.snapshots) {
+            assert_eq!(a.classes, b.classes, "epoch {} classes", a.epoch);
+            let fa: Vec<(Asn, Class, Class)> =
+                a.flips.iter().map(|f| (f.asn, f.from, f.to)).collect();
+            let fb: Vec<(Asn, Class, Class)> =
+                b.flips.iter().map(|f| (f.asn, f.from, f.to)).collect();
+            assert_eq!(fa, fb, "epoch {} flips", a.epoch);
+        }
+    }
+}
+
+#[test]
+fn snapshots_version_monotonically_and_flips_compose() {
+    let ds = world(19);
+    let out = stream_over(&ds.tuples, 2, EpochPolicy::every_events(150));
+    assert!(out.epochs() >= 2, "want multiple epochs, got {}", out.epochs());
+
+    // Versions are strictly increasing from 1.
+    for (i, s) in out.snapshots.iter().enumerate() {
+        assert_eq!(s.epoch, i as u64);
+        assert_eq!(s.version, i as u64 + 1);
+    }
+
+    // Replaying every flip stream over an empty map reproduces exactly
+    // the final classification (and each flip's `from` matches the state
+    // it was applied to — the diff is consistent, not merely eventual).
+    let mut state: HashMap<Asn, Class> = HashMap::new();
+    for s in &out.snapshots {
+        for f in &s.flips {
+            let prev = state.get(&f.asn).copied().unwrap_or(Class::NONE);
+            assert_eq!(prev, f.from, "flip for {} disagrees with history", f.asn);
+            state.insert(f.asn, f.to);
+        }
+    }
+    let mut replayed: Vec<(Asn, Class)> =
+        state.into_iter().filter(|&(_, c)| c != Class::NONE).collect();
+    replayed.sort_by_key(|&(a, _)| a);
+    let finals: Vec<(Asn, Class)> =
+        out.classes().into_iter().filter(|&(_, c)| c != Class::NONE).collect();
+    assert_eq!(replayed, finals);
+}
+
+#[test]
+fn mrt_day_stream_matches_batch_ingest() {
+    // Full-system parity: generate a collector day, consume it once via
+    // the batch path (ingest_day -> TupleSet -> engine) and once via the
+    // streaming path (DaySource per-bin chunks -> sharded pipeline).
+    let mut cfg = TopologyConfig::small();
+    cfg.transit = 25;
+    cfg.edge = 80;
+    cfg.collector_peers = 10;
+    let g = cfg.seed(23).build();
+    let roles = Scenario::Random.assign_roles(&g, 23);
+    let paths = PathSubstrate::generate(&g, 3).paths;
+    let day = ArchiveBuilder::new(&g, &roles).build_day(&CollectorProject::ripe(), &paths, 23);
+
+    let mut set = TupleSet::new();
+    ingest_day(&day, &mut set).expect("archive parses");
+    let batch = batch_outcome(&set.to_vec());
+
+    let mut pipe = StreamPipeline::new(StreamConfig {
+        shards: 4,
+        epoch: EpochPolicy::every_events(500),
+        dedup: true, // the batch path dedups through TupleSet
+        ..Default::default()
+    });
+    let mut source = DaySource::new(&day);
+    pipe.drive(&mut source, 256).expect("stream parses");
+    let out = pipe.finish();
+
+    assert_eq!(out.unique_tuples, set.len(), "dedup diverged from TupleSet");
+    assert_counter_parity(&batch, &out, "collector day");
+}
+
+#[test]
+fn reclassify_matches_batch_reclassify() {
+    let ds = world(29);
+    let batch = batch_outcome(&ds.tuples);
+    let out = stream_over(&ds.tuples, 2, EpochPolicy::every_events(100));
+    for th in [0.5, 0.75, 0.9] {
+        assert_eq!(
+            batch.reclassify(Thresholds::uniform(th)),
+            out.reclassify(Thresholds::uniform(th)),
+            "reclassify at {th}"
+        );
+    }
+}
+
+#[test]
+fn duplicate_heavy_feed_dedups_to_batch_answer() {
+    // A live feed re-announces the same routes over and over; with dedup
+    // on, the stream's answer equals the batch answer on the unique set.
+    let ds = world(31);
+    let feed = UpdateFeed::new(&ds, 31, 3);
+    let unique: TupleSet = ds.tuples.iter().cloned().collect();
+    let batch = batch_outcome(&unique.to_vec());
+
+    let mut pipe = StreamPipeline::new(StreamConfig {
+        shards: 4,
+        epoch: EpochPolicy::every_span(7_200), // two-hour epochs
+        dedup: true,
+        ..Default::default()
+    });
+    let mut source = IterSource::new(feed.map(|(ts, t)| StreamEvent::new(ts, t)));
+    pipe.drive(&mut source, 512).expect("feed streams");
+    let out = pipe.finish();
+
+    assert!(out.duplicates > 0, "feed should contain re-announcements");
+    assert_eq!(out.unique_tuples, unique.len());
+    assert_counter_parity(&batch, &out, "duplicate-heavy feed");
+    assert!(out.epochs() > 1, "day should span multiple two-hour epochs");
+}
