@@ -1,0 +1,171 @@
+//! Batch engine benchmark: the reference Listing-1 path
+//! (`InferenceEngine::run_reference`) vs the compiled columnar path
+//! (`InferenceEngine::run`) on synthetic worlds of three sizes, plus a
+//! `BENCH_batch.json` baseline emitted for regression tracking.
+//!
+//! The acceptance bar for the compiled layer is ≥2× single-thread
+//! speedup on the 100k-tuple world. Set `BENCH_QUICK=1` to shrink the
+//! worlds for CI smoke runs (the JSON then records `"quick": true` so a
+//! smoke baseline is never mistaken for the real one).
+
+use bgp_infer::prelude::*;
+use bgp_types::prelude::*;
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Deterministic xorshift64* — the bench must not depend on `rand`.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A synthetic world with enough behavioral variety to light up every
+/// branch of the column loop: selective taggers, forwarded upstream
+/// tags, occasional cleaners, 16- and 32-bit ASNs.
+fn synthetic_world(n_tuples: usize, seed: u64) -> Vec<PathCommTuple> {
+    let mut rng = Rng(seed | 1);
+    let n_asns = (n_tuples / 4).max(64) as u64;
+    let mut tuples = Vec::with_capacity(n_tuples);
+    for _ in 0..n_tuples {
+        let len = 2 + rng.below(6) as usize;
+        let mut asns: Vec<u32> = Vec::with_capacity(len);
+        while asns.len() < len {
+            // Mostly 16-bit-ish ids, a sprinkle of 32-bit-only ASNs.
+            let mut a = 2 + rng.below(n_asns) as u32;
+            if a.is_multiple_of(97) {
+                a += 200_000;
+            }
+            if asns.last() != Some(&a) {
+                asns.push(a);
+            }
+        }
+        let mut comm = CommunitySet::new();
+        for &a in asns.iter().rev() {
+            // 10% of ASes clean everything accumulated so far.
+            if a % 10 == 3 && rng.below(4) < 3 {
+                comm.clear();
+            }
+            // ~60% of ASes tag (selectively, 90% of the time).
+            if a % 5 < 3 && rng.below(10) < 9 {
+                comm.insert(AnyCommunity::tag_for(Asn(a), 100 + a % 7));
+            }
+        }
+        tuples.push(PathCommTuple::new(path(&asns), comm));
+    }
+    tuples
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+fn world_sizes() -> Vec<usize> {
+    if quick_mode() {
+        vec![1_000, 3_000, 10_000]
+    } else {
+        vec![10_000, 30_000, 100_000]
+    }
+}
+
+fn single_thread() -> InferenceConfig {
+    InferenceConfig { threads: 1, ..Default::default() }
+}
+
+fn bench_reference_vs_compiled(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_engine");
+    g.sample_size(10);
+    for n in world_sizes() {
+        let tuples = synthetic_world(n, 42);
+        g.throughput(Throughput::Elements(tuples.len() as u64));
+        g.bench_with_input(BenchmarkId::new("reference", n), &tuples, |b, t| {
+            b.iter(|| black_box(InferenceEngine::new(single_thread()).run_reference(t).counters.len()))
+        });
+        g.bench_with_input(BenchmarkId::new("compiled", n), &tuples, |b, t| {
+            b.iter(|| black_box(InferenceEngine::new(single_thread()).run(t).counters.len()))
+        });
+        g.bench_with_input(BenchmarkId::new("compile_only", n), &tuples, |b, t| {
+            // The build cost the compiled path pays up front.
+            b.iter(|| black_box(CompiledTuples::from_tuples(t).len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reference_vs_compiled);
+
+/// Median wall-clock of `runs` executions, in nanoseconds.
+fn time_ns(runs: usize, mut f: impl FnMut() -> usize) -> u128 {
+    let mut samples: Vec<u128> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Time both engines per size and write the `BENCH_batch.json` baseline
+/// at the workspace root.
+fn emit_baseline() {
+    let runs = if quick_mode() { 2 } else { 3 };
+    let mut entries = Vec::new();
+    for n in world_sizes() {
+        let tuples = synthetic_world(n, 42);
+        let reference_ns = time_ns(runs, || {
+            InferenceEngine::new(single_thread()).run_reference(&tuples).counters.len()
+        });
+        let compiled_ns =
+            time_ns(runs, || InferenceEngine::new(single_thread()).run(&tuples).counters.len());
+        let speedup = reference_ns as f64 / compiled_ns as f64;
+        println!(
+            "baseline {n}: reference {:.1} ms, compiled {:.1} ms, speedup {speedup:.2}x",
+            reference_ns as f64 / 1e6,
+            compiled_ns as f64 / 1e6,
+        );
+        entries.push(format!(
+            "    {{\"tuples\": {n}, \"reference_ns\": {reference_ns}, \
+             \"compiled_ns\": {compiled_ns}, \"speedup\": {speedup:.3}}}"
+        ));
+    }
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let json = format!(
+        "{{\n  \"bench\": \"batch_engine\",\n  \"quick\": {},\n  \"unix_secs\": {unix_secs},\n  \
+         \"threads\": 1,\n  \"worlds\": [\n{}\n  ]\n}}\n",
+        quick_mode(),
+        entries.join(",\n"),
+    );
+    // Quick-mode numbers come from shrunken worlds; route them to an
+    // untracked path so they can never clobber the committed baseline.
+    let path = if quick_mode() {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_batch_quick.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json")
+    };
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("baseline written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    benches();
+    emit_baseline();
+}

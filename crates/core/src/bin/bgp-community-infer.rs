@@ -12,6 +12,9 @@
 //!   -o, --output <FILE>           write the inference db here (default stdout)
 //!   -j, --threads <N>             counting threads (default: cores)
 //!       --row-based               use the Listing-2 baseline (comparison only)
+//!       --reference               use the uncompiled Listing-1 reference engine
+//!                                 (oracle/debug; the default compiled engine is
+//!                                 byte-identical and much faster)
 //!       --summary                 print class counts to stderr
 //!   -h, --help                    show this help
 //! ```
@@ -29,12 +32,13 @@ struct Options {
     output: Option<String>,
     threads: usize,
     row_based: bool,
+    reference: bool,
     summary: bool,
     inputs: Vec<String>,
 }
 
 fn usage() -> &'static str {
-    "usage: bgp-community-infer [-t THRESHOLD] [-o FILE] [-j THREADS] [--row-based] [--summary] <MRT-FILE>...\n\
+    "usage: bgp-community-infer [-t THRESHOLD] [-o FILE] [-j THREADS] [--row-based] [--reference] [--summary] <MRT-FILE>...\n\
      Reads MRT archives (RIBs and/or updates), infers per-AS BGP community usage\n\
      (tagger/silent x forward/cleaner), and writes the inference database."
 }
@@ -45,6 +49,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         output: None,
         threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
         row_based: false,
+        reference: false,
         summary: false,
         inputs: Vec::new(),
     };
@@ -67,6 +72,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.threads = v.parse().map_err(|e| format!("bad thread count {v:?}: {e}"))?;
             }
             "--row-based" => opts.row_based = true,
+            "--reference" => opts.reference = true,
             "--summary" => opts.summary = true,
             "-h" | "--help" => return Err(usage().to_string()),
             other if other.starts_with('-') => {
@@ -104,7 +110,12 @@ fn run(opts: &Options) -> Result<(), String> {
         run_row_based(&tuples, thresholds)
     } else {
         let cfg = InferenceConfig { thresholds, threads: opts.threads, ..Default::default() };
-        InferenceEngine::new(cfg).run(&tuples)
+        let engine = InferenceEngine::new(cfg);
+        if opts.reference {
+            engine.run_reference(&tuples)
+        } else {
+            engine.run(&tuples)
+        }
     };
 
     if opts.summary {

@@ -1,0 +1,789 @@
+//! The compiled execution layer: columnar tuples, interned counters,
+//! per-phase predicate bitsets.
+//!
+//! [`engine::count_tuple_at`](crate::engine::count_tuple_at) is the
+//! *reference* semantics of one column step, and it pays for its clarity
+//! in the innermost loop: every tuple touch hashes `Asn` keys, re-walks
+//! the `O(x)` upstream prefix through `HashMap` lookups, re-derives the
+//! `is_forward`/`is_tagger` threshold arithmetic per touch, and scans the
+//! community set for `A:*` membership. This module compiles the same
+//! algorithm into a representation where each of those costs is paid once
+//! instead of per touch:
+//!
+//! * **Interning** ([`AsnInterner`]) — every on-path ASN is mapped to a
+//!   dense `u32` id at build time, so all per-AS state lives in flat
+//!   vectors indexed by id. [`DenseCounterStore`] is the interned
+//!   [`CounterStore`]: a `Vec<AsCounters>` that merges by slice addition
+//!   and converts back to the map-based store only at outcome time.
+//! * **Columnar tuples** ([`CompiledTuples`]) — a struct-of-arrays store:
+//!   one contiguous id arena holding every AS path back to back,
+//!   per-tuple offsets, and a bit-packed *tag arena* with one bit per
+//!   path position answering `comm.contains_upper(path[i])` — the only
+//!   question the engine ever asks a community set, precomputed at build
+//!   time. Tuples are iterated length-sorted (descending), so the column
+//!   `x` pass visits exactly the tuples with `len >= x` and never scans
+//!   the short tail.
+//! * **Phase predicate bitsets** ([`PhasePredicates`]) — `is_forward` and
+//!   `is_tagger` are pure functions of the phase-start counter snapshot,
+//!   so they are evaluated once per AS per phase into two bitsets. Cond1
+//!   becomes a clean-prefix bit check and Cond2 a forward/tagger bitset
+//!   walk; the innermost loop does no hashing, no division, and no map
+//!   traffic at all.
+//!
+//! ## Parity guarantee
+//!
+//! The compiled engine is **byte-identical** to the reference path. The
+//! argument: within one (column, phase) the reference evaluates its
+//! predicates against the immutable phase-start snapshot, so hoisting
+//! them into bitsets changes nothing; the predicate values themselves are
+//! computed by the very same [`AsCounters::tag_share`]/
+//! [`AsCounters::fwd_share`] float comparisons; counter increments are
+//! `u64` additions, which commute, so dense slice merges equal map
+//! merges; and a reference delta entry exists iff it received at least
+//! one increment, so filtering zero rows when densifying reproduces the
+//! reference key set exactly. `InferenceEngine::run_reference` is kept as
+//! the oracle, and the property tests in this crate plus
+//! `tests/stream_parity.rs` pin classes *and* raw counters equal across
+//! random worlds, thread counts, `max_index` caps, and ablation flags.
+
+use crate::counters::{AsCounters, CounterStore, Thresholds};
+use crate::engine::{CountPhase, InferenceConfig, InferenceOutcome};
+use bgp_types::prelude::*;
+
+/// One bit per interned AS id, answering a phase-start predicate.
+#[derive(Debug, Clone, Default)]
+struct IdBitSet {
+    words: Vec<u64>,
+}
+
+impl IdBitSet {
+    fn with_capacity(bits: usize) -> Self {
+        IdBitSet { words: vec![0; bits.div_ceil(64)] }
+    }
+
+    #[inline]
+    fn set(&mut self, id: AsnId) {
+        self.words[(id / 64) as usize] |= 1u64 << (id % 64);
+    }
+
+    #[inline]
+    fn assign(&mut self, id: AsnId, v: bool) {
+        let word = &mut self.words[(id / 64) as usize];
+        let mask = 1u64 << (id % 64);
+        if v {
+            *word |= mask;
+        } else {
+            *word &= !mask;
+        }
+    }
+
+    #[inline]
+    fn get(&self, id: AsnId) -> bool {
+        self.words[(id / 64) as usize] & (1u64 << (id % 64)) != 0
+    }
+}
+
+/// `is_forward` / `is_tagger` for every interned AS, frozen at the start
+/// of one counting phase.
+///
+/// The reference path re-derives these from counter shares on every
+/// Cond1/Cond2 touch; here they are computed once per AS per phase (with
+/// the identical float arithmetic, so thresholds behave bit-for-bit the
+/// same) and the hot loop reads single bits.
+#[derive(Debug)]
+pub struct PhasePredicates {
+    forward: IdBitSet,
+    tagger: IdBitSet,
+}
+
+impl PhasePredicates {
+    /// All-false predicates over `n_ids` — the state of a zeroed counter
+    /// store, where every share is `None` and every predicate `false`.
+    pub fn empty(n_ids: usize) -> Self {
+        PhasePredicates {
+            forward: IdBitSet::with_capacity(n_ids),
+            tagger: IdBitSet::with_capacity(n_ids),
+        }
+    }
+
+    /// Whether interned AS `id` satisfied `is_forward` at phase start.
+    #[inline]
+    pub fn is_forward(&self, id: AsnId) -> bool {
+        self.forward.get(id)
+    }
+
+    /// Whether interned AS `id` satisfied `is_tagger` at phase start.
+    #[inline]
+    pub fn is_tagger(&self, id: AsnId) -> bool {
+        self.tagger.get(id)
+    }
+}
+
+/// The interned counterpart of [`CounterStore`]: a flat `Vec<AsCounters>`
+/// indexed by [`AsnId`], O(1) per touch and mergeable by slice addition.
+#[derive(Debug, Clone, Default)]
+pub struct DenseCounterStore {
+    counts: Vec<AsCounters>,
+}
+
+impl DenseCounterStore {
+    /// A zeroed store covering `n_ids` interned ASes.
+    pub fn zeroed(n_ids: usize) -> Self {
+        DenseCounterStore { counts: vec![AsCounters::default(); n_ids] }
+    }
+
+    /// Counters of one interned AS.
+    #[inline]
+    pub fn get(&self, id: AsnId) -> &AsCounters {
+        &self.counts[id as usize]
+    }
+
+    /// Mutable counters of one interned AS.
+    #[inline]
+    pub fn get_mut(&mut self, id: AsnId) -> &mut AsCounters {
+        &mut self.counts[id as usize]
+    }
+
+    /// Number of id slots (zeroed slots included).
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the store covers no ids at all.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Slice-add a same-size delta store produced by a counting worker.
+    pub fn merge(&mut self, delta: &DenseCounterStore) {
+        debug_assert_eq!(self.counts.len(), delta.counts.len());
+        for (e, d) in self.counts.iter_mut().zip(&delta.counts) {
+            e.accumulate(d);
+        }
+    }
+
+    /// Reset every slot to zero, keeping the allocation (per-phase delta
+    /// buffer reuse in the serial engine loop).
+    pub fn clear(&mut self) {
+        self.counts.fill(AsCounters::default());
+    }
+
+    /// Merge a phase delta *and* refresh the predicate bits of exactly
+    /// the touched ASes. Counters only change through merges, so bits
+    /// maintained here always equal a fresh
+    /// [`snapshot_predicates`](Self::snapshot_predicates) of the merged
+    /// state — the next phase's start snapshot — at O(touched) float
+    /// work instead of O(all ids) per phase.
+    pub fn merge_update(
+        &mut self,
+        delta: &DenseCounterStore,
+        preds: &mut PhasePredicates,
+        th: &Thresholds,
+    ) {
+        debug_assert_eq!(self.counts.len(), delta.counts.len());
+        for (id, d) in delta.counts.iter().enumerate() {
+            if d.is_zero() {
+                continue;
+            }
+            let e = &mut self.counts[id];
+            e.accumulate(d);
+            preds.forward.assign(id as AsnId, e.fwd_share().is_some_and(|x| x >= th.forward));
+            preds.tagger.assign(id as AsnId, e.tag_share().is_some_and(|x| x >= th.tagger));
+        }
+    }
+
+    /// Evaluate the phase-start predicates for every id, with exactly the
+    /// reference float arithmetic of [`CounterStore::is_forward`] /
+    /// [`CounterStore::is_tagger`].
+    pub fn snapshot_predicates(&self, th: &Thresholds) -> PhasePredicates {
+        let mut forward = IdBitSet::with_capacity(self.counts.len());
+        let mut tagger = IdBitSet::with_capacity(self.counts.len());
+        for (id, c) in self.counts.iter().enumerate() {
+            if c.fwd_share().is_some_and(|x| x >= th.forward) {
+                forward.set(id as AsnId);
+            }
+            if c.tag_share().is_some_and(|x| x >= th.tagger) {
+                tagger.set(id as AsnId);
+            }
+        }
+        PhasePredicates { forward, tagger }
+    }
+
+    /// Densify an `Asn`-keyed snapshot (the stream coordinator's shared
+    /// [`CounterStore`]) over `interner`'s id space.
+    pub fn from_store(store: &CounterStore, interner: &AsnInterner) -> Self {
+        let mut dense = DenseCounterStore::zeroed(interner.len());
+        for (id, asn) in interner.iter() {
+            dense.counts[id as usize] = store.get(asn);
+        }
+        dense
+    }
+
+    /// Convert back to the map-based [`CounterStore`], keeping exactly
+    /// the ASes that received at least one increment — the reference
+    /// engine's key set.
+    pub fn to_counter_store(&self, interner: &AsnInterner) -> CounterStore {
+        let mut store = CounterStore::new();
+        for (id, c) in self.counts.iter().enumerate() {
+            if !c.is_zero() {
+                *store.entry(interner.resolve(id as AsnId)) = *c;
+            }
+        }
+        store
+    }
+}
+
+/// How one counting pass obtains Cond1 (the clean-prefix condition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cond1Mode {
+    /// Cond1 disabled (`enforce_cond1 = false`): always clean.
+    Off,
+    /// Walk the prefix bitset per tuple, no caching.
+    Fresh,
+    /// Walk the prefix and record the verdict per active tuple.
+    Record,
+    /// Read the verdict recorded by this column's Tagging pass.
+    Replay,
+}
+
+impl Cond1Mode {
+    /// Bind the mode to one worker's slice of the per-column buffer.
+    fn pass(self, buf: &mut [bool]) -> Cond1Pass<'_> {
+        match self {
+            Cond1Mode::Off => Cond1Pass::Off,
+            Cond1Mode::Fresh => Cond1Pass::Evaluate,
+            Cond1Mode::Record => Cond1Pass::Record(buf),
+            Cond1Mode::Replay => Cond1Pass::Replay(buf),
+        }
+    }
+}
+
+/// One worker's Cond1 source for one pass, aligned with its `active`
+/// chunk.
+enum Cond1Pass<'a> {
+    Off,
+    Evaluate,
+    Record(&'a mut [bool]),
+    Replay(&'a mut [bool]),
+}
+
+/// The columnar (struct-of-arrays) tuple store the compiled engine runs
+/// over. See the module docs for the layout rationale.
+#[derive(Debug, Clone)]
+pub struct CompiledTuples {
+    interner: AsnInterner,
+    /// All paths flattened back to back, as interned ids.
+    ids: Vec<AsnId>,
+    /// Tuple `i` owns `ids[offsets[i]..offsets[i+1]]`; `offsets.len()` is
+    /// always `tuple count + 1`.
+    offsets: Vec<u32>,
+    /// Bit-packed tag arena: bit `p` answers
+    /// `comm.contains_upper(path position p)` for arena position `p`.
+    tag_bits: Vec<u64>,
+    /// Tuple indices ordered by path length descending (ties by insertion
+    /// order); rebuilt lazily after appends.
+    order: Vec<u32>,
+    sorted: bool,
+    max_len: usize,
+    /// Reused per-push scratch: the pushed tuple's community upper
+    /// fields as raw `u32`s, probed once per hop.
+    upper_scratch: Vec<u32>,
+}
+
+impl CompiledTuples {
+    /// An empty store (for incremental [`push`](CompiledTuples::push) use,
+    /// as in the stream shards).
+    pub fn new() -> Self {
+        CompiledTuples {
+            interner: AsnInterner::new(),
+            ids: Vec::new(),
+            offsets: vec![0],
+            tag_bits: Vec::new(),
+            order: Vec::new(),
+            sorted: true,
+            max_len: 0,
+            upper_scratch: Vec::new(),
+        }
+    }
+
+    /// Compile a finished tuple slice. Tuples are laid out in the arena
+    /// longest-first, so the per-column iteration order is also the
+    /// physical order — sequential reads, early cutoff.
+    pub fn from_tuples(tuples: &[PathCommTuple]) -> Self {
+        // Counting sort by length: lengths are tiny, a comparison sort
+        // would dominate the build at 100k+ tuples.
+        let max_len = tuples.iter().map(|t| t.path.len()).max().unwrap_or(0);
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_len + 1];
+        for (i, t) in tuples.iter().enumerate() {
+            buckets[t.path.len()].push(i as u32);
+        }
+        let mut store = CompiledTuples::new();
+        let total: usize = tuples.iter().map(|t| t.path.len()).sum();
+        store.interner.reserve(total / 4);
+        store.ids.reserve(total);
+        store.tag_bits.reserve(total / 64 + 1);
+        store.offsets.reserve(tuples.len());
+        store.order.reserve(tuples.len());
+        for bucket in buckets.iter().rev() {
+            for &i in bucket {
+                store.push(&tuples[i as usize]);
+            }
+        }
+        store.sorted = true; // pushed in length order already
+        store
+    }
+
+    /// Append one tuple: intern its hops, extend the arena, precompute
+    /// its tag bits.
+    pub fn push(&mut self, t: &PathCommTuple) {
+        let idx = self.len() as u32;
+        // Flatten the community upper fields once; per-hop membership is
+        // then a scan over raw u32s (communities sharing an upper field
+        // produce repeats — harmless for a membership probe). Sets this
+        // small scan faster than they binary-search; large ones get
+        // sorted and probed logarithmically.
+        self.upper_scratch.clear();
+        self.upper_scratch.extend(t.comm.iter().map(|c| c.upper_field().0));
+        let big_comm = self.upper_scratch.len() > 16;
+        if big_comm {
+            self.upper_scratch.sort_unstable();
+        }
+        for &asn in t.path.asns() {
+            let id = self.interner.intern(asn);
+            let pos = self.ids.len();
+            self.ids.push(id);
+            if pos / 64 >= self.tag_bits.len() {
+                self.tag_bits.push(0);
+            }
+            let tagged = if big_comm {
+                self.upper_scratch.binary_search(&asn.0).is_ok()
+            } else {
+                self.upper_scratch.contains(&asn.0)
+            };
+            if tagged {
+                self.tag_bits[pos / 64] |= 1u64 << (pos % 64);
+            }
+        }
+        self.offsets.push(self.ids.len() as u32);
+        self.order.push(idx);
+        self.max_len = self.max_len.max(t.path.len());
+        // Descending order survives the append iff the new path is no
+        // longer than the current tail of `order`.
+        if self.sorted && self.len() > 1 {
+            let prev_tail = self.order[self.len() - 2] as usize;
+            if t.path.len() > self.tuple_len(prev_tail) {
+                self.sorted = false;
+            }
+        }
+    }
+
+    /// Number of compiled tuples.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether no tuples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Longest compiled path.
+    pub fn max_path_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Total path positions in the id arena.
+    pub fn arena_len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// The id authority for this store.
+    pub fn interner(&self) -> &AsnInterner {
+        &self.interner
+    }
+
+    /// Distinct ASNs interned.
+    pub fn interned_asns(&self) -> usize {
+        self.interner.len()
+    }
+
+    #[inline]
+    fn tuple_len(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    #[inline]
+    fn tag_bit(&self, arena_pos: usize) -> bool {
+        self.tag_bits[arena_pos / 64] & (1u64 << (arena_pos % 64)) != 0
+    }
+
+    /// Restore the length-descending iteration order after appends.
+    /// Counting sort — O(tuples + max_len), stable within one length.
+    pub fn ensure_sorted(&mut self) {
+        if self.sorted {
+            return;
+        }
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); self.max_len + 1];
+        for i in 0..self.len() {
+            buckets[self.tuple_len(i)].push(i as u32);
+        }
+        self.order.clear();
+        for bucket in buckets.iter().rev() {
+            self.order.extend_from_slice(bucket);
+        }
+        self.sorted = true;
+    }
+
+    /// The length-sorted tuple indices that reach column `x` (`len >= x`).
+    ///
+    /// # Panics
+    /// Debug-asserts the order is sorted; call
+    /// [`ensure_sorted`](CompiledTuples::ensure_sorted) after appends.
+    fn active_at(&self, x: usize) -> &[u32] {
+        debug_assert!(self.sorted, "ensure_sorted before counting");
+        let k = self.order.partition_point(|&i| self.tuple_len(i as usize) >= x);
+        &self.order[..k]
+    }
+
+    /// Count one (column, phase) over the active tuples into `delta`.
+    /// Returns whether any counter was incremented — the compiled
+    /// equivalent of the reference delta being non-empty.
+    ///
+    /// This is the compiled mirror of the reference
+    /// [`count_tuple_at`](crate::engine::count_tuple_at) loop; see the
+    /// module docs for the parity argument. `cond1` selects how the
+    /// clean-prefix condition is obtained (see [`Cond1Pass`]): within one
+    /// column the Tagging merge only moves `t`/`s` counters, so
+    /// `is_forward` — and therefore Cond1 — is identical for both of the
+    /// column's phases, and the engine records it once and replays it.
+    #[allow(clippy::too_many_arguments)]
+    fn count_into(
+        &self,
+        preds: &PhasePredicates,
+        x: usize,
+        phase: CountPhase,
+        enforce_cond2: bool,
+        active: &[u32],
+        mut cond1: Cond1Pass<'_>,
+        delta: &mut DenseCounterStore,
+    ) -> bool {
+        let mut touched = false;
+        'tuples: for (k, &ti) in active.iter().enumerate() {
+            let off = self.offsets[ti as usize] as usize;
+            let len = (self.offsets[ti as usize + 1] as usize) - off;
+            debug_assert!(len >= x);
+            let hops = &self.ids[off..off + len];
+            // Cond1: every upstream position forwards (clean prefix).
+            let clean = match &mut cond1 {
+                Cond1Pass::Off => true,
+                Cond1Pass::Evaluate => hops[..x - 1].iter().all(|&a| preds.is_forward(a)),
+                Cond1Pass::Record(buf) => {
+                    let ok = hops[..x - 1].iter().all(|&a| preds.is_forward(a));
+                    buf[k] = ok;
+                    ok
+                }
+                Cond1Pass::Replay(buf) => buf[k],
+            };
+            if !clean {
+                continue 'tuples;
+            }
+            let ax = hops[x - 1];
+            match phase {
+                CountPhase::Tagging => {
+                    let e = delta.get_mut(ax);
+                    if self.tag_bit(off + x - 1) {
+                        e.t += 1;
+                    } else {
+                        e.s += 1;
+                    }
+                }
+                CountPhase::Forwarding => {
+                    // Cond2: nearest downstream tagger through forwarders.
+                    let at_pos = if enforce_cond2 {
+                        let mut found = None;
+                        for (k, &a) in hops[x..].iter().enumerate() {
+                            if preds.is_tagger(a) {
+                                found = Some(off + x + k);
+                                break;
+                            }
+                            if !preds.is_forward(a) {
+                                break;
+                            }
+                        }
+                        match found {
+                            Some(p) => p,
+                            None => continue 'tuples,
+                        }
+                    } else {
+                        // Ablated: the adjacent downstream AS, blindly.
+                        if len > x {
+                            off + x
+                        } else {
+                            continue 'tuples;
+                        }
+                    };
+                    let e = delta.get_mut(ax);
+                    if self.tag_bit(at_pos) {
+                        e.f += 1;
+                    } else {
+                        e.c += 1;
+                    }
+                }
+            }
+            touched = true;
+        }
+        touched
+    }
+
+    /// One full counting phase at column `x`, fanned out over `threads`
+    /// workers, each with a private dense delta, merged by slice add.
+    /// Returns `(delta, any_increment)`. Cond1 is evaluated fresh; the
+    /// engine-internal loop in [`run`](CompiledTuples::run) additionally
+    /// caches it across a column's two phases.
+    #[allow(clippy::too_many_arguments)]
+    pub fn count_phase(
+        &self,
+        preds: &PhasePredicates,
+        x: usize,
+        phase: CountPhase,
+        enforce_cond1: bool,
+        enforce_cond2: bool,
+        threads: usize,
+    ) -> (DenseCounterStore, bool) {
+        let cond1 = if enforce_cond1 { Cond1Mode::Fresh } else { Cond1Mode::Off };
+        self.count_fanout(preds, x, phase, enforce_cond2, threads, cond1, &mut [])
+    }
+
+    /// Fan one (column, phase) out over worker threads. `cond1_buf` must
+    /// be `active_at(x).len()` entries when `cond1` records or replays
+    /// (workers get disjoint chunks, aligned with the active chunks).
+    #[allow(clippy::too_many_arguments)]
+    fn count_fanout(
+        &self,
+        preds: &PhasePredicates,
+        x: usize,
+        phase: CountPhase,
+        enforce_cond2: bool,
+        threads: usize,
+        cond1: Cond1Mode,
+        cond1_buf: &mut [bool],
+    ) -> (DenseCounterStore, bool) {
+        let active = self.active_at(x);
+        let n_ids = self.interner.len();
+        let threads = threads.max(1);
+        if threads == 1 || active.len() < 1_024 {
+            let mut delta = DenseCounterStore::zeroed(n_ids);
+            let touched = self.count_into(
+                preds,
+                x,
+                phase,
+                enforce_cond2,
+                active,
+                cond1.pass(cond1_buf),
+                &mut delta,
+            );
+            return (delta, touched);
+        }
+        let chunk = active.len().div_ceil(threads);
+        let mut merged = DenseCounterStore::zeroed(n_ids);
+        let mut any = false;
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            let mut buf_tail = cond1_buf;
+            for part in active.chunks(chunk) {
+                let cpart;
+                if matches!(cond1, Cond1Mode::Record | Cond1Mode::Replay) {
+                    let (head, tail) = buf_tail.split_at_mut(part.len());
+                    cpart = head;
+                    buf_tail = tail;
+                } else {
+                    let (head, tail) = buf_tail.split_at_mut(0);
+                    cpart = head;
+                    buf_tail = tail;
+                }
+                handles.push(s.spawn(move || {
+                    let mut delta = DenseCounterStore::zeroed(n_ids);
+                    let touched = self.count_into(
+                        preds,
+                        x,
+                        phase,
+                        enforce_cond2,
+                        part,
+                        cond1.pass(cpart),
+                        &mut delta,
+                    );
+                    (delta, touched)
+                }));
+            }
+            for h in handles {
+                let (delta, touched) = h.join().expect("compiled counting worker panicked");
+                merged.merge(&delta);
+                any |= touched;
+            }
+        });
+        (merged, any)
+    }
+
+    /// Run the full column loop — the compiled `InferenceEngine::run`.
+    ///
+    /// The predicate bitsets are maintained incrementally: they start
+    /// all-false (zero counters) and are refreshed per touched AS at
+    /// every delta merge, so each phase reads exactly the snapshot the
+    /// reference path would compute at its start. Cond1 is recorded
+    /// during the Tagging pass and replayed during the Forwarding pass of
+    /// the same column — the intervening merge moves only `t`/`s`
+    /// counters, which `is_forward` never reads.
+    pub fn run(&mut self, config: &InferenceConfig) -> InferenceOutcome {
+        self.ensure_sorted();
+        let th = config.thresholds;
+        let deepest = config.max_index.unwrap_or(self.max_len).min(self.max_len);
+        let n_ids = self.interner.len();
+        let threads = config.threads.max(1);
+        let mut counters = DenseCounterStore::zeroed(n_ids);
+        let mut preds = PhasePredicates::empty(n_ids);
+        let mut cond1_buf: Vec<bool> = Vec::new();
+        let mut deepest_active = 0;
+        for x in 1..=deepest {
+            cond1_buf.resize(self.active_at(x).len(), false);
+            let mut any = false;
+            for phase in [CountPhase::Tagging, CountPhase::Forwarding] {
+                let cond1 = if !config.enforce_cond1 {
+                    Cond1Mode::Off
+                } else if phase == CountPhase::Tagging {
+                    Cond1Mode::Record
+                } else {
+                    Cond1Mode::Replay
+                };
+                let (delta, touched) = self.count_fanout(
+                    &preds,
+                    x,
+                    phase,
+                    config.enforce_cond2,
+                    threads,
+                    cond1,
+                    &mut cond1_buf,
+                );
+                counters.merge_update(&delta, &mut preds, &th);
+                any |= touched;
+            }
+            if any {
+                deepest_active = x;
+            }
+        }
+        InferenceOutcome {
+            counters: counters.to_counter_store(&self.interner),
+            thresholds: th,
+            deepest_active_index: deepest_active,
+        }
+    }
+
+    /// One counting phase against an `Asn`-keyed shared snapshot,
+    /// returning a sparse `Asn`-keyed delta — the stream-shard entry
+    /// point, where the phase-global snapshot lives at the coordinator.
+    #[allow(clippy::too_many_arguments)]
+    pub fn count_phase_sparse(
+        &self,
+        snapshot: &CounterStore,
+        th: &Thresholds,
+        x: usize,
+        phase: CountPhase,
+        enforce_cond1: bool,
+        enforce_cond2: bool,
+    ) -> std::collections::HashMap<Asn, AsCounters> {
+        let dense_snapshot = DenseCounterStore::from_store(snapshot, &self.interner);
+        let preds = dense_snapshot.snapshot_predicates(th);
+        let (delta, _) = self.count_phase(&preds, x, phase, enforce_cond1, enforce_cond2, 1);
+        let mut out = std::collections::HashMap::new();
+        for (id, c) in delta.counts.iter().enumerate() {
+            if !c.is_zero() {
+                out.insert(self.interner.resolve(id as AsnId), *c);
+            }
+        }
+        out
+    }
+}
+
+impl Default for CompiledTuples {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::InferenceEngine;
+
+    fn tup(p: &[u32], uppers: &[u32]) -> PathCommTuple {
+        PathCommTuple::new(
+            path(p),
+            CommunitySet::from_iter(uppers.iter().map(|&u| AnyCommunity::tag_for(Asn(u), 100))),
+        )
+    }
+
+    #[test]
+    fn layout_is_length_sorted() {
+        let tuples =
+            vec![tup(&[1, 2], &[1]), tup(&[3, 4, 5, 6], &[3]), tup(&[7, 8, 9], &[])];
+        let store = CompiledTuples::from_tuples(&tuples);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.max_path_len(), 4);
+        assert_eq!(store.arena_len(), 9);
+        assert_eq!(store.active_at(1).len(), 3);
+        assert_eq!(store.active_at(3).len(), 2);
+        assert_eq!(store.active_at(4).len(), 1);
+        assert_eq!(store.active_at(5).len(), 0);
+    }
+
+    #[test]
+    fn incremental_push_matches_batch_build() {
+        let tuples = vec![
+            tup(&[1, 2], &[1]),
+            tup(&[3, 4, 5, 6], &[3, 5]),
+            tup(&[7, 8, 9], &[8]),
+            tup(&[1, 5, 9], &[5]),
+        ];
+        let cfg = InferenceConfig { threads: 1, ..Default::default() };
+        let mut incremental = CompiledTuples::new();
+        for t in &tuples {
+            incremental.push(t);
+        }
+        let a = incremental.run(&cfg);
+        let b = CompiledTuples::from_tuples(&tuples).run(&cfg);
+        assert_eq!(a.classes(), b.classes());
+        let reference = InferenceEngine::new(cfg).run_reference(&tuples);
+        assert_eq!(a.classes(), reference.classes());
+    }
+
+    #[test]
+    fn tag_bits_cross_word_boundaries() {
+        // One long tuple pushes arena positions past 64: tag bits must
+        // stay position-accurate across u64 words.
+        let mut tuples = Vec::new();
+        for i in 0..30u32 {
+            let a = 100 + 3 * i;
+            tuples.push(tup(&[a, a + 1, a + 2], &[a, a + 2]));
+        }
+        let store = CompiledTuples::from_tuples(&tuples);
+        assert!(store.arena_len() > 64);
+        let cfg = InferenceConfig { threads: 1, ..Default::default() };
+        let compiled = CompiledTuples::from_tuples(&tuples).run(&cfg);
+        let reference = InferenceEngine::new(cfg).run_reference(&tuples);
+        assert_eq!(compiled.classes(), reference.classes());
+    }
+
+    #[test]
+    fn dense_store_roundtrip_keeps_touched_rows_only() {
+        let mut interner = AsnInterner::new();
+        let a = interner.intern(Asn(10));
+        let _b = interner.intern(Asn(20));
+        let mut dense = DenseCounterStore::zeroed(interner.len());
+        dense.get_mut(a).t = 3;
+        let store = dense.to_counter_store(&interner);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(Asn(10)).t, 3);
+        let back = DenseCounterStore::from_store(&store, &interner);
+        assert_eq!(back.get(a).t, 3);
+        assert!(back.get(_b).is_zero());
+    }
+}

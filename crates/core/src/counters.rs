@@ -64,6 +64,32 @@ impl AsCounters {
         let total = self.f + self.c;
         (total > 0).then(|| self.f as f64 / total as f64)
     }
+
+    /// Add another counter quadruple onto this one. The single merge
+    /// primitive behind every delta fold in the workspace (batch thread
+    /// merge, stream shard merge, [`CounterStore::merge`]).
+    #[inline]
+    pub fn accumulate(&mut self, d: &AsCounters) {
+        self.t += d.t;
+        self.s += d.s;
+        self.f += d.f;
+        self.c += d.c;
+    }
+
+    /// Whether all four counters are zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.t == 0 && self.s == 0 && self.f == 0 && self.c == 0
+    }
+}
+
+/// Fold one phase-delta map into an accumulator map. Shared by the batch
+/// engine's thread fan-in and the stream coordinator's shard fan-in so
+/// both use one merge path.
+pub fn merge_delta_map(into: &mut HashMap<Asn, AsCounters>, delta: HashMap<Asn, AsCounters>) {
+    for (asn, d) in delta {
+        into.entry(asn).or_default().accumulate(&d);
+    }
 }
 
 /// Counter storage for all ASes, plus threshold-based queries.
@@ -91,11 +117,7 @@ impl CounterStore {
     /// Merge a delta map produced by a parallel counting shard.
     pub fn merge(&mut self, delta: &HashMap<Asn, AsCounters>) {
         for (&asn, d) in delta {
-            let e = self.counters.entry(asn).or_default();
-            e.t += d.t;
-            e.s += d.s;
-            e.f += d.f;
-            e.c += d.c;
+            self.counters.entry(asn).or_default().accumulate(d);
         }
     }
 

@@ -21,7 +21,8 @@
 //! column-to-column knowledge transfer exactly.
 
 use crate::classify::Class;
-use crate::counters::{AsCounters, CounterStore, Thresholds};
+use crate::compiled::CompiledTuples;
+use crate::counters::{merge_delta_map, AsCounters, CounterStore, Thresholds};
 use bgp_types::prelude::*;
 use std::collections::HashMap;
 
@@ -190,7 +191,23 @@ impl InferenceEngine {
     }
 
     /// Run the algorithm over deduplicated `(path, comm)` tuples.
+    ///
+    /// Production path: compiles the tuples into the columnar
+    /// [`CompiledTuples`] store (interned ids, bit-packed tag arena,
+    /// length-sorted iteration) and runs the per-phase predicate-bitset
+    /// loop — byte-identical to [`run_reference`](Self::run_reference)
+    /// but without per-tuple hashing or threshold re-derivation; see
+    /// [`crate::compiled`] for the layout and the parity argument.
     pub fn run(&self, tuples: &[PathCommTuple]) -> InferenceOutcome {
+        CompiledTuples::from_tuples(tuples).run(&self.config)
+    }
+
+    /// The uncompiled reference implementation — the paper's Listing 1,
+    /// one [`count_tuple_at`] call per tuple per (column, phase). Kept as
+    /// the oracle the compiled path is pinned against (property tests in
+    /// this crate, `tests/stream_parity.rs`), and as the readable
+    /// statement of the algorithm.
+    pub fn run_reference(&self, tuples: &[PathCommTuple]) -> InferenceOutcome {
         let th = self.config.thresholds;
         let mut counters = CounterStore::new();
         let max_len = tuples.iter().map(|t| t.path.len()).max().unwrap_or(0);
@@ -262,13 +279,7 @@ impl InferenceEngine {
                 })
                 .collect();
             for h in handles {
-                for (asn, d) in h.join().expect("counting worker panicked") {
-                    let e = merged.entry(asn).or_default();
-                    e.t += d.t;
-                    e.s += d.s;
-                    e.f += d.f;
-                    e.c += d.c;
-                }
+                merge_delta_map(&mut merged, h.join().expect("counting worker panicked"));
             }
         });
         merged

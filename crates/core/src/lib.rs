@@ -13,7 +13,9 @@
 //! 2. [`source`] — §3.2 community source grouping (peer / foreign / stray
 //!    / private);
 //! 3. [`engine`] — §5.6 column-based counting under Cond1/Cond2, the
-//!    algorithm of Listing 1;
+//!    algorithm of Listing 1, executed through the [`compiled`] layer
+//!    (interned columnar tuples + phase predicate bitsets) with the
+//!    uncompiled Listing-1 loop kept as the parity oracle;
 //! 4. [`classify`] + [`counters`] — §5.3/§5.5 threshold classification
 //!    into `t/s/u/n × f/c/u/n`;
 //! 5. [`metrics`] — §6 precision/recall, confusion matrices, ROC sweeps;
@@ -32,17 +34,21 @@
 //! boundaries — publishing versioned snapshots and per-epoch class flips
 //! instead of a single end-of-run answer.
 //!
-//! The two halves share their arithmetic: the per-tuple counting step is
-//! the public, reentrant [`engine::count_tuple_at`], which evaluates
-//! Cond1/Cond2 against an immutable counter snapshot and accumulates into
-//! a caller-owned delta map. Within one (column, phase) that makes
-//! counting order-free — any partition of the tuples, counted on any
-//! number of threads/shards and folded with
+//! The two halves share their execution substrate: both count over the
+//! [`compiled`] layer's columnar store ([`compiled::CompiledTuples`] —
+//! interned ids, bit-packed tag arena, per-phase predicate bitsets),
+//! which evaluates Cond1/Cond2 against an immutable counter snapshot and
+//! accumulates into caller-owned deltas. Within one (column, phase) that
+//! makes counting order-free — any partition of the tuples, counted on
+//! any number of threads/shards and folded with
 //! [`counters::CounterStore::merge`], produces byte-identical counters.
 //! The batch engine's thread fan-out and `bgp-stream`'s shard fan-out are
 //! two schedulers over the same primitive, which is why streaming results
 //! are bit-for-bit equal to batch results on the same input (pinned by
-//! `tests/stream_parity.rs` at the workspace root).
+//! `tests/stream_parity.rs` at the workspace root). The uncompiled
+//! per-tuple step [`engine::count_tuple_at`] remains public as the
+//! readable reference semantics and the parity oracle
+//! (`InferenceEngine::run_reference`).
 //!
 //! ```
 //! use bgp_infer::prelude::*;
@@ -65,6 +71,7 @@
 
 pub mod attribution;
 pub mod classify;
+pub mod compiled;
 pub mod counters;
 pub mod db;
 pub mod engine;
@@ -80,7 +87,8 @@ pub mod prelude {
         attribute, AttributedCommunity, AttributionConfig, AttributionMap, UsageKind,
     };
     pub use crate::classify::{Class, ForwardingClass, TaggingClass};
-    pub use crate::counters::{AsCounters, CounterStore, Thresholds};
+    pub use crate::compiled::{CompiledTuples, DenseCounterStore, PhasePredicates};
+    pub use crate::counters::{merge_delta_map, AsCounters, CounterStore, Thresholds};
     pub use crate::db::{export, import, records, DbRecord};
     pub use crate::engine::{InferenceConfig, InferenceEngine, InferenceOutcome};
     pub use crate::metrics::{
@@ -123,8 +131,83 @@ mod proptests {
         tuples
     }
 
+    /// A deliberately messy corpus: random paths, probabilistic taggers,
+    /// occasional cleaners and stray/foreign communities — enough churn
+    /// that the phase predicates flip in both directions across columns.
+    fn messy_world(seed: u64, n_paths: usize) -> Vec<PathCommTuple> {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+        let mut tuples = Vec::new();
+        for _ in 0..n_paths {
+            let len = rng.random_range(1..8usize);
+            let mut asns: Vec<u32> = Vec::new();
+            while asns.len() < len {
+                let a = rng.random_range(2u32..80);
+                if asns.last() != Some(&a) {
+                    asns.push(a);
+                }
+            }
+            let mut comm = CommunitySet::new();
+            for &a in &asns {
+                // Selective taggers: tag with an AS-dependent probability.
+                if rng.random_range(0u32..10) < a % 10 {
+                    comm.insert(AnyCommunity::tag_for(Asn(a), 100 + a % 3));
+                }
+            }
+            if rng.random_range(0u32..5) == 0 {
+                // Stray community from an off-path AS (incl. 32-bit).
+                comm.insert(AnyCommunity::tag_for(Asn(rng.random_range(90u32..200_100)), 7));
+            }
+            tuples.push(PathCommTuple::new(path(&asns), comm));
+        }
+        tuples
+    }
+
+    fn assert_outcome_identical(a: &InferenceOutcome, b: &InferenceOutcome, ctx: &str) {
+        assert_eq!(a.classes(), b.classes(), "{ctx}: classes diverged");
+        let mut ca: Vec<(Asn, AsCounters)> = a.counters.iter().collect();
+        let mut cb: Vec<(Asn, AsCounters)> = b.counters.iter().collect();
+        ca.sort_by_key(|&(x, _)| x);
+        cb.sort_by_key(|&(x, _)| x);
+        assert_eq!(ca, cb, "{ctx}: counters diverged");
+        assert_eq!(
+            a.deepest_active_index, b.deepest_active_index,
+            "{ctx}: deepest active index diverged"
+        );
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The tentpole parity pin: the compiled engine (`run`) is
+        /// byte-identical to the reference `count_tuple_at` path
+        /// (`run_reference`) — classes, raw counters, and the deepest
+        /// active index — across random worlds, thread counts,
+        /// `max_index` caps, and both ablation switches.
+        #[test]
+        fn compiled_engine_matches_reference(
+            seed in 0u64..400,
+            threads in 1usize..8,
+            max_index in (0usize..11).prop_map(|v| v.checked_sub(1)),
+            enforce_cond1 in any::<bool>(),
+            enforce_cond2 in any::<bool>(),
+        ) {
+            let tuples = messy_world(seed, 250);
+            let cfg = InferenceConfig {
+                threads,
+                max_index,
+                enforce_cond1,
+                enforce_cond2,
+                ..Default::default()
+            };
+            let compiled = InferenceEngine::new(cfg.clone()).run(&tuples);
+            let reference = InferenceEngine::new(cfg).run_reference(&tuples);
+            assert_outcome_identical(
+                &compiled,
+                &reference,
+                &format!("seed={seed} threads={threads} max_index={max_index:?} \
+                          c1={enforce_cond1} c2={enforce_cond2}"),
+            );
+        }
 
         /// In an all-forward world with consistent taggers, the engine
         /// never misclassifies: every decided tagging class matches parity.

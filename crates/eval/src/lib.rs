@@ -19,6 +19,11 @@
 //!
 //! Scale is controlled by `BGP_EVAL_SCALE` (`small` / `paper` / `full`,
 //! default `paper` ≈ 7.3k ASes — a 1:10 model of the paper's substrate).
+//!
+//! Every experiment classifies through `InferenceEngine::run`, which
+//! executes on the compiled columnar store (`bgp_infer::compiled`) —
+//! experiments that re-run the engine many times (threshold sweeps,
+//! multi-seed tables) inherit its speedup with byte-identical results.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]

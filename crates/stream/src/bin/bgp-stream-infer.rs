@@ -202,6 +202,8 @@ fn run(opts: &Options) -> Result<(), String> {
         }
     }
 
+    let interned_asns = pipe.interned_asns();
+    let arena_hops = pipe.arena_hops();
     let out = pipe.finish();
     for snap in &out.snapshots[reported..] {
         report_epoch(snap, opts.print_flips);
@@ -213,6 +215,9 @@ fn run(opts: &Options) -> Result<(), String> {
         out.duplicates,
         out.epochs(),
         out.shard_loads,
+    );
+    eprintln!(
+        "compiled stores: {arena_hops} arena hops, {interned_asns} interned ASNs across shards",
     );
 
     let db = out.export_db();

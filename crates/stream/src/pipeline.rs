@@ -102,6 +102,17 @@ impl StreamPipeline {
         self.shards.stored_tuples()
     }
 
+    /// Distinct ASNs interned across the shard compiled stores (shards
+    /// intern independently; an AS spanning shards counts per shard).
+    pub fn interned_asns(&self) -> usize {
+        self.shards.interned_asns()
+    }
+
+    /// Total path positions held in the shard compiled-store id arenas.
+    pub fn arena_hops(&self) -> usize {
+        self.shards.arena_hops()
+    }
+
     /// Sealed snapshots so far.
     pub fn snapshots(&self) -> &[EpochSnapshot] {
         &self.snapshots

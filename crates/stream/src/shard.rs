@@ -3,51 +3,50 @@
 //! Incoming tuples are routed onto `N` shards by an FNV-1a hash of their
 //! on-path ASNs, so an identical tuple always lands on the same shard —
 //! which makes per-shard deduplication equivalent to global deduplication.
-//! Each shard owns its tuples privately; during a counting phase every
-//! shard produces a private `HashMap<Asn, AsCounters>` delta against the
-//! shared read-only counter snapshot, and the coordinator folds the deltas
-//! in with [`CounterStore::merge`]. Addition commutes, and the phase
-//! conditions only read the snapshot, so the merged result is identical
-//! for every shard count — the property the batch engine's
-//! `parallel_matches_serial` test established, now load-bearing across
-//! epochs.
+//! Each shard owns its partition as a [`CompiledTuples`] store (the
+//! columnar interned representation of `bgp_infer::compiled`, appended
+//! incrementally as events arrive); during a counting phase every shard
+//! densifies the shared read-only counter snapshot over its private id
+//! space, evaluates the phase predicate bitsets once, counts its columns,
+//! and hands a sparse `HashMap<Asn, AsCounters>` delta back to the
+//! coordinator, which folds the deltas in with [`CounterStore::merge`].
+//! Addition commutes, and the phase conditions only read the snapshot, so
+//! the merged result is identical for every shard count — and identical
+//! to the batch engine's reference path, pinned by
+//! `tests/stream_parity.rs` across epochs.
 
-use bgp_infer::counters::{AsCounters, CounterStore, Thresholds};
-use bgp_infer::engine::{count_tuple_at, CountPhase};
+use bgp_infer::compiled::CompiledTuples;
+use bgp_infer::counters::{merge_delta_map, AsCounters, CounterStore, Thresholds};
+use bgp_infer::engine::CountPhase;
 use bgp_types::prelude::*;
 use std::collections::{BTreeSet, HashMap};
 
-/// One worker shard: a privately owned tuple partition. Deduplicated
-/// streams live in the ordered `seen` set (stored once — counting is
-/// order-free, so set order is as good as arrival order); raw streams
-/// append to `tuples`. Exactly one of the two is populated per run.
+/// One worker shard: a privately owned, incrementally compiled tuple
+/// partition. With dedup on, the ordered `seen` set provides membership
+/// (counting order is irrelevant — phases are order-free); the compiled
+/// store holds every stored tuple either way.
 #[derive(Debug, Default)]
 struct Shard {
     seen: BTreeSet<PathCommTuple>,
-    tuples: Vec<PathCommTuple>,
-    max_path_len: usize,
+    compiled: CompiledTuples,
 }
 
 impl Shard {
     fn push(&mut self, t: PathCommTuple, dedup: bool) -> bool {
-        let path_len = t.path.len();
         if dedup {
-            if !self.seen.insert(t) {
+            if self.seen.contains(&t) {
                 return false;
             }
+            self.compiled.push(&t);
+            self.seen.insert(t);
         } else {
-            self.tuples.push(t);
+            self.compiled.push(&t);
         }
-        self.max_path_len = self.max_path_len.max(path_len);
         true
     }
 
     fn len(&self) -> usize {
-        self.seen.len() + self.tuples.len()
-    }
-
-    fn iter(&self) -> impl Iterator<Item = &PathCommTuple> {
-        self.seen.iter().chain(self.tuples.iter())
+        self.compiled.len()
     }
 
     fn count(
@@ -59,11 +58,7 @@ impl Shard {
         enforce_cond1: bool,
         enforce_cond2: bool,
     ) -> HashMap<Asn, AsCounters> {
-        let mut delta = HashMap::new();
-        for t in self.iter() {
-            count_tuple_at(counters, th, t, x, phase, enforce_cond1, enforce_cond2, &mut delta);
-        }
-        delta
+        self.compiled.count_phase_sparse(counters, th, x, phase, enforce_cond1, enforce_cond2)
     }
 }
 
@@ -134,7 +129,7 @@ impl ShardSet {
 
     /// Longest path currently stored.
     pub fn max_path_len(&self) -> usize {
-        self.shards.iter().map(|s| s.max_path_len).max().unwrap_or(0)
+        self.shards.iter().map(|s| s.compiled.max_path_len()).max().unwrap_or(0)
     }
 
     /// Per-shard stored-tuple counts (load-balance introspection).
@@ -142,13 +137,33 @@ impl ShardSet {
         self.shards.iter().map(|s| s.len()).collect()
     }
 
+    /// Distinct ASNs interned across all shard stores (shards intern
+    /// independently, so an AS on paths in two shards counts twice).
+    pub fn interned_asns(&self) -> usize {
+        self.shards.iter().map(|s| s.compiled.interned_asns()).sum()
+    }
+
+    /// Total path positions held in the shard id arenas.
+    pub fn arena_hops(&self) -> usize {
+        self.shards.iter().map(|s| s.compiled.arena_len()).sum()
+    }
+
+    /// Restore every shard store's length-sorted iteration order after
+    /// appends. Called once per phase batch; cheap when already sorted.
+    fn prepare(&mut self) {
+        for s in &mut self.shards {
+            s.compiled.ensure_sorted();
+        }
+    }
+
     /// Run one counting phase at column `x`: every shard counts its own
-    /// tuples against the `counters` snapshot (on its own thread when
-    /// `parallel`), and the deltas are folded into one map. Returns the
-    /// combined delta; the caller merges it with [`CounterStore::merge`].
+    /// compiled store against the `counters` snapshot (on its own thread
+    /// when `parallel`), and the deltas are folded into one map. Returns
+    /// the combined delta; the caller merges it with
+    /// [`CounterStore::merge`].
     #[allow(clippy::too_many_arguments)]
     pub fn count_phase(
-        &self,
+        &mut self,
         counters: &CounterStore,
         th: &Thresholds,
         x: usize,
@@ -157,28 +172,23 @@ impl ShardSet {
         enforce_cond2: bool,
         parallel: bool,
     ) -> HashMap<Asn, AsCounters> {
+        self.prepare();
         // Same small-work guard as the batch engine's parallel_count:
         // below this, spawn+join costs more than the counting itself
         // (hit hard by fine-grained epoch policies like every_events(1)).
         let parallel = parallel && self.stored_tuples() >= 1_024;
+        let shards = &self.shards;
         let mut merged: HashMap<Asn, AsCounters> = HashMap::new();
-        let mut fold = |delta: HashMap<Asn, AsCounters>| {
-            for (asn, d) in delta {
-                let e = merged.entry(asn).or_default();
-                e.t += d.t;
-                e.s += d.s;
-                e.f += d.f;
-                e.c += d.c;
-            }
-        };
-        if !parallel || self.shards.len() == 1 {
-            for s in &self.shards {
-                fold(s.count(counters, th, x, phase, enforce_cond1, enforce_cond2));
+        if !parallel || shards.len() == 1 {
+            for s in shards {
+                merge_delta_map(
+                    &mut merged,
+                    s.count(counters, th, x, phase, enforce_cond1, enforce_cond2),
+                );
             }
         } else {
             std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .shards
+                let handles: Vec<_> = shards
                     .iter()
                     .map(|s| {
                         scope.spawn(move || {
@@ -187,7 +197,7 @@ impl ShardSet {
                     })
                     .collect();
                 for h in handles {
-                    fold(h.join().expect("shard counting worker panicked"));
+                    merge_delta_map(&mut merged, h.join().expect("shard counting worker panicked"));
                 }
             });
         }
@@ -199,7 +209,7 @@ impl ShardSet {
     /// merge, next column), phases counted shard-parallel. Returns the
     /// final counters and the deepest column where anything counted.
     pub fn recount(
-        &self,
+        &mut self,
         th: &Thresholds,
         max_index: Option<usize>,
         enforce_cond1: bool,

@@ -51,8 +51,23 @@ impl CommunitySet {
 
     /// The paper's `A:* ∈ comm` test: does any community carry upper field
     /// `asn`? (Both variants are considered, per §3.2.)
+    ///
+    /// O(log n): the derived [`AnyCommunity`] ordering sorts every regular
+    /// community before every large one, and orders each variant by its
+    /// upper field first, so one binary probe per variant suffices — seek
+    /// the smallest community with upper field `asn` and check whether the
+    /// element landed on actually carries it.
     pub fn contains_upper(&self, asn: Asn) -> bool {
-        self.items.iter().any(|c| c.upper_field() == asn)
+        if let Ok(upper) = u16::try_from(asn.0) {
+            let bound = AnyCommunity::Regular(crate::community::Community::new(upper, 0));
+            let i = self.items.partition_point(|c| *c < bound);
+            if matches!(self.items.get(i), Some(AnyCommunity::Regular(c)) if c.upper() == upper) {
+                return true;
+            }
+        }
+        let bound = AnyCommunity::Large(crate::community::LargeCommunity::new(asn.0, 0, 0));
+        let i = self.items.partition_point(|c| *c < bound);
+        matches!(self.items.get(i), Some(AnyCommunity::Large(c)) if c.global_admin == asn.0)
     }
 
     /// All communities whose upper field is `asn`.
@@ -88,12 +103,54 @@ impl CommunitySet {
         CommunitySet { items: out }
     }
 
-    /// In-place union.
+    /// In-place union: grows `self.items` by exactly the number of new
+    /// elements and merges backwards within that one buffer, so no scratch
+    /// vector is allocated (unlike [`CommunitySet::union`]).
     pub fn extend_union(&mut self, other: &CommunitySet) {
         if other.is_empty() {
             return;
         }
-        *self = self.union(other);
+        if self.is_empty() {
+            self.items.clone_from(&other.items);
+            return;
+        }
+        // First walk: count elements of `other` absent from `self`.
+        let (mut i, mut j, mut fresh) = (0usize, 0usize, 0usize);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => {
+                    fresh += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        fresh += other.items.len() - j;
+        if fresh == 0 {
+            return;
+        }
+        // Second walk: merge from the back into the grown tail. Elements
+        // of `self` below the final read cursor are already in place.
+        let old = self.items.len();
+        self.items.resize(old + fresh, other.items[0]);
+        let (mut r, mut s, mut w) = (old, other.items.len(), old + fresh);
+        while s > 0 {
+            w -= 1;
+            if r > 0 && self.items[r - 1] > other.items[s - 1] {
+                self.items[w] = self.items[r - 1];
+                r -= 1;
+            } else {
+                if r > 0 && self.items[r - 1] == other.items[s - 1] {
+                    r -= 1;
+                }
+                self.items[w] = other.items[s - 1];
+                s -= 1;
+            }
+        }
     }
 
     /// Remove every community for which `pred` returns false.
@@ -234,6 +291,48 @@ mod tests {
         s.retain(|c| c.upper_field() == Asn(5));
         assert_eq!(s.len(), 1);
         assert!(s.contains_upper(Asn(5)));
+    }
+
+    #[test]
+    fn contains_upper_probes_both_regions() {
+        // Many uppers on both sides of the probe target, both variants.
+        let s = CommunitySet::from_iter([
+            C::regular(10, 5),
+            C::regular(10, 9),
+            C::regular(3356, 0),
+            C::regular(3356, 2001),
+            C::regular(65000, 1),
+            C::large(10, 0, 0),
+            C::large(200_000, 5, 6),
+            C::large(300_000, 0, 1),
+        ]);
+        for hit in [10u32, 3356, 65000, 200_000, 300_000] {
+            assert!(s.contains_upper(Asn(hit)), "AS{hit} should match");
+        }
+        for miss in [9u32, 11, 3355, 3357, 64999, 65001, 199_999, 200_001, 4_000_000_000] {
+            assert!(!s.contains_upper(Asn(miss)), "AS{miss} should not match");
+        }
+        assert!(!CommunitySet::new().contains_upper(Asn(10)));
+    }
+
+    #[test]
+    fn extend_union_matches_union() {
+        let cases: &[(&[AnyCommunity], &[AnyCommunity])] = &[
+            (&[], &[]),
+            (&[C::regular(1, 1)], &[]),
+            (&[], &[C::regular(1, 1)]),
+            (&[C::regular(1, 1), C::regular(3, 3)], &[C::regular(2, 2), C::regular(3, 3)]),
+            (&[C::regular(5, 5)], &[C::regular(1, 1), C::regular(9, 9)]),
+            (&[C::large(9, 9, 9)], &[C::regular(1, 1), C::large(9, 9, 9)]),
+            (&[C::regular(1, 1), C::regular(2, 2)], &[C::regular(1, 1), C::regular(2, 2)]),
+        ];
+        for (a, b) in cases {
+            let left = CommunitySet::from_iter(a.iter().copied());
+            let right = CommunitySet::from_iter(b.iter().copied());
+            let mut merged = left.clone();
+            merged.extend_union(&right);
+            assert_eq!(merged, left.union(&right), "a={a:?} b={b:?}");
+        }
     }
 
     #[test]

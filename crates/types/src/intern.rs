@@ -1,0 +1,179 @@
+//! ASN interning: dense `u32` ids for hot-path indexed storage.
+//!
+//! The inference hot loop is dominated by per-AS lookups — counters,
+//! phase predicates, tag evidence. Keying those by [`Asn`] forces a hash
+//! per touch; interning every ASN once into a dense id space turns each
+//! of them into a plain array index and makes per-AS tables mergeable by
+//! slice addition. The interner is the id authority shared by the
+//! compiled tuple store and the dense counter store in `bgp-infer`.
+
+use crate::asn::Asn;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A multiply-xorshift hasher for the interner's `Asn → id` map.
+///
+/// Interning happens once per path hop, so the default SipHash dominates
+/// compile time; ASN keys are attacker-free 32-bit values and need only
+/// good avalanche, not DoS resistance.
+#[derive(Debug, Clone, Default)]
+pub struct AsnHasher(u64);
+
+impl Hasher for AsnHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback path (FNV-1a); `Asn` hashing always takes `write_u32`.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        let mut x = (self.0 ^ v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 32;
+        self.0 = x;
+    }
+}
+
+/// A dense id assigned by [`AsnInterner::intern`].
+///
+/// Ids are assigned in first-seen order starting at 0 and are only
+/// meaningful relative to the interner that produced them.
+pub type AsnId = u32;
+
+/// Bidirectional ASN ⇄ dense-id map.
+///
+/// ```
+/// use bgp_types::prelude::*;
+///
+/// let mut interner = AsnInterner::new();
+/// let a = interner.intern(Asn(3356));
+/// let b = interner.intern(Asn(174));
+/// assert_eq!(interner.intern(Asn(3356)), a); // stable
+/// assert_ne!(a, b);
+/// assert_eq!(interner.resolve(b), Asn(174));
+/// assert_eq!(interner.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AsnInterner {
+    /// Direct-indexed id table for 16-bit ASNs (the vast majority of
+    /// path hops): `small[asn] == VACANT` until assigned. Allocated
+    /// lazily on the first 16-bit intern (256 KiB).
+    small: Vec<AsnId>,
+    /// 32-bit-only ASNs go through the hash map.
+    ids: HashMap<Asn, AsnId, BuildHasherDefault<AsnHasher>>,
+    asns: Vec<Asn>,
+}
+
+/// Sentinel for "no id assigned" in the direct 16-bit table. Ids are
+/// dense from 0, so the sentinel is unreachable as a real id.
+const VACANT: AsnId = AsnId::MAX;
+
+impl AsnInterner {
+    /// Empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-size for roughly `n` distinct ASNs (avoids rehash churn in
+    /// bulk compiles).
+    pub fn reserve(&mut self, n: usize) {
+        self.asns.reserve(n);
+    }
+
+    /// Id of `asn`, allocating the next dense id on first sight.
+    pub fn intern(&mut self, asn: Asn) -> AsnId {
+        if let Ok(short) = u16::try_from(asn.0) {
+            if self.small.is_empty() {
+                self.small = vec![VACANT; 1 << 16];
+            }
+            let slot = &mut self.small[short as usize];
+            if *slot == VACANT {
+                *slot = self.asns.len() as AsnId;
+                self.asns.push(asn);
+            }
+            return *slot;
+        }
+        if let Some(&id) = self.ids.get(&asn) {
+            return id;
+        }
+        let id = self.asns.len() as AsnId;
+        self.ids.insert(asn, id);
+        self.asns.push(asn);
+        id
+    }
+
+    /// Id of `asn` if it has been interned.
+    pub fn get(&self, asn: Asn) -> Option<AsnId> {
+        if let Ok(short) = u16::try_from(asn.0) {
+            return self.small.get(short as usize).copied().filter(|&id| id != VACANT);
+        }
+        self.ids.get(&asn).copied()
+    }
+
+    /// The ASN behind a dense id.
+    ///
+    /// # Panics
+    /// If `id` was not produced by this interner.
+    pub fn resolve(&self, id: AsnId) -> Asn {
+        self.asns[id as usize]
+    }
+
+    /// Number of distinct ASNs interned (== the dense id space size).
+    pub fn len(&self) -> usize {
+        self.asns.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.asns.is_empty()
+    }
+
+    /// All interned ASNs in id order (index == id).
+    pub fn asns(&self) -> &[Asn] {
+        &self.asns
+    }
+
+    /// Iterate `(id, asn)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (AsnId, Asn)> + '_ {
+        self.asns.iter().enumerate().map(|(i, &a)| (i as AsnId, a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut it = AsnInterner::new();
+        let ids: Vec<AsnId> = [5u32, 7, 5, 9, 7].iter().map(|&v| it.intern(Asn(v))).collect();
+        assert_eq!(ids, vec![0, 1, 0, 2, 1]);
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.resolve(2), Asn(9));
+        assert_eq!(it.get(Asn(7)), Some(1));
+        assert_eq!(it.get(Asn(8)), None);
+    }
+
+    #[test]
+    fn iter_is_id_ordered() {
+        let mut it = AsnInterner::new();
+        it.intern(Asn(30));
+        it.intern(Asn(10));
+        let pairs: Vec<(AsnId, Asn)> = it.iter().collect();
+        assert_eq!(pairs, vec![(0, Asn(30)), (1, Asn(10))]);
+        assert_eq!(it.asns(), &[Asn(30), Asn(10)]);
+    }
+
+    #[test]
+    fn empty() {
+        let it = AsnInterner::new();
+        assert!(it.is_empty());
+        assert_eq!(it.len(), 0);
+    }
+}

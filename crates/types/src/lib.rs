@@ -27,6 +27,7 @@ pub mod as_path;
 pub mod asn;
 pub mod comm_set;
 pub mod community;
+pub mod intern;
 pub mod prefix;
 pub mod registry;
 pub mod tuple;
@@ -39,6 +40,7 @@ pub mod prelude {
     pub use crate::asn::Asn;
     pub use crate::comm_set::CommunitySet;
     pub use crate::community::{AnyCommunity, Community, LargeCommunity};
+    pub use crate::intern::{AsnId, AsnInterner};
     pub use crate::prefix::Prefix;
     pub use crate::registry::{Allocation, AsnRegistry, PrefixRegistry};
     pub use crate::tuple::{PathCommTuple, TupleSet};
@@ -99,6 +101,31 @@ mod proptests {
                 prop_assert!(u.contains(c));
             }
             prop_assert!(u.len() <= a.len() + b.len());
+        }
+
+        #[test]
+        fn extend_union_equals_union(
+            xs in prop::collection::vec(arb_community(), 0..20),
+            ys in prop::collection::vec(arb_community(), 0..20),
+        ) {
+            let a = CommunitySet::from_iter(xs);
+            let b = CommunitySet::from_iter(ys);
+            let mut merged = a.clone();
+            merged.extend_union(&b);
+            prop_assert_eq!(merged, a.union(&b));
+        }
+
+        #[test]
+        fn contains_upper_equals_linear_scan(
+            xs in prop::collection::vec(arb_community(), 0..30),
+            probe in arb_asn(),
+        ) {
+            let s = CommunitySet::from_iter(xs);
+            let linear = s.iter().any(|c| c.upper_field() == probe);
+            prop_assert_eq!(s.contains_upper(probe), linear);
+            for c in s.iter() {
+                prop_assert!(s.contains_upper(c.upper_field()));
+            }
         }
 
         #[test]

@@ -53,6 +53,37 @@ fn assert_counter_parity(batch: &InferenceOutcome, stream: &StreamOutcome, ctx: 
 }
 
 #[test]
+fn compiled_shards_match_the_reference_oracle() {
+    // The shards now count over the compiled columnar store
+    // (`bgp_infer::compiled`); pin them not just against the (also
+    // compiled) batch engine but against the uncompiled Listing-1
+    // oracle `run_reference`, for raw and deduplicated feeds.
+    let ds = world(37);
+    let oracle = InferenceEngine::new(InferenceConfig { threads: 1, ..Default::default() })
+        .run_reference(&ds.tuples);
+    for shards in [1usize, 3] {
+        let out = stream_over(&ds.tuples, shards, EpochPolicy::every_events(250));
+        assert_counter_parity(&oracle, &out, &format!("compiled store, {shards} shards"));
+    }
+
+    // Dedup mode: the oracle runs over the unique tuple set.
+    let unique: TupleSet = ds.tuples.iter().cloned().collect();
+    let oracle = InferenceEngine::new(InferenceConfig { threads: 1, ..Default::default() })
+        .run_reference(&unique.to_vec());
+    let mut pipe = StreamPipeline::new(StreamConfig {
+        shards: 4,
+        epoch: EpochPolicy::every_events(300),
+        dedup: true,
+        ..Default::default()
+    });
+    for (i, t) in ds.tuples.iter().chain(ds.tuples.iter().take(200)).enumerate() {
+        pipe.push(StreamEvent::new(i as u64, t.clone()));
+    }
+    let out = pipe.finish();
+    assert_counter_parity(&oracle, &out, "compiled store, dedup feed");
+}
+
+#[test]
 fn stream_matches_batch_for_every_shard_count() {
     let ds = world(11);
     let batch = batch_outcome(&ds.tuples);
