@@ -81,7 +81,10 @@ fn world_sizes() -> Vec<usize> {
 }
 
 fn single_thread() -> InferenceConfig {
-    InferenceConfig { threads: 1, ..Default::default() }
+    InferenceConfig {
+        threads: 1,
+        ..Default::default()
+    }
 }
 
 fn bench_reference_vs_compiled(c: &mut Criterion) {
@@ -91,7 +94,14 @@ fn bench_reference_vs_compiled(c: &mut Criterion) {
         let tuples = synthetic_world(n, 42);
         g.throughput(Throughput::Elements(tuples.len() as u64));
         g.bench_with_input(BenchmarkId::new("reference", n), &tuples, |b, t| {
-            b.iter(|| black_box(InferenceEngine::new(single_thread()).run_reference(t).counters.len()))
+            b.iter(|| {
+                black_box(
+                    InferenceEngine::new(single_thread())
+                        .run_reference(t)
+                        .counters
+                        .len(),
+                )
+            })
         });
         g.bench_with_input(BenchmarkId::new("compiled", n), &tuples, |b, t| {
             b.iter(|| black_box(InferenceEngine::new(single_thread()).run(t).counters.len()))
@@ -127,10 +137,17 @@ fn emit_baseline() {
     for n in world_sizes() {
         let tuples = synthetic_world(n, 42);
         let reference_ns = time_ns(runs, || {
-            InferenceEngine::new(single_thread()).run_reference(&tuples).counters.len()
+            InferenceEngine::new(single_thread())
+                .run_reference(&tuples)
+                .counters
+                .len()
         });
-        let compiled_ns =
-            time_ns(runs, || InferenceEngine::new(single_thread()).run(&tuples).counters.len());
+        let compiled_ns = time_ns(runs, || {
+            InferenceEngine::new(single_thread())
+                .run(&tuples)
+                .counters
+                .len()
+        });
         let speedup = reference_ns as f64 / compiled_ns as f64;
         println!(
             "baseline {n}: reference {:.1} ms, compiled {:.1} ms, speedup {speedup:.2}x",
@@ -155,7 +172,10 @@ fn emit_baseline() {
     // Quick-mode numbers come from shrunken worlds; route them to an
     // untracked path so they can never clobber the committed baseline.
     let path = if quick_mode() {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_batch_quick.json")
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_batch_quick.json"
+        )
     } else {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json")
     };

@@ -22,7 +22,11 @@ fn bench_world() -> World {
     let graph = cfg.seed(1).build();
     let paths = PathSubstrate::generate(&graph, 4).paths;
     let cones = CustomerCones::compute(&graph);
-    World { graph, paths, cones }
+    World {
+        graph,
+        paths,
+        cones,
+    }
 }
 
 fn bench_tables(c: &mut Criterion) {

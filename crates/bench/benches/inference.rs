@@ -3,9 +3,9 @@
 //! motivates.
 
 use bgp_infer::prelude::*;
-use bgp_types::tuple::PathCommTuple;
 use bgp_sim::prelude::*;
 use bgp_topology::prelude::*;
+use bgp_types::tuple::PathCommTuple;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -27,7 +27,10 @@ fn bench_scaling(c: &mut Criterion) {
         let tuples = dataset(n_edge);
         g.throughput(Throughput::Elements(tuples.len() as u64));
         g.bench_with_input(BenchmarkId::new("column", tuples.len()), &tuples, |b, t| {
-            let cfg = InferenceConfig { threads: 1, ..Default::default() };
+            let cfg = InferenceConfig {
+                threads: 1,
+                ..Default::default()
+            };
             b.iter(|| black_box(InferenceEngine::new(cfg.clone()).run(t).counters.len()))
         });
     }
@@ -40,10 +43,24 @@ fn bench_threads(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Elements(tuples.len() as u64));
     for threads in [1usize, 2, 4, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            let cfg = InferenceConfig { threads, ..Default::default() };
-            b.iter(|| black_box(InferenceEngine::new(cfg.clone()).run(&tuples).counters.len()))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let cfg = InferenceConfig {
+                    threads,
+                    ..Default::default()
+                };
+                b.iter(|| {
+                    black_box(
+                        InferenceEngine::new(cfg.clone())
+                            .run(&tuples)
+                            .counters
+                            .len(),
+                    )
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -56,8 +73,18 @@ fn bench_column_vs_row(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Elements(tuples.len() as u64));
     g.bench_function("column", |b| {
-        let cfg = InferenceConfig { threads: 1, ..Default::default() };
-        b.iter(|| black_box(InferenceEngine::new(cfg.clone()).run(&tuples).counters.len()))
+        let cfg = InferenceConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        b.iter(|| {
+            black_box(
+                InferenceEngine::new(cfg.clone())
+                    .run(&tuples)
+                    .counters
+                    .len(),
+            )
+        })
     });
     g.bench_function("row", |b| {
         b.iter(|| black_box(run_row_based(&tuples, Thresholds::default()).counters.len()))
@@ -89,15 +116,16 @@ fn bench_postprocessing(c: &mut Criterion) {
     // Cost of the post-classification analyses a downstream user runs:
     // community attribution (the §8 extension) and selectivity reporting.
     let tuples = dataset(400);
-    let outcome = InferenceEngine::new(InferenceConfig { threads: 1, ..Default::default() })
-        .run(&tuples);
+    let outcome = InferenceEngine::new(InferenceConfig {
+        threads: 1,
+        ..Default::default()
+    })
+    .run(&tuples);
     let mut g = c.benchmark_group("postprocessing");
     g.sample_size(20);
     g.bench_function("attribution", |b| {
         b.iter(|| {
-            black_box(
-                attribute(&tuples, &outcome, &AttributionConfig::default()).value_count(),
-            )
+            black_box(attribute(&tuples, &outcome, &AttributionConfig::default()).value_count())
         })
     });
     g.bench_function("selectivity_report", |b| {

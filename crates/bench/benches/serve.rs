@@ -1,0 +1,347 @@
+//! Serving-layer benchmark: request throughput and tail latency of
+//! `bgp-serve` under concurrent ingest.
+//!
+//! Two measurements:
+//!
+//! * a criterion group timing the API handler **in process** (no
+//!   sockets) — the per-request cost of snapshot lookup + JSON encoding;
+//! * a **load generator** over real loopback TCP: `CLIENTS` keep-alive
+//!   connections issue a point-lookup-heavy request mix while the ingest
+//!   driver keeps sealing epochs, reporting req/s and p50/p99 latency
+//!   into `BENCH_serve.json` at the workspace root.
+//!
+//! Set `BENCH_QUICK=1` for the CI smoke mode (shrunken world, fewer
+//! requests; the JSON then records `"quick": true` and is routed to an
+//! untracked path so it can never clobber the committed baseline).
+
+use bgp_infer::counters::Thresholds;
+use bgp_serve::prelude::*;
+use bgp_stream::epoch::EpochPolicy;
+use bgp_stream::ingest::StreamEvent;
+use bgp_stream::pipeline::StreamConfig;
+use bgp_types::prelude::*;
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Deterministic xorshift64* — the bench must not depend on `rand`.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Synthetic event stream: same behavioral mix as the batch-engine
+/// bench's worlds (selective taggers, forwarders, occasional cleaners).
+fn synthetic_events(n_events: usize, seed: u64) -> Vec<StreamEvent> {
+    let mut rng = Rng(seed | 1);
+    let n_asns = (n_events / 8).max(64) as u64;
+    let mut events = Vec::with_capacity(n_events);
+    for i in 0..n_events {
+        let len = 2 + rng.below(5) as usize;
+        let mut asns: Vec<u32> = Vec::with_capacity(len);
+        while asns.len() < len {
+            let a = 2 + rng.below(n_asns) as u32;
+            if asns.last() != Some(&a) {
+                asns.push(a);
+            }
+        }
+        let mut comm = CommunitySet::new();
+        for &a in asns.iter().rev() {
+            if a % 10 == 3 && rng.below(4) < 3 {
+                comm.clear();
+            }
+            if a % 5 < 3 && rng.below(10) < 9 {
+                comm.insert(AnyCommunity::tag_for(Asn(a), 100 + a % 7));
+            }
+        }
+        events.push(StreamEvent::new(
+            i as u64,
+            PathCommTuple::new(path(&asns), comm),
+        ));
+    }
+    events
+}
+
+struct Scale {
+    ingest_events: usize,
+    epoch_events: u64,
+    clients: usize,
+    requests_per_client: usize,
+    workers: usize,
+}
+
+fn scale() -> Scale {
+    if quick_mode() {
+        Scale {
+            ingest_events: 20_000,
+            epoch_events: 500,
+            clients: 2,
+            requests_per_client: 400,
+            workers: 2,
+        }
+    } else {
+        Scale {
+            ingest_events: 200_000,
+            epoch_events: 2_000,
+            clients: 4,
+            requests_per_client: 20_000,
+            workers: 4,
+        }
+    }
+}
+
+/// A pre-sealed slot for the in-process handler benchmarks.
+fn sealed_slot(events: usize) -> Arc<SnapshotSlot> {
+    let slot = Arc::new(SnapshotSlot::new(Thresholds::default()));
+    let metrics = Arc::new(Metrics::new());
+    let cfg = DriverConfig {
+        stream: StreamConfig {
+            shards: 1,
+            epoch: EpochPolicy::every_events(u64::MAX),
+            ..Default::default()
+        },
+        batch: 4096,
+        flip_log_cap: 100_000,
+    };
+    spawn_ingest(
+        cfg,
+        Feed::Events(synthetic_events(events, 42)),
+        Arc::clone(&slot),
+        metrics,
+    )
+    .join()
+    .expect("bench ingest");
+    slot
+}
+
+fn bench_handler(c: &mut Criterion) {
+    let events = if quick_mode() { 10_000 } else { 50_000 };
+    let slot = sealed_slot(events);
+    let api = Api::new(Arc::clone(&slot), Arc::new(Metrics::new()));
+    let asns: Vec<u32> = slot.load().records.iter().map(|r| r.asn.0).collect();
+    assert!(!asns.is_empty());
+
+    let request = |path: &str| Request {
+        method: "GET".to_string(),
+        path: path.to_string(),
+        query: Vec::new(),
+    };
+    let mut g = c.benchmark_group("serve_handler");
+    g.sample_size(10);
+    let mut i = 0usize;
+    g.bench_function("class_point_lookup", |b| {
+        b.iter(|| {
+            i = (i + 1) % asns.len();
+            black_box(
+                api.handle(&request(&format!("/v1/class/{}", asns[i])))
+                    .body
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("healthz", |b| {
+        b.iter(|| black_box(api.handle(&request("/healthz")).body.len()))
+    });
+    let classes_request = Request {
+        method: "GET".to_string(),
+        path: "/v1/classes".to_string(),
+        query: vec![("limit".to_string(), "100".to_string())],
+    };
+    g.bench_function("classes_page_100", |b| {
+        b.iter(|| black_box(api.handle(&classes_request).body.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_handler);
+
+// ---------------------------------------------------------------- load gen
+
+/// One keep-alive client: issue `n` requests from a mix, recording
+/// latencies in nanoseconds.
+fn client_loop(addr: std::net::SocketAddr, n: usize, seed: u64, asns: &[u32]) -> Vec<u64> {
+    let mut stream = TcpStream::connect(addr).expect("connect load client");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut rng = Rng(seed | 1);
+    let mut latencies = Vec::with_capacity(n);
+    let mut response = vec![0u8; 64 * 1024];
+    for _ in 0..n {
+        let path = match rng.below(10) {
+            0 => "/healthz".to_string(),
+            1 => "/v1/classes?limit=100".to_string(),
+            2 => format!("/v1/flips?since_epoch={}", rng.below(50)),
+            _ => format!("/v1/class/{}", asns[rng.below(asns.len() as u64) as usize]),
+        };
+        let request = format!("GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n");
+        let start = Instant::now();
+        stream.write_all(request.as_bytes()).expect("write request");
+        // Read one full response: head, then Content-Length body bytes.
+        let mut filled = 0usize;
+        let (head_end, length) = loop {
+            if filled == response.len() {
+                response.resize(response.len() * 2, 0);
+            }
+            let n = stream.read(&mut response[filled..]).expect("read response");
+            assert!(n > 0, "server closed mid-benchmark");
+            filled += n;
+            if let Some(pos) = response[..filled].windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = std::str::from_utf8(&response[..pos]).expect("utf8 head");
+                let length = head
+                    .lines()
+                    .find_map(|l| l.strip_prefix("Content-Length: "))
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .expect("content-length");
+                break (pos + 4, length);
+            }
+        };
+        if response.len() < head_end + length {
+            response.resize(head_end + length, 0);
+        }
+        while filled < head_end + length {
+            let n = stream.read(&mut response[filled..]).expect("read body");
+            assert!(n > 0, "server closed mid-body");
+            filled += n;
+        }
+        latencies.push(start.elapsed().as_nanos() as u64);
+    }
+    latencies
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// Run the TCP load generator under concurrent ingest and write the
+/// `BENCH_serve.json` baseline.
+fn emit_baseline() {
+    let s = scale();
+    let slot = Arc::new(SnapshotSlot::new(Thresholds::default()));
+    let metrics = Arc::new(Metrics::new());
+
+    let http = HttpServer::start(
+        HttpConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: s.workers,
+            // The load generator holds one connection per client for the
+            // whole run.
+            max_keepalive_requests: s.requests_per_client + 1,
+            ..Default::default()
+        },
+        Arc::new(Api::new(Arc::clone(&slot), Arc::clone(&metrics))),
+    )
+    .expect("bind bench server");
+    let addr = http.local_addr();
+
+    // One driver ingests the whole feed; the load starts after the first
+    // epoch seals so point lookups always have records to hit (counters
+    // only grow, so the first epoch's ASNs stay present in every later
+    // snapshot).
+    let ingest = spawn_ingest(
+        DriverConfig {
+            stream: StreamConfig {
+                shards: 1,
+                epoch: EpochPolicy::every_events(s.epoch_events),
+                ..Default::default()
+            },
+            batch: 1024,
+            // Bound /v1/flips bodies: the load mix requests deep history.
+            flip_log_cap: 2_000,
+        },
+        Feed::Events(synthetic_events(s.ingest_events, 42)),
+        Arc::clone(&slot),
+        Arc::clone(&metrics),
+    );
+    while slot.version() == 0 {
+        assert!(!ingest.is_finished(), "feed drained before the first seal");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let warm_version = slot.version();
+    let asns: Vec<u32> = slot.load().records.iter().map(|r| r.asn.0).collect();
+    assert!(!asns.is_empty());
+
+    let started = Instant::now();
+    let latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..s.clients)
+            .map(|i| {
+                let asns = &asns;
+                scope.spawn(move || {
+                    client_loop(addr, s.requests_per_client, 0xC0FFEE + i as u64, asns)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client ok"))
+            .collect()
+    });
+    let wall = started.elapsed();
+    let epochs_during = slot.version().saturating_sub(warm_version);
+    ingest.stop();
+    let _ = ingest.join();
+    http.shutdown();
+
+    let mut sorted = latencies.clone();
+    sorted.sort_unstable();
+    let total = sorted.len();
+    let req_per_sec = total as f64 / wall.as_secs_f64();
+    let p50_us = percentile(&sorted, 0.50) as f64 / 1e3;
+    let p99_us = percentile(&sorted, 0.99) as f64 / 1e3;
+    println!(
+        "load: {total} requests over {:.2}s -> {req_per_sec:.0} req/s, \
+         p50 {p50_us:.1} µs, p99 {p99_us:.1} µs ({epochs_during} epochs sealed during run)",
+        wall.as_secs_f64(),
+    );
+
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"quick\": {},\n  \"unix_secs\": {unix_secs},\n  \
+         \"workers\": {},\n  \"clients\": {},\n  \"requests\": {total},\n  \
+         \"req_per_sec\": {req_per_sec:.0},\n  \"p50_us\": {p50_us:.1},\n  \
+         \"p99_us\": {p99_us:.1},\n  \"epochs_sealed_during_run\": {epochs_during}\n}}\n",
+        quick_mode(),
+        s.workers,
+        s.clients,
+    );
+    // Quick-mode numbers come from shrunken worlds; route them to an
+    // untracked path so they can never clobber the committed baseline.
+    let path = if quick_mode() {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_serve_quick.json"
+        )
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json")
+    };
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("baseline written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    benches();
+    emit_baseline();
+}

@@ -48,17 +48,23 @@ fn bench_batch_vs_stream(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Elements(tuples.len() as u64));
     g.bench_function("batch_1_thread", |b| {
-        let cfg = InferenceConfig { threads: 1, ..Default::default() };
-        b.iter(|| black_box(InferenceEngine::new(cfg.clone()).run(&tuples).counters.len()))
+        let cfg = InferenceConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        b.iter(|| {
+            black_box(
+                InferenceEngine::new(cfg.clone())
+                    .run(&tuples)
+                    .counters
+                    .len(),
+            )
+        })
     });
     for shards in [1usize, 2, 4] {
-        g.bench_with_input(
-            BenchmarkId::new("stream", shards),
-            &shards,
-            |b, &shards| {
-                b.iter(|| black_box(run_stream(&tuples, shards, EpochPolicy::manual())))
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("stream", shards), &shards, |b, &shards| {
+            b.iter(|| black_box(run_stream(&tuples, shards, EpochPolicy::manual())))
+        });
     }
     g.finish();
 }
@@ -71,9 +77,11 @@ fn bench_shard_scaling(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Elements(tuples.len() as u64));
     for shards in [1usize, 2, 4] {
-        g.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &shards| {
-            b.iter(|| black_box(run_stream(&tuples, shards, EpochPolicy::manual())))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| b.iter(|| black_box(run_stream(&tuples, shards, EpochPolicy::manual()))),
+        );
     }
     g.finish();
 }
@@ -88,15 +96,9 @@ fn bench_epoch_overhead(c: &mut Criterion) {
     g.throughput(Throughput::Elements(tuples.len() as u64));
     for epochs in [1usize, 4, 16] {
         let every = tuples.len().div_ceil(epochs).max(1) as u64;
-        g.bench_with_input(
-            BenchmarkId::new("epochs", epochs),
-            &every,
-            |b, &every| {
-                b.iter(|| {
-                    black_box(run_stream(&tuples, 2, EpochPolicy::every_events(every)))
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("epochs", epochs), &every, |b, &every| {
+            b.iter(|| black_box(run_stream(&tuples, 2, EpochPolicy::every_events(every))))
+        });
     }
     g.finish();
 }

@@ -59,5 +59,11 @@ fn bench_propagation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_topology_build, bench_routing, bench_cones, bench_propagation);
+criterion_group!(
+    benches,
+    bench_topology_build,
+    bench_routing,
+    bench_cones,
+    bench_propagation
+);
 criterion_main!(benches);

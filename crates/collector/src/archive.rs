@@ -70,7 +70,12 @@ pub struct ArchiveBuilder<'a> {
 impl<'a> ArchiveBuilder<'a> {
     /// New builder over a world.
     pub fn new(graph: &'a AsGraph, roles: &'a RoleAssignment) -> Self {
-        ArchiveBuilder { graph, roles, noise: None, day_start: 1_621_382_400 }
+        ArchiveBuilder {
+            graph,
+            roles,
+            noise: None,
+            day_start: 1_621_382_400,
+        }
     }
 
     /// Inject a noise model into propagation.
@@ -94,8 +99,11 @@ impl<'a> ArchiveBuilder<'a> {
         seed: u64,
     ) -> DayArchive {
         let peers = project.select_peers(self.graph, seed);
-        let peer_set: HashMap<Asn, u16> =
-            peers.iter().enumerate().map(|(i, &a)| (a, i as u16)).collect();
+        let peer_set: HashMap<Asn, u16> = peers
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (a, i as u16))
+            .collect();
 
         let mut prop = Propagator::new(self.graph, self.roles);
         if let Some(n) = self.noise {
@@ -118,10 +126,15 @@ impl<'a> ArchiveBuilder<'a> {
                 view_name: project.name.to_string(),
                 peers: peers
                     .iter()
-                    .map(|&a| PeerEntry { bgp_id: a.0, ip: vec![192, 0, 2, 1], asn: a })
+                    .map(|&a| PeerEntry {
+                        bgp_id: a.0,
+                        ip: vec![192, 0, 2, 1],
+                        asn: a,
+                    })
                     .collect(),
             };
-            rib.write_peer_index(&table, self.day_start).expect("peer index encodes");
+            rib.write_peer_index(&table, self.day_start)
+                .expect("peer index encodes");
 
             // Group substrate paths by prefix (origin).
             let mut by_origin: HashMap<Asn, Vec<&AsPath>> = HashMap::new();
@@ -153,7 +166,8 @@ impl<'a> ArchiveBuilder<'a> {
                     prefix: origin_prefix(origin_index[origin]),
                     entries,
                 };
-                rib.write_rib_group(&group, self.day_start).expect("rib group encodes");
+                rib.write_rib_group(&group, self.day_start)
+                    .expect("rib group encodes");
             }
         }
 
@@ -311,7 +325,11 @@ mod tests {
         let project_peers = CollectorProject::ripe().select_peers(&g, 1);
         for t in set.iter() {
             assert!(project_peers.contains(&t.path.peer()));
-            assert_eq!(t.comm, prop.output(&t.path), "byte round-trip altered communities");
+            assert_eq!(
+                t.comm,
+                prop.output(&t.path),
+                "byte round-trip altered communities"
+            );
         }
     }
 
@@ -358,7 +376,10 @@ mod tests {
         let (g, roles, paths) = world();
         let project = CollectorProject::ripe(); // 5-minute bins
         let day = ArchiveBuilder::new(&g, &roles).build_day(&project, &paths, 3);
-        assert!(day.update_files.len() > 1, "a day should span multiple bins");
+        assert!(
+            day.update_files.len() > 1,
+            "a day should span multiple bins"
+        );
         // Concatenation equals update_bytes and every file parses alone.
         let concat: Vec<u8> = day.update_files.concat();
         assert_eq!(concat, day.update_bytes);
@@ -386,14 +407,22 @@ mod tests {
         // peer; sanitation must re-prepend it so ingested tuples equal the
         // direct propagation output.
         let (g, roles, paths) = world();
-        let project = CollectorProject { route_server_share: 1.0, ..CollectorProject::ripe() };
+        let project = CollectorProject {
+            route_server_share: 1.0,
+            ..CollectorProject::ripe()
+        };
         let day = ArchiveBuilder::new(&g, &roles).build_day(&project, &paths, 1);
         let mut set = TupleSet::new();
         ingest_day(&day, &mut set).unwrap();
         assert!(!set.is_empty());
         let prop = Propagator::new(&g, &roles);
         for t in set.iter() {
-            assert_eq!(t.comm, prop.output(&t.path), "tuple diverged for {}", t.path);
+            assert_eq!(
+                t.comm,
+                prop.output(&t.path),
+                "tuple diverged for {}",
+                t.path
+            );
         }
         // And the raw bytes really do lack the peer: decode one update.
         let (tuples_direct, _) = bgp_mrt::extract_tuples(&day.update_bytes).unwrap();
@@ -403,8 +432,7 @@ mod tests {
     #[test]
     fn poissonish_mean_tracks() {
         let n = 50_000u64;
-        let total: u64 =
-            (0..n).map(|i| poissonish(stable_hash(i), 1.5) as u64).sum();
+        let total: u64 = (0..n).map(|i| poissonish(stable_hash(i), 1.5) as u64).sum();
         let mean = total as f64 / n as f64;
         assert!((1.0..2.0).contains(&mean), "empirical mean {mean}");
     }

@@ -57,7 +57,10 @@ impl DatasetStats {
     /// Compute stats for a set of day archives that were ingested into
     /// `tuples`.
     pub fn compute(name: &str, archives: &[&DayArchive], tuples: &TupleSet) -> DatasetStats {
-        let mut s = DatasetStats { name: name.to_string(), ..Default::default() };
+        let mut s = DatasetStats {
+            name: name.to_string(),
+            ..Default::default()
+        };
 
         for a in archives {
             s.rib_entries += a.rib_entries;

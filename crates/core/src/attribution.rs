@@ -130,7 +130,9 @@ pub fn attribute(
         let asns = t.path.asns();
         // Walk positions while the upstream prefix stays forward-clean.
         for (i, &ax) in asns.iter().enumerate() {
-            let clean = asns[..i].iter().all(|&u| outcome.counters.is_forward(u, &th));
+            let clean = asns[..i]
+                .iter()
+                .all(|&u| outcome.counters.is_forward(u, &th));
             if !clean {
                 break;
             }
@@ -158,12 +160,15 @@ pub fn attribute(
         } else {
             UsageKind::Ambiguous
         };
-        map.per_as.entry(owner).or_default().push(AttributedCommunity {
-            community,
-            opportunities: opp,
-            occurrences,
-            kind,
-        });
+        map.per_as
+            .entry(owner)
+            .or_default()
+            .push(AttributedCommunity {
+                community,
+                opportunities: opp,
+                occurrences,
+                kind,
+            });
     }
     for v in map.per_as.values_mut() {
         v.sort_by_key(|a| a.community);
@@ -180,20 +185,27 @@ mod tests {
         PathCommTuple::new(
             path(p),
             CommunitySet::from_iter(
-                comms.iter().map(|&(upper, val)| AnyCommunity::tag_for(Asn(upper), val)),
+                comms
+                    .iter()
+                    .map(|&(upper, val)| AnyCommunity::tag_for(Asn(upper), val)),
             ),
         )
     }
 
     fn run(tuples: &[PathCommTuple]) -> InferenceOutcome {
-        InferenceEngine::new(InferenceConfig { threads: 1, ..Default::default() }).run(tuples)
+        InferenceEngine::new(InferenceConfig {
+            threads: 1,
+            ..Default::default()
+        })
+        .run(tuples)
     }
 
     #[test]
     fn informational_value_attributed() {
         // Peer 5 tags every announcement with 5:100.
-        let tuples: Vec<PathCommTuple> =
-            (0..20u32).map(|i| tagged(&[5, 1000 + i], &[(5, 100)])).collect();
+        let tuples: Vec<PathCommTuple> = (0..20u32)
+            .map(|i| tagged(&[5, 1000 + i], &[(5, 100)]))
+            .collect();
         let outcome = run(&tuples);
         let map = attribute(&tuples, &outcome, &AttributionConfig::default());
         let attrs = map.of(Asn(5));
@@ -207,23 +219,27 @@ mod tests {
     fn signaling_value_separated() {
         // 5:100 on everything (informational), 5:666 on one announcement
         // (signaling, e.g. a blackhole request).
-        let mut tuples: Vec<PathCommTuple> =
-            (0..30u32).map(|i| tagged(&[5, 1000 + i], &[(5, 100)])).collect();
+        let mut tuples: Vec<PathCommTuple> = (0..30u32)
+            .map(|i| tagged(&[5, 1000 + i], &[(5, 100)]))
+            .collect();
         tuples.push(tagged(&[5, 2000], &[(5, 100), (5, 666)]));
         let outcome = run(&tuples);
         let map = attribute(&tuples, &outcome, &AttributionConfig::default());
         let attrs = map.of(Asn(5));
         assert_eq!(attrs.len(), 2);
-        let info = attrs.iter().find(|a| a.community == AnyCommunity::tag_for(Asn(5), 100));
-        let sig = attrs.iter().find(|a| a.community == AnyCommunity::tag_for(Asn(5), 666));
+        let info = attrs
+            .iter()
+            .find(|a| a.community == AnyCommunity::tag_for(Asn(5), 100));
+        let sig = attrs
+            .iter()
+            .find(|a| a.community == AnyCommunity::tag_for(Asn(5), 666));
         assert_eq!(info.unwrap().kind, UsageKind::Informational);
         assert_eq!(sig.unwrap().kind, UsageKind::Signaling);
     }
 
     #[test]
     fn silent_ases_get_no_attribution() {
-        let tuples: Vec<PathCommTuple> =
-            (0..10u32).map(|i| tagged(&[7, 1000 + i], &[])).collect();
+        let tuples: Vec<PathCommTuple> = (0..10u32).map(|i| tagged(&[7, 1000 + i], &[])).collect();
         let outcome = run(&tuples);
         let map = attribute(&tuples, &outcome, &AttributionConfig::default());
         assert!(map.of(Asn(7)).is_empty());
@@ -234,8 +250,9 @@ mod tests {
     fn attribution_blocked_behind_cleaner() {
         // 5 is a visible tagger via direct peering; 2 is a cleaner. Tuples
         // through 2 must not contribute opportunities for 5.
-        let mut tuples: Vec<PathCommTuple> =
-            (0..10u32).map(|i| tagged(&[5, 1000 + i], &[(5, 100)])).collect();
+        let mut tuples: Vec<PathCommTuple> = (0..10u32)
+            .map(|i| tagged(&[5, 1000 + i], &[(5, 100)]))
+            .collect();
         for i in 0..10u32 {
             tuples.push(tagged(&[2, 5, 1100 + i], &[])); // 2 cleans
         }
@@ -254,7 +271,10 @@ mod tests {
         let outcome = run(&tuples);
         let map = attribute(&tuples, &outcome, &AttributionConfig::default());
         assert!(map.of(Asn(5)).is_empty(), "2 < min_opportunities");
-        let lax = AttributionConfig { min_opportunities: 1, ..Default::default() };
+        let lax = AttributionConfig {
+            min_opportunities: 1,
+            ..Default::default()
+        };
         assert_eq!(attribute(&tuples, &outcome, &lax).of(Asn(5)).len(), 1);
     }
 
@@ -285,8 +305,9 @@ mod tests {
     fn foreign_attribution_via_mid_path_tagger() {
         // 5 tags mid-path; 1 forwards. 5's value attributed from foreign
         // observations once 1 is known-forward.
-        let mut tuples: Vec<PathCommTuple> =
-            (0..10u32).map(|i| tagged(&[5, 1000 + i], &[(5, 100)])).collect();
+        let mut tuples: Vec<PathCommTuple> = (0..10u32)
+            .map(|i| tagged(&[5, 1000 + i], &[(5, 100)]))
+            .collect();
         for i in 0..10u32 {
             tuples.push(tagged(&[1, 5, 1200 + i], &[(5, 100)]));
         }

@@ -47,7 +47,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         threshold: 0.99,
         output: None,
-        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
         row_based: false,
         reference: false,
         summary: false,
@@ -58,8 +60,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         match arg.as_str() {
             "-t" | "--threshold" => {
                 let v = it.next().ok_or("missing value for --threshold")?;
-                opts.threshold =
-                    v.parse().map_err(|e| format!("bad threshold {v:?}: {e}"))?;
+                opts.threshold = v.parse().map_err(|e| format!("bad threshold {v:?}: {e}"))?;
                 if !(0.5..=1.0).contains(&opts.threshold) {
                     return Err(format!("threshold {} outside 0.5..=1.0", opts.threshold));
                 }
@@ -69,7 +70,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "-j" | "--threads" => {
                 let v = it.next().ok_or("missing value for --threads")?;
-                opts.threads = v.parse().map_err(|e| format!("bad thread count {v:?}: {e}"))?;
+                opts.threads = v
+                    .parse()
+                    .map_err(|e| format!("bad thread count {v:?}: {e}"))?;
             }
             "--row-based" => opts.row_based = true,
             "--reference" => opts.reference = true,
@@ -91,8 +94,7 @@ fn run(opts: &Options) -> Result<(), String> {
     let mut set = TupleSet::new();
     for input in &opts.inputs {
         let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
-        let (tuples, raw) =
-            bgp_mrt_extract(&bytes).map_err(|e| format!("{input}: {e}"))?;
+        let (tuples, raw) = bgp_mrt_extract(&bytes).map_err(|e| format!("{input}: {e}"))?;
         eprintln!("{input}: {raw} entries, {} usable tuples", tuples.len());
         for t in tuples {
             set.insert(t);
@@ -109,7 +111,11 @@ fn run(opts: &Options) -> Result<(), String> {
     let outcome = if opts.row_based {
         run_row_based(&tuples, thresholds)
     } else {
-        let cfg = InferenceConfig { thresholds, threads: opts.threads, ..Default::default() };
+        let cfg = InferenceConfig {
+            thresholds,
+            threads: opts.threads,
+            ..Default::default()
+        };
         let engine = InferenceEngine::new(cfg);
         if opts.reference {
             engine.run_reference(&tuples)
@@ -130,7 +136,9 @@ fn run(opts: &Options) -> Result<(), String> {
     match &opts.output {
         Some(path) => std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?,
         None => {
-            std::io::stdout().write_all(text.as_bytes()).map_err(|e| e.to_string())?;
+            std::io::stdout()
+                .write_all(text.as_bytes())
+                .map_err(|e| e.to_string())?;
         }
     }
     Ok(())

@@ -47,6 +47,17 @@ impl TaggingClass {
             TaggingClass::None => 'n',
         }
     }
+
+    /// Inverse of [`code`](TaggingClass::code).
+    pub fn from_code(c: char) -> Option<Self> {
+        match c {
+            't' => Some(TaggingClass::Tagger),
+            's' => Some(TaggingClass::Silent),
+            'u' => Some(TaggingClass::Undecided),
+            'n' => Some(TaggingClass::None),
+            _ => None,
+        }
+    }
 }
 
 impl ForwardingClass {
@@ -57,6 +68,17 @@ impl ForwardingClass {
             ForwardingClass::Cleaner => 'c',
             ForwardingClass::Undecided => 'u',
             ForwardingClass::None => 'n',
+        }
+    }
+
+    /// Inverse of [`code`](ForwardingClass::code).
+    pub fn from_code(c: char) -> Option<Self> {
+        match c {
+            'f' => Some(ForwardingClass::Forward),
+            'c' => Some(ForwardingClass::Cleaner),
+            'u' => Some(ForwardingClass::Undecided),
+            'n' => Some(ForwardingClass::None),
+            _ => None,
         }
     }
 }
@@ -72,14 +94,19 @@ pub struct Class {
 
 impl Class {
     /// The `nn` class (nothing known).
-    pub const NONE: Class =
-        Class { tagging: TaggingClass::None, forwarding: ForwardingClass::None };
+    pub const NONE: Class = Class {
+        tagging: TaggingClass::None,
+        forwarding: ForwardingClass::None,
+    };
 
     /// Whether both behaviors were decided (`tf`, `tc`, `sf`, `sc`) — the
     /// paper's "full classification".
     pub fn is_full(&self) -> bool {
         matches!(self.tagging, TaggingClass::Tagger | TaggingClass::Silent)
-            && matches!(self.forwarding, ForwardingClass::Forward | ForwardingClass::Cleaner)
+            && matches!(
+                self.forwarding,
+                ForwardingClass::Forward | ForwardingClass::Cleaner
+            )
     }
 
     /// Whether the tagging side was decided but not the forwarding side —
@@ -100,6 +127,27 @@ impl fmt::Display for Class {
     }
 }
 
+impl std::str::FromStr for Class {
+    type Err = String;
+
+    /// Parse a two-character class code (`"tf"`, `"un"`, …) — the inverse
+    /// of [`Display`], used by query front ends filtering on class.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut chars = s.chars();
+        let (Some(t), Some(f), None) = (chars.next(), chars.next(), chars.next()) else {
+            return Err(format!("class code {s:?} is not two characters"));
+        };
+        let tagging =
+            TaggingClass::from_code(t).ok_or_else(|| format!("bad tagging code {t:?}"))?;
+        let forwarding =
+            ForwardingClass::from_code(f).ok_or_else(|| format!("bad forwarding code {f:?}"))?;
+        Ok(Class {
+            tagging,
+            forwarding,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,12 +164,18 @@ mod tests {
 
     #[test]
     fn full_partial_none() {
-        let tf = Class { tagging: TaggingClass::Tagger, forwarding: ForwardingClass::Forward };
+        let tf = Class {
+            tagging: TaggingClass::Tagger,
+            forwarding: ForwardingClass::Forward,
+        };
         assert!(tf.is_full());
         assert!(!tf.is_partial());
         assert_eq!(tf.to_string(), "tf");
 
-        let tn = Class { tagging: TaggingClass::Tagger, forwarding: ForwardingClass::None };
+        let tn = Class {
+            tagging: TaggingClass::Tagger,
+            forwarding: ForwardingClass::None,
+        };
         assert!(!tn.is_full());
         assert!(tn.is_partial());
         assert_eq!(tn.as_str(), "tn");
@@ -132,8 +186,40 @@ mod tests {
     }
 
     #[test]
+    fn class_codes_roundtrip() {
+        for t in [
+            TaggingClass::Tagger,
+            TaggingClass::Silent,
+            TaggingClass::Undecided,
+            TaggingClass::None,
+        ] {
+            assert_eq!(TaggingClass::from_code(t.code()), Some(t));
+            for f in [
+                ForwardingClass::Forward,
+                ForwardingClass::Cleaner,
+                ForwardingClass::Undecided,
+                ForwardingClass::None,
+            ] {
+                assert_eq!(ForwardingClass::from_code(f.code()), Some(f));
+                let class = Class {
+                    tagging: t,
+                    forwarding: f,
+                };
+                assert_eq!(class.as_str().parse::<Class>().unwrap(), class);
+            }
+        }
+        assert!(TaggingClass::from_code('x').is_none());
+        assert!("t".parse::<Class>().is_err());
+        assert!("tfx".parse::<Class>().is_err());
+        assert!("xf".parse::<Class>().is_err());
+    }
+
+    #[test]
     fn undecided_combinations() {
-        let uu = Class { tagging: TaggingClass::Undecided, forwarding: ForwardingClass::Undecided };
+        let uu = Class {
+            tagging: TaggingClass::Undecided,
+            forwarding: ForwardingClass::Undecided,
+        };
         assert!(!uu.is_full());
         assert!(!uu.is_partial());
         assert_eq!(uu.as_str(), "uu");

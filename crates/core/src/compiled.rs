@@ -58,7 +58,9 @@ struct IdBitSet {
 
 impl IdBitSet {
     fn with_capacity(bits: usize) -> Self {
-        IdBitSet { words: vec![0; bits.div_ceil(64)] }
+        IdBitSet {
+            words: vec![0; bits.div_ceil(64)],
+        }
     }
 
     #[inline]
@@ -129,7 +131,9 @@ pub struct DenseCounterStore {
 impl DenseCounterStore {
     /// A zeroed store covering `n_ids` interned ASes.
     pub fn zeroed(n_ids: usize) -> Self {
-        DenseCounterStore { counts: vec![AsCounters::default(); n_ids] }
+        DenseCounterStore {
+            counts: vec![AsCounters::default(); n_ids],
+        }
     }
 
     /// Counters of one interned AS.
@@ -187,8 +191,12 @@ impl DenseCounterStore {
             }
             let e = &mut self.counts[id];
             e.accumulate(d);
-            preds.forward.assign(id as AsnId, e.fwd_share().is_some_and(|x| x >= th.forward));
-            preds.tagger.assign(id as AsnId, e.tag_share().is_some_and(|x| x >= th.tagger));
+            preds
+                .forward
+                .assign(id as AsnId, e.fwd_share().is_some_and(|x| x >= th.forward));
+            preds
+                .tagger
+                .assign(id as AsnId, e.tag_share().is_some_and(|x| x >= th.tagger));
         }
     }
 
@@ -343,7 +351,8 @@ impl CompiledTuples {
         // small scan faster than they binary-search; large ones get
         // sorted and probed logarithmically.
         self.upper_scratch.clear();
-        self.upper_scratch.extend(t.comm.iter().map(|c| c.upper_field().0));
+        self.upper_scratch
+            .extend(t.comm.iter().map(|c| c.upper_field().0));
         let big_comm = self.upper_scratch.len() > 16;
         if big_comm {
             self.upper_scratch.sort_unstable();
@@ -441,7 +450,9 @@ impl CompiledTuples {
     /// [`ensure_sorted`](CompiledTuples::ensure_sorted) after appends.
     fn active_at(&self, x: usize) -> &[u32] {
         debug_assert!(self.sorted, "ensure_sorted before counting");
-        let k = self.order.partition_point(|&i| self.tuple_len(i as usize) >= x);
+        let k = self
+            .order
+            .partition_point(|&i| self.tuple_len(i as usize) >= x);
         &self.order[..k]
     }
 
@@ -550,7 +561,11 @@ impl CompiledTuples {
         enforce_cond2: bool,
         threads: usize,
     ) -> (DenseCounterStore, bool) {
-        let cond1 = if enforce_cond1 { Cond1Mode::Fresh } else { Cond1Mode::Off };
+        let cond1 = if enforce_cond1 {
+            Cond1Mode::Fresh
+        } else {
+            Cond1Mode::Off
+        };
         self.count_fanout(preds, x, phase, enforce_cond2, threads, cond1, &mut [])
     }
 
@@ -723,8 +738,11 @@ mod tests {
 
     #[test]
     fn layout_is_length_sorted() {
-        let tuples =
-            vec![tup(&[1, 2], &[1]), tup(&[3, 4, 5, 6], &[3]), tup(&[7, 8, 9], &[])];
+        let tuples = vec![
+            tup(&[1, 2], &[1]),
+            tup(&[3, 4, 5, 6], &[3]),
+            tup(&[7, 8, 9], &[]),
+        ];
         let store = CompiledTuples::from_tuples(&tuples);
         assert_eq!(store.len(), 3);
         assert_eq!(store.max_path_len(), 4);
@@ -743,7 +761,10 @@ mod tests {
             tup(&[7, 8, 9], &[8]),
             tup(&[1, 5, 9], &[5]),
         ];
-        let cfg = InferenceConfig { threads: 1, ..Default::default() };
+        let cfg = InferenceConfig {
+            threads: 1,
+            ..Default::default()
+        };
         let mut incremental = CompiledTuples::new();
         for t in &tuples {
             incremental.push(t);
@@ -766,7 +787,10 @@ mod tests {
         }
         let store = CompiledTuples::from_tuples(&tuples);
         assert!(store.arena_len() > 64);
-        let cfg = InferenceConfig { threads: 1, ..Default::default() };
+        let cfg = InferenceConfig {
+            threads: 1,
+            ..Default::default()
+        };
         let compiled = CompiledTuples::from_tuples(&tuples).run(&cfg);
         let reference = InferenceEngine::new(cfg).run_reference(&tuples);
         assert_eq!(compiled.classes(), reference.classes());

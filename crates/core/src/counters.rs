@@ -35,7 +35,12 @@ impl Thresholds {
     /// All four thresholds set to `v`.
     pub fn uniform(v: f64) -> Self {
         assert!((0.0..=1.0).contains(&v), "threshold {v} out of [0,1]");
-        Thresholds { tagger: v, silent: v, forward: v, cleaner: v }
+        Thresholds {
+            tagger: v,
+            silent: v,
+            forward: v,
+            cleaner: v,
+        }
     }
 }
 
@@ -81,6 +86,36 @@ impl AsCounters {
     pub fn is_zero(&self) -> bool {
         self.t == 0 && self.s == 0 && self.f == 0 && self.c == 0
     }
+
+    /// `get_class` (§5.5) evaluated on this quadruple alone — the
+    /// store-free classification primitive behind
+    /// [`CounterStore::class_of`]. Exposed so per-query consumers (the
+    /// serve layer's what-if reclassification) can classify a single
+    /// record without materializing a counter store.
+    pub fn classify(&self, th: &Thresholds) -> Class {
+        let tagging = if self.t + self.s == 0 {
+            TaggingClass::None
+        } else if self.tag_share().is_some_and(|x| x >= th.tagger) {
+            TaggingClass::Tagger
+        } else if self.tag_share().is_some_and(|x| (1.0 - x) >= th.silent) {
+            TaggingClass::Silent
+        } else {
+            TaggingClass::Undecided
+        };
+        let forwarding = if self.f + self.c == 0 {
+            ForwardingClass::None
+        } else if self.fwd_share().is_some_and(|x| x >= th.forward) {
+            ForwardingClass::Forward
+        } else if self.fwd_share().is_some_and(|x| (1.0 - x) >= th.cleaner) {
+            ForwardingClass::Cleaner
+        } else {
+            ForwardingClass::Undecided
+        };
+        Class {
+            tagging,
+            forwarding,
+        }
+    }
 }
 
 /// Fold one phase-delta map into an accumulator map. Shared by the batch
@@ -107,6 +142,12 @@ impl CounterStore {
     /// Counters of one AS (zeros if never touched).
     pub fn get(&self, asn: Asn) -> AsCounters {
         self.counters.get(&asn).copied().unwrap_or_default()
+    }
+
+    /// Counters of one AS, or `None` when the AS was never counted —
+    /// distinguishes "never seen" from "seen with zero evidence".
+    pub fn lookup(&self, asn: Asn) -> Option<AsCounters> {
+        self.counters.get(&asn).copied()
     }
 
     /// Mutable counters of one AS.
@@ -143,7 +184,9 @@ impl CounterStore {
 
     /// `is_silent(A)` — §5.3.
     pub fn is_silent(&self, asn: Asn, th: &Thresholds) -> bool {
-        self.get(asn).tag_share().is_some_and(|x| (1.0 - x) >= th.silent)
+        self.get(asn)
+            .tag_share()
+            .is_some_and(|x| (1.0 - x) >= th.silent)
     }
 
     /// `is_forward(A)` — §5.3. Used as `Cond1` building block: with no
@@ -154,31 +197,14 @@ impl CounterStore {
 
     /// `is_cleaner(A)` — §5.3.
     pub fn is_cleaner(&self, asn: Asn, th: &Thresholds) -> bool {
-        self.get(asn).fwd_share().is_some_and(|x| (1.0 - x) >= th.cleaner)
+        self.get(asn)
+            .fwd_share()
+            .is_some_and(|x| (1.0 - x) >= th.cleaner)
     }
 
     /// `get_class(A)` — §5.5.
     pub fn class_of(&self, asn: Asn, th: &Thresholds) -> Class {
-        let cnt = self.get(asn);
-        let tagging = if cnt.t + cnt.s == 0 {
-            TaggingClass::None
-        } else if self.is_tagger(asn, th) {
-            TaggingClass::Tagger
-        } else if self.is_silent(asn, th) {
-            TaggingClass::Silent
-        } else {
-            TaggingClass::Undecided
-        };
-        let forwarding = if cnt.f + cnt.c == 0 {
-            ForwardingClass::None
-        } else if self.is_forward(asn, th) {
-            ForwardingClass::Forward
-        } else if self.is_cleaner(asn, th) {
-            ForwardingClass::Cleaner
-        } else {
-            ForwardingClass::Undecided
-        };
-        Class { tagging, forwarding }
+        self.get(asn).classify(th)
     }
 }
 
@@ -188,7 +214,12 @@ mod tests {
 
     #[test]
     fn shares() {
-        let c = AsCounters { t: 99, s: 1, f: 0, c: 0 };
+        let c = AsCounters {
+            t: 99,
+            s: 1,
+            f: 0,
+            c: 0,
+        };
         assert!((c.tag_share().unwrap() - 0.99).abs() < 1e-9);
         assert_eq!(c.fwd_share(), None);
         assert_eq!(AsCounters::default().tag_share(), None);
@@ -218,13 +249,28 @@ mod tests {
         let th = Thresholds::default();
         let mut store = CounterStore::new();
         // tagger-forward
-        *store.entry(Asn(1)) = AsCounters { t: 100, s: 0, f: 100, c: 0 };
+        *store.entry(Asn(1)) = AsCounters {
+            t: 100,
+            s: 0,
+            f: 100,
+            c: 0,
+        };
         assert_eq!(store.class_of(Asn(1), &th).to_string(), "tf");
         // silent-cleaner
-        *store.entry(Asn(2)) = AsCounters { t: 0, s: 100, f: 0, c: 100 };
+        *store.entry(Asn(2)) = AsCounters {
+            t: 0,
+            s: 100,
+            f: 0,
+            c: 100,
+        };
         assert_eq!(store.class_of(Asn(2), &th).to_string(), "sc");
         // undecided tagging, none forwarding
-        *store.entry(Asn(3)) = AsCounters { t: 50, s: 50, f: 0, c: 0 };
+        *store.entry(Asn(3)) = AsCounters {
+            t: 50,
+            s: 50,
+            f: 0,
+            c: 0,
+        };
         assert_eq!(store.class_of(Asn(3), &th).to_string(), "un");
         // none at all
         assert_eq!(store.class_of(Asn(4), &th).to_string(), "nn");
@@ -233,7 +279,12 @@ mod tests {
     #[test]
     fn lower_threshold_decides_more() {
         let mut store = CounterStore::new();
-        *store.entry(Asn(1)) = AsCounters { t: 80, s: 20, f: 0, c: 0 };
+        *store.entry(Asn(1)) = AsCounters {
+            t: 80,
+            s: 20,
+            f: 0,
+            c: 0,
+        };
         assert_eq!(
             store.class_of(Asn(1), &Thresholds::uniform(0.99)).tagging,
             TaggingClass::Undecided
@@ -249,10 +300,34 @@ mod tests {
         let mut store = CounterStore::new();
         store.entry(Asn(1)).t = 5;
         let mut delta = HashMap::new();
-        delta.insert(Asn(1), AsCounters { t: 2, s: 1, f: 0, c: 0 });
-        delta.insert(Asn(2), AsCounters { t: 0, s: 0, f: 3, c: 0 });
+        delta.insert(
+            Asn(1),
+            AsCounters {
+                t: 2,
+                s: 1,
+                f: 0,
+                c: 0,
+            },
+        );
+        delta.insert(
+            Asn(2),
+            AsCounters {
+                t: 0,
+                s: 0,
+                f: 3,
+                c: 0,
+            },
+        );
         store.merge(&delta);
-        assert_eq!(store.get(Asn(1)), AsCounters { t: 7, s: 1, f: 0, c: 0 });
+        assert_eq!(
+            store.get(Asn(1)),
+            AsCounters {
+                t: 7,
+                s: 1,
+                f: 0,
+                c: 0
+            }
+        );
         assert_eq!(store.get(Asn(2)).f, 3);
         assert_eq!(store.len(), 2);
     }
@@ -268,9 +343,19 @@ mod tests {
         // threshold 1.0: even one contrary observation blocks the class.
         let th = Thresholds::uniform(1.0);
         let mut store = CounterStore::new();
-        *store.entry(Asn(1)) = AsCounters { t: 1000, s: 1, f: 0, c: 0 };
+        *store.entry(Asn(1)) = AsCounters {
+            t: 1000,
+            s: 1,
+            f: 0,
+            c: 0,
+        };
         assert!(!store.is_tagger(Asn(1), &th));
-        *store.entry(Asn(2)) = AsCounters { t: 1000, s: 0, f: 0, c: 0 };
+        *store.entry(Asn(2)) = AsCounters {
+            t: 1000,
+            s: 0,
+            f: 0,
+            c: 0,
+        };
         assert!(store.is_tagger(Asn(2), &th));
     }
 }

@@ -61,7 +61,10 @@ pub fn import(text: &str) -> Result<InferenceOutcome, ParseError> {
 
     for (i, line) in text.lines().enumerate() {
         let lineno = i + 1;
-        let err = |message: String| ParseError { line: lineno, message };
+        let err = |message: String| ParseError {
+            line: lineno,
+            message,
+        };
         let line = line.trim();
         if line.is_empty() {
             continue;
@@ -72,8 +75,9 @@ pub fn import(text: &str) -> Result<InferenceOutcome, ParseError> {
                     let (k, v) = kv
                         .split_once('=')
                         .ok_or_else(|| err(format!("bad threshold field {kv:?}")))?;
-                    let v: f64 =
-                        v.parse().map_err(|e| err(format!("bad threshold value: {e}")))?;
+                    let v: f64 = v
+                        .parse()
+                        .map_err(|e| err(format!("bad threshold value: {e}")))?;
                     match k {
                         "tagger" => thresholds.tagger = v,
                         "silent" => thresholds.silent = v,
@@ -92,19 +96,36 @@ pub fn import(text: &str) -> Result<InferenceOutcome, ParseError> {
             .parse()
             .map_err(|e| err(format!("bad asn: {e}")))?;
         let _class = fields.next().ok_or_else(|| err("missing class".into()))?;
-        let nums = fields.next().ok_or_else(|| err("missing counters".into()))?;
+        let nums = fields
+            .next()
+            .ok_or_else(|| err("missing counters".into()))?;
         let mut it = nums.split_whitespace();
         let mut next = |name: &str| -> Result<u64, ParseError> {
             it.next()
-                .ok_or_else(|| ParseError { line: lineno, message: format!("missing {name}") })?
+                .ok_or_else(|| ParseError {
+                    line: lineno,
+                    message: format!("missing {name}"),
+                })?
                 .parse()
-                .map_err(|e| ParseError { line: lineno, message: format!("bad {name}: {e}") })
+                .map_err(|e| ParseError {
+                    line: lineno,
+                    message: format!("bad {name}: {e}"),
+                })
         };
-        let c = AsCounters { t: next("t")?, s: next("s")?, f: next("f")?, c: next("c")? };
+        let c = AsCounters {
+            t: next("t")?,
+            s: next("s")?,
+            f: next("f")?,
+            c: next("c")?,
+        };
         *counters.entry(Asn(asn)) = c;
     }
 
-    Ok(InferenceOutcome { counters, thresholds, deepest_active_index: 0 })
+    Ok(InferenceOutcome {
+        counters,
+        thresholds,
+        deepest_active_index: 0,
+    })
 }
 
 /// A compact per-AS view for downstream consumers.
@@ -123,10 +144,104 @@ pub fn records(outcome: &InferenceOutcome) -> Vec<DbRecord> {
     let mut v: Vec<DbRecord> = outcome
         .counters
         .iter()
-        .map(|(asn, counters)| DbRecord { asn, class: outcome.class_of(asn), counters })
+        .map(|(asn, counters)| DbRecord {
+            asn,
+            class: outcome.class_of(asn),
+            counters,
+        })
         .collect();
     v.sort_by_key(|r| r.asn);
     v
+}
+
+/// The record of one AS, or `None` when the outcome never counted it —
+/// the point-query counterpart of [`records`], for per-request use by a
+/// serving layer (no full-table materialization).
+pub fn record_of(outcome: &InferenceOutcome, asn: Asn) -> Option<DbRecord> {
+    outcome.counters.lookup(asn).map(|counters| DbRecord {
+        asn,
+        class: counters.classify(&outcome.thresholds),
+        counters,
+    })
+}
+
+/// How a concrete community value should be read against the inference
+/// database — the "dictionary" the paper's classification enables
+/// (§2: the upper field conventionally names the AS that set the value,
+/// but only a *tagger* upper-field AS makes that attribution credible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommunityVerdict {
+    /// A reserved RFC 1997 well-known value: the upper field is not an
+    /// ASN, routers interpret it directly.
+    WellKnown,
+    /// The upper-field AS is an inferred tagger: the value is credibly
+    /// attributed to it.
+    Attributable,
+    /// The upper-field AS is inferred silent: it does not tag, so someone
+    /// else put its name on the wire (misconfiguration or spoofing).
+    Suspicious,
+    /// Not enough evidence about the upper-field AS either way.
+    Unattributed,
+}
+
+impl CommunityVerdict {
+    /// Stable lowercase name (API / export surface).
+    pub fn name(self) -> &'static str {
+        match self {
+            CommunityVerdict::WellKnown => "well-known",
+            CommunityVerdict::Attributable => "attributable",
+            CommunityVerdict::Suspicious => "suspicious",
+            CommunityVerdict::Unattributed => "unattributed",
+        }
+    }
+}
+
+/// The dictionary entry for one community value (see [`lookup_community`]).
+#[derive(Debug, Clone, Copy)]
+pub struct CommunityLookup {
+    /// The AS named by the upper field / global administrator.
+    pub owner: Asn,
+    /// The owner's record in the database, if it was ever counted.
+    pub owner_record: Option<DbRecord>,
+    /// IANA registry entry when the value is a well-known community.
+    pub well_known: Option<&'static bgp_types::wellknown::WellKnown>,
+    /// The attribution verdict.
+    pub verdict: CommunityVerdict,
+}
+
+/// Look one community value up in the inference database: who does the
+/// upper field name, what do we know about that AS, and is the
+/// attribution credible?
+pub fn lookup_community(outcome: &InferenceOutcome, community: &AnyCommunity) -> CommunityLookup {
+    let owner = community.upper_field();
+    let well_known = bgp_types::wellknown::lookup_any(community);
+    let owner_record = record_of(outcome, owner);
+    let verdict = community_verdict(owner_record.as_ref(), community);
+    CommunityLookup {
+        owner,
+        owner_record,
+        well_known,
+        verdict,
+    }
+}
+
+/// The verdict for a community value given its owner's database record
+/// (if any) — the single decision rule behind [`lookup_community`] and
+/// any serving layer that already holds the owner's record.
+pub fn community_verdict(
+    owner_record: Option<&DbRecord>,
+    community: &AnyCommunity,
+) -> CommunityVerdict {
+    use crate::classify::TaggingClass;
+
+    if community.is_well_known() {
+        return CommunityVerdict::WellKnown;
+    }
+    match owner_record.map(|r| r.class.tagging) {
+        Some(TaggingClass::Tagger) => CommunityVerdict::Attributable,
+        Some(TaggingClass::Silent) => CommunityVerdict::Suspicious,
+        _ => CommunityVerdict::Unattributed,
+    }
 }
 
 #[cfg(test)]
@@ -148,7 +263,11 @@ mod tests {
                 ]),
             ),
         ];
-        InferenceEngine::new(InferenceConfig { threads: 1, ..Default::default() }).run(&tuples)
+        InferenceEngine::new(InferenceConfig {
+            threads: 1,
+            ..Default::default()
+        })
+        .run(&tuples)
     }
 
     #[test]
@@ -202,5 +321,38 @@ mod tests {
         let rs = records(&sample_outcome());
         assert!(rs.windows(2).all(|w| w[0].asn < w[1].asn));
         assert!(!rs.is_empty());
+    }
+
+    #[test]
+    fn record_of_matches_records() {
+        let outcome = sample_outcome();
+        for r in records(&outcome) {
+            let point = record_of(&outcome, r.asn).expect("counted AS has a record");
+            assert_eq!(point, r);
+        }
+        assert!(record_of(&outcome, Asn(4_000_000_000)).is_none());
+    }
+
+    #[test]
+    fn community_dictionary_verdicts() {
+        let outcome = sample_outcome(); // 5 tags; 9 silent (never tags)
+        let tagged = AnyCommunity::regular(5, 100);
+        let looked = lookup_community(&outcome, &tagged);
+        assert_eq!(looked.owner, Asn(5));
+        assert_eq!(looked.verdict, CommunityVerdict::Attributable);
+        assert!(looked.well_known.is_none());
+        assert!(looked.owner_record.is_some());
+
+        // Well-known values are interpreted by the registry, not the db.
+        let bh = AnyCommunity::Regular(Community::BLACKHOLE);
+        let looked = lookup_community(&outcome, &bh);
+        assert_eq!(looked.verdict, CommunityVerdict::WellKnown);
+        assert_eq!(looked.well_known.unwrap().name, "BLACKHOLE");
+
+        // An AS the db never counted yields no attribution either way.
+        let unknown = AnyCommunity::regular(64000, 1);
+        let looked = lookup_community(&outcome, &unknown);
+        assert_eq!(looked.verdict, CommunityVerdict::Unattributed);
+        assert!(looked.owner_record.is_none());
     }
 }

@@ -62,7 +62,10 @@ impl Default for InferenceConfig {
 impl InferenceConfig {
     /// Config with a uniform threshold (Figure 2 sweeps).
     pub fn with_threshold(v: f64) -> Self {
-        InferenceConfig { thresholds: Thresholds::uniform(v), ..Default::default() }
+        InferenceConfig {
+            thresholds: Thresholds::uniform(v),
+            ..Default::default()
+        }
     }
 }
 
@@ -85,8 +88,11 @@ impl InferenceOutcome {
 
     /// Re-classify every counted AS, returning (ASN, class) pairs.
     pub fn classes(&self) -> Vec<(Asn, Class)> {
-        let mut v: Vec<(Asn, Class)> =
-            self.counters.iter().map(|(a, _)| (a, self.class_of(a))).collect();
+        let mut v: Vec<(Asn, Class)> = self
+            .counters
+            .iter()
+            .map(|(a, _)| (a, self.class_of(a)))
+            .collect();
         v.sort_by_key(|&(a, _)| a);
         v
     }
@@ -219,7 +225,16 @@ impl InferenceEngine {
         for x in 1..=deepest {
             // PHASE 1: count tagging at index x.
             let delta = self.parallel_count(tuples, |t, delta| {
-                count_tuple_at(&counters, &th, t, x, CountPhase::Tagging, enforce1, enforce2, delta)
+                count_tuple_at(
+                    &counters,
+                    &th,
+                    t,
+                    x,
+                    CountPhase::Tagging,
+                    enforce1,
+                    enforce2,
+                    delta,
+                )
             });
             let active1 = !delta.is_empty();
             counters.merge(&delta);
@@ -245,7 +260,11 @@ impl InferenceEngine {
             }
         }
 
-        InferenceOutcome { counters, thresholds: th, deepest_active_index: deepest_active }
+        InferenceOutcome {
+            counters,
+            thresholds: th,
+            deepest_active_index: deepest_active,
+        }
     }
 
     /// Shard `tuples` over worker threads; each worker runs `count` into a
@@ -289,18 +308,15 @@ impl InferenceEngine {
 /// Cond1: all upstream ASes of position `x` satisfy `is_forward`.
 /// Drops out at `x == 1` (no upstream).
 fn cond1(counters: &CounterStore, th: &Thresholds, path: &AsPath, x: usize) -> bool {
-    path.upstream_of(x).iter().all(|&a| counters.is_forward(a, th))
+    path.upstream_of(x)
+        .iter()
+        .all(|&a| counters.is_forward(a, th))
 }
 
 /// Cond2: find the nearest downstream `At` with `is_tagger`, requiring
 /// every intermediate `Aj` (`x < j < t`) to satisfy `is_forward`. Returns
 /// the tagger's ASN, or `None`.
-fn cond2_tagger(
-    counters: &CounterStore,
-    th: &Thresholds,
-    path: &AsPath,
-    x: usize,
-) -> Option<Asn> {
+fn cond2_tagger(counters: &CounterStore, th: &Thresholds, path: &AsPath, x: usize) -> Option<Asn> {
     let asns = path.asns();
     for &a in &asns[x..] {
         if counters.is_tagger(a, th) {
@@ -328,7 +344,10 @@ mod tests {
     }
 
     fn engine() -> InferenceEngine {
-        InferenceEngine::new(InferenceConfig { threads: 1, ..Default::default() })
+        InferenceEngine::new(InferenceConfig {
+            threads: 1,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -345,8 +364,8 @@ mod tests {
         // First learn that 5 is a tagger (as peer of another path), then
         // paths through 1 carrying 5:* prove 1 forwards.
         let tuples = vec![
-            tup(&[5, 9], &[5]),          // 5 is a tagger (peer position)
-            tup(&[1, 5, 9], &[1, 5]),    // 5's tag passes through... wait, 5 is at index 2
+            tup(&[5, 9], &[5]),       // 5 is a tagger (peer position)
+            tup(&[1, 5, 9], &[1, 5]), // 5's tag passes through... wait, 5 is at index 2
         ];
         let out = engine().run(&tuples);
         assert_eq!(out.class_of(Asn(5)).tagging, TaggingClass::Tagger);
@@ -356,8 +375,8 @@ mod tests {
     #[test]
     fn cleaner_inferred_when_tagger_tag_missing() {
         let tuples = vec![
-            tup(&[5, 9], &[5]),       // 5 tagger
-            tup(&[2, 5, 9], &[]),     // 2 strips 5's tag (and is silent)
+            tup(&[5, 9], &[5]),   // 5 tagger
+            tup(&[2, 5, 9], &[]), // 2 strips 5's tag (and is silent)
         ];
         let out = engine().run(&tuples);
         assert_eq!(out.class_of(Asn(2)).forwarding, ForwardingClass::Cleaner);
@@ -369,8 +388,8 @@ mod tests {
         // 2 is a cleaner; 7 sits behind it, so 7 gets no tagging counters.
         let tuples = vec![
             tup(&[5, 9], &[5]),
-            tup(&[2, 5, 9], &[]),     // establishes 2 as cleaner
-            tup(&[2, 7, 9], &[]),     // 7 hidden behind cleaner 2
+            tup(&[2, 5, 9], &[]), // establishes 2 as cleaner
+            tup(&[2, 7, 9], &[]), // 7 hidden behind cleaner 2
         ];
         let out = engine().run(&tuples);
         let c7 = out.counters.get(Asn(7));
@@ -406,8 +425,8 @@ mod tests {
         // unknown (5's light blocked; 3 is silent so it adds no light).
         let tuples = vec![
             tup(&[5, 9], &[5]),
-            tup(&[3, 5, 9], &[]),      // 3 cleaner + silent
-            tup(&[1, 3, 5, 9], &[]),   // 1 before cleaner 3
+            tup(&[3, 5, 9], &[]),    // 3 cleaner + silent
+            tup(&[1, 3, 5, 9], &[]), // 1 before cleaner 3
         ];
         let out = engine().run(&tuples);
         assert_eq!(out.class_of(Asn(3)).forwarding, ForwardingClass::Cleaner);
@@ -423,9 +442,15 @@ mod tests {
             let peer = 10 + (i % 7);
             tuples.push(tup(&[peer, 100 + i, 10_000 + i], &[peer, 100 + i]));
         }
-        let serial = InferenceEngine::new(InferenceConfig { threads: 1, ..Default::default() })
-            .run(&tuples);
-        let cfg = InferenceConfig { threads: 8, ..Default::default() };
+        let serial = InferenceEngine::new(InferenceConfig {
+            threads: 1,
+            ..Default::default()
+        })
+        .run(&tuples);
+        let cfg = InferenceConfig {
+            threads: 8,
+            ..Default::default()
+        };
         let parallel = InferenceEngine::new(cfg).run(&tuples);
         let a: Vec<_> = serial.classes();
         let b: Vec<_> = parallel.classes();
@@ -443,7 +468,11 @@ mod tests {
     #[test]
     fn max_index_caps_work() {
         let tuples = vec![tup(&[1, 2, 3, 4, 5], &[1, 2, 3, 4, 5])];
-        let cfg = InferenceConfig { max_index: Some(1), threads: 1, ..Default::default() };
+        let cfg = InferenceConfig {
+            max_index: Some(1),
+            threads: 1,
+            ..Default::default()
+        };
         let out = InferenceEngine::new(cfg).run(&tuples);
         // Only index 1 counted.
         assert!(out.counters.get(Asn(2)).t + out.counters.get(Asn(2)).s == 0);

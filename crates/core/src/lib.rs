@@ -124,7 +124,9 @@ mod proptests {
                 }
             }
             let comm = CommunitySet::from_iter(
-                asns.iter().filter(|a| *a % 2 == 0).map(|&a| AnyCommunity::tag_for(Asn(a), 100)),
+                asns.iter()
+                    .filter(|a| *a % 2 == 0)
+                    .map(|&a| AnyCommunity::tag_for(Asn(a), 100)),
             );
             tuples.push(PathCommTuple::new(path(&asns), comm));
         }
@@ -155,7 +157,10 @@ mod proptests {
             }
             if rng.random_range(0u32..5) == 0 {
                 // Stray community from an off-path AS (incl. 32-bit).
-                comm.insert(AnyCommunity::tag_for(Asn(rng.random_range(90u32..200_100)), 7));
+                comm.insert(AnyCommunity::tag_for(
+                    Asn(rng.random_range(90u32..200_100)),
+                    7,
+                ));
             }
             tuples.push(PathCommTuple::new(path(&asns), comm));
         }

@@ -128,12 +128,18 @@ impl ConfusionMatrix {
 
     /// Fetch a tagging row (zeros when absent).
     pub fn tagging_row(&self, label: &'static str, qual: &'static str) -> ConfusionRow {
-        self.tagging.get(&(label, qual)).copied().unwrap_or_default()
+        self.tagging
+            .get(&(label, qual))
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Fetch a forwarding row (zeros when absent).
     pub fn forwarding_row(&self, label: &'static str, qual: &'static str) -> ConfusionRow {
-        self.forwarding.get(&(label, qual)).copied().unwrap_or_default()
+        self.forwarding
+            .get(&(label, qual))
+            .copied()
+            .unwrap_or_default()
     }
 }
 
@@ -202,8 +208,10 @@ pub fn precision_recall(
         }
 
         // ---- forwarding ----
-        let decided_fwd =
-            matches!(class.forwarding, ForwardingClass::Forward | ForwardingClass::Cleaner);
+        let decided_fwd = matches!(
+            class.forwarding,
+            ForwardingClass::Forward | ForwardingClass::Cleaner
+        );
         if decided_fwd {
             f_decided += 1;
             let correct = matches!(
@@ -228,7 +236,13 @@ pub fn precision_recall(
         }
     }
 
-    let ratio = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+    let ratio = |num: u64, den: u64| {
+        if den == 0 {
+            0.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
     PrecisionRecall {
         tagging_recall: ratio(t_tp, t_vis),
         tagging_precision: ratio(t_correct, t_decided),
@@ -355,7 +369,11 @@ mod tests {
     }
 
     fn run(tuples: &[PathCommTuple]) -> InferenceOutcome {
-        InferenceEngine::new(InferenceConfig { threads: 1, ..Default::default() }).run(tuples)
+        InferenceEngine::new(InferenceConfig {
+            threads: 1,
+            ..Default::default()
+        })
+        .run(tuples)
     }
 
     #[test]
@@ -383,8 +401,14 @@ mod tests {
         let mut t = truth(&[(3, TruthTagging::Selective, TruthForwarding::Forward, false)]);
         t.get_mut(&Asn(3)).unwrap().forwarding_hidden = true;
         let pr = precision_recall(&outcome, &t);
-        assert!((pr.tagging_precision - 1.0).abs() < 1e-9, "selective->t is correct");
-        assert_eq!(pr.tagging_recall, 0.0, "selective excluded from recall denominator");
+        assert!(
+            (pr.tagging_precision - 1.0).abs() < 1e-9,
+            "selective->t is correct"
+        );
+        assert_eq!(
+            pr.tagging_recall, 0.0,
+            "selective excluded from recall denominator"
+        );
     }
 
     #[test]
@@ -439,7 +463,10 @@ mod tests {
         let t = truth(&[(1, TruthTagging::Tagger, TruthForwarding::Forward, false)]);
         let pts = roc_sweep(&tuples, &t, &[0.5, 0.9], 1);
         assert_eq!(pts.len(), 2);
-        assert!(pts[0].tagging_tpr >= pts[1].tagging_tpr, "TPR falls as threshold rises");
+        assert!(
+            pts[0].tagging_tpr >= pts[1].tagging_tpr,
+            "TPR falls as threshold rises"
+        );
         assert_eq!(pts[0].tagging_tpr, 1.0);
         assert_eq!(pts[1].tagging_tpr, 0.0);
     }

@@ -50,7 +50,11 @@ pub fn run_row_based(tuples: &[PathCommTuple], thresholds: Thresholds) -> Infere
         }
     }
 
-    InferenceOutcome { counters, thresholds, deepest_active_index: deepest }
+    InferenceOutcome {
+        counters,
+        thresholds,
+        deepest_active_index: deepest,
+    }
 }
 
 #[cfg(test)]
@@ -96,10 +100,21 @@ mod tests {
             tup(&[2, 7, 9], &[]),
         ];
         let row = run_row_based(&tuples, Thresholds::default());
-        assert_eq!(row.class_of(Asn(7)).tagging, TaggingClass::Silent, "row-based guesses");
-        let col = InferenceEngine::new(InferenceConfig { threads: 1, ..Default::default() })
-            .run(&tuples);
-        assert_eq!(col.class_of(Asn(7)).tagging, TaggingClass::None, "column-based abstains");
+        assert_eq!(
+            row.class_of(Asn(7)).tagging,
+            TaggingClass::Silent,
+            "row-based guesses"
+        );
+        let col = InferenceEngine::new(InferenceConfig {
+            threads: 1,
+            ..Default::default()
+        })
+        .run(&tuples);
+        assert_eq!(
+            col.class_of(Asn(7)).tagging,
+            TaggingClass::None,
+            "column-based abstains"
+        );
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub struct Sanitizer {
 impl Sanitizer {
     /// Build from registries.
     pub fn new(asn_registry: AsnRegistry, prefix_registry: PrefixRegistry) -> Self {
-        Sanitizer { asn_registry, prefix_registry }
+        Sanitizer {
+            asn_registry,
+            prefix_registry,
+        }
     }
 
     /// A permissive sanitizer: every public-range resource is allocated.
@@ -80,7 +83,11 @@ impl Sanitizer {
             return None;
         };
 
-        if path.asns().iter().any(|&a| !self.asn_registry.is_allocated(a)) {
+        if path
+            .asns()
+            .iter()
+            .any(|&a| !self.asn_registry.is_allocated(a))
+        {
             stats.dropped_asn += 1;
             return None;
         }
@@ -186,12 +193,23 @@ mod tests {
         let s = Sanitizer::new(reg, PrefixRegistry::permissive());
         let mut st = SanitationStats::default();
         // 30 not allocated.
-        let got =
-            s.process(Asn(10), &raw(&[10, 20, 30]), None, &CommunitySet::new(), &mut st);
+        let got = s.process(
+            Asn(10),
+            &raw(&[10, 20, 30]),
+            None,
+            &CommunitySet::new(),
+            &mut st,
+        );
         assert!(got.is_none());
         assert_eq!(st.dropped_asn, 1);
         // All allocated: kept.
-        let got = s.process(Asn(10), &raw(&[10, 20]), None, &CommunitySet::new(), &mut st);
+        let got = s.process(
+            Asn(10),
+            &raw(&[10, 20]),
+            None,
+            &CommunitySet::new(),
+            &mut st,
+        );
         assert!(got.is_some());
     }
 
@@ -199,7 +217,13 @@ mod tests {
     fn drops_as0_path() {
         let s = Sanitizer::permissive();
         let mut st = SanitationStats::default();
-        let got = s.process(Asn(10), &raw(&[10, 0, 30]), None, &CommunitySet::new(), &mut st);
+        let got = s.process(
+            Asn(10),
+            &raw(&[10, 0, 30]),
+            None,
+            &CommunitySet::new(),
+            &mut st,
+        );
         assert!(got.is_none());
         assert_eq!(st.dropped_path, 1);
     }

@@ -99,8 +99,8 @@ pub fn selectivity_report(outcome: &InferenceOutcome) -> Vec<SelectivityRecord> 
 mod tests {
     use super::*;
     use crate::counters::AsCounters;
-    use crate::engine::{InferenceConfig, InferenceEngine, InferenceOutcome};
     use crate::counters::{CounterStore, Thresholds};
+    use crate::engine::{InferenceConfig, InferenceEngine, InferenceOutcome};
 
     fn outcome_with(counters: &[(u32, AsCounters)]) -> InferenceOutcome {
         let mut store = CounterStore::new();
@@ -116,7 +116,15 @@ mod tests {
 
     #[test]
     fn mid_band_is_selective() {
-        let o = outcome_with(&[(1, AsCounters { t: 60, s: 40, f: 0, c: 0 })]);
+        let o = outcome_with(&[(
+            1,
+            AsCounters {
+                t: 60,
+                s: 40,
+                f: 0,
+                c: 0,
+            },
+        )]);
         let r = selectivity_report(&o);
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].verdict, SelectivityVerdict::LikelySelective);
@@ -125,14 +133,30 @@ mod tests {
 
     #[test]
     fn near_band_is_near_consistent() {
-        let o = outcome_with(&[(1, AsCounters { t: 970, s: 30, f: 0, c: 0 })]);
+        let o = outcome_with(&[(
+            1,
+            AsCounters {
+                t: 970,
+                s: 30,
+                f: 0,
+                c: 0,
+            },
+        )]);
         let r = selectivity_report(&o);
         assert_eq!(r[0].verdict, SelectivityVerdict::NearConsistent);
     }
 
     #[test]
     fn few_observations_insufficient() {
-        let o = outcome_with(&[(1, AsCounters { t: 3, s: 2, f: 0, c: 0 })]);
+        let o = outcome_with(&[(
+            1,
+            AsCounters {
+                t: 3,
+                s: 2,
+                f: 0,
+                c: 0,
+            },
+        )]);
         let r = selectivity_report(&o);
         assert_eq!(r[0].verdict, SelectivityVerdict::InsufficientData);
     }
@@ -140,15 +164,39 @@ mod tests {
     #[test]
     fn decided_ases_excluded() {
         let o = outcome_with(&[
-            (1, AsCounters { t: 100, s: 0, f: 0, c: 0 }), // tagger
-            (2, AsCounters { t: 0, s: 100, f: 100, c: 0 }), // silent-forward
+            (
+                1,
+                AsCounters {
+                    t: 100,
+                    s: 0,
+                    f: 0,
+                    c: 0,
+                },
+            ), // tagger
+            (
+                2,
+                AsCounters {
+                    t: 0,
+                    s: 100,
+                    f: 100,
+                    c: 0,
+                },
+            ), // silent-forward
         ]);
         assert!(selectivity_report(&o).is_empty());
     }
 
     #[test]
     fn forwarding_only_undecided_reported() {
-        let o = outcome_with(&[(1, AsCounters { t: 100, s: 0, f: 50, c: 50 })]);
+        let o = outcome_with(&[(
+            1,
+            AsCounters {
+                t: 100,
+                s: 0,
+                f: 50,
+                c: 50,
+            },
+        )]);
         let r = selectivity_report(&o);
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].verdict, SelectivityVerdict::LikelySelective);
@@ -167,11 +215,16 @@ mod tests {
             };
             tuples.push(PathCommTuple::new(path(&[9, 5000 + i]), comm));
         }
-        let outcome =
-            InferenceEngine::new(InferenceConfig { threads: 1, ..Default::default() })
-                .run(&tuples);
+        let outcome = InferenceEngine::new(InferenceConfig {
+            threads: 1,
+            ..Default::default()
+        })
+        .run(&tuples);
         let report = selectivity_report(&outcome);
-        let rec = report.iter().find(|r| r.asn == Asn(9)).expect("AS9 reported");
+        let rec = report
+            .iter()
+            .find(|r| r.asn == Asn(9))
+            .expect("AS9 reported");
         assert_eq!(rec.verdict, SelectivityVerdict::LikelySelective);
         assert_eq!(rec.tag_observations, 100);
     }

@@ -103,12 +103,12 @@ mod tests {
         PathCommTuple::new(
             path(&[100, 200, 300]),
             CommunitySet::from_iter([
-                AnyCommunity::regular(100, 1),    // peer
-                AnyCommunity::regular(200, 2),    // foreign
-                AnyCommunity::regular(300, 3),    // foreign
-                AnyCommunity::regular(999, 4),    // stray
-                AnyCommunity::regular(64512, 5),  // private
-                AnyCommunity::regular(0, 6),      // private (reserved 0)
+                AnyCommunity::regular(100, 1),   // peer
+                AnyCommunity::regular(200, 2),   // foreign
+                AnyCommunity::regular(300, 3),   // foreign
+                AnyCommunity::regular(999, 4),   // stray
+                AnyCommunity::regular(64512, 5), // private
+                AnyCommunity::regular(0, 6),     // private (reserved 0)
             ]),
         )
     }
@@ -117,7 +117,15 @@ mod tests {
     fn classification_matrix() {
         let t = tuple();
         let got = SourceCounts::of_tuple(&t);
-        assert_eq!(got, SourceCounts { peer: 1, foreign: 2, stray: 1, private: 2 });
+        assert_eq!(
+            got,
+            SourceCounts {
+                peer: 1,
+                foreign: 2,
+                stray: 1,
+                private: 2
+            }
+        );
         assert_eq!(got.total(), 6);
     }
 
@@ -139,9 +147,18 @@ mod tests {
     fn peer_vs_foreign_depends_on_path() {
         // Same community is peer in one path, foreign in another (§3.2).
         let c = AnyCommunity::regular(200, 7);
-        assert_eq!(classify_community(&c, &path(&[200, 300])), SourceGroup::Peer);
-        assert_eq!(classify_community(&c, &path(&[100, 200])), SourceGroup::Foreign);
-        assert_eq!(classify_community(&c, &path(&[100, 300])), SourceGroup::Stray);
+        assert_eq!(
+            classify_community(&c, &path(&[200, 300])),
+            SourceGroup::Peer
+        );
+        assert_eq!(
+            classify_community(&c, &path(&[100, 200])),
+            SourceGroup::Foreign
+        );
+        assert_eq!(
+            classify_community(&c, &path(&[100, 300])),
+            SourceGroup::Stray
+        );
     }
 
     #[test]
@@ -157,8 +174,18 @@ mod tests {
 
     #[test]
     fn accumulate() {
-        let mut a = SourceCounts { peer: 1, foreign: 2, stray: 3, private: 4 };
-        a.add(&SourceCounts { peer: 10, foreign: 20, stray: 30, private: 40 });
+        let mut a = SourceCounts {
+            peer: 1,
+            foreign: 2,
+            stray: 3,
+            private: 4,
+        };
+        a.add(&SourceCounts {
+            peer: 10,
+            foreign: 20,
+            stray: 30,
+            private: 40,
+        });
         assert_eq!(a.total(), 110);
     }
 

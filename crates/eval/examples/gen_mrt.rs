@@ -13,5 +13,9 @@ fn main() {
     let day = ArchiveBuilder::new(&g, &roles).build_day(&CollectorProject::ripe(), &paths, 1);
     std::fs::write("/tmp/test_rib.mrt", &day.rib_bytes).unwrap();
     std::fs::write("/tmp/test_updates.mrt", &day.update_bytes).unwrap();
-    eprintln!("wrote {} + {} bytes", day.rib_bytes.len(), day.update_bytes.len());
+    eprintln!(
+        "wrote {} + {} bytes",
+        day.rib_bytes.len(),
+        day.update_bytes.len()
+    );
 }

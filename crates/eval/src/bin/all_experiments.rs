@@ -15,7 +15,10 @@ fn main() {
 
     println!("{}", table1::run(&world, 1).render());
     println!("{}", table2::run(&world, seeds).render());
-    println!("{}", fig2::run(&world, &fig2::default_thresholds(), 1).render());
+    println!(
+        "{}",
+        fig2::run(&world, &fig2::default_thresholds(), 1).render()
+    );
     println!("{}", table3::run(&world, 1).render());
     println!("{}", fig3::run(&world, 5, 1).render());
     println!("{}", fig4::run(&scale.config(), 8, 1).render());

@@ -34,14 +34,19 @@ pub fn default_thresholds() -> Vec<f64> {
 
 /// Run the sweep for both selective scenarios.
 pub fn run(world: &World, thresholds: &[f64], seed: u64) -> Fig2 {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let curves = [Scenario::RandomP, Scenario::RandomPp]
         .into_iter()
         .map(|scenario| {
             let ds = scenario.materialize(&world.graph, &world.paths, seed);
             let truth = truth_map(&ds);
             let points = roc_sweep(&ds.tuples, &truth, thresholds, threads);
-            RocCurve { scenario: scenario.name(), points }
+            RocCurve {
+                scenario: scenario.name(),
+                points,
+            }
         })
         .collect();
     Fig2 { curves }
@@ -85,7 +90,11 @@ mod tests {
         let graph = cfg.seed(17).build();
         let paths = PathSubstrate::generate(&graph, 2).paths;
         let cones = CustomerCones::compute(&graph);
-        World { graph, paths, cones }
+        World {
+            graph,
+            paths,
+            cones,
+        }
     }
 
     #[test]
@@ -102,7 +111,11 @@ mod tests {
             assert!(pts[0].tagging_fpr >= pts[2].tagging_fpr);
             // Forwarding FPR stays small across the sweep (paper: 1% -> 0%).
             for p in pts {
-                assert!(p.forwarding_fpr < 0.15, "fwd FPR {} too high", p.forwarding_fpr);
+                assert!(
+                    p.forwarding_fpr < 0.15,
+                    "fwd FPR {} too high",
+                    p.forwarding_fpr
+                );
             }
         }
     }
@@ -115,9 +128,13 @@ mod tests {
         let fig = run(&w, &default_thresholds(), 5);
         for curve in &fig.curves {
             let fprs: Vec<f64> = curve.points.iter().map(|p| p.tagging_fpr).collect();
-            let spread = fprs.iter().cloned().fold(0.0, f64::max)
-                - fprs.iter().cloned().fold(1.0, f64::min);
-            assert!(spread < 0.25, "{}: tagging FPR spread {spread}", curve.scenario);
+            let spread =
+                fprs.iter().cloned().fold(0.0, f64::max) - fprs.iter().cloned().fold(1.0, f64::min);
+            assert!(
+                spread < 0.25,
+                "{}: tagging FPR spread {spread}",
+                curve.scenario
+            );
         }
     }
 

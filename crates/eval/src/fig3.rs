@@ -57,13 +57,15 @@ pub fn run(world: &World, days: usize, seed: u64) -> Fig3 {
         let archive = builder.build_day(&project, &world.paths, seed + day as u64);
         ingest_day(&archive, &mut cumulative).expect("day archive parses");
 
-        let outcome =
-            InferenceEngine::new(InferenceConfig::default()).run(&cumulative.to_vec());
+        let outcome = InferenceEngine::new(InferenceConfig::default()).run(&cumulative.to_vec());
         let mut members: HashMap<&str, HashSet<Asn>> =
             FULL_CLASSES.iter().map(|&c| (c, HashSet::new())).collect();
         for (asn, class) in outcome.classes() {
             if class.is_full() {
-                members.get_mut(class.as_str().as_str()).unwrap().insert(asn);
+                members
+                    .get_mut(class.as_str().as_str())
+                    .unwrap()
+                    .insert(asn);
             }
         }
         for (ci, &cname) in FULL_CLASSES.iter().enumerate() {
@@ -71,7 +73,10 @@ pub fn run(world: &World, days: usize, seed: u64) -> Fig3 {
         }
     }
 
-    let mut fig = Fig3 { days, ..Default::default() };
+    let mut fig = Fig3 {
+        days,
+        ..Default::default()
+    };
     for (ci, class_history) in history.iter().enumerate() {
         for day in 0..days {
             let today = &class_history[day];
@@ -115,7 +120,11 @@ impl Fig3 {
             );
             for (day, dc) in self.counts[ci].iter().enumerate() {
                 t.row(&[
-                    if day == 0 { "1".into() } else { format!("+{day}") },
+                    if day == 0 {
+                        "1".into()
+                    } else {
+                        format!("+{day}")
+                    },
                     dc.new.to_string(),
                     dc.stable.to_string(),
                     dc.recurring.to_string(),
@@ -141,7 +150,11 @@ mod tests {
         let graph = cfg.seed(23).build();
         let paths = PathSubstrate::generate(&graph, 2).paths;
         let cones = CustomerCones::compute(&graph);
-        World { graph, paths, cones }
+        World {
+            graph,
+            paths,
+            cones,
+        }
     }
 
     #[test]
@@ -174,7 +187,10 @@ mod tests {
         }
         assert!(total > 0, "no full-class members at all");
         let new_share = new as f64 / total as f64;
-        assert!(new_share < 0.5, "new share {new_share} too high after day 1");
+        assert!(
+            new_share < 0.5,
+            "new share {new_share} too high after day 1"
+        );
         assert!(persisted > 0, "no membership persistence at all");
     }
 

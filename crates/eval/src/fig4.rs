@@ -31,8 +31,14 @@ pub struct Fig4 {
 
 /// Run the longitudinal experiment.
 pub fn run(cfg: &TopologyConfig, epochs: usize, seed: u64) -> Fig4 {
-    let snapshots = ChurnModel { edge_churn: 0.03, seed }.snapshots(cfg, epochs);
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let snapshots = ChurnModel {
+        edge_churn: 0.03,
+        seed,
+    }
+    .snapshots(cfg, epochs);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
 
     let mut out = Fig4::default();
     for (epoch, graph) in snapshots.iter().enumerate() {
@@ -45,7 +51,10 @@ pub fn run(cfg: &TopologyConfig, epochs: usize, seed: u64) -> Fig4 {
         let tuples = prop.tuples(&paths);
         let outcome = InferenceEngine::new(InferenceConfig::default()).run(&tuples);
 
-        let mut q = QuarterCounts { label: format!("Q{}", epoch + 1), ..Default::default() };
+        let mut q = QuarterCounts {
+            label: format!("Q{}", epoch + 1),
+            ..Default::default()
+        };
         for (_, class) in outcome.classes() {
             if class.is_full() {
                 let idx = FULL_CLASSES
@@ -64,19 +73,31 @@ impl Fig4 {
     /// Max relative deviation of a class count from its mean across
     /// quarters — the "flatness" the paper reports.
     pub fn max_relative_deviation(&self, class_idx: usize) -> f64 {
-        let vals: Vec<f64> = self.quarters.iter().map(|q| q.full[class_idx] as f64).collect();
+        let vals: Vec<f64> = self
+            .quarters
+            .iter()
+            .map(|q| q.full[class_idx] as f64)
+            .collect();
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
         if mean == 0.0 {
             return 0.0;
         }
-        vals.iter().map(|v| (v - mean).abs() / mean).fold(0.0, f64::max)
+        vals.iter()
+            .map(|v| (v - mean).abs() / mean)
+            .fold(0.0, f64::max)
     }
 
     /// Render as a quarters × classes table.
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "Figure 4: longitudinal view (2 years, quarterly)",
-            &["quarter", "tagger-forward", "tagger-cleaner", "silent-forward", "silent-cleaner"],
+            &[
+                "quarter",
+                "tagger-forward",
+                "tagger-cleaner",
+                "silent-forward",
+                "silent-cleaner",
+            ],
         );
         for q in &self.quarters {
             t.row(&[
@@ -109,7 +130,11 @@ mod tests {
         let fig = run(&tiny_cfg(), 4, 1);
         assert_eq!(fig.quarters.len(), 4);
         // Some class must be populated at all.
-        let any: u64 = fig.quarters.iter().map(|q| q.full.iter().sum::<u64>()).sum();
+        let any: u64 = fig
+            .quarters
+            .iter()
+            .map(|q| q.full.iter().sum::<u64>())
+            .sum();
         assert!(any > 0, "no full classifications at all");
         // Flatness: every populated class stays within ±40% of its mean
         // (paper shows near-flat lines; small scale adds variance).

@@ -38,7 +38,10 @@ pub fn run(tuples: &[PathCommTuple]) -> Fig5 {
     // Group tuples by collector peer.
     let mut by_peer: HashMap<Asn, SourceCounts> = HashMap::new();
     for t in tuples {
-        by_peer.entry(t.path.peer()).or_default().add(&SourceCounts::of_tuple(t));
+        by_peer
+            .entry(t.path.peer())
+            .or_default()
+            .add(&SourceCounts::of_tuple(t));
     }
 
     let mut peers: Vec<PeerTypeCounts> = by_peer
@@ -53,7 +56,10 @@ pub fn run(tuples: &[PathCommTuple]) -> Fig5 {
         })
         .collect();
     peers.sort_by(|a, b| {
-        a.class.cmp(&b.class).then(b.counts.total().cmp(&a.counts.total())).then(a.asn.cmp(&b.asn))
+        a.class
+            .cmp(&b.class)
+            .then(b.counts.total().cmp(&a.counts.total()))
+            .then(a.asn.cmp(&b.asn))
     });
     Fig5 { peers }
 }
@@ -108,7 +114,11 @@ mod tests {
         let graph = cfg.seed(31).build();
         let paths = PathSubstrate::generate(&graph, 2).paths;
         let cones = CustomerCones::compute(&graph);
-        let w = World { graph, paths, cones };
+        let w = World {
+            graph,
+            paths,
+            cones,
+        };
         let roles = realistic_roles(&w.graph, &w.cones, 2);
         let prop = Propagator::new(&w.graph, &roles);
         AmbientCommunities::paper_like(2).decorate_vec(&prop.tuples(&w.paths))
@@ -129,17 +139,26 @@ mod tests {
             }
             // Forwarders show foreign communities.
             if class.ends_with('f') {
-                assert!(counts.foreign > 0, "{class} should show foreign communities");
+                assert!(
+                    counts.foreign > 0,
+                    "{class} should show foreign communities"
+                );
             }
         }
 
         // Cleaners show at most a sliver of foreign communities relative
         // to forwarders (the paper allows a contradiction tail from
         // unidentified taggers).
-        let f_foreign: u64 =
-            totals.iter().filter(|(c, _)| c.ends_with('f')).map(|(_, s)| s.foreign).sum();
-        let c_foreign: u64 =
-            totals.iter().filter(|(c, _)| c.ends_with('c')).map(|(_, s)| s.foreign).sum();
+        let f_foreign: u64 = totals
+            .iter()
+            .filter(|(c, _)| c.ends_with('f'))
+            .map(|(_, s)| s.foreign)
+            .sum();
+        let c_foreign: u64 = totals
+            .iter()
+            .filter(|(c, _)| c.ends_with('c'))
+            .map(|(_, s)| s.foreign)
+            .sum();
         if f_foreign > 0 {
             assert!(
                 (c_foreign as f64) < (f_foreign as f64) * 0.25,

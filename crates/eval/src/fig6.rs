@@ -101,8 +101,16 @@ impl Fig6 {
         let marks = [1u32, 10, 100, 1_000, 10_000];
         let mut out = String::new();
         for (title, labels, cdfs) in [
-            ("Figure 6: cone CDF by tagging class", &TAGGING_LABELS, &self.tagging),
-            ("Figure 6: cone CDF by forwarding class", &FORWARDING_LABELS, &self.forwarding),
+            (
+                "Figure 6: cone CDF by tagging class",
+                &TAGGING_LABELS,
+                &self.tagging,
+            ),
+            (
+                "Figure 6: cone CDF by forwarding class",
+                &FORWARDING_LABELS,
+                &self.forwarding,
+            ),
         ] {
             let mut header = vec!["class", "n"];
             let mark_labels: Vec<String> = marks.iter().map(|m| format!("<={m}")).collect();
@@ -136,7 +144,11 @@ mod tests {
         let graph = cfg.seed(37).build();
         let paths = PathSubstrate::generate(&graph, 2).paths;
         let cones = CustomerCones::compute(&graph);
-        let w = World { graph, paths, cones };
+        let w = World {
+            graph,
+            paths,
+            cones,
+        };
         let roles = realistic_roles(&w.graph, &w.cones, 3);
         let tuples = Propagator::new(&w.graph, &roles).tuples(&w.paths);
         (w, tuples)
@@ -164,7 +176,11 @@ mod tests {
             "taggers must be larger than silent"
         );
         // `none` is overwhelmingly leaves (paper: ~90%).
-        assert!(none.proportion_le(1) > 0.7, "none leaf share {}", none.proportion_le(1));
+        assert!(
+            none.proportion_le(1) > 0.7,
+            "none leaf share {}",
+            none.proportion_le(1)
+        );
 
         // Forward/cleaner inferences only exist for transit ASes: their
         // median cone exceeds 1.
@@ -176,7 +192,9 @@ mod tests {
 
     #[test]
     fn cdf_math() {
-        let cdf = ConeCdf { sizes: vec![1, 1, 5, 100] };
+        let cdf = ConeCdf {
+            sizes: vec![1, 1, 5, 100],
+        };
         assert_eq!(cdf.proportion_le(0), 0.0);
         assert_eq!(cdf.proportion_le(1), 0.5);
         assert_eq!(cdf.proportion_le(5), 0.75);

@@ -102,7 +102,11 @@ mod tests {
         let graph = cfg.seed(4).build();
         let paths = bgp_topology::routing::PathSubstrate::generate(&graph, 2).paths;
         let cones = bgp_topology::cone::CustomerCones::compute(&graph);
-        World { graph, paths, cones }
+        World {
+            graph,
+            paths,
+            cones,
+        }
     }
 
     #[test]

@@ -26,8 +26,9 @@ pub struct ScenarioResult {
 }
 
 /// Column labels in paper order.
-pub const COLUMN_LABELS: [&str; 12] =
-    ["tc", "sc", "tf", "sf", "tn", "sn", "nc", "nf", "nn", "u*", "*u", "uu"];
+pub const COLUMN_LABELS: [&str; 12] = [
+    "tc", "sc", "tf", "sf", "tn", "sn", "nc", "nf", "nn", "u*", "*u", "uu",
+];
 
 /// The full Table 2.
 #[derive(Debug, Clone, Default)]
@@ -52,7 +53,11 @@ pub fn run_scenario_once(world: &World, scenario: Scenario, seed: u64) -> Scenar
         let idx = column_index(&class);
         columns[idx] += 1.0;
     }
-    ScenarioResult { name: scenario.name(), pr, columns }
+    ScenarioResult {
+        name: scenario.name(),
+        pr,
+        columns,
+    }
 }
 
 /// Map a class to its Table 2 column.
@@ -83,7 +88,10 @@ pub fn run(world: &World, seeds: usize) -> Table2 {
             Scenario::AllTc | Scenario::AllTf => 1,
             _ => seeds.max(1),
         };
-        let mut acc = ScenarioResult { name: scenario.name(), ..Default::default() };
+        let mut acc = ScenarioResult {
+            name: scenario.name(),
+            ..Default::default()
+        };
         for s in 0..n {
             let r = run_scenario_once(world, scenario, 1_000 + s as u64);
             acc.pr.tagging_recall += r.pr.tagging_recall;
@@ -149,7 +157,11 @@ mod tests {
         let graph = cfg.seed(13).build();
         let paths = PathSubstrate::generate(&graph, 2).paths;
         let cones = CustomerCones::compute(&graph);
-        World { graph, paths, cones }
+        World {
+            graph,
+            paths,
+            cones,
+        }
     }
 
     #[test]
@@ -178,7 +190,10 @@ mod tests {
         let tf = run_scenario_once(&w, Scenario::AllTf, 7);
         let tc = run_scenario_once(&w, Scenario::AllTc, 7);
         // nn column (index 8): alltc hides nearly everything.
-        assert!(tc.columns[8] > tf.columns[8], "alltc must leave more ASes unclassified");
+        assert!(
+            tc.columns[8] > tf.columns[8],
+            "alltc must leave more ASes unclassified"
+        );
         // alltf classifies tf ASes; alltc classifies tc ASes.
         assert!(tf.columns[2] > 0.0);
         assert!(tc.columns[0] > 0.0);
@@ -192,11 +207,18 @@ mod tests {
         let noisy = run_scenario_once(&w, Scenario::RandomNoise, 9);
         // Tagging-undecided mass (u* + uu) grows under noise.
         let und = |r: &ScenarioResult| r.columns[9] + r.columns[11];
-        assert!(und(&noisy) > und(&clean), "noise must create undecided tagging");
+        assert!(
+            und(&noisy) > und(&clean),
+            "noise must create undecided tagging"
+        );
         // Precision stays high: noise mostly creates confusion (undecided),
         // not wrong calls. The paper's 73k-AS substrate rounds to 1.00 with
         // ~53 misses; this 160-AS test world widens the band.
-        assert!(noisy.pr.tagging_precision > 0.9, "noisy precision {}", noisy.pr.tagging_precision);
+        assert!(
+            noisy.pr.tagging_precision > 0.9,
+            "noisy precision {}",
+            noisy.pr.tagging_precision
+        );
     }
 
     #[test]
@@ -215,13 +237,19 @@ mod tests {
         // itself does for random scenarios.
         let seeds = 11..21u64;
         let mean = |scenario: Scenario| {
-            seeds.clone().map(|s| run_scenario_once(&w, scenario, s).pr.tagging_precision).sum::<f64>()
+            seeds
+                .clone()
+                .map(|s| run_scenario_once(&w, scenario, s).pr.tagging_precision)
+                .sum::<f64>()
                 / seeds.clone().count() as f64
         };
         let random_prec = mean(Scenario::Random);
         let p_prec = mean(Scenario::RandomP);
         assert!(p_prec > 0.6, "random-p precision {p_prec}");
-        assert!(p_prec < random_prec, "random-p {p_prec} vs random {random_prec}");
+        assert!(
+            p_prec < random_prec,
+            "random-p {p_prec} vs random {random_prec}"
+        );
     }
 
     #[test]

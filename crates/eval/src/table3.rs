@@ -41,7 +41,11 @@ pub fn classify_dataset(name: &str, tuples: &[PathCommTuple]) -> ClassCounts {
     for t in tuples {
         set.extend(t.path.asns().iter().copied());
     }
-    let mut out = ClassCounts { name: name.to_string(), observed: set.len() as u64, ..Default::default() };
+    let mut out = ClassCounts {
+        name: name.to_string(),
+        observed: set.len() as u64,
+        ..Default::default()
+    };
     for &asn in &set {
         let class = outcome.class_of(asn);
         let ti = match class.tagging {
@@ -110,7 +114,10 @@ impl Table3 {
         let mut header: Vec<&str> = vec!["Input data"];
         let names: Vec<String> = self.datasets.iter().map(|d| d.name.clone()).collect();
         header.extend(names.iter().map(String::as_str));
-        let mut t = Table::new("Table 3: Classification results using (simulated) real BGP data", &header);
+        let mut t = Table::new(
+            "Table 3: Classification results using (simulated) real BGP data",
+            &header,
+        );
 
         let sections: Vec<CountRow> = vec![
             ("tagger", Box::new(|d: &ClassCounts| d.tagging[0])),
@@ -119,7 +126,10 @@ impl Table3 {
             ("none (tag)", Box::new(|d: &ClassCounts| d.tagging[3])),
             ("forward", Box::new(|d: &ClassCounts| d.forwarding[0])),
             ("cleaner", Box::new(|d: &ClassCounts| d.forwarding[1])),
-            ("undecided (fwd)", Box::new(|d: &ClassCounts| d.forwarding[2])),
+            (
+                "undecided (fwd)",
+                Box::new(|d: &ClassCounts| d.forwarding[2]),
+            ),
             ("none (fwd)", Box::new(|d: &ClassCounts| d.forwarding[3])),
             ("tagger-forward", Box::new(|d: &ClassCounts| d.full[0])),
             ("tagger-cleaner", Box::new(|d: &ClassCounts| d.full[1])),
@@ -138,8 +148,8 @@ impl Table3 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bgp_topology::prelude::*;
     use crate::world::World;
+    use bgp_topology::prelude::*;
 
     fn tiny_world() -> World {
         let mut cfg = TopologyConfig::small();
@@ -149,7 +159,11 @@ mod tests {
         let graph = cfg.seed(19).build();
         let paths = PathSubstrate::generate(&graph, 2).paths;
         let cones = CustomerCones::compute(&graph);
-        World { graph, paths, cones }
+        World {
+            graph,
+            paths,
+            cones,
+        }
     }
 
     #[test]
@@ -160,14 +174,20 @@ mod tests {
 
         let agg = t3.dataset("d_May21").unwrap();
         // Silent dominates tagger (paper: 12,315 vs 860).
-        assert!(agg.tagging[1] > agg.tagging[0], "silent must dominate taggers");
+        assert!(
+            agg.tagging[1] > agg.tagging[0],
+            "silent must dominate taggers"
+        );
         // The vast majority of ASes get no tagging inference... relative to
         // classified ones, `none` is the largest bucket (paper: 58,782/72,951).
         assert!(agg.tagging[3] > agg.tagging[0]);
         // Aggregate classifies at least as much as any single project.
         for name in ["RIPE", "RouteViews", "Isolario"] {
             let d = t3.dataset(name).unwrap();
-            assert!(agg.tagging[0] >= d.tagging[0], "aggregate taggers >= {name}");
+            assert!(
+                agg.tagging[0] >= d.tagging[0],
+                "aggregate taggers >= {name}"
+            );
         }
         // Forwarding inferences are scarcer than tagging ones.
         let fwd_decided = agg.forwarding[0] + agg.forwarding[1];

@@ -42,14 +42,17 @@ pub fn run(world: &World, n_experiments: usize, n_pops: usize, seed: u64) -> Tab
 
     // Inference from the ambient-decorated realistic dataset.
     let prop = Propagator::new(&world.graph, &roles);
-    let tuples = crate::world::AmbientCommunities::paper_like(seed)
-        .decorate_vec(&prop.tuples(&world.paths));
+    let tuples =
+        crate::world::AmbientCommunities::paper_like(seed).decorate_vec(&prop.tuples(&world.paths));
     let outcome = InferenceEngine::new(InferenceConfig::default()).run(&tuples);
 
     let mut out = Table4::default();
     for i in 0..n_experiments {
         let exp = PeeringExperiment::run(&world.graph, &roles, n_pops, seed + 100 + i as u64);
-        let mut v = PeeringValidation { label: format!("experiment {}", i + 1), ..Default::default() };
+        let mut v = PeeringValidation {
+            label: format!("experiment {}", i + 1),
+            ..Default::default()
+        };
         for obs in exp.unique_observations() {
             // Exclude the testbed origin itself from the path scan.
             let transit = &obs.path.asns()[..obs.path.len() - 1];
@@ -83,7 +86,11 @@ impl Table4 {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "Table 4: PEERING experiments — share of paths containing >=1 inferred cleaner",
-            &["experiment", "communities present", "communities not present"],
+            &[
+                "experiment",
+                "communities present",
+                "communities not present",
+            ],
         );
         for e in &self.experiments {
             let fmt = |(hit, total): (u64, u64)| {
@@ -112,7 +119,11 @@ mod tests {
         let graph = cfg.seed(41).build();
         let paths = PathSubstrate::generate(&graph, 2).paths;
         let cones = CustomerCones::compute(&graph);
-        World { graph, paths, cones }
+        World {
+            graph,
+            paths,
+            cones,
+        }
     }
 
     #[test]

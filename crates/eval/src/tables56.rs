@@ -34,7 +34,10 @@ pub fn run(world: &World, seed: u64) -> Tables56 {
         let outcome = InferenceEngine::new(InferenceConfig::default()).run(&ds.tuples);
         let truth = truth_map(&ds);
         let matrix = ConfusionMatrix::build(&outcome, &truth);
-        out.scenarios.push(ScenarioConfusion { name: scenario.name(), matrix });
+        out.scenarios.push(ScenarioConfusion {
+            name: scenario.name(),
+            matrix,
+        });
     }
     out
 }
@@ -62,7 +65,10 @@ const FORWARDING_ROWS: [(&str, &str); 6] = [
 impl Tables56 {
     /// Find one scenario's matrices.
     pub fn scenario(&self, name: &str) -> Option<&ConfusionMatrix> {
-        self.scenarios.iter().find(|s| s.name == name).map(|s| &s.matrix)
+        self.scenarios
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| &s.matrix)
     }
 
     /// Render Table 5 (tagging).
@@ -78,8 +84,11 @@ impl Tables56 {
                 if row.total() == 0 {
                     continue;
                 }
-                let name =
-                    if qual.is_empty() { label.to_string() } else { format!("{label} ({qual})") };
+                let name = if qual.is_empty() {
+                    label.to_string()
+                } else {
+                    format!("{label} ({qual})")
+                };
                 t.row(&[
                     name,
                     thousands(row.pos),
@@ -107,8 +116,11 @@ impl Tables56 {
                 if row.total() == 0 {
                     continue;
                 }
-                let name =
-                    if qual.is_empty() { label.to_string() } else { format!("{label} ({qual})") };
+                let name = if qual.is_empty() {
+                    label.to_string()
+                } else {
+                    format!("{label} ({qual})")
+                };
                 t.row(&[
                     name,
                     thousands(row.pos),
@@ -127,8 +139,8 @@ impl Tables56 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bgp_topology::prelude::*;
     use crate::world::World;
+    use bgp_topology::prelude::*;
 
     fn tiny_world() -> World {
         let mut cfg = TopologyConfig::small();
@@ -138,7 +150,11 @@ mod tests {
         let graph = cfg.seed(43).build();
         let paths = PathSubstrate::generate(&graph, 2).paths;
         let cones = CustomerCones::compute(&graph);
-        World { graph, paths, cones }
+        World {
+            graph,
+            paths,
+            cones,
+        }
     }
 
     #[test]
@@ -173,8 +189,16 @@ mod tests {
             // Visible taggers never classified silent and vice versa.
             assert_eq!(m.tagging_row("tagger", "").neg, 0, "{name}: tagger->silent");
             assert_eq!(m.tagging_row("silent", "").pos, 0, "{name}: silent->tagger");
-            assert_eq!(m.forwarding_row("forward", "").neg, 0, "{name}: forward->cleaner");
-            assert_eq!(m.forwarding_row("cleaner", "").pos, 0, "{name}: cleaner->forward");
+            assert_eq!(
+                m.forwarding_row("forward", "").neg,
+                0,
+                "{name}: forward->cleaner"
+            );
+            assert_eq!(
+                m.forwarding_row("cleaner", "").pos,
+                0,
+                "{name}: cleaner->forward"
+            );
         }
     }
 
@@ -185,7 +209,12 @@ mod tests {
         for sc in &t56.scenarios {
             for label in ["forward", "cleaner"] {
                 let row = sc.matrix.forwarding_row(label, "leaf");
-                assert_eq!(row.pos + row.neg + row.undecided, 0, "{}: leaf {label}", sc.name);
+                assert_eq!(
+                    row.pos + row.neg + row.undecided,
+                    0,
+                    "{}: leaf {label}",
+                    sc.name
+                );
             }
         }
     }

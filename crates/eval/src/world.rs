@@ -68,10 +68,16 @@ impl World {
     /// Build the world at a given scale and seed.
     pub fn build(scale: EvalScale, seed: u64) -> Self {
         let graph = scale.config().seed(seed).build();
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         let paths = PathSubstrate::generate(&graph, threads).paths;
         let cones = CustomerCones::compute(&graph);
-        World { graph, paths, cones }
+        World {
+            graph,
+            paths,
+            cones,
+        }
     }
 }
 
@@ -119,7 +125,13 @@ pub fn realistic_roles(graph: &AsGraph, cones: &CustomerCones, seed: u64) -> Rol
             ForwardingBehavior::Forward
         };
 
-        ra.set(asn, Role { tagging, forwarding });
+        ra.set(
+            asn,
+            Role {
+                tagging,
+                forwarding,
+            },
+        );
     }
     ra
 }
@@ -145,7 +157,11 @@ pub struct AmbientCommunities {
 impl AmbientCommunities {
     /// Rates that produce a Table-1-like stray/private share.
     pub fn paper_like(seed: u64) -> Self {
-        AmbientCommunities { private_prob: 0.18, stray_prob: 0.12, seed }
+        AmbientCommunities {
+            private_prob: 0.18,
+            stray_prob: 0.12,
+            seed,
+        }
     }
 
     /// Decorate one tuple.
@@ -161,7 +177,8 @@ impl AmbientCommunities {
         if u1 < self.private_prob {
             // Private-use upper field (RFC 6996), value varies.
             let upper = 64_512 + (h % 64) as u16;
-            out.comm.insert(AnyCommunity::regular(upper, (h >> 8) as u16));
+            out.comm
+                .insert(AnyCommunity::regular(upper, (h >> 8) as u16));
         }
         if u2 < self.stray_prob {
             // A public ASN engineered to be off-path. Real stray uppers
@@ -169,11 +186,13 @@ impl AmbientCommunities {
             // uppers among 6.6k total); draw from a ~150-slot pool (1:10
             // scale) and skip anything actually on the path.
             let slot = (h >> 32) % 150;
-            let mut cand = 1 + ((self.seed.wrapping_mul(2654435761) ^ (slot * 397)) % 60_000) as u32;
+            let mut cand =
+                1 + ((self.seed.wrapping_mul(2654435761) ^ (slot * 397)) % 60_000) as u32;
             while t.path.contains(Asn(cand)) || Asn(cand).is_reserved_or_private() {
                 cand = 1 + (cand + 7) % 64_000;
             }
-            out.comm.insert(AnyCommunity::regular(cand as u16, (h >> 16) as u16));
+            out.comm
+                .insert(AnyCommunity::regular(cand as u16, (h >> 16) as u16));
         }
         out
     }
@@ -242,7 +261,11 @@ mod tests {
         let graph = cfg.seed(2).build();
         let paths = PathSubstrate::generate(&graph, 2).paths;
         let cones = CustomerCones::compute(&graph);
-        World { graph, paths, cones }
+        World {
+            graph,
+            paths,
+            cones,
+        }
     }
 
     #[test]
@@ -272,7 +295,10 @@ mod tests {
                 }
             }
         }
-        assert!(big_tag / big_n > small_tag / small_n, "taggers must skew large");
+        assert!(
+            big_tag / big_n > small_tag / small_n,
+            "taggers must skew large"
+        );
         // The global tagger share stays a small minority.
         let share = (big_tag + small_tag) / (big_n + small_n);
         assert!(share < 0.25, "global tagger share {share}");
@@ -331,10 +357,17 @@ mod tests {
         let ds = Scenario::Random.materialize(&w.graph, &w.paths, 3);
         let amb = AmbientCommunities::paper_like(3);
         let decorated = amb.decorate_vec(&ds.tuples);
-        let cfg = InferenceConfig { threads: 1, ..Default::default() };
+        let cfg = InferenceConfig {
+            threads: 1,
+            ..Default::default()
+        };
         let clean = InferenceEngine::new(cfg.clone()).run(&ds.tuples);
         let noisy = InferenceEngine::new(cfg).run(&decorated);
-        assert_eq!(clean.classes(), noisy.classes(), "stray/private must be inert");
+        assert_eq!(
+            clean.classes(),
+            noisy.classes(),
+            "stray/private must be inert"
+        );
     }
 
     #[test]

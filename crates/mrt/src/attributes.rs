@@ -50,7 +50,9 @@ pub struct DecodedAttributes {
 /// Encode one attribute with automatic extended-length handling.
 fn put_attr(out: &mut Vec<u8>, flags: u8, type_code: u8, value: &[u8]) -> Result<()> {
     if value.len() > u16::MAX as usize {
-        return Err(MrtError::EncodeOverflow { context: "attribute value" });
+        return Err(MrtError::EncodeOverflow {
+            context: "attribute value",
+        });
     }
     if value.len() > u8::MAX as usize {
         out.put_u8(flags | FLAG_EXTENDED);
@@ -121,7 +123,9 @@ pub fn encode_attributes(
             continue;
         }
         if asns.len() > 255 {
-            return Err(MrtError::EncodeOverflow { context: "AS_PATH segment" });
+            return Err(MrtError::EncodeOverflow {
+                context: "AS_PATH segment",
+            });
         }
         pathval.put_u8(ty);
         pathval.put_u8(asns.len() as u8);
@@ -149,10 +153,20 @@ pub fn encode_attributes(
         }
     }
     if !regular.is_empty() {
-        put_attr(&mut out, FLAG_OPTIONAL | FLAG_TRANSITIVE, ATTR_COMMUNITIES, &regular)?;
+        put_attr(
+            &mut out,
+            FLAG_OPTIONAL | FLAG_TRANSITIVE,
+            ATTR_COMMUNITIES,
+            &regular,
+        )?;
     }
     if !large.is_empty() {
-        put_attr(&mut out, FLAG_OPTIONAL | FLAG_TRANSITIVE, ATTR_LARGE_COMMUNITIES, &large)?;
+        put_attr(
+            &mut out,
+            FLAG_OPTIONAL | FLAG_TRANSITIVE,
+            ATTR_LARGE_COMMUNITIES,
+            &large,
+        )?;
     }
 
     if !mp_reach.is_empty() {
@@ -200,9 +214,11 @@ pub fn decode_attributes(c: &mut Cursor<'_>) -> Result<DecodedAttributes> {
         match type_code {
             ATTR_ORIGIN => {
                 let code = val.get_u8("origin code")?;
-                out.attrs.origin = Some(Origin::from_code(code).ok_or_else(|| {
-                    MrtError::Malformed { context: "origin", detail: format!("code {code}") }
-                })?);
+                out.attrs.origin =
+                    Some(Origin::from_code(code).ok_or_else(|| MrtError::Malformed {
+                        context: "origin",
+                        detail: format!("code {code}"),
+                    })?);
             }
             ATTR_AS_PATH => {
                 let mut segments = Vec::new();
@@ -240,7 +256,9 @@ pub fn decode_attributes(c: &mut Cursor<'_>) -> Result<DecodedAttributes> {
                 }
                 while !val.is_exhausted() {
                     let raw = val.get_u32("community")?;
-                    out.attrs.communities.insert(AnyCommunity::Regular(Community(raw)));
+                    out.attrs
+                        .communities
+                        .insert(AnyCommunity::Regular(Community(raw)));
                 }
             }
             ATTR_LARGE_COMMUNITIES => {
@@ -255,7 +273,9 @@ pub fn decode_attributes(c: &mut Cursor<'_>) -> Result<DecodedAttributes> {
                     let ga = val.get_u32("large community ga")?;
                     let l1 = val.get_u32("large community l1")?;
                     let l2 = val.get_u32("large community l2")?;
-                    out.attrs.communities.insert(AnyCommunity::large(ga, l1, l2));
+                    out.attrs
+                        .communities
+                        .insert(AnyCommunity::large(ga, l1, l2));
                 }
             }
             ATTR_MP_REACH_NLRI => {
@@ -358,8 +378,9 @@ mod tests {
     #[test]
     fn extended_length_roundtrip() {
         // >255 bytes of communities forces the extended-length encoding.
-        let comms: Vec<AnyCommunity> =
-            (0..100u16).map(|i| AnyCommunity::regular(3356, i)).collect();
+        let comms: Vec<AnyCommunity> = (0..100u16)
+            .map(|i| AnyCommunity::regular(3356, i))
+            .collect();
         let attrs = PathAttributes {
             as_path: RawAsPath::from_sequence(vec![Asn(1)]),
             communities: CommunitySet::from_iter(comms.clone()),

@@ -52,7 +52,10 @@ impl fmt::Display for MrtError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MrtError::Truncated { context, needed } => {
-                write!(f, "truncated input while decoding {context}: {needed} more byte(s) needed")
+                write!(
+                    f,
+                    "truncated input while decoding {context}: {needed} more byte(s) needed"
+                )
             }
             MrtError::UnsupportedType { mrt_type, subtype } => {
                 write!(f, "unsupported MRT type/subtype {mrt_type}/{subtype}")
@@ -60,8 +63,15 @@ impl fmt::Display for MrtError {
             MrtError::Malformed { context, detail } => {
                 write!(f, "malformed {context}: {detail}")
             }
-            MrtError::LengthMismatch { context, declared, actual } => {
-                write!(f, "length mismatch in {context}: declared {declared}, actual {actual}")
+            MrtError::LengthMismatch {
+                context,
+                declared,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "length mismatch in {context}: declared {declared}, actual {actual}"
+                )
             }
             MrtError::EncodeOverflow { context } => {
                 write!(f, "value too large to encode in {context}")
@@ -81,13 +91,26 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = MrtError::Truncated { context: "header", needed: 4 };
+        let e = MrtError::Truncated {
+            context: "header",
+            needed: 4,
+        };
         assert!(e.to_string().contains("header"));
-        let e = MrtError::UnsupportedType { mrt_type: 99, subtype: 1 };
+        let e = MrtError::UnsupportedType {
+            mrt_type: 99,
+            subtype: 1,
+        };
         assert!(e.to_string().contains("99/1"));
-        let e = MrtError::LengthMismatch { context: "attr", declared: 10, actual: 7 };
+        let e = MrtError::LengthMismatch {
+            context: "attr",
+            declared: 10,
+            actual: 7,
+        };
         assert!(e.to_string().contains("10"));
-        let e = MrtError::Malformed { context: "origin", detail: "code 9".into() };
+        let e = MrtError::Malformed {
+            context: "origin",
+            detail: "code 9".into(),
+        };
         assert!(e.to_string().contains("origin"));
         let e = MrtError::EncodeOverflow { context: "nlri" };
         assert!(e.to_string().contains("nlri"));

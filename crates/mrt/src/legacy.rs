@@ -128,7 +128,9 @@ fn decode_attributes_2byte(c: &mut Cursor<'_>) -> Result<PathAttributes> {
             ATTR_COMMUNITIES => {
                 while val.remaining() >= 4 {
                     let raw = val.get_u32("community")?;
-                    attrs.communities.insert(AnyCommunity::Regular(Community(raw)));
+                    attrs
+                        .communities
+                        .insert(AnyCommunity::Regular(Community(raw)));
                 }
             }
             ATTR_LARGE_COMMUNITIES => {
@@ -172,7 +174,10 @@ pub fn decode_bgp4mp_message(timestamp: u32, body: &mut Cursor<'_>) -> Result<Up
 
     let marker = body.get_bytes(16, "bgp marker")?;
     if marker.iter().any(|&b| b != 0xFF) {
-        return Err(MrtError::Malformed { context: "bgp marker", detail: "non-0xFF".into() });
+        return Err(MrtError::Malformed {
+            context: "bgp marker",
+            detail: "non-0xFF".into(),
+        });
     }
     let msg_len = body.get_u16("bgp length")? as usize;
     if msg_len < 19 {
@@ -183,7 +188,10 @@ pub fn decode_bgp4mp_message(timestamp: u32, body: &mut Cursor<'_>) -> Result<Up
     }
     let msg_type = body.get_u8("bgp type")?;
     if msg_type != 2 {
-        return Err(MrtError::UnsupportedType { mrt_type: TYPE_BGP4MP, subtype: msg_type as u16 });
+        return Err(MrtError::UnsupportedType {
+            mrt_type: TYPE_BGP4MP,
+            subtype: msg_type as u16,
+        });
     }
     let mut msg = body.sub(msg_len - 19, "bgp update body")?;
 
@@ -296,7 +304,9 @@ pub fn encode_bgp4mp_message(msg: &UpdateMessage) -> Result<Vec<u8>> {
         FLAG_TRANSITIVE,
     };
     if msg.peer_asn.is_32bit_only() {
-        return Err(MrtError::EncodeOverflow { context: "legacy peer asn" });
+        return Err(MrtError::EncodeOverflow {
+            context: "legacy peer asn",
+        });
     }
 
     let mut attrs = Vec::new();
@@ -312,7 +322,12 @@ pub fn encode_bgp4mp_message(msg: &UpdateMessage) -> Result<Vec<u8>> {
     let (two, four) = encode_legacy_paths(&msg.attributes.as_path);
     put_attr(&mut attrs, FLAG_TRANSITIVE, ATTR_AS_PATH, &two);
     if let Some(four) = four {
-        put_attr(&mut attrs, FLAG_OPTIONAL | FLAG_TRANSITIVE, ATTR_AS4_PATH, &four);
+        put_attr(
+            &mut attrs,
+            FLAG_OPTIONAL | FLAG_TRANSITIVE,
+            ATTR_AS4_PATH,
+            &four,
+        );
     }
     if let Some(nh) = msg.attributes.next_hop {
         put_attr(&mut attrs, FLAG_TRANSITIVE, ATTR_NEXT_HOP, &nh);
@@ -324,7 +339,12 @@ pub fn encode_bgp4mp_message(msg: &UpdateMessage) -> Result<Vec<u8>> {
         }
     }
     if !comms.is_empty() {
-        put_attr(&mut attrs, FLAG_OPTIONAL | FLAG_TRANSITIVE, ATTR_COMMUNITIES, &comms);
+        put_attr(
+            &mut attrs,
+            FLAG_OPTIONAL | FLAG_TRANSITIVE,
+            ATTR_COMMUNITIES,
+            &comms,
+        );
     }
 
     let mut nlri = Vec::new();
@@ -372,7 +392,9 @@ pub fn encode_bgp4mp_message(msg: &UpdateMessage) -> Result<Vec<u8>> {
 
 /// Encode a legacy `TABLE_DUMP` (AFI IPv4) record for one RIB entry.
 pub fn encode_table_dump_v1(entry: &RibEntry, sequence: u16) -> Result<Vec<u8>> {
-    use crate::attributes::{ATTR_COMMUNITIES, ATTR_NEXT_HOP, ATTR_ORIGIN, FLAG_OPTIONAL, FLAG_TRANSITIVE};
+    use crate::attributes::{
+        ATTR_COMMUNITIES, ATTR_NEXT_HOP, ATTR_ORIGIN, FLAG_OPTIONAL, FLAG_TRANSITIVE,
+    };
     let Prefix::V4 { net, len } = entry.prefix else {
         return Err(MrtError::Malformed {
             context: "table_dump prefix",
@@ -380,7 +402,9 @@ pub fn encode_table_dump_v1(entry: &RibEntry, sequence: u16) -> Result<Vec<u8>> 
         });
     };
     if entry.peer_asn.is_32bit_only() {
-        return Err(MrtError::EncodeOverflow { context: "legacy peer asn" });
+        return Err(MrtError::EncodeOverflow {
+            context: "legacy peer asn",
+        });
     }
 
     let mut attrs = Vec::new();
@@ -396,7 +420,12 @@ pub fn encode_table_dump_v1(entry: &RibEntry, sequence: u16) -> Result<Vec<u8>> 
     let (two, four) = encode_legacy_paths(&entry.attributes.as_path);
     put_attr(&mut attrs, FLAG_TRANSITIVE, ATTR_AS_PATH, &two);
     if let Some(four) = four {
-        put_attr(&mut attrs, FLAG_OPTIONAL | FLAG_TRANSITIVE, ATTR_AS4_PATH, &four);
+        put_attr(
+            &mut attrs,
+            FLAG_OPTIONAL | FLAG_TRANSITIVE,
+            ATTR_AS4_PATH,
+            &four,
+        );
     }
     if let Some(nh) = entry.attributes.next_hop {
         put_attr(&mut attrs, FLAG_TRANSITIVE, ATTR_NEXT_HOP, &nh);
@@ -408,7 +437,12 @@ pub fn encode_table_dump_v1(entry: &RibEntry, sequence: u16) -> Result<Vec<u8>> 
         }
     }
     if !comms.is_empty() {
-        put_attr(&mut attrs, FLAG_OPTIONAL | FLAG_TRANSITIVE, ATTR_COMMUNITIES, &comms);
+        put_attr(
+            &mut attrs,
+            FLAG_OPTIONAL | FLAG_TRANSITIVE,
+            ATTR_COMMUNITIES,
+            &comms,
+        );
     }
 
     let mut body = Vec::new();
@@ -475,12 +509,14 @@ mod tests {
         let bytes = encode_bgp4mp_message(&msg).unwrap();
         match decode_record(&mut Cursor::new(&bytes), None).unwrap() {
             MrtRecord::Update(got) => {
-                assert_eq!(got.attributes.as_path.flatten(), msg.attributes.as_path.flatten());
-                assert!(!got
-                    .attributes
-                    .as_path
-                    .flatten()
-                    .contains(&Asn(23456)), "AS_TRANS leaked through");
+                assert_eq!(
+                    got.attributes.as_path.flatten(),
+                    msg.attributes.as_path.flatten()
+                );
+                assert!(
+                    !got.attributes.as_path.flatten().contains(&Asn(23456)),
+                    "AS_TRANS leaked through"
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -495,7 +531,10 @@ mod tests {
         assert_eq!(merged.flatten(), vec![Asn(1), Asn(200_000), Asn(3)]);
         // AS4 longer than AS_PATH: ignored.
         let too_long = RawAsPath::from_sequence(vec![Asn(9); 5]);
-        assert_eq!(merge_as4_path(&as2, Some(&too_long)).flatten(), as2.flatten());
+        assert_eq!(
+            merge_as4_path(&as2, Some(&too_long)).flatten(),
+            as2.flatten()
+        );
         // No AS4: identity.
         assert_eq!(merge_as4_path(&as2, None), as2);
     }
@@ -518,7 +557,10 @@ mod tests {
                     entries[0].attributes.as_path.flatten(),
                     entry.attributes.as_path.flatten()
                 );
-                assert_eq!(entries[0].attributes.communities, entry.attributes.communities);
+                assert_eq!(
+                    entries[0].attributes.communities,
+                    entry.attributes.communities
+                );
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -39,8 +39,8 @@
 #![warn(rust_2018_idioms)]
 
 pub mod attributes;
-pub mod legacy;
 pub mod error;
+pub mod legacy;
 pub mod record;
 pub mod stream;
 pub mod wire;

@@ -12,7 +12,9 @@
 //! * `TABLE_DUMP_V2 (13) / RIB_IPV4_UNICAST (2)` and `RIB_IPV6_UNICAST (4)`
 //!   — per-prefix RIB entries.
 
-use crate::attributes::{decode_attributes, decode_nlri_prefix, encode_attributes, encode_nlri_prefix};
+use crate::attributes::{
+    decode_attributes, decode_nlri_prefix, encode_attributes, encode_nlri_prefix,
+};
 use crate::error::{MrtError, Result};
 use crate::wire::{Cursor, PutExt};
 use bgp_types::prelude::*;
@@ -108,7 +110,12 @@ pub enum MrtRecord {
 
 /// Encode an [`UpdateMessage`] as a full MRT record (header + body).
 pub fn encode_update(msg: &UpdateMessage) -> Result<Vec<u8>> {
-    let v6_announced: Vec<Prefix> = msg.announced.iter().filter(|p| p.is_v6()).cloned().collect();
+    let v6_announced: Vec<Prefix> = msg
+        .announced
+        .iter()
+        .filter(|p| p.is_v6())
+        .cloned()
+        .collect();
     let v4_announced: Vec<&Prefix> = msg.announced.iter().filter(|p| p.is_v4()).collect();
 
     // --- BGP UPDATE message ---
@@ -122,12 +129,20 @@ pub fn encode_update(msg: &UpdateMessage) -> Result<Vec<u8>> {
 
     let mut bgp = Vec::new();
     bgp.extend_from_slice(&[0xFF; 16]); // marker
-    // UPDATE body: withdrawn-len(2) + withdrawn + attrs-len(2) + attrs + NLRI.
-    let inner = 2 + withdrawn.len() + 2 + attrs.len()
-        + v4_announced.iter().map(|p| 1 + p.nlri_byte_len()).sum::<usize>();
+                                        // UPDATE body: withdrawn-len(2) + withdrawn + attrs-len(2) + attrs + NLRI.
+    let inner = 2
+        + withdrawn.len()
+        + 2
+        + attrs.len()
+        + v4_announced
+            .iter()
+            .map(|p| 1 + p.nlri_byte_len())
+            .sum::<usize>();
     let total = 19 + inner; // marker(16) + length(2) + type(1)
     if total > u16::MAX as usize {
-        return Err(MrtError::EncodeOverflow { context: "bgp message" });
+        return Err(MrtError::EncodeOverflow {
+            context: "bgp message",
+        });
     }
     bgp.put_u16(total as u16);
     bgp.put_u8(BGP_MSG_UPDATE);
@@ -146,7 +161,7 @@ pub fn encode_update(msg: &UpdateMessage) -> Result<Vec<u8>> {
     body.put_u32(0); // local ASN (collector side)
     body.put_u16(0); // interface index
     body.put_u16(if v6_peer { 2 } else { 1 }); // AFI
-    // peer ip + local ip
+                                               // peer ip + local ip
     let ip_len = if v6_peer { 16 } else { 4 };
     let mut peer_ip = msg.peer_ip.clone();
     peer_ip.resize(ip_len, 0);
@@ -201,7 +216,10 @@ fn decode_bgp4mp_message_as4(timestamp: u32, body: &mut Cursor<'_>) -> Result<Up
     }
     let msg_type = body.get_u8("bgp message type")?;
     if msg_type != BGP_MSG_UPDATE {
-        return Err(MrtError::UnsupportedType { mrt_type: TYPE_BGP4MP, subtype: msg_type as u16 });
+        return Err(MrtError::UnsupportedType {
+            mrt_type: TYPE_BGP4MP,
+            subtype: msg_type as u16,
+        });
     }
     let mut msg = body.sub(msg_len - 19, "bgp update body")?;
 
@@ -241,12 +259,16 @@ pub fn encode_peer_index(table: &PeerIndexTable, timestamp: u32) -> Result<Vec<u
     let mut body = Vec::new();
     body.put_u32(table.collector_id);
     if table.view_name.len() > u16::MAX as usize {
-        return Err(MrtError::EncodeOverflow { context: "view name" });
+        return Err(MrtError::EncodeOverflow {
+            context: "view name",
+        });
     }
     body.put_u16(table.view_name.len() as u16);
     body.extend_from_slice(table.view_name.as_bytes());
     if table.peers.len() > u16::MAX as usize {
-        return Err(MrtError::EncodeOverflow { context: "peer count" });
+        return Err(MrtError::EncodeOverflow {
+            context: "peer count",
+        });
     }
     body.put_u16(table.peers.len() as u16);
     for p in &table.peers {
@@ -294,7 +316,11 @@ fn decode_peer_index(body: &mut Cursor<'_>) -> Result<PeerIndexTable> {
         };
         peers.push(PeerEntry { bgp_id, ip, asn });
     }
-    Ok(PeerIndexTable { collector_id, view_name, peers })
+    Ok(PeerIndexTable {
+        collector_id,
+        view_name,
+        peers,
+    })
 }
 
 /// RIB entries for one prefix, ready for encoding: pairs of (peer index,
@@ -316,7 +342,9 @@ pub fn encode_rib_group(g: &RibGroup, timestamp: u32) -> Result<Vec<u8>> {
     body.put_u32(g.sequence);
     encode_nlri_prefix(&mut body, &g.prefix);
     if g.entries.len() > u16::MAX as usize {
-        return Err(MrtError::EncodeOverflow { context: "rib entry count" });
+        return Err(MrtError::EncodeOverflow {
+            context: "rib entry count",
+        });
     }
     body.put_u16(g.entries.len() as u16);
     for (peer_idx, originated, attrs) in &g.entries {
@@ -326,13 +354,19 @@ pub fn encode_rib_group(g: &RibGroup, timestamp: u32) -> Result<Vec<u8>> {
         // v6 NLRI is passed here.
         let encoded = encode_attributes(attrs, &[], &[])?;
         if encoded.len() > u16::MAX as usize {
-            return Err(MrtError::EncodeOverflow { context: "rib attributes" });
+            return Err(MrtError::EncodeOverflow {
+                context: "rib attributes",
+            });
         }
         body.put_u16(encoded.len() as u16);
         body.extend_from_slice(&encoded);
     }
 
-    let subtype = if g.prefix.is_v6() { SUBTYPE_RIB_IPV6_UNICAST } else { SUBTYPE_RIB_IPV4_UNICAST };
+    let subtype = if g.prefix.is_v6() {
+        SUBTYPE_RIB_IPV6_UNICAST
+    } else {
+        SUBTYPE_RIB_IPV4_UNICAST
+    };
     let mut out = Vec::with_capacity(MrtHeader::SIZE + body.len());
     MrtHeader {
         timestamp,
@@ -385,32 +419,34 @@ fn decode_rib_group(
 ///
 /// `peer_table` must be the most recently seen PEER_INDEX_TABLE when
 /// decoding RIB subtypes (as in a real dump, where it is the first record).
-pub fn decode_record(
-    c: &mut Cursor<'_>,
-    peer_table: Option<&PeerIndexTable>,
-) -> Result<MrtRecord> {
+pub fn decode_record(c: &mut Cursor<'_>, peer_table: Option<&PeerIndexTable>) -> Result<MrtRecord> {
     let header = MrtHeader::decode(c)?;
     let mut body = c.sub(header.length as usize, "mrt body")?;
     match (header.mrt_type, header.subtype) {
-        (TYPE_BGP4MP, SUBTYPE_BGP4MP_MESSAGE_AS4) => {
-            Ok(MrtRecord::Update(decode_bgp4mp_message_as4(header.timestamp, &mut body)?))
-        }
+        (TYPE_BGP4MP, SUBTYPE_BGP4MP_MESSAGE_AS4) => Ok(MrtRecord::Update(
+            decode_bgp4mp_message_as4(header.timestamp, &mut body)?,
+        )),
         (TYPE_BGP4MP, crate::legacy::SUBTYPE_BGP4MP_MESSAGE) => Ok(MrtRecord::Update(
             crate::legacy::decode_bgp4mp_message(header.timestamp, &mut body)?,
         )),
         (crate::legacy::TYPE_TABLE_DUMP, crate::legacy::SUBTYPE_TABLE_DUMP_AFI_IPV4) => {
-            Ok(MrtRecord::RibEntries(vec![crate::legacy::decode_table_dump_v1(&mut body)?]))
+            Ok(MrtRecord::RibEntries(vec![
+                crate::legacy::decode_table_dump_v1(&mut body)?,
+            ]))
         }
         (TYPE_TABLE_DUMP_V2, SUBTYPE_PEER_INDEX_TABLE) => {
             Ok(MrtRecord::PeerIndex(decode_peer_index(&mut body)?))
         }
-        (TYPE_TABLE_DUMP_V2, SUBTYPE_RIB_IPV4_UNICAST) => {
-            Ok(MrtRecord::RibEntries(decode_rib_group(&mut body, false, peer_table)?))
-        }
-        (TYPE_TABLE_DUMP_V2, SUBTYPE_RIB_IPV6_UNICAST) => {
-            Ok(MrtRecord::RibEntries(decode_rib_group(&mut body, true, peer_table)?))
-        }
-        (t, s) => Err(MrtError::UnsupportedType { mrt_type: t, subtype: s }),
+        (TYPE_TABLE_DUMP_V2, SUBTYPE_RIB_IPV4_UNICAST) => Ok(MrtRecord::RibEntries(
+            decode_rib_group(&mut body, false, peer_table)?,
+        )),
+        (TYPE_TABLE_DUMP_V2, SUBTYPE_RIB_IPV6_UNICAST) => Ok(MrtRecord::RibEntries(
+            decode_rib_group(&mut body, true, peer_table)?,
+        )),
+        (t, s) => Err(MrtError::UnsupportedType {
+            mrt_type: t,
+            subtype: s,
+        }),
     }
 }
 
@@ -483,7 +519,11 @@ mod tests {
             collector_id: 0xC0000201,
             view_name: "rrc00".into(),
             peers: vec![
-                PeerEntry { bgp_id: 1, ip: vec![192, 0, 2, 1], asn: Asn(64500) },
+                PeerEntry {
+                    bgp_id: 1,
+                    ip: vec![192, 0, 2, 1],
+                    asn: Asn(64500),
+                },
                 PeerEntry {
                     bgp_id: 2,
                     ip: vec![0x20, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2],
@@ -515,7 +555,10 @@ mod tests {
         let g = RibGroup {
             sequence: 42,
             prefix: Prefix::v4([193, 0, 0, 0], 16),
-            entries: vec![(0, 1_621_000_000, attrs.clone()), (1, 1_621_000_001, attrs.clone())],
+            entries: vec![
+                (0, 1_621_000_000, attrs.clone()),
+                (1, 1_621_000_001, attrs.clone()),
+            ],
         };
         let bytes = encode_rib_group(&g, 10).unwrap();
         match decode_record(&mut Cursor::new(&bytes), Some(&table)).unwrap() {
@@ -567,7 +610,13 @@ mod tests {
     #[test]
     fn unsupported_type_errors() {
         let mut bytes = Vec::new();
-        MrtHeader { timestamp: 0, mrt_type: 99, subtype: 1, length: 0 }.encode(&mut bytes);
+        MrtHeader {
+            timestamp: 0,
+            mrt_type: 99,
+            subtype: 1,
+            length: 0,
+        }
+        .encode(&mut bytes);
         assert!(matches!(
             decode_record(&mut Cursor::new(&bytes), None),
             Err(MrtError::UnsupportedType { mrt_type: 99, .. })
@@ -590,7 +639,10 @@ mod tests {
         bytes[32] = 0x00;
         assert!(matches!(
             decode_record(&mut Cursor::new(&bytes), None),
-            Err(MrtError::Malformed { context: "bgp marker", .. })
+            Err(MrtError::Malformed {
+                context: "bgp marker",
+                ..
+            })
         ));
     }
 }

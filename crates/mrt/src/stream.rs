@@ -87,7 +87,11 @@ pub struct MrtReader<'a> {
 impl<'a> MrtReader<'a> {
     /// Wrap archive bytes.
     pub fn new(bytes: &'a [u8]) -> Self {
-        MrtReader { cursor: Cursor::new(bytes), peer_table: None, failed: false }
+        MrtReader {
+            cursor: Cursor::new(bytes),
+            peer_table: None,
+            failed: false,
+        }
     }
 
     /// The PEER_INDEX_TABLE seen so far, if any.
@@ -261,7 +265,11 @@ mod tests {
         let table = PeerIndexTable {
             collector_id: 1,
             view_name: "test".into(),
-            peers: vec![PeerEntry { bgp_id: 1, ip: vec![192, 0, 2, 1], asn: Asn(64500) }],
+            peers: vec![PeerEntry {
+                bgp_id: 1,
+                ip: vec![192, 0, 2, 1],
+                asn: Asn(64500),
+            }],
         };
         w.write_peer_index(&table, 0).unwrap();
         let g = RibGroup {
@@ -277,7 +285,8 @@ mod tests {
             )],
         };
         w.write_rib_group(&g, 0).unwrap();
-        w.write_update(&update(64500, &[64500, 3356, 15169], &[(3356, 1)], 100)).unwrap();
+        w.write_update(&update(64500, &[64500, 3356, 15169], &[(3356, 1)], 100))
+            .unwrap();
         assert_eq!(w.record_count(), 3);
 
         let bytes = w.into_bytes();
@@ -294,7 +303,11 @@ mod tests {
         let table = PeerIndexTable {
             collector_id: 1,
             view_name: String::new(),
-            peers: vec![PeerEntry { bgp_id: 1, ip: vec![10, 0, 0, 1], asn: Asn(7018) }],
+            peers: vec![PeerEntry {
+                bgp_id: 1,
+                ip: vec![10, 0, 0, 1],
+                asn: Asn(7018),
+            }],
         };
         w.write_peer_index(&table, 0).unwrap();
         let g = RibGroup {
@@ -322,7 +335,8 @@ mod tests {
     fn extract_tuples_sanitizes() {
         let mut w = MrtWriter::new();
         // Path with prepending; peer equals first hop.
-        w.write_update(&update(64500, &[64500, 64500, 3356], &[(3356, 9)], 0)).unwrap();
+        w.write_update(&update(64500, &[64500, 64500, 3356], &[(3356, 9)], 0))
+            .unwrap();
         let (tuples, raw) = extract_tuples(w.as_bytes()).unwrap();
         assert_eq!(raw, 1);
         assert_eq!(tuples.len(), 1);
@@ -334,7 +348,8 @@ mod tests {
     fn extract_tuples_prepends_missing_peer() {
         // Route-server style: peer ASN not on path.
         let mut w = MrtWriter::new();
-        w.write_update(&update(6695, &[64500, 3356], &[], 0)).unwrap();
+        w.write_update(&update(6695, &[64500, 3356], &[], 0))
+            .unwrap();
         let (tuples, _) = extract_tuples(w.as_bytes()).unwrap();
         assert_eq!(tuples[0].path.peer(), Asn(6695));
         assert_eq!(tuples[0].path.len(), 3);
@@ -343,13 +358,14 @@ mod tests {
     #[test]
     fn tuple_stream_matches_extract_and_carries_timestamps() {
         let mut w = MrtWriter::new();
-        w.write_update(&update(64500, &[64500, 3356], &[(3356, 1)], 100)).unwrap();
-        w.write_update(&update(64501, &[64501, 174], &[], 200)).unwrap();
+        w.write_update(&update(64500, &[64500, 3356], &[(3356, 1)], 100))
+            .unwrap();
+        w.write_update(&update(64501, &[64501, 174], &[], 200))
+            .unwrap();
         let bytes = w.into_bytes();
 
         let mut stream = TupleStream::new(&bytes);
-        let streamed: Vec<(u64, PathCommTuple)> =
-            (&mut stream).map(|r| r.unwrap()).collect();
+        let streamed: Vec<(u64, PathCommTuple)> = (&mut stream).map(|r| r.unwrap()).collect();
         let (batch, raw) = extract_tuples(&bytes).unwrap();
         assert_eq!(stream.raw_entries(), raw);
         assert_eq!(streamed.len(), batch.len());

@@ -36,7 +36,10 @@ impl<'a> Cursor<'a> {
 
     fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8]> {
         if self.remaining() < n {
-            return Err(MrtError::Truncated { context, needed: n - self.remaining() });
+            return Err(MrtError::Truncated {
+                context,
+                needed: n - self.remaining(),
+            });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -130,7 +133,13 @@ mod tests {
     fn truncation_reports_needed() {
         let mut c = Cursor::new(&[1, 2]);
         let err = c.get_u32("field").unwrap_err();
-        assert_eq!(err, MrtError::Truncated { context: "field", needed: 2 });
+        assert_eq!(
+            err,
+            MrtError::Truncated {
+                context: "field",
+                needed: 2
+            }
+        );
         // Position unchanged after failed read of multi-byte field?
         // take() only advances on success.
         assert_eq!(c.remaining(), 2);

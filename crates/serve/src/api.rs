@@ -1,0 +1,540 @@
+//! The query API: routes, parameter parsing, and JSON response shapes.
+//!
+//! Every response is produced against exactly one immutable
+//! [`ServeSnapshot`] loaded at the top of the request, so concurrent
+//! epoch seals can never tear a response. Endpoints:
+//!
+//! | route                        | answer |
+//! |------------------------------|--------|
+//! | `/v1/class/{asn}`            | one AS record |
+//! | `/v1/classes?class=tf`       | filtered record table (paged) |
+//! | `/v1/community/{a}:{v}`      | dictionary lookup of a community value |
+//! | `/v1/flips?since_epoch=N`    | class flips from epoch `N` on |
+//! | `/v1/reclassify?uniform=0.9` | threshold what-if on the live snapshot |
+//! | `/v1/stats`                  | ingest + serving statistics |
+//! | `/healthz`                   | liveness + served version |
+//! | `/metrics`                   | Prometheus text exposition |
+
+use crate::http::{Handler, Request, Response};
+use crate::json::JsonWriter;
+use crate::metrics::{Endpoint, Metrics};
+use crate::snapshot::{
+    write_record, write_record_field, ServeSnapshot, SnapshotReader, SnapshotSlot,
+};
+use bgp_infer::classify::Class;
+use bgp_infer::counters::Thresholds;
+use bgp_infer::db::{CommunityLookup, DbRecord};
+use bgp_types::prelude::*;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Default (and maximum) `limit` for `/v1/classes` pages.
+pub const MAX_PAGE: usize = 10_000;
+
+/// The shared request handler: snapshot slot + metrics.
+#[derive(Debug)]
+pub struct Api {
+    slot: Arc<SnapshotSlot>,
+    metrics: Arc<Metrics>,
+}
+
+thread_local! {
+    /// Per-worker snapshot cache: revalidated with one atomic load per
+    /// request, so steady-state queries never touch the slot mutex.
+    static READER: RefCell<Option<SnapshotReader>> = const { RefCell::new(None) };
+}
+
+impl Api {
+    /// Handler over `slot`, metering into `metrics`.
+    pub fn new(slot: Arc<SnapshotSlot>, metrics: Arc<Metrics>) -> Self {
+        Api { slot, metrics }
+    }
+
+    /// The slot queries are answered from.
+    pub fn slot(&self) -> &Arc<SnapshotSlot> {
+        &self.slot
+    }
+
+    /// The metrics sink.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    fn snapshot(&self) -> Arc<ServeSnapshot> {
+        READER.with(|cell| {
+            let mut cached = cell.borrow_mut();
+            match cached.as_mut() {
+                Some(reader) if Arc::ptr_eq(reader.slot(), &self.slot) => reader.current().clone(),
+                _ => {
+                    let mut reader = self.slot.reader();
+                    let snap = reader.current().clone();
+                    *cached = Some(reader);
+                    snap
+                }
+            }
+        })
+    }
+
+    fn dispatch(&self, request: &Request) -> (Endpoint, Response) {
+        let snap = self.snapshot();
+        let path = request.path.as_str();
+        if let Some(asn) = path.strip_prefix("/v1/class/") {
+            return (Endpoint::Class, class_endpoint(&snap, asn));
+        }
+        if let Some(community) = path.strip_prefix("/v1/community/") {
+            return (Endpoint::Community, community_endpoint(&snap, community));
+        }
+        match path {
+            "/v1/classes" => (Endpoint::Classes, classes_endpoint(&snap, request)),
+            "/v1/flips" => (Endpoint::Flips, flips_endpoint(&snap, request)),
+            "/v1/reclassify" => (Endpoint::Reclassify, reclassify_endpoint(&snap, request)),
+            "/v1/stats" => (
+                Endpoint::Stats,
+                stats_endpoint(&snap, self.metrics.total_requests()),
+            ),
+            "/healthz" => (Endpoint::Health, health_endpoint(&snap)),
+            "/metrics" => (
+                Endpoint::Metrics,
+                Response::text(self.metrics.render(&snap)),
+            ),
+            _ => (Endpoint::Other, Response::error(404, "no such route")),
+        }
+    }
+}
+
+impl Handler for Api {
+    fn handle(&self, request: &Request) -> Response {
+        let (endpoint, response) = self.dispatch(request);
+        self.metrics.observe(endpoint, response.status);
+        response
+    }
+}
+
+/// Open the standard response envelope: `{"version":V,"epoch":E|null`.
+fn begin_envelope(snap: &ServeSnapshot) -> JsonWriter {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.field_u64("version", snap.version());
+    match snap.epoch_id() {
+        Some(e) => w.field_u64("epoch", e),
+        None => w.field_null("epoch"),
+    }
+    w
+}
+
+fn health_endpoint(snap: &ServeSnapshot) -> Response {
+    let mut w = begin_envelope(snap);
+    w.field_str("status", "ok");
+    w.end_obj();
+    Response::json(w.finish())
+}
+
+fn class_endpoint(snap: &ServeSnapshot, raw_asn: &str) -> Response {
+    let Ok(asn) = raw_asn.parse::<u32>() else {
+        return Response::error(400, "asn must be a 32-bit integer");
+    };
+    let Some(record) = snap.record_of(Asn(asn)) else {
+        return Response::error(404, "asn not in the classification database");
+    };
+    let mut w = begin_envelope(snap);
+    write_record_field(&mut w, "record", record);
+    w.end_obj();
+    Response::json(w.finish())
+}
+
+/// Conjunctive record filter from `class` / `tagging` / `forwarding`.
+fn record_filter(request: &Request) -> Result<impl Fn(&DbRecord) -> bool, Response> {
+    let class: Option<Class> = match request.param("class") {
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|e: String| Response::error(400, &format!("class: {e}")))?,
+        ),
+        None => None,
+    };
+    let tagging = match request.param("tagging") {
+        Some(raw) => {
+            let mut chars = raw.chars();
+            match (
+                chars
+                    .next()
+                    .and_then(bgp_infer::classify::TaggingClass::from_code),
+                chars.next(),
+            ) {
+                (Some(t), None) => Some(t),
+                _ => return Err(Response::error(400, "tagging: expected one of t/s/u/n")),
+            }
+        }
+        None => None,
+    };
+    let forwarding = match request.param("forwarding") {
+        Some(raw) => {
+            let mut chars = raw.chars();
+            match (
+                chars
+                    .next()
+                    .and_then(bgp_infer::classify::ForwardingClass::from_code),
+                chars.next(),
+            ) {
+                (Some(f), None) => Some(f),
+                _ => return Err(Response::error(400, "forwarding: expected one of f/c/u/n")),
+            }
+        }
+        None => None,
+    };
+    Ok(move |r: &DbRecord| {
+        class.is_none_or(|c| r.class == c)
+            && tagging.is_none_or(|t| r.class.tagging == t)
+            && forwarding.is_none_or(|f| r.class.forwarding == f)
+    })
+}
+
+fn parse_usize(request: &Request, name: &str, default: usize) -> Result<usize, Response> {
+    match request.param(name) {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| Response::error(400, &format!("{name} must be an unsigned integer"))),
+        None => Ok(default),
+    }
+}
+
+fn classes_endpoint(snap: &ServeSnapshot, request: &Request) -> Response {
+    let filter = match record_filter(request) {
+        Ok(f) => f,
+        Err(resp) => return resp,
+    };
+    let limit = match parse_usize(request, "limit", MAX_PAGE) {
+        Ok(v) => v.min(MAX_PAGE),
+        Err(resp) => return resp,
+    };
+    let offset = match parse_usize(request, "offset", 0) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+
+    let mut total = 0usize;
+    let mut w = begin_envelope(snap);
+    w.field_u64("offset", offset as u64);
+    let mut page = Vec::new();
+    for record in snap.records.iter().filter(|r| filter(r)) {
+        if total >= offset && page.len() < limit {
+            page.push(record);
+        }
+        total += 1;
+    }
+    w.field_u64("total", total as u64);
+    w.field_u64("count", page.len() as u64);
+    w.begin_arr_field("records");
+    for record in page {
+        write_record(&mut w, record);
+    }
+    w.end_arr();
+    w.end_obj();
+    Response::json(w.finish())
+}
+
+fn parse_community(raw: &str) -> Option<AnyCommunity> {
+    match raw.matches(':').count() {
+        1 => raw.parse::<Community>().ok().map(AnyCommunity::Regular),
+        2 => raw.parse::<LargeCommunity>().ok().map(AnyCommunity::Large),
+        _ => None,
+    }
+}
+
+fn community_endpoint(snap: &ServeSnapshot, raw: &str) -> Response {
+    let Some(community) = parse_community(raw) else {
+        return Response::error(400, "expected a:b (regular) or a:b:c (large) community");
+    };
+    // Dictionary semantics live in bgp_infer::db — one decision rule
+    // shared with the library's `lookup_community` — evaluated against
+    // this snapshot's record table (same data, point lookup).
+    let owner = community.upper_field();
+    let owner_record = snap.record_of(owner).copied();
+    let lookup = CommunityLookup {
+        owner,
+        owner_record,
+        well_known: bgp_types::wellknown::lookup_any(&community),
+        verdict: bgp_infer::db::community_verdict(owner_record.as_ref(), &community),
+    };
+
+    let mut w = begin_envelope(snap);
+    w.field_str("community", &community.to_string());
+    w.field_u64("owner", lookup.owner.0 as u64);
+    w.field_str("verdict", lookup.verdict.name());
+    match lookup.well_known {
+        Some(wk) => {
+            w.begin_obj_field("well_known");
+            w.field_str("name", wk.name);
+            w.field_str("rfc", wk.rfc);
+            w.field_bool("default_action", wk.default_action);
+            w.end_obj();
+        }
+        None => w.field_null("well_known"),
+    }
+    match &lookup.owner_record {
+        Some(record) => write_record_field(&mut w, "owner_record", record),
+        None => w.field_null("owner_record"),
+    }
+    w.end_obj();
+    Response::json(w.finish())
+}
+
+fn flips_endpoint(snap: &ServeSnapshot, request: &Request) -> Response {
+    let since = match request.param("since_epoch") {
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(v) => v,
+            Err(_) => return Response::error(400, "since_epoch must be an unsigned integer"),
+        },
+        None => 0,
+    };
+    let (flips, complete) = snap.flips_since(since);
+    let mut w = begin_envelope(snap);
+    w.field_u64("since_epoch", since);
+    w.field_bool("complete", complete);
+    w.field_u64("count", flips.len() as u64);
+    w.begin_arr_field("flips");
+    for &(epoch, flip) in flips {
+        w.begin_obj();
+        w.field_u64("epoch", epoch);
+        w.field_u64("asn", flip.asn.0 as u64);
+        w.field_str("from", &flip.from.as_str());
+        w.field_str("to", &flip.to.as_str());
+        w.end_obj();
+    }
+    w.end_arr();
+    w.end_obj();
+    Response::json(w.finish())
+}
+
+/// Threshold overrides for `/v1/reclassify`. Baseline: the snapshot's
+/// own thresholds. `uniform` sets all four; `ft` sets the tagging side
+/// (tagger + silent), `fp` the forwarding/propagation side (forward +
+/// cleaner); the four named fields override individually.
+fn parse_thresholds(snap: &ServeSnapshot, request: &Request) -> Result<Thresholds, Response> {
+    let mut th = snap.thresholds;
+    let grab = |name: &str| -> Result<Option<f64>, Response> {
+        match request.param(name) {
+            Some(raw) => {
+                let v: f64 = raw
+                    .parse()
+                    .map_err(|_| Response::error(400, &format!("{name} must be a float")))?;
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(Response::error(400, &format!("{name} outside [0, 1]")));
+                }
+                Ok(Some(v))
+            }
+            None => Ok(None),
+        }
+    };
+    if let Some(v) = grab("uniform")? {
+        th = Thresholds::uniform(v);
+    }
+    if let Some(v) = grab("ft")? {
+        th.tagger = v;
+        th.silent = v;
+    }
+    if let Some(v) = grab("fp")? {
+        th.forward = v;
+        th.cleaner = v;
+    }
+    if let Some(v) = grab("tagger")? {
+        th.tagger = v;
+    }
+    if let Some(v) = grab("silent")? {
+        th.silent = v;
+    }
+    if let Some(v) = grab("forward")? {
+        th.forward = v;
+    }
+    if let Some(v) = grab("cleaner")? {
+        th.cleaner = v;
+    }
+    Ok(th)
+}
+
+fn reclassify_endpoint(snap: &ServeSnapshot, request: &Request) -> Response {
+    let th = match parse_thresholds(snap, request) {
+        Ok(th) => th,
+        Err(resp) => return resp,
+    };
+    let full = request
+        .param("full")
+        .is_some_and(|v| v == "1" || v == "true");
+
+    let mut histogram: BTreeMap<String, u64> = BTreeMap::new();
+    let mut changed: Vec<(&DbRecord, Class)> = Vec::new();
+    for (record, new_class) in snap.reclassify(&th) {
+        *histogram.entry(new_class.as_str()).or_insert(0) += 1;
+        if new_class != record.class {
+            changed.push((record, new_class));
+        }
+    }
+
+    let mut w = begin_envelope(snap);
+    w.begin_obj_field("thresholds");
+    w.field_f64("tagger", th.tagger);
+    w.field_f64("silent", th.silent);
+    w.field_f64("forward", th.forward);
+    w.field_f64("cleaner", th.cleaner);
+    w.end_obj();
+    w.field_u64("total", snap.records.len() as u64);
+    w.field_u64("changed", changed.len() as u64);
+    w.begin_obj_field("classes");
+    for (class, count) in &histogram {
+        w.field_u64(class, *count);
+    }
+    w.end_obj();
+    if full {
+        w.begin_arr_field("records");
+        for (record, new_class) in &changed {
+            w.begin_obj();
+            w.field_u64("asn", record.asn.0 as u64);
+            w.field_str("from", &record.class.as_str());
+            w.field_str("to", &new_class.as_str());
+            w.end_obj();
+        }
+        w.end_arr();
+    }
+    w.end_obj();
+    Response::json(w.finish())
+}
+
+fn stats_endpoint(snap: &ServeSnapshot, requests_total: u64) -> Response {
+    let mut w = begin_envelope(snap);
+    if let Some(epoch) = &snap.epoch {
+        w.field_u64("sealed_at", epoch.sealed_at);
+        w.field_u64("epoch_events", epoch.events);
+    } else {
+        w.field_null("sealed_at");
+        w.field_u64("epoch_events", 0);
+    }
+    w.field_u64("total_events", snap.ingest.total_events);
+    w.field_u64("unique_tuples", snap.ingest.unique_tuples as u64);
+    w.field_u64("duplicates", snap.ingest.duplicates);
+    w.field_u64("classified", snap.records.len() as u64);
+    w.field_u64("flips_logged", snap.flips.len() as u64);
+    w.field_u64("interned_asns", snap.ingest.interned_asns as u64);
+    w.field_u64("arena_hops", snap.ingest.arena_hops as u64);
+    w.begin_arr_field("shard_loads");
+    for &load in &snap.ingest.shard_loads {
+        w.elem_u64(load as u64);
+    }
+    w.end_arr();
+    w.field_u64("requests_total", requests_total);
+    w.end_obj();
+    Response::json(w.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::Publisher;
+    use bgp_stream::epoch::EpochPolicy;
+    use bgp_stream::ingest::StreamEvent;
+    use bgp_stream::pipeline::{StreamConfig, StreamPipeline};
+
+    fn request(path: &str, query: &[(&str, &str)]) -> Request {
+        Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            query: query
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    fn served_api() -> Api {
+        let slot = Arc::new(SnapshotSlot::new(Thresholds::default()));
+        let mut publisher = Publisher::new(Arc::clone(&slot), 1024);
+        let mut pipe = StreamPipeline::new(StreamConfig {
+            shards: 2,
+            epoch: EpochPolicy::every_events(3),
+            ..Default::default()
+        });
+        let mk = |p: &[u32], tags: &[u32]| {
+            PathCommTuple::new(
+                path(p),
+                CommunitySet::from_iter(tags.iter().map(|&a| AnyCommunity::tag_for(Asn(a), 100))),
+            )
+        };
+        pipe.push(StreamEvent::new(10, mk(&[5, 9], &[5])));
+        pipe.push(StreamEvent::new(20, mk(&[1, 5, 9], &[1, 5])));
+        pipe.push(StreamEvent::new(30, mk(&[2, 9], &[])));
+        publisher.sync(&pipe);
+        Api::new(slot, Arc::new(Metrics::new()))
+    }
+
+    #[test]
+    fn class_endpoint_shapes() {
+        let api = served_api();
+        let ok = api.handle(&request("/v1/class/5", &[]));
+        assert_eq!(ok.status, 200);
+        assert!(ok.body.contains("\"asn\":5"), "{}", ok.body);
+        assert!(ok.body.contains("\"class\":\"t"), "{}", ok.body);
+        assert!(
+            ok.body.starts_with("{\"version\":1,\"epoch\":0,"),
+            "{}",
+            ok.body
+        );
+
+        assert_eq!(api.handle(&request("/v1/class/999999", &[])).status, 404);
+        assert_eq!(api.handle(&request("/v1/class/notanasn", &[])).status, 400);
+    }
+
+    #[test]
+    fn classes_filter_and_paging() {
+        let api = served_api();
+        let all = api.handle(&request("/v1/classes", &[]));
+        assert_eq!(all.status, 200);
+        let taggers = api.handle(&request("/v1/classes", &[("tagging", "t")]));
+        assert!(taggers.body.contains("\"asn\":5"), "{}", taggers.body);
+        let none = api.handle(&request("/v1/classes", &[("class", "sc")]));
+        assert!(none.body.contains("\"total\":0"), "{}", none.body);
+        let bad = api.handle(&request("/v1/classes", &[("class", "xx")]));
+        assert_eq!(bad.status, 400);
+        let paged = api.handle(&request("/v1/classes", &[("limit", "1"), ("offset", "1")]));
+        assert!(paged.body.contains("\"count\":1"), "{}", paged.body);
+    }
+
+    #[test]
+    fn community_endpoint_verdicts() {
+        let api = served_api();
+        let attributable = api.handle(&request("/v1/community/5:100", &[]));
+        assert!(attributable.body.contains("\"verdict\":\"attributable\""));
+        let wk = api.handle(&request("/v1/community/65535:65281", &[]));
+        assert!(wk.body.contains("\"verdict\":\"well-known\""));
+        assert!(wk.body.contains("\"name\":\"NO_EXPORT\""));
+        let bad = api.handle(&request("/v1/community/zzz", &[]));
+        assert_eq!(bad.status, 400);
+        let large = api.handle(&request("/v1/community/200001:1:2", &[]));
+        assert_eq!(large.status, 200);
+        assert!(large.body.contains("\"owner\":200001"));
+    }
+
+    #[test]
+    fn flips_and_reclassify_and_stats() {
+        let api = served_api();
+        let flips = api.handle(&request("/v1/flips", &[("since_epoch", "0")]));
+        assert_eq!(flips.status, 200);
+        assert!(flips.body.contains("\"complete\":true"));
+
+        let what_if = api.handle(&request("/v1/reclassify", &[("uniform", "0.5")]));
+        assert!(what_if.body.contains("\"changed\":"), "{}", what_if.body);
+        let bad = api.handle(&request("/v1/reclassify", &[("ft", "1.5")]));
+        assert_eq!(bad.status, 400);
+
+        let stats = api.handle(&request("/v1/stats", &[]));
+        assert!(stats.body.contains("\"total_events\":3"), "{}", stats.body);
+
+        let health = api.handle(&request("/healthz", &[]));
+        assert!(health.body.contains("\"status\":\"ok\""));
+
+        let metrics = api.handle(&request("/metrics", &[]));
+        assert!(metrics.body.contains("bgp_serve_http_requests_total"));
+
+        let missing = api.handle(&request("/nope", &[]));
+        assert_eq!(missing.status, 404);
+        assert_eq!(api.metrics().total_requests(), 7);
+    }
+}

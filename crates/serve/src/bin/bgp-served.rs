@@ -1,0 +1,246 @@
+//! `bgp-served` — the query-serving daemon: ingest MRT archives or a
+//! simulated scenario feed through the sharded epoch pipeline and serve
+//! the classification database over HTTP while it builds.
+//!
+//! ```text
+//! USAGE:
+//!   bgp-served [OPTIONS] <MRT-FILE>...
+//!   bgp-served [OPTIONS] --sim <SCENARIO>
+//!
+//! OPTIONS:
+//!   -l, --listen <ADDR>         bind address (default 127.0.0.1:7179)
+//!   -w, --workers <N>           HTTP worker threads (default 4)
+//!   -s, --shards <N>            pipeline worker shards (default: cores)
+//!   -e, --epoch-events <N>      seal an epoch every N events (default 8192)
+//!       --epoch-secs <S>        seal an epoch every S seconds of stream time
+//!   -t, --threshold <0.5..=1.0> classification threshold (default 0.99)
+//!   -b, --batch <N>             ingest pull size (default 1024)
+//!       --sim <SCENARIO>        serve a simulated scenario feed
+//!                               (alltf|alltc|random|random+noise|random-p|random-pp)
+//!       --seed <N>              simulation seed (default 7)
+//!       --repeats <N>           extra re-announcements per tuple in --sim (default 2)
+//!       --linger                keep serving after the feed is exhausted
+//!                               (default: exit once ingest drains; the
+//!                               daemon always serves *during* ingest)
+//!   -h, --help                  show this help
+//! ```
+//!
+//! The API surface is documented in `bgp_serve::api`; try
+//! `curl http://127.0.0.1:7179/v1/stats` once it is up.
+
+use bgp_serve::prelude::*;
+use bgp_stream::epoch::EpochPolicy;
+use bgp_stream::pipeline::StreamConfig;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Options {
+    listen: String,
+    workers: usize,
+    shards: usize,
+    epoch_events: Option<u64>,
+    epoch_secs: Option<u64>,
+    threshold: f64,
+    batch: usize,
+    sim: Option<String>,
+    seed: u64,
+    repeats: u32,
+    linger: bool,
+    inputs: Vec<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: bgp-served [-l ADDR] [-w WORKERS] [-s SHARDS] [-e EVENTS] [--epoch-secs S]\n\
+     \x20                 [-t THRESHOLD] [-b BATCH] [--linger] <MRT-FILE>... | --sim SCENARIO\n\
+     Serves the live per-AS classification database over HTTP while ingesting."
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        listen: "127.0.0.1:7179".to_string(),
+        workers: 4,
+        shards: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+        epoch_events: None,
+        epoch_secs: None,
+        threshold: 0.99,
+        batch: 1024,
+        sim: None,
+        seed: 7,
+        repeats: 2,
+        linger: false,
+        inputs: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut num = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or(format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "-l" | "--listen" => opts.listen = num(arg)?,
+            "-w" | "--workers" => {
+                opts.workers = num(arg)?.parse().map_err(|e| format!("bad workers: {e}"))?;
+                if opts.workers == 0 {
+                    return Err("workers must be >= 1".into());
+                }
+            }
+            "-s" | "--shards" => {
+                opts.shards = num(arg)?.parse().map_err(|e| format!("bad shards: {e}"))?;
+                if opts.shards == 0 {
+                    return Err("shards must be >= 1".into());
+                }
+            }
+            "-e" | "--epoch-events" => {
+                opts.epoch_events = Some(
+                    num(arg)?
+                        .parse()
+                        .map_err(|e| format!("bad epoch-events: {e}"))?,
+                );
+            }
+            "--epoch-secs" => {
+                opts.epoch_secs = Some(
+                    num(arg)?
+                        .parse()
+                        .map_err(|e| format!("bad epoch-secs: {e}"))?,
+                );
+            }
+            "-t" | "--threshold" => {
+                opts.threshold = num(arg)?
+                    .parse()
+                    .map_err(|e| format!("bad threshold: {e}"))?;
+                if !(0.5..=1.0).contains(&opts.threshold) {
+                    return Err(format!("threshold {} outside 0.5..=1.0", opts.threshold));
+                }
+            }
+            "-b" | "--batch" => {
+                opts.batch = num(arg)?.parse().map_err(|e| format!("bad batch: {e}"))?;
+            }
+            "--sim" => opts.sim = Some(num(arg)?),
+            "--seed" => {
+                opts.seed = num(arg)?.parse().map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--repeats" => {
+                opts.repeats = num(arg)?.parse().map_err(|e| format!("bad repeats: {e}"))?;
+            }
+            "--linger" => opts.linger = true,
+            "-h" | "--help" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown option {other}")),
+            file => opts.inputs.push(file.to_string()),
+        }
+    }
+    if opts.sim.is_none() && opts.inputs.is_empty() {
+        return Err("no MRT files given and no --sim scenario".into());
+    }
+    if opts.sim.is_some() && !opts.inputs.is_empty() {
+        return Err("--sim and MRT files are mutually exclusive".into());
+    }
+    Ok(opts)
+}
+
+fn epoch_policy(opts: &Options) -> EpochPolicy {
+    match (opts.epoch_events, opts.epoch_secs) {
+        (Some(e), Some(s)) => EpochPolicy::either(e, s),
+        (Some(e), None) => EpochPolicy::every_events(e),
+        (None, Some(s)) => EpochPolicy::every_span(s),
+        (None, None) => EpochPolicy::default(),
+    }
+}
+
+fn run(opts: Options) -> Result<(), String> {
+    let thresholds = bgp_infer::counters::Thresholds::uniform(opts.threshold);
+    let slot = Arc::new(SnapshotSlot::new(thresholds));
+    let metrics = Arc::new(Metrics::new());
+
+    let http = HttpServer::start(
+        HttpConfig {
+            addr: opts.listen.clone(),
+            workers: opts.workers,
+            ..Default::default()
+        },
+        Arc::new(Api::new(Arc::clone(&slot), Arc::clone(&metrics))),
+    )
+    .map_err(|e| format!("bind {}: {e}", opts.listen))?;
+    eprintln!("bgp-served listening on http://{}", http.local_addr());
+
+    let driver_cfg = DriverConfig {
+        stream: StreamConfig {
+            shards: opts.shards,
+            epoch: epoch_policy(&opts),
+            thresholds,
+            // The daemon serves the latest snapshot; historical counter
+            // stores would grow without bound on a long-lived feed.
+            compact_history: true,
+            ..Default::default()
+        },
+        batch: opts.batch,
+        ..Default::default()
+    };
+    let feed = match &opts.sim {
+        Some(scenario) => Feed::Sim {
+            scenario: scenario.clone(),
+            seed: opts.seed,
+            repeats: opts.repeats,
+        },
+        None => Feed::MrtFiles(opts.inputs.clone()),
+    };
+    let ingest = spawn_ingest(driver_cfg, feed, Arc::clone(&slot), Arc::clone(&metrics));
+
+    // Report progress once a second until the feed drains.
+    let mut last_version = 0;
+    while !ingest.is_finished() {
+        std::thread::sleep(std::time::Duration::from_secs(1));
+        let version = slot.version();
+        if version != last_version {
+            let snap = slot.load();
+            eprintln!(
+                "serving v{version}: {} classified, {} events, {} requests answered",
+                snap.records.len(),
+                snap.ingest.total_events,
+                metrics.total_requests(),
+            );
+            last_version = version;
+        }
+    }
+    let report = ingest.join()?;
+    eprintln!(
+        "ingest done: {} events, {} unique tuples, {} epochs; {} requests answered",
+        report.total_events,
+        report.unique_tuples,
+        report.epochs,
+        metrics.total_requests(),
+    );
+
+    if opts.linger {
+        eprintln!("serving final snapshot until interrupted (--linger)");
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    http.shutdown();
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                eprintln!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

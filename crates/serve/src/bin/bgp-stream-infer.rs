@@ -20,17 +20,22 @@
 //!       --seed <N>              simulation seed (default 7)
 //!       --repeats <N>           extra re-announcements per tuple in --sim (default 2)
 //!       --flips                 print every class flip, not just counts
+//!       --listen <ADDR>         serve the bgp-serve query API on ADDR while
+//!                               ingesting (shut down when the stream ends;
+//!                               use bgp-served for a long-running daemon)
 //!   -h, --help                  show this help
 //! ```
 //!
 //! Input files must be raw (uncompressed) MRT as served by RIPE RIS,
 //! RouteViews, or this workspace's own `bgp-collector` generator.
 
+use bgp_serve::prelude::*;
 use bgp_sim::prelude::*;
 use bgp_stream::prelude::*;
 use bgp_topology::prelude::*;
 use std::io::Write;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Options {
     shards: usize,
@@ -43,19 +48,23 @@ struct Options {
     seed: u64,
     repeats: u32,
     print_flips: bool,
+    listen: Option<String>,
     inputs: Vec<String>,
 }
 
 fn usage() -> &'static str {
     "usage: bgp-stream-infer [-s SHARDS] [-e EVENTS] [--epoch-secs S] [-t THRESHOLD]\n\
-     \x20                      [-b BATCH] [-o FILE] [--flips] <MRT-FILE>... | --sim SCENARIO\n\
+     \x20                      [-b BATCH] [-o FILE] [--flips] [--listen ADDR]\n\
+     \x20                      <MRT-FILE>... | --sim SCENARIO\n\
      Streams MRT archives (or a simulated feed) through the sharded epoch pipeline,\n\
      reporting per-epoch class flips, and writes the final inference database."
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
-        shards: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        shards: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
         epoch_events: None,
         epoch_secs: None,
         threshold: 0.99,
@@ -65,12 +74,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         seed: 7,
         repeats: 2,
         print_flips: false,
+        listen: None,
         inputs: Vec::new(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut num = |name: &str| -> Result<String, String> {
-            it.next().cloned().ok_or(format!("missing value for {name}"))
+            it.next()
+                .cloned()
+                .ok_or(format!("missing value for {name}"))
         };
         match arg.as_str() {
             "-s" | "--shards" => {
@@ -80,16 +92,23 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
             }
             "-e" | "--epoch-events" => {
-                opts.epoch_events =
-                    Some(num(arg)?.parse().map_err(|e| format!("bad epoch-events: {e}"))?);
+                opts.epoch_events = Some(
+                    num(arg)?
+                        .parse()
+                        .map_err(|e| format!("bad epoch-events: {e}"))?,
+                );
             }
             "--epoch-secs" => {
-                opts.epoch_secs =
-                    Some(num(arg)?.parse().map_err(|e| format!("bad epoch-secs: {e}"))?);
+                opts.epoch_secs = Some(
+                    num(arg)?
+                        .parse()
+                        .map_err(|e| format!("bad epoch-secs: {e}"))?,
+                );
             }
             "-t" | "--threshold" => {
-                opts.threshold =
-                    num(arg)?.parse().map_err(|e| format!("bad threshold: {e}"))?;
+                opts.threshold = num(arg)?
+                    .parse()
+                    .map_err(|e| format!("bad threshold: {e}"))?;
                 if !(0.5..=1.0).contains(&opts.threshold) {
                     return Err(format!("threshold {} outside 0.5..=1.0", opts.threshold));
                 }
@@ -106,6 +125,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.repeats = num(arg)?.parse().map_err(|e| format!("bad repeats: {e}"))?;
             }
             "--flips" => opts.print_flips = true,
+            "--listen" => opts.listen = Some(num(arg)?),
             "-h" | "--help" => return Err(String::new()),
             other if other.starts_with('-') => return Err(format!("unknown option {other}")),
             file => opts.inputs.push(file.to_string()),
@@ -151,25 +171,80 @@ fn report_epoch(snap: &EpochSnapshot, print_flips: bool) {
     }
 }
 
+/// Drain a source batch-by-batch: ingest, report newly sealed epochs,
+/// and (with `--listen`) publish them to the serving slot as they seal.
+fn drain(
+    pipe: &mut StreamPipeline,
+    source: &mut dyn TupleSource,
+    batch: usize,
+    publisher: Option<&mut Publisher>,
+    print_flips: bool,
+    reported: &mut usize,
+) -> Result<(), bgp_stream::ingest::IngestError> {
+    let mut publisher = publisher;
+    loop {
+        let events = source.next_batch(batch.max(1))?;
+        if events.is_empty() {
+            return Ok(());
+        }
+        for ev in events {
+            // Per-seal (not per-batch) reporting and publication: with
+            // `compact_history` the next seal strips the previous
+            // epoch's counters, so the serving slot must clone each
+            // epoch's Arc before another one seals.
+            if pipe.push(ev).is_none() {
+                continue;
+            }
+            for snap in &pipe.snapshots()[*reported..] {
+                report_epoch(snap, print_flips);
+            }
+            *reported = pipe.snapshots().len();
+            if let Some(publisher) = publisher.as_deref_mut() {
+                publisher.sync(pipe);
+            }
+        }
+    }
+}
+
 fn run(opts: &Options) -> Result<(), String> {
+    let thresholds = bgp_infer::counters::Thresholds::uniform(opts.threshold);
     let mut pipe = StreamPipeline::new(StreamConfig {
         shards: opts.shards,
         epoch: epoch_policy(opts),
-        thresholds: bgp_infer::counters::Thresholds::uniform(opts.threshold),
+        thresholds,
         // Long-running front end: epochs are reported as they seal, and
         // only the final db is exported, so historical counter stores
-        // would be dead weight.
+        // would be dead weight. (A snapshot published to the serving slot
+        // keeps its counters: compaction copy-on-writes shared epochs.)
         compact_history: true,
         ..Default::default()
     });
-    let mut reported = 0usize;
-    let report_new = |pipe: &StreamPipeline, reported: &mut usize| {
-        for snap in &pipe.snapshots()[*reported..] {
-            report_epoch(snap, opts.print_flips);
+
+    // --listen: the thin wire-up over bgp-serve — same slot/handler
+    // stack as bgp-served, fed by this process's ingest loop.
+    let serving = match &opts.listen {
+        Some(addr) => {
+            let slot = Arc::new(SnapshotSlot::new(thresholds));
+            let metrics = Arc::new(Metrics::new());
+            let http = HttpServer::start(
+                HttpConfig {
+                    addr: addr.clone(),
+                    ..Default::default()
+                },
+                Arc::new(Api::new(Arc::clone(&slot), Arc::clone(&metrics))),
+            )
+            .map_err(|e| format!("bind {addr}: {e}"))?;
+            eprintln!("serving query API on http://{}", http.local_addr());
+            Some((http, Publisher::new(slot, 100_000), metrics))
         }
-        *reported = pipe.snapshots().len();
+        None => None,
+    };
+    let (http, mut publisher, metrics) = match serving {
+        Some((h, p, m)) => (Some(h), Some(p), Some(m)),
+        None => (None, None, None),
     };
 
+    let mut reported = 0usize;
     if let Some(name) = &opts.sim {
         let scenario = scenario_by_name(name)
             .ok_or_else(|| format!("unknown scenario {name:?} (see --help)"))?;
@@ -180,18 +255,29 @@ fn run(opts: &Options) -> Result<(), String> {
         let ds = scenario.materialize(&graph, &paths, opts.seed);
         eprintln!("simulated scenario {name}: {} tuples", ds.tuples.len());
         let feed = UpdateFeed::new(&ds, opts.seed, opts.repeats);
-        let mut source =
-            IterSource::new(feed.map(|(ts, tuple)| StreamEvent::new(ts, tuple)));
-        pipe.drive(&mut source, opts.batch).map_err(|e| e.to_string())?;
-        report_new(&pipe, &mut reported);
+        let mut source = IterSource::new(feed.map(|(ts, tuple)| StreamEvent::new(ts, tuple)));
+        drain(
+            &mut pipe,
+            &mut source,
+            opts.batch,
+            publisher.as_mut(),
+            opts.print_flips,
+            &mut reported,
+        )
+        .map_err(|e| e.to_string())?;
     } else {
         for file in &opts.inputs {
-            let bytes =
-                std::fs::read(file).map_err(|e| format!("read {file}: {e}"))?;
+            let bytes = std::fs::read(file).map_err(|e| format!("read {file}: {e}"))?;
             let mut source = MrtSource::new(&bytes);
-            pipe.drive(&mut source, opts.batch)
-                .map_err(|e| format!("{file}: {e}"))?;
-            report_new(&pipe, &mut reported);
+            drain(
+                &mut pipe,
+                &mut source,
+                opts.batch,
+                publisher.as_mut(),
+                opts.print_flips,
+                &mut reported,
+            )
+            .map_err(|e| format!("{file}: {e}"))?;
             let st = source.stats();
             eprintln!(
                 "{file}: {} raw entries, kept {} dropped {}",
@@ -202,6 +288,15 @@ fn run(opts: &Options) -> Result<(), String> {
         }
     }
 
+    // Seal the trailing partial epoch while the pipeline is still
+    // borrowable so the serving slot gets it too; `finish` then has
+    // nothing left to seal.
+    if pipe.latest().map(|s| s.total_events) != Some(pipe.total_events()) {
+        pipe.seal_epoch();
+    }
+    if let Some(publisher) = publisher.as_mut() {
+        publisher.sync(&pipe);
+    }
     let interned_asns = pipe.interned_asns();
     let arena_hops = pipe.arena_hops();
     let out = pipe.finish();
@@ -226,6 +321,15 @@ fn run(opts: &Options) -> Result<(), String> {
         None => std::io::stdout()
             .write_all(db.as_bytes())
             .map_err(|e| format!("write stdout: {e}"))?,
+    }
+    if let Some(http) = http {
+        if let Some(metrics) = &metrics {
+            eprintln!(
+                "query API answered {} requests; shutting down",
+                metrics.total_requests()
+            );
+        }
+        http.shutdown();
     }
     Ok(())
 }

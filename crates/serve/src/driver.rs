@@ -1,0 +1,351 @@
+//! The ingest side of the daemon: one writer thread feeding the
+//! pipeline and publishing sealed epochs to the snapshot slot.
+//!
+//! The serving architecture is single-writer/many-readers: exactly one
+//! driver thread owns the [`StreamPipeline`] (ingest needs `&mut`), and
+//! everything query-facing reads the immutable snapshots it publishes.
+//! The driver never blocks on readers and readers never block on the
+//! driver — the only shared state is the [`SnapshotSlot`].
+
+use crate::metrics::Metrics;
+use crate::snapshot::{Publisher, SnapshotSlot};
+use bgp_sim::prelude::*;
+use bgp_stream::ingest::{IterSource, MrtSource, StreamEvent, TupleSource};
+use bgp_stream::pipeline::{StreamConfig, StreamPipeline};
+use bgp_topology::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// What the driver feeds the pipeline with.
+#[derive(Debug, Clone)]
+pub enum Feed {
+    /// Raw (uncompressed) MRT archive files, streamed in order.
+    MrtFiles(Vec<String>),
+    /// A simulated scenario feed (see `bgp_sim::scenario::Scenario`
+    /// names), the same worlds `bgp-stream-infer --sim` uses.
+    Sim {
+        /// Scenario name (`alltf`, `random`, …).
+        scenario: String,
+        /// Simulation seed.
+        seed: u64,
+        /// Extra re-announcements per tuple.
+        repeats: u32,
+    },
+    /// An in-memory event list (tests, benches, examples).
+    Events(Vec<StreamEvent>),
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Pipeline configuration (shards, epoch policy, thresholds, …).
+    pub stream: StreamConfig,
+    /// Ingest pull size per batch.
+    pub batch: usize,
+    /// Flip-log entries retained across publications.
+    pub flip_log_cap: usize,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            stream: StreamConfig::default(),
+            batch: 1024,
+            flip_log_cap: 100_000,
+        }
+    }
+}
+
+/// What the driver reports when its feed is exhausted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Events ingested.
+    pub total_events: u64,
+    /// Epochs sealed and published.
+    pub epochs: usize,
+    /// Unique tuples stored.
+    pub unique_tuples: usize,
+}
+
+/// A running ingest thread.
+#[derive(Debug)]
+pub struct IngestHandle {
+    thread: JoinHandle<Result<IngestReport, String>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl IngestHandle {
+    /// Ask the driver to stop after the batch in flight.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Whether the driver thread has exited.
+    pub fn is_finished(&self) -> bool {
+        self.thread.is_finished()
+    }
+
+    /// Wait for the feed to drain (or [`stop`](IngestHandle::stop) to be
+    /// honored) and return the report.
+    pub fn join(self) -> Result<IngestReport, String> {
+        self.thread
+            .join()
+            .map_err(|_| "ingest driver panicked".to_string())?
+    }
+}
+
+/// Spawn the ingest driver: drives `feed` through a fresh pipeline,
+/// publishing every sealed epoch to `slot`. A trailing partial epoch is
+/// sealed (and published) when the feed ends, so the served snapshot
+/// always covers every ingested event once the driver finishes.
+pub fn spawn_ingest(
+    cfg: DriverConfig,
+    feed: Feed,
+    slot: Arc<SnapshotSlot>,
+    metrics: Arc<Metrics>,
+) -> IngestHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("bgp-serve-ingest".to_string())
+        .spawn(move || ingest_main(cfg, feed, slot, metrics, &stop_flag))
+        .expect("spawn ingest driver");
+    IngestHandle { thread, stop }
+}
+
+fn ingest_main(
+    cfg: DriverConfig,
+    feed: Feed,
+    slot: Arc<SnapshotSlot>,
+    metrics: Arc<Metrics>,
+    stop: &AtomicBool,
+) -> Result<IngestReport, String> {
+    let mut pipeline = StreamPipeline::new(cfg.stream.clone());
+    let mut publisher = Publisher::new(slot, cfg.flip_log_cap);
+    let batch = cfg.batch.max(1);
+
+    match feed {
+        Feed::MrtFiles(files) => {
+            for file in files {
+                let bytes = std::fs::read(&file).map_err(|e| format!("read {file}: {e}"))?;
+                let mut source = MrtSource::new(&bytes);
+                drive(
+                    &mut pipeline,
+                    &mut publisher,
+                    &metrics,
+                    &mut source,
+                    batch,
+                    stop,
+                )
+                .map_err(|e| format!("{file}: {e}"))?;
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+        }
+        Feed::Sim {
+            scenario,
+            seed,
+            repeats,
+        } => {
+            let scenario = Scenario::ALL
+                .into_iter()
+                .find(|s| s.name() == scenario)
+                .ok_or_else(|| format!("unknown scenario {scenario:?}"))?;
+            let mut topo_cfg = TopologyConfig::small();
+            topo_cfg.collector_peers = 12;
+            let graph = topo_cfg.seed(seed).build();
+            let paths = PathSubstrate::generate(&graph, 3).paths;
+            let ds = scenario.materialize(&graph, &paths, seed);
+            let feed = UpdateFeed::new(&ds, seed, repeats);
+            let mut source = IterSource::new(feed.map(|(ts, tuple)| StreamEvent::new(ts, tuple)));
+            drive(
+                &mut pipeline,
+                &mut publisher,
+                &metrics,
+                &mut source,
+                batch,
+                stop,
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        Feed::Events(events) => {
+            let mut source = IterSource::new(events.into_iter());
+            drive(
+                &mut pipeline,
+                &mut publisher,
+                &metrics,
+                &mut source,
+                batch,
+                stop,
+            )
+            .map_err(|e| e.to_string())?;
+        }
+    }
+
+    // Seal whatever the last epoch policy window left open so queries
+    // reflect the complete feed (idempotent when nothing is pending and
+    // at least one epoch already sealed).
+    let sealed_events = pipeline.latest().map(|s| s.total_events);
+    if sealed_events != Some(pipeline.total_events()) {
+        pipeline.seal_epoch();
+        let published = publisher.sync(&pipeline);
+        for _ in 0..published {
+            metrics.epoch_published();
+        }
+    }
+
+    Ok(IngestReport {
+        total_events: pipeline.total_events(),
+        epochs: pipeline.snapshots().len(),
+        unique_tuples: pipeline.stored_tuples(),
+    })
+}
+
+fn drive(
+    pipeline: &mut StreamPipeline,
+    publisher: &mut Publisher,
+    metrics: &Metrics,
+    source: &mut dyn TupleSource,
+    batch: usize,
+    stop: &AtomicBool,
+) -> Result<(), bgp_stream::ingest::IngestError> {
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let events = source.next_batch(batch)?;
+        if events.is_empty() {
+            return Ok(());
+        }
+        let n = events.len() as u64;
+        for ev in events {
+            // Publish per seal, not per batch: with `compact_history`
+            // the NEXT seal strips the previous epoch's counter store,
+            // so the publisher must clone the Arc before that happens
+            // (compaction then copy-on-writes, leaving the published
+            // snapshot intact). A batch can seal several epochs.
+            let sealed = pipeline.push(ev).is_some();
+            if sealed {
+                let published = publisher.sync(pipeline);
+                for _ in 0..published {
+                    metrics.epoch_published();
+                }
+            }
+        }
+        metrics.events_ingested(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_infer::counters::Thresholds;
+    use bgp_stream::epoch::EpochPolicy;
+    use bgp_types::prelude::*;
+
+    fn events(n: u64) -> Vec<StreamEvent> {
+        (0..n)
+            .map(|i| {
+                let tag = u32::try_from(2 + i % 5).unwrap();
+                StreamEvent::new(
+                    i,
+                    PathCommTuple::new(
+                        path(&[tag, 9]),
+                        CommunitySet::from_iter([AnyCommunity::tag_for(Asn(tag), 100)]),
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn driver_publishes_trailing_epoch() {
+        let slot = Arc::new(SnapshotSlot::new(Thresholds::default()));
+        let metrics = Arc::new(Metrics::new());
+        let cfg = DriverConfig {
+            stream: StreamConfig {
+                shards: 2,
+                epoch: EpochPolicy::every_events(4),
+                ..Default::default()
+            },
+            batch: 3,
+            flip_log_cap: 1024,
+        };
+        let handle = spawn_ingest(
+            cfg,
+            Feed::Events(events(10)),
+            Arc::clone(&slot),
+            Arc::clone(&metrics),
+        );
+        let report = handle.join().expect("driver succeeds");
+        assert_eq!(report.total_events, 10);
+        assert_eq!(report.epochs, 3, "two full epochs + trailing partial");
+        let snap = slot.load();
+        assert_eq!(snap.version(), 3);
+        assert_eq!(snap.ingest.total_events, 10);
+        assert_eq!(metrics.requests_for(crate::metrics::Endpoint::Class), 0);
+    }
+
+    #[test]
+    fn driver_serves_sim_feed() {
+        let slot = Arc::new(SnapshotSlot::new(Thresholds::default()));
+        let metrics = Arc::new(Metrics::new());
+        let cfg = DriverConfig {
+            stream: StreamConfig {
+                shards: 2,
+                epoch: EpochPolicy::every_events(256),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let feed = Feed::Sim {
+            scenario: "alltf".to_string(),
+            seed: 7,
+            repeats: 1,
+        };
+        let report = spawn_ingest(cfg, feed, Arc::clone(&slot), metrics)
+            .join()
+            .unwrap();
+        assert!(report.total_events > 0);
+        let snap = slot.load();
+        assert!(!snap.records.is_empty());
+        assert_eq!(snap.ingest.total_events, report.total_events);
+    }
+
+    #[test]
+    fn driver_stop_is_honored() {
+        let slot = Arc::new(SnapshotSlot::new(Thresholds::default()));
+        let metrics = Arc::new(Metrics::new());
+        let handle = spawn_ingest(
+            DriverConfig::default(),
+            Feed::Events(events(100_000)),
+            slot,
+            metrics,
+        );
+        handle.stop();
+        // Must terminate promptly even with a large feed.
+        let report = handle.join().expect("stop is clean");
+        assert!(report.total_events <= 100_000);
+    }
+
+    #[test]
+    fn driver_reports_unknown_scenario() {
+        let slot = Arc::new(SnapshotSlot::new(Thresholds::default()));
+        let feed = Feed::Sim {
+            scenario: "nope".to_string(),
+            seed: 1,
+            repeats: 0,
+        };
+        let err = spawn_ingest(
+            DriverConfig::default(),
+            feed,
+            slot,
+            Arc::new(Metrics::new()),
+        )
+        .join()
+        .unwrap_err();
+        assert!(err.contains("unknown scenario"), "{err}");
+    }
+}

@@ -1,0 +1,502 @@
+//! A minimal multi-threaded HTTP/1.1 server on `std::net`.
+//!
+//! Deliberately narrow: `GET`/`HEAD` only, no TLS, no chunked bodies, no
+//! routing DSL — the workspace's sanctioned dependency set has no async
+//! runtime or HTTP crate, and the query API needs none of that. What it
+//! does provide is the part that matters for a serving daemon:
+//!
+//! * a **worker pool** — `workers` OS threads all blocked in
+//!   `accept(2)` on one shared listener (the kernel load-balances), each
+//!   serving its connection to completion before accepting the next;
+//! * **keep-alive** — a connection serves up to
+//!   [`HttpConfig::max_keepalive_requests`] requests, honoring
+//!   `Connection: close`;
+//! * **bounded parsing** — request head capped at
+//!   [`HttpConfig::max_request_bytes`] (431 beyond that), bodies rejected
+//!   (the API is read-only), read timeouts so a stalled client cannot
+//!   park a worker forever.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct HttpConfig {
+    /// Bind address, e.g. `127.0.0.1:7179` (port 0 picks an ephemeral
+    /// port — see [`HttpServer::local_addr`]).
+    pub addr: String,
+    /// Worker threads (= max concurrently served connections).
+    pub workers: usize,
+    /// Maximum bytes of request head (request line + headers).
+    pub max_request_bytes: usize,
+    /// Requests served per connection before the server closes it.
+    pub max_keepalive_requests: usize,
+    /// Socket read timeout (bounds how long an idle keep-alive
+    /// connection can hold a worker).
+    pub read_timeout: Duration,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        HttpConfig {
+            addr: "127.0.0.1:7179".to_string(),
+            workers: 4,
+            max_request_bytes: 8 * 1024,
+            max_keepalive_requests: 10_000,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A parsed request line + the headers the server acts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET` or `HEAD` (anything else is rejected before dispatch).
+    pub method: String,
+    /// Percent-decoded path, e.g. `/v1/class/3356`.
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First value of a query parameter.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A response the handler hands back to the transport.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Body bytes (suppressed on HEAD; `Content-Length` always sent).
+    pub body: String,
+}
+
+impl Response {
+    /// 200 with a JSON body.
+    pub fn json(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// Any status with a JSON body.
+    pub fn json_status(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// 200 with a plain-text body (the Prometheus exposition format).
+    pub fn text(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body,
+        }
+    }
+
+    /// An error with a `{"error": ...}` JSON body.
+    pub fn error(status: u16, message: &str) -> Self {
+        let mut body = String::from("{\"error\":");
+        crate::json::write_escaped(&mut body, message);
+        body.push('}');
+        Response::json_status(status, body)
+    }
+}
+
+/// The application layer: one immutable handler shared by all workers.
+pub trait Handler: Send + Sync + 'static {
+    /// Answer one request. Infallible by contract — handlers express
+    /// failures as error [`Response`]s.
+    fn handle(&self, request: &Request) -> Response;
+}
+
+impl<F: Fn(&Request) -> Response + Send + Sync + 'static> Handler for F {
+    fn handle(&self, request: &Request) -> Response {
+        self(request)
+    }
+}
+
+/// A running server; dropping it without [`shutdown`](HttpServer::shutdown)
+/// detaches the workers (they keep serving until the process exits).
+#[derive(Debug)]
+pub struct HttpServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind and start serving on `cfg.workers` threads.
+    pub fn start(cfg: HttpConfig, handler: Arc<dyn Handler>) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let listener = Arc::new(listener);
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let listener = Arc::clone(&listener);
+                let stop = Arc::clone(&stop);
+                let handler = Arc::clone(&handler);
+                let cfg = cfg.clone();
+                std::thread::Builder::new()
+                    .name(format!("bgp-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&listener, &stop, &*handler, &cfg))
+                    .expect("spawn http worker")
+            })
+            .collect();
+        Ok(HttpServer {
+            local_addr,
+            stop,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting, wake blocked workers, and join them. In-flight
+    /// requests finish; workers parked on idle keep-alive connections
+    /// notice within roughly one poll slice (~1 s) and abandon them.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::Release);
+        // accept(2) has no portable cancellation: poke the listener once
+        // per worker so each blocked accept returns and observes `stop`.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.local_addr);
+        }
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(listener: &TcpListener, stop: &AtomicBool, handler: &dyn Handler, cfg: &HttpConfig) {
+    while !stop.load(Ordering::Acquire) {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => continue,
+        };
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let _ = serve_connection(stream, handler, cfg, stop);
+    }
+}
+
+/// Serve one connection to completion (keep-alive loop).
+fn serve_connection(
+    mut stream: TcpStream,
+    handler: &dyn Handler,
+    cfg: &HttpConfig,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    // Short socket timeout slices so a worker parked on an idle
+    // keep-alive connection notices `stop` within ~a second instead of
+    // only at the full idle timeout; `read_head` enforces the real
+    // idle budget (`cfg.read_timeout`) across slices.
+    stream.set_read_timeout(Some(cfg.read_timeout.min(Duration::from_secs(1))))?;
+    stream.set_nodelay(true)?;
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let budget = cfg.max_keepalive_requests.max(1);
+    for served in 0..budget {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        // Announce the close on the final budgeted response instead of
+        // silently dropping the connection afterwards.
+        let last_budgeted = served + 1 == budget;
+        let head = match read_head(&mut stream, &mut buf, cfg.max_request_bytes, cfg, stop) {
+            Ok(Some(head)) => head,
+            Ok(None) => break, // clean EOF between requests
+            Err(ReadHeadError::TooLarge) => {
+                write_response(
+                    &mut stream,
+                    &Response::error(431, "request head too large"),
+                    false,
+                    true,
+                )?;
+                break;
+            }
+            Err(ReadHeadError::Io) => break, // timeout / reset
+        };
+        let parsed = parse_head(&head);
+        let (response, head_only, close) = match parsed {
+            Ok(parsed) => {
+                if parsed.has_body {
+                    (
+                        Response::error(400, "request bodies are not accepted"),
+                        false,
+                        true,
+                    )
+                } else if parsed.request.method != "GET" && parsed.request.method != "HEAD" {
+                    (
+                        Response::error(405, "only GET and HEAD are served"),
+                        false,
+                        true,
+                    )
+                } else {
+                    let head_only = parsed.request.method == "HEAD";
+                    (handler.handle(&parsed.request), head_only, parsed.close)
+                }
+            }
+            Err(msg) => (Response::error(400, msg), false, true),
+        };
+        let close = close || last_budgeted;
+        write_response(&mut stream, &response, head_only, close)?;
+        if close {
+            break;
+        }
+    }
+    Ok(())
+}
+
+enum ReadHeadError {
+    TooLarge,
+    /// Timeout, reset, or EOF mid-head — the connection is unusable
+    /// either way, so the error detail is not carried.
+    Io,
+}
+
+/// Read up to the `\r\n\r\n` head terminator. `buf` carries bytes already
+/// read past the previous request's head (pipelined requests). Socket
+/// timeouts are treated as poll ticks: the read keeps waiting until the
+/// full `cfg.read_timeout` idle budget elapses or `stop` is raised.
+fn read_head(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    max: usize,
+    cfg: &HttpConfig,
+    stop: &AtomicBool,
+) -> Result<Option<Vec<u8>>, ReadHeadError> {
+    let mut chunk = [0u8; 1024];
+    let started = std::time::Instant::now();
+    loop {
+        if let Some(end) = find_head_end(buf) {
+            let rest = buf.split_off(end);
+            let head = std::mem::replace(buf, rest);
+            return Ok(Some(head));
+        }
+        if buf.len() >= max {
+            return Err(ReadHeadError::TooLarge);
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::Acquire) || started.elapsed() >= cfg.read_timeout {
+                    return Err(ReadHeadError::Io);
+                }
+                continue;
+            }
+            Err(_) => return Err(ReadHeadError::Io),
+        };
+        if n == 0 {
+            // EOF: clean only if nothing was buffered.
+            return if buf.is_empty() {
+                Ok(None)
+            } else {
+                Err(ReadHeadError::Io)
+            };
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+struct ParsedHead {
+    request: Request,
+    close: bool,
+    has_body: bool,
+}
+
+fn parse_head(head: &[u8]) -> Result<ParsedHead, &'static str> {
+    let text = std::str::from_utf8(head).map_err(|_| "request head is not UTF-8")?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().ok_or("empty request")?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().ok_or("missing method")?.to_string();
+    let target = parts.next().ok_or("missing request target")?;
+    let version = parts.next().ok_or("missing HTTP version")?;
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err("malformed request line");
+    }
+
+    let mut close = version == "HTTP/1.0";
+    let mut has_body = false;
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err("malformed header line");
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                close = true;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                close = false;
+            }
+        } else if name.eq_ignore_ascii_case("content-length") {
+            has_body = value.parse::<u64>().map_err(|_| "bad content-length")? > 0;
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            has_body = true;
+        }
+    }
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path).ok_or("bad percent-encoding in path")?;
+    let mut query = Vec::new();
+    if let Some(raw_query) = raw_query {
+        for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            let k = percent_decode(k).ok_or("bad percent-encoding in query")?;
+            let v = percent_decode(v).ok_or("bad percent-encoding in query")?;
+            query.push((k, v));
+        }
+    }
+    Ok(ParsedHead {
+        request: Request {
+            method,
+            path,
+            query,
+        },
+        close,
+        has_body,
+    })
+}
+
+/// Decode `%XX` and `+` (space). Returns `None` on truncated or
+/// non-UTF-8 escapes.
+fn percent_decode(s: &str) -> Option<String> {
+    if !s.contains('%') && !s.contains('+') {
+        return Some(s.to_string());
+    }
+    let bytes = s.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                let hex = std::str::from_utf8(hex).ok()?;
+                out.push(u8::from_str_radix(hex, 16).ok()?);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    head_only: bool,
+    close: bool,
+) -> io::Result<()> {
+    let mut out = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        status_reason(response.status),
+        response.content_type,
+        response.body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    if !head_only {
+        out.push_str(&response.body);
+    }
+    stream.write_all(out.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("plain").unwrap(), "plain");
+        assert_eq!(percent_decode("a%3Ab+c").unwrap(), "a:b c");
+        assert!(percent_decode("bad%2").is_none());
+        assert!(percent_decode("bad%zz").is_none());
+    }
+
+    #[test]
+    fn head_parsing() {
+        let head = b"GET /v1/class/5?x=1&y=a%20b HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n";
+        let parsed = parse_head(head).unwrap();
+        assert_eq!(parsed.request.method, "GET");
+        assert_eq!(parsed.request.path, "/v1/class/5");
+        assert_eq!(parsed.request.param("x"), Some("1"));
+        assert_eq!(parsed.request.param("y"), Some("a b"));
+        assert!(parsed.close);
+        assert!(!parsed.has_body);
+
+        assert!(parse_head(b"GARBAGE\r\n\r\n").is_err());
+        assert!(parse_head(b"GET / HTTP/2\r\n\r\n").is_err());
+        let body = parse_head(b"POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\n").unwrap();
+        assert!(body.has_body);
+    }
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"a\r\n\r\nrest"), Some(5));
+        assert_eq!(find_head_end(b"partial\r\n"), None);
+    }
+
+    #[test]
+    fn error_responses_are_json() {
+        let r = Response::error(404, "unknown \"asn\"");
+        assert_eq!(r.status, 404);
+        assert_eq!(r.body, r#"{"error":"unknown \"asn\""}"#);
+    }
+}

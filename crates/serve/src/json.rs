@@ -1,0 +1,228 @@
+//! Minimal JSON encoder.
+//!
+//! The workspace's vendored serde shim carries derives only — no JSON
+//! backend — and the sanctioned dependency set has no JSON crate, so the
+//! serve layer writes its wire format through this hand-rolled encoder: a
+//! push-down writer with automatic comma placement, RFC 8259 string
+//! escaping, and shortest-roundtrip float formatting (Rust's `{}` for
+//! `f64`). Encode-only by design: the daemon never parses JSON.
+//!
+//! ```
+//! use bgp_serve::json::JsonWriter;
+//!
+//! let mut w = JsonWriter::new();
+//! w.begin_obj();
+//! w.field_u64("asn", 3356);
+//! w.field_str("class", "tf");
+//! w.begin_arr_field("tags");
+//! w.elem_str("one");
+//! w.elem_u64(2);
+//! w.end_arr();
+//! w.end_obj();
+//! assert_eq!(w.finish(), r#"{"asn":3356,"class":"tf","tags":["one",2]}"#);
+//! ```
+
+use std::fmt::Write as _;
+
+/// Append `s` to `out` as a JSON string literal (quotes included).
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON value writer with automatic comma management.
+///
+/// Call `begin_obj`/`begin_arr` to open containers, the `field_*` methods
+/// inside objects and `elem_*` methods inside arrays, and `finish` when
+/// every container is closed. Misuse (a field outside an object, an
+/// unclosed container at `finish`) panics — the encoder is an internal
+/// tool for a fixed API surface, not a general serializer, so structural
+/// bugs should fail loudly in tests.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: `true` once it has a first element
+    /// (so the next element needs a comma).
+    stack: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Fresh writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    /// The finished document. Panics if a container is still open.
+    pub fn finish(self) -> String {
+        assert!(self.stack.is_empty(), "unclosed JSON container");
+        self.out
+    }
+
+    fn comma(&mut self) {
+        match self.stack.last_mut() {
+            Some(first @ false) => *first = true,
+            Some(_) => self.out.push(','),
+            None => assert!(self.out.is_empty(), "two top-level JSON values"),
+        }
+    }
+
+    /// Open the top-level (or a nested element-position) object.
+    pub fn begin_obj(&mut self) {
+        self.comma();
+        self.out.push('{');
+        self.stack.push(false);
+    }
+
+    /// Close the innermost object.
+    pub fn end_obj(&mut self) {
+        self.stack.pop().expect("end_obj with no open container");
+        self.out.push('}');
+    }
+
+    /// Open the top-level (or a nested element-position) array.
+    pub fn begin_arr(&mut self) {
+        self.comma();
+        self.out.push('[');
+        self.stack.push(false);
+    }
+
+    /// Close the innermost array.
+    pub fn end_arr(&mut self) {
+        self.stack.pop().expect("end_arr with no open container");
+        self.out.push(']');
+    }
+
+    fn key(&mut self, name: &str) {
+        self.comma();
+        write_escaped(&mut self.out, name);
+        self.out.push(':');
+    }
+
+    /// `"name":{` — open an object-valued field.
+    pub fn begin_obj_field(&mut self, name: &str) {
+        self.key(name);
+        self.out.push('{');
+        self.stack.push(false);
+    }
+
+    /// `"name":[` — open an array-valued field.
+    pub fn begin_arr_field(&mut self, name: &str) {
+        self.key(name);
+        self.out.push('[');
+        self.stack.push(false);
+    }
+
+    /// `"name":"value"`.
+    pub fn field_str(&mut self, name: &str, value: &str) {
+        self.key(name);
+        write_escaped(&mut self.out, value);
+    }
+
+    /// `"name":123`.
+    pub fn field_u64(&mut self, name: &str, value: u64) {
+        self.key(name);
+        let _ = write!(self.out, "{value}");
+    }
+
+    /// `"name":0.99` (shortest round-trip formatting).
+    pub fn field_f64(&mut self, name: &str, value: f64) {
+        self.key(name);
+        if value.is_finite() {
+            let _ = write!(self.out, "{value}");
+        } else {
+            self.out.push_str("null"); // JSON has no NaN/Inf
+        }
+    }
+
+    /// `"name":true`.
+    pub fn field_bool(&mut self, name: &str, value: bool) {
+        self.key(name);
+        self.out.push_str(if value { "true" } else { "false" });
+    }
+
+    /// `"name":null`.
+    pub fn field_null(&mut self, name: &str) {
+        self.key(name);
+        self.out.push_str("null");
+    }
+
+    /// A string array element.
+    pub fn elem_str(&mut self, value: &str) {
+        self.comma();
+        write_escaped(&mut self.out, value);
+    }
+
+    /// An integer array element.
+    pub fn elem_u64(&mut self, value: u64) {
+        self.comma();
+        let _ = write!(self.out, "{value}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        let mut out = String::new();
+        write_escaped(&mut out, "a\"b\\c\nd\te\u{1}f");
+        assert_eq!(out, r#""a\"b\\c\nd\te\u0001f""#);
+    }
+
+    #[test]
+    fn nested_structure() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.field_str("s", "x");
+        w.field_u64("n", 7);
+        w.field_f64("f", 0.99);
+        w.field_bool("b", false);
+        w.field_null("z");
+        w.begin_obj_field("o");
+        w.end_obj();
+        w.begin_arr_field("a");
+        w.begin_obj();
+        w.field_u64("i", 1);
+        w.end_obj();
+        w.elem_u64(2);
+        w.end_arr();
+        w.end_obj();
+        assert_eq!(
+            w.finish(),
+            r#"{"s":"x","n":7,"f":0.99,"b":false,"z":null,"o":{},"a":[{"i":1},2]}"#
+        );
+    }
+
+    #[test]
+    fn empty_array_and_nonfinite_floats() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.begin_arr_field("empty");
+        w.end_arr();
+        w.field_f64("nan", f64::NAN);
+        w.end_obj();
+        assert_eq!(w.finish(), r#"{"empty":[],"nan":null}"#);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn unclosed_container_panics() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.finish();
+    }
+}

@@ -1,0 +1,92 @@
+//! # bgp-serve
+//!
+//! A concurrent query-serving daemon over live streaming-inference
+//! snapshots — the layer that turns the [`bgp_stream`] pipeline from a
+//! batch-style tool ("run, then export a db") into a long-running
+//! service ("query the classification database *while* it ingests").
+//!
+//! ```text
+//!             ┌───────── ingest driver (1 writer thread) ─────────┐
+//! MRT files ──┤ StreamPipeline: shard, count, seal epochs         │
+//! sim feed  ──┤ Publisher: EpochSnapshot -> Arc<ServeSnapshot>    │
+//!             └──────────────────┬────────────────────────────────┘
+//!                                │ SnapshotSlot::publish (atomic version bump)
+//!                                ▼
+//!             ┌──────────── SnapshotSlot ─────────────┐
+//!             │ version: AtomicU64   slot: Arc swap   │
+//!             └──────────────────┬────────────────────┘
+//!                                │ SnapshotReader::current (lock-free revalidate)
+//!                                ▼
+//!             ┌──────── HTTP workers (N threads) ─────┐
+//!             │ hand-rolled HTTP/1.1, keep-alive      │ /v1/class /v1/classes
+//!             │ every request answered from ONE       │ /v1/community /v1/flips
+//!             │ immutable snapshot                    │ /v1/reclassify /v1/stats
+//!             └───────────────────────────────────────┘ /healthz /metrics
+//! ```
+//!
+//! ## Consistency model
+//!
+//! Epochs seal into immutable [`snapshot::ServeSnapshot`] values that are
+//! hot-swapped through [`snapshot::SnapshotSlot`]. A request loads one
+//! snapshot `Arc` and answers entirely from it, so responses are always
+//! internally consistent (one epoch, never a mix), publication versions
+//! are strictly monotone, and the ingest writer never waits for readers.
+//! Between seals — at production epoch policies, almost always — the
+//! per-worker [`snapshot::SnapshotReader`] revalidates its cached
+//! snapshot with a single atomic load: the steady-state query path takes
+//! no lock.
+//!
+//! ## Pieces
+//!
+//! * [`snapshot`] — the publication layer (slot, reader, publisher);
+//! * [`http`] — minimal multi-threaded HTTP/1.1 transport on `std::net`;
+//! * [`json`] — hand-rolled JSON encoder (the vendored serde shim has no
+//!   JSON backend);
+//! * [`api`] — routes, parameter parsing, response shapes;
+//! * [`metrics`] — atomic server counters + Prometheus text exposition;
+//! * [`driver`] — the single-writer ingest thread (MRT files, simulated
+//!   scenario feeds, or in-memory events);
+//! * two binaries: `bgp-served` (the daemon) and `bgp-stream-infer`
+//!   (the streaming front end, now with `--listen` to serve while
+//!   ingesting).
+//!
+//! ```
+//! use bgp_serve::prelude::*;
+//! use bgp_stream::prelude::*;
+//! use bgp_types::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // Publish one epoch and query it through the API handler.
+//! let slot = Arc::new(SnapshotSlot::new(Default::default()));
+//! let mut publisher = Publisher::new(Arc::clone(&slot), 1024);
+//! let mut pipe = StreamPipeline::new(StreamConfig::default());
+//! pipe.push(StreamEvent::new(0, PathCommTuple::new(
+//!     path(&[5, 9]),
+//!     CommunitySet::from_iter([AnyCommunity::tag_for(Asn(5), 100)]),
+//! )));
+//! pipe.seal_epoch();
+//! publisher.sync(&pipe);
+//! assert_eq!(slot.load().class_of(Asn(5)).tagging.code(), 't');
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod api;
+pub mod driver;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod snapshot;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::api::Api;
+    pub use crate::driver::{spawn_ingest, DriverConfig, Feed, IngestHandle, IngestReport};
+    pub use crate::http::{Handler, HttpConfig, HttpServer, Request, Response};
+    pub use crate::json::JsonWriter;
+    pub use crate::metrics::{Endpoint, Metrics};
+    pub use crate::snapshot::{
+        IngestStats, Publisher, ServeSnapshot, SnapshotReader, SnapshotSlot,
+    };
+}

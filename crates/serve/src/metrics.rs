@@ -1,0 +1,232 @@
+//! Server-side counters and the Prometheus text exposition.
+//!
+//! One [`Metrics`] instance is shared (lock-free `AtomicU64`s) between
+//! the API handler, the ingest driver, and the `/metrics` endpoint. The
+//! exposition follows the Prometheus text format v0.0.4: `# HELP` /
+//! `# TYPE` preamble per family, one sample per line. Snapshot-derived
+//! gauges (epoch, record count, …) are read from the live snapshot at
+//! scrape time rather than duplicated here.
+
+use crate::snapshot::ServeSnapshot;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The API endpoints metered individually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `/v1/class/{asn}`
+    Class,
+    /// `/v1/classes`
+    Classes,
+    /// `/v1/community/{community}`
+    Community,
+    /// `/v1/flips`
+    Flips,
+    /// `/v1/reclassify`
+    Reclassify,
+    /// `/v1/stats`
+    Stats,
+    /// `/healthz`
+    Health,
+    /// `/metrics`
+    Metrics,
+    /// Anything that matched no route.
+    Other,
+}
+
+impl Endpoint {
+    const ALL: [Endpoint; 9] = [
+        Endpoint::Class,
+        Endpoint::Classes,
+        Endpoint::Community,
+        Endpoint::Flips,
+        Endpoint::Reclassify,
+        Endpoint::Stats,
+        Endpoint::Health,
+        Endpoint::Metrics,
+        Endpoint::Other,
+    ];
+
+    fn label(self) -> &'static str {
+        match self {
+            Endpoint::Class => "class",
+            Endpoint::Classes => "classes",
+            Endpoint::Community => "community",
+            Endpoint::Flips => "flips",
+            Endpoint::Reclassify => "reclassify",
+            Endpoint::Stats => "stats",
+            Endpoint::Health => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        Endpoint::ALL
+            .iter()
+            .position(|&e| e == self)
+            .expect("endpoint in ALL")
+    }
+}
+
+/// Shared atomic counters.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests: [AtomicU64; 9],
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    epochs_published: AtomicU64,
+    events_ingested: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Count one request to `endpoint` answered with `status`.
+    pub fn observe(&self, endpoint: Endpoint, status: u16) {
+        self.requests[endpoint.index()].fetch_add(1, Ordering::Relaxed);
+        let bucket = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        bucket.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one published epoch.
+    pub fn epoch_published(&self) {
+        self.epochs_published.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count ingested events (driver batches).
+    pub fn events_ingested(&self, n: u64) {
+        self.events_ingested.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total requests across all endpoints.
+    pub fn total_requests(&self) -> u64 {
+        self.requests
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Requests observed for one endpoint.
+    pub fn requests_for(&self, endpoint: Endpoint) -> u64 {
+        self.requests[endpoint.index()].load(Ordering::Relaxed)
+    }
+
+    /// Render the Prometheus text exposition against `snapshot`.
+    pub fn render(&self, snapshot: &ServeSnapshot) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str(
+            "# HELP bgp_serve_http_requests_total Requests served, by endpoint.\n\
+             # TYPE bgp_serve_http_requests_total counter\n",
+        );
+        for e in Endpoint::ALL {
+            let _ = writeln!(
+                out,
+                "bgp_serve_http_requests_total{{endpoint=\"{}\"}} {}",
+                e.label(),
+                self.requests[e.index()].load(Ordering::Relaxed)
+            );
+        }
+        out.push_str(
+            "# HELP bgp_serve_http_responses_total Responses, by status class.\n\
+             # TYPE bgp_serve_http_responses_total counter\n",
+        );
+        for (class, counter) in [
+            ("2xx", &self.responses_2xx),
+            ("4xx", &self.responses_4xx),
+            ("5xx", &self.responses_5xx),
+        ] {
+            let _ = writeln!(
+                out,
+                "bgp_serve_http_responses_total{{class=\"{class}\"}} {}",
+                counter.load(Ordering::Relaxed)
+            );
+        }
+        for (name, help, value) in [
+            (
+                "bgp_serve_epochs_published_total",
+                "Epoch snapshots published to the serving slot.",
+                self.epochs_published.load(Ordering::Relaxed),
+            ),
+            (
+                "bgp_serve_events_ingested_total",
+                "Stream events pushed by the ingest driver.",
+                self.events_ingested.load(Ordering::Relaxed),
+            ),
+        ] {
+            let _ = writeln!(
+                out,
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}"
+            );
+        }
+        for (name, help, value) in [
+            (
+                "bgp_serve_snapshot_version",
+                "Version of the snapshot currently served.",
+                snapshot.version(),
+            ),
+            (
+                "bgp_serve_snapshot_records",
+                "Classified AS records in the served snapshot.",
+                snapshot.records.len() as u64,
+            ),
+            (
+                "bgp_serve_snapshot_total_events",
+                "Stream events behind the served snapshot.",
+                snapshot.ingest.total_events,
+            ),
+            (
+                "bgp_serve_snapshot_unique_tuples",
+                "Unique tuples behind the served snapshot.",
+                snapshot.ingest.unique_tuples as u64,
+            ),
+        ] {
+            let _ = writeln!(
+                out,
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}"
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_infer::counters::Thresholds;
+
+    #[test]
+    fn observe_and_render() {
+        let m = Metrics::new();
+        m.observe(Endpoint::Class, 200);
+        m.observe(Endpoint::Class, 404);
+        m.observe(Endpoint::Health, 200);
+        m.epoch_published();
+        m.events_ingested(42);
+        assert_eq!(m.total_requests(), 3);
+        assert_eq!(m.requests_for(Endpoint::Class), 2);
+
+        let snap = ServeSnapshot::empty(Thresholds::default());
+        let text = m.render(&snap);
+        assert!(text.contains("bgp_serve_http_requests_total{endpoint=\"class\"} 2"));
+        assert!(text.contains("bgp_serve_http_responses_total{class=\"2xx\"} 2"));
+        assert!(text.contains("bgp_serve_http_responses_total{class=\"4xx\"} 1"));
+        assert!(text.contains("bgp_serve_events_ingested_total 42"));
+        assert!(text.contains("bgp_serve_snapshot_version 0"));
+        // Every line is either a comment or `name{labels} value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "{line}"
+            );
+        }
+    }
+}

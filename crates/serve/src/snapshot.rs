@@ -1,0 +1,517 @@
+//! Snapshot publication: immutable query views hot-swapped atomically.
+//!
+//! The ingest side seals epochs; each seal produces one immutable
+//! [`ServeSnapshot`] published through a [`SnapshotSlot`]. Readers obtain
+//! an `Arc<ServeSnapshot>` and answer any number of queries against it —
+//! the snapshot can never change under them, so a request sees exactly
+//! one epoch (never a mix), and the writer never waits for readers.
+//!
+//! The slot itself is a version-stamped cell: `publish` (writer, rare)
+//! stores the new `Arc` and bumps an atomic version; `load` (readers)
+//! clones the `Arc` under a mutex held for the duration of a pointer
+//! copy. Steady-state readers use a [`SnapshotReader`], which caches the
+//! last `Arc` it saw and revalidates with one atomic load — the hot query
+//! path takes no lock at all between epoch seals, which at production
+//! epoch policies (thousands of events per seal) is effectively always.
+
+use crate::json::JsonWriter;
+use bgp_infer::classify::Class;
+use bgp_infer::counters::Thresholds;
+use bgp_infer::db::DbRecord;
+use bgp_stream::epoch::{ClassFlip, EpochSnapshot};
+use bgp_stream::pipeline::StreamPipeline;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Ingest-side counters frozen into a snapshot at publish time.
+#[derive(Debug, Clone, Default)]
+pub struct IngestStats {
+    /// Events ingested since the stream began.
+    pub total_events: u64,
+    /// Unique tuples stored across all shards.
+    pub unique_tuples: usize,
+    /// Dedup hits observed.
+    pub duplicates: u64,
+    /// Stored-tuple count per shard.
+    pub shard_loads: Vec<usize>,
+    /// Distinct ASNs interned across shard compiled stores.
+    pub interned_asns: usize,
+    /// Total path positions in the shard id arenas.
+    pub arena_hops: usize,
+}
+
+/// One immutable, queryable view of the classification database.
+///
+/// Everything a query needs is precomputed at publish time (sorted record
+/// table, cumulative flip log), so serving threads only ever binary-search
+/// and format — no locks, no shared mutable state.
+#[derive(Debug)]
+pub struct ServeSnapshot {
+    /// The sealed stream epoch behind this view; `None` before the first
+    /// seal (the "version 0" boot snapshot serves empty answers).
+    pub epoch: Option<Arc<EpochSnapshot>>,
+    /// Per-AS records, sorted by ASN (the `db::records` table).
+    pub records: Vec<DbRecord>,
+    /// Thresholds the records were classified under.
+    pub thresholds: Thresholds,
+    /// Cumulative `(epoch, flip)` log, ascending by epoch, possibly
+    /// truncated at the front to [`ServeSnapshot::flip_log_start`].
+    pub flips: Vec<(u64, ClassFlip)>,
+    /// Epoch id of the oldest retained flip entry (entries from earlier
+    /// epochs were trimmed by the publisher's log cap).
+    pub flip_log_start: u64,
+    /// Ingest statistics at publish time.
+    pub ingest: IngestStats,
+}
+
+impl ServeSnapshot {
+    /// The boot snapshot: version 0, nothing classified yet.
+    pub fn empty(thresholds: Thresholds) -> Self {
+        ServeSnapshot {
+            epoch: None,
+            records: Vec::new(),
+            thresholds,
+            flips: Vec::new(),
+            flip_log_start: 0,
+            ingest: IngestStats::default(),
+        }
+    }
+
+    /// Monotone publication version: 0 before the first seal, then the
+    /// sealed epoch's `version` (`epoch + 1`).
+    pub fn version(&self) -> u64 {
+        self.epoch.as_ref().map_or(0, |e| e.version)
+    }
+
+    /// The sealed epoch id, or `None` before the first seal.
+    pub fn epoch_id(&self) -> Option<u64> {
+        self.epoch.as_ref().map(|e| e.epoch)
+    }
+
+    /// Point lookup, `None` for an AS this epoch never counted.
+    pub fn record_of(&self, asn: bgp_types::asn::Asn) -> Option<&DbRecord> {
+        self.records
+            .binary_search_by_key(&asn, |r| r.asn)
+            .ok()
+            .map(|i| &self.records[i])
+    }
+
+    /// Classification of one AS ([`Class::NONE`] when never counted).
+    pub fn class_of(&self, asn: bgp_types::asn::Asn) -> Class {
+        self.record_of(asn).map_or(Class::NONE, |r| r.class)
+    }
+
+    /// Flips from epochs `>= since_epoch`, in epoch order. The boolean is
+    /// `false` when the requested range starts before the retained log
+    /// (the answer is then truncated at [`ServeSnapshot::flip_log_start`]).
+    pub fn flips_since(&self, since_epoch: u64) -> (&[(u64, ClassFlip)], bool) {
+        let start = self.flips.partition_point(|&(e, _)| e < since_epoch);
+        (&self.flips[start..], since_epoch >= self.flip_log_start)
+    }
+
+    /// Re-classify every record under different thresholds without
+    /// re-counting — the same approximation
+    /// [`InferenceOutcome::reclassify`](bgp_infer::engine::InferenceOutcome::reclassify)
+    /// documents, evaluated against this immutable snapshot.
+    pub fn reclassify(&self, th: &Thresholds) -> impl Iterator<Item = (&DbRecord, Class)> + '_ {
+        let th = *th;
+        self.records
+            .iter()
+            .map(move |r| (r, r.counters.classify(&th)))
+    }
+}
+
+/// The record fields, written into an already-open object — the single
+/// definition of the wire shape every endpoint shares.
+fn write_record_fields(w: &mut JsonWriter, r: &DbRecord) {
+    w.field_u64("asn", r.asn.0 as u64);
+    w.field_str("class", &r.class.as_str());
+    w.begin_obj_field("counters");
+    w.field_u64("t", r.counters.t);
+    w.field_u64("s", r.counters.s);
+    w.field_u64("f", r.counters.f);
+    w.field_u64("c", r.counters.c);
+    w.end_obj();
+}
+
+/// Append one record as a JSON array element.
+pub fn write_record(w: &mut JsonWriter, r: &DbRecord) {
+    w.begin_obj();
+    write_record_fields(w, r);
+    w.end_obj();
+}
+
+/// Append one record as a named object field (`"name":{...}`).
+pub fn write_record_field(w: &mut JsonWriter, name: &str, r: &DbRecord) {
+    w.begin_obj_field(name);
+    write_record_fields(w, r);
+    w.end_obj();
+}
+
+/// The atomic publication slot: one writer, any number of readers.
+#[derive(Debug)]
+pub struct SnapshotSlot {
+    /// Bumped to the snapshot's version on every publish. Readers use it
+    /// to revalidate cached `Arc`s without locking.
+    version: AtomicU64,
+    slot: Mutex<Arc<ServeSnapshot>>,
+}
+
+impl SnapshotSlot {
+    /// A slot holding the boot snapshot.
+    pub fn new(thresholds: Thresholds) -> Self {
+        SnapshotSlot {
+            version: AtomicU64::new(0),
+            slot: Mutex::new(Arc::new(ServeSnapshot::empty(thresholds))),
+        }
+    }
+
+    /// Current publication version (lock-free).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Swap in a new snapshot. Panics if the version does not advance —
+    /// publications must be monotone or readers could observe time moving
+    /// backwards between requests.
+    pub fn publish(&self, snapshot: Arc<ServeSnapshot>) {
+        let new_version = snapshot.version();
+        let mut guard = self.slot.lock().expect("snapshot slot poisoned");
+        let old_version = guard.version();
+        assert!(
+            new_version > old_version,
+            "snapshot version must advance: {old_version} -> {new_version}"
+        );
+        *guard = snapshot;
+        // Publish the version while still holding the lock so a reader
+        // that sees the new version always finds the new snapshot.
+        self.version.store(new_version, Ordering::Release);
+    }
+
+    /// The current snapshot (brief lock, pointer-copy only).
+    pub fn load(&self) -> Arc<ServeSnapshot> {
+        self.slot.lock().expect("snapshot slot poisoned").clone()
+    }
+
+    /// A caching reader handle for a serving thread.
+    pub fn reader(self: &Arc<Self>) -> SnapshotReader {
+        SnapshotReader {
+            slot: Arc::clone(self),
+            cached: self.load(),
+        }
+    }
+}
+
+/// A per-thread reader: revalidates its cached snapshot with one atomic
+/// load and only touches the slot mutex when an epoch actually sealed.
+#[derive(Debug)]
+pub struct SnapshotReader {
+    slot: Arc<SnapshotSlot>,
+    cached: Arc<ServeSnapshot>,
+}
+
+impl SnapshotReader {
+    /// The slot this reader watches.
+    pub fn slot(&self) -> &Arc<SnapshotSlot> {
+        &self.slot
+    }
+
+    /// The freshest snapshot (lock-free when nothing sealed since the
+    /// last call).
+    pub fn current(&mut self) -> &Arc<ServeSnapshot> {
+        if self.slot.version() != self.cached.version() {
+            self.cached = self.slot.load();
+        }
+        &self.cached
+    }
+}
+
+/// Builds `ServeSnapshot`s out of a pipeline's newly sealed epochs and
+/// publishes them in order — the bridge the ingest driver (and tests)
+/// drive after every pushed batch.
+#[derive(Debug)]
+pub struct Publisher {
+    slot: Arc<SnapshotSlot>,
+    /// Pipeline snapshots already published.
+    published: usize,
+    /// Cumulative flip log carried across publications.
+    flips: Vec<(u64, ClassFlip)>,
+    flip_log_start: u64,
+    /// Retain at most this many flip entries (oldest trimmed first).
+    flip_log_cap: usize,
+}
+
+impl Publisher {
+    /// A publisher feeding `slot`, retaining at most `flip_log_cap` flips.
+    pub fn new(slot: Arc<SnapshotSlot>, flip_log_cap: usize) -> Self {
+        Publisher {
+            slot,
+            published: 0,
+            flips: Vec::new(),
+            flip_log_start: 0,
+            flip_log_cap,
+        }
+    }
+
+    /// The slot this publisher feeds.
+    pub fn slot(&self) -> &Arc<SnapshotSlot> {
+        &self.slot
+    }
+
+    /// Publish every epoch the pipeline sealed since the last call, one
+    /// `ServeSnapshot` per epoch (readers may observe each version, so
+    /// none are skipped). Returns how many were published.
+    pub fn sync(&mut self, pipeline: &StreamPipeline) -> usize {
+        let snapshots = pipeline.snapshots();
+        let new = &snapshots[self.published.min(snapshots.len())..];
+        for sealed in new {
+            self.publish_epoch(pipeline, Arc::clone(sealed));
+        }
+        self.published = snapshots.len();
+        new.len()
+    }
+
+    fn publish_epoch(&mut self, pipeline: &StreamPipeline, sealed: Arc<EpochSnapshot>) {
+        for flip in &sealed.flips {
+            self.flips.push((sealed.epoch, *flip));
+        }
+        if self.flips.len() > self.flip_log_cap {
+            let mut drop = self.flips.len() - self.flip_log_cap;
+            // Extend the trim to the epoch boundary: a partially
+            // retained epoch would make `flips_since(flip_log_start)`
+            // claim completeness while missing that epoch's earlier
+            // flips.
+            while drop < self.flips.len() && self.flips[drop].0 == self.flips[drop - 1].0 {
+                drop += 1;
+            }
+            self.flips.drain(..drop);
+            self.flip_log_start = self.flips.first().map_or(sealed.epoch + 1, |&(e, _)| e);
+        }
+        let records = sealed
+            .outcome
+            .as_ref()
+            .map(bgp_infer::db::records)
+            .unwrap_or_else(|| {
+                // Compacted epochs keep classes but not counters; serve
+                // them with zeroed counters rather than failing. The
+                // driver always publishes an epoch before it can be
+                // compacted, so this is a fallback, not the normal path.
+                sealed
+                    .classes
+                    .iter()
+                    .map(|&(asn, class)| DbRecord {
+                        asn,
+                        class,
+                        counters: Default::default(),
+                    })
+                    .collect()
+            });
+        let snapshot = ServeSnapshot {
+            records,
+            thresholds: pipeline.config().thresholds,
+            flips: self.flips.clone(),
+            flip_log_start: self.flip_log_start,
+            ingest: IngestStats {
+                total_events: sealed.total_events,
+                unique_tuples: sealed.unique_tuples,
+                duplicates: pipeline.duplicates(),
+                shard_loads: pipeline.shard_loads(),
+                interned_asns: pipeline.interned_asns(),
+                arena_hops: pipeline.arena_hops(),
+            },
+            epoch: Some(sealed),
+        };
+        self.slot.publish(Arc::new(snapshot));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_stream::epoch::EpochPolicy;
+    use bgp_stream::ingest::StreamEvent;
+    use bgp_stream::pipeline::StreamConfig;
+    use bgp_types::prelude::*;
+
+    fn tag_tuple(p: &[u32], uppers: &[u32]) -> PathCommTuple {
+        PathCommTuple::new(
+            path(p),
+            CommunitySet::from_iter(uppers.iter().map(|&u| AnyCommunity::tag_for(Asn(u), 100))),
+        )
+    }
+
+    fn pipeline(every: u64) -> StreamPipeline {
+        StreamPipeline::new(StreamConfig {
+            shards: 2,
+            epoch: EpochPolicy::every_events(every),
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn boot_snapshot_is_version_zero() {
+        let slot = Arc::new(SnapshotSlot::new(Thresholds::default()));
+        let snap = slot.load();
+        assert_eq!(snap.version(), 0);
+        assert_eq!(snap.epoch_id(), None);
+        assert!(snap.records.is_empty());
+        assert_eq!(snap.class_of(Asn(1)), Class::NONE);
+    }
+
+    #[test]
+    fn publisher_tracks_sealed_epochs() {
+        let slot = Arc::new(SnapshotSlot::new(Thresholds::default()));
+        let mut publisher = Publisher::new(Arc::clone(&slot), 1024);
+        let mut pipe = pipeline(2);
+
+        for i in 0..4u64 {
+            pipe.push(StreamEvent::new(i, tag_tuple(&[1, 9], &[1])));
+        }
+        assert_eq!(publisher.sync(&pipe), 2);
+        let snap = slot.load();
+        assert_eq!(snap.version(), 2);
+        assert_eq!(snap.epoch_id(), Some(1));
+        assert_eq!(snap.class_of(Asn(1)).tagging.code(), 't');
+        // Records match the db::records oracle on the same outcome.
+        let oracle = bgp_infer::db::records(snap.epoch.as_ref().unwrap().outcome.as_ref().unwrap());
+        assert_eq!(snap.records, oracle);
+        // Nothing new -> no publish.
+        assert_eq!(publisher.sync(&pipe), 0);
+    }
+
+    #[test]
+    fn reader_revalidates_on_new_version() {
+        let slot = Arc::new(SnapshotSlot::new(Thresholds::default()));
+        let mut publisher = Publisher::new(Arc::clone(&slot), 1024);
+        let mut reader = slot.reader();
+        assert_eq!(reader.current().version(), 0);
+
+        let mut pipe = pipeline(1);
+        pipe.push(StreamEvent::new(0, tag_tuple(&[1, 9], &[1])));
+        publisher.sync(&pipe);
+        assert_eq!(reader.current().version(), 1);
+        pipe.push(StreamEvent::new(1, tag_tuple(&[2, 9], &[])));
+        publisher.sync(&pipe);
+        assert_eq!(reader.current().version(), 2);
+    }
+
+    #[test]
+    fn flip_log_accumulates_and_caps() {
+        let slot = Arc::new(SnapshotSlot::new(Thresholds::default()));
+        let mut publisher = Publisher::new(Arc::clone(&slot), 2);
+        let mut pipe = pipeline(1);
+        // Each epoch flips AS1: t.. then u.. alternating evidence.
+        pipe.push(StreamEvent::new(0, tag_tuple(&[1, 9], &[1])));
+        pipe.push(StreamEvent::new(1, tag_tuple(&[1, 8], &[])));
+        pipe.push(StreamEvent::new(2, tag_tuple(&[2, 9], &[2])));
+        publisher.sync(&pipe);
+        let snap = slot.load();
+        assert!(snap.flips.len() <= 2, "cap respected: {:?}", snap.flips);
+        let (all, complete) = snap.flips_since(0);
+        assert_eq!(all.len(), snap.flips.len());
+        assert!(!complete, "front of the log was trimmed");
+        let (recent, complete) = snap.flips_since(snap.flip_log_start);
+        assert!(complete);
+        assert_eq!(recent.len(), snap.flips.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "version must advance")]
+    fn non_monotone_publish_panics() {
+        // Empty snapshots are version 0 and the slot boots at version 0,
+        // so re-publishing the boot view fails the strict-advance check.
+        let slot = SnapshotSlot::new(Thresholds::default());
+        slot.publish(Arc::new(ServeSnapshot::empty(Thresholds::default())));
+    }
+
+    #[test]
+    fn trim_extends_to_epoch_boundary() {
+        let slot = Arc::new(SnapshotSlot::new(Thresholds::default()));
+        let mut publisher = Publisher::new(Arc::clone(&slot), 2);
+        let mut pipe = pipeline(1);
+        // One epoch sealing three flips at once: a naive cap trim would
+        // keep 2 of them and claim the epoch complete.
+        pipe.push(StreamEvent::new(0, tag_tuple(&[1, 5, 9], &[1, 5])));
+        publisher.sync(&pipe);
+        let snap = slot.load();
+        let (_, complete) = snap.flips_since(0);
+        if snap.flips.is_empty() {
+            // The whole epoch was trimmed: since_epoch=0 must NOT claim
+            // completeness, the next epoch is the first complete one.
+            assert!(!complete);
+            assert_eq!(snap.flip_log_start, 1);
+        } else {
+            // Nothing trimmed mid-epoch: every retained epoch is whole.
+            let first_epoch = snap.flips.first().unwrap().0;
+            assert!(
+                snap.flips
+                    .iter()
+                    .filter(|&&(e, _)| e == first_epoch)
+                    .count()
+                    >= 1
+            );
+            assert_eq!(snap.flip_log_start, first_epoch);
+        }
+    }
+
+    #[test]
+    fn per_seal_publication_survives_compaction() {
+        // With compact_history, sealing epoch N strips epoch N-1's
+        // counter store in the pipeline. A publisher that synced after
+        // every seal must keep serving epoch N-1's real counters
+        // (compaction copy-on-writes the shared Arc).
+        let slot = Arc::new(SnapshotSlot::new(Thresholds::default()));
+        let mut publisher = Publisher::new(Arc::clone(&slot), 1024);
+        let mut pipe = StreamPipeline::new(StreamConfig {
+            shards: 1,
+            epoch: EpochPolicy::every_events(1),
+            compact_history: true,
+            ..Default::default()
+        });
+
+        pipe.push(StreamEvent::new(0, tag_tuple(&[1, 9], &[1])));
+        publisher.sync(&pipe);
+        let first = slot.load();
+        assert_eq!(first.version(), 1);
+        assert!(first.records.iter().any(|r| !r.counters.is_zero()));
+
+        // The next seal compacts epoch 0 inside the pipeline...
+        pipe.push(StreamEvent::new(1, tag_tuple(&[2, 9], &[2])));
+        publisher.sync(&pipe);
+        assert!(
+            pipe.snapshots()[0].outcome.is_none(),
+            "pipeline history compacted"
+        );
+        // ...but the published epoch-0 snapshot keeps its full state.
+        assert!(first.epoch.as_ref().unwrap().outcome.is_some());
+        assert!(first.records.iter().any(|r| !r.counters.is_zero()));
+        // And the live snapshot moved on with real counters too.
+        let second = slot.load();
+        assert_eq!(second.version(), 2);
+        assert!(second.records.iter().any(|r| !r.counters.is_zero()));
+    }
+
+    #[test]
+    fn reclassify_is_pure_over_records() {
+        let slot = Arc::new(SnapshotSlot::new(Thresholds::default()));
+        let mut publisher = Publisher::new(Arc::clone(&slot), 64);
+        let mut pipe = pipeline(4);
+        for i in 0..4u64 {
+            pipe.push(StreamEvent::new(i, tag_tuple(&[1, 5, 9], &[1, 5])));
+        }
+        publisher.sync(&pipe);
+        let snap = slot.load();
+        let relaxed = Thresholds::uniform(0.5);
+        let reclassified: Vec<Class> = snap.reclassify(&relaxed).map(|(_, c)| c).collect();
+        let oracle = snap
+            .epoch
+            .as_ref()
+            .unwrap()
+            .outcome
+            .as_ref()
+            .unwrap()
+            .reclassify(relaxed);
+        let oracle_classes: Vec<Class> = oracle.into_iter().map(|(_, c)| c).collect();
+        assert_eq!(reclassified, oracle_classes);
+    }
+}

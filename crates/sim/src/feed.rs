@@ -123,7 +123,9 @@ mod tests {
         let feed = UpdateFeed::from_tuples(&tuples(), 11, 4);
         let times: Vec<u64> = feed.events().iter().map(|(t, _)| *t).collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
-        assert!(times.iter().all(|&t| (FEED_DAY_START..FEED_DAY_START + 86_400).contains(&t)));
+        assert!(times
+            .iter()
+            .all(|&t| (FEED_DAY_START..FEED_DAY_START + 86_400).contains(&t)));
     }
 
     #[test]

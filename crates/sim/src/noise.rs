@@ -37,12 +37,22 @@ impl NoiseModel {
             .into_iter()
             .filter(|a| stable_hash((seed, 0xA5u8, a.0)) % 2 == 0)
             .collect();
-        NoiseModel { noisy, action_prob: 0.05, origin_prob: 0.05, seed }
+        NoiseModel {
+            noisy,
+            action_prob: 0.05,
+            origin_prob: 0.05,
+            seed,
+        }
     }
 
     /// A noise model that never fires (for differential tests).
     pub fn disabled() -> Self {
-        NoiseModel { noisy: HashSet::new(), action_prob: 0.0, origin_prob: 0.0, seed: 0 }
+        NoiseModel {
+            noisy: HashSet::new(),
+            action_prob: 0.0,
+            origin_prob: 0.0,
+            seed: 0,
+        }
     }
 
     /// Number of noisy ASes.
@@ -121,7 +131,9 @@ mod tests {
     fn seeds_differ() {
         let a = NoiseModel::paper_defaults(asns(2_000), 1);
         let b = NoiseModel::paper_defaults(asns(2_000), 2);
-        let same = (1..=2_000u32).filter(|&v| a.is_noisy(Asn(v)) == b.is_noisy(Asn(v))).count();
+        let same = (1..=2_000u32)
+            .filter(|&v| a.is_noisy(Asn(v)) == b.is_noisy(Asn(v)))
+            .count();
         assert!(same < 1_900, "noisy sets nearly identical across seeds");
     }
 

@@ -71,7 +71,10 @@ impl PeeringExperiment {
             .collect();
         transit.shuffle(&mut rng);
         let pop_ids: Vec<NodeId> = transit.into_iter().take(n_pops).collect();
-        assert!(!pop_ids.is_empty(), "topology has no transit ASes to attach to");
+        assert!(
+            !pop_ids.is_empty(),
+            "topology has no transit ASes to attach to"
+        );
 
         let origin = graph.add_node(PEERING_ASN, Tier::Edge);
         for &p in &pop_ids {
@@ -84,7 +87,9 @@ impl PeeringExperiment {
 
         let mut observations = Vec::new();
         for peer in graph.collector_peer_ids() {
-            let Some(path) = tree.as_path(&graph, peer) else { continue };
+            let Some(path) = tree.as_path(&graph, peer) else {
+                continue;
+            };
             if path.len() < 2 {
                 continue; // the origin itself peering with a collector
             }
@@ -107,7 +112,11 @@ impl PeeringExperiment {
         }
 
         let pops = pop_ids.iter().map(|&id| graph.asn_of(id)).collect();
-        PeeringExperiment { graph, pops, observations }
+        PeeringExperiment {
+            graph,
+            pops,
+            observations,
+        }
     }
 
     /// Propagate the testbed announcement along `path` (peer..origin):
@@ -149,7 +158,9 @@ impl PeeringExperiment {
     /// origin, whose forwarding is irrelevant)?
     pub fn path_has_cleaner(&self, roles: &RoleAssignment, path: &AsPath) -> bool {
         let asns = path.asns();
-        asns[..asns.len() - 1].iter().any(|&a| !roles.role(a).is_forward())
+        asns[..asns.len() - 1]
+            .iter()
+            .any(|&a| !roles.role(a).is_forward())
     }
 }
 

@@ -38,7 +38,11 @@ pub struct Propagator<'a> {
 impl<'a> Propagator<'a> {
     /// Build a propagator without noise.
     pub fn new(graph: &'a AsGraph, roles: &'a RoleAssignment) -> Self {
-        Propagator { graph, roles, noise: None }
+        Propagator {
+            graph,
+            roles,
+            noise: None,
+        }
     }
 
     /// Attach a noise model.
@@ -157,7 +161,9 @@ impl<'a> Propagator<'a> {
                 .map(|p| PathCommTuple::new(p.clone(), self.output(p)))
                 .collect();
         }
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         let chunk = paths.len().div_ceil(threads);
         let mut out = Vec::with_capacity(paths.len());
         std::thread::scope(|s| {
@@ -315,12 +321,18 @@ mod tests {
         ra.set(Asn(20), sel_fwd);
         let out = Propagator::new(&g, &ra).output(&p);
         // A2 sends to A1, its provider -> cleans -> A3's tag gone.
-        assert!(!out.contains_upper(Asn(30)), "selective forwarder must clean toward provider");
+        assert!(
+            !out.contains_upper(Asn(30)),
+            "selective forwarder must clean toward provider"
+        );
 
         // Same AS as collector peer: receiver is the collector -> forwards.
         let direct = path(&[20, 30]);
         let out2 = Propagator::new(&g, &ra).output(&direct);
-        assert!(out2.contains_upper(Asn(30)), "selective forwarder forwards to collectors");
+        assert!(
+            out2.contains_upper(Asn(30)),
+            "selective forwarder forwards to collectors"
+        );
     }
 
     #[test]

@@ -75,17 +75,25 @@ pub struct Role {
 
 impl Role {
     /// `tf` — tagger-forward.
-    pub const TF: Role =
-        Role { tagging: TaggingBehavior::Tagger, forwarding: ForwardingBehavior::Forward };
+    pub const TF: Role = Role {
+        tagging: TaggingBehavior::Tagger,
+        forwarding: ForwardingBehavior::Forward,
+    };
     /// `tc` — tagger-cleaner.
-    pub const TC: Role =
-        Role { tagging: TaggingBehavior::Tagger, forwarding: ForwardingBehavior::Cleaner };
+    pub const TC: Role = Role {
+        tagging: TaggingBehavior::Tagger,
+        forwarding: ForwardingBehavior::Cleaner,
+    };
     /// `sf` — silent-forward.
-    pub const SF: Role =
-        Role { tagging: TaggingBehavior::Silent, forwarding: ForwardingBehavior::Forward };
+    pub const SF: Role = Role {
+        tagging: TaggingBehavior::Silent,
+        forwarding: ForwardingBehavior::Forward,
+    };
     /// `sc` — silent-cleaner.
-    pub const SC: Role =
-        Role { tagging: TaggingBehavior::Silent, forwarding: ForwardingBehavior::Cleaner };
+    pub const SC: Role = Role {
+        tagging: TaggingBehavior::Silent,
+        forwarding: ForwardingBehavior::Cleaner,
+    };
 
     /// Short name like `tf` / `tc` / `sf` / `sc`; selective taggers render
     /// as `Tf`/`Tc` (capital T marks selectivity).
@@ -144,7 +152,10 @@ impl RoleAssignment {
     /// Role of an AS. Panics on unknown ASNs — scenarios must assign every
     /// AS a role before propagation.
     pub fn role(&self, asn: Asn) -> Role {
-        *self.roles.get(&asn).unwrap_or_else(|| panic!("no role assigned for {asn}"))
+        *self
+            .roles
+            .get(&asn)
+            .unwrap_or_else(|| panic!("no role assigned for {asn}"))
     }
 
     /// Role, if assigned.

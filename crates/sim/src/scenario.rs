@@ -127,16 +127,30 @@ impl Scenario {
         // topological property of roles, not of noise.
         let vis_prop = Propagator::new(g, &roles);
         let visibility = Visibility::compute(&vis_prop, paths);
-        GroundTruthDataset { scenario: *self, roles, tuples, visibility }
+        GroundTruthDataset {
+            scenario: *self,
+            roles,
+            tuples,
+            visibility,
+        }
     }
 }
 
 fn random_role(rng: &mut StdRng) -> Role {
-    let tagging =
-        if rng.random_bool(0.5) { TaggingBehavior::Tagger } else { TaggingBehavior::Silent };
-    let forwarding =
-        if rng.random_bool(0.5) { ForwardingBehavior::Forward } else { ForwardingBehavior::Cleaner };
-    Role { tagging, forwarding }
+    let tagging = if rng.random_bool(0.5) {
+        TaggingBehavior::Tagger
+    } else {
+        TaggingBehavior::Silent
+    };
+    let forwarding = if rng.random_bool(0.5) {
+        ForwardingBehavior::Forward
+    } else {
+        ForwardingBehavior::Cleaner
+    };
+    Role {
+        tagging,
+        forwarding,
+    }
 }
 
 /// A fully materialized ground-truth dataset: the input to verification.
@@ -269,6 +283,16 @@ mod tests {
     #[test]
     fn names_match_paper() {
         let names: Vec<&str> = Scenario::ALL.iter().map(|s| s.name()).collect();
-        assert_eq!(names, ["alltc", "alltf", "random", "random+noise", "random-p", "random-pp"]);
+        assert_eq!(
+            names,
+            [
+                "alltc",
+                "alltf",
+                "random",
+                "random+noise",
+                "random-p",
+                "random-pp"
+            ]
+        );
     }
 }

@@ -125,7 +125,10 @@ impl Visibility {
 
     /// Group visibility per AS into a map for fast joins in eval code.
     pub fn tagging_visibility_map(&self) -> HashMap<Asn, bool> {
-        self.all.iter().map(|&a| (a, self.tagging_visible.contains(&a))).collect()
+        self.all
+            .iter()
+            .map(|&a| (a, self.tagging_visible.contains(&a)))
+            .collect()
     }
 }
 
@@ -141,7 +144,14 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &(asn, _))| {
-                g.add_node(Asn(asn), if i == roles.len() - 1 { Tier::Edge } else { Tier::Transit })
+                g.add_node(
+                    Asn(asn),
+                    if i == roles.len() - 1 {
+                        Tier::Edge
+                    } else {
+                        Tier::Transit
+                    },
+                )
             })
             .collect();
         for w in ids.windows(2) {
@@ -157,14 +167,16 @@ mod tests {
     #[test]
     fn cleaner_hides_everything_downstream() {
         // A1 tf, A2 tc (cleaner), A3 tf, A4 tf.
-        let (g, ra) =
-            setup([(1, Role::TF), (2, Role::TC), (3, Role::TF), (4, Role::TF)]);
+        let (g, ra) = setup([(1, Role::TF), (2, Role::TC), (3, Role::TF), (4, Role::TF)]);
         let prop = Propagator::new(&g, &ra);
         let paths = vec![path(&[1, 2, 3, 4])];
         let v = Visibility::compute(&prop, &paths);
         assert!(v.tagging_visible.contains(&Asn(1)));
         assert!(v.tagging_visible.contains(&Asn(2)));
-        assert!(!v.tagging_visible.contains(&Asn(3)), "hidden behind cleaner A2");
+        assert!(
+            !v.tagging_visible.contains(&Asn(3)),
+            "hidden behind cleaner A2"
+        );
         assert!(v.tagging_hidden(Asn(3)));
         assert!(v.tagging_hidden(Asn(4)));
     }
@@ -173,8 +185,7 @@ mod tests {
     fn forwarding_needs_downstream_tagger() {
         // A1 sf, A2 sf, A3 silent origin: nobody downstream of A1/A2 tags,
         // so no forwarding visibility anywhere.
-        let (g, ra) =
-            setup([(1, Role::SF), (2, Role::SF), (3, Role::SF), (4, Role::SC)]);
+        let (g, ra) = setup([(1, Role::SF), (2, Role::SF), (3, Role::SF), (4, Role::SC)]);
         let prop = Propagator::new(&g, &ra);
         let paths = vec![path(&[1, 2, 3, 4])];
         let v = Visibility::compute(&prop, &paths);
@@ -187,13 +198,15 @@ mod tests {
 
     #[test]
     fn forwarding_visible_with_tagger_origin() {
-        let (g, ra) =
-            setup([(1, Role::SF), (2, Role::SF), (3, Role::SF), (4, Role::TF)]);
+        let (g, ra) = setup([(1, Role::SF), (2, Role::SF), (3, Role::SF), (4, Role::TF)]);
         let prop = Propagator::new(&g, &ra);
         let paths = vec![path(&[1, 2, 3, 4])];
         let v = Visibility::compute(&prop, &paths);
         for a in [1u32, 2, 3] {
-            assert!(v.forwarding_visible.contains(&Asn(a)), "AS{a} forwarding visible");
+            assert!(
+                v.forwarding_visible.contains(&Asn(a)),
+                "AS{a} forwarding visible"
+            );
         }
         assert!(!v.forwarding_visible.contains(&Asn(4)), "origin is a leaf");
     }
@@ -202,12 +215,14 @@ mod tests {
     fn intermediate_cleaner_blocks_tagger_light() {
         // A4 tags, but A3 cleans: A2's forwarding cannot be judged from
         // A4's tag; A3 itself tags though, so A2 IS illuminated by A3.
-        let (g, ra) =
-            setup([(1, Role::SF), (2, Role::SF), (3, Role::TC), (4, Role::TF)]);
+        let (g, ra) = setup([(1, Role::SF), (2, Role::SF), (3, Role::TC), (4, Role::TF)]);
         let prop = Propagator::new(&g, &ra);
         let paths = vec![path(&[1, 2, 3, 4])];
         let v = Visibility::compute(&prop, &paths);
-        assert!(v.forwarding_visible.contains(&Asn(2)), "A3's own tag illuminates A2");
+        assert!(
+            v.forwarding_visible.contains(&Asn(2)),
+            "A3's own tag illuminates A2"
+        );
         // A3's forwarding: downstream tagger A4 exists and is adjacent.
         assert!(v.forwarding_visible.contains(&Asn(3)));
     }
@@ -216,8 +231,7 @@ mod tests {
     fn silent_cleaner_between_blocks() {
         // A3 silent-cleaner, A4 tagger: A4's tag is eaten by A3 and A3 adds
         // nothing, so A2 gets no downstream light.
-        let (g, ra) =
-            setup([(1, Role::SF), (2, Role::SF), (3, Role::SC), (4, Role::TF)]);
+        let (g, ra) = setup([(1, Role::SF), (2, Role::SF), (3, Role::SC), (4, Role::TF)]);
         let prop = Propagator::new(&g, &ra);
         let paths = vec![path(&[1, 2, 3, 4])];
         let v = Visibility::compute(&prop, &paths);
@@ -244,14 +258,16 @@ mod tests {
         let prop = Propagator::new(&g, &ra);
         let paths = vec![path(&[1, 2, 3]), path(&[5, 3])];
         let v = Visibility::compute(&prop, &paths);
-        assert!(v.tagging_visible.contains(&Asn(3)), "visible via second path");
+        assert!(
+            v.tagging_visible.contains(&Asn(3)),
+            "visible via second path"
+        );
         assert!(!v.tagging_hidden(Asn(3)));
     }
 
     #[test]
     fn counts_shape() {
-        let (g, ra) =
-            setup([(1, Role::TF), (2, Role::TF), (3, Role::TF), (4, Role::TF)]);
+        let (g, ra) = setup([(1, Role::TF), (2, Role::TF), (3, Role::TF), (4, Role::TF)]);
         let prop = Propagator::new(&g, &ra);
         let v = Visibility::compute(&prop, &[path(&[1, 2, 3, 4])]);
         let (all, tv, fv, leaves) = v.counts();

@@ -27,22 +27,34 @@ pub struct EpochPolicy {
 impl EpochPolicy {
     /// Seal every `n` events.
     pub fn every_events(n: u64) -> Self {
-        EpochPolicy { max_events: Some(n.max(1)), max_span_secs: None }
+        EpochPolicy {
+            max_events: Some(n.max(1)),
+            max_span_secs: None,
+        }
     }
 
     /// Seal every `secs` of stream time.
     pub fn every_span(secs: u64) -> Self {
-        EpochPolicy { max_events: None, max_span_secs: Some(secs.max(1)) }
+        EpochPolicy {
+            max_events: None,
+            max_span_secs: Some(secs.max(1)),
+        }
     }
 
     /// Seal on whichever of the two triggers first.
     pub fn either(events: u64, secs: u64) -> Self {
-        EpochPolicy { max_events: Some(events.max(1)), max_span_secs: Some(secs.max(1)) }
+        EpochPolicy {
+            max_events: Some(events.max(1)),
+            max_span_secs: Some(secs.max(1)),
+        }
     }
 
     /// Never seal automatically (single epoch at `finish`).
     pub fn manual() -> Self {
-        EpochPolicy { max_events: None, max_span_secs: None }
+        EpochPolicy {
+            max_events: None,
+            max_span_secs: None,
+        }
     }
 
     /// Whether the running epoch should seal given its event count and
@@ -119,10 +131,7 @@ impl EpochSnapshot {
 
 /// Diff two classification maps into a sorted flip list. `prev` may be
 /// empty (first epoch): every decided AS then flips from [`Class::NONE`].
-pub fn diff_classes(
-    prev: &HashMap<Asn, Class>,
-    now: &[(Asn, Class)],
-) -> Vec<ClassFlip> {
+pub fn diff_classes(prev: &HashMap<Asn, Class>, now: &[(Asn, Class)]) -> Vec<ClassFlip> {
     let mut flips = Vec::new();
     for &(asn, to) in now {
         let from = prev.get(&asn).copied().unwrap_or(Class::NONE);
@@ -141,8 +150,14 @@ mod tests {
     use super::*;
     use bgp_infer::classify::{ForwardingClass, TaggingClass};
 
-    const TF: Class = Class { tagging: TaggingClass::Tagger, forwarding: ForwardingClass::Forward };
-    const TN: Class = Class { tagging: TaggingClass::Tagger, forwarding: ForwardingClass::None };
+    const TF: Class = Class {
+        tagging: TaggingClass::Tagger,
+        forwarding: ForwardingClass::Forward,
+    };
+    const TN: Class = Class {
+        tagging: TaggingClass::Tagger,
+        forwarding: ForwardingClass::None,
+    };
 
     #[test]
     fn policy_event_trigger() {

@@ -109,7 +109,10 @@ impl<'a> MrtSource<'a> {
     /// Stream `bytes` with path-shape cleaning only — the batch
     /// [`bgp_mrt::extract_tuples`] semantics, record for record.
     pub fn new(bytes: &'a [u8]) -> Self {
-        MrtSource { mode: Mode::Shape(TupleStream::new(bytes)), done: false }
+        MrtSource {
+            mode: Mode::Shape(TupleStream::new(bytes)),
+            done: false,
+        }
     }
 
     /// Stream `bytes` through a caller-provided registry-driven sanitizer
@@ -198,7 +201,13 @@ impl TupleSource for MrtSource<'_> {
                     }
                 }
             }
-            Mode::Registry { reader, sanitizer, stats, pending, raw_entries } => {
+            Mode::Registry {
+                reader,
+                sanitizer,
+                stats,
+                pending,
+                raw_entries,
+            } => {
                 while out.len() < max {
                     if let Some(ev) = pending.pop() {
                         out.push(ev);
@@ -238,8 +247,7 @@ impl TupleSource for MrtSource<'_> {
                         Some(Ok(MrtRecord::RibEntries(entries))) => {
                             for e in &entries {
                                 *raw_entries += 1;
-                                let prefix_ok =
-                                    sanitizer.prefix_registry().is_allocated(&e.prefix);
+                                let prefix_ok = sanitizer.prefix_registry().is_allocated(&e.prefix);
                                 registry_sanitize_into(
                                     sanitizer,
                                     stats,
@@ -378,7 +386,8 @@ mod tests {
     fn mrt_source_streams_in_batches() {
         let mut w = MrtWriter::new();
         for i in 0..10u32 {
-            w.write_update(&update(3000 + i, &[3000 + i, 3356], Some(3356), i as u64)).unwrap();
+            w.write_update(&update(3000 + i, &[3000 + i, 3356], Some(3356), i as u64))
+                .unwrap();
         }
         let bytes = w.into_bytes();
         let mut src = MrtSource::new(&bytes);
@@ -400,8 +409,10 @@ mod tests {
     fn mrt_source_matches_extract_tuples() {
         let mut w = MrtWriter::new();
         // Prepending + route-server style peers exercise sanitation.
-        w.write_update(&update(3320, &[3320, 3320, 3356], Some(3356), 5)).unwrap();
-        w.write_update(&update(6695, &[3320, 3356], None, 6)).unwrap();
+        w.write_update(&update(3320, &[3320, 3320, 3356], Some(3356), 5))
+            .unwrap();
+        w.write_update(&update(6695, &[3320, 3356], None, 6))
+            .unwrap();
         let bytes = w.into_bytes();
 
         let (batch_tuples, raw) = bgp_mrt::extract_tuples(&bytes).unwrap();
@@ -424,7 +435,8 @@ mod tests {
         // MrtSource must not either, or real archives mentioning private
         // ASNs (64512+) would classify differently batch vs stream.
         let mut w = MrtWriter::new();
-        w.write_update(&update(64512, &[64512, 3356], Some(3356), 1)).unwrap();
+        w.write_update(&update(64512, &[64512, 3356], Some(3356), 1))
+            .unwrap();
         let bytes = w.into_bytes();
 
         let (batch_tuples, _) = bgp_mrt::extract_tuples(&bytes).unwrap();
@@ -500,9 +512,7 @@ mod tests {
     #[test]
     fn iter_source_drains() {
         let evs: Vec<StreamEvent> = (0..5)
-            .map(|i| {
-                StreamEvent::new(i, PathCommTuple::new(path(&[1, 2]), CommunitySet::new()))
-            })
+            .map(|i| StreamEvent::new(i, PathCommTuple::new(path(&[1, 2]), CommunitySet::new())))
             .collect();
         let mut src = IterSource::new(evs.into_iter());
         assert_eq!(src.next_batch(2).unwrap().len(), 2);

@@ -5,6 +5,7 @@ use bgp_infer::classify::Class;
 use bgp_infer::counters::Thresholds;
 use bgp_infer::engine::InferenceOutcome;
 use bgp_types::prelude::*;
+use std::sync::Arc;
 
 /// The result of a completed streaming run — the streaming mirror of
 /// [`InferenceOutcome`], with the epoch history attached.
@@ -18,8 +19,9 @@ use bgp_types::prelude::*;
 pub struct StreamOutcome {
     /// Final inference state (identical shape to a batch run).
     pub outcome: InferenceOutcome,
-    /// Every sealed epoch, in order. Never empty.
-    pub snapshots: Vec<EpochSnapshot>,
+    /// Every sealed epoch, in order. Never empty. Snapshots are shared
+    /// ([`Arc`]) with any serving layer that retained them mid-stream.
+    pub snapshots: Vec<Arc<EpochSnapshot>>,
     /// Total events ingested.
     pub total_events: u64,
     /// Unique tuples stored.
@@ -54,7 +56,9 @@ impl StreamOutcome {
 
     /// All class flips across the whole run, in epoch order.
     pub fn all_flips(&self) -> impl Iterator<Item = (u64, &ClassFlip)> {
-        self.snapshots.iter().flat_map(|s| s.flips.iter().map(move |f| (s.epoch, f)))
+        self.snapshots
+            .iter()
+            .flat_map(|s| s.flips.iter().map(move |f| (s.epoch, f)))
     }
 
     /// Export the final state in the paper's release db format.
@@ -66,7 +70,10 @@ impl StreamOutcome {
     /// an out-of-range epoch or one compacted away by
     /// `StreamConfig::compact_history`.
     pub fn export_epoch_db(&self, epoch: usize) -> Option<String> {
-        self.snapshots.get(epoch).and_then(|s| s.outcome.as_ref()).map(bgp_infer::db::export)
+        self.snapshots
+            .get(epoch)
+            .and_then(|s| s.outcome.as_ref())
+            .map(bgp_infer::db::export)
     }
 }
 
@@ -87,9 +94,7 @@ mod tests {
         let mk = |p: &[u32], tags: &[u32]| {
             PathCommTuple::new(
                 path(p),
-                CommunitySet::from_iter(
-                    tags.iter().map(|&a| AnyCommunity::tag_for(Asn(a), 100)),
-                ),
+                CommunitySet::from_iter(tags.iter().map(|&a| AnyCommunity::tag_for(Asn(a), 100))),
             )
         };
         pipe.push(StreamEvent::new(10, mk(&[5, 9], &[5])));

@@ -9,6 +9,7 @@ use bgp_infer::counters::Thresholds;
 use bgp_infer::engine::InferenceOutcome;
 use bgp_types::prelude::*;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Configuration of a streaming inference run.
 #[derive(Debug, Clone)]
@@ -63,7 +64,7 @@ impl Default for StreamConfig {
 pub struct StreamPipeline {
     cfg: StreamConfig,
     shards: ShardSet,
-    snapshots: Vec<EpochSnapshot>,
+    snapshots: Vec<Arc<EpochSnapshot>>,
     prev_classes: HashMap<Asn, Class>,
     events_in_epoch: u64,
     total_events: u64,
@@ -113,13 +114,25 @@ impl StreamPipeline {
         self.shards.arena_hops()
     }
 
-    /// Sealed snapshots so far.
-    pub fn snapshots(&self) -> &[EpochSnapshot] {
+    /// Dedup hits observed so far.
+    pub fn duplicates(&self) -> u64 {
+        self.shards.duplicates()
+    }
+
+    /// Stored-tuple count per shard so far (load-balance introspection).
+    pub fn shard_loads(&self) -> Vec<usize> {
+        self.shards.shard_loads()
+    }
+
+    /// Sealed snapshots so far. Snapshots are reference-counted so a
+    /// serving layer can retain and publish them ([`Arc::clone`] is a
+    /// pointer copy) while ingestion keeps running.
+    pub fn snapshots(&self) -> &[Arc<EpochSnapshot>] {
         &self.snapshots
     }
 
     /// The latest sealed snapshot, if any epoch has sealed.
-    pub fn latest(&self) -> Option<&EpochSnapshot> {
+    pub fn latest(&self) -> Option<&Arc<EpochSnapshot>> {
         self.snapshots.last()
     }
 
@@ -131,14 +144,16 @@ impl StreamPipeline {
 
     /// Ingest one event. Returns the snapshot sealed by this event, if
     /// the epoch policy tripped.
-    pub fn push(&mut self, ev: StreamEvent) -> Option<&EpochSnapshot> {
+    pub fn push(&mut self, ev: StreamEvent) -> Option<&Arc<EpochSnapshot>> {
         self.epoch_start_ts.get_or_insert(ev.timestamp);
         self.last_ts = ev.timestamp;
         self.total_events += 1;
         self.events_in_epoch += 1;
         self.shards.push(ev.tuple);
 
-        let span = self.last_ts.saturating_sub(self.epoch_start_ts.unwrap_or(self.last_ts));
+        let span = self
+            .last_ts
+            .saturating_sub(self.epoch_start_ts.unwrap_or(self.last_ts));
         if self.cfg.epoch.should_seal(self.events_in_epoch, span) {
             Some(self.seal_epoch())
         } else {
@@ -178,7 +193,7 @@ impl StreamPipeline {
     /// shard-parallel), version the classifications, and diff against the
     /// previous snapshot. Idempotent on an empty epoch only in the sense
     /// that it still produces a (possibly flip-free) snapshot.
-    pub fn seal_epoch(&mut self) -> &EpochSnapshot {
+    pub fn seal_epoch(&mut self) -> &Arc<EpochSnapshot> {
         let (counters, deepest_active_index) = self.shards.recount(
             &self.cfg.thresholds,
             self.cfg.max_index,
@@ -212,10 +227,14 @@ impl StreamPipeline {
         self.epoch_start_ts = None;
         if self.cfg.compact_history {
             if let Some(prev) = self.snapshots.last_mut() {
-                prev.outcome = None;
+                // A shared snapshot (e.g. one a serving layer still
+                // publishes) is cloned before stripping, so external
+                // holders keep their full counter store; only the
+                // pipeline's history copy is compacted.
+                Arc::make_mut(prev).outcome = None;
             }
         }
-        self.snapshots.push(snapshot);
+        self.snapshots.push(Arc::new(snapshot));
         self.snapshots.last().expect("just pushed")
     }
 
@@ -226,7 +245,10 @@ impl StreamPipeline {
         }
         let last = self.snapshots.last().expect("finish always seals once");
         StreamOutcome {
-            outcome: last.outcome.clone().expect("latest snapshot is never compacted"),
+            outcome: last
+                .outcome
+                .clone()
+                .expect("latest snapshot is never compacted"),
             total_events: self.total_events,
             unique_tuples: self.shards.stored_tuples(),
             duplicates: self.shards.duplicates(),
@@ -274,8 +296,12 @@ mod tests {
             epoch: EpochPolicy::every_span(100),
             ..Default::default()
         });
-        assert!(pipe.push(StreamEvent::new(1_000, tag_tuple(&[1, 9], &[1]))).is_none());
-        assert!(pipe.push(StreamEvent::new(1_050, tag_tuple(&[2, 9], &[]))).is_none());
+        assert!(pipe
+            .push(StreamEvent::new(1_000, tag_tuple(&[1, 9], &[1])))
+            .is_none());
+        assert!(pipe
+            .push(StreamEvent::new(1_050, tag_tuple(&[2, 9], &[])))
+            .is_none());
         let sealed = pipe.push(StreamEvent::new(1_100, tag_tuple(&[1, 8], &[1])));
         assert!(sealed.is_some());
         assert_eq!(sealed.unwrap().sealed_at, 1_100);

@@ -58,7 +58,8 @@ impl Shard {
         enforce_cond1: bool,
         enforce_cond2: bool,
     ) -> HashMap<Asn, AsCounters> {
-        self.compiled.count_phase_sparse(counters, th, x, phase, enforce_cond1, enforce_cond2)
+        self.compiled
+            .count_phase_sparse(counters, th, x, phase, enforce_cond1, enforce_cond2)
     }
 }
 
@@ -129,7 +130,11 @@ impl ShardSet {
 
     /// Longest path currently stored.
     pub fn max_path_len(&self) -> usize {
-        self.shards.iter().map(|s| s.compiled.max_path_len()).max().unwrap_or(0)
+        self.shards
+            .iter()
+            .map(|s| s.compiled.max_path_len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Per-shard stored-tuple counts (load-balance introspection).
@@ -197,7 +202,10 @@ impl ShardSet {
                     })
                     .collect();
                 for h in handles {
-                    merge_delta_map(&mut merged, h.join().expect("shard counting worker panicked"));
+                    merge_delta_map(
+                        &mut merged,
+                        h.join().expect("shard counting worker panicked"),
+                    );
                 }
             });
         }
@@ -269,7 +277,10 @@ mod tests {
         let mut v = Vec::new();
         for i in 0..500u32 {
             let peer = 10 + (i % 7);
-            v.push(tup(&[peer, 100 + (i % 40), 10_000 + i], &[peer, 100 + (i % 40)]));
+            v.push(tup(
+                &[peer, 100 + (i % 40), 10_000 + i],
+                &[peer, 100 + (i % 40)],
+            ));
         }
         v
     }
@@ -302,15 +313,17 @@ mod tests {
     #[test]
     fn recount_matches_batch_engine_any_shard_count() {
         let tuples = corpus();
-        let batch = InferenceEngine::new(InferenceConfig { threads: 1, ..Default::default() })
-            .run(&tuples);
+        let batch = InferenceEngine::new(InferenceConfig {
+            threads: 1,
+            ..Default::default()
+        })
+        .run(&tuples);
         for shards in [1usize, 2, 4, 7] {
             let mut set = ShardSet::new(shards, false);
             for t in tuples.clone() {
                 set.push(t);
             }
-            let (counters, deepest) =
-                set.recount(&batch.thresholds, None, true, true, shards > 1);
+            let (counters, deepest) = set.recount(&batch.thresholds, None, true, true, shards > 1);
             assert_eq!(deepest, batch.deepest_active_index, "{shards} shards");
             let mut got: Vec<(Asn, AsCounters)> = counters.iter().collect();
             let mut want: Vec<(Asn, AsCounters)> = batch.counters.iter().collect();
@@ -328,6 +341,9 @@ mod tests {
         }
         let loads = set.shard_loads();
         assert_eq!(loads.len(), 4);
-        assert!(loads.iter().all(|&l| l > 0), "a shard got nothing: {loads:?}");
+        assert!(
+            loads.iter().all(|&l| l > 0),
+            "a shard got nothing: {loads:?}"
+        );
     }
 }

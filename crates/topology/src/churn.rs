@@ -27,7 +27,10 @@ pub struct ChurnModel {
 
 impl Default for ChurnModel {
     fn default() -> Self {
-        ChurnModel { edge_churn: 0.03, seed: 7 }
+        ChurnModel {
+            edge_churn: 0.03,
+            seed: 7,
+        }
     }
 }
 
@@ -55,8 +58,10 @@ impl ChurnModel {
     /// One churn step: rebuild the graph, dropping a random subset of edge
     /// ASes and adding replacements.
     fn step(&self, g: &AsGraph, rng: &mut StdRng, cfg: &TopologyConfig, epoch: usize) -> AsGraph {
-        let edge_ids: Vec<NodeId> =
-            g.node_ids().filter(|&id| g.node(id).tier == Tier::Edge).collect();
+        let edge_ids: Vec<NodeId> = g
+            .node_ids()
+            .filter(|&id| g.node(id).tier == Tier::Edge)
+            .collect();
         let n_replace = ((edge_ids.len() as f64) * self.edge_churn).round() as usize;
         let mut removed: BTreeSet<NodeId> = BTreeSet::new();
         while removed.len() < n_replace && removed.len() < edge_ids.len() {
@@ -76,7 +81,9 @@ impl ChurnModel {
             remap[id as usize] = Some(nid);
         }
         for id in g.node_ids() {
-            let Some(a) = remap[id as usize] else { continue };
+            let Some(a) = remap[id as usize] else {
+                continue;
+            };
             for &p in g.providers(id) {
                 if let Some(b) = remap[p as usize] {
                     ng.add_edge(a, b, Relationship::CustomerToProvider);
@@ -93,8 +100,10 @@ impl ChurnModel {
 
         // Add replacements with fresh ASNs attached to random transit ASes.
         let existing: BTreeSet<Asn> = ng.asns().collect();
-        let transits: Vec<NodeId> =
-            ng.node_ids().filter(|&id| ng.node(id).tier != Tier::Edge).collect();
+        let transits: Vec<NodeId> = ng
+            .node_ids()
+            .filter(|&id| ng.node(id).tier != Tier::Edge)
+            .collect();
         let mut added = 0;
         while added < n_replace {
             let v = if rng.random_bool(cfg.frac_32bit) {
@@ -155,7 +164,11 @@ mod tests {
     #[test]
     fn edges_churn() {
         let cfg = TopologyConfig::small();
-        let snaps = ChurnModel { edge_churn: 0.1, seed: 3 }.snapshots(&cfg, 2);
+        let snaps = ChurnModel {
+            edge_churn: 0.1,
+            seed: 3,
+        }
+        .snapshots(&cfg, 2);
         let edges0: BTreeSet<Asn> = snaps[0]
             .node_ids()
             .filter(|&id| snaps[0].node(id).tier == Tier::Edge)

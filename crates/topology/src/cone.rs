@@ -49,7 +49,10 @@ impl CustomerCones {
             sizes[root as usize] = count;
         }
 
-        let by_asn = g.node_ids().map(|id| (g.asn_of(id), sizes[id as usize])).collect();
+        let by_asn = g
+            .node_ids()
+            .map(|id| (g.asn_of(id), sizes[id as usize]))
+            .collect();
         CustomerCones { sizes, by_asn }
     }
 
@@ -139,6 +142,9 @@ mod tests {
             }
         }
         let max = g.node_ids().map(|i| cones.size(i)).max().unwrap();
-        assert!(max as usize > g.node_count() / 10, "largest cone {max} suspiciously small");
+        assert!(
+            max as usize > g.node_count() / 10,
+            "largest cone {max} suspiciously small"
+        );
     }
 }

@@ -101,8 +101,9 @@ impl TopologyConfig {
         let mut it = asns.into_iter();
 
         // Tier-1 clique.
-        let t1: Vec<NodeId> =
-            (0..self.tier1).map(|_| g.add_node(it.next().unwrap(), Tier::Tier1)).collect();
+        let t1: Vec<NodeId> = (0..self.tier1)
+            .map(|_| g.add_node(it.next().unwrap(), Tier::Tier1))
+            .collect();
         for i in 0..t1.len() {
             for j in (i + 1)..t1.len() {
                 g.add_edge(t1[i], t1[j], Relationship::PeerToPeer);
@@ -160,8 +161,10 @@ impl TopologyConfig {
         for &id in large.iter().take(n_large_peers) {
             g.set_collector_peer(id, true);
         }
-        let mut stubs: Vec<NodeId> =
-            g.node_ids().filter(|&id| g.is_stub(id) && g.node(id).tier == Tier::Edge).collect();
+        let mut stubs: Vec<NodeId> = g
+            .node_ids()
+            .filter(|&id| g.is_stub(id) && g.node(id).tier == Tier::Edge)
+            .collect();
         stubs.shuffle(&mut rng);
         for &id in stubs.iter().take(n_stub_peers) {
             g.set_collector_peer(id, true);
@@ -256,7 +259,10 @@ mod tests {
         let g = TopologyConfig::small().seed(3).build();
         let n32 = g.asns().filter(|a| a.is_32bit_only()).count();
         let share = n32 as f64 / g.node_count() as f64;
-        assert!((0.3..0.55).contains(&share), "32-bit share {share} out of band");
+        assert!(
+            (0.3..0.55).contains(&share),
+            "32-bit share {share} out of band"
+        );
     }
 
     #[test]
@@ -268,7 +274,10 @@ mod tests {
     #[test]
     fn tier1_clique_fully_peered() {
         let g = TopologyConfig::small().seed(5).build();
-        let t1: Vec<_> = g.node_ids().filter(|&id| g.node(id).tier == Tier::Tier1).collect();
+        let t1: Vec<_> = g
+            .node_ids()
+            .filter(|&id| g.node(id).tier == Tier::Tier1)
+            .collect();
         for &a in &t1 {
             for &b in &t1 {
                 if a != b {

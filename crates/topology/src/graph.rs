@@ -73,7 +73,11 @@ impl AsGraph {
             "duplicate ASN {asn} inserted into graph"
         );
         let id = self.nodes.len() as NodeId;
-        self.nodes.push(AsNode { asn, tier, collector_peer: false });
+        self.nodes.push(AsNode {
+            asn,
+            tier,
+            collector_peer: false,
+        });
         self.by_asn.insert(asn, id);
         self.providers.push(Vec::new());
         self.customers.push(Vec::new());
@@ -162,12 +166,18 @@ impl AsGraph {
 
     /// ASNs of all collector peers.
     pub fn collector_peers(&self) -> Vec<Asn> {
-        self.nodes.iter().filter(|n| n.collector_peer).map(|n| n.asn).collect()
+        self.nodes
+            .iter()
+            .filter(|n| n.collector_peer)
+            .map(|n| n.asn)
+            .collect()
     }
 
     /// Node ids of all collector peers.
     pub fn collector_peer_ids(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&id| self.nodes[id as usize].collector_peer).collect()
+        self.node_ids()
+            .filter(|&id| self.nodes[id as usize].collector_peer)
+            .collect()
     }
 
     /// Whether a node has no customers (an *edge* of the AS-level graph;

@@ -58,7 +58,11 @@ impl RoutingTree {
     pub fn compute(g: &AsGraph, origin: NodeId) -> Self {
         let n = g.node_count();
         let mut routes: Vec<Option<Route>> = vec![None; n];
-        routes[origin as usize] = Some(Route { kind: RouteKind::Origin, len: 0, next: origin });
+        routes[origin as usize] = Some(Route {
+            kind: RouteKind::Origin,
+            len: 0,
+            next: origin,
+        });
 
         // --- Stage 1: uphill BFS (customer routes) --------------------
         // Frontier contains nodes whose route may be exported to providers.
@@ -80,8 +84,11 @@ impl RoutingTree {
             let mut next_frontier = Vec::new();
             for (p, u) in candidates {
                 if routes[p as usize].is_none() {
-                    routes[p as usize] =
-                        Some(Route { kind: RouteKind::Customer, len: level, next: u });
+                    routes[p as usize] = Some(Route {
+                        kind: RouteKind::Customer,
+                        len: level,
+                        next: u,
+                    });
                     next_frontier.push(p);
                 }
             }
@@ -105,7 +112,11 @@ impl RoutingTree {
         peer_candidates.sort_by_key(|&(v, len, u)| (v, len, g.asn_of(u)));
         for (v, len, u) in peer_candidates {
             if routes[v as usize].is_none() {
-                routes[v as usize] = Some(Route { kind: RouteKind::Peer, len, next: u });
+                routes[v as usize] = Some(Route {
+                    kind: RouteKind::Peer,
+                    len,
+                    next: u,
+                });
             }
         }
 
@@ -131,7 +142,11 @@ impl RoutingTree {
                 }
                 for &c in g.customers(u) {
                     if routes[c as usize].is_none() {
-                        let nr = Route { kind: RouteKind::Provider, len: r.len + 1, next: u };
+                        let nr = Route {
+                            kind: RouteKind::Provider,
+                            len: r.len + 1,
+                            next: u,
+                        };
                         routes[c as usize] = Some(nr);
                         buckets[nr.len as usize].push(c);
                     }
@@ -200,8 +215,9 @@ impl PathSubstrate {
     pub fn generate_for_origins(g: &AsGraph, origins: &[NodeId], threads: usize) -> Self {
         let threads = threads.max(1);
         let peers = g.collector_peer_ids();
-        let chunks: Vec<&[NodeId]> =
-            origins.chunks(origins.len().div_ceil(threads).max(1)).collect();
+        let chunks: Vec<&[NodeId]> = origins
+            .chunks(origins.len().div_ceil(threads).max(1))
+            .collect();
 
         let mut paths: Vec<AsPath> = Vec::new();
         std::thread::scope(|s| {
@@ -273,10 +289,10 @@ pub fn is_valley_free(g: &AsGraph, path: &[NodeId]) -> bool {
             None => return false,
         };
         match (phase, kind) {
-            (0, EdgeKind::Provider) => {}                  // still climbing
-            (0, EdgeKind::Peer) => phase = 2,              // single lateral step
-            (0, EdgeKind::Customer) => phase = 2,          // started descending
-            (2, EdgeKind::Customer) => {}                  // keep descending
+            (0, EdgeKind::Provider) => {}         // still climbing
+            (0, EdgeKind::Peer) => phase = 2,     // single lateral step
+            (0, EdgeKind::Customer) => phase = 2, // started descending
+            (2, EdgeKind::Customer) => {}         // keep descending
             _ => return false,
         }
     }
@@ -385,7 +401,11 @@ mod tests {
         assert_eq!(serial.paths, parallel.paths);
         assert!(!serial.is_empty());
         // Mean path length in a plausible Internet-like band.
-        assert!(serial.mean_len() > 1.5 && serial.mean_len() < 8.0, "mean {}", serial.mean_len());
+        assert!(
+            serial.mean_len() > 1.5 && serial.mean_len() < 8.0,
+            "mean {}",
+            serial.mean_len()
+        );
     }
 
     #[test]

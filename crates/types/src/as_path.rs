@@ -50,7 +50,9 @@ pub struct RawAsPath {
 impl RawAsPath {
     /// A path consisting of a single sequence.
     pub fn from_sequence(asns: Vec<Asn>) -> Self {
-        RawAsPath { segments: vec![PathSegment::Sequence(asns)] }
+        RawAsPath {
+            segments: vec![PathSegment::Sequence(asns)],
+        }
     }
 
     /// Whether any segment is an `AS_SET`.
@@ -65,7 +67,10 @@ impl RawAsPath {
 
     /// All ASNs in order, flattened across segments.
     pub fn flatten(&self) -> Vec<Asn> {
-        self.segments.iter().flat_map(|s| s.asns().iter().copied()).collect()
+        self.segments
+            .iter()
+            .flat_map(|s| s.asns().iter().copied())
+            .collect()
     }
 
     /// Apply the full sanitation pipeline and produce a clean [`AsPath`]:
@@ -220,7 +225,9 @@ mod tests {
         assert_eq!(p.peer(), Asn(99));
         assert_eq!(p.len(), 3);
         // When A1 already equals the peer, nothing is added.
-        let q = RawAsPath::from_sequence(vec![Asn(2), Asn(3)]).sanitize(Some(Asn(2))).unwrap();
+        let q = RawAsPath::from_sequence(vec![Asn(2), Asn(3)])
+            .sanitize(Some(Asn(2)))
+            .unwrap();
         assert_eq!(q.len(), 2);
     }
 
@@ -233,7 +240,9 @@ mod tests {
 
     #[test]
     fn sanitize_rejects_as0_and_empty() {
-        assert!(RawAsPath::from_sequence(vec![Asn(1), Asn(0)]).sanitize(None).is_none());
+        assert!(RawAsPath::from_sequence(vec![Asn(1), Asn(0)])
+            .sanitize(None)
+            .is_none());
         assert!(RawAsPath { segments: vec![] }.sanitize(None).is_none());
         assert!(RawAsPath {
             segments: vec![PathSegment::Set(vec![Asn(1)])]

@@ -125,7 +125,10 @@ impl std::str::FromStr for Asn {
 
     /// Parse either `1234` or `AS1234`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let s = s.strip_prefix("AS").or_else(|| s.strip_prefix("as")).unwrap_or(s);
+        let s = s
+            .strip_prefix("AS")
+            .or_else(|| s.strip_prefix("as"))
+            .unwrap_or(s);
         s.parse::<u32>().map(Asn)
     }
 }
@@ -144,8 +147,13 @@ mod tests {
 
     #[test]
     fn reserved_ranges() {
-        for v in [0u32, 23456, 64496, 64511, 64512, 65000, 65534, 65535, 65536, 65551] {
-            assert!(Asn(v).is_reserved_or_private(), "AS{v} should be reserved/private");
+        for v in [
+            0u32, 23456, 64496, 64511, 64512, 65000, 65534, 65535, 65536, 65551,
+        ] {
+            assert!(
+                Asn(v).is_reserved_or_private(),
+                "AS{v} should be reserved/private"
+            );
         }
         assert!(Asn(4_200_000_000).is_reserved_or_private());
         assert!(Asn(4_294_967_295).is_reserved_or_private());
@@ -153,7 +161,16 @@ mod tests {
 
     #[test]
     fn public_ranges() {
-        for v in [1u32, 3356, 23455, 23457, 64495, 65552, 131072, 4_199_999_999] {
+        for v in [
+            1u32,
+            3356,
+            23455,
+            23457,
+            64495,
+            65552,
+            131072,
+            4_199_999_999,
+        ] {
             assert!(Asn(v).is_public_range(), "AS{v} should be public-range");
         }
     }

@@ -309,7 +309,17 @@ mod tests {
         for hit in [10u32, 3356, 65000, 200_000, 300_000] {
             assert!(s.contains_upper(Asn(hit)), "AS{hit} should match");
         }
-        for miss in [9u32, 11, 3355, 3357, 64999, 65001, 199_999, 200_001, 4_000_000_000] {
+        for miss in [
+            9u32,
+            11,
+            3355,
+            3357,
+            64999,
+            65001,
+            199_999,
+            200_001,
+            4_000_000_000,
+        ] {
             assert!(!s.contains_upper(Asn(miss)), "AS{miss} should not match");
         }
         assert!(!CommunitySet::new().contains_upper(Asn(10)));
@@ -321,10 +331,16 @@ mod tests {
             (&[], &[]),
             (&[C::regular(1, 1)], &[]),
             (&[], &[C::regular(1, 1)]),
-            (&[C::regular(1, 1), C::regular(3, 3)], &[C::regular(2, 2), C::regular(3, 3)]),
+            (
+                &[C::regular(1, 1), C::regular(3, 3)],
+                &[C::regular(2, 2), C::regular(3, 3)],
+            ),
             (&[C::regular(5, 5)], &[C::regular(1, 1), C::regular(9, 9)]),
             (&[C::large(9, 9, 9)], &[C::regular(1, 1), C::large(9, 9, 9)]),
-            (&[C::regular(1, 1), C::regular(2, 2)], &[C::regular(1, 1), C::regular(2, 2)]),
+            (
+                &[C::regular(1, 1), C::regular(2, 2)],
+                &[C::regular(1, 1), C::regular(2, 2)],
+            ),
         ];
         for (a, b) in cases {
             let left = CommunitySet::from_iter(a.iter().copied());

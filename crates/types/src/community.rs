@@ -70,7 +70,9 @@ impl std::str::FromStr for Community {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (a, b) = s.split_once(':').ok_or_else(|| format!("missing ':' in {s:?}"))?;
+        let (a, b) = s
+            .split_once(':')
+            .ok_or_else(|| format!("missing ':' in {s:?}"))?;
         let upper: u16 = a.parse().map_err(|e| format!("bad upper: {e}"))?;
         let lower: u16 = b.parse().map_err(|e| format!("bad lower: {e}"))?;
         Ok(Community::new(upper, lower))
@@ -91,7 +93,11 @@ pub struct LargeCommunity {
 impl LargeCommunity {
     /// Build from the three fields.
     pub const fn new(global_admin: u32, local1: u32, local2: u32) -> Self {
-        LargeCommunity { global_admin, local1, local2 }
+        LargeCommunity {
+            global_admin,
+            local1,
+            local2,
+        }
     }
 }
 

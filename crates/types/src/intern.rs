@@ -111,7 +111,11 @@ impl AsnInterner {
     /// Id of `asn` if it has been interned.
     pub fn get(&self, asn: Asn) -> Option<AsnId> {
         if let Ok(short) = u16::try_from(asn.0) {
-            return self.small.get(short as usize).copied().filter(|&id| id != VACANT);
+            return self
+                .small
+                .get(short as usize)
+                .copied()
+                .filter(|&id| id != VACANT);
         }
         self.ids.get(&asn).copied()
     }
@@ -152,7 +156,10 @@ mod tests {
     #[test]
     fn ids_are_dense_and_stable() {
         let mut it = AsnInterner::new();
-        let ids: Vec<AsnId> = [5u32, 7, 5, 9, 7].iter().map(|&v| it.intern(Asn(v))).collect();
+        let ids: Vec<AsnId> = [5u32, 7, 5, 9, 7]
+            .iter()
+            .map(|&v| it.intern(Asn(v)))
+            .collect();
         assert_eq!(ids, vec![0, 1, 0, 2, 1]);
         assert_eq!(it.len(), 3);
         assert_eq!(it.resolve(2), Asn(9));

@@ -37,14 +37,20 @@ impl Prefix {
     pub fn v4(octets: [u8; 4], len: u8) -> Self {
         let len = len.min(32);
         let raw = u32::from_be_bytes(octets);
-        Prefix::V4 { net: mask_v4(raw, len), len }
+        Prefix::V4 {
+            net: mask_v4(raw, len),
+            len,
+        }
     }
 
     /// Build an IPv6 prefix from 16 octets, masking host bits.
     pub fn v6(octets: [u8; 16], len: u8) -> Self {
         let len = len.min(128);
         let raw = u128::from_be_bytes(octets);
-        Prefix::V6 { net: mask_v6(raw, len), len }
+        Prefix::V6 {
+            net: mask_v6(raw, len),
+            len,
+        }
     }
 
     /// Prefix length in bits. A length of 0 is a valid prefix (the
@@ -106,9 +112,9 @@ impl Prefix {
             ([240, 0, 0, 0], 4),
         ];
         match self {
-            Prefix::V4 { .. } => {
-                BOGONS_V4.iter().any(|&(o, l)| Prefix::v4(o, l).covers(self))
-            }
+            Prefix::V4 { .. } => BOGONS_V4
+                .iter()
+                .any(|&(o, l)| Prefix::v4(o, l).covers(self)),
             Prefix::V6 { net, .. } => {
                 let top = (net >> 112) as u16;
                 // ::/8 (incl. loopback/unspecified), fc00::/7 ULA,
@@ -188,7 +194,9 @@ impl std::str::FromStr for Prefix {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (addr, len) = s.split_once('/').ok_or_else(|| format!("missing '/' in {s:?}"))?;
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| format!("missing '/' in {s:?}"))?;
         let len: u8 = len.parse().map_err(|e| format!("bad length: {e}"))?;
         if let Ok(v4) = addr.parse::<Ipv4Addr>() {
             if len > 32 {
@@ -212,7 +220,10 @@ mod tests {
 
     #[test]
     fn masking_normalizes() {
-        assert_eq!(Prefix::v4([192, 168, 1, 77], 24), Prefix::v4([192, 168, 1, 0], 24));
+        assert_eq!(
+            Prefix::v4([192, 168, 1, 77], 24),
+            Prefix::v4([192, 168, 1, 0], 24)
+        );
         assert_eq!(Prefix::v4([1, 2, 3, 4], 0), Prefix::v4([0, 0, 0, 0], 0));
     }
 
@@ -223,7 +234,10 @@ mod tests {
         assert!(a.covers(&b));
         assert!(!b.covers(&a));
         assert!(a.covers(&a));
-        let v6 = Prefix::v6([0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0], 32);
+        let v6 = Prefix::v6(
+            [0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+            32,
+        );
         assert!(!a.covers(&v6));
     }
 
@@ -262,7 +276,10 @@ mod tests {
         assert_eq!(Prefix::v4([193, 0, 0, 0], 16).nlri_byte_len(), 2);
         assert_eq!(Prefix::v4([193, 0, 0, 0], 17).nlri_byte_len(), 3);
         assert_eq!(Prefix::v4([0, 0, 0, 0], 0).nlri_byte_len(), 0);
-        assert_eq!("2001:db8::/32".parse::<Prefix>().unwrap().nlri_byte_len(), 4);
+        assert_eq!(
+            "2001:db8::/32".parse::<Prefix>().unwrap().nlri_byte_len(),
+            4
+        );
     }
 
     #[test]

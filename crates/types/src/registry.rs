@@ -66,7 +66,10 @@ impl AsnRegistry {
 
     /// A permissive registry treating every public-range ASN as allocated.
     pub fn permissive() -> Self {
-        AsnRegistry { assume_all_allocated: true, ..Self::default() }
+        AsnRegistry {
+            assume_all_allocated: true,
+            ..Self::default()
+        }
     }
 
     /// Register a delegation-style range. Ranges are kept sorted; adjacent
@@ -111,10 +114,7 @@ impl AsnRegistry {
         if asn.is_reserved_or_private() {
             return Allocation::Reserved;
         }
-        if self.assume_all_allocated
-            || self.members.contains(&asn.0)
-            || self.range_contains(asn)
-        {
+        if self.assume_all_allocated || self.members.contains(&asn.0) || self.range_contains(asn) {
             Allocation::Allocated
         } else {
             Allocation::Unallocated
@@ -161,7 +161,10 @@ impl PrefixRegistry {
 
     /// Registry treating every non-bogon prefix as allocated.
     pub fn permissive() -> Self {
-        PrefixRegistry { assume_all_allocated: true, ..Self::default() }
+        PrefixRegistry {
+            assume_all_allocated: true,
+            ..Self::default()
+        }
     }
 
     /// Register an allocated prefix.
@@ -260,7 +263,10 @@ mod tests {
         reg.allocate(q);
         assert_eq!(reg.status(&p), Allocation::Reserved);
         assert_eq!(reg.status(&q), Allocation::Allocated);
-        assert_eq!(reg.status(&Prefix::v4([198, 51, 0, 0], 16)), Allocation::Unallocated);
+        assert_eq!(
+            reg.status(&Prefix::v4([198, 51, 0, 0], 16)),
+            Allocation::Unallocated
+        );
         assert!(PrefixRegistry::permissive().is_allocated(&q));
     }
 }

@@ -154,7 +154,9 @@ mod tests {
 
     #[test]
     fn distinct_asns_and_peers() {
-        let s: TupleSet = [tup(&[1, 2, 3], &[]), tup(&[4, 2], &[])].into_iter().collect();
+        let s: TupleSet = [tup(&[1, 2, 3], &[]), tup(&[4, 2], &[])]
+            .into_iter()
+            .collect();
         assert_eq!(s.distinct_asns().len(), 4);
         let peers = s.distinct_peers();
         assert!(peers.contains(&Asn(1)) && peers.contains(&Asn(4)));
@@ -164,7 +166,9 @@ mod tests {
     #[test]
     fn leaf_detection() {
         // 3 only ever appears as origin; 2 forwards.
-        let s: TupleSet = [tup(&[1, 2, 3], &[]), tup(&[1, 2], &[])].into_iter().collect();
+        let s: TupleSet = [tup(&[1, 2, 3], &[]), tup(&[1, 2], &[])]
+            .into_iter()
+            .collect();
         let leaves = s.leaf_asns();
         assert!(leaves.contains(&Asn(3)));
         assert!(!leaves.contains(&Asn(2)));
@@ -190,7 +194,9 @@ mod tests {
 
     #[test]
     fn max_path_len() {
-        let s: TupleSet = [tup(&[1, 2, 3, 4], &[]), tup(&[1, 2], &[])].into_iter().collect();
+        let s: TupleSet = [tup(&[1, 2, 3, 4], &[]), tup(&[1, 2], &[])]
+            .into_iter()
+            .collect();
         assert_eq!(s.max_path_len(), 4);
         assert_eq!(TupleSet::new().max_path_len(), 0);
     }

@@ -125,7 +125,12 @@ pub struct RibEntry {
 
 impl RibEntry {
     /// Build an entry with the common defaults.
-    pub fn new(peer_asn: Asn, prefix: Prefix, as_path: RawAsPath, communities: CommunitySet) -> Self {
+    pub fn new(
+        peer_asn: Asn,
+        prefix: Prefix,
+        as_path: RawAsPath,
+        communities: CommunitySet,
+    ) -> Self {
         RibEntry {
             peer_asn,
             peer_ip: vec![192, 0, 2, 1],

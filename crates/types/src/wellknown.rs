@@ -100,7 +100,11 @@ mod tests {
     #[test]
     fn registry_consistency() {
         for w in REGISTRY {
-            assert!(w.community.is_well_known(), "{} outside reserved range", w.name);
+            assert!(
+                w.community.is_well_known(),
+                "{} outside reserved range",
+                w.name
+            );
             assert_eq!(lookup(&w.community), Some(w));
         }
         // No duplicate values or names.
@@ -114,7 +118,10 @@ mod tests {
     fn canonical_lookups() {
         assert_eq!(lookup(&Community::NO_EXPORT).unwrap().name, "NO_EXPORT");
         assert_eq!(lookup(&Community::BLACKHOLE).unwrap().name, "BLACKHOLE");
-        assert_eq!(lookup(&Community::GRACEFUL_SHUTDOWN).unwrap().name, "GRACEFUL_SHUTDOWN");
+        assert_eq!(
+            lookup(&Community::GRACEFUL_SHUTDOWN).unwrap().name,
+            "GRACEFUL_SHUTDOWN"
+        );
         assert!(lookup(&Community::new(3356, 1)).is_none());
     }
 
@@ -129,7 +136,10 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert_eq!(display_name(&AnyCommunity::Regular(Community::NO_EXPORT)), "NO_EXPORT");
+        assert_eq!(
+            display_name(&AnyCommunity::Regular(Community::NO_EXPORT)),
+            "NO_EXPORT"
+        );
         assert_eq!(display_name(&AnyCommunity::regular(3356, 7)), "3356:7");
         assert_eq!(display_name(&AnyCommunity::large(1, 2, 3)), "1:2:3");
         assert!(lookup_any(&AnyCommunity::large(0xFFFF_FF01, 0, 0)).is_none());

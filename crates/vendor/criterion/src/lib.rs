@@ -41,12 +41,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `name/parameter`.
     pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
     }
 
     /// Just the parameter (the group name provides context).
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -91,12 +95,20 @@ impl Bencher {
     }
 }
 
-fn run_one(label: &str, sample_size: usize, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+fn run_one(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
     // Calibrate: double the iteration count until one sample is long
     // enough to time reliably.
     let mut iters: u64 = 1;
     let per_iter_ns = loop {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         if b.elapsed >= SAMPLE_TARGET || iters >= 1 << 20 {
             break b.elapsed.as_nanos() as f64 / iters as f64;
@@ -108,7 +120,10 @@ fn run_one(label: &str, sample_size: usize, throughput: Option<Throughput>, f: &
     let samples = sample_size.clamp(1, MAX_SAMPLES);
     let mut times: Vec<f64> = Vec::with_capacity(samples);
     for _ in 0..samples {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         times.push(b.elapsed.as_nanos() as f64 / iters as f64);
     }
@@ -222,7 +237,9 @@ impl BenchmarkGroup<'_> {
         mut f: impl FnMut(&mut Bencher, &I),
     ) -> &mut Self {
         let label = format!("{}/{}", self.name, id.into_id());
-        run_one(&label, self.sample_size, self.throughput, &mut |b| f(b, input));
+        run_one(&label, self.sample_size, self.throughput, &mut |b| {
+            f(b, input)
+        });
         self
     }
 

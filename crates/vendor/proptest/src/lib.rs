@@ -245,12 +245,11 @@ pub mod collection {
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
-            let len =
-                if self.size.start + 1 >= self.size.end {
-                    self.size.start
-                } else {
-                    rng.random_range(self.size.clone())
-                };
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.random_range(self.size.clone())
+            };
             (0..len).map(|_| self.element.sample(rng)).collect()
         }
     }

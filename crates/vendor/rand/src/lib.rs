@@ -113,7 +113,9 @@ pub mod rngs {
 
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
-            StdRng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+            StdRng {
+                state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            }
         }
     }
 
@@ -178,7 +180,10 @@ mod tests {
         let mut a = StdRng::seed_from_u64(42);
         let mut b = StdRng::seed_from_u64(42);
         for _ in 0..100 {
-            assert_eq!(a.random_range(0u64..1_000_000), b.random_range(0u64..1_000_000));
+            assert_eq!(
+                a.random_range(0u64..1_000_000),
+                b.random_range(0u64..1_000_000)
+            );
         }
     }
 

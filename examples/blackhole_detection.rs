@@ -40,8 +40,11 @@ fn main() {
 
     // Inject a handful of RTBH events: host routes through the provider
     // carrying its action community (in addition to normal tags).
-    let victim_paths: Vec<&AsPath> =
-        paths.iter().filter(|p| p.peer() == provider).take(6).collect();
+    let victim_paths: Vec<&AsPath> = paths
+        .iter()
+        .filter(|p| p.peer() == provider)
+        .take(6)
+        .collect();
     let mut events = 0;
     for vp in &victim_paths {
         let mut comm = prop.output(vp);
@@ -96,7 +99,11 @@ fn main() {
         "\ndetected {} blackhole announcement(s) via signaling-community match",
         detected.len()
     );
-    assert_eq!(detected.len(), events, "every injected event detected, nothing else");
+    assert_eq!(
+        detected.len(),
+        events,
+        "every injected event detected, nothing else"
+    );
     for t in detected.iter().take(3) {
         println!("  victim path [{}]", t.path);
     }

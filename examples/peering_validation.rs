@@ -58,17 +58,15 @@ fn main() {
     if present_total > 0 {
         let rate = present_contradicted as f64 / present_total as f64;
         assert!(rate < 0.1, "contradiction rate {rate} too high");
-        println!("\ncontradiction rate {:.1}% — within the paper's 0-3% band", rate * 100.0);
+        println!(
+            "\ncontradiction rate {:.1}% — within the paper's 0-3% band",
+            rate * 100.0
+        );
     }
 
     // Show a couple of concrete observations.
     println!("\nsample observations:");
     for obs in exp.unique_observations().into_iter().take(5) {
-        println!(
-            "  path [{}] comm {} (PoP {})",
-            obs.path,
-            obs.comm,
-            obs.pop
-        );
+        println!("  path [{}] comm {} (PoP {})", obs.path, obs.comm, obs.pop);
     }
 }

@@ -31,7 +31,10 @@ fn main() {
     // 3. Ground truth: uniform random roles (the paper's `random`
     //    scenario), propagated per output(A) = tagging(A) ∪ forwarding(A).
     let dataset = Scenario::Random.materialize(&topo, &paths, 42);
-    println!("dataset: {} (path, community-set) tuples", dataset.tuples.len());
+    println!(
+        "dataset: {} (path, community-set) tuples",
+        dataset.tuples.len()
+    );
 
     // 4. Inference at the paper's 99% thresholds.
     let outcome = InferenceEngine::new(InferenceConfig::default()).run(&dataset.tuples);
@@ -59,7 +62,10 @@ fn main() {
         }
     }
     println!("\ntagging inference: {correct} correct, {wrong} wrong, {abstained} abstained");
-    assert_eq!(wrong, 0, "the paper's claim: when it decides, it is correct");
+    assert_eq!(
+        wrong, 0,
+        "the paper's claim: when it decides, it is correct"
+    );
 
     // 6. Show a few concrete classifications.
     println!("\nsample classifications (tagging+forwarding):");

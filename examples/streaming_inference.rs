@@ -19,12 +19,19 @@ fn main() {
     let graph = cfg.seed(42).build();
     let paths = PathSubstrate::generate(&graph, 3).paths;
     let ds = Scenario::Random.materialize(&graph, &paths, 42);
-    println!("world: {} tuples from {} paths", ds.tuples.len(), paths.len());
+    println!(
+        "world: {} tuples from {} paths",
+        ds.tuples.len(),
+        paths.len()
+    );
 
     // 2. Replay it as a day-long update feed (each route re-announced up
     //    to 3 extra times at random moments).
     let feed = UpdateFeed::new(&ds, 42, 3);
-    println!("feed: {} timestamped announcements over one day\n", feed.len());
+    println!(
+        "feed: {} timestamped announcements over one day\n",
+        feed.len()
+    );
 
     // 3. Stream it: 4 shards, one epoch per simulated hour.
     let mut pipe = StreamPipeline::new(StreamConfig {
@@ -33,7 +40,8 @@ fn main() {
         ..Default::default()
     });
     let mut source = IterSource::new(feed.map(|(ts, t)| StreamEvent::new(ts, t)));
-    pipe.drive(&mut source, 512).expect("in-memory feed cannot fail");
+    pipe.drive(&mut source, 512)
+        .expect("in-memory feed cannot fail");
     let out = pipe.finish();
 
     println!("epoch  version  events  unique  classified  flips");

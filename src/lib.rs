@@ -16,6 +16,8 @@
 //! * [`eval`] — regenerators for every table and figure in the paper
 //! * [`stream`] — streaming incremental inference: sharded parallel
 //!   ingest, epoch snapshots, live reclassification
+//! * [`serve`] — the query-serving daemon: lock-free snapshot
+//!   publication, hand-rolled HTTP/1.1 API over live inference state
 //!
 //! ## Quickstart
 //!
@@ -47,6 +49,7 @@ pub use bgp_collector as collector;
 pub use bgp_eval as eval;
 pub use bgp_infer as infer;
 pub use bgp_mrt as mrt;
+pub use bgp_serve as serve;
 pub use bgp_sim as sim;
 pub use bgp_stream as stream;
 pub use bgp_topology as topology;
@@ -56,6 +59,7 @@ pub use bgp_types as types;
 pub mod prelude {
     pub use bgp_collector::prelude::*;
     pub use bgp_infer::prelude::*;
+    pub use bgp_serve::prelude::*;
     pub use bgp_sim::prelude::*;
     pub use bgp_stream::prelude::*;
     pub use bgp_topology::prelude::*;

@@ -14,7 +14,11 @@ fn world(seed: u64) -> World {
     let graph = cfg.seed(seed).build();
     let paths = PathSubstrate::generate(&graph, 4).paths;
     let cones = CustomerCones::compute(&graph);
-    World { graph, paths, cones }
+    World {
+        graph,
+        paths,
+        cones,
+    }
 }
 
 fn hidden_tagging_decisions(ds: &GroundTruthDataset, outcome: &InferenceOutcome) -> u32 {
@@ -46,7 +50,10 @@ fn without_cond1_hidden_ases_get_classified() {
 
     let with_cond1 = hidden_tagging_decisions(&ds, &full);
     let without_cond1 = hidden_tagging_decisions(&ds, &ablated);
-    assert_eq!(with_cond1, 0, "Cond1 on: hidden ASes must stay unclassified");
+    assert_eq!(
+        with_cond1, 0,
+        "Cond1 on: hidden ASes must stay unclassified"
+    );
     assert!(
         without_cond1 > 10,
         "Cond1 off: expected hidden ASes to be (mis)classified, got {without_cond1}"
@@ -63,7 +70,10 @@ fn without_cond1_hidden_ases_get_classified() {
             wrong += 1;
         }
     }
-    assert!(wrong > 0, "ablated engine should misclassify hidden taggers as silent");
+    assert!(
+        wrong > 0,
+        "ablated engine should misclassify hidden taggers as silent"
+    );
 }
 
 /// Disabling Cond2 corrupts forwarding inference: ASes in front of silent

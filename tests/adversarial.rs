@@ -50,8 +50,9 @@ fn as_set_only_paths_are_dropped() {
     let sanitizer = Sanitizer::permissive();
     let mut set = TupleSet::new();
     let mut u = sample_update();
-    u.attributes.as_path =
-        RawAsPath { segments: vec![PathSegment::Set(vec![Asn(1), Asn(2)])] };
+    u.attributes.as_path = RawAsPath {
+        segments: vec![PathSegment::Set(vec![Asn(1), Asn(2)])],
+    };
     // Peer prepend still applies, so the path becomes just the peer.
     let stats = sanitizer.ingest_updates([&u], &mut set);
     assert_eq!(stats.kept, 1);
@@ -125,7 +126,10 @@ fn inference_ignores_adversarial_stray_floods() {
 fn empty_and_single_as_paths_handled() {
     let tuples = vec![
         PathCommTuple::new(path(&[7]), CommunitySet::new()),
-        PathCommTuple::new(path(&[8]), CommunitySet::from_iter([AnyCommunity::regular(8, 1)])),
+        PathCommTuple::new(
+            path(&[8]),
+            CommunitySet::from_iter([AnyCommunity::regular(8, 1)]),
+        ),
     ];
     let outcome = InferenceEngine::new(InferenceConfig::default()).run(&tuples);
     assert_eq!(outcome.class_of(Asn(7)).tagging, TaggingClass::Silent);
@@ -153,7 +157,11 @@ fn malformed_rib_peer_index_rejected_not_panicking() {
     let table = mrt::PeerIndexTable {
         collector_id: 1,
         view_name: "x".into(),
-        peers: vec![mrt::PeerEntry { bgp_id: 1, ip: vec![10, 0, 0, 1], asn: Asn(1) }],
+        peers: vec![mrt::PeerEntry {
+            bgp_id: 1,
+            ip: vec![10, 0, 0, 1],
+            asn: Asn(1),
+        }],
     };
     let group = mrt::RibGroup {
         sequence: 0,

@@ -32,13 +32,19 @@ fn mrt_roundtrip_preserves_inference() {
     // The archive covers the project's peer subset; restrict the direct
     // tuples to that subset for comparison.
     let peers = CollectorProject::ripe().select_peers(&g, 5);
-    let direct_subset: Vec<PathCommTuple> =
-        direct.into_iter().filter(|t| peers.contains(&t.path.peer())).collect();
+    let direct_subset: Vec<PathCommTuple> = direct
+        .into_iter()
+        .filter(|t| peers.contains(&t.path.peer()))
+        .collect();
 
     let cfg = InferenceConfig::default();
     let a = InferenceEngine::new(cfg.clone()).run(&direct_subset);
     let b = InferenceEngine::new(cfg).run(&via_mrt.to_vec());
-    assert_eq!(a.classes(), b.classes(), "MRT detour changed inference results");
+    assert_eq!(
+        a.classes(),
+        b.classes(),
+        "MRT detour changed inference results"
+    );
 }
 
 #[test]
@@ -120,9 +126,7 @@ fn aggregation_strictly_improves_coverage() {
         let decided = outcome
             .classes()
             .into_iter()
-            .filter(|(_, c)| {
-                matches!(c.tagging, TaggingClass::Tagger | TaggingClass::Silent)
-            })
+            .filter(|(_, c)| matches!(c.tagging, TaggingClass::Tagger | TaggingClass::Silent))
             .count();
         individual_best = individual_best.max(decided);
         aggregate.merge(&set);

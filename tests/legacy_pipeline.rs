@@ -29,7 +29,10 @@ fn mixed_era_archive_ingests_coherently() {
     // reconstruction recovered AS200000.
     assert_eq!(tuples[0].path, tuples[1].path);
     assert!(tuples[0].path.contains(Asn(200_000)));
-    assert!(!tuples[0].path.contains(Asn(23456)), "AS_TRANS must not survive");
+    assert!(
+        !tuples[0].path.contains(Asn(23456)),
+        "AS_TRANS must not survive"
+    );
     // Communities identical too (regular only in this message).
     assert_eq!(tuples[0].comm, tuples[1].comm);
 
@@ -45,7 +48,8 @@ fn mixed_era_archive_ingests_coherently() {
 fn legacy_table_dump_feeds_inference() {
     // A small legacy-only RIB: peer 7018 tags, origin silent; a second
     // entry proves 7018 forwards 3356's tag.
-    let entries = [RibEntry::new(
+    let entries = [
+        RibEntry::new(
             Asn(3356),
             Prefix::v4([16, 0, 1, 0], 24),
             RawAsPath::from_sequence(vec![Asn(3356), Asn(15169)]),
@@ -56,7 +60,8 @@ fn legacy_table_dump_feeds_inference() {
             Prefix::v4([16, 0, 1, 0], 24),
             RawAsPath::from_sequence(vec![Asn(7018), Asn(3356), Asn(15169)]),
             CommunitySet::from_iter([AnyCommunity::regular(3356, 9)]),
-        )];
+        ),
+    ];
     let mut archive = Vec::new();
     for (i, e) in entries.iter().enumerate() {
         archive.extend_from_slice(&legacy::encode_table_dump_v1(e, i as u16).unwrap());
@@ -67,7 +72,10 @@ fn legacy_table_dump_feeds_inference() {
     let outcome = InferenceEngine::new(InferenceConfig::default()).run(&tuples);
     assert_eq!(outcome.class_of(Asn(3356)).tagging, TaggingClass::Tagger);
     assert_eq!(outcome.class_of(Asn(7018)).tagging, TaggingClass::Silent);
-    assert_eq!(outcome.class_of(Asn(7018)).forwarding, ForwardingClass::Forward);
+    assert_eq!(
+        outcome.class_of(Asn(7018)).forwarding,
+        ForwardingClass::Forward
+    );
 }
 
 #[test]

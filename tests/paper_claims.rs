@@ -15,7 +15,11 @@ fn world(seed: u64) -> World {
     let graph = cfg.seed(seed).build();
     let paths = PathSubstrate::generate(&graph, 4).paths;
     let cones = CustomerCones::compute(&graph);
-    World { graph, paths, cones }
+    World {
+        graph,
+        paths,
+        cones,
+    }
 }
 
 /// §6.3: "All scenarios with consistent behavior show a precision of 100%."
@@ -68,17 +72,18 @@ fn noise_confuses_silent_not_taggers() {
     let out_clean = InferenceEngine::new(cfg.clone()).run(&clean.tuples);
     let out_noisy = InferenceEngine::new(cfg).run(&noisy.tuples);
 
-    let count = |outcome: &InferenceOutcome, ds: &GroundTruthDataset, tagger: bool, class: TaggingClass| {
-        ds.roles
-            .iter()
-            .filter(|(asn, role)| {
-                role.is_tagger() == tagger
-                    && !role.is_selective()
-                    && !ds.visibility.tagging_hidden(*asn)
-                    && outcome.class_of(*asn).tagging == class
-            })
-            .count() as f64
-    };
+    let count =
+        |outcome: &InferenceOutcome, ds: &GroundTruthDataset, tagger: bool, class: TaggingClass| {
+            ds.roles
+                .iter()
+                .filter(|(asn, role)| {
+                    role.is_tagger() == tagger
+                        && !role.is_selective()
+                        && !ds.visibility.tagging_hidden(*asn)
+                        && outcome.class_of(*asn).tagging == class
+                })
+                .count() as f64
+        };
 
     // Silent ASes: undecided share grows dramatically under noise.
     let silent_undecided_clean = count(&out_clean, &clean, false, TaggingClass::Undecided);
@@ -113,10 +118,19 @@ fn selective_tagging_degrades_recall_not_precision() {
     let random = recalls[0].1;
     let p = recalls[1].1;
     let pp = recalls[2].1;
-    assert!(p.tagging_recall < random.tagging_recall * 0.8, "random-p recall must collapse");
-    assert!(pp.tagging_recall <= p.tagging_recall * 1.05, "random-pp at least as hard");
+    assert!(
+        p.tagging_recall < random.tagging_recall * 0.8,
+        "random-p recall must collapse"
+    );
+    assert!(
+        pp.tagging_recall <= p.tagging_recall * 1.05,
+        "random-pp at least as hard"
+    );
     assert!(p.tagging_precision > 0.6 && pp.tagging_precision > 0.6);
-    assert!(p.forwarding_precision > 0.85, "forwarding precision stays high (paper: 0.97)");
+    assert!(
+        p.forwarding_precision > 0.85,
+        "forwarding precision stays high (paper: 0.97)"
+    );
 }
 
 /// §7.3 / Fig. 6: taggers live in large-cone ASes, silent at the edge,
@@ -164,15 +178,24 @@ fn column_vs_row_on_hidden_behavior() {
             continue;
         }
         hidden += 1;
-        if matches!(row.class_of(asn).tagging, TaggingClass::Tagger | TaggingClass::Silent) {
+        if matches!(
+            row.class_of(asn).tagging,
+            TaggingClass::Tagger | TaggingClass::Silent
+        ) {
             row_decides_hidden += 1;
         }
-        if matches!(column.class_of(asn).tagging, TaggingClass::Tagger | TaggingClass::Silent) {
+        if matches!(
+            column.class_of(asn).tagging,
+            TaggingClass::Tagger | TaggingClass::Silent
+        ) {
             col_decides_hidden += 1;
         }
     }
     assert!(hidden > 0, "world has no hidden ASes — test is vacuous");
-    assert_eq!(col_decides_hidden, 0, "column-based must abstain on hidden ASes");
+    assert_eq!(
+        col_decides_hidden, 0,
+        "column-based must abstain on hidden ASes"
+    );
     assert!(
         row_decides_hidden as f64 > hidden as f64 * 0.5,
         "row-based should (wrongly) decide most hidden ASes ({row_decides_hidden}/{hidden})"

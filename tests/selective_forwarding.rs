@@ -10,10 +10,7 @@ use bgp_community_usage::prelude::*;
 
 /// Build a world and flip a slice of forwards into selective forwarders
 /// that clean toward providers (and peers) but forward down/out.
-fn selective_world(
-    seed: u64,
-    policy: SelectivePolicy,
-) -> (AsGraph, RoleAssignment, Vec<AsPath>) {
+fn selective_world(seed: u64, policy: SelectivePolicy) -> (AsGraph, RoleAssignment, Vec<AsPath>) {
     let mut cfg = TopologyConfig::small();
     cfg.transit = 40;
     cfg.edge = 150;
@@ -30,7 +27,10 @@ fn selective_world(
             if i % 5 == 0 {
                 roles.set(
                     asn,
-                    Role { tagging: role.tagging, forwarding: ForwardingBehavior::SelectiveForward(policy) },
+                    Role {
+                        tagging: role.tagging,
+                        forwarding: ForwardingBehavior::SelectiveForward(policy),
+                    },
                 );
             }
         }
@@ -86,7 +86,10 @@ fn collector_facing_forwarding_is_what_gets_classified() {
     }
     // Collector sessions forward under NoProvider, so any decided
     // selective peer must be seen as forward — never as cleaner.
-    assert_eq!(sel_peers_cleaner, 0, "collector-facing forwarding misread as cleaning");
+    assert_eq!(
+        sel_peers_cleaner, 0,
+        "collector-facing forwarding misread as cleaning"
+    );
     if sel_peers_forward == 0 {
         // Seed landed without decided selective peers; the invariant above
         // (no cleaner classification) is still the meaningful assertion.

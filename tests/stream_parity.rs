@@ -18,14 +18,14 @@ fn world(seed: u64) -> GroundTruthDataset {
 }
 
 fn batch_outcome(tuples: &[PathCommTuple]) -> InferenceOutcome {
-    InferenceEngine::new(InferenceConfig { threads: 1, ..Default::default() }).run(tuples)
+    InferenceEngine::new(InferenceConfig {
+        threads: 1,
+        ..Default::default()
+    })
+    .run(tuples)
 }
 
-fn stream_over(
-    tuples: &[PathCommTuple],
-    shards: usize,
-    epoch: EpochPolicy,
-) -> StreamOutcome {
+fn stream_over(tuples: &[PathCommTuple], shards: usize, epoch: EpochPolicy) -> StreamOutcome {
     let mut pipe = StreamPipeline::new(StreamConfig {
         shards,
         epoch,
@@ -59,8 +59,11 @@ fn compiled_shards_match_the_reference_oracle() {
     // compiled) batch engine but against the uncompiled Listing-1
     // oracle `run_reference`, for raw and deduplicated feeds.
     let ds = world(37);
-    let oracle = InferenceEngine::new(InferenceConfig { threads: 1, ..Default::default() })
-        .run_reference(&ds.tuples);
+    let oracle = InferenceEngine::new(InferenceConfig {
+        threads: 1,
+        ..Default::default()
+    })
+    .run_reference(&ds.tuples);
     for shards in [1usize, 3] {
         let out = stream_over(&ds.tuples, shards, EpochPolicy::every_events(250));
         assert_counter_parity(&oracle, &out, &format!("compiled store, {shards} shards"));
@@ -68,15 +71,23 @@ fn compiled_shards_match_the_reference_oracle() {
 
     // Dedup mode: the oracle runs over the unique tuple set.
     let unique: TupleSet = ds.tuples.iter().cloned().collect();
-    let oracle = InferenceEngine::new(InferenceConfig { threads: 1, ..Default::default() })
-        .run_reference(&unique.to_vec());
+    let oracle = InferenceEngine::new(InferenceConfig {
+        threads: 1,
+        ..Default::default()
+    })
+    .run_reference(&unique.to_vec());
     let mut pipe = StreamPipeline::new(StreamConfig {
         shards: 4,
         epoch: EpochPolicy::every_events(300),
         dedup: true,
         ..Default::default()
     });
-    for (i, t) in ds.tuples.iter().chain(ds.tuples.iter().take(200)).enumerate() {
+    for (i, t) in ds
+        .tuples
+        .iter()
+        .chain(ds.tuples.iter().take(200))
+        .enumerate()
+    {
         pipe.push(StreamEvent::new(i as u64, t.clone()));
     }
     let out = pipe.finish();
@@ -115,8 +126,10 @@ fn shard_count_cannot_change_snapshots() {
     // classes and flips for 1, 2 and 4 shards.
     let ds = world(17);
     let policy = EpochPolicy::every_events(200);
-    let runs: Vec<StreamOutcome> =
-        [1usize, 2, 4].iter().map(|&s| stream_over(&ds.tuples, s, policy)).collect();
+    let runs: Vec<StreamOutcome> = [1usize, 2, 4]
+        .iter()
+        .map(|&s| stream_over(&ds.tuples, s, policy))
+        .collect();
     for other in &runs[1..] {
         assert_eq!(runs[0].epochs(), other.epochs());
         for (a, b) in runs[0].snapshots.iter().zip(&other.snapshots) {
@@ -134,7 +147,11 @@ fn shard_count_cannot_change_snapshots() {
 fn snapshots_version_monotonically_and_flips_compose() {
     let ds = world(19);
     let out = stream_over(&ds.tuples, 2, EpochPolicy::every_events(150));
-    assert!(out.epochs() >= 2, "want multiple epochs, got {}", out.epochs());
+    assert!(
+        out.epochs() >= 2,
+        "want multiple epochs, got {}",
+        out.epochs()
+    );
 
     // Versions are strictly increasing from 1.
     for (i, s) in out.snapshots.iter().enumerate() {
@@ -153,11 +170,16 @@ fn snapshots_version_monotonically_and_flips_compose() {
             state.insert(f.asn, f.to);
         }
     }
-    let mut replayed: Vec<(Asn, Class)> =
-        state.into_iter().filter(|&(_, c)| c != Class::NONE).collect();
+    let mut replayed: Vec<(Asn, Class)> = state
+        .into_iter()
+        .filter(|&(_, c)| c != Class::NONE)
+        .collect();
     replayed.sort_by_key(|&(a, _)| a);
-    let finals: Vec<(Asn, Class)> =
-        out.classes().into_iter().filter(|&(_, c)| c != Class::NONE).collect();
+    let finals: Vec<(Asn, Class)> = out
+        .classes()
+        .into_iter()
+        .filter(|&(_, c)| c != Class::NONE)
+        .collect();
     assert_eq!(replayed, finals);
 }
 
