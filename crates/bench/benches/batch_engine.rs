@@ -8,69 +8,11 @@
 //! worlds for CI smoke runs (the JSON then records `"quick": true` so a
 //! smoke baseline is never mistaken for the real one).
 
+use bgp_bench::{quick_mode, synthetic_world};
 use bgp_infer::prelude::*;
-use bgp_types::prelude::*;
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use std::time::Instant;
-
-/// Deterministic xorshift64* — the bench must not depend on `rand`.
-struct Rng(u64);
-
-impl Rng {
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n
-    }
-}
-
-/// A synthetic world with enough behavioral variety to light up every
-/// branch of the column loop: selective taggers, forwarded upstream
-/// tags, occasional cleaners, 16- and 32-bit ASNs.
-fn synthetic_world(n_tuples: usize, seed: u64) -> Vec<PathCommTuple> {
-    let mut rng = Rng(seed | 1);
-    let n_asns = (n_tuples / 4).max(64) as u64;
-    let mut tuples = Vec::with_capacity(n_tuples);
-    for _ in 0..n_tuples {
-        let len = 2 + rng.below(6) as usize;
-        let mut asns: Vec<u32> = Vec::with_capacity(len);
-        while asns.len() < len {
-            // Mostly 16-bit-ish ids, a sprinkle of 32-bit-only ASNs.
-            let mut a = 2 + rng.below(n_asns) as u32;
-            if a.is_multiple_of(97) {
-                a += 200_000;
-            }
-            if asns.last() != Some(&a) {
-                asns.push(a);
-            }
-        }
-        let mut comm = CommunitySet::new();
-        for &a in asns.iter().rev() {
-            // 10% of ASes clean everything accumulated so far.
-            if a % 10 == 3 && rng.below(4) < 3 {
-                comm.clear();
-            }
-            // ~60% of ASes tag (selectively, 90% of the time).
-            if a % 5 < 3 && rng.below(10) < 9 {
-                comm.insert(AnyCommunity::tag_for(Asn(a), 100 + a % 7));
-            }
-        }
-        tuples.push(PathCommTuple::new(path(&asns), comm));
-    }
-    tuples
-}
-
-fn quick_mode() -> bool {
-    std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
-}
 
 fn world_sizes() -> Vec<usize> {
     if quick_mode() {

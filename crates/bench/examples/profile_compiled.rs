@@ -1,0 +1,79 @@
+//! Ad-hoc stage profiler for the compiled engine: times each stage of
+//! the serial column loop (build, column materialization, clean gather,
+//! tagging count, forwarding count, merges) on the synthetic bench
+//! world.
+//!
+//! Run with `cargo run --release -p bgp-bench --example profile_compiled
+//! [n_tuples]`.
+
+use bgp_bench::synthetic_world;
+use bgp_infer::compiled::{CompiledTuples, DeltaStore, DenseCounterStore, PhasePredicates};
+use bgp_infer::engine::CountPhase;
+use bgp_infer::prelude::*;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let tuples = synthetic_world(n, 42);
+    let th = Thresholds::default();
+
+    let t = Instant::now();
+    let mut store = CompiledTuples::from_tuples(&tuples);
+    let build = t.elapsed();
+
+    let n_ids = store.interned_asns();
+    let t = Instant::now();
+    store.prepare();
+    let prep = t.elapsed();
+
+    let mut counters = DenseCounterStore::zeroed(n_ids);
+    let mut preds = PhasePredicates::empty(n_ids);
+    let mut delta = DeltaStore::zeroed(n_ids);
+    let (mut t_clean, mut t_tag, mut t_fwd, mut t_merge) = (
+        Duration::ZERO,
+        Duration::ZERO,
+        Duration::ZERO,
+        Duration::ZERO,
+    );
+    let deepest = store.max_path_len();
+    for x in 1..=deepest {
+        let t = Instant::now();
+        store.compute_clean(&preds, x, true, false);
+        t_clean += t.elapsed();
+
+        let t = Instant::now();
+        store.count_phase_dense(&preds, x, CountPhase::Tagging, true, false, &mut delta);
+        t_tag += t.elapsed();
+        let t = Instant::now();
+        counters.merge_update(&delta, &mut preds, &th, CountPhase::Tagging);
+        delta.clear();
+        t_merge += t.elapsed();
+
+        let t = Instant::now();
+        store.count_phase_dense(&preds, x, CountPhase::Forwarding, true, false, &mut delta);
+        t_fwd += t.elapsed();
+        let t = Instant::now();
+        counters.merge_update(&delta, &mut preds, &th, CountPhase::Forwarding);
+        delta.clear();
+        t_merge += t.elapsed();
+    }
+    let t = Instant::now();
+    let sparse = store.sparse_counters(&counters);
+    let out = t.elapsed();
+
+    println!("tuples {n}, ids {n_ids}, counted {} ASes", sparse.len());
+    for (name, d) in [
+        ("build      ", build),
+        ("prepare    ", prep),
+        ("clean gath ", t_clean),
+        ("tagging    ", t_tag),
+        ("forwarding ", t_fwd),
+        ("merges     ", t_merge),
+        ("sparsify   ", out),
+    ] {
+        println!("{name} {:8.2} ms", d.as_secs_f64() * 1e3);
+    }
+}

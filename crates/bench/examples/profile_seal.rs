@@ -1,0 +1,53 @@
+//! Ad-hoc probe for the incremental-seal path: seal a base world, push
+//! small deltas, and report replay rates and seal durations.
+//!
+//! Run with `cargo run --release -p bgp-bench --example profile_seal
+//! [n_tuples]`.
+
+use bgp_bench::consistent_world;
+use bgp_stream::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let delta = 256;
+    let trials = 5;
+    let all = consistent_world(n + delta * trials, 42);
+    let (base, extra) = all.split_at(n);
+
+    for incremental in [false, true] {
+        let mut pipe = StreamPipeline::new(StreamConfig {
+            shards: 4,
+            epoch: EpochPolicy::manual(),
+            dedup: false,
+            incremental_seal: incremental,
+            ..Default::default()
+        });
+        for (i, t) in base.iter().enumerate() {
+            pipe.push(StreamEvent::new(i as u64, t.clone()));
+        }
+        let t0 = Instant::now();
+        pipe.seal_epoch();
+        let first = t0.elapsed();
+        println!(
+            "incremental={incremental}: base seal {:7.2} ms",
+            first.as_secs_f64() * 1e3
+        );
+        for (j, chunk) in extra.chunks(delta).enumerate() {
+            for (i, t) in chunk.iter().enumerate() {
+                pipe.push(StreamEvent::new(i as u64, t.clone()));
+            }
+            let t0 = Instant::now();
+            pipe.seal_epoch();
+            let d = t0.elapsed();
+            println!(
+                "  delta seal {j}: {:7.2} ms, replay {:?}",
+                d.as_secs_f64() * 1e3,
+                pipe.last_replay(),
+            );
+        }
+    }
+}

@@ -7,7 +7,123 @@
 //!   cones, community propagation;
 //! * `inference` — engine scaling, thread speedup, the column-vs-row
 //!   ablation (§5.7), and threshold-sweep cost;
+//! * `batch_engine` — reference vs compiled engine, emitting the
+//!   `BENCH_batch.json` baseline;
+//! * `streaming` — batch vs sharded stream, dense-vs-sparse delta merge,
+//!   and full-vs-incremental seal timings, emitting `BENCH_stream.json`;
 //! * `experiments` — one benchmark per paper table/figure, running the
 //!   same code as the `bgp-eval` binaries at test scale.
 //!
-//! Run with `cargo bench --workspace`.
+//! Run with `cargo bench --workspace`. Set `BENCH_QUICK=1` for the CI
+//! smoke mode (shrunken worlds, quick-mode JSON routed to `target/` so
+//! it can never clobber a committed baseline); `scripts/bench_guard`
+//! compares the two at their overlapping world size.
+//!
+//! The crate itself exports the deterministic synthetic-world generator
+//! the `batch_engine` and `streaming` benches (and ad-hoc profiling
+//! examples) share.
+
+use bgp_types::prelude::*;
+
+/// Deterministic xorshift64* — benches must not depend on `rand`.
+pub struct Rng(pub u64);
+
+impl Rng {
+    /// Next raw 64-bit draw.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw below `n`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Whether the CI smoke mode is requested (`BENCH_QUICK=1`).
+pub fn quick_mode() -> bool {
+    std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// A synthetic world with *consistent* per-AS behavior: an AS either
+/// always tags or never does, always cleans or never does. Counter
+/// shares then sit at 0 or 1 forever, so the phase predicates converge
+/// and stop flipping as evidence accumulates — the steady-state regime a
+/// live BGP stream reaches, and the one incremental epoch recounts
+/// target. (Contrast [`synthetic_world`], whose selective taggers churn
+/// the predicates on purpose.) The AS pool is a fixed 8192 — like the
+/// real AS ecosystem, it does not grow with observation time — so
+/// first-evidence predicate flips decay as the store grows.
+pub fn consistent_world(n_tuples: usize, seed: u64) -> Vec<PathCommTuple> {
+    let mut rng = Rng(seed | 1);
+    let n_asns = 8_192u64;
+    let mut tuples = Vec::with_capacity(n_tuples);
+    for _ in 0..n_tuples {
+        let len = 2 + rng.below(6) as usize;
+        let mut asns: Vec<u32> = Vec::with_capacity(len);
+        while asns.len() < len {
+            let mut a = 2 + rng.below(n_asns) as u32;
+            if a.is_multiple_of(97) {
+                a += 200_000;
+            }
+            if asns.last() != Some(&a) {
+                asns.push(a);
+            }
+        }
+        let mut comm = CommunitySet::new();
+        for &a in asns.iter().rev() {
+            // 10% of ASes always clean everything accumulated so far.
+            if a % 10 == 3 {
+                comm.clear();
+            }
+            // ~60% of ASes always tag.
+            if a % 5 < 3 {
+                comm.insert(AnyCommunity::tag_for(Asn(a), 100 + a % 7));
+            }
+        }
+        tuples.push(PathCommTuple::new(path(&asns), comm));
+    }
+    tuples
+}
+
+/// A synthetic world with enough behavioral variety to light up every
+/// branch of the column loop: selective taggers, forwarded upstream
+/// tags, occasional cleaners, 16- and 32-bit ASNs.
+pub fn synthetic_world(n_tuples: usize, seed: u64) -> Vec<PathCommTuple> {
+    let mut rng = Rng(seed | 1);
+    let n_asns = (n_tuples / 4).max(64) as u64;
+    let mut tuples = Vec::with_capacity(n_tuples);
+    for _ in 0..n_tuples {
+        let len = 2 + rng.below(6) as usize;
+        let mut asns: Vec<u32> = Vec::with_capacity(len);
+        while asns.len() < len {
+            // Mostly 16-bit-ish ids, a sprinkle of 32-bit-only ASNs.
+            let mut a = 2 + rng.below(n_asns) as u32;
+            if a.is_multiple_of(97) {
+                a += 200_000;
+            }
+            if asns.last() != Some(&a) {
+                asns.push(a);
+            }
+        }
+        let mut comm = CommunitySet::new();
+        for &a in asns.iter().rev() {
+            // 10% of ASes clean everything accumulated so far.
+            if a % 10 == 3 && rng.below(4) < 3 {
+                comm.clear();
+            }
+            // ~60% of ASes tag (selectively, 90% of the time).
+            if a % 5 < 3 && rng.below(10) < 9 {
+                comm.insert(AnyCommunity::tag_for(Asn(a), 100 + a % 7));
+            }
+        }
+        tuples.push(PathCommTuple::new(path(&asns), comm));
+    }
+    tuples
+}

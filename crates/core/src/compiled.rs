@@ -1,5 +1,5 @@
-//! The compiled execution layer: columnar tuples, interned counters,
-//! per-phase predicate bitsets.
+//! The compiled execution layer: length-bucketed columnar tuples,
+//! word-parallel Cond1, interned counters, per-phase predicate bitsets.
 //!
 //! [`engine::count_tuple_at`](crate::engine::count_tuple_at) is the
 //! *reference* semantics of one column step, and it pays for its clarity
@@ -8,68 +8,112 @@
 //! `is_forward`/`is_tagger` threshold arithmetic per touch, and scans the
 //! community set for `A:*` membership. This module compiles the same
 //! algorithm into a representation where each of those costs is paid once
-//! instead of per touch:
+//! — and where the per-tuple conditions are evaluated **64 tuples at a
+//! time**:
 //!
-//! * **Interning** ([`AsnInterner`]) — every on-path ASN is mapped to a
-//!   dense `u32` id at build time, so all per-AS state lives in flat
-//!   vectors indexed by id. [`DenseCounterStore`] is the interned
-//!   [`CounterStore`]: a `Vec<AsCounters>` that merges by slice addition
-//!   and converts back to the map-based store only at outcome time.
-//! * **Columnar tuples** ([`CompiledTuples`]) — a struct-of-arrays store:
-//!   one contiguous id arena holding every AS path back to back,
-//!   per-tuple offsets, and a bit-packed *tag arena* with one bit per
-//!   path position answering `comm.contains_upper(path[i])` — the only
-//!   question the engine ever asks a community set, precomputed at build
-//!   time. Tuples are iterated length-sorted (descending), so the column
-//!   `x` pass visits exactly the tuples with `len >= x` and never scans
-//!   the short tail.
+//! * **Interning** — every on-path ASN is mapped to a dense `u32` id at
+//!   build time, so all per-AS state lives in flat vectors indexed by id.
+//!   A store interns either privately ([`AsnInterner`], the batch path)
+//!   or through a workspace-level [`SharedInterner`] (the stream shards),
+//!   in which case every shard speaks one global id space and shard
+//!   deltas merge into the coordinator's [`DenseCounterStore`] by slice
+//!   addition — no `Asn`-keyed map hop anywhere in the pipeline.
+//! * **Length-bucketed transposed columns** — tuples are grouped by exact
+//!   path length; within bucket `ℓ` the store keeps, for each position
+//!   `p < ℓ`, a contiguous id column `cols[p]` plus a static bit column
+//!   `tag_cols[p]` over the bucket's tuples (does the tuple's community
+//!   set contain `A:*` for the AS at `p`). Buckets are append-only — new
+//!   tuples take the next slot of their bucket, so nothing ever
+//!   re-sorts, the active set of column `x` is exactly the buckets with
+//!   `ℓ >= x`, and the tuples appended since the last epoch seal are
+//!   always a per-bucket *suffix* (the dirty range). The columns *are*
+//!   the storage — a push interns its hops and writes them straight
+//!   into the columns; no row-major arena exists.
+//! * **Word-parallel Cond1** — the clean-prefix condition at column `x`
+//!   is `AND` over positions `p < x-1` of `is_forward(path[p])`. Per
+//!   64-tuple word, the engine gathers each position's predicate bits
+//!   from the id column into one `u64` and ANDs the positions together
+//!   (with an early exit once a word goes all-dirty); the old per-tuple
+//!   `Cond1Pass::Record`/`Replay` buffers are gone — both phases of a
+//!   column share the same `clean` words, because the tagging merge
+//!   moves only `t`/`s` counters, which `is_forward` never reads. The
+//!   tagging pass is then fully word-parallel: `clean & tag` are the `t`
+//!   increments, `clean & !tag` the `s` increments. The forwarding pass
+//!   resolves the common Cond2 case the same way — a word-parallel
+//!   gather of `is_tagger` over the adjacent downstream position —
+//!   and walks deeper hops per element only for the tuples that miss it.
 //! * **Phase predicate bitsets** ([`PhasePredicates`]) — `is_forward` and
 //!   `is_tagger` are pure functions of the phase-start counter snapshot,
-//!   so they are evaluated once per AS per phase into two bitsets. Cond1
-//!   becomes a clean-prefix bit check and Cond2 a forward/tagger bitset
-//!   walk; the innermost loop does no hashing, no division, and no map
-//!   traffic at all.
+//!   evaluated with exactly the reference float arithmetic and refreshed
+//!   per *touched* AS at every delta merge
+//!   ([`DenseCounterStore::merge_update`], which also exploits that a
+//!   tagging merge can only move `is_tagger` and a forwarding merge only
+//!   `is_forward`).
+//! * **Dirty-suffix counting** — [`commit_clean`](CompiledTuples::commit_clean)
+//!   records the bucket fill levels at an epoch seal;
+//!   [`count_phase_dense`](CompiledTuples::count_phase_dense) can then
+//!   count only the tuples appended since (`dirty_only`), which is what
+//!   makes the stream layer's incremental epoch recounts (see
+//!   `bgp_stream::shard`) scale with the delta instead of the store.
 //!
 //! ## Parity guarantee
 //!
 //! The compiled engine is **byte-identical** to the reference path. The
 //! argument: within one (column, phase) the reference evaluates its
 //! predicates against the immutable phase-start snapshot, so hoisting
-//! them into bitsets changes nothing; the predicate values themselves are
-//! computed by the very same [`AsCounters::tag_share`]/
-//! [`AsCounters::fwd_share`] float comparisons; counter increments are
-//! `u64` additions, which commute, so dense slice merges equal map
-//! merges; and a reference delta entry exists iff it received at least
-//! one increment, so filtering zero rows when densifying reproduces the
-//! reference key set exactly. `InferenceEngine::run_reference` is kept as
-//! the oracle, and the property tests in this crate plus
-//! `tests/stream_parity.rs` pin classes *and* raw counters equal across
-//! random worlds, thread counts, `max_index` caps, and ablation flags.
+//! them into bitsets — and gathering those bits 64 tuples at a time —
+//! changes nothing; the predicate values themselves are computed by the
+//! very same [`AsCounters::tag_share`]/[`AsCounters::fwd_share`] float
+//! comparisons; counter increments are `u64` additions, which commute,
+//! so dense slice merges equal map merges for any partition of the
+//! tuples into buckets, words, worker threads, or stream shards; and a
+//! reference delta entry exists iff it received at least one increment,
+//! so filtering zero rows when sparsifying reproduces the reference key
+//! set exactly. `InferenceEngine::run_reference` is kept as the oracle,
+//! and the property tests in this crate plus `tests/stream_parity.rs`
+//! pin classes *and* raw counters equal across random worlds, thread
+//! counts, `max_index` caps, ablation flags, shard counts, and epoch
+//! slicings.
 
 use crate::counters::{AsCounters, CounterStore, Thresholds};
 use crate::engine::{CountPhase, InferenceConfig, InferenceOutcome};
 use bgp_types::prelude::*;
+use std::sync::Arc;
 
-/// One bit per interned AS id, answering a phase-start predicate.
+/// One bit per interned AS id. Used for the phase predicates, for the
+/// per-store "which ids occur here" membership set, and for the stream
+/// layer's diverged-id tracking during incremental recounts.
 #[derive(Debug, Clone, Default)]
-struct IdBitSet {
+pub struct IdBitSet {
     words: Vec<u64>,
 }
 
 impl IdBitSet {
-    fn with_capacity(bits: usize) -> Self {
+    /// An empty set able to hold `bits` ids without growing.
+    pub fn with_capacity(bits: usize) -> Self {
         IdBitSet {
             words: vec![0; bits.div_ceil(64)],
         }
     }
 
+    /// Grow (zero-filled) so ids `< bits` are addressable.
+    pub fn ensure(&mut self, bits: usize) {
+        let words = bits.div_ceil(64);
+        if words > self.words.len() {
+            self.words.resize(words, 0);
+        }
+    }
+
+    /// Set the bit of `id` (the set must cover `id`; see
+    /// [`ensure`](IdBitSet::ensure)).
     #[inline]
-    fn set(&mut self, id: AsnId) {
+    pub fn set(&mut self, id: AsnId) {
         self.words[(id / 64) as usize] |= 1u64 << (id % 64);
     }
 
+    /// Assign the bit of `id`.
     #[inline]
-    fn assign(&mut self, id: AsnId, v: bool) {
+    pub fn assign(&mut self, id: AsnId, v: bool) {
         let word = &mut self.words[(id / 64) as usize];
         let mask = 1u64 << (id % 64);
         if v {
@@ -79,9 +123,35 @@ impl IdBitSet {
         }
     }
 
+    /// Whether the bit of `id` is set (ids beyond the capacity read as
+    /// unset).
     #[inline]
-    fn get(&self, id: AsnId) -> bool {
-        self.words[(id / 64) as usize] & (1u64 << (id % 64)) != 0
+    pub fn get(&self, id: AsnId) -> bool {
+        self.words
+            .get((id / 64) as usize)
+            .is_some_and(|w| w & (1u64 << (id % 64)) != 0)
+    }
+
+    /// Whether any id is in both sets — the incremental-recount validity
+    /// probe, one AND per 64 ids.
+    pub fn intersects(&self, other: &IdBitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether any id of this set has its bit set in the raw `words`
+    /// mask (the stream layer's predicate-divergence probe).
+    pub fn intersects_words(&self, words: &[u64]) -> bool {
+        self.words.iter().zip(words).any(|(a, b)| a & b != 0)
+    }
+
+    /// The raw bit words (64 ids per word, id order).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
     }
 }
 
@@ -89,9 +159,9 @@ impl IdBitSet {
 /// of one counting phase.
 ///
 /// The reference path re-derives these from counter shares on every
-/// Cond1/Cond2 touch; here they are computed once per AS per phase (with
-/// the identical float arithmetic, so thresholds behave bit-for-bit the
-/// same) and the hot loop reads single bits.
+/// Cond1/Cond2 touch; here they are maintained incrementally (with the
+/// identical float arithmetic, so thresholds behave bit-for-bit the
+/// same) and the hot loop gathers them 64 tuples at a time.
 #[derive(Debug)]
 pub struct PhasePredicates {
     forward: IdBitSet,
@@ -119,10 +189,166 @@ impl PhasePredicates {
     pub fn is_tagger(&self, id: AsnId) -> bool {
         self.tagger.get(id)
     }
+
+    /// The raw `is_forward` bit words.
+    pub fn forward_words(&self) -> &[u64] {
+        self.forward.words()
+    }
+
+    /// The raw `is_tagger` bit words.
+    pub fn tagger_words(&self) -> &[u64] {
+        self.tagger.words()
+    }
+
+    /// Overwrite both bitsets from raw words, zero-extending to `n_ids`
+    /// — the stream layer's trajectory-replay bulk load.
+    pub fn load_words(&mut self, forward: &[u64], tagger: &[u64], n_ids: usize) {
+        let words = n_ids.div_ceil(64);
+        self.forward.words.clear();
+        self.forward.words.extend_from_slice(forward);
+        self.forward.words.resize(words.max(forward.len()), 0);
+        self.tagger.words.clear();
+        self.tagger.words.extend_from_slice(tagger);
+        self.tagger.words.resize(words.max(tagger.len()), 0);
+    }
+
+    /// Re-evaluate both predicate bits of one id from its actual
+    /// counters (the trajectory-replay overlay patch). Returns whether
+    /// either bit changed.
+    pub fn refresh_both(&mut self, id: AsnId, c: &AsCounters, th: &Thresholds) -> bool {
+        let fwd = c.fwd_share().is_some_and(|x| x >= th.forward);
+        let tag = c.tag_share().is_some_and(|x| x >= th.tagger);
+        let changed = self.forward.get(id) != fwd || self.tagger.get(id) != tag;
+        self.forward.assign(id, fwd);
+        self.tagger.assign(id, tag);
+        changed
+    }
+
+    /// Evaluate both predicates for every id of `counters` from scratch
+    /// (the mode-switch snapshot when a replay seal runs past the
+    /// recorded trajectory).
+    pub fn snapshot_from(&mut self, counters: &DenseCounterStore, th: &Thresholds) {
+        let n = counters.len();
+        self.forward.words.clear();
+        self.forward.words.resize(n.div_ceil(64), 0);
+        self.tagger.words.clear();
+        self.tagger.words.resize(n.div_ceil(64), 0);
+        for (id, c) in counters.counts().iter().enumerate() {
+            if c.fwd_share().is_some_and(|x| x >= th.forward) {
+                self.forward.set(id as AsnId);
+            }
+            if c.tag_share().is_some_and(|x| x >= th.tagger) {
+                self.tagger.set(id as AsnId);
+            }
+        }
+    }
+}
+
+/// Gather one predicate bit per id of `col` into a word (bit `i` =
+/// predicate of `col[i]`). The word-parallel building block for Cond1
+/// and the adjacent-tagger Cond2 fast path. Every id must be covered by
+/// `set` (the engine sizes its predicate sets to the full id space).
+#[inline]
+fn gather_bits(set: &IdBitSet, col: &[AsnId]) -> u64 {
+    let words = set.words.as_slice();
+    let mut g = 0u64;
+    for (i, &id) in col.iter().enumerate() {
+        let w = words[(id >> 6) as usize];
+        g |= ((w >> (id & 63)) & 1) << i;
+    }
+    g
+}
+
+/// A phase delta over the dense id space: flat counters plus a touched
+/// bitmap, so the per-increment bookkeeping is one OR and clearing /
+/// sparsifying cost O(id space / 64 + touched) instead of O(id space).
+/// Workers and shards accumulate into one of these; the coordinator
+/// folds them with [`DenseCounterStore::merge_update`]. Touched ids
+/// enumerate in ascending order — the stream layer's cached step deltas
+/// come out sorted for free.
+#[derive(Debug, Default)]
+pub struct DeltaStore {
+    counts: Vec<AsCounters>,
+    touched: Vec<u64>,
+}
+
+impl DeltaStore {
+    /// A zeroed delta covering `n_ids`.
+    pub fn zeroed(n_ids: usize) -> Self {
+        DeltaStore {
+            counts: vec![AsCounters::default(); n_ids],
+            touched: vec![0; n_ids.div_ceil(64)],
+        }
+    }
+
+    /// Grow to cover `n_ids` (the shared interner keeps growing between
+    /// epoch seals; deltas are resized at seal start).
+    pub fn resize(&mut self, n_ids: usize) {
+        if n_ids > self.counts.len() {
+            self.counts.resize(n_ids, AsCounters::default());
+            self.touched.resize(n_ids.div_ceil(64), 0);
+        }
+    }
+
+    /// Mutable counters of one id, marking the touch.
+    #[inline]
+    pub fn entry(&mut self, id: AsnId) -> &mut AsCounters {
+        self.touched[(id / 64) as usize] |= 1u64 << (id % 64);
+        &mut self.counts[id as usize]
+    }
+
+    /// Counters of one id (zeros when untouched).
+    #[inline]
+    pub fn get(&self, id: AsnId) -> AsCounters {
+        self.counts[id as usize]
+    }
+
+    /// Whether no id was touched.
+    pub fn is_empty(&self) -> bool {
+        self.touched.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate the touched ids in ascending order.
+    pub fn touched(&self) -> impl Iterator<Item = AsnId> + '_ {
+        self.touched.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let id = (wi * 64) + w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(id as AsnId)
+            })
+        })
+    }
+
+    /// Iterate the touched `(id, counters)` pairs in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (AsnId, AsCounters)> + '_ {
+        self.touched().map(|id| (id, self.get(id)))
+    }
+
+    /// Zero the touched slots and the bitmap — O(ids/64 + touched).
+    pub fn clear(&mut self) {
+        for wi in 0..self.touched.len() {
+            let mut w = self.touched[wi];
+            if w == 0 {
+                continue;
+            }
+            while w != 0 {
+                let id = wi * 64 + w.trailing_zeros() as usize;
+                self.counts[id] = AsCounters::default();
+                w &= w - 1;
+            }
+            self.touched[wi] = 0;
+        }
+    }
 }
 
 /// The interned counterpart of [`CounterStore`]: a flat `Vec<AsCounters>`
 /// indexed by [`AsnId`], O(1) per touch and mergeable by slice addition.
+/// This is the coordinator-side cumulative store; phase deltas use
+/// [`DeltaStore`].
 #[derive(Debug, Clone, Default)]
 pub struct DenseCounterStore {
     counts: Vec<AsCounters>,
@@ -158,7 +384,20 @@ impl DenseCounterStore {
         self.counts.is_empty()
     }
 
-    /// Slice-add a same-size delta store produced by a counting worker.
+    /// The raw counter column, indexed by id.
+    pub fn counts(&self) -> &[AsCounters] {
+        &self.counts
+    }
+
+    /// Consume into the raw counter column (epoch snapshots publish this
+    /// as an `Arc`'d slice).
+    pub fn into_counts(self) -> Vec<AsCounters> {
+        self.counts
+    }
+
+    /// Slice-add a same-size dense store (bench comparisons; the engine
+    /// itself merges sparse-touched deltas via
+    /// [`merge_update`](DenseCounterStore::merge_update)).
     pub fn merge(&mut self, delta: &DenseCounterStore) {
         debug_assert_eq!(self.counts.len(), delta.counts.len());
         for (e, d) in self.counts.iter_mut().zip(&delta.counts) {
@@ -166,185 +405,262 @@ impl DenseCounterStore {
         }
     }
 
-    /// Reset every slot to zero, keeping the allocation (per-phase delta
-    /// buffer reuse in the serial engine loop).
-    pub fn clear(&mut self) {
-        self.counts.fill(AsCounters::default());
+    /// Refresh the predicate bit of `id` that `phase`'s increments can
+    /// move: a tagging merge only changes `t`/`s` (so only `is_tagger`
+    /// can flip), a forwarding merge only `f`/`c` (so only `is_forward`)
+    /// — the other predicate is left untouched, with the value it must
+    /// still hold.
+    #[inline]
+    fn refresh_predicate(
+        e: &AsCounters,
+        id: AsnId,
+        preds: &mut PhasePredicates,
+        th: &Thresholds,
+        phase: CountPhase,
+    ) {
+        match phase {
+            CountPhase::Tagging => preds
+                .tagger
+                .assign(id, e.tag_share().is_some_and(|x| x >= th.tagger)),
+            CountPhase::Forwarding => preds
+                .forward
+                .assign(id, e.fwd_share().is_some_and(|x| x >= th.forward)),
+        }
     }
 
     /// Merge a phase delta *and* refresh the predicate bits of exactly
     /// the touched ASes. Counters only change through merges, so bits
-    /// maintained here always equal a fresh
-    /// [`snapshot_predicates`](Self::snapshot_predicates) of the merged
+    /// maintained here always equal a fresh evaluation of the merged
     /// state — the next phase's start snapshot — at O(touched) float
-    /// work instead of O(all ids) per phase.
+    /// work instead of O(all ids) per phase. `phase` names the pass that
+    /// produced the delta (it determines which predicate can move).
     pub fn merge_update(
         &mut self,
-        delta: &DenseCounterStore,
+        delta: &DeltaStore,
         preds: &mut PhasePredicates,
         th: &Thresholds,
+        phase: CountPhase,
     ) {
-        debug_assert_eq!(self.counts.len(), delta.counts.len());
-        for (id, d) in delta.counts.iter().enumerate() {
-            if d.is_zero() {
-                continue;
-            }
-            let e = &mut self.counts[id];
-            e.accumulate(d);
-            preds
-                .forward
-                .assign(id as AsnId, e.fwd_share().is_some_and(|x| x >= th.forward));
-            preds
-                .tagger
-                .assign(id as AsnId, e.tag_share().is_some_and(|x| x >= th.tagger));
+        for (id, d) in delta.iter() {
+            let e = &mut self.counts[id as usize];
+            e.accumulate(&d);
+            Self::refresh_predicate(e, id, preds, th, phase);
         }
     }
 
-    /// Evaluate the phase-start predicates for every id, with exactly the
-    /// reference float arithmetic of [`CounterStore::is_forward`] /
-    /// [`CounterStore::is_tagger`].
-    pub fn snapshot_predicates(&self, th: &Thresholds) -> PhasePredicates {
-        let mut forward = IdBitSet::with_capacity(self.counts.len());
-        let mut tagger = IdBitSet::with_capacity(self.counts.len());
-        for (id, c) in self.counts.iter().enumerate() {
-            if c.fwd_share().is_some_and(|x| x >= th.forward) {
-                forward.set(id as AsnId);
-            }
-            if c.tag_share().is_some_and(|x| x >= th.tagger) {
-                tagger.set(id as AsnId);
-            }
+    /// Merge a sparse `(id, counters)` slice — the stream layer's cached
+    /// epoch deltas — with the same predicate maintenance as
+    /// [`merge_update`](DenseCounterStore::merge_update).
+    pub fn merge_sparse_update(
+        &mut self,
+        entries: &[(AsnId, AsCounters)],
+        preds: &mut PhasePredicates,
+        th: &Thresholds,
+        phase: CountPhase,
+    ) {
+        for &(id, d) in entries {
+            let e = &mut self.counts[id as usize];
+            e.accumulate(&d);
+            Self::refresh_predicate(e, id, preds, th, phase);
         }
-        PhasePredicates { forward, tagger }
     }
 
-    /// Densify an `Asn`-keyed snapshot (the stream coordinator's shared
-    /// [`CounterStore`]) over `interner`'s id space.
-    pub fn from_store(store: &CounterStore, interner: &AsnInterner) -> Self {
-        let mut dense = DenseCounterStore::zeroed(interner.len());
-        for (id, asn) in interner.iter() {
-            dense.counts[id as usize] = store.get(asn);
+    /// Accumulate a phase delta without touching any predicate state —
+    /// the trajectory-replay merge, where the predicate evolution is
+    /// known in advance and bulk-loaded per step.
+    pub fn merge_counts(&mut self, delta: &DeltaStore) {
+        for (id, d) in delta.iter() {
+            self.counts[id as usize].accumulate(&d);
         }
-        dense
     }
 
-    /// Convert back to the map-based [`CounterStore`], keeping exactly
-    /// the ASes that received at least one increment — the reference
-    /// engine's key set.
-    pub fn to_counter_store(&self, interner: &AsnInterner) -> CounterStore {
-        let mut store = CounterStore::new();
-        for (id, c) in self.counts.iter().enumerate() {
-            if !c.is_zero() {
-                *store.entry(interner.resolve(id as AsnId)) = *c;
-            }
-        }
-        store
-    }
-}
-
-/// How one counting pass obtains Cond1 (the clean-prefix condition).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Cond1Mode {
-    /// Cond1 disabled (`enforce_cond1 = false`): always clean.
-    Off,
-    /// Walk the prefix bitset per tuple, no caching.
-    Fresh,
-    /// Walk the prefix and record the verdict per active tuple.
-    Record,
-    /// Read the verdict recorded by this column's Tagging pass.
-    Replay,
-}
-
-impl Cond1Mode {
-    /// Bind the mode to one worker's slice of the per-column buffer.
-    fn pass(self, buf: &mut [bool]) -> Cond1Pass<'_> {
-        match self {
-            Cond1Mode::Off => Cond1Pass::Off,
-            Cond1Mode::Fresh => Cond1Pass::Evaluate,
-            Cond1Mode::Record => Cond1Pass::Record(buf),
-            Cond1Mode::Replay => Cond1Pass::Replay(buf),
+    /// Accumulate a sparse cached delta without predicate maintenance
+    /// (see [`merge_counts`](DenseCounterStore::merge_counts)).
+    pub fn merge_sparse_counts(&mut self, entries: &[(AsnId, AsCounters)]) {
+        for &(id, d) in entries {
+            self.counts[id as usize].accumulate(&d);
         }
     }
 }
 
-/// One worker's Cond1 source for one pass, aligned with its `active`
-/// chunk.
-enum Cond1Pass<'a> {
-    Off,
-    Evaluate,
-    Record(&'a mut [bool]),
-    Replay(&'a mut [bool]),
-}
-
-/// The columnar (struct-of-arrays) tuple store the compiled engine runs
-/// over. See the module docs for the layout rationale.
+/// One sealed epoch's dense classification state: the counter column, the
+/// shared interner that gives the ids meaning, and the Asn-sorted id
+/// permutation every publish-time table walk uses. All three are `Arc`'d,
+/// so an epoch with no new evidence republishes as three pointer copies
+/// and a serving layer can slice record tables straight out of the
+/// columns instead of rebuilding them from a sparse map.
 #[derive(Debug, Clone)]
+pub struct DenseOutcome {
+    /// The workspace id authority.
+    pub interner: Arc<SharedInterner>,
+    /// Final counters, indexed by id; covers ids `< counters.len()`.
+    pub counters: Arc<Vec<AsCounters>>,
+    /// `(asn, id)` pairs sorted by ASN — the publication order.
+    pub by_asn: Arc<Vec<(Asn, AsnId)>>,
+    /// Thresholds the epoch was counted under.
+    pub thresholds: Thresholds,
+    /// Deepest path index at which any counter was incremented.
+    pub deepest_active_index: usize,
+}
+
+impl DenseOutcome {
+    /// Counters of one AS, `None` when the AS was never counted.
+    pub fn lookup(&self, asn: Asn) -> Option<AsCounters> {
+        self.by_asn
+            .binary_search_by_key(&asn, |&(a, _)| a)
+            .ok()
+            .map(|i| self.counters[self.by_asn[i].1 as usize])
+            .filter(|c| !c.is_zero())
+    }
+
+    /// Materialize the sparse map-backed [`InferenceOutcome`] — the batch
+    /// engine's shape, kept for exports and historical-epoch queries.
+    /// O(counted ASes); epoch snapshots do this lazily.
+    pub fn to_outcome(&self) -> InferenceOutcome {
+        let mut store = CounterStore::with_capacity(self.by_asn.len());
+        for &(asn, id) in self.by_asn.iter() {
+            let c = self.counters[id as usize];
+            if !c.is_zero() {
+                *store.entry(asn) = c;
+            }
+        }
+        InferenceOutcome {
+            counters: store,
+            thresholds: self.thresholds,
+            deepest_active_index: self.deepest_active_index,
+        }
+    }
+}
+
+/// The id authority of one compiled store: private (batch runs) or the
+/// workspace-shared interner (stream shards speaking one id space).
+#[derive(Debug)]
+enum StoreInterner {
+    Own(AsnInterner),
+    Shared(Arc<SharedInterner>),
+}
+
+impl StoreInterner {
+    fn resolve(&self, id: AsnId) -> Asn {
+        match self {
+            StoreInterner::Own(it) => it.resolve(id),
+            StoreInterner::Shared(s) => s.resolve(id),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            StoreInterner::Own(it) => it.len(),
+            StoreInterner::Shared(s) => s.len(),
+        }
+    }
+}
+
+/// All tuples of one exact path length, stored column-major.
+#[derive(Debug, Default)]
+struct Bucket {
+    /// Stored tuples (slots) in this bucket.
+    len: usize,
+    /// `cols[p][k]`: interned id at position `p` of the bucket's `k`-th
+    /// tuple.
+    cols: Vec<Vec<AsnId>>,
+    /// Bit `k` of `tag_cols[p]`: does tuple `k`'s community set contain
+    /// an upper field equal to the AS at position `p`? Static.
+    tag_cols: Vec<Vec<u64>>,
+    /// Per-column scratch: the Cond1 word AND for the current column.
+    clean: Vec<u64>,
+    /// Slots `< mat_k` have their ids recorded in the present set.
+    mat_k: usize,
+    /// Slots `< clean_k` were already present at the last epoch seal
+    /// (the incremental-recount boundary); slots `>= clean_k` are dirty.
+    clean_k: usize,
+}
+
+impl Bucket {
+    fn slots(&self) -> usize {
+        self.len
+    }
+
+    fn words(&self) -> usize {
+        self.len.div_ceil(64)
+    }
+}
+
+/// The columnar tuple store the compiled engine runs over. The columns
+/// *are* the storage — there is no row-major arena; a push writes its
+/// hops straight into the bucket's id and tag columns. See the module
+/// docs for the layout rationale and the parity argument.
+#[derive(Debug)]
 pub struct CompiledTuples {
-    interner: AsnInterner,
-    /// All paths flattened back to back, as interned ids.
-    ids: Vec<AsnId>,
-    /// Tuple `i` owns `ids[offsets[i]..offsets[i+1]]`; `offsets.len()` is
-    /// always `tuple count + 1`.
-    offsets: Vec<u32>,
-    /// Bit-packed tag arena: bit `p` answers
-    /// `comm.contains_upper(path position p)` for arena position `p`.
-    tag_bits: Vec<u64>,
-    /// Tuple indices ordered by path length descending (ties by insertion
-    /// order); rebuilt lazily after appends.
-    order: Vec<u32>,
-    sorted: bool,
+    interner: StoreInterner,
+    /// Length buckets; index == exact path length (index 0 unused).
+    buckets: Vec<Bucket>,
+    /// Tuples stored (zero-length paths included — they count nothing
+    /// but are remembered).
+    n_tuples: usize,
+    /// Total path positions across all buckets.
+    total_hops: usize,
     max_len: usize,
+    /// Ids occurring anywhere in this store (current up to the last
+    /// [`prepare`](CompiledTuples::prepare)).
+    present: IdBitSet,
+    /// `present` as of the last [`commit_clean`](CompiledTuples::commit_clean)
+    /// — the ids the clean-prefix tuples can possibly contain. Ids
+    /// interned later cannot appear in older tuples, so replay validity
+    /// is tested against this set, not the live one.
+    present_clean: IdBitSet,
     /// Reused per-push scratch: the pushed tuple's community upper
     /// fields as raw `u32`s, probed once per hop.
     upper_scratch: Vec<u32>,
 }
 
 impl CompiledTuples {
-    /// An empty store (for incremental [`push`](CompiledTuples::push) use,
-    /// as in the stream shards).
+    /// An empty store with a private interner (the batch path).
     pub fn new() -> Self {
+        Self::with_interner(StoreInterner::Own(AsnInterner::new()))
+    }
+
+    /// An empty store interning through the workspace-shared interner —
+    /// the stream-shard constructor. All shards sharing `interner` speak
+    /// one dense id space, so their deltas merge by slice addition.
+    pub fn with_shared(interner: Arc<SharedInterner>) -> Self {
+        Self::with_interner(StoreInterner::Shared(interner))
+    }
+
+    fn with_interner(interner: StoreInterner) -> Self {
         CompiledTuples {
-            interner: AsnInterner::new(),
-            ids: Vec::new(),
-            offsets: vec![0],
-            tag_bits: Vec::new(),
-            order: Vec::new(),
-            sorted: true,
+            interner,
+            buckets: Vec::new(),
+            n_tuples: 0,
+            total_hops: 0,
             max_len: 0,
+            present: IdBitSet::default(),
+            present_clean: IdBitSet::default(),
             upper_scratch: Vec::new(),
         }
     }
 
-    /// Compile a finished tuple slice. Tuples are laid out in the arena
-    /// longest-first, so the per-column iteration order is also the
-    /// physical order — sequential reads, early cutoff.
+    /// Compile a finished tuple slice (batch entry point). Buckets group
+    /// by length as a side effect of pushing, so no sort pass exists —
+    /// and the input is walked sequentially, which the per-tuple heap
+    /// reads (path, community set) reward far more than any regrouping
+    /// would.
     pub fn from_tuples(tuples: &[PathCommTuple]) -> Self {
-        // Counting sort by length: lengths are tiny, a comparison sort
-        // would dominate the build at 100k+ tuples.
-        let max_len = tuples.iter().map(|t| t.path.len()).max().unwrap_or(0);
-        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_len + 1];
-        for (i, t) in tuples.iter().enumerate() {
-            buckets[t.path.len()].push(i as u32);
-        }
         let mut store = CompiledTuples::new();
-        let total: usize = tuples.iter().map(|t| t.path.len()).sum();
-        store.interner.reserve(total / 4);
-        store.ids.reserve(total);
-        store.tag_bits.reserve(total / 64 + 1);
-        store.offsets.reserve(tuples.len());
-        store.order.reserve(tuples.len());
-        for bucket in buckets.iter().rev() {
-            for &i in bucket {
-                store.push(&tuples[i as usize]);
-            }
+        for t in tuples {
+            store.push(t);
         }
-        store.sorted = true; // pushed in length order already
         store
     }
 
-    /// Append one tuple: intern its hops, extend the arena, precompute
-    /// its tag bits.
+    /// Append one tuple: intern its hops and write them straight into
+    /// the next slot of its length bucket's id and tag columns.
     pub fn push(&mut self, t: &PathCommTuple) {
-        let idx = self.len() as u32;
+        let blen = t.path.len();
+        self.n_tuples += 1;
+        if blen == 0 {
+            return;
+        }
         // Flatten the community upper fields once; per-hop membership is
         // then a scan over raw u32s (communities sharing an upper field
         // produce repeats — harmless for a membership probe). Sets this
@@ -357,38 +673,68 @@ impl CompiledTuples {
         if big_comm {
             self.upper_scratch.sort_unstable();
         }
-        for &asn in t.path.asns() {
-            let id = self.interner.intern(asn);
-            let pos = self.ids.len();
-            self.ids.push(id);
-            if pos / 64 >= self.tag_bits.len() {
-                self.tag_bits.push(0);
-            }
-            let tagged = if big_comm {
-                self.upper_scratch.binary_search(&asn.0).is_ok()
+        if self.buckets.len() <= blen {
+            self.buckets.resize_with(blen + 1, Bucket::default);
+        }
+        let CompiledTuples {
+            interner,
+            buckets,
+            upper_scratch,
+            ..
+        } = self;
+        let b = &mut buckets[blen];
+        if b.cols.is_empty() {
+            b.cols = vec![Vec::new(); blen];
+            b.tag_cols = vec![Vec::new(); blen];
+        }
+        let k = b.len;
+        let new_word = k % 64 == 0;
+        let word = k / 64;
+        let bit = 1u64 << (k % 64);
+        let probe = |asn: Asn| {
+            if big_comm {
+                upper_scratch.binary_search(&asn.0).is_ok()
             } else {
-                self.upper_scratch.contains(&asn.0)
-            };
-            if tagged {
-                self.tag_bits[pos / 64] |= 1u64 << (pos % 64);
+                upper_scratch.contains(&asn.0)
+            }
+        };
+        match interner {
+            // Batch path: intern, column append, and tag probe in one
+            // pass over the hops.
+            StoreInterner::Own(it) => {
+                for (p, &asn) in t.path.asns().iter().enumerate() {
+                    b.cols[p].push(it.intern(asn));
+                    if new_word {
+                        b.tag_cols[p].push(0);
+                    }
+                    if probe(asn) {
+                        b.tag_cols[p][word] |= bit;
+                    }
+                }
+            }
+            // Shared path: one writer-lock acquisition for the whole
+            // path, then the column/tag pass.
+            StoreInterner::Shared(s) => {
+                let mut batch = s.batch();
+                for (p, &asn) in t.path.asns().iter().enumerate() {
+                    b.cols[p].push(batch.intern(asn));
+                    if new_word {
+                        b.tag_cols[p].push(0);
+                    }
+                    if probe(asn) {
+                        b.tag_cols[p][word] |= bit;
+                    }
+                }
             }
         }
-        self.offsets.push(self.ids.len() as u32);
-        self.order.push(idx);
-        self.max_len = self.max_len.max(t.path.len());
-        // Descending order survives the append iff the new path is no
-        // longer than the current tail of `order`.
-        if self.sorted && self.len() > 1 {
-            let prev_tail = self.order[self.len() - 2] as usize;
-            if t.path.len() > self.tuple_len(prev_tail) {
-                self.sorted = false;
-            }
-        }
+        b.len += 1;
+        self.total_hops += blen;
+        self.max_len = self.max_len.max(blen);
     }
 
     /// Number of compiled tuples.
     pub fn len(&self) -> usize {
-        self.offsets.len() - 1
+        self.n_tuples
     }
 
     /// Whether no tuples are stored.
@@ -401,242 +747,324 @@ impl CompiledTuples {
         self.max_len
     }
 
-    /// Total path positions in the id arena.
+    /// Total path positions across the bucket id columns.
     pub fn arena_len(&self) -> usize {
-        self.ids.len()
+        self.total_hops
     }
 
-    /// The id authority for this store.
-    pub fn interner(&self) -> &AsnInterner {
-        &self.interner
-    }
-
-    /// Distinct ASNs interned.
+    /// Size of the id space this store counts over (for a shared
+    /// interner: the workspace-global id count).
     pub fn interned_asns(&self) -> usize {
         self.interner.len()
     }
 
-    #[inline]
-    fn tuple_len(&self, i: usize) -> usize {
-        (self.offsets[i + 1] - self.offsets[i]) as usize
+    /// Ids occurring anywhere in this store. Current as of the last
+    /// [`prepare`](CompiledTuples::prepare).
+    pub fn present_ids(&self) -> &IdBitSet {
+        &self.present
     }
 
-    #[inline]
-    fn tag_bit(&self, arena_pos: usize) -> bool {
-        self.tag_bits[arena_pos / 64] & (1u64 << (arena_pos % 64)) != 0
+    /// Ids the clean-prefix tuples (those sealed by the last
+    /// [`commit_clean`](CompiledTuples::commit_clean)) can contain — the
+    /// incremental-replay validity probe intersects the predicate
+    /// divergence mask with this.
+    pub fn clean_present_ids(&self) -> &IdBitSet {
+        &self.present_clean
     }
 
-    /// Restore the length-descending iteration order after appends.
-    /// Counting sort — O(tuples + max_len), stable within one length.
-    pub fn ensure_sorted(&mut self) {
-        if self.sorted {
+    /// Tuples appended since the last [`commit_clean`](CompiledTuples::commit_clean).
+    pub fn dirty_tuples(&self) -> usize {
+        self.buckets.iter().map(|b| b.slots() - b.clean_k).sum()
+    }
+
+    /// Mark everything currently stored as covered by the seal that just
+    /// completed: subsequent `dirty_only` counting passes skip it, and
+    /// the current present set becomes the clean-prefix reference.
+    pub fn commit_clean(&mut self) {
+        for b in &mut self.buckets {
+            b.clean_k = b.slots();
+        }
+        self.present_clean.clone_from(&self.present);
+    }
+
+    /// Refresh the present-id set with the tuples appended since the
+    /// last call. O(new hops), zero when nothing was pushed. Only feeds
+    /// the stream layer's incremental replay probe, so private-interner
+    /// (batch) stores skip it entirely. Must run before a recount that
+    /// consults [`present_ids`](CompiledTuples::present_ids).
+    pub fn prepare(&mut self) {
+        if !matches!(self.interner, StoreInterner::Shared(_)) {
             return;
         }
-        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); self.max_len + 1];
-        for i in 0..self.len() {
-            buckets[self.tuple_len(i)].push(i as u32);
+        self.present.ensure(self.interner.len());
+        let present = &mut self.present;
+        for b in &mut self.buckets {
+            let nk = b.slots();
+            if b.mat_k == nk {
+                continue;
+            }
+            for col in &b.cols {
+                for &id in &col[b.mat_k..nk] {
+                    present.set(id);
+                }
+            }
+            b.mat_k = nk;
         }
-        self.order.clear();
-        for bucket in buckets.iter().rev() {
-            self.order.extend_from_slice(bucket);
-        }
-        self.sorted = true;
     }
 
-    /// The length-sorted tuple indices that reach column `x` (`len >= x`).
-    ///
-    /// # Panics
-    /// Debug-asserts the order is sorted; call
-    /// [`ensure_sorted`](CompiledTuples::ensure_sorted) after appends.
-    fn active_at(&self, x: usize) -> &[u32] {
-        debug_assert!(self.sorted, "ensure_sorted before counting");
-        let k = self
-            .order
-            .partition_point(|&i| self.tuple_len(i as usize) >= x);
-        &self.order[..k]
+    /// Compute the Cond1 `clean` words for column `x` in every active
+    /// bucket: per 64-tuple word, gather `is_forward` of each upstream
+    /// position's ids into a word and AND the positions together
+    /// (early-exiting once a word is all-dirty); all-ones when `x == 1`
+    /// (no upstream) or Cond1 is ablated. Valid for both of the column's
+    /// phases — the tagging merge moves only `t`/`s` counters, which
+    /// `is_forward` never reads. With `dirty_only`, only the words
+    /// covering the dirty suffix are computed (enough for a replayed
+    /// step's suffix counting).
+    pub fn compute_clean(
+        &mut self,
+        preds: &PhasePredicates,
+        x: usize,
+        enforce_cond1: bool,
+        dirty_only: bool,
+    ) {
+        for blen in x..self.buckets.len() {
+            let b = &mut self.buckets[blen];
+            let nk = b.slots();
+            if nk == 0 {
+                continue;
+            }
+            let words = b.words();
+            b.clean.resize(words, 0);
+            let w_lo = if dirty_only {
+                if b.clean_k >= nk {
+                    continue;
+                }
+                b.clean_k / 64
+            } else {
+                0
+            };
+            for w in w_lo..words {
+                let base = w * 64;
+                let n = (nk - base).min(64);
+                let full = if n == 64 { !0u64 } else { (1u64 << n) - 1 };
+                let mut acc = full;
+                if enforce_cond1 {
+                    for p in 0..x - 1 {
+                        acc &= gather_bits(&preds.forward, &b.cols[p][base..base + n]);
+                        if acc == 0 {
+                            break;
+                        }
+                    }
+                }
+                b.clean[w] = acc;
+            }
+        }
     }
 
-    /// Count one (column, phase) over the active tuples into `delta`.
-    /// Returns whether any counter was incremented — the compiled
-    /// equivalent of the reference delta being non-empty.
-    ///
-    /// This is the compiled mirror of the reference
-    /// [`count_tuple_at`](crate::engine::count_tuple_at) loop; see the
-    /// module docs for the parity argument. `cond1` selects how the
-    /// clean-prefix condition is obtained (see [`Cond1Pass`]): within one
-    /// column the Tagging merge only moves `t`/`s` counters, so
-    /// `is_forward` — and therefore Cond1 — is identical for both of the
-    /// column's phases, and the engine records it once and replays it.
-    #[allow(clippy::too_many_arguments)]
-    fn count_into(
+    /// Count one (column, phase) over this store into `delta`, using the
+    /// `clean` words computed by [`compute_clean`](CompiledTuples::compute_clean).
+    /// With `dirty_only`, only tuples appended since the last
+    /// [`commit_clean`](CompiledTuples::commit_clean) are visited — the
+    /// incremental-recount fresh-suffix pass. Returns whether any counter
+    /// was incremented.
+    pub fn count_phase_dense(
         &self,
         preds: &PhasePredicates,
         x: usize,
         phase: CountPhase,
         enforce_cond2: bool,
-        active: &[u32],
-        mut cond1: Cond1Pass<'_>,
-        delta: &mut DenseCounterStore,
+        dirty_only: bool,
+        delta: &mut DeltaStore,
     ) -> bool {
         let mut touched = false;
-        'tuples: for (k, &ti) in active.iter().enumerate() {
-            let off = self.offsets[ti as usize] as usize;
-            let len = (self.offsets[ti as usize + 1] as usize) - off;
-            debug_assert!(len >= x);
-            let hops = &self.ids[off..off + len];
-            // Cond1: every upstream position forwards (clean prefix).
-            let clean = match &mut cond1 {
-                Cond1Pass::Off => true,
-                Cond1Pass::Evaluate => hops[..x - 1].iter().all(|&a| preds.is_forward(a)),
-                Cond1Pass::Record(buf) => {
-                    let ok = hops[..x - 1].iter().all(|&a| preds.is_forward(a));
-                    buf[k] = ok;
-                    ok
-                }
-                Cond1Pass::Replay(buf) => buf[k],
-            };
-            if !clean {
-                continue 'tuples;
-            }
-            let ax = hops[x - 1];
-            match phase {
-                CountPhase::Tagging => {
-                    let e = delta.get_mut(ax);
-                    if self.tag_bit(off + x - 1) {
-                        e.t += 1;
-                    } else {
-                        e.s += 1;
-                    }
-                }
-                CountPhase::Forwarding => {
-                    // Cond2: nearest downstream tagger through forwarders.
-                    let at_pos = if enforce_cond2 {
-                        let mut found = None;
-                        for (k, &a) in hops[x..].iter().enumerate() {
-                            if preds.is_tagger(a) {
-                                found = Some(off + x + k);
-                                break;
-                            }
-                            if !preds.is_forward(a) {
-                                break;
-                            }
-                        }
-                        match found {
-                            Some(p) => p,
-                            None => continue 'tuples,
-                        }
-                    } else {
-                        // Ablated: the adjacent downstream AS, blindly.
-                        if len > x {
-                            off + x
-                        } else {
-                            continue 'tuples;
-                        }
-                    };
-                    let e = delta.get_mut(ax);
-                    if self.tag_bit(at_pos) {
-                        e.f += 1;
-                    } else {
-                        e.c += 1;
-                    }
-                }
-            }
-            touched = true;
-        }
-        touched
-    }
-
-    /// One full counting phase at column `x`, fanned out over `threads`
-    /// workers, each with a private dense delta, merged by slice add.
-    /// Returns `(delta, any_increment)`. Cond1 is evaluated fresh; the
-    /// engine-internal loop in [`run`](CompiledTuples::run) additionally
-    /// caches it across a column's two phases.
-    #[allow(clippy::too_many_arguments)]
-    pub fn count_phase(
-        &self,
-        preds: &PhasePredicates,
-        x: usize,
-        phase: CountPhase,
-        enforce_cond1: bool,
-        enforce_cond2: bool,
-        threads: usize,
-    ) -> (DenseCounterStore, bool) {
-        let cond1 = if enforce_cond1 {
-            Cond1Mode::Fresh
-        } else {
-            Cond1Mode::Off
+        // A forwarding pass needs a downstream hop: buckets of exactly
+        // length x can never satisfy it (Cond2 on or off).
+        let lo = match phase {
+            CountPhase::Tagging => x,
+            CountPhase::Forwarding => x + 1,
         };
-        self.count_fanout(preds, x, phase, enforce_cond2, threads, cond1, &mut [])
-    }
-
-    /// Fan one (column, phase) out over worker threads. `cond1_buf` must
-    /// be `active_at(x).len()` entries when `cond1` records or replays
-    /// (workers get disjoint chunks, aligned with the active chunks).
-    #[allow(clippy::too_many_arguments)]
-    fn count_fanout(
-        &self,
-        preds: &PhasePredicates,
-        x: usize,
-        phase: CountPhase,
-        enforce_cond2: bool,
-        threads: usize,
-        cond1: Cond1Mode,
-        cond1_buf: &mut [bool],
-    ) -> (DenseCounterStore, bool) {
-        let active = self.active_at(x);
-        let n_ids = self.interner.len();
-        let threads = threads.max(1);
-        if threads == 1 || active.len() < 1_024 {
-            let mut delta = DenseCounterStore::zeroed(n_ids);
-            let touched = self.count_into(
+        for blen in lo..self.buckets.len() {
+            let b = &self.buckets[blen];
+            let nk = b.slots();
+            if nk == 0 {
+                continue;
+            }
+            let (w_lo, lo_mask) = if dirty_only {
+                if b.clean_k >= nk {
+                    continue;
+                }
+                (b.clean_k / 64, !0u64 << (b.clean_k % 64))
+            } else {
+                (0, !0u64)
+            };
+            touched |= self.count_bucket_words(
+                b,
+                blen,
                 preds,
                 x,
                 phase,
                 enforce_cond2,
-                active,
-                cond1.pass(cond1_buf),
-                &mut delta,
+                w_lo,
+                b.words(),
+                lo_mask,
+                delta,
             );
-            return (delta, touched);
         }
-        let chunk = active.len().div_ceil(threads);
-        let mut merged = DenseCounterStore::zeroed(n_ids);
-        let mut any = false;
-        std::thread::scope(|s| {
-            let mut handles = Vec::new();
-            let mut buf_tail = cond1_buf;
-            for part in active.chunks(chunk) {
-                let cpart;
-                if matches!(cond1, Cond1Mode::Record | Cond1Mode::Replay) {
-                    let (head, tail) = buf_tail.split_at_mut(part.len());
-                    cpart = head;
-                    buf_tail = tail;
-                } else {
-                    let (head, tail) = buf_tail.split_at_mut(0);
-                    cpart = head;
-                    buf_tail = tail;
+        touched
+    }
+
+    /// Worker-sliced counting for the batch engine's thread fan-out:
+    /// worker `w` of `n` takes an even word share of every active bucket.
+    #[allow(clippy::too_many_arguments)]
+    fn count_worker(
+        &self,
+        preds: &PhasePredicates,
+        x: usize,
+        phase: CountPhase,
+        enforce_cond2: bool,
+        worker: usize,
+        n_workers: usize,
+        delta: &mut DeltaStore,
+    ) -> bool {
+        let mut touched = false;
+        let lo = match phase {
+            CountPhase::Tagging => x,
+            CountPhase::Forwarding => x + 1,
+        };
+        for blen in lo..self.buckets.len() {
+            let b = &self.buckets[blen];
+            if b.slots() == 0 {
+                continue;
+            }
+            let words = b.words();
+            let per = words.div_ceil(n_workers);
+            let w_lo = worker * per;
+            let w_hi = ((worker + 1) * per).min(words);
+            if w_lo >= w_hi {
+                continue;
+            }
+            touched |= self.count_bucket_words(
+                b,
+                blen,
+                preds,
+                x,
+                phase,
+                enforce_cond2,
+                w_lo,
+                w_hi,
+                !0u64,
+                delta,
+            );
+        }
+        touched
+    }
+
+    /// The innermost loop: one (column, phase) over one bucket's word
+    /// range. `lo_mask` filters the first word (dirty-suffix boundaries).
+    #[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+    fn count_bucket_words(
+        &self,
+        b: &Bucket,
+        blen: usize,
+        preds: &PhasePredicates,
+        x: usize,
+        phase: CountPhase,
+        enforce_cond2: bool,
+        w_lo: usize,
+        w_hi: usize,
+        lo_mask: u64,
+        delta: &mut DeltaStore,
+    ) -> bool {
+        debug_assert!(blen >= x);
+        let p = x - 1;
+        let axids = &b.cols[p];
+        let mut touched = false;
+        match phase {
+            CountPhase::Tagging => {
+                let tags = &b.tag_cols[p];
+                for w in w_lo..w_hi {
+                    let mut cl = b.clean[w];
+                    if w == w_lo {
+                        cl &= lo_mask;
+                    }
+                    if cl == 0 {
+                        continue;
+                    }
+                    // Every clean active tuple increments exactly one of
+                    // t/s at its position-x AS: split the word once.
+                    touched = true;
+                    let tg = tags[w];
+                    let mut m = cl & tg;
+                    while m != 0 {
+                        let k = (w << 6) + m.trailing_zeros() as usize;
+                        delta.entry(axids[k]).t += 1;
+                        m &= m - 1;
+                    }
+                    let mut m = cl & !tg;
+                    while m != 0 {
+                        let k = (w << 6) + m.trailing_zeros() as usize;
+                        delta.entry(axids[k]).s += 1;
+                        m &= m - 1;
+                    }
                 }
-                handles.push(s.spawn(move || {
-                    let mut delta = DenseCounterStore::zeroed(n_ids);
-                    let touched = self.count_into(
-                        preds,
-                        x,
-                        phase,
-                        enforce_cond2,
-                        part,
-                        cond1.pass(cpart),
-                        &mut delta,
-                    );
-                    (delta, touched)
-                }));
             }
-            for h in handles {
-                let (delta, touched) = h.join().expect("compiled counting worker panicked");
-                merged.merge(&delta);
-                any |= touched;
+            CountPhase::Forwarding => {
+                debug_assert!(blen > x);
+                for w in w_lo..w_hi {
+                    let mut cl = b.clean[w];
+                    if w == w_lo {
+                        cl &= lo_mask;
+                    }
+                    if cl == 0 {
+                        continue;
+                    }
+                    let lo = w * 64;
+                    let wn = (b.slots() - lo).min(64);
+                    // Layered word-parallel Cond2: walk the downstream
+                    // positions once per *word*, peeling off the tuples
+                    // whose nearest tagger sits at position `p` and
+                    // keeping the rest alive while position `p`
+                    // forwards. With Cond2 ablated every tuple takes the
+                    // adjacent AS (`p = x`) unconditionally.
+                    let mut undecided = cl;
+                    for p in x..blen {
+                        let local = &b.cols[p][lo..lo + wn];
+                        let found = if enforce_cond2 {
+                            undecided & gather_bits(&preds.tagger, local)
+                        } else {
+                            undecided
+                        };
+                        if found != 0 {
+                            touched = true;
+                            let tg = b.tag_cols[p][w];
+                            let mut m = found & tg;
+                            while m != 0 {
+                                let k = lo + m.trailing_zeros() as usize;
+                                delta.entry(axids[k]).f += 1;
+                                m &= m - 1;
+                            }
+                            let mut m = found & !tg;
+                            while m != 0 {
+                                let k = lo + m.trailing_zeros() as usize;
+                                delta.entry(axids[k]).c += 1;
+                                m &= m - 1;
+                            }
+                        }
+                        undecided &= !found;
+                        if undecided == 0 || p + 1 == blen {
+                            break;
+                        }
+                        // Intermediates must forward for deeper taggers.
+                        undecided &= gather_bits(&preds.forward, local);
+                        if undecided == 0 {
+                            break;
+                        }
+                    }
+                }
             }
-        });
-        (merged, any)
+        }
+        touched
     }
 
     /// Run the full column loop — the compiled `InferenceEngine::run`.
@@ -644,77 +1072,95 @@ impl CompiledTuples {
     /// The predicate bitsets are maintained incrementally: they start
     /// all-false (zero counters) and are refreshed per touched AS at
     /// every delta merge, so each phase reads exactly the snapshot the
-    /// reference path would compute at its start. Cond1 is recorded
-    /// during the Tagging pass and replayed during the Forwarding pass of
-    /// the same column — the intervening merge moves only `t`/`s`
-    /// counters, which `is_forward` never reads.
+    /// reference path would compute at its start. One `clean`
+    /// gather-and-AND per column serves both phases.
     pub fn run(&mut self, config: &InferenceConfig) -> InferenceOutcome {
-        self.ensure_sorted();
         let th = config.thresholds;
         let deepest = config.max_index.unwrap_or(self.max_len).min(self.max_len);
         let n_ids = self.interner.len();
-        let threads = config.threads.max(1);
+        self.prepare();
         let mut counters = DenseCounterStore::zeroed(n_ids);
         let mut preds = PhasePredicates::empty(n_ids);
-        let mut cond1_buf: Vec<bool> = Vec::new();
+        // Same small-work guard as the reference engine's parallel_count:
+        // below ~1k tuples, spawn+join costs more than the counting.
+        let n_workers = if config.threads <= 1 || self.len() < 1_024 {
+            1
+        } else {
+            config.threads
+        };
+        let mut deltas: Vec<DeltaStore> =
+            (0..n_workers).map(|_| DeltaStore::zeroed(n_ids)).collect();
         let mut deepest_active = 0;
         for x in 1..=deepest {
-            cond1_buf.resize(self.active_at(x).len(), false);
-            let mut any = false;
+            self.compute_clean(&preds, x, config.enforce_cond1, false);
+            let mut col_active = false;
             for phase in [CountPhase::Tagging, CountPhase::Forwarding] {
-                let cond1 = if !config.enforce_cond1 {
-                    Cond1Mode::Off
-                } else if phase == CountPhase::Tagging {
-                    Cond1Mode::Record
+                let mut any = false;
+                if n_workers == 1 {
+                    any = self.count_worker(
+                        &preds,
+                        x,
+                        phase,
+                        config.enforce_cond2,
+                        0,
+                        1,
+                        &mut deltas[0],
+                    );
                 } else {
-                    Cond1Mode::Replay
-                };
-                let (delta, touched) = self.count_fanout(
-                    &preds,
-                    x,
-                    phase,
-                    config.enforce_cond2,
-                    threads,
-                    cond1,
-                    &mut cond1_buf,
-                );
-                counters.merge_update(&delta, &mut preds, &th);
-                any |= touched;
+                    let this = &*self;
+                    let preds_ref = &preds;
+                    std::thread::scope(|s| {
+                        let handles: Vec<_> = deltas
+                            .iter_mut()
+                            .enumerate()
+                            .map(|(i, d)| {
+                                s.spawn(move || {
+                                    this.count_worker(
+                                        preds_ref,
+                                        x,
+                                        phase,
+                                        config.enforce_cond2,
+                                        i,
+                                        n_workers,
+                                        d,
+                                    )
+                                })
+                            })
+                            .collect();
+                        for h in handles {
+                            any |= h.join().expect("compiled counting worker panicked");
+                        }
+                    });
+                }
+                for d in &mut deltas {
+                    counters.merge_update(d, &mut preds, &th, phase);
+                    d.clear();
+                }
+                col_active |= any;
             }
-            if any {
+            if col_active {
                 deepest_active = x;
             }
         }
         InferenceOutcome {
-            counters: counters.to_counter_store(&self.interner),
+            counters: self.sparse_counters(&counters),
             thresholds: th,
             deepest_active_index: deepest_active,
         }
     }
 
-    /// One counting phase against an `Asn`-keyed shared snapshot,
-    /// returning a sparse `Asn`-keyed delta — the stream-shard entry
-    /// point, where the phase-global snapshot lives at the coordinator.
-    #[allow(clippy::too_many_arguments)]
-    pub fn count_phase_sparse(
-        &self,
-        snapshot: &CounterStore,
-        th: &Thresholds,
-        x: usize,
-        phase: CountPhase,
-        enforce_cond1: bool,
-        enforce_cond2: bool,
-    ) -> std::collections::HashMap<Asn, AsCounters> {
-        let dense_snapshot = DenseCounterStore::from_store(snapshot, &self.interner);
-        let preds = dense_snapshot.snapshot_predicates(th);
-        let (delta, _) = self.count_phase(&preds, x, phase, enforce_cond1, enforce_cond2, 1);
-        let mut out = std::collections::HashMap::new();
-        for (id, c) in delta.counts.iter().enumerate() {
+    /// Convert a dense counter column back to the map-based
+    /// [`CounterStore`], keeping exactly the ASes that received at least
+    /// one increment — the reference engine's key set.
+    pub fn sparse_counters(&self, dense: &DenseCounterStore) -> CounterStore {
+        let counted = dense.counts().iter().filter(|c| !c.is_zero()).count();
+        let mut store = CounterStore::with_capacity(counted);
+        for (id, c) in dense.counts().iter().enumerate() {
             if !c.is_zero() {
-                out.insert(self.interner.resolve(id as AsnId), *c);
+                *store.entry(self.interner.resolve(id as AsnId)) = *c;
             }
         }
-        out
+        store
     }
 }
 
@@ -736,21 +1182,34 @@ mod tests {
         )
     }
 
+    fn cfg1() -> InferenceConfig {
+        InferenceConfig {
+            threads: 1,
+            ..Default::default()
+        }
+    }
+
     #[test]
-    fn layout_is_length_sorted() {
+    fn buckets_group_by_exact_length() {
         let tuples = vec![
             tup(&[1, 2], &[1]),
             tup(&[3, 4, 5, 6], &[3]),
             tup(&[7, 8, 9], &[]),
+            tup(&[2, 1], &[]),
         ];
-        let store = CompiledTuples::from_tuples(&tuples);
-        assert_eq!(store.len(), 3);
+        let mut store = CompiledTuples::from_tuples(&tuples);
+        store.prepare();
+        assert_eq!(store.len(), 4);
         assert_eq!(store.max_path_len(), 4);
-        assert_eq!(store.arena_len(), 9);
-        assert_eq!(store.active_at(1).len(), 3);
-        assert_eq!(store.active_at(3).len(), 2);
-        assert_eq!(store.active_at(4).len(), 1);
-        assert_eq!(store.active_at(5).len(), 0);
+        assert_eq!(store.arena_len(), 11);
+        assert_eq!(store.buckets[2].slots(), 2);
+        assert_eq!(store.buckets[3].slots(), 1);
+        assert_eq!(store.buckets[4].slots(), 1);
+        // Transposed columns align with the row arena.
+        let b = &store.buckets[2];
+        assert_eq!(b.cols.len(), 2);
+        assert_eq!(b.cols[0].len(), 2);
+        assert_eq!(store.dirty_tuples(), 4);
     }
 
     #[test]
@@ -761,10 +1220,7 @@ mod tests {
             tup(&[7, 8, 9], &[8]),
             tup(&[1, 5, 9], &[5]),
         ];
-        let cfg = InferenceConfig {
-            threads: 1,
-            ..Default::default()
-        };
+        let cfg = cfg1();
         let mut incremental = CompiledTuples::new();
         for t in &tuples {
             incremental.push(t);
@@ -787,27 +1243,181 @@ mod tests {
         }
         let store = CompiledTuples::from_tuples(&tuples);
         assert!(store.arena_len() > 64);
-        let cfg = InferenceConfig {
-            threads: 1,
-            ..Default::default()
-        };
+        let cfg = cfg1();
         let compiled = CompiledTuples::from_tuples(&tuples).run(&cfg);
         let reference = InferenceEngine::new(cfg).run_reference(&tuples);
         assert_eq!(compiled.classes(), reference.classes());
     }
 
     #[test]
-    fn dense_store_roundtrip_keeps_touched_rows_only() {
-        let mut interner = AsnInterner::new();
-        let a = interner.intern(Asn(10));
-        let _b = interner.intern(Asn(20));
-        let mut dense = DenseCounterStore::zeroed(interner.len());
-        dense.get_mut(a).t = 3;
-        let store = dense.to_counter_store(&interner);
-        assert_eq!(store.len(), 1);
-        assert_eq!(store.get(Asn(10)).t, 3);
-        let back = DenseCounterStore::from_store(&store, &interner);
-        assert_eq!(back.get(a).t, 3);
-        assert!(back.get(_b).is_zero());
+    fn word_parallel_cond1_crosses_bucket_words() {
+        // >64 same-length tuples exercise multi-word clean/tag columns,
+        // with enough predicate churn that forward bits flip in both
+        // directions across columns.
+        let mut tuples = Vec::new();
+        for i in 0..200u32 {
+            let a = 10 + i % 23;
+            let b = 40 + i % 17;
+            let c = 70 + i % 11;
+            let mut uppers = Vec::new();
+            if i % 3 != 0 {
+                uppers.push(a);
+            }
+            if i % 4 != 0 {
+                uppers.push(b);
+            }
+            if i % 7 == 0 {
+                uppers.push(c);
+            }
+            tuples.push(tup(&[a, b, c, 9_000 + i], &uppers));
+        }
+        let cfg = cfg1();
+        let compiled = CompiledTuples::from_tuples(&tuples).run(&cfg);
+        let reference = InferenceEngine::new(cfg).run_reference(&tuples);
+        assert_eq!(compiled.classes(), reference.classes());
+        let mut got: Vec<(Asn, AsCounters)> = compiled.counters.iter().collect();
+        let mut want: Vec<(Asn, AsCounters)> = reference.counters.iter().collect();
+        got.sort_by_key(|&(a, _)| a);
+        want.sort_by_key(|&(a, _)| a);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rerunning_a_store_is_stable() {
+        // `run` mutates pass state (clean scratch, column
+        // materialization); a second run must be byte-identical.
+        let mut tuples = Vec::new();
+        for i in 0..80u32 {
+            tuples.push(tup(&[5 + i % 9, 30 + i % 5, 900 + i], &[5 + i % 9]));
+        }
+        let mut store = CompiledTuples::from_tuples(&tuples);
+        let cfg = cfg1();
+        let a = store.run(&cfg);
+        let b = store.run(&cfg);
+        assert_eq!(a.classes(), b.classes());
+        assert_eq!(a.deepest_active_index, b.deepest_active_index);
+    }
+
+    #[test]
+    fn delta_store_tracks_touched_ids() {
+        let mut d = DeltaStore::zeroed(8);
+        d.entry(3).t += 1;
+        d.entry(5).s += 2;
+        d.entry(3).f += 1;
+        assert_eq!(d.touched().collect::<Vec<_>>(), vec![3, 5]);
+        assert_eq!(
+            d.get(3),
+            AsCounters {
+                t: 1,
+                s: 0,
+                f: 1,
+                c: 0
+            }
+        );
+        d.clear();
+        assert!(d.is_empty());
+        assert!(d.get(3).is_zero());
+        assert!(d.get(5).is_zero());
+    }
+
+    #[test]
+    fn id_bitset_intersection_probe() {
+        let mut a = IdBitSet::with_capacity(200);
+        let mut b = IdBitSet::with_capacity(100);
+        a.set(150);
+        b.set(70);
+        assert!(!a.intersects(&b));
+        a.set(70);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        a.assign(70, false);
+        assert!(!a.intersects(&b));
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn shared_interner_store_matches_private_store() {
+        let tuples: Vec<PathCommTuple> = (0..120u32)
+            .map(|i| {
+                tup(
+                    &[3 + i % 11, 50 + i % 7, 2_000 + i],
+                    &[3 + i % 11, 50 + i % 7],
+                )
+            })
+            .collect();
+        let shared = Arc::new(SharedInterner::new());
+        let mut a = CompiledTuples::with_shared(Arc::clone(&shared));
+        for t in &tuples {
+            a.push(t);
+        }
+        let cfg = cfg1();
+        let got = a.run(&cfg);
+        let want = InferenceEngine::new(cfg).run_reference(&tuples);
+        assert_eq!(got.classes(), want.classes());
+        assert_eq!(shared.len(), a.interned_asns());
+    }
+
+    #[test]
+    fn dirty_suffix_counts_only_new_tuples() {
+        // Count a store fully, commit, push more tuples; the dirty-only
+        // pass over column 1 must produce exactly the new tuples' tagging
+        // delta.
+        let mut store = CompiledTuples::new();
+        for i in 0..70u32 {
+            store.push(&tup(&[1, 100 + i], &[1]));
+        }
+        store.commit_clean();
+        assert_eq!(store.dirty_tuples(), 0);
+        for i in 0..5u32 {
+            store.push(&tup(&[2, 200 + i], &[]));
+        }
+        assert_eq!(store.dirty_tuples(), 5);
+        store.prepare();
+        let n = store.interned_asns();
+        let preds = PhasePredicates::empty(n);
+        store.compute_clean(&preds, 1, true, false);
+        let mut delta = DeltaStore::zeroed(n);
+        let any = store.count_phase_dense(&preds, 1, CountPhase::Tagging, true, true, &mut delta);
+        assert!(any);
+        // Only AS 2 (peer of the dirty tuples) is touched, with s = 5.
+        let entries: Vec<(AsnId, AsCounters)> = delta.iter().collect();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(
+            entries[0].1,
+            AsCounters {
+                t: 0,
+                s: 5,
+                f: 0,
+                c: 0
+            }
+        );
+        // The full pass covers old + new.
+        delta.clear();
+        store.count_phase_dense(&preds, 1, CountPhase::Tagging, true, false, &mut delta);
+        let total: u64 = delta.iter().map(|(_, c)| c.t + c.s).sum();
+        assert_eq!(total, 75);
+    }
+
+    #[test]
+    fn dense_outcome_lookup_and_materialize() {
+        let shared = Arc::new(SharedInterner::new());
+        let a = shared.intern(Asn(30));
+        let b = shared.intern(Asn(10));
+        let mut counters = vec![AsCounters::default(); 2];
+        counters[a as usize].t = 3;
+        let by_asn = vec![(Asn(10), b), (Asn(30), a)];
+        let dense = DenseOutcome {
+            interner: shared,
+            counters: Arc::new(counters),
+            by_asn: Arc::new(by_asn),
+            thresholds: Thresholds::default(),
+            deepest_active_index: 1,
+        };
+        assert_eq!(dense.lookup(Asn(30)).unwrap().t, 3);
+        assert_eq!(dense.lookup(Asn(10)), None, "zero rows are not counted");
+        assert_eq!(dense.lookup(Asn(99)), None);
+        let outcome = dense.to_outcome();
+        assert_eq!(outcome.counters.len(), 1);
+        assert_eq!(outcome.counters.get(Asn(30)).t, 3);
     }
 }

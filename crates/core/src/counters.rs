@@ -128,15 +128,30 @@ pub fn merge_delta_map(into: &mut HashMap<Asn, AsCounters>, delta: HashMap<Asn, 
 }
 
 /// Counter storage for all ASes, plus threshold-based queries.
+///
+/// Keyed by the multiply-xorshift [`AsnHasher`] (per-process seeded via
+/// [`AsnBuildHasher`] — AS_PATH contents are remote-influenced, so the
+/// seed blocks offline collision crafting) rather than SipHash: the map
+/// is on the dense-to-sparse conversion path of every outcome
+/// materialization.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CounterStore {
-    counters: HashMap<Asn, AsCounters>,
+    counters: HashMap<Asn, AsCounters, AsnBuildHasher>,
 }
 
 impl CounterStore {
     /// Empty store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty store pre-sized for `n` ASes (dense-to-sparse conversions
+    /// know the counted-AS cardinality up front; pre-sizing skips the
+    /// incremental rehash growth).
+    pub fn with_capacity(n: usize) -> Self {
+        CounterStore {
+            counters: HashMap::with_capacity_and_hasher(n, Default::default()),
+        }
     }
 
     /// Counters of one AS (zeros if never touched).

@@ -87,7 +87,9 @@ pub mod prelude {
         attribute, AttributedCommunity, AttributionConfig, AttributionMap, UsageKind,
     };
     pub use crate::classify::{Class, ForwardingClass, TaggingClass};
-    pub use crate::compiled::{CompiledTuples, DenseCounterStore, PhasePredicates};
+    pub use crate::compiled::{
+        CompiledTuples, DeltaStore, DenseCounterStore, DenseOutcome, IdBitSet, PhasePredicates,
+    };
     pub use crate::counters::{merge_delta_map, AsCounters, CounterStore, Thresholds};
     pub use crate::db::{export, import, records, DbRecord};
     pub use crate::engine::{InferenceConfig, InferenceEngine, InferenceOutcome};

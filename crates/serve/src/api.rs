@@ -291,9 +291,9 @@ fn flips_endpoint(snap: &ServeSnapshot, request: &Request) -> Response {
     let mut w = begin_envelope(snap);
     w.field_u64("since_epoch", since);
     w.field_bool("complete", complete);
-    w.field_u64("count", flips.len() as u64);
+    w.field_u64("count", snap.flip_log.count_since(since) as u64);
     w.begin_arr_field("flips");
-    for &(epoch, flip) in flips {
+    for (epoch, flip) in flips {
         w.begin_obj();
         w.field_u64("epoch", epoch);
         w.field_u64("asn", flip.asn.0 as u64);
@@ -412,7 +412,7 @@ fn stats_endpoint(snap: &ServeSnapshot, requests_total: u64) -> Response {
     w.field_u64("unique_tuples", snap.ingest.unique_tuples as u64);
     w.field_u64("duplicates", snap.ingest.duplicates);
     w.field_u64("classified", snap.records.len() as u64);
-    w.field_u64("flips_logged", snap.flips.len() as u64);
+    w.field_u64("flips_logged", snap.flip_log.len() as u64);
     w.field_u64("interned_asns", snap.ingest.interned_asns as u64);
     w.field_u64("arena_hops", snap.ingest.arena_hops as u64);
     w.begin_arr_field("shard_loads");

@@ -165,7 +165,7 @@ fn report_epoch(snap: &EpochSnapshot, print_flips: bool) {
         snap.flips.len(),
     );
     if print_flips {
-        for f in &snap.flips {
+        for f in snap.flips.iter() {
             eprintln!("  flip {f}");
         }
     }

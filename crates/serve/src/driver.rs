@@ -122,7 +122,7 @@ fn ingest_main(
     stop: &AtomicBool,
 ) -> Result<IngestReport, String> {
     let mut pipeline = StreamPipeline::new(cfg.stream.clone());
-    let mut publisher = Publisher::new(slot, cfg.flip_log_cap);
+    let mut publisher = Publisher::new(slot, cfg.flip_log_cap).with_metrics(Arc::clone(&metrics));
     let batch = cfg.batch.max(1);
 
     match feed {

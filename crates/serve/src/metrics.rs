@@ -78,6 +78,11 @@ pub struct Metrics {
     responses_5xx: AtomicU64,
     epochs_published: AtomicU64,
     events_ingested: AtomicU64,
+    seals_observed: AtomicU64,
+    seal_nanos_last: AtomicU64,
+    seal_nanos_total: AtomicU64,
+    count_nanos_last: AtomicU64,
+    count_nanos_total: AtomicU64,
 }
 
 impl Metrics {
@@ -105,6 +110,19 @@ impl Metrics {
     /// Count ingested events (driver batches).
     pub fn events_ingested(&self, n: u64) {
         self.events_ingested.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one epoch seal's wall-clock durations: the whole seal and
+    /// the counting (recount) portion — the observables that make
+    /// incremental-recount wins visible in production. Nanosecond inputs.
+    pub fn observe_seal(&self, seal_nanos: u64, count_nanos: u64) {
+        self.seals_observed.fetch_add(1, Ordering::Relaxed);
+        self.seal_nanos_last.store(seal_nanos, Ordering::Relaxed);
+        self.seal_nanos_total
+            .fetch_add(seal_nanos, Ordering::Relaxed);
+        self.count_nanos_last.store(count_nanos, Ordering::Relaxed);
+        self.count_nanos_total
+            .fetch_add(count_nanos, Ordering::Relaxed);
     }
 
     /// Total requests across all endpoints.
@@ -161,10 +179,47 @@ impl Metrics {
                 "Stream events pushed by the ingest driver.",
                 self.events_ingested.load(Ordering::Relaxed),
             ),
+            (
+                "bgp_serve_seals_observed_total",
+                "Epoch seals whose durations were recorded.",
+                self.seals_observed.load(Ordering::Relaxed),
+            ),
         ] {
             let _ = writeln!(
                 out,
                 "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}"
+            );
+        }
+        let nanos = 1e-9f64;
+        for (name, kind, help, value) in [
+            (
+                "bgp_serve_seal_duration_seconds_total",
+                "counter",
+                "Cumulative wall-clock time spent sealing epochs.",
+                self.seal_nanos_total.load(Ordering::Relaxed) as f64 * nanos,
+            ),
+            (
+                "bgp_serve_count_duration_seconds_total",
+                "counter",
+                "Cumulative wall-clock time spent in epoch recounts.",
+                self.count_nanos_total.load(Ordering::Relaxed) as f64 * nanos,
+            ),
+            (
+                "bgp_serve_seal_duration_seconds",
+                "gauge",
+                "Wall-clock duration of the most recent epoch seal.",
+                self.seal_nanos_last.load(Ordering::Relaxed) as f64 * nanos,
+            ),
+            (
+                "bgp_serve_count_duration_seconds",
+                "gauge",
+                "Wall-clock duration of the most recent epoch recount.",
+                self.count_nanos_last.load(Ordering::Relaxed) as f64 * nanos,
+            ),
+        ] {
+            let _ = writeln!(
+                out,
+                "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value:.9}"
             );
         }
         for (name, help, value) in [
@@ -211,6 +266,7 @@ mod tests {
         m.observe(Endpoint::Health, 200);
         m.epoch_published();
         m.events_ingested(42);
+        m.observe_seal(2_000_000, 1_500_000);
         assert_eq!(m.total_requests(), 3);
         assert_eq!(m.requests_for(Endpoint::Class), 2);
 
@@ -221,6 +277,9 @@ mod tests {
         assert!(text.contains("bgp_serve_http_responses_total{class=\"4xx\"} 1"));
         assert!(text.contains("bgp_serve_events_ingested_total 42"));
         assert!(text.contains("bgp_serve_snapshot_version 0"));
+        assert!(text.contains("bgp_serve_seals_observed_total 1"));
+        assert!(text.contains("bgp_serve_seal_duration_seconds 0.002000000"));
+        assert!(text.contains("bgp_serve_count_duration_seconds 0.001500000"));
         // Every line is either a comment or `name{labels} value`.
         for line in text.lines() {
             assert!(

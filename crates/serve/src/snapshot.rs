@@ -13,6 +13,13 @@
 //! last `Arc` it saw and revalidates with one atomic load — the hot query
 //! path takes no lock at all between epoch seals, which at production
 //! epoch policies (thousands of events per seal) is effectively always.
+//!
+//! Publishing is cheap by construction: the record table is sliced out
+//! of the epoch's dense counter columns through the Asn-sorted id
+//! permutation (no sparse-map rebuild, no sort), and the cumulative flip
+//! log is a [`FlipLog`] of per-epoch `Arc`'d chunks shared by every
+//! snapshot that retains them — per publish the log costs one chunk
+//! pointer per retained epoch, not a deep copy of every entry.
 
 use crate::json::JsonWriter;
 use bgp_infer::classify::Class;
@@ -22,6 +29,98 @@ use bgp_stream::epoch::{ClassFlip, EpochSnapshot};
 use bgp_stream::pipeline::StreamPipeline;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// One sealed epoch's contribution to the flip log: the epoch id plus
+/// the epoch's flip list, shared (`Arc`) with the pipeline snapshot that
+/// produced it — appending an epoch to the log copies no entries.
+#[derive(Debug, Clone)]
+pub struct FlipChunk {
+    /// The epoch the flips belong to.
+    pub epoch: u64,
+    /// The epoch's flips, ascending by ASN.
+    pub flips: Arc<Vec<ClassFlip>>,
+}
+
+/// The cumulative class-flip log as a sequence of per-epoch `Arc`'d
+/// chunks, ascending by epoch. Cloning the log (one per published
+/// snapshot) copies chunk pointers, not entries, so sealing cost no
+/// longer scales with the retained log size; capping trims whole chunks
+/// from the front, which keeps every retained epoch complete — the
+/// invariant `flips_since` needs to report completeness honestly.
+#[derive(Debug, Clone, Default)]
+pub struct FlipLog {
+    chunks: Vec<FlipChunk>,
+    /// Epoch id of the oldest epoch whose flips are fully retained
+    /// (earlier epochs were trimmed by the cap).
+    start_epoch: u64,
+    /// Total retained entries across chunks.
+    len: usize,
+}
+
+impl FlipLog {
+    /// Retained flip entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no flips are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Epoch id of the oldest fully retained epoch.
+    pub fn start_epoch(&self) -> u64 {
+        self.start_epoch
+    }
+
+    /// Append one sealed epoch's flips (no-op when the epoch flipped
+    /// nothing) and trim whole chunks from the front while more than
+    /// `cap` entries are retained.
+    fn push_epoch(&mut self, epoch: u64, flips: &Arc<Vec<ClassFlip>>, cap: usize) {
+        if !flips.is_empty() {
+            self.len += flips.len();
+            self.chunks.push(FlipChunk {
+                epoch,
+                flips: Arc::clone(flips),
+            });
+        }
+        let mut dropped = 0;
+        while self.len > cap && dropped < self.chunks.len() {
+            self.len -= self.chunks[dropped].flips.len();
+            dropped += 1;
+        }
+        if dropped > 0 {
+            self.chunks.drain(..dropped);
+            self.start_epoch = self.chunks.first().map_or(epoch + 1, |c| c.epoch);
+        }
+    }
+
+    /// Flips from epochs `>= since_epoch`, in epoch order, plus whether
+    /// the answer is complete (`false` when the requested range starts
+    /// before the retained log).
+    pub fn flips_since(&self, since_epoch: u64) -> (impl Iterator<Item = (u64, &ClassFlip)>, bool) {
+        let start = self.chunks.partition_point(|c| c.epoch < since_epoch);
+        let iter = self.chunks[start..]
+            .iter()
+            .flat_map(|c| c.flips.iter().map(move |f| (c.epoch, f)));
+        (iter, since_epoch >= self.start_epoch)
+    }
+
+    /// Number of retained flips from epochs `>= since_epoch` — computed
+    /// from the per-chunk lengths, no entry iteration or allocation (the
+    /// `/v1/flips` envelope writes the count before the entries).
+    pub fn count_since(&self, since_epoch: u64) -> usize {
+        let start = self.chunks.partition_point(|c| c.epoch < since_epoch);
+        self.chunks[start..].iter().map(|c| c.flips.len()).sum()
+    }
+
+    /// Iterate every retained `(epoch, flip)` pair in epoch order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &ClassFlip)> {
+        self.chunks
+            .iter()
+            .flat_map(|c| c.flips.iter().map(move |f| (c.epoch, f)))
+    }
+}
 
 /// Ingest-side counters frozen into a snapshot at publish time.
 #[derive(Debug, Clone, Default)]
@@ -34,7 +133,8 @@ pub struct IngestStats {
     pub duplicates: u64,
     /// Stored-tuple count per shard.
     pub shard_loads: Vec<usize>,
-    /// Distinct ASNs interned across shard compiled stores.
+    /// Distinct ASNs in the workspace-shared interner (one id space for
+    /// all shards).
     pub interned_asns: usize,
     /// Total path positions in the shard id arenas.
     pub arena_hops: usize,
@@ -50,16 +150,14 @@ pub struct ServeSnapshot {
     /// The sealed stream epoch behind this view; `None` before the first
     /// seal (the "version 0" boot snapshot serves empty answers).
     pub epoch: Option<Arc<EpochSnapshot>>,
-    /// Per-AS records, sorted by ASN (the `db::records` table).
+    /// Per-AS records, sorted by ASN (the `db::records` table), sliced
+    /// from the epoch's dense counter columns at publish time.
     pub records: Vec<DbRecord>,
     /// Thresholds the records were classified under.
     pub thresholds: Thresholds,
-    /// Cumulative `(epoch, flip)` log, ascending by epoch, possibly
-    /// truncated at the front to [`ServeSnapshot::flip_log_start`].
-    pub flips: Vec<(u64, ClassFlip)>,
-    /// Epoch id of the oldest retained flip entry (entries from earlier
-    /// epochs were trimmed by the publisher's log cap).
-    pub flip_log_start: u64,
+    /// Cumulative flip log: `Arc`'d per-epoch chunks shared across
+    /// snapshots.
+    pub flip_log: FlipLog,
     /// Ingest statistics at publish time.
     pub ingest: IngestStats,
 }
@@ -71,8 +169,7 @@ impl ServeSnapshot {
             epoch: None,
             records: Vec::new(),
             thresholds,
-            flips: Vec::new(),
-            flip_log_start: 0,
+            flip_log: FlipLog::default(),
             ingest: IngestStats::default(),
         }
     }
@@ -103,10 +200,9 @@ impl ServeSnapshot {
 
     /// Flips from epochs `>= since_epoch`, in epoch order. The boolean is
     /// `false` when the requested range starts before the retained log
-    /// (the answer is then truncated at [`ServeSnapshot::flip_log_start`]).
-    pub fn flips_since(&self, since_epoch: u64) -> (&[(u64, ClassFlip)], bool) {
-        let start = self.flips.partition_point(|&(e, _)| e < since_epoch);
-        (&self.flips[start..], since_epoch >= self.flip_log_start)
+    /// (the answer is then truncated at [`FlipLog::start_epoch`]).
+    pub fn flips_since(&self, since_epoch: u64) -> (impl Iterator<Item = (u64, &ClassFlip)>, bool) {
+        self.flip_log.flips_since(since_epoch)
     }
 
     /// Re-classify every record under different thresholds without
@@ -234,11 +330,13 @@ pub struct Publisher {
     slot: Arc<SnapshotSlot>,
     /// Pipeline snapshots already published.
     published: usize,
-    /// Cumulative flip log carried across publications.
-    flips: Vec<(u64, ClassFlip)>,
-    flip_log_start: u64,
-    /// Retain at most this many flip entries (oldest trimmed first).
+    /// Cumulative flip log carried across publications (chunk-shared).
+    log: FlipLog,
+    /// Retain at most this many flip entries (oldest epochs trimmed
+    /// first, whole).
     flip_log_cap: usize,
+    /// Seal/counting duration sink (the daemon's Prometheus counters).
+    metrics: Option<Arc<crate::metrics::Metrics>>,
 }
 
 impl Publisher {
@@ -247,10 +345,17 @@ impl Publisher {
         Publisher {
             slot,
             published: 0,
-            flips: Vec::new(),
-            flip_log_start: 0,
+            log: FlipLog::default(),
             flip_log_cap,
+            metrics: None,
         }
+    }
+
+    /// Report each published epoch's seal/counting durations to
+    /// `metrics`.
+    pub fn with_metrics(mut self, metrics: Arc<crate::metrics::Metrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The slot this publisher feeds.
@@ -272,45 +377,52 @@ impl Publisher {
     }
 
     fn publish_epoch(&mut self, pipeline: &StreamPipeline, sealed: Arc<EpochSnapshot>) {
-        for flip in &sealed.flips {
-            self.flips.push((sealed.epoch, *flip));
+        self.log
+            .push_epoch(sealed.epoch, &sealed.flips, self.flip_log_cap);
+        if let Some(metrics) = &self.metrics {
+            metrics.observe_seal(sealed.seal_nanos, sealed.count_nanos);
         }
-        if self.flips.len() > self.flip_log_cap {
-            let mut drop = self.flips.len() - self.flip_log_cap;
-            // Extend the trim to the epoch boundary: a partially
-            // retained epoch would make `flips_since(flip_log_start)`
-            // claim completeness while missing that epoch's earlier
-            // flips.
-            while drop < self.flips.len() && self.flips[drop].0 == self.flips[drop - 1].0 {
-                drop += 1;
-            }
-            self.flips.drain(..drop);
-            self.flip_log_start = self.flips.first().map_or(sealed.epoch + 1, |&(e, _)| e);
-        }
-        let records = sealed
-            .outcome
-            .as_ref()
-            .map(bgp_infer::db::records)
-            .unwrap_or_else(|| {
-                // Compacted epochs keep classes but not counters; serve
-                // them with zeroed counters rather than failing. The
-                // driver always publishes an epoch before it can be
-                // compacted, so this is a fallback, not the normal path.
-                sealed
-                    .classes
-                    .iter()
-                    .map(|&(asn, class)| DbRecord {
+        let records = match &sealed.dense {
+            // The normal path: slice the record table straight out of the
+            // dense counter columns through the Asn-sorted permutation —
+            // no sparse-map rebuild, no sort, and the classes were
+            // already computed at seal time in the same order.
+            Some(dense) => {
+                let mut records = Vec::with_capacity(sealed.classes.len());
+                let mut next_class = sealed.classes.iter();
+                for &(asn, id) in dense.by_asn.iter() {
+                    let counters = dense.counters[id as usize];
+                    if counters.is_zero() {
+                        continue;
+                    }
+                    let &(casn, class) = next_class.next().expect("classes cover counted ids");
+                    debug_assert_eq!(casn, asn);
+                    records.push(DbRecord {
                         asn,
                         class,
-                        counters: Default::default(),
-                    })
-                    .collect()
-            });
+                        counters,
+                    });
+                }
+                records
+            }
+            // Compacted epochs keep classes but not counters; serve
+            // them with zeroed counters rather than failing. The
+            // driver always publishes an epoch before it can be
+            // compacted, so this is a fallback, not the normal path.
+            None => sealed
+                .classes
+                .iter()
+                .map(|&(asn, class)| DbRecord {
+                    asn,
+                    class,
+                    counters: Default::default(),
+                })
+                .collect(),
+        };
         let snapshot = ServeSnapshot {
             records,
             thresholds: pipeline.config().thresholds,
-            flips: self.flips.clone(),
-            flip_log_start: self.flip_log_start,
+            flip_log: self.log.clone(),
             ingest: IngestStats {
                 total_events: sealed.total_events,
                 unique_tuples: sealed.unique_tuples,
@@ -373,7 +485,7 @@ mod tests {
         assert_eq!(snap.epoch_id(), Some(1));
         assert_eq!(snap.class_of(Asn(1)).tagging.code(), 't');
         // Records match the db::records oracle on the same outcome.
-        let oracle = bgp_infer::db::records(snap.epoch.as_ref().unwrap().outcome.as_ref().unwrap());
+        let oracle = bgp_infer::db::records(snap.epoch.as_ref().unwrap().outcome().unwrap());
         assert_eq!(snap.records, oracle);
         // Nothing new -> no publish.
         assert_eq!(publisher.sync(&pipe), 0);
@@ -406,13 +518,13 @@ mod tests {
         pipe.push(StreamEvent::new(2, tag_tuple(&[2, 9], &[2])));
         publisher.sync(&pipe);
         let snap = slot.load();
-        assert!(snap.flips.len() <= 2, "cap respected: {:?}", snap.flips);
+        assert!(snap.flip_log.len() <= 2, "cap respected");
         let (all, complete) = snap.flips_since(0);
-        assert_eq!(all.len(), snap.flips.len());
+        assert_eq!(all.count(), snap.flip_log.len());
         assert!(!complete, "front of the log was trimmed");
-        let (recent, complete) = snap.flips_since(snap.flip_log_start);
+        let (recent, complete) = snap.flips_since(snap.flip_log.start_epoch());
         assert!(complete);
-        assert_eq!(recent.len(), snap.flips.len());
+        assert_eq!(recent.count(), snap.flip_log.len());
     }
 
     #[test]
@@ -435,22 +547,22 @@ mod tests {
         publisher.sync(&pipe);
         let snap = slot.load();
         let (_, complete) = snap.flips_since(0);
-        if snap.flips.is_empty() {
+        if snap.flip_log.is_empty() {
             // The whole epoch was trimmed: since_epoch=0 must NOT claim
             // completeness, the next epoch is the first complete one.
             assert!(!complete);
-            assert_eq!(snap.flip_log_start, 1);
+            assert_eq!(snap.flip_log.start_epoch(), 1);
         } else {
             // Nothing trimmed mid-epoch: every retained epoch is whole.
-            let first_epoch = snap.flips.first().unwrap().0;
+            let first_epoch = snap.flip_log.iter().next().unwrap().0;
             assert!(
-                snap.flips
+                snap.flip_log
                     .iter()
-                    .filter(|&&(e, _)| e == first_epoch)
+                    .filter(|&(e, _)| e == first_epoch)
                     .count()
                     >= 1
             );
-            assert_eq!(snap.flip_log_start, first_epoch);
+            assert_eq!(snap.flip_log.start_epoch(), first_epoch);
         }
     }
 
@@ -479,11 +591,11 @@ mod tests {
         pipe.push(StreamEvent::new(1, tag_tuple(&[2, 9], &[2])));
         publisher.sync(&pipe);
         assert!(
-            pipe.snapshots()[0].outcome.is_none(),
+            pipe.snapshots()[0].outcome().is_none(),
             "pipeline history compacted"
         );
         // ...but the published epoch-0 snapshot keeps its full state.
-        assert!(first.epoch.as_ref().unwrap().outcome.is_some());
+        assert!(first.epoch.as_ref().unwrap().outcome().is_some());
         assert!(first.records.iter().any(|r| !r.counters.is_zero()));
         // And the live snapshot moved on with real counters too.
         let second = slot.load();
@@ -507,8 +619,7 @@ mod tests {
             .epoch
             .as_ref()
             .unwrap()
-            .outcome
-            .as_ref()
+            .outcome()
             .unwrap()
             .reclassify(relaxed);
         let oracle_classes: Vec<Class> = oracle.into_iter().map(|(_, c)| c).collect();

@@ -300,7 +300,7 @@ fn every_endpoint_matches_the_records_oracle() {
     let mut flips_json = String::new();
     let mut flip_count = 0usize;
     for snap in &oracle.outcome.snapshots {
-        for f in &snap.flips {
+        for f in snap.flips.iter() {
             if flip_count > 0 {
                 flips_json.push(',');
             }

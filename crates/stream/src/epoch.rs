@@ -7,11 +7,22 @@
 //! snapshot. Downstream consumers (alerting on a neighbor that stopped
 //! forwarding, dashboards, the `bgp-stream-infer` binary) watch the flip
 //! stream instead of diffing full databases.
+//!
+//! A snapshot's primary state is **dense**: a [`DenseOutcome`] holding the
+//! `Arc`'d counter column over the shared interner's id space plus the
+//! Asn-sorted id permutation. Classes and flips are `Arc`'d too, so an
+//! epoch that sealed without new evidence shares every component of its
+//! predecessor at pointer-copy cost, and the serving layer slices record
+//! tables straight from the columns. The sparse map-backed
+//! [`InferenceOutcome`] the batch engine returns is materialized lazily
+//! (once, on first use) for exports and historical queries.
 
 use bgp_infer::classify::Class;
+use bgp_infer::compiled::DenseOutcome;
 use bgp_infer::engine::InferenceOutcome;
 use bgp_types::prelude::*;
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 /// When the pipeline seals the running epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,7 +100,7 @@ impl std::fmt::Display for ClassFlip {
 }
 
 /// The published state of one sealed epoch.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct EpochSnapshot {
     /// 0-based epoch sequence number.
     pub epoch: u64,
@@ -104,20 +115,97 @@ pub struct EpochSnapshot {
     pub total_events: u64,
     /// Unique tuples stored across all shards at seal time.
     pub unique_tuples: usize,
-    /// The full inference state — same shape the batch engine returns, so
-    /// every downstream consumer (`db::export`, metrics, attribution)
-    /// works on a live snapshot unchanged. `None` once the snapshot has
-    /// been compacted (see `StreamConfig::compact_history`): a long-lived
-    /// stream keeps every epoch's classes and flips, but only the latest
-    /// epoch's counter store.
-    pub outcome: Option<InferenceOutcome>,
-    /// Classification of every counted AS, sorted by ASN.
-    pub classes: Vec<(Asn, Class)>,
-    /// ASes whose class changed since the previous snapshot, sorted by ASN.
-    pub flips: Vec<ClassFlip>,
+    /// The dense inference state — counter column over the shared id
+    /// space, Asn-sorted permutation, thresholds. `None` once the
+    /// snapshot has been compacted (see `StreamConfig::compact_history`):
+    /// a long-lived stream keeps every epoch's classes and flips, but
+    /// only the latest epoch's counters.
+    pub dense: Option<DenseOutcome>,
+    /// Lazily materialized sparse view of `dense` (the batch engine's
+    /// shape, kept for exports and historical-epoch tooling).
+    outcome_cell: OnceLock<InferenceOutcome>,
+    /// Classification of every counted AS, sorted by ASN. Shared with the
+    /// previous snapshot when nothing changed.
+    pub classes: Arc<Vec<(Asn, Class)>>,
+    /// ASes whose class changed since the previous snapshot, sorted by
+    /// ASN. `Arc`'d so the serving layer's flip log can retain epochs as
+    /// zero-copy chunks.
+    pub flips: Arc<Vec<ClassFlip>>,
+    /// Wall-clock nanoseconds the seal took (recount + snapshot build).
+    pub seal_nanos: u64,
+    /// Wall-clock nanoseconds of the counting (recount) portion alone;
+    /// 0 when the seal reused the previous epoch wholesale.
+    pub count_nanos: u64,
+}
+
+impl Clone for EpochSnapshot {
+    fn clone(&self) -> Self {
+        let outcome_cell = OnceLock::new();
+        if let Some(v) = self.outcome_cell.get() {
+            let _ = outcome_cell.set(v.clone());
+        }
+        EpochSnapshot {
+            epoch: self.epoch,
+            version: self.version,
+            sealed_at: self.sealed_at,
+            events: self.events,
+            total_events: self.total_events,
+            unique_tuples: self.unique_tuples,
+            dense: self.dense.clone(),
+            outcome_cell,
+            classes: Arc::clone(&self.classes),
+            flips: Arc::clone(&self.flips),
+            seal_nanos: self.seal_nanos,
+            count_nanos: self.count_nanos,
+        }
+    }
 }
 
 impl EpochSnapshot {
+    /// Assemble a snapshot (pipeline-internal; the lazy sparse cell
+    /// starts empty).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        epoch: u64,
+        sealed_at: u64,
+        events: u64,
+        total_events: u64,
+        unique_tuples: usize,
+        dense: DenseOutcome,
+        classes: Arc<Vec<(Asn, Class)>>,
+        flips: Arc<Vec<ClassFlip>>,
+    ) -> Self {
+        EpochSnapshot {
+            epoch,
+            version: epoch + 1,
+            sealed_at,
+            events,
+            total_events,
+            unique_tuples,
+            dense: Some(dense),
+            outcome_cell: OnceLock::new(),
+            classes,
+            flips,
+            seal_nanos: 0,
+            count_nanos: 0,
+        }
+    }
+
+    /// The sparse map-backed [`InferenceOutcome`] of this epoch —
+    /// materialized from the dense state on first use, then cached.
+    /// `None` once the snapshot has been compacted.
+    pub fn outcome(&self) -> Option<&InferenceOutcome> {
+        let dense = self.dense.as_ref()?;
+        Some(self.outcome_cell.get_or_init(|| dense.to_outcome()))
+    }
+
+    /// Drop the counter state (history compaction), keeping classes and
+    /// flips.
+    pub(crate) fn compact(&mut self) {
+        self.dense = None;
+        self.outcome_cell = OnceLock::new();
+    }
+
     /// Classification of one AS in this snapshot ([`Class::NONE`] for an
     /// AS the epoch never counted). Served from the sorted class table,
     /// so it works on compacted snapshots too.
@@ -131,6 +219,8 @@ impl EpochSnapshot {
 
 /// Diff two classification maps into a sorted flip list. `prev` may be
 /// empty (first epoch): every decided AS then flips from [`Class::NONE`].
+/// (The pipeline itself diffs densely by interned id; this is the
+/// reference shape, kept for tools and tests.)
 pub fn diff_classes(prev: &HashMap<Asn, Class>, now: &[(Asn, Class)]) -> Vec<ClassFlip> {
     let mut flips = Vec::new();
     for &(asn, to) in now {

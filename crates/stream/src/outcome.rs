@@ -72,7 +72,7 @@ impl StreamOutcome {
     pub fn export_epoch_db(&self, epoch: usize) -> Option<String> {
         self.snapshots
             .get(epoch)
-            .and_then(|s| s.outcome.as_ref())
+            .and_then(|s| s.outcome())
             .map(bgp_infer::db::export)
     }
 }

@@ -1,15 +1,15 @@
 //! The coordinator: ingest → shard → epoch, in one push-driven object.
 
-use crate::epoch::{diff_classes, EpochPolicy, EpochSnapshot};
+use crate::epoch::{ClassFlip, EpochPolicy, EpochSnapshot};
 use crate::ingest::{IngestError, StreamEvent, TupleSource};
 use crate::outcome::StreamOutcome;
 use crate::shard::ShardSet;
 use bgp_infer::classify::Class;
+use bgp_infer::compiled::DenseOutcome;
 use bgp_infer::counters::Thresholds;
-use bgp_infer::engine::InferenceOutcome;
 use bgp_types::prelude::*;
-use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Configuration of a streaming inference run.
 #[derive(Debug, Clone)]
@@ -29,13 +29,19 @@ pub struct StreamConfig {
     /// Deduplicate identical tuples (the paper's `TupleSet` semantics).
     /// Disable to mirror a batch run over a raw (non-deduplicated) slice.
     pub dedup: bool,
-    /// Keep only the latest snapshot's full counter store, dropping the
-    /// `outcome` of older epochs as new ones seal. Classes and flips are
-    /// kept for every epoch either way; what compaction costs is
+    /// Keep only the latest snapshot's full counter state, dropping the
+    /// dense outcome of older epochs as new ones seal. Classes and flips
+    /// are kept for every epoch either way; what compaction costs is
     /// [`StreamOutcome::export_epoch_db`]/`reclassify` on *historical*
     /// epochs. On a long-lived stream the history would otherwise grow by
-    /// a full per-AS counter table every epoch, without bound.
+    /// a full per-AS counter column every epoch, without bound.
     pub compact_history: bool,
+    /// Reuse the previous seal's per-(shard, column, phase) deltas when
+    /// recounting an epoch, so seal cost scales with the tuples added
+    /// since the last seal instead of the whole store (byte-identical to
+    /// a full recount; see `crate::shard`). Disable to force full
+    /// recounts.
+    pub incremental_seal: bool,
 }
 
 impl Default for StreamConfig {
@@ -49,6 +55,7 @@ impl Default for StreamConfig {
             enforce_cond2: true,
             dedup: true,
             compact_history: false,
+            incremental_seal: true,
         }
     }
 }
@@ -65,7 +72,13 @@ pub struct StreamPipeline {
     cfg: StreamConfig,
     shards: ShardSet,
     snapshots: Vec<Arc<EpochSnapshot>>,
-    prev_classes: HashMap<Asn, Class>,
+    /// Classification as of the previous seal, indexed by interned id —
+    /// the dense diff source for flip computation.
+    prev_classes: Vec<Class>,
+    /// `(asn, id)` pairs sorted by ASN, covering ids `< perm_len`;
+    /// extended by merge whenever the shared interner grew.
+    by_asn: Arc<Vec<(Asn, AsnId)>>,
+    perm_len: usize,
     events_in_epoch: u64,
     total_events: u64,
     epoch_start_ts: Option<u64>,
@@ -75,12 +88,14 @@ pub struct StreamPipeline {
 impl StreamPipeline {
     /// New pipeline.
     pub fn new(cfg: StreamConfig) -> Self {
-        let shards = ShardSet::new(cfg.shards, cfg.dedup);
+        let shards = ShardSet::new(cfg.shards, cfg.dedup, cfg.incremental_seal);
         StreamPipeline {
             cfg,
             shards,
             snapshots: Vec::new(),
-            prev_classes: HashMap::new(),
+            prev_classes: Vec::new(),
+            by_asn: Arc::new(Vec::new()),
+            perm_len: 0,
             events_in_epoch: 0,
             total_events: 0,
             epoch_start_ts: None,
@@ -103,8 +118,8 @@ impl StreamPipeline {
         self.shards.stored_tuples()
     }
 
-    /// Distinct ASNs interned across the shard compiled stores (shards
-    /// intern independently; an AS spanning shards counts per shard).
+    /// Distinct ASNs in the workspace-shared interner (one id space for
+    /// all shards — an AS spanning shards counts once).
     pub fn interned_asns(&self) -> usize {
         self.shards.interned_asns()
     }
@@ -122,6 +137,13 @@ impl StreamPipeline {
     /// Stored-tuple count per shard so far (load-balance introspection).
     pub fn shard_loads(&self) -> Vec<usize> {
         self.shards.shard_loads()
+    }
+
+    /// `(replayed, total)` (shard, step) counting units of the last
+    /// epoch recount — how much of the seal was served from cached step
+    /// deltas (`(0, 0)` before any seal or after an O(1) re-seal).
+    pub fn last_replay(&self) -> (usize, usize) {
+        self.shards.last_replay()
     }
 
     /// Sealed snapshots so far. Snapshots are reference-counted so a
@@ -189,39 +211,131 @@ impl StreamPipeline {
         Ok(self.snapshots.len() - before)
     }
 
+    /// Extend the Asn-sorted id permutation with any ids interned since
+    /// the last seal (a sorted merge of the old table with the new tail).
+    fn refresh_by_asn(&mut self) {
+        let n = self.shards.interned_asns();
+        if n == self.perm_len {
+            return;
+        }
+        let interner = self.shards.interner();
+        let mut fresh: Vec<(Asn, AsnId)> = interner
+            .range(self.perm_len as AsnId, n as AsnId)
+            .map(|(id, asn)| (asn, id))
+            .collect();
+        fresh.sort_unstable_by_key(|&(a, _)| a);
+        if self.perm_len == 0 {
+            self.by_asn = Arc::new(fresh);
+        } else {
+            let old = self.by_asn.as_slice();
+            let mut merged = Vec::with_capacity(old.len() + fresh.len());
+            let (mut i, mut j) = (0, 0);
+            while i < old.len() || j < fresh.len() {
+                match (old.get(i), fresh.get(j)) {
+                    (Some(&a), Some(&b)) => {
+                        if a.0 <= b.0 {
+                            merged.push(a);
+                            i += 1;
+                        } else {
+                            merged.push(b);
+                            j += 1;
+                        }
+                    }
+                    (Some(&a), None) => {
+                        merged.push(a);
+                        i += 1;
+                    }
+                    (None, Some(&b)) => {
+                        merged.push(b);
+                        j += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+            self.by_asn = Arc::new(merged);
+        }
+        self.perm_len = n;
+    }
+
     /// Force-seal the running epoch: recount everything stored (phases
-    /// shard-parallel), version the classifications, and diff against the
-    /// previous snapshot. Idempotent on an empty epoch only in the sense
+    /// shard-parallel, cached steps replayed where valid), classify over
+    /// the dense columns, and diff against the previous snapshot by
+    /// interned id. When nothing was stored since the previous seal the
+    /// new snapshot shares its predecessor's dense state wholesale —
+    /// an O(1) re-seal. Idempotent on an empty epoch only in the sense
     /// that it still produces a (possibly flip-free) snapshot.
     pub fn seal_epoch(&mut self) -> &Arc<EpochSnapshot> {
-        let (counters, deepest_active_index) = self.shards.recount(
-            &self.cfg.thresholds,
-            self.cfg.max_index,
-            self.cfg.enforce_cond1,
-            self.cfg.enforce_cond2,
-            self.cfg.shards > 1,
-        );
-        let outcome = InferenceOutcome {
-            counters,
-            thresholds: self.cfg.thresholds,
-            deepest_active_index,
-        };
-        let classes = outcome.classes();
-        let flips = diff_classes(&self.prev_classes, &classes);
-        for &(asn, class) in &classes {
-            self.prev_classes.insert(asn, class);
-        }
+        let t_seal = Instant::now();
         let epoch = self.snapshots.len() as u64;
-        let snapshot = EpochSnapshot {
-            epoch,
-            version: epoch + 1,
-            sealed_at: self.last_ts,
-            events: self.events_in_epoch,
-            total_events: self.total_events,
-            unique_tuples: self.shards.stored_tuples(),
-            outcome: Some(outcome),
-            classes,
-            flips,
+        let mut snapshot = if self.shards.unchanged_since_seal() {
+            // O(1) fast path: identical tuple set => identical counters,
+            // classes, and (empty) flip set. Share every component.
+            self.shards.clear_replay_stats();
+            let prev = self.snapshots.last().expect("unchanged implies a seal");
+            EpochSnapshot::assemble(
+                epoch,
+                self.last_ts,
+                self.events_in_epoch,
+                self.total_events,
+                self.shards.stored_tuples(),
+                prev.dense
+                    .clone()
+                    .expect("latest snapshot is never compacted"),
+                Arc::clone(&prev.classes),
+                Arc::new(Vec::new()),
+            )
+        } else {
+            let t_count = Instant::now();
+            let (counters, deepest_active_index) = self.shards.recount(
+                &self.cfg.thresholds,
+                self.cfg.max_index,
+                self.cfg.enforce_cond1,
+                self.cfg.enforce_cond2,
+                self.cfg.shards > 1,
+            );
+            let count_nanos = t_count.elapsed().as_nanos() as u64;
+            self.refresh_by_asn();
+            let counters = Arc::new(counters.into_counts());
+            let th = self.cfg.thresholds;
+            self.prev_classes.resize(self.perm_len, Class::NONE);
+            let mut classes = Vec::new();
+            let mut flips = Vec::new();
+            for &(asn, id) in self.by_asn.iter() {
+                let c = counters[id as usize];
+                if c.is_zero() {
+                    continue;
+                }
+                let class = c.classify(&th);
+                let prev = self.prev_classes[id as usize];
+                if prev != class {
+                    flips.push(ClassFlip {
+                        asn,
+                        from: prev,
+                        to: class,
+                    });
+                    self.prev_classes[id as usize] = class;
+                }
+                classes.push((asn, class));
+            }
+            let dense = DenseOutcome {
+                interner: Arc::clone(self.shards.interner()),
+                counters,
+                by_asn: Arc::clone(&self.by_asn),
+                thresholds: th,
+                deepest_active_index,
+            };
+            let mut snap = EpochSnapshot::assemble(
+                epoch,
+                self.last_ts,
+                self.events_in_epoch,
+                self.total_events,
+                self.shards.stored_tuples(),
+                dense,
+                Arc::new(classes),
+                Arc::new(flips),
+            );
+            snap.count_nanos = count_nanos;
+            snap
         };
         self.events_in_epoch = 0;
         self.epoch_start_ts = None;
@@ -229,11 +343,12 @@ impl StreamPipeline {
             if let Some(prev) = self.snapshots.last_mut() {
                 // A shared snapshot (e.g. one a serving layer still
                 // publishes) is cloned before stripping, so external
-                // holders keep their full counter store; only the
+                // holders keep their full counter state; only the
                 // pipeline's history copy is compacted.
-                Arc::make_mut(prev).outcome = None;
+                Arc::make_mut(prev).compact();
             }
         }
+        snapshot.seal_nanos = t_seal.elapsed().as_nanos() as u64;
         self.snapshots.push(Arc::new(snapshot));
         self.snapshots.last().expect("just pushed")
     }
@@ -246,8 +361,8 @@ impl StreamPipeline {
         let last = self.snapshots.last().expect("finish always seals once");
         StreamOutcome {
             outcome: last
-                .outcome
-                .clone()
+                .outcome()
+                .cloned()
                 .expect("latest snapshot is never compacted"),
             total_events: self.total_events,
             unique_tuples: self.shards.stored_tuples(),
@@ -325,6 +440,35 @@ mod tests {
     }
 
     #[test]
+    fn dedup_reseal_shares_the_previous_snapshot() {
+        // Epoch 2 ingests only duplicates: the seal must take the O(1)
+        // fast path, sharing the dense state and classes by pointer.
+        let mut pipe = StreamPipeline::new(StreamConfig {
+            shards: 2,
+            epoch: EpochPolicy::every_events(2),
+            dedup: true,
+            ..Default::default()
+        });
+        pipe.push(StreamEvent::new(0, tag_tuple(&[1, 9], &[1])));
+        pipe.push(StreamEvent::new(1, tag_tuple(&[2, 9], &[])));
+        let first = Arc::clone(pipe.latest().unwrap());
+        pipe.push(StreamEvent::new(2, tag_tuple(&[1, 9], &[1])));
+        pipe.push(StreamEvent::new(3, tag_tuple(&[2, 9], &[])));
+        let second = Arc::clone(pipe.latest().unwrap());
+        assert_eq!(second.epoch, 1);
+        assert!(second.flips.is_empty());
+        assert!(Arc::ptr_eq(&first.classes, &second.classes));
+        assert!(Arc::ptr_eq(
+            &first.dense.as_ref().unwrap().counters,
+            &second.dense.as_ref().unwrap().counters
+        ));
+        assert_eq!(second.count_nanos, 0, "no recount ran");
+        // And the duplicate events are still accounted for.
+        assert_eq!(second.total_events, 4);
+        assert_eq!(second.events, 2);
+    }
+
+    #[test]
     fn compact_history_keeps_only_latest_outcome() {
         let mut pipe = StreamPipeline::new(StreamConfig {
             shards: 1,
@@ -337,8 +481,8 @@ mod tests {
         }
         let out = pipe.finish();
         assert_eq!(out.snapshots.len(), 3);
-        assert!(out.snapshots[..2].iter().all(|s| s.outcome.is_none()));
-        assert!(out.snapshots.last().unwrap().outcome.is_some());
+        assert!(out.snapshots[..2].iter().all(|s| s.outcome().is_none()));
+        assert!(out.snapshots.last().unwrap().outcome().is_some());
         // Compacted epochs still answer class queries and keep flips;
         // only their counter-store exports are gone.
         assert_eq!(out.snapshots[0].class_of(Asn(1)).tagging.code(), 't');
@@ -353,5 +497,23 @@ mod tests {
         assert_eq!(out.total_events, 0);
         assert_eq!(out.snapshots.len(), 1);
         assert!(out.outcome.counters.is_empty());
+    }
+
+    #[test]
+    fn seal_timings_are_recorded() {
+        let mut pipe = StreamPipeline::new(StreamConfig {
+            shards: 1,
+            epoch: EpochPolicy::manual(),
+            ..Default::default()
+        });
+        for i in 0..50u64 {
+            pipe.push(StreamEvent::new(
+                i,
+                tag_tuple(&[2 + (i % 5) as u32, 9], &[2 + (i % 5) as u32]),
+            ));
+        }
+        let snap = pipe.seal_epoch();
+        assert!(snap.seal_nanos > 0);
+        assert!(snap.seal_nanos >= snap.count_nanos);
     }
 }

@@ -1,37 +1,161 @@
-//! Shard layer: partitioned tuple ownership and parallel phase counting.
+//! Shard layer: partitioned tuple ownership, dense parallel phase
+//! counting over one shared id space, and incremental epoch recounts.
 //!
 //! Incoming tuples are routed onto `N` shards by an FNV-1a hash of their
 //! on-path ASNs, so an identical tuple always lands on the same shard —
 //! which makes per-shard deduplication equivalent to global deduplication.
 //! Each shard owns its partition as a [`CompiledTuples`] store (the
-//! columnar interned representation of `bgp_infer::compiled`, appended
-//! incrementally as events arrive); during a counting phase every shard
-//! densifies the shared read-only counter snapshot over its private id
-//! space, evaluates the phase predicate bitsets once, counts its columns,
-//! and hands a sparse `HashMap<Asn, AsCounters>` delta back to the
-//! coordinator, which folds the deltas in with [`CounterStore::merge`].
-//! Addition commutes, and the phase conditions only read the snapshot, so
-//! the merged result is identical for every shard count — and identical
-//! to the batch engine's reference path, pinned by
-//! `tests/stream_parity.rs` across epochs.
+//! length-bucketed columnar representation of `bgp_infer::compiled`,
+//! appended incrementally as events arrive), and **every shard interns
+//! through one workspace-level [`SharedInterner`]**: all shards speak the
+//! same dense `u32` id space, so a counting phase hands the coordinator a
+//! [`DeltaStore`] (flat counters + touched-id bitmap) that folds into
+//! the epoch's [`DenseCounterStore`] by slice addition — the old
+//! `HashMap<Asn, AsCounters>` hop between shard and coordinator is gone
+//! end to end. The coordinator maintains the phase predicate bitsets
+//! incrementally per touched AS at each merge; shards evaluate Cond1 and
+//! Cond2 word-parallel against them (see `bgp_infer::compiled`).
+//!
+//! ## Incremental recounts
+//!
+//! A full recount replays the batch engine's column loop (tagging phase,
+//! merge, forwarding phase, merge, next column) over everything stored.
+//! Because counters only ever *accumulate*, the per-shard delta of one
+//! (column, phase) step is a pure function of (a) the shard's tuples with
+//! `len >= column` and (b) the predicate bits of the ASes occurring in
+//! the shard. The shard set exploits that to make seal cost scale with
+//! the delta instead of the store:
+//!
+//! * each shard's buckets are append-only, so the tuples added since the
+//!   previous seal are a *suffix* of each bucket (the dirty range);
+//! * every (shard, column, phase) step's sparse delta from the previous
+//!   seal is cached, along with the *predicate trajectory* — the
+//!   `is_forward`/`is_tagger` bit words entering each step (two tiny
+//!   bitsets per step);
+//! * at the next seal, a step's entering predicates are XOR-diffed
+//!   against the recorded trajectory (counters keep growing every seal,
+//!   but predicates only move when a share crosses a threshold, so the
+//!   diff is almost always empty). A shard replays its cached delta iff
+//!   no diverged predicate bit belongs to an AS present in the shard; it
+//!   then counts only its dirty suffix fresh and folds that into the
+//!   cache. Otherwise it recounts the step in full.
+//!
+//! Replayed steps are byte-identical to recounting by the purity argument
+//! above — the cached delta was computed under bit-identical predicate
+//! inputs over an identical tuple prefix — so the merged result is
+//! identical for every shard count and cache state, and identical to the
+//! batch engine's reference path, pinned by `tests/stream_parity.rs`
+//! across epochs, shard counts, and incremental on/off.
 
-use bgp_infer::compiled::CompiledTuples;
-use bgp_infer::counters::{merge_delta_map, AsCounters, CounterStore, Thresholds};
+use bgp_infer::compiled::{
+    CompiledTuples, DeltaStore, DenseCounterStore, IdBitSet, PhasePredicates,
+};
+use bgp_infer::counters::{AsCounters, Thresholds};
 use bgp_infer::engine::CountPhase;
 use bgp_types::prelude::*;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// The predicate bit words entering one (column, phase) step at the
+/// previous seal — the incremental-recount validity reference.
+#[derive(Debug, Clone, Default)]
+struct StepTrajectory {
+    forward: Vec<u64>,
+    tagger: Vec<u64>,
+}
+
+impl StepTrajectory {
+    /// Record `preds` as this step's entering state.
+    fn record(&mut self, preds: &PhasePredicates) {
+        self.forward.clear();
+        self.forward.extend_from_slice(preds.forward_words());
+        self.tagger.clear();
+        self.tagger.extend_from_slice(preds.tagger_words());
+    }
+}
+
+/// One cached (column, phase) delta: the sparse contribution of a
+/// shard's clean-prefix tuples as of the previous seal, sorted by id.
+#[derive(Debug, Clone, Default)]
+struct CachedStep {
+    entries: Vec<(AsnId, AsCounters)>,
+}
+
+impl CachedStep {
+    /// Replace the cache with a fresh step delta, reusing the allocation.
+    /// (`DeltaStore::iter` enumerates ascending by id.)
+    fn refill(&mut self, delta: &DeltaStore) {
+        self.entries.clear();
+        self.entries.extend(delta.iter());
+    }
+
+    /// Fold a fresh dirty-suffix delta into the cache (the suffix becomes
+    /// part of the clean prefix at the next seal).
+    fn absorb(&mut self, delta: &DeltaStore) {
+        if delta.is_empty() {
+            return;
+        }
+        let add: Vec<(AsnId, AsCounters)> = delta.iter().collect();
+        let mut merged = Vec::with_capacity(self.entries.len() + add.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() || j < add.len() {
+            match (self.entries.get(i), add.get(j)) {
+                (Some(&(ia, ca)), Some(&(ib, cb))) => {
+                    if ia < ib {
+                        merged.push((ia, ca));
+                        i += 1;
+                    } else if ib < ia {
+                        merged.push((ib, cb));
+                        j += 1;
+                    } else {
+                        let mut c = ca;
+                        c.accumulate(&cb);
+                        merged.push((ia, c));
+                        i += 1;
+                        j += 1;
+                    }
+                }
+                (Some(&(ia, ca)), None) => {
+                    merged.push((ia, ca));
+                    i += 1;
+                }
+                (None, Some(&(ib, cb))) => {
+                    merged.push((ib, cb));
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        self.entries = merged;
+    }
+}
 
 /// One worker shard: a privately owned, incrementally compiled tuple
-/// partition. With dedup on, the ordered `seen` set provides membership
-/// (counting order is irrelevant — phases are order-free); the compiled
-/// store holds every stored tuple either way.
-#[derive(Debug, Default)]
+/// partition plus its per-seal scratch and the cached step deltas. With
+/// dedup on, the ordered `seen` set provides membership (counting order
+/// is irrelevant — phases are order-free); the compiled store holds
+/// every stored tuple either way.
+#[derive(Debug)]
 struct Shard {
     seen: BTreeSet<PathCommTuple>,
     compiled: CompiledTuples,
+    /// Reused per-phase dense delta (touched-id tracked, O(touched) to
+    /// clear).
+    delta: DeltaStore,
+    /// `cache[x-1][phase]` — previous seal's step deltas.
+    cache: Vec<[CachedStep; 2]>,
 }
 
 impl Shard {
+    fn new(interner: Arc<SharedInterner>) -> Self {
+        Shard {
+            seen: BTreeSet::new(),
+            compiled: CompiledTuples::with_shared(interner),
+            delta: DeltaStore::default(),
+            cache: Vec::new(),
+        }
+    }
+
     fn push(&mut self, t: PathCommTuple, dedup: bool) -> bool {
         if dedup {
             if self.seen.contains(&t) {
@@ -47,19 +171,6 @@ impl Shard {
 
     fn len(&self) -> usize {
         self.compiled.len()
-    }
-
-    fn count(
-        &self,
-        counters: &CounterStore,
-        th: &Thresholds,
-        x: usize,
-        phase: CountPhase,
-        enforce_cond1: bool,
-        enforce_cond2: bool,
-    ) -> HashMap<Asn, AsCounters> {
-        self.compiled
-            .count_phase_sparse(counters, th, x, phase, enforce_cond1, enforce_cond2)
     }
 }
 
@@ -78,22 +189,59 @@ fn route_hash(path: &AsPath) -> u64 {
 #[derive(Debug)]
 pub struct ShardSet {
     shards: Vec<Shard>,
+    interner: Arc<SharedInterner>,
     dedup: bool,
+    incremental: bool,
     unique: usize,
     duplicates: u64,
+    /// Columns covered by the step caches of the previous seal.
+    prev_deepest: usize,
+    sealed_once: bool,
+    /// `trajectory[x-1][phase]` — predicate words entering each step at
+    /// the previous seal.
+    trajectory: Vec<[StepTrajectory; 2]>,
+    /// `(replayed, total)` (shard, step) counting units of the last
+    /// recount — incremental-seal observability.
+    last_replay: (usize, usize),
 }
 
 impl ShardSet {
-    /// `n` empty shards (`n >= 1`). With `dedup`, repeated identical
-    /// tuples are counted once, as the paper's `TupleSet` pipeline does.
-    pub fn new(n: usize, dedup: bool) -> Self {
+    /// `n` empty shards (`n >= 1`) sharing one fresh interner. With
+    /// `dedup`, repeated identical tuples are counted once, as the
+    /// paper's `TupleSet` pipeline does. With `incremental`, epoch
+    /// recounts reuse the previous seal's step deltas where valid.
+    pub fn new(n: usize, dedup: bool, incremental: bool) -> Self {
         let n = n.max(1);
+        let interner = Arc::new(SharedInterner::new());
         ShardSet {
-            shards: (0..n).map(|_| Shard::default()).collect(),
+            shards: (0..n).map(|_| Shard::new(Arc::clone(&interner))).collect(),
+            interner,
             dedup,
+            incremental,
             unique: 0,
             duplicates: 0,
+            prev_deepest: 0,
+            sealed_once: false,
+            trajectory: Vec::new(),
+            last_replay: (0, 0),
         }
+    }
+
+    /// `(replayed, total)` (shard, step) units of the last recount — how
+    /// much of the seal was served from cached step deltas.
+    pub fn last_replay(&self) -> (usize, usize) {
+        self.last_replay
+    }
+
+    /// Reset the replay stats (the pipeline's O(1) re-seal fast path
+    /// skips the recount entirely, so no counting units ran).
+    pub(crate) fn clear_replay_stats(&mut self) {
+        self.last_replay = (0, 0);
+    }
+
+    /// The workspace-shared interner all shards intern through.
+    pub fn interner(&self) -> &Arc<SharedInterner> {
+        &self.interner
     }
 
     /// Number of shards.
@@ -142,10 +290,10 @@ impl ShardSet {
         self.shards.iter().map(|s| s.len()).collect()
     }
 
-    /// Distinct ASNs interned across all shard stores (shards intern
-    /// independently, so an AS on paths in two shards counts twice).
+    /// Distinct ASNs in the shared id space (exact — shards share one
+    /// interner, an AS spanning shards counts once).
     pub fn interned_asns(&self) -> usize {
-        self.shards.iter().map(|s| s.compiled.interned_asns()).sum()
+        self.interner.len()
     }
 
     /// Total path positions held in the shard id arenas.
@@ -153,69 +301,24 @@ impl ShardSet {
         self.shards.iter().map(|s| s.compiled.arena_len()).sum()
     }
 
-    /// Restore every shard store's length-sorted iteration order after
-    /// appends. Called once per phase batch; cheap when already sorted.
-    fn prepare(&mut self) {
-        for s in &mut self.shards {
-            s.compiled.ensure_sorted();
-        }
+    /// Tuples stored since the previous seal.
+    pub fn dirty_tuples(&self) -> usize {
+        self.shards.iter().map(|s| s.compiled.dirty_tuples()).sum()
     }
 
-    /// Run one counting phase at column `x`: every shard counts its own
-    /// compiled store against the `counters` snapshot (on its own thread
-    /// when `parallel`), and the deltas are folded into one map. Returns
-    /// the combined delta; the caller merges it with
-    /// [`CounterStore::merge`].
-    #[allow(clippy::too_many_arguments)]
-    pub fn count_phase(
-        &mut self,
-        counters: &CounterStore,
-        th: &Thresholds,
-        x: usize,
-        phase: CountPhase,
-        enforce_cond1: bool,
-        enforce_cond2: bool,
-        parallel: bool,
-    ) -> HashMap<Asn, AsCounters> {
-        self.prepare();
-        // Same small-work guard as the batch engine's parallel_count:
-        // below this, spawn+join costs more than the counting itself
-        // (hit hard by fine-grained epoch policies like every_events(1)).
-        let parallel = parallel && self.stored_tuples() >= 1_024;
-        let shards = &self.shards;
-        let mut merged: HashMap<Asn, AsCounters> = HashMap::new();
-        if !parallel || shards.len() == 1 {
-            for s in shards {
-                merge_delta_map(
-                    &mut merged,
-                    s.count(counters, th, x, phase, enforce_cond1, enforce_cond2),
-                );
-            }
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .iter()
-                    .map(|s| {
-                        scope.spawn(move || {
-                            s.count(counters, th, x, phase, enforce_cond1, enforce_cond2)
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    merge_delta_map(
-                        &mut merged,
-                        h.join().expect("shard counting worker panicked"),
-                    );
-                }
-            });
-        }
-        merged
+    /// Whether a recount right now would reproduce the previous seal's
+    /// counters exactly (at least one seal happened and nothing was
+    /// stored since) — the pipeline's O(1) re-seal fast path.
+    pub fn unchanged_since_seal(&self) -> bool {
+        self.sealed_once && self.dirty_tuples() == 0
     }
 
     /// Full recount over everything currently stored: the exact column
     /// loop of the batch engine (tagging phase, merge, forwarding phase,
-    /// merge, next column), phases counted shard-parallel. Returns the
-    /// final counters and the deepest column where anything counted.
+    /// merge, next column), phases counted shard-parallel, with
+    /// cached-step reuse where the incremental invariants hold. Returns
+    /// the final dense counters over the shared id space and the deepest
+    /// column where anything counted.
     pub fn recount(
         &mut self,
         th: &Thresholds,
@@ -223,40 +326,199 @@ impl ShardSet {
         enforce_cond1: bool,
         enforce_cond2: bool,
         parallel: bool,
-    ) -> (CounterStore, usize) {
-        let mut counters = CounterStore::new();
+    ) -> (DenseCounterStore, usize) {
+        let n_ids = self.interner.len();
         let max_len = self.max_path_len();
         let deepest = max_index.unwrap_or(max_len).min(max_len);
+        let mut counters = DenseCounterStore::zeroed(n_ids);
+        let mut preds = PhasePredicates::empty(n_ids);
+        let mut diff_scratch: Vec<u64> = vec![0; n_ids.div_ceil(64)];
+        for s in &mut self.shards {
+            s.compiled.prepare();
+            s.delta.resize(n_ids);
+            if self.incremental && s.cache.len() < deepest {
+                s.cache.resize(deepest, Default::default());
+            }
+        }
+        if self.incremental && self.trajectory.len() < deepest {
+            self.trajectory.resize(deepest, Default::default());
+        }
+        // Replay requires caches + a trajectory from a previous seal;
+        // storing starts on the first seal so the second can replay. In
+        // trajectory mode, predicates are bulk-loaded from the recorded
+        // per-step words and corrected only at the *overlay* — the ids
+        // whose counters actually moved this seal (suffix contributions
+        // and fresh recounts) — so a replayed step costs accumulate-only
+        // merges plus O(overlay) float work instead of O(touched ids).
+        let mut direct_mode = !(self.incremental && self.sealed_once);
+        let mut overlay: Vec<AsnId> = Vec::new();
+        let mut overlay_set = IdBitSet::with_capacity(n_ids);
+        let grow_overlay = |overlay: &mut Vec<AsnId>, overlay_set: &mut IdBitSet, id: AsnId| {
+            if !overlay_set.get(id) {
+                overlay_set.ensure(id as usize + 1);
+                overlay_set.set(id);
+                overlay.push(id);
+            }
+        };
+        // Same small-work guard as the batch engine's fan-out: below
+        // this, spawn+join costs more than the counting itself (hit hard
+        // by fine-grained epoch policies like every_events(1)).
+        let parallel = parallel && self.shards.len() > 1 && self.unique >= 1_024;
         let mut deepest_active = 0;
+        let mut reuse = vec![false; self.shards.len()];
+        let mut clean_full = vec![false; self.shards.len()];
+        self.last_replay = (0, 0);
         for x in 1..=deepest {
-            let delta = self.count_phase(
-                &counters,
-                th,
-                x,
-                CountPhase::Tagging,
-                enforce_cond1,
-                enforce_cond2,
-                parallel,
-            );
-            let active1 = !delta.is_empty();
-            counters.merge(&delta);
-
-            let delta = self.count_phase(
-                &counters,
-                th,
-                x,
-                CountPhase::Forwarding,
-                enforce_cond1,
-                enforce_cond2,
-                parallel,
-            );
-            let active2 = !delta.is_empty();
-            counters.merge(&delta);
-
-            if active1 || active2 {
+            let mut col_active = false;
+            for phase in [CountPhase::Tagging, CountPhase::Forwarding] {
+                let pi = (phase == CountPhase::Forwarding) as usize;
+                if !direct_mode && x > self.prev_deepest {
+                    // Ran past the recorded trajectory (longer paths
+                    // arrived): reconstruct full predicates from the
+                    // actual counters and maintain them directly from
+                    // here on.
+                    preds.snapshot_from(&counters, th);
+                    direct_mode = true;
+                }
+                if !direct_mode {
+                    // Entering state = recorded trajectory, patched at
+                    // the overlay; the patch also yields the divergence
+                    // mask the replay decisions need. Ids outside the
+                    // overlay had every contribution replayed, so their
+                    // bits match the trajectory by construction.
+                    let traj = &self.trajectory[x - 1][pi];
+                    preds.load_words(&traj.forward, &traj.tagger, n_ids);
+                    diff_scratch.fill(0);
+                    diff_scratch.resize(n_ids.div_ceil(64), 0);
+                    for &id in &overlay {
+                        if preds.refresh_both(id, counters.get(id), th) {
+                            diff_scratch[(id / 64) as usize] |= 1u64 << (id % 64);
+                        }
+                    }
+                    for (r, s) in reuse.iter_mut().zip(&self.shards) {
+                        // Tested against the ids the *clean prefix* can
+                        // contain: predicates of ids interned after the
+                        // previous seal may move freely (they cannot
+                        // occur in older tuples).
+                        *r = !s
+                            .compiled
+                            .clean_present_ids()
+                            .intersects_words(&diff_scratch);
+                    }
+                } else {
+                    reuse.fill(false);
+                }
+                // Record this step's entering predicates as the new
+                // trajectory for the next seal.
+                if self.incremental {
+                    self.trajectory[x - 1][pi].record(&preds);
+                }
+                self.last_replay.0 += reuse.iter().filter(|&&r| r).count();
+                self.last_replay.1 += reuse.len();
+                // Counting: each shard fills its private delta — only the
+                // dirty suffix when its cached step will be replayed.
+                // The Cond1 `clean` words are computed at the tagging
+                // phase (they serve both) and only over the dirty
+                // suffix when that phase replays; a forwarding phase
+                // that stops replaying recomputes them in full.
+                let preds_ref = &preds;
+                let count_one = |s: &mut Shard, replay: bool, clean_full: &mut bool| {
+                    if phase == CountPhase::Tagging {
+                        s.compiled
+                            .compute_clean(preds_ref, x, enforce_cond1, replay);
+                        *clean_full = !replay;
+                    } else if !replay && !*clean_full {
+                        s.compiled.compute_clean(preds_ref, x, enforce_cond1, false);
+                        *clean_full = true;
+                    }
+                    s.compiled.count_phase_dense(
+                        preds_ref,
+                        x,
+                        phase,
+                        enforce_cond2,
+                        replay,
+                        &mut s.delta,
+                    );
+                };
+                if parallel {
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = self
+                            .shards
+                            .iter_mut()
+                            .zip(reuse.iter().zip(clean_full.iter_mut()))
+                            .map(|(s, (&replay, cf))| scope.spawn(move || count_one(s, replay, cf)))
+                            .collect();
+                        for h in handles {
+                            h.join().expect("shard counting worker panicked");
+                        }
+                    });
+                } else {
+                    for (s, (&replay, cf)) in self
+                        .shards
+                        .iter_mut()
+                        .zip(reuse.iter().zip(clean_full.iter_mut()))
+                    {
+                        count_one(s, replay, cf);
+                    }
+                }
+                // Serial merge in shard order. In trajectory mode the
+                // merges are accumulate-only — the predicate evolution is
+                // already known — and every id whose counters moved off
+                // the replayed trajectory joins the overlay.
+                for (s, &replay) in self.shards.iter_mut().zip(&reuse) {
+                    if replay {
+                        let step = &s.cache[x - 1][pi];
+                        if !step.entries.is_empty() {
+                            col_active = true;
+                        }
+                        counters.merge_sparse_counts(&step.entries);
+                        if !s.delta.is_empty() {
+                            // Fold the freshly counted dirty suffix into
+                            // the cache — it is clean-prefix material at
+                            // the next seal.
+                            col_active = true;
+                            counters.merge_counts(&s.delta);
+                            for id in s.delta.touched() {
+                                grow_overlay(&mut overlay, &mut overlay_set, id);
+                            }
+                            s.cache[x - 1][pi].absorb(&s.delta);
+                        }
+                    } else if direct_mode {
+                        if !s.delta.is_empty() {
+                            col_active = true;
+                        }
+                        counters.merge_update(&s.delta, &mut preds, th, phase);
+                        if self.incremental {
+                            s.cache[x - 1][pi].refill(&s.delta);
+                        }
+                    } else {
+                        // Trajectory mode, fresh recount of this shard's
+                        // step: both the old cached contribution and the
+                        // fresh one leave the replayed trajectory.
+                        if !s.delta.is_empty() {
+                            col_active = true;
+                        }
+                        for &(id, _) in &s.cache[x - 1][pi].entries {
+                            grow_overlay(&mut overlay, &mut overlay_set, id);
+                        }
+                        counters.merge_counts(&s.delta);
+                        for id in s.delta.touched() {
+                            grow_overlay(&mut overlay, &mut overlay_set, id);
+                        }
+                        s.cache[x - 1][pi].refill(&s.delta);
+                    }
+                    s.delta.clear();
+                }
+            }
+            if col_active {
                 deepest_active = x;
             }
         }
+        for s in &mut self.shards {
+            s.compiled.commit_clean();
+        }
+        self.prev_deepest = deepest;
+        self.sealed_once = true;
         (counters, deepest_active)
     }
 }
@@ -264,6 +526,7 @@ impl ShardSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bgp_infer::counters::CounterStore;
     use bgp_infer::engine::{InferenceConfig, InferenceEngine};
 
     fn tup(p: &[u32], uppers: &[u32]) -> PathCommTuple {
@@ -285,9 +548,19 @@ mod tests {
         v
     }
 
+    fn sparse(set: &ShardSet, counters: &DenseCounterStore) -> CounterStore {
+        let mut store = CounterStore::new();
+        for (id, c) in counters.counts().iter().enumerate() {
+            if !c.is_zero() {
+                *store.entry(set.interner().resolve(id as AsnId)) = *c;
+            }
+        }
+        store
+    }
+
     #[test]
     fn routing_is_stable_and_total() {
-        let set = ShardSet::new(4, true);
+        let set = ShardSet::new(4, true, true);
         for t in corpus() {
             let a = set.route(&t.path);
             let b = set.route(&t.path);
@@ -298,7 +571,7 @@ mod tests {
 
     #[test]
     fn dedup_is_global_across_shards() {
-        let mut set = ShardSet::new(4, true);
+        let mut set = ShardSet::new(4, true, true);
         for t in corpus() {
             set.push(t);
         }
@@ -319,23 +592,77 @@ mod tests {
         })
         .run(&tuples);
         for shards in [1usize, 2, 4, 7] {
-            let mut set = ShardSet::new(shards, false);
-            for t in tuples.clone() {
-                set.push(t);
+            for incremental in [false, true] {
+                let mut set = ShardSet::new(shards, false, incremental);
+                for t in tuples.clone() {
+                    set.push(t);
+                }
+                let (counters, deepest) =
+                    set.recount(&batch.thresholds, None, true, true, shards > 1);
+                assert_eq!(deepest, batch.deepest_active_index, "{shards} shards");
+                let mut got: Vec<(Asn, AsCounters)> = sparse(&set, &counters).iter().collect();
+                let mut want: Vec<(Asn, AsCounters)> = batch.counters.iter().collect();
+                got.sort_by_key(|&(a, _)| a);
+                want.sort_by_key(|&(a, _)| a);
+                assert_eq!(got, want, "{shards} shards diverged from batch");
             }
-            let (counters, deepest) = set.recount(&batch.thresholds, None, true, true, shards > 1);
-            assert_eq!(deepest, batch.deepest_active_index, "{shards} shards");
-            let mut got: Vec<(Asn, AsCounters)> = counters.iter().collect();
-            let mut want: Vec<(Asn, AsCounters)> = batch.counters.iter().collect();
-            got.sort_by_key(|&(a, _)| a);
-            want.sort_by_key(|&(a, _)| a);
-            assert_eq!(got, want, "{shards} shards diverged from batch");
         }
     }
 
     #[test]
+    fn incremental_reseal_matches_full_recount() {
+        // Seal, add tuples, seal again (replayed steps + dirty suffixes),
+        // and compare against a from-scratch shard set over the union.
+        let tuples = corpus();
+        let th = Thresholds::default();
+        let (first, rest) = tuples.split_at(300);
+
+        let mut warm = ShardSet::new(3, false, true);
+        for t in first.iter().cloned() {
+            warm.push(t);
+        }
+        warm.recount(&th, None, true, true, false);
+        for t in rest.iter().cloned() {
+            warm.push(t);
+        }
+        let (inc, inc_deepest) = warm.recount(&th, None, true, true, false);
+
+        let mut cold = ShardSet::new(3, false, false);
+        for t in tuples.iter().cloned() {
+            cold.push(t);
+        }
+        let (full, full_deepest) = cold.recount(&th, None, true, true, false);
+
+        assert_eq!(inc_deepest, full_deepest);
+        let mut got: Vec<(Asn, AsCounters)> = sparse(&warm, &inc).iter().collect();
+        let mut want: Vec<(Asn, AsCounters)> = sparse(&cold, &full).iter().collect();
+        got.sort_by_key(|&(a, _)| a);
+        want.sort_by_key(|&(a, _)| a);
+        assert_eq!(got, want, "incremental reseal diverged");
+    }
+
+    #[test]
+    fn unchanged_reseal_is_detected_and_stable() {
+        let mut set = ShardSet::new(2, true, true);
+        for t in corpus() {
+            set.push(t);
+        }
+        assert!(!set.unchanged_since_seal(), "never sealed yet");
+        let th = Thresholds::default();
+        let (a, da) = set.recount(&th, None, true, true, false);
+        assert!(set.unchanged_since_seal());
+        // A recount with zero dirty tuples replays every step.
+        let (b, db) = set.recount(&th, None, true, true, false);
+        assert_eq!(da, db);
+        assert_eq!(a.counts(), b.counts());
+        // A dedup hit adds no tuple, so the set stays unchanged.
+        set.push(corpus().remove(0));
+        assert!(set.unchanged_since_seal());
+    }
+
+    #[test]
     fn load_spreads_across_shards() {
-        let mut set = ShardSet::new(4, true);
+        let mut set = ShardSet::new(4, true, true);
         for t in corpus() {
             set.push(t);
         }
@@ -345,5 +672,7 @@ mod tests {
             loads.iter().all(|&l| l > 0),
             "a shard got nothing: {loads:?}"
         );
+        // One shared id space: far fewer interned ids than arena hops.
+        assert!(set.interned_asns() <= set.arena_hops());
     }
 }

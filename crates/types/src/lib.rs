@@ -40,7 +40,7 @@ pub mod prelude {
     pub use crate::asn::Asn;
     pub use crate::comm_set::CommunitySet;
     pub use crate::community::{AnyCommunity, Community, LargeCommunity};
-    pub use crate::intern::{AsnId, AsnInterner};
+    pub use crate::intern::{AsnBuildHasher, AsnHasher, AsnId, AsnInterner, SharedInterner};
     pub use crate::prefix::Prefix;
     pub use crate::registry::{Allocation, AsnRegistry, PrefixRegistry};
     pub use crate::tuple::{PathCommTuple, TupleSet};

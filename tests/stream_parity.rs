@@ -164,7 +164,7 @@ fn snapshots_version_monotonically_and_flips_compose() {
     // it was applied to — the diff is consistent, not merely eventual).
     let mut state: HashMap<Asn, Class> = HashMap::new();
     for s in &out.snapshots {
-        for f in &s.flips {
+        for f in s.flips.iter() {
             let prev = state.get(&f.asn).copied().unwrap_or(Class::NONE);
             assert_eq!(prev, f.from, "flip for {} disagrees with history", f.asn);
             state.insert(f.asn, f.to);
@@ -226,6 +226,122 @@ fn reclassify_matches_batch_reclassify() {
             out.reclassify(Thresholds::uniform(th)),
             "reclassify at {th}"
         );
+    }
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Any interleaving of interner pushes across threads yields a
+        /// consistent dense-id ↔ ASN bijection: every observed id
+        /// resolves back to the ASN that produced it, re-interning is
+        /// stable, and the id space is exactly `0..len`.
+        #[test]
+        fn shared_interner_concurrent_pushes_are_consistent(
+            seed in 0u64..200,
+            threads in 2usize..5,
+        ) {
+            let interner = Arc::new(SharedInterner::new());
+            // Overlapping ASN sets per thread, offset so every pair of
+            // threads races on part of its range.
+            let observed: Vec<Vec<(u32, u32)>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let interner = Arc::clone(&interner);
+                        s.spawn(move || {
+                            let mut seen = Vec::new();
+                            for i in 0..400u32 {
+                                // A mix of 16-bit and 32-bit ASNs, with
+                                // cross-thread overlap.
+                                let a = 10 + ((seed as u32).wrapping_mul(31)
+                                    + i * (t as u32 + 1)) % 600;
+                                let asn = if a.is_multiple_of(13) { a + 300_000 } else { a };
+                                let id = interner.intern(Asn(asn));
+                                seen.push((asn, id));
+                            }
+                            seen
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let n = interner.len();
+            let mut id_seen = vec![false; n];
+            for pairs in &observed {
+                for &(asn, id) in pairs {
+                    // Every observation resolves back to its ASN...
+                    prop_assert_eq!(interner.resolve(id), Asn(asn));
+                    // ...and re-interning is stable after the races.
+                    prop_assert_eq!(interner.intern(Asn(asn)), id);
+                    id_seen[id as usize] = true;
+                }
+            }
+            // Ids are dense: every assigned id was observed by someone.
+            prop_assert!(id_seen.iter().all(|&b| b), "gap in the dense id space");
+            // The reverse map agrees with the forward map everywhere.
+            for id in 0..n as u32 {
+                prop_assert_eq!(interner.get(interner.resolve(id)), Some(id));
+            }
+        }
+
+        /// The dense-id stream path — shared interner, columnar shards,
+        /// incremental or full seals, any shard count and epoch slicing —
+        /// is byte-identical to the uncompiled batch oracle: classes AND
+        /// raw counters.
+        #[test]
+        fn stream_matrix_matches_batch_oracle(
+            seed in 0u64..500,
+            shards in 1usize..5,
+            every in (0usize..4).prop_map(|i| [1u64, 97, 250, 100_000][i]),
+            incremental in any::<bool>(),
+            dedup in any::<bool>(),
+        ) {
+            let ds = world(seed);
+            let tuples: Vec<PathCommTuple> = if dedup {
+                // Feed duplicates; the oracle runs on the unique set.
+                ds.tuples
+                    .iter()
+                    .chain(ds.tuples.iter().take(ds.tuples.len() / 3))
+                    .cloned()
+                    .collect()
+            } else {
+                ds.tuples.clone()
+            };
+            let oracle_input: Vec<PathCommTuple> = if dedup {
+                let set: TupleSet = tuples.iter().cloned().collect();
+                set.to_vec()
+            } else {
+                tuples.clone()
+            };
+            let oracle = InferenceEngine::new(InferenceConfig {
+                threads: 1,
+                ..Default::default()
+            })
+            .run_reference(&oracle_input);
+
+            let mut pipe = StreamPipeline::new(StreamConfig {
+                shards,
+                epoch: EpochPolicy::every_events(every),
+                dedup,
+                incremental_seal: incremental,
+                ..Default::default()
+            });
+            for (i, t) in tuples.iter().enumerate() {
+                pipe.push(StreamEvent::new(i as u64, t.clone()));
+            }
+            let out = pipe.finish();
+            assert_counter_parity(
+                &oracle,
+                &out,
+                &format!("seed={seed} shards={shards} every={every} \
+                          incremental={incremental} dedup={dedup}"),
+            );
+        }
     }
 }
 
