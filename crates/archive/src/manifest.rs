@@ -1,0 +1,294 @@
+//! The `MANIFEST` file: the archive's commit point.
+//!
+//! A segment only *exists* once the manifest names it. Writers append a
+//! segment file first (write to `*.tmp`, fsync, rename) and then rewrite
+//! the manifest the same way, so every crash leaves one of two states:
+//! the old manifest (the new segment is an unreferenced orphan, adopted
+//! or ignored on open) or the new manifest (the segment is fully
+//! durable). The manifest itself is a small line-oriented text file —
+//! human-inspectable with `cat`, trivially diffable, and cheap to
+//! rewrite atomically.
+//!
+//! ```text
+//! bgp-archive-manifest v1
+//! seg <file> <first_epoch> <last_epoch> <bytes> <checksum-hex>
+//! ```
+
+use crate::frame::{corrupt, Result};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Name of the manifest file inside an archive directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+const HEADER: &str = "bgp-archive-manifest v1";
+
+/// One committed segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Segment file name, relative to the archive directory.
+    pub file: String,
+    /// First epoch the segment holds.
+    pub first_epoch: u64,
+    /// Last epoch the segment holds (inclusive).
+    pub last_epoch: u64,
+    /// Expected file size in bytes.
+    pub bytes: u64,
+    /// Expected FNV-1a-64 digest of the checksummed region.
+    pub checksum: u64,
+}
+
+/// The ordered list of committed segments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Segments in epoch order: entry `i+1`'s `first_epoch` is always
+    /// entry `i`'s `last_epoch + 1`.
+    pub entries: Vec<ManifestEntry>,
+}
+
+/// The canonical name of the `seq`-th segment file.
+pub fn segment_file_name(seq: u64) -> String {
+    format!("seg-{seq:08}.bgpa")
+}
+
+/// Parse the sequence number out of a segment file name.
+pub fn segment_seq(file: &str) -> Option<u64> {
+    let rest = file.strip_prefix("seg-")?.strip_suffix(".bgpa")?;
+    if rest.len() != 8 || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    rest.parse().ok()
+}
+
+impl Manifest {
+    /// Last committed epoch, `None` for an empty archive.
+    pub fn last_epoch(&self) -> Option<u64> {
+        self.entries.last().map(|e| e.last_epoch)
+    }
+
+    /// First retained epoch, `None` for an empty archive.
+    pub fn first_epoch(&self) -> Option<u64> {
+        self.entries.first().map(|e| e.first_epoch)
+    }
+
+    /// Number of epochs across all segments.
+    pub fn epoch_count(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| e.last_epoch - e.first_epoch + 1)
+            .sum()
+    }
+
+    /// The next unused segment sequence number. Scans committed names so
+    /// compaction (which retires low-seq files) never reuses a name.
+    pub fn next_seq(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter_map(|e| segment_seq(&e.file))
+            .map(|s| s + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The entry holding `epoch`, if retained.
+    pub fn entry_for_epoch(&self, epoch: u64) -> Option<&ManifestEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.first_epoch <= epoch && epoch <= e.last_epoch)
+    }
+
+    /// Check the epoch ranges are contiguous and ascending.
+    pub fn validate(&self) -> Result<()> {
+        for pair in self.entries.windows(2) {
+            if pair[1].first_epoch != pair[0].last_epoch + 1 {
+                return Err(corrupt(format!(
+                    "manifest gap: {} ends at epoch {}, {} starts at {}",
+                    pair[0].file, pair[0].last_epoch, pair[1].file, pair[1].first_epoch
+                )));
+            }
+        }
+        for e in &self.entries {
+            if e.first_epoch > e.last_epoch {
+                return Err(corrupt(format!(
+                    "manifest entry {} has inverted range {}..={}",
+                    e.file, e.first_epoch, e.last_epoch
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Render to the on-disk text form.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(64 + 64 * self.entries.len());
+        out.push_str(HEADER);
+        out.push('\n');
+        for e in &self.entries {
+            out.push_str(&format!(
+                "seg {} {} {} {} {:016x}\n",
+                e.file, e.first_epoch, e.last_epoch, e.bytes, e.checksum
+            ));
+        }
+        out
+    }
+
+    /// Parse the on-disk text form.
+    pub fn parse(text: &str) -> Result<Manifest> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(h) if h == HEADER => {}
+            other => {
+                return Err(corrupt(format!(
+                    "bad manifest header: {:?}",
+                    other.unwrap_or("")
+                )))
+            }
+        }
+        let mut entries = Vec::new();
+        for (i, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(' ').collect();
+            if fields.len() != 6 || fields[0] != "seg" {
+                return Err(corrupt(format!("bad manifest line {}: {line:?}", i + 2)));
+            }
+            let parse_u64 = |s: &str, what: &str| -> Result<u64> {
+                s.parse()
+                    .map_err(|_| corrupt(format!("bad {what} on manifest line {}", i + 2)))
+            };
+            entries.push(ManifestEntry {
+                file: fields[1].to_string(),
+                first_epoch: parse_u64(fields[2], "first_epoch")?,
+                last_epoch: parse_u64(fields[3], "last_epoch")?,
+                bytes: parse_u64(fields[4], "bytes")?,
+                checksum: u64::from_str_radix(fields[5], 16)
+                    .map_err(|_| corrupt(format!("bad checksum on manifest line {}", i + 2)))?,
+            });
+        }
+        let m = Manifest { entries };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Load the manifest from `dir`; a missing file is an empty archive.
+    pub fn load(dir: &Path) -> Result<Manifest> {
+        let path = dir.join(MANIFEST_FILE);
+        match fs::read_to_string(&path) {
+            Ok(text) => Manifest::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Manifest::default()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Atomically replace the manifest in `dir` (temp + fsync + rename).
+    pub fn store(&self, dir: &Path) -> Result<()> {
+        self.validate()?;
+        let text = self.render();
+        write_atomic(dir, MANIFEST_FILE, text.as_bytes())
+    }
+}
+
+/// Write `bytes` to `dir/name` atomically: write `dir/name.tmp`, fsync,
+/// rename over the target, fsync the directory so the rename itself is
+/// durable.
+pub fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> Result<()> {
+    let tmp: PathBuf = dir.join(format!("{name}.tmp"));
+    let dst = dir.join(name);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, &dst)?;
+    if let Ok(d) = fs::File::open(dir) {
+        // Directory fsync is best-effort: not all filesystems allow it.
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Remove stale `*.tmp` files left by a crashed writer.
+pub fn sweep_tmp_files(dir: &Path) -> Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if name.to_string_lossy().ends_with(".tmp") {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            entries: vec![
+                ManifestEntry {
+                    file: segment_file_name(0),
+                    first_epoch: 0,
+                    last_epoch: 3,
+                    bytes: 1000,
+                    checksum: 0xdead_beef_cafe_f00d,
+                },
+                ManifestEntry {
+                    file: segment_file_name(1),
+                    first_epoch: 4,
+                    last_epoch: 4,
+                    bytes: 300,
+                    checksum: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let m = sample();
+        let parsed = Manifest::parse(&m.render()).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.last_epoch(), Some(4));
+        assert_eq!(parsed.first_epoch(), Some(0));
+        assert_eq!(parsed.epoch_count(), 5);
+        assert_eq!(parsed.next_seq(), 2);
+        assert_eq!(parsed.entry_for_epoch(2).unwrap().file, "seg-00000000.bgpa");
+        assert!(parsed.entry_for_epoch(5).is_none());
+    }
+
+    #[test]
+    fn gaps_are_rejected() {
+        let mut m = sample();
+        m.entries[1].first_epoch = 5;
+        m.entries[1].last_epoch = 5;
+        assert!(Manifest::parse(&m.render()).is_err());
+    }
+
+    #[test]
+    fn bad_lines_are_rejected() {
+        assert!(Manifest::parse("nonsense").is_err());
+        assert!(Manifest::parse("bgp-archive-manifest v1\nseg only-two 0\n").is_err());
+        assert!(Manifest::parse("bgp-archive-manifest v1\nseg f a 1 2 00\n").is_err());
+    }
+
+    #[test]
+    fn seq_names_roundtrip() {
+        assert_eq!(segment_file_name(7), "seg-00000007.bgpa");
+        assert_eq!(segment_seq("seg-00000007.bgpa"), Some(7));
+        assert_eq!(segment_seq("seg-7.bgpa"), None);
+        assert_eq!(segment_seq("other.bgpa"), None);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("bgpa-manifest-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), Manifest::default());
+        let m = sample();
+        m.store(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), m);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,251 @@
+//! Appending epochs to an archive, synchronously ([`ArchiveWriter`]) or
+//! off the ingest thread ([`ArchiveSink`]).
+//!
+//! The writer's commit protocol is the inverse of the reader's recovery:
+//! segment bytes first (temp + fsync + rename), manifest second (same
+//! dance). A crash between the two leaves an orphan segment the next
+//! [`Archive::open`](crate::archive::Archive::open) adopts; a crash
+//! during either write leaves a `*.tmp` that is swept.
+//!
+//! [`ArchiveSink`] wraps a writer in a background thread fed by an
+//! unbounded channel of `Arc<EpochSnapshot>`s, so the publishing path
+//! pays one `Arc` clone and one channel send per epoch — a slow disk
+//! backs up the sink's queue, never the feed. The snapshot's dense
+//! column is safe to read from the sink thread: every component is
+//! `Arc`'d and append-only, and the writer bounds its interner reads by
+//! the seal-time column length, so post-seal interning by the live
+//! pipeline is never observed.
+
+use crate::archive::Archive;
+use crate::frame::{corrupt, ArchiveError, Result};
+use crate::manifest::{segment_file_name, write_atomic, Manifest, ManifestEntry};
+use crate::segment::{DecodeFilter, EpochFrames, EpochMeta, SegmentBuilder, SegmentStats};
+use bgp_stream::epoch::EpochSnapshot;
+use bgp_types::asn::Asn;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+/// Synchronous epoch appender. One segment file per appended epoch;
+/// `compact` (see [`crate::compact`]) later merges old ones.
+#[derive(Debug)]
+pub struct ArchiveWriter {
+    dir: PathBuf,
+    manifest: Manifest,
+    /// Interner ids already persisted by earlier segments — the next
+    /// epoch writes only ids `>= interner_written`.
+    interner_written: u32,
+}
+
+impl ArchiveWriter {
+    /// Open `dir` for appending, running full crash recovery first.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<ArchiveWriter> {
+        let archive = Archive::open(dir)?;
+        let interner_written = match archive.manifest().last_epoch() {
+            Some(last) => {
+                let filter = DecodeFilter {
+                    counters: false,
+                    classes: false,
+                    flips: false,
+                };
+                let ep = archive.load_epoch(last, filter)?;
+                u32::try_from(ep.interner_len()).expect("interner fits u32")
+            }
+            None => 0,
+        };
+        Ok(ArchiveWriter {
+            dir: archive.dir().to_path_buf(),
+            manifest: archive.manifest().clone(),
+            interner_written,
+        })
+    }
+
+    /// The archive directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Last committed epoch, `None` for an empty archive.
+    pub fn last_epoch(&self) -> Option<u64> {
+        self.manifest.last_epoch()
+    }
+
+    /// Append one sealed epoch. Returns `false` without touching disk
+    /// when the epoch is already committed (the restart-backfill path:
+    /// a restored daemon re-ingests the feed from the start and the
+    /// writer must not duplicate epochs it already holds). The epoch
+    /// must otherwise chain directly onto the committed range.
+    pub fn append_epoch(&mut self, snap: &EpochSnapshot, stats: &SegmentStats) -> Result<bool> {
+        match self.manifest.last_epoch() {
+            Some(last) if snap.epoch <= last => return Ok(false),
+            Some(last) if snap.epoch != last + 1 => {
+                return Err(corrupt(format!(
+                    "epoch {} does not chain onto committed epoch {last}",
+                    snap.epoch
+                )))
+            }
+            None if snap.epoch != 0 => {
+                return Err(corrupt(format!(
+                    "epoch {} appended to an empty archive (expected 0)",
+                    snap.epoch
+                )))
+            }
+            _ => {}
+        }
+        let dense = snap.dense.as_ref().ok_or_else(|| {
+            corrupt(format!(
+                "epoch {} was compacted before archiving",
+                snap.epoch
+            ))
+        })?;
+
+        // The seal-time interner length is pinned by the counter column:
+        // ids >= counters.len() were interned after this seal and belong
+        // to a later epoch's delta.
+        let seal_len = u32::try_from(dense.counters.len()).expect("interner fits u32");
+        if seal_len < self.interner_written {
+            return Err(corrupt(format!(
+                "epoch {} interner length {seal_len} below already-written {}",
+                snap.epoch, self.interner_written
+            )));
+        }
+        let delta: Vec<Asn> = dense
+            .interner
+            .range(self.interner_written, seal_len)
+            .map(|(_, asn)| asn)
+            .collect();
+
+        let meta = EpochMeta {
+            epoch: snap.epoch,
+            sealed_at: snap.sealed_at,
+            events: snap.events,
+            total_events: snap.total_events,
+            unique_tuples: snap.unique_tuples as u64,
+            seal_nanos: snap.seal_nanos,
+            count_nanos: snap.count_nanos,
+            deepest_active_index: dense.deepest_active_index as u64,
+            thresholds: dense.thresholds,
+        };
+        let mut builder = SegmentBuilder::new();
+        builder.push_epoch(&EpochFrames {
+            meta,
+            interner_base: self.interner_written,
+            interner_delta: &delta,
+            counters: Some(&dense.counters),
+            classes: &snap.classes,
+            flips: Some(&snap.flips),
+            stats,
+        });
+        let (bytes, checksum) = builder.finish();
+
+        let file = segment_file_name(self.manifest.next_seq());
+        write_atomic(&self.dir, &file, &bytes)?;
+        self.manifest.entries.push(ManifestEntry {
+            file,
+            first_epoch: snap.epoch,
+            last_epoch: snap.epoch,
+            bytes: bytes.len() as u64,
+            checksum,
+        });
+        self.manifest.store(&self.dir)?;
+        self.interner_written = seal_len;
+        Ok(true)
+    }
+}
+
+enum SinkMsg {
+    Epoch(Arc<EpochSnapshot>, SegmentStats),
+}
+
+/// Counters a sink exposes to its owner across threads.
+#[derive(Debug, Default)]
+struct SinkShared {
+    error: Mutex<Option<ArchiveError>>,
+}
+
+/// A background archiving thread: epochs go in via a non-blocking
+/// channel send, segment + manifest writes happen off the caller's
+/// thread. Errors are sticky — the first failure is kept and every
+/// later submit is dropped, surfaced when [`finish`](ArchiveSink::finish)
+/// is called.
+#[derive(Debug)]
+pub struct ArchiveSink {
+    tx: Option<mpsc::Sender<SinkMsg>>,
+    thread: Option<std::thread::JoinHandle<(ArchiveWriter, u64)>>,
+    shared: Arc<SinkShared>,
+}
+
+impl ArchiveSink {
+    /// Spawn the archiving thread around `writer`.
+    pub fn spawn(writer: ArchiveWriter) -> ArchiveSink {
+        let (tx, rx) = mpsc::channel::<SinkMsg>();
+        let shared = Arc::new(SinkShared::default());
+        let thread_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("bgp-archive-sink".into())
+            .spawn(move || {
+                let mut writer = writer;
+                let mut written = 0u64;
+                while let Ok(SinkMsg::Epoch(snap, stats)) = rx.recv() {
+                    let mut guard = thread_shared.error.lock().expect("sink error lock");
+                    if guard.is_some() {
+                        continue; // sticky failure: drop, surface at finish
+                    }
+                    drop(guard);
+                    match writer.append_epoch(&snap, &stats) {
+                        Ok(true) => written += 1,
+                        Ok(false) => {}
+                        Err(e) => {
+                            guard = thread_shared.error.lock().expect("sink error lock");
+                            *guard = Some(e);
+                        }
+                    }
+                }
+                (writer, written)
+            })
+            .expect("spawn archive sink thread");
+        ArchiveSink {
+            tx: Some(tx),
+            thread: Some(thread),
+            shared,
+        }
+    }
+
+    /// Queue one epoch for archiving. Never blocks on disk; a failed
+    /// sink silently drops (the error surfaces at `finish`).
+    pub fn submit(&self, snap: Arc<EpochSnapshot>, stats: SegmentStats) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(SinkMsg::Epoch(snap, stats));
+        }
+    }
+
+    /// Whether the sink has hit a write error (later submits are
+    /// dropped once this is true).
+    pub fn is_failed(&self) -> bool {
+        self.shared.error.lock().expect("sink error lock").is_some()
+    }
+
+    /// Close the queue, drain everything already submitted, and join
+    /// the thread. Returns the writer (for reuse or inspection) and the
+    /// number of epochs committed, or the first write error.
+    pub fn finish(mut self) -> Result<(ArchiveWriter, u64)> {
+        self.tx = None; // close the channel; the thread drains and exits
+        let thread = self.thread.take().expect("sink joined twice");
+        let (writer, written) = thread
+            .join()
+            .map_err(|_| corrupt("archive sink panicked"))?;
+        if let Some(e) = self.shared.error.lock().expect("sink error lock").take() {
+            return Err(e);
+        }
+        Ok((writer, written))
+    }
+}
+
+impl Drop for ArchiveSink {
+    fn drop(&mut self) {
+        self.tx = None;
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! End-to-end archive coverage: pipeline epochs → segments on disk →
+//! recovered reads, with every crash shape the commit protocol claims to
+//! survive exercised for real (exhaustive truncation, orphan adoption,
+//! compaction).
+
+use bgp_archive::prelude::*;
+use bgp_archive::segment::DecodeFilter;
+use bgp_stream::prelude::*;
+use bgp_types::prelude::*;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "bgpa-test-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Deterministic multi-epoch world: interner growth every epoch (some
+/// 32-bit ASNs), taggers, forwarders, duplicates.
+fn build_world(epochs: u64, events_per_epoch: u64) -> StreamOutcome {
+    let mut pipe = StreamPipeline::new(StreamConfig {
+        shards: 2,
+        epoch: EpochPolicy::every_events(events_per_epoch),
+        ..Default::default()
+    });
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in 0..epochs * events_per_epoch {
+        let r = rng();
+        // A rotating pool of ASNs that keeps introducing new ones.
+        let origin = 9_000 + (i / 7) as u32;
+        let tagger = 64_496 + (r % 23) as u32;
+        let upstream = if r % 5 == 0 {
+            70_000 + (r % 11) as u32 // 32-bit map path
+        } else {
+            100 + (r % 13) as u32
+        };
+        let tuple = PathCommTuple::new(
+            path(&[upstream, tagger, origin]),
+            CommunitySet::from_iter([AnyCommunity::tag_for(Asn(tagger), (r % 900) as u32)]),
+        );
+        pipe.push(StreamEvent::new(10 * i + 1, tuple));
+    }
+    pipe.finish()
+}
+
+fn archive_outcome(dir: &Path, out: &StreamOutcome) -> ArchiveWriter {
+    let mut writer = ArchiveWriter::open(dir).unwrap();
+    for snap in &out.snapshots {
+        assert!(writer.append_epoch(snap, &SegmentStats::default()).unwrap());
+    }
+    writer
+}
+
+fn dir_snapshot(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| {
+            let e = e.unwrap();
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn dir_restore(dir: &Path, files: &[(String, Vec<u8>)]) {
+    for entry in fs::read_dir(dir).unwrap() {
+        fs::remove_file(entry.unwrap().path()).unwrap();
+    }
+    for (name, bytes) in files {
+        fs::write(dir.join(name), bytes).unwrap();
+    }
+}
+
+#[test]
+fn roundtrip_preserves_every_epoch() {
+    let dir = tmp_dir("roundtrip");
+    let out = build_world(4, 32);
+    assert!(out.snapshots.len() >= 4);
+    archive_outcome(&dir, &out);
+
+    let archive = Archive::open(&dir).unwrap();
+    let report = archive.verify();
+    assert!(report.is_ok(), "problems: {:?}", report.problems);
+    assert_eq!(report.epochs, out.snapshots.len() as u64);
+
+    let archived = archive.read_all(DecodeFilter::all()).unwrap();
+    for (snap, arch) in out.snapshots.iter().zip(&archived) {
+        assert_eq!(arch.meta.epoch, snap.epoch);
+        assert_eq!(arch.meta.sealed_at, snap.sealed_at);
+        assert_eq!(arch.meta.events, snap.events);
+        assert_eq!(arch.meta.total_events, snap.total_events);
+        assert_eq!(arch.meta.unique_tuples, snap.unique_tuples as u64);
+        assert_eq!(&arch.classes, snap.classes.as_ref());
+        assert_eq!(arch.flips.as_deref().unwrap(), snap.flips.as_slice());
+        let dense = snap.dense.as_ref().unwrap();
+        assert_eq!(arch.counters.as_deref().unwrap(), &**dense.counters);
+        assert_eq!(arch.interner_len(), dense.counters.len());
+    }
+
+    // The accumulated interner matches the live one id-for-id.
+    let last = out.snapshots.last().unwrap();
+    let dense = last.dense.as_ref().unwrap();
+    let table = archive.interner_upto(last.epoch).unwrap();
+    assert_eq!(table.len(), dense.counters.len());
+    for (id, asn) in table.iter().enumerate() {
+        assert_eq!(*asn, dense.interner.resolve(id as u32));
+    }
+
+    // Time travel: the trajectory of every classified AS matches each
+    // snapshot's class table.
+    for &(asn, _) in last.classes.iter() {
+        let traj = archive.class_trajectory(asn).unwrap();
+        assert_eq!(traj.len(), out.snapshots.len());
+        for (snap, (epoch, class)) in out.snapshots.iter().zip(&traj) {
+            assert_eq!(*epoch, snap.epoch);
+            let expect = match snap.classes.binary_search_by_key(&asn, |&(a, _)| a) {
+                Ok(i) => Some(snap.classes[i].1),
+                Err(_) => None,
+            };
+            assert_eq!(*class, expect, "asn {asn} epoch {epoch}");
+        }
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn writer_skips_committed_epochs_on_replay() {
+    let dir = tmp_dir("skip");
+    let out = build_world(3, 16);
+    archive_outcome(&dir, &out);
+
+    // A restarted daemon replays the deterministic feed from epoch 0;
+    // the writer must not duplicate what it already holds.
+    let mut writer = ArchiveWriter::open(&dir).unwrap();
+    assert_eq!(
+        writer.last_epoch(),
+        Some(out.snapshots.last().unwrap().epoch)
+    );
+    for snap in &out.snapshots {
+        assert!(!writer.append_epoch(snap, &SegmentStats::default()).unwrap());
+    }
+    let archive = Archive::open(&dir).unwrap();
+    assert_eq!(archive.manifest().epoch_count(), out.snapshots.len() as u64);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn truncation_at_every_byte_recovers_to_last_complete_epoch() {
+    let dir = tmp_dir("truncate");
+    let out = build_world(3, 16);
+    archive_outcome(&dir, &out);
+    let pristine = dir_snapshot(&dir);
+    let manifest = Manifest::load(&dir).unwrap();
+    let tail = manifest.entries.last().unwrap().clone();
+    let tail_bytes = fs::read(dir.join(&tail.file)).unwrap();
+    let prev_epoch = tail.first_epoch - 1;
+
+    // Stride through every region; offset 0 and the final byte are
+    // always included, and every byte is covered for a small file.
+    let stride = (tail_bytes.len() / 256).max(1);
+    let mut cuts: Vec<usize> = (0..tail_bytes.len()).step_by(stride).collect();
+    cuts.push(tail_bytes.len() - 1);
+    for cut in cuts {
+        dir_restore(&dir, &pristine);
+        fs::write(dir.join(&tail.file), &tail_bytes[..cut]).unwrap();
+        let archive = Archive::open(&dir).unwrap();
+        assert_eq!(
+            archive.manifest().last_epoch(),
+            Some(prev_epoch),
+            "cut at byte {cut}"
+        );
+        let report = archive.verify();
+        assert!(report.is_ok(), "cut {cut}: {:?}", report.problems);
+
+        // And the writer can seamlessly re-append the lost epoch.
+        let mut writer = ArchiveWriter::open(&dir).unwrap();
+        let lost = &out.snapshots[tail.first_epoch as usize];
+        assert!(writer.append_epoch(lost, &SegmentStats::default()).unwrap());
+        assert_eq!(writer.last_epoch(), Some(tail.first_epoch));
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn orphan_segment_is_adopted_after_manifest_crash() {
+    let dir = tmp_dir("orphan");
+    let out = build_world(3, 16);
+    archive_outcome(&dir, &out);
+
+    // Simulate a crash between segment rename and manifest commit: the
+    // segment file exists, the manifest predates it.
+    let manifest = Manifest::load(&dir).unwrap();
+    let rolled_back = Manifest {
+        entries: manifest.entries[..manifest.entries.len() - 1].to_vec(),
+    };
+    rolled_back.store(&dir).unwrap();
+
+    let archive = Archive::open(&dir).unwrap();
+    assert_eq!(archive.manifest(), &manifest, "orphan must be re-adopted");
+    assert!(archive.verify().is_ok());
+
+    // A stale orphan that does NOT chain (gap) stays ignored.
+    let gapped = Manifest {
+        entries: manifest.entries[..manifest.entries.len() - 2].to_vec(),
+    };
+    gapped.store(&dir).unwrap();
+    let last_file = &manifest.entries.last().unwrap().file;
+    let keep = fs::read(dir.join(last_file)).unwrap();
+    fs::remove_file(dir.join(&manifest.entries[manifest.entries.len() - 2].file)).unwrap();
+    fs::write(dir.join(last_file), keep).unwrap();
+    let archive = Archive::open(&dir).unwrap();
+    assert_eq!(archive.manifest().last_epoch(), gapped.last_epoch());
+    assert!(archive.verify().is_ok());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn tmp_files_are_swept_on_open() {
+    let dir = tmp_dir("sweep");
+    let out = build_world(2, 16);
+    archive_outcome(&dir, &out);
+    fs::write(dir.join("seg-00000009.bgpa.tmp"), b"half-written").unwrap();
+    fs::write(dir.join("MANIFEST.tmp"), b"half-written").unwrap();
+    let archive = Archive::open(&dir).unwrap();
+    assert!(archive.verify().is_ok());
+    assert!(!dir.join("seg-00000009.bgpa.tmp").exists());
+    assert!(!dir.join("MANIFEST.tmp").exists());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn compaction_slims_history_and_preserves_trajectories() {
+    let dir = tmp_dir("compact");
+    let out = build_world(6, 16);
+    archive_outcome(&dir, &out);
+    let before = Archive::open(&dir).unwrap();
+    let traj_before: Vec<_> = out
+        .snapshots
+        .last()
+        .unwrap()
+        .classes
+        .iter()
+        .map(|&(asn, _)| (asn, before.class_trajectory(asn).unwrap()))
+        .collect();
+    let interner_before = before
+        .interner_upto(out.snapshots.last().unwrap().epoch)
+        .unwrap();
+    let bytes_before: u64 = before.manifest().entries.iter().map(|e| e.bytes).sum();
+    drop(before);
+
+    let keep = 2u64;
+    let report = compact(&dir, keep).unwrap().expect("something to merge");
+    assert_eq!(report.epochs_merged, out.snapshots.len() as u64 - keep);
+    assert!(report.bytes_after < bytes_before);
+    assert!(report.segments_after < report.segments_before);
+
+    let after = Archive::open(&dir).unwrap();
+    let vr = after.verify();
+    assert!(vr.is_ok(), "problems: {:?}", vr.problems);
+    assert_eq!(after.manifest().epoch_count(), out.snapshots.len() as u64);
+
+    // Old epochs: counters and flips gone, classes and meta intact.
+    let all = after.read_all(DecodeFilter::all()).unwrap();
+    for ep in &all {
+        let in_window = ep.meta.epoch + keep > out.snapshots.last().unwrap().epoch;
+        assert_eq!(ep.has_counters, in_window, "epoch {}", ep.meta.epoch);
+        assert_eq!(ep.has_flips, in_window, "epoch {}", ep.meta.epoch);
+        assert!(!ep.classes.is_empty());
+    }
+
+    // Trajectories and the interner are unchanged.
+    for (asn, traj) in &traj_before {
+        assert_eq!(&after.class_trajectory(*asn).unwrap(), traj);
+    }
+    assert_eq!(
+        after
+            .interner_upto(out.snapshots.last().unwrap().epoch)
+            .unwrap(),
+        interner_before
+    );
+
+    // Compacting again with nothing new to merge is a no-op.
+    assert!(compact(&dir, keep).unwrap().is_none());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sink_archives_off_thread_and_reports_counts() {
+    let dir = tmp_dir("sink");
+    let out = build_world(4, 16);
+    let writer = ArchiveWriter::open(&dir).unwrap();
+    let sink = ArchiveSink::spawn(writer);
+    for snap in &out.snapshots {
+        sink.submit(Arc::clone(snap), SegmentStats::default());
+    }
+    assert!(!sink.is_failed());
+    let (writer, written) = sink.finish().unwrap();
+    assert_eq!(written, out.snapshots.len() as u64);
+    assert_eq!(
+        writer.last_epoch(),
+        Some(out.snapshots.last().unwrap().epoch)
+    );
+    let archive = Archive::open(&dir).unwrap();
+    assert!(archive.verify().is_ok());
+    fs::remove_dir_all(&dir).unwrap();
+}

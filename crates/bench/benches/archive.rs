@@ -1,0 +1,280 @@
+//! Archive-layer benchmark: segment write throughput and cold-boot-to-
+//! serving latency of the durable epoch log.
+//!
+//! Two measurements:
+//!
+//! * a criterion group timing the read path **in process** — a full
+//!   `Archive::open` (crash recovery sweep + tail verification) and a
+//!   `restore_latest` (decode + interner rebuild + record slice);
+//! * a one-pass **throughput run** per world size: seal a multi-epoch
+//!   world, append every epoch through [`ArchiveWriter`], then boot a
+//!   fresh daemon from the directory and time archive-open → snapshot
+//!   published → first query answered. Results land in
+//!   `BENCH_archive.json` at the workspace root.
+//!
+//! Set `BENCH_QUICK=1` for the CI smoke mode (only the shared 10k-tuple
+//! world; the JSON records `"quick": true` and is routed to an untracked
+//! path so it can never clobber the committed baseline).
+
+use bgp_archive::prelude::*;
+use bgp_infer::counters::Thresholds;
+use bgp_serve::prelude::*;
+use bgp_stream::epoch::EpochPolicy;
+use bgp_stream::ingest::StreamEvent;
+use bgp_stream::outcome::StreamOutcome;
+use bgp_stream::pipeline::{StreamConfig, StreamPipeline};
+use bgp_types::prelude::*;
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Deterministic xorshift64* — the bench must not depend on `rand`.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("BENCH_QUICK").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Synthetic event stream: same behavioral mix as the serve bench
+/// (selective taggers, forwarders, occasional cleaners).
+fn synthetic_events(n_events: usize, seed: u64) -> Vec<StreamEvent> {
+    let mut rng = Rng(seed | 1);
+    let n_asns = (n_events / 8).max(64) as u64;
+    let mut events = Vec::with_capacity(n_events);
+    for i in 0..n_events {
+        let len = 2 + rng.below(5) as usize;
+        let mut asns: Vec<u32> = Vec::with_capacity(len);
+        while asns.len() < len {
+            let a = 2 + rng.below(n_asns) as u32;
+            if asns.last() != Some(&a) {
+                asns.push(a);
+            }
+        }
+        let mut comm = CommunitySet::new();
+        for &a in asns.iter().rev() {
+            if a % 10 == 3 && rng.below(4) < 3 {
+                comm.clear();
+            }
+            if a % 5 < 3 && rng.below(10) < 9 {
+                comm.insert(AnyCommunity::tag_for(Asn(a), 100 + a % 7));
+            }
+        }
+        events.push(StreamEvent::new(
+            i as u64,
+            PathCommTuple::new(path(&asns), comm),
+        ));
+    }
+    events
+}
+
+const FLIP_LOG_CAP: usize = 100_000;
+
+/// Seal `events` into epochs of `epoch_events` and keep every snapshot.
+fn build_world(events: usize, epoch_events: u64) -> StreamOutcome {
+    let mut pipe = StreamPipeline::new(StreamConfig {
+        shards: 1,
+        epoch: EpochPolicy::every_events(epoch_events),
+        ..Default::default()
+    });
+    for ev in synthetic_events(events, 42) {
+        pipe.push(ev);
+    }
+    if pipe.latest().map(|s| s.total_events) != Some(pipe.total_events()) {
+        pipe.seal_epoch();
+    }
+    pipe.finish()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bgp-bench-archive-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn archive_world(dir: &Path, out: &StreamOutcome) {
+    let mut writer = ArchiveWriter::open(dir).expect("open writer");
+    for snap in &out.snapshots {
+        writer
+            .append_epoch(snap, &SegmentStats::default())
+            .expect("append epoch");
+    }
+}
+
+fn bench_read_path(c: &mut Criterion) {
+    let events = if quick_mode() { 10_000 } else { 50_000 };
+    let dir = tmp_dir("read");
+    archive_world(&dir, &build_world(events, events as u64 / 10));
+
+    let mut g = c.benchmark_group("archive_read");
+    g.sample_size(10);
+    g.bench_function("open_with_recovery_sweep", |b| {
+        b.iter(|| black_box(Archive::open(&dir).unwrap().manifest().epoch_count()))
+    });
+    let archive = Archive::open(&dir).unwrap();
+    g.bench_function("restore_latest", |b| {
+        b.iter(|| {
+            black_box(
+                restore_latest(&archive, FLIP_LOG_CAP)
+                    .unwrap()
+                    .unwrap()
+                    .records
+                    .len(),
+            )
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_read_path);
+
+// ------------------------------------------------------------ baseline
+
+struct WorldResult {
+    tuples: usize,
+    epochs: u64,
+    bytes: u64,
+    append_ns: u64,
+    write_mb_per_sec: f64,
+    boot_ms: f64,
+    boots_per_sec: f64,
+}
+
+/// Boot a daemon from the archive directory: open, restore the last
+/// epoch, publish it, answer one point lookup. Returns milliseconds.
+fn cold_boot_ms(dir: &Path) -> f64 {
+    let started = Instant::now();
+    let archive = Archive::open(dir).expect("open");
+    let restored = restore_latest(&archive, FLIP_LOG_CAP)
+        .expect("restore")
+        .expect("non-empty archive");
+    let asn = restored.records.first().expect("records").asn.0;
+    let slot = Arc::new(SnapshotSlot::new(Thresholds::default()));
+    slot.publish(restored);
+    let api = Api::new(Arc::clone(&slot), Arc::new(Metrics::new()));
+    let response = api.handle(&Request {
+        method: "GET".to_string(),
+        path: format!("/v1/class/{asn}"),
+        query: Vec::new(),
+    });
+    assert_eq!(response.status, 200);
+    black_box(response.body.len());
+    started.elapsed().as_secs_f64() * 1e3
+}
+
+fn measure_world(tuples: usize) -> WorldResult {
+    let out = build_world(tuples, tuples as u64 / 10);
+    let dir = tmp_dir(&format!("world-{tuples}"));
+
+    // Write throughput: every sealed epoch through the framed encoder +
+    // fsync-free append path (commit durability lives in the manifest
+    // rename, measured as part of the same loop).
+    let mut writer = ArchiveWriter::open(&dir).expect("open writer");
+    let started = Instant::now();
+    for snap in &out.snapshots {
+        writer
+            .append_epoch(snap, &SegmentStats::default())
+            .expect("append epoch");
+    }
+    let append_ns = started.elapsed().as_nanos() as u64;
+    drop(writer);
+    let manifest = Manifest::load(&dir).expect("manifest");
+    let bytes: u64 = manifest.entries.iter().map(|e| e.bytes).sum();
+    let write_mb_per_sec = bytes as f64 / 1e6 / (append_ns as f64 / 1e9);
+
+    // Cold boot: median of several runs (page cache warm after the
+    // first — that is the restart-the-daemon case being modeled).
+    let mut boots: Vec<f64> = (0..5).map(|_| cold_boot_ms(&dir)).collect();
+    boots.sort_by(|a, b| a.total_cmp(b));
+    let boot_ms = boots[boots.len() / 2];
+
+    let _ = std::fs::remove_dir_all(&dir);
+    WorldResult {
+        tuples,
+        epochs: out.snapshots.len() as u64,
+        bytes,
+        append_ns,
+        write_mb_per_sec,
+        boot_ms,
+        boots_per_sec: 1e3 / boot_ms,
+    }
+}
+
+fn emit_baseline() {
+    let worlds: &[usize] = if quick_mode() {
+        &[10_000]
+    } else {
+        &[10_000, 50_000, 100_000]
+    };
+    let mut lines = Vec::new();
+    for &tuples in worlds {
+        let r = measure_world(tuples);
+        println!(
+            "world {tuples}: {} epochs, {} bytes in {:.2} ms -> {:.1} MB/s; \
+             cold boot {:.2} ms",
+            r.epochs,
+            r.bytes,
+            r.append_ns as f64 / 1e6,
+            r.write_mb_per_sec,
+            r.boot_ms,
+        );
+        lines.push(format!(
+            "    {{\"tuples\": {}, \"epochs\": {}, \"bytes\": {}, \"append_ns\": {}, \
+             \"write_mb_per_sec\": {:.3}, \"boot_ms\": {:.3}, \"boots_per_sec\": {:.3}}}",
+            r.tuples,
+            r.epochs,
+            r.bytes,
+            r.append_ns,
+            r.write_mb_per_sec,
+            r.boot_ms,
+            r.boots_per_sec
+        ));
+    }
+
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let json = format!(
+        "{{\n  \"bench\": \"archive\",\n  \"quick\": {},\n  \"unix_secs\": {unix_secs},\n  \
+         \"worlds\": [\n{}\n  ]\n}}\n",
+        quick_mode(),
+        lines.join(",\n"),
+    );
+    // Quick-mode numbers come from a single-world run; route them to an
+    // untracked path so they can never clobber the committed baseline.
+    let path = if quick_mode() {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_archive_quick.json"
+        )
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_archive.json")
+    };
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("baseline written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    benches();
+    emit_baseline();
+}

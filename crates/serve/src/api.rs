@@ -7,14 +7,23 @@
 //! | route                        | answer |
 //! |------------------------------|--------|
 //! | `/v1/class/{asn}`            | one AS record |
+//! | `/v1/class/{asn}?epoch=N`    | the same record as of archived epoch `N` |
 //! | `/v1/classes?class=tf`       | filtered record table (paged) |
 //! | `/v1/community/{a}:{v}`      | dictionary lookup of a community value |
 //! | `/v1/flips?since_epoch=N`    | class flips from epoch `N` on |
 //! | `/v1/reclassify?uniform=0.9` | threshold what-if on the live snapshot |
 //! | `/v1/stats`                  | ingest + serving statistics |
+//! | `/v1/epochs`                 | every epoch the archive retains |
+//! | `/v1/history/{asn}`          | one AS's class across every archived epoch |
 //! | `/healthz`                   | liveness + served version |
 //! | `/metrics`                   | Prometheus text exposition |
+//!
+//! The three time-travel routes (`?epoch=`, `/v1/epochs`,
+//! `/v1/history/…`) answer from the durable archive through a
+//! [`HistoryStore`] and respond `400` when the daemon runs without
+//! `--archive`; everything else is served from the live snapshot.
 
+use crate::history::HistoryStore;
 use crate::http::{Handler, Request, Response};
 use crate::json::JsonWriter;
 use crate::metrics::{Endpoint, Metrics};
@@ -32,11 +41,13 @@ use std::sync::Arc;
 /// Default (and maximum) `limit` for `/v1/classes` pages.
 pub const MAX_PAGE: usize = 10_000;
 
-/// The shared request handler: snapshot slot + metrics.
+/// The shared request handler: snapshot slot + metrics, plus the
+/// optional archive-backed history store for time travel.
 #[derive(Debug)]
 pub struct Api {
     slot: Arc<SnapshotSlot>,
     metrics: Arc<Metrics>,
+    history: Option<Arc<HistoryStore>>,
 }
 
 thread_local! {
@@ -48,7 +59,18 @@ thread_local! {
 impl Api {
     /// Handler over `slot`, metering into `metrics`.
     pub fn new(slot: Arc<SnapshotSlot>, metrics: Arc<Metrics>) -> Self {
-        Api { slot, metrics }
+        Api {
+            slot,
+            metrics,
+            history: None,
+        }
+    }
+
+    /// Serve the time-travel routes from `history` (the daemon's
+    /// `--archive` directory).
+    pub fn with_history(mut self, history: Arc<HistoryStore>) -> Self {
+        self.history = Some(history);
+        self
     }
 
     /// The slot queries are answered from.
@@ -80,10 +102,18 @@ impl Api {
         let snap = self.snapshot();
         let path = request.path.as_str();
         if let Some(asn) = path.strip_prefix("/v1/class/") {
+            // `?epoch=N` answers from the archived epoch instead of the
+            // live snapshot — same record shape, historical envelope.
+            if let Some(raw_epoch) = request.param("epoch") {
+                return (Endpoint::Class, self.class_at_endpoint(asn, raw_epoch));
+            }
             return (Endpoint::Class, class_endpoint(&snap, asn));
         }
         if let Some(community) = path.strip_prefix("/v1/community/") {
             return (Endpoint::Community, community_endpoint(&snap, community));
+        }
+        if let Some(asn) = path.strip_prefix("/v1/history/") {
+            return (Endpoint::History, self.history_endpoint(&snap, asn));
         }
         match path {
             "/v1/classes" => (Endpoint::Classes, classes_endpoint(&snap, request)),
@@ -93,6 +123,7 @@ impl Api {
                 Endpoint::Stats,
                 stats_endpoint(&snap, self.metrics.total_requests()),
             ),
+            "/v1/epochs" => (Endpoint::Epochs, self.epochs_endpoint(&snap)),
             "/healthz" => (Endpoint::Health, health_endpoint(&snap)),
             "/metrics" => (
                 Endpoint::Metrics,
@@ -100,6 +131,89 @@ impl Api {
             ),
             _ => (Endpoint::Other, Response::error(404, "no such route")),
         }
+    }
+
+    fn history_store(&self) -> Result<&Arc<HistoryStore>, Response> {
+        self.history.as_ref().ok_or_else(|| {
+            Response::error(
+                400,
+                "no archive attached (start the daemon with --archive DIR)",
+            )
+        })
+    }
+
+    /// `/v1/class/{asn}?epoch=N` — the record as of an archived epoch.
+    fn class_at_endpoint(&self, raw_asn: &str, raw_epoch: &str) -> Response {
+        let history = match self.history_store() {
+            Ok(h) => h,
+            Err(resp) => return resp,
+        };
+        let Ok(epoch) = raw_epoch.parse::<u64>() else {
+            return Response::error(400, "epoch must be an unsigned integer");
+        };
+        match history.snapshot_at(epoch) {
+            Ok(Some(historical)) => class_endpoint(&historical, raw_asn),
+            Ok(None) => Response::error(404, "epoch not retained in the archive"),
+            Err(e) => Response::error(500, &format!("archive: {e}")),
+        }
+    }
+
+    /// `/v1/epochs` — every epoch the archive retains, oldest first.
+    fn epochs_endpoint(&self, snap: &ServeSnapshot) -> Response {
+        let history = match self.history_store() {
+            Ok(h) => h,
+            Err(resp) => return resp,
+        };
+        let metas = match history.epochs() {
+            Ok(metas) => metas,
+            Err(e) => return Response::error(500, &format!("archive: {e}")),
+        };
+        let mut w = begin_envelope(snap);
+        w.field_u64("count", metas.len() as u64);
+        w.begin_arr_field("epochs");
+        for meta in &metas {
+            w.begin_obj();
+            w.field_u64("epoch", meta.epoch);
+            w.field_u64("sealed_at", meta.sealed_at);
+            w.field_u64("events", meta.events);
+            w.field_u64("total_events", meta.total_events);
+            w.field_u64("unique_tuples", meta.unique_tuples);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.end_obj();
+        Response::json(w.finish())
+    }
+
+    /// `/v1/history/{asn}` — one AS's class across every archived epoch.
+    fn history_endpoint(&self, snap: &ServeSnapshot, raw_asn: &str) -> Response {
+        let history = match self.history_store() {
+            Ok(h) => h,
+            Err(resp) => return resp,
+        };
+        let Ok(asn) = raw_asn.parse::<u32>() else {
+            return Response::error(400, "asn must be a 32-bit integer");
+        };
+        let trajectory = match history.trajectory(Asn(asn)) {
+            Ok(t) => t,
+            Err(e) => return Response::error(500, &format!("archive: {e}")),
+        };
+        let mut w = begin_envelope(snap);
+        w.field_u64("asn", asn as u64);
+        w.field_u64("count", trajectory.len() as u64);
+        w.begin_arr_field("history");
+        for (epoch, class) in &trajectory {
+            w.begin_obj();
+            w.field_u64("epoch", *epoch);
+            match class {
+                Some(c) => w.field_str("class", &c.as_str()),
+                None => w.field_null("class"),
+            }
+            w.end_obj();
+        }
+        w.end_arr();
+        w.end_obj();
+        Response::json(w.finish())
     }
 }
 
@@ -404,9 +518,13 @@ fn stats_endpoint(snap: &ServeSnapshot, requests_total: u64) -> Response {
     if let Some(epoch) = &snap.epoch {
         w.field_u64("sealed_at", epoch.sealed_at);
         w.field_u64("epoch_events", epoch.events);
+        w.field_u64("seal_nanos", epoch.seal_nanos);
+        w.field_u64("count_nanos", epoch.count_nanos);
     } else {
         w.field_null("sealed_at");
         w.field_u64("epoch_events", 0);
+        w.field_u64("seal_nanos", 0);
+        w.field_u64("count_nanos", 0);
     }
     w.field_u64("total_events", snap.ingest.total_events);
     w.field_u64("unique_tuples", snap.ingest.unique_tuples as u64);
@@ -415,6 +533,10 @@ fn stats_endpoint(snap: &ServeSnapshot, requests_total: u64) -> Response {
     w.field_u64("flips_logged", snap.flip_log.len() as u64);
     w.field_u64("interned_asns", snap.ingest.interned_asns as u64);
     w.field_u64("arena_hops", snap.ingest.arena_hops as u64);
+    w.begin_obj_field("last_replay");
+    w.field_u64("replayed", snap.ingest.replayed_steps);
+    w.field_u64("total", snap.ingest.total_steps);
+    w.end_obj();
     w.begin_arr_field("shard_loads");
     for &load in &snap.ingest.shard_loads {
         w.elem_u64(load as u64);
@@ -526,6 +648,8 @@ mod tests {
 
         let stats = api.handle(&request("/v1/stats", &[]));
         assert!(stats.body.contains("\"total_events\":3"), "{}", stats.body);
+        assert!(stats.body.contains("\"seal_nanos\":"), "{}", stats.body);
+        assert!(stats.body.contains("\"last_replay\":{"), "{}", stats.body);
 
         let health = api.handle(&request("/healthz", &[]));
         assert!(health.body.contains("\"status\":\"ok\""));
@@ -536,5 +660,76 @@ mod tests {
         let missing = api.handle(&request("/nope", &[]));
         assert_eq!(missing.status, 404);
         assert_eq!(api.metrics().total_requests(), 7);
+    }
+
+    #[test]
+    fn time_travel_routes_without_archive_are_400() {
+        let api = served_api();
+        assert_eq!(api.handle(&request("/v1/epochs", &[])).status, 400);
+        assert_eq!(api.handle(&request("/v1/history/5", &[])).status, 400);
+        assert_eq!(
+            api.handle(&request("/v1/class/5", &[("epoch", "0")]))
+                .status,
+            400
+        );
+        // The live route is unaffected.
+        assert_eq!(api.handle(&request("/v1/class/5", &[])).status, 200);
+        assert_eq!(api.metrics().requests_for(Endpoint::Epochs), 1);
+        assert_eq!(api.metrics().requests_for(Endpoint::History), 1);
+        assert_eq!(api.metrics().requests_for(Endpoint::Class), 2);
+    }
+
+    #[test]
+    fn time_travel_routes_answer_from_the_archive() {
+        use bgp_archive::prelude::{ArchiveWriter, SegmentStats};
+
+        let dir = std::env::temp_dir().join(format!("bgp-api-history-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let slot = Arc::new(SnapshotSlot::new(Thresholds::default()));
+        let mut publisher = Publisher::new(Arc::clone(&slot), 1024);
+        let mut pipe = StreamPipeline::new(StreamConfig {
+            shards: 2,
+            epoch: EpochPolicy::every_events(2),
+            ..Default::default()
+        });
+        let mk = |p: &[u32], tags: &[u32]| {
+            PathCommTuple::new(
+                path(p),
+                CommunitySet::from_iter(tags.iter().map(|&a| AnyCommunity::tag_for(Asn(a), 100))),
+            )
+        };
+        for i in 0..6u64 {
+            pipe.push(StreamEvent::new(i, mk(&[5, 9], &[5])));
+        }
+        publisher.sync(&pipe);
+        let mut writer = ArchiveWriter::open(&dir).unwrap();
+        for snap in pipe.snapshots() {
+            writer.append_epoch(snap, &SegmentStats::default()).unwrap();
+        }
+        let history = Arc::new(crate::history::HistoryStore::open(&dir, 4, 1024).unwrap());
+        let api = Api::new(slot, Arc::new(Metrics::new())).with_history(history);
+
+        let epochs = api.handle(&request("/v1/epochs", &[]));
+        assert_eq!(epochs.status, 200);
+        assert!(epochs.body.contains("\"count\":3"), "{}", epochs.body);
+
+        let at0 = api.handle(&request("/v1/class/5", &[("epoch", "0")]));
+        assert_eq!(at0.status, 200);
+        assert!(
+            at0.body.starts_with("{\"version\":1,\"epoch\":0,"),
+            "{}",
+            at0.body
+        );
+        assert!(at0.body.contains("\"asn\":5"), "{}", at0.body);
+
+        let beyond = api.handle(&request("/v1/class/5", &[("epoch", "99")]));
+        assert_eq!(beyond.status, 404);
+
+        let traj = api.handle(&request("/v1/history/5", &[]));
+        assert_eq!(traj.status, 200);
+        assert!(traj.body.contains("\"count\":3"), "{}", traj.body);
+        assert!(traj.body.contains("\"epoch\":2"), "{}", traj.body);
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

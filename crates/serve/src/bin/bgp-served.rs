@@ -19,18 +19,32 @@
 //!                               (alltf|alltc|random|random+noise|random-p|random-pp)
 //!       --seed <N>              simulation seed (default 7)
 //!       --repeats <N>           extra re-announcements per tuple in --sim (default 2)
+//!       --archive <DIR>         durable epoch archive: restore the last
+//!                               committed epoch at boot (instant serving,
+//!                               feed replay backfills), persist every new
+//!                               seal, and enable the time-travel routes
+//!                               (/v1/epochs, /v1/class/{asn}?epoch=N,
+//!                               /v1/history/{asn})
 //!       --linger                keep serving after the feed is exhausted
 //!                               (default: exit once ingest drains; the
 //!                               daemon always serves *during* ingest)
 //!   -h, --help                  show this help
 //! ```
 //!
+//! SIGINT/SIGTERM shut the daemon down gracefully: ingest stops after
+//! the batch in flight, the trailing epoch is sealed and published, and
+//! the archive sink (when `--archive` is on) is flushed and joined
+//! before the process exits — a `kill` never loses a sealed epoch.
+//!
 //! The API surface is documented in `bgp_serve::api`; try
 //! `curl http://127.0.0.1:7179/v1/stats` once it is up.
 
+use bgp_archive::prelude::{Archive, ArchiveSink, ArchiveWriter};
 use bgp_serve::prelude::*;
+use bgp_serve::shutdown;
 use bgp_stream::epoch::EpochPolicy;
 use bgp_stream::pipeline::StreamConfig;
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -45,13 +59,15 @@ struct Options {
     sim: Option<String>,
     seed: u64,
     repeats: u32,
+    archive: Option<String>,
     linger: bool,
     inputs: Vec<String>,
 }
 
 fn usage() -> &'static str {
     "usage: bgp-served [-l ADDR] [-w WORKERS] [-s SHARDS] [-e EVENTS] [--epoch-secs S]\n\
-     \x20                 [-t THRESHOLD] [-b BATCH] [--linger] <MRT-FILE>... | --sim SCENARIO\n\
+     \x20                 [-t THRESHOLD] [-b BATCH] [--archive DIR] [--linger]\n\
+     \x20                 <MRT-FILE>... | --sim SCENARIO\n\
      Serves the live per-AS classification database over HTTP while ingesting."
 }
 
@@ -69,6 +85,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         sim: None,
         seed: 7,
         repeats: 2,
+        archive: None,
         linger: false,
         inputs: Vec::new(),
     };
@@ -125,6 +142,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--repeats" => {
                 opts.repeats = num(arg)?.parse().map_err(|e| format!("bad repeats: {e}"))?;
             }
+            "--archive" => opts.archive = Some(num(arg)?),
             "--linger" => opts.linger = true,
             "-h" | "--help" => return Err(String::new()),
             other if other.starts_with('-') => return Err(format!("unknown option {other}")),
@@ -150,20 +168,10 @@ fn epoch_policy(opts: &Options) -> EpochPolicy {
 }
 
 fn run(opts: Options) -> Result<(), String> {
+    shutdown::install();
     let thresholds = bgp_infer::counters::Thresholds::uniform(opts.threshold);
     let slot = Arc::new(SnapshotSlot::new(thresholds));
     let metrics = Arc::new(Metrics::new());
-
-    let http = HttpServer::start(
-        HttpConfig {
-            addr: opts.listen.clone(),
-            workers: opts.workers,
-            ..Default::default()
-        },
-        Arc::new(Api::new(Arc::clone(&slot), Arc::clone(&metrics))),
-    )
-    .map_err(|e| format!("bind {}: {e}", opts.listen))?;
-    eprintln!("bgp-served listening on http://{}", http.local_addr());
 
     let driver_cfg = DriverConfig {
         stream: StreamConfig {
@@ -178,6 +186,58 @@ fn run(opts: Options) -> Result<(), String> {
         batch: opts.batch,
         ..Default::default()
     };
+
+    // With --archive: republish the last durable epoch before the
+    // listener opens (boot-to-first-answer is an archive read, not a
+    // feed replay), then let the driver backfill and persist new seals.
+    let mut restored: Option<Arc<ServeSnapshot>> = None;
+    let mut sink: Option<ArchiveSink> = None;
+    let mut history: Option<Arc<HistoryStore>> = None;
+    if let Some(dir) = &opts.archive {
+        let boot = std::time::Instant::now();
+        let archive = Archive::open(dir).map_err(|e| format!("archive {dir}: {e}"))?;
+        restored = restore_latest(&archive, driver_cfg.flip_log_cap)
+            .map_err(|e| format!("archive {dir}: restore: {e}"))?;
+        match &restored {
+            Some(snap) => {
+                slot.publish(Arc::clone(snap));
+                eprintln!(
+                    "restored epoch {} ({} classified, {} events) from {dir} in {:.1} ms; feed replay backfills",
+                    snap.epoch_id().unwrap_or(0),
+                    snap.records.len(),
+                    snap.ingest.total_events,
+                    boot.elapsed().as_secs_f64() * 1e3,
+                );
+            }
+            None => eprintln!("archive {dir} is empty; starting fresh"),
+        }
+        let writer = ArchiveWriter::open(dir).map_err(|e| format!("archive {dir}: {e}"))?;
+        sink = Some(ArchiveSink::spawn(writer));
+        history = Some(Arc::new(
+            HistoryStore::open(
+                Path::new(dir),
+                bgp_serve::history::DEFAULT_CACHE_CAPACITY,
+                driver_cfg.flip_log_cap,
+            )
+            .map_err(|e| format!("archive {dir}: history: {e}"))?,
+        ));
+    }
+
+    let mut api = Api::new(Arc::clone(&slot), Arc::clone(&metrics));
+    if let Some(history) = &history {
+        api = api.with_history(Arc::clone(history));
+    }
+    let http = HttpServer::start(
+        HttpConfig {
+            addr: opts.listen.clone(),
+            workers: opts.workers,
+            ..Default::default()
+        },
+        Arc::new(api),
+    )
+    .map_err(|e| format!("bind {}: {e}", opts.listen))?;
+    eprintln!("bgp-served listening on http://{}", http.local_addr());
+
     let feed = match &opts.sim {
         Some(scenario) => Feed::Sim {
             scenario: scenario.clone(),
@@ -186,12 +246,28 @@ fn run(opts: Options) -> Result<(), String> {
         },
         None => Feed::MrtFiles(opts.inputs.clone()),
     };
-    let ingest = spawn_ingest(driver_cfg, feed, Arc::clone(&slot), Arc::clone(&metrics));
+    let ingest = bgp_serve::driver::spawn_ingest_archived(
+        driver_cfg,
+        feed,
+        Arc::clone(&slot),
+        Arc::clone(&metrics),
+        sink,
+        restored,
+    );
 
-    // Report progress once a second until the feed drains.
+    // Report progress until the feed drains, polling for shutdown
+    // signals: a SIGINT/SIGTERM stops ingest after the batch in flight,
+    // and the driver then seals, publishes, and archives the trailing
+    // epoch before its thread exits.
     let mut last_version = 0;
+    let mut stop_sent = false;
     while !ingest.is_finished() {
-        std::thread::sleep(std::time::Duration::from_secs(1));
+        std::thread::sleep(std::time::Duration::from_millis(250));
+        if shutdown::requested() && !stop_sent {
+            eprintln!("shutdown signal: sealing and flushing the trailing epoch");
+            ingest.stop();
+            stop_sent = true;
+        }
         let version = slot.version();
         if version != last_version {
             let snap = slot.load();
@@ -212,12 +288,16 @@ fn run(opts: Options) -> Result<(), String> {
         report.epochs,
         metrics.total_requests(),
     );
+    if opts.archive.is_some() {
+        eprintln!("archived {} new epochs", report.archived_epochs);
+    }
 
-    if opts.linger {
+    if opts.linger && !shutdown::requested() {
         eprintln!("serving final snapshot until interrupted (--linger)");
-        loop {
-            std::thread::sleep(std::time::Duration::from_secs(3600));
+        while !shutdown::requested() {
+            std::thread::sleep(std::time::Duration::from_millis(250));
         }
+        eprintln!("shutdown signal: exiting");
     }
     http.shutdown();
     Ok(())

@@ -8,7 +8,8 @@
 //! driver — the only shared state is the [`SnapshotSlot`].
 
 use crate::metrics::Metrics;
-use crate::snapshot::{Publisher, SnapshotSlot};
+use crate::snapshot::{Publisher, ServeSnapshot, SnapshotSlot};
+use bgp_archive::prelude::ArchiveSink;
 use bgp_sim::prelude::*;
 use bgp_stream::ingest::{IterSource, MrtSource, StreamEvent, TupleSource};
 use bgp_stream::pipeline::{StreamConfig, StreamPipeline};
@@ -66,6 +67,9 @@ pub struct IngestReport {
     pub epochs: usize,
     /// Unique tuples stored.
     pub unique_tuples: usize,
+    /// Epochs newly committed to the durable archive this run (0 when
+    /// the driver runs without an archive sink).
+    pub archived_epochs: u64,
 }
 
 /// A running ingest thread.
@@ -105,24 +109,51 @@ pub fn spawn_ingest(
     slot: Arc<SnapshotSlot>,
     metrics: Arc<Metrics>,
 ) -> IngestHandle {
+    spawn_ingest_archived(cfg, feed, slot, metrics, None, None)
+}
+
+/// [`spawn_ingest`] with durability: every newly sealed epoch is queued
+/// into `sink` (committed off this thread), and `resume` — the snapshot
+/// the restore path republished at boot — makes the deterministic-feed
+/// backfill skip epochs the archive already holds. When the feed drains
+/// (or `stop` is honored), the trailing epoch is sealed, the sink is
+/// flushed and joined, and the report carries how many epochs this run
+/// newly committed.
+pub fn spawn_ingest_archived(
+    cfg: DriverConfig,
+    feed: Feed,
+    slot: Arc<SnapshotSlot>,
+    metrics: Arc<Metrics>,
+    sink: Option<ArchiveSink>,
+    resume: Option<Arc<ServeSnapshot>>,
+) -> IngestHandle {
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = Arc::clone(&stop);
     let thread = std::thread::Builder::new()
         .name("bgp-serve-ingest".to_string())
-        .spawn(move || ingest_main(cfg, feed, slot, metrics, &stop_flag))
+        .spawn(move || ingest_main(cfg, feed, slot, metrics, sink, resume, &stop_flag))
         .expect("spawn ingest driver");
     IngestHandle { thread, stop }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn ingest_main(
     cfg: DriverConfig,
     feed: Feed,
     slot: Arc<SnapshotSlot>,
     metrics: Arc<Metrics>,
+    sink: Option<ArchiveSink>,
+    resume: Option<Arc<ServeSnapshot>>,
     stop: &AtomicBool,
 ) -> Result<IngestReport, String> {
     let mut pipeline = StreamPipeline::new(cfg.stream.clone());
     let mut publisher = Publisher::new(slot, cfg.flip_log_cap).with_metrics(Arc::clone(&metrics));
+    if let Some(restored) = &resume {
+        publisher.resume_from(restored);
+    }
+    if let Some(sink) = sink {
+        publisher = publisher.with_archive(sink);
+    }
     let batch = cfg.batch.max(1);
 
     match feed {
@@ -196,10 +227,23 @@ fn ingest_main(
         }
     }
 
+    // Flush and join the archive sink before reporting: once `join`
+    // returns, every sealed epoch is durably committed (segment +
+    // manifest), so a daemon that exits after this line can be
+    // restarted with zero epoch loss.
+    let archived_epochs = match publisher.take_archive() {
+        Some(sink) => {
+            let (_, written) = sink.finish().map_err(|e| format!("archive: {e}"))?;
+            written
+        }
+        None => 0,
+    };
+
     Ok(IngestReport {
         total_events: pipeline.total_events(),
         epochs: pipeline.snapshots().len(),
         unique_tuples: pipeline.stored_tuples(),
+        archived_epochs,
     })
 }
 
@@ -328,6 +372,67 @@ mod tests {
         // Must terminate promptly even with a large feed.
         let report = handle.join().expect("stop is clean");
         assert!(report.total_events <= 100_000);
+    }
+
+    #[test]
+    fn driver_archives_and_resumes() {
+        use bgp_archive::prelude::{Archive, ArchiveWriter};
+
+        let dir = std::env::temp_dir().join(format!("bgp-driver-archive-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = || DriverConfig {
+            stream: StreamConfig {
+                shards: 2,
+                epoch: EpochPolicy::every_events(4),
+                ..Default::default()
+            },
+            batch: 3,
+            flip_log_cap: 1024,
+        };
+
+        // First run: every sealed epoch lands in the archive.
+        let slot = Arc::new(SnapshotSlot::new(Thresholds::default()));
+        let sink = ArchiveSink::spawn(ArchiveWriter::open(&dir).unwrap());
+        let report = spawn_ingest_archived(
+            cfg(),
+            Feed::Events(events(10)),
+            Arc::clone(&slot),
+            Arc::new(Metrics::new()),
+            Some(sink),
+            None,
+        )
+        .join()
+        .unwrap();
+        assert_eq!(report.epochs, 3);
+        assert_eq!(report.archived_epochs, 3);
+        let live = slot.load();
+
+        // Restart: republish the archived tail instantly, then replay
+        // the same deterministic feed as backfill — nothing may be
+        // re-archived and the slot version may never move backwards.
+        let slot2 = Arc::new(SnapshotSlot::new(Thresholds::default()));
+        let archive = Archive::open(&dir).unwrap();
+        let restored = crate::restore::restore_latest(&archive, 1024)
+            .unwrap()
+            .unwrap();
+        slot2.publish(Arc::clone(&restored));
+        assert_eq!(slot2.load().version(), live.version());
+        let sink = ArchiveSink::spawn(ArchiveWriter::open(&dir).unwrap());
+        let report2 = spawn_ingest_archived(
+            cfg(),
+            Feed::Events(events(10)),
+            Arc::clone(&slot2),
+            Arc::new(Metrics::new()),
+            Some(sink),
+            Some(restored),
+        )
+        .join()
+        .unwrap();
+        assert_eq!(report2.archived_epochs, 0, "backfill re-archives nothing");
+        let after = slot2.load();
+        assert_eq!(after.version(), live.version());
+        assert_eq!(after.records, live.records);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

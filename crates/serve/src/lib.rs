@@ -46,6 +46,14 @@
 //! * [`metrics`] — atomic server counters + Prometheus text exposition;
 //! * [`driver`] — the single-writer ingest thread (MRT files, simulated
 //!   scenario feeds, or in-memory events);
+//! * [`restore`] — rebuilding `ServeSnapshot`s from the durable epoch
+//!   archive (`bgp-served --archive`): instant restart without waiting
+//!   for the feed to replay;
+//! * [`history`] — lazily cached historical epochs for time-travel
+//!   queries (`/v1/epochs`, `/v1/class/{asn}?epoch=N`,
+//!   `/v1/history/{asn}`);
+//! * [`shutdown`] — SIGINT/SIGTERM flag so the daemon seals and
+//!   archives the trailing epoch before exiting;
 //! * two binaries: `bgp-served` (the daemon) and `bgp-stream-infer`
 //!   (the streaming front end, now with `--listen` to serve while
 //!   ingesting).
@@ -74,18 +82,23 @@
 
 pub mod api;
 pub mod driver;
+pub mod history;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod restore;
+pub mod shutdown;
 pub mod snapshot;
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::api::Api;
     pub use crate::driver::{spawn_ingest, DriverConfig, Feed, IngestHandle, IngestReport};
+    pub use crate::history::HistoryStore;
     pub use crate::http::{Handler, HttpConfig, HttpServer, Request, Response};
     pub use crate::json::JsonWriter;
     pub use crate::metrics::{Endpoint, Metrics};
+    pub use crate::restore::{rebuild_snapshot, restore_latest};
     pub use crate::snapshot::{
         IngestStats, Publisher, ServeSnapshot, SnapshotReader, SnapshotSlot,
     };

@@ -26,6 +26,10 @@ pub enum Endpoint {
     Reclassify,
     /// `/v1/stats`
     Stats,
+    /// `/v1/epochs`
+    Epochs,
+    /// `/v1/history/{asn}`
+    History,
     /// `/healthz`
     Health,
     /// `/metrics`
@@ -35,13 +39,15 @@ pub enum Endpoint {
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 9] = [
+    const ALL: [Endpoint; 11] = [
         Endpoint::Class,
         Endpoint::Classes,
         Endpoint::Community,
         Endpoint::Flips,
         Endpoint::Reclassify,
         Endpoint::Stats,
+        Endpoint::Epochs,
+        Endpoint::History,
         Endpoint::Health,
         Endpoint::Metrics,
         Endpoint::Other,
@@ -55,6 +61,8 @@ impl Endpoint {
             Endpoint::Flips => "flips",
             Endpoint::Reclassify => "reclassify",
             Endpoint::Stats => "stats",
+            Endpoint::Epochs => "epochs",
+            Endpoint::History => "history",
             Endpoint::Health => "healthz",
             Endpoint::Metrics => "metrics",
             Endpoint::Other => "other",
@@ -72,7 +80,7 @@ impl Endpoint {
 /// Shared atomic counters.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    requests: [AtomicU64; 9],
+    requests: [AtomicU64; 11],
     responses_2xx: AtomicU64,
     responses_4xx: AtomicU64,
     responses_5xx: AtomicU64,

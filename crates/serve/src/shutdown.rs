@@ -1,0 +1,80 @@
+//! Graceful-shutdown flag: SIGINT/SIGTERM set an atomic the daemon's
+//! main loop polls.
+//!
+//! The workspace is offline (no `signal-hook`, no `ctrlc`), so this
+//! binds libc's `signal(2)` directly. The handler does the only thing
+//! that is async-signal-safe here — a relaxed atomic store — and the
+//! daemon does the actual work (stop ingest, seal the trailing epoch,
+//! flush the archive sink, join) from its ordinary control flow.
+//!
+//! On non-Unix targets installation is a no-op: the flag exists but
+//! only [`request`] (used by tests) can set it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// `SIGINT` (ctrl-c).
+pub const SIGINT: i32 = 2;
+/// `SIGTERM` (kill's default).
+pub const SIGTERM: i32 = 15;
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Install the SIGINT/SIGTERM handler. Idempotent; safe to call from
+/// any thread before the daemon's main loop starts polling.
+pub fn install() {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = on_signal as extern "C" fn(i32); // keep the handler referenced
+    }
+}
+
+/// Whether a shutdown signal has been received (or [`request`]ed).
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Set the flag programmatically — what the signal handler does, for
+/// tests and for in-process shutdown paths.
+pub fn request() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Clear the flag (tests only — a real daemon exits once it is set).
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_roundtrip() {
+        reset();
+        assert!(!requested());
+        request();
+        assert!(requested());
+        reset();
+        assert!(!requested());
+    }
+
+    #[test]
+    fn install_is_idempotent() {
+        install();
+        install();
+    }
+}

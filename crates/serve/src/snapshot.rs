@@ -22,7 +22,9 @@
 //! pointer per retained epoch, not a deep copy of every entry.
 
 use crate::json::JsonWriter;
+use bgp_archive::prelude::{ArchiveSink, SegmentStats};
 use bgp_infer::classify::Class;
+use bgp_infer::compiled::DenseOutcome;
 use bgp_infer::counters::Thresholds;
 use bgp_infer::db::DbRecord;
 use bgp_stream::epoch::{ClassFlip, EpochSnapshot};
@@ -95,6 +97,27 @@ impl FlipLog {
         }
     }
 
+    /// Rebuild a log from archived per-epoch chunks (the daemon restart
+    /// path): each chunk is replayed through the same append-and-trim
+    /// step a live publisher would have taken, so the restored log is
+    /// identical to one that never went down. `start_floor` is the
+    /// oldest epoch whose flips the archive still retains — for an
+    /// archive that was never compacted it is 0, matching a fresh log.
+    pub fn from_chunks(
+        start_floor: u64,
+        chunks: impl IntoIterator<Item = (u64, Arc<Vec<ClassFlip>>)>,
+        cap: usize,
+    ) -> FlipLog {
+        let mut log = FlipLog {
+            start_epoch: start_floor,
+            ..FlipLog::default()
+        };
+        for (epoch, flips) in chunks {
+            log.push_epoch(epoch, &flips, cap);
+        }
+        log
+    }
+
     /// Flips from epochs `>= since_epoch`, in epoch order, plus whether
     /// the answer is complete (`false` when the requested range starts
     /// before the retained log).
@@ -138,6 +161,11 @@ pub struct IngestStats {
     pub interned_asns: usize,
     /// Total path positions in the shard id arenas.
     pub arena_hops: usize,
+    /// Steps of the latest seal's recount that were replayed
+    /// incrementally (vs recounted from scratch).
+    pub replayed_steps: u64,
+    /// Total recount steps of the latest seal.
+    pub total_steps: u64,
 }
 
 /// One immutable, queryable view of the classification database.
@@ -215,6 +243,49 @@ impl ServeSnapshot {
             .iter()
             .map(move |r| (r, r.counters.classify(&th)))
     }
+}
+
+/// Slice the per-AS record table straight out of a dense counter column
+/// through the Asn-sorted id permutation — no sparse-map rebuild, no
+/// sort. `classes` must be the seal-time classification of exactly the
+/// non-zero counters in `by_asn` order (which is what both the live
+/// sealer and the archive produce). Shared by the live publisher and
+/// the archive restore path so a restarted daemon builds byte-identical
+/// tables.
+pub(crate) fn slice_records(
+    dense: &DenseOutcome,
+    classes: &[(bgp_types::asn::Asn, Class)],
+) -> Vec<DbRecord> {
+    let mut records = Vec::with_capacity(classes.len());
+    let mut next_class = classes.iter();
+    for &(asn, id) in dense.by_asn.iter() {
+        let counters = dense.counters[id as usize];
+        if counters.is_zero() {
+            continue;
+        }
+        let &(casn, class) = next_class.next().expect("classes cover counted ids");
+        debug_assert_eq!(casn, asn);
+        records.push(DbRecord {
+            asn,
+            class,
+            counters,
+        });
+    }
+    records
+}
+
+/// Records for an epoch whose counter column is gone (compacted in the
+/// pipeline or dropped from the archive's retention window): classes
+/// survive, counters serve as zero.
+pub(crate) fn zeroed_records(classes: &[(bgp_types::asn::Asn, Class)]) -> Vec<DbRecord> {
+    classes
+        .iter()
+        .map(|&(asn, class)| DbRecord {
+            asn,
+            class,
+            counters: Default::default(),
+        })
+        .collect()
 }
 
 /// The record fields, written into an already-open object — the single
@@ -337,6 +408,16 @@ pub struct Publisher {
     flip_log_cap: usize,
     /// Seal/counting duration sink (the daemon's Prometheus counters).
     metrics: Option<Arc<crate::metrics::Metrics>>,
+    /// Durable epoch tap: every newly published epoch is also queued
+    /// here (one `Arc` clone + one channel send — the disk write happens
+    /// on the sink's own thread).
+    archive: Option<ArchiveSink>,
+    /// Epochs `<=` this id were already archived and republished at boot
+    /// by the restore path; the deterministic-feed backfill re-seals
+    /// them, but they must not reach the slot (versions would move
+    /// backwards), the flip log (already seeded), or the sink (already
+    /// committed).
+    resume_skip: Option<u64>,
 }
 
 impl Publisher {
@@ -348,6 +429,8 @@ impl Publisher {
             log: FlipLog::default(),
             flip_log_cap,
             metrics: None,
+            archive: None,
+            resume_skip: None,
         }
     }
 
@@ -358,6 +441,27 @@ impl Publisher {
         self
     }
 
+    /// Tap every newly published epoch into `sink` for durable archiving.
+    pub fn with_archive(mut self, sink: ArchiveSink) -> Self {
+        self.archive = Some(sink);
+        self
+    }
+
+    /// Resume after a restart that republished `restored` from the
+    /// archive: seed the flip log from the restored snapshot and skip
+    /// every backfill epoch at or below its id. Call before the first
+    /// `sync`.
+    pub fn resume_from(&mut self, restored: &ServeSnapshot) {
+        self.resume_skip = restored.epoch_id();
+        self.log = restored.flip_log.clone();
+    }
+
+    /// Surrender the archive sink (the driver calls this after the feed
+    /// drains, to flush and join the archiving thread).
+    pub fn take_archive(&mut self) -> Option<ArchiveSink> {
+        self.archive.take()
+    }
+
     /// The slot this publisher feeds.
     pub fn slot(&self) -> &Arc<SnapshotSlot> {
         &self.slot
@@ -365,18 +469,26 @@ impl Publisher {
 
     /// Publish every epoch the pipeline sealed since the last call, one
     /// `ServeSnapshot` per epoch (readers may observe each version, so
-    /// none are skipped). Returns how many were published.
+    /// none are skipped). Returns how many were published — on a
+    /// restart, backfill epochs the archive already holds are re-sealed
+    /// by the deterministic feed but not re-published, and don't count.
     pub fn sync(&mut self, pipeline: &StreamPipeline) -> usize {
         let snapshots = pipeline.snapshots();
         let new = &snapshots[self.published.min(snapshots.len())..];
+        let mut count = 0;
         for sealed in new {
-            self.publish_epoch(pipeline, Arc::clone(sealed));
+            if self.publish_epoch(pipeline, Arc::clone(sealed)) {
+                count += 1;
+            }
         }
         self.published = snapshots.len();
-        new.len()
+        count
     }
 
-    fn publish_epoch(&mut self, pipeline: &StreamPipeline, sealed: Arc<EpochSnapshot>) {
+    fn publish_epoch(&mut self, pipeline: &StreamPipeline, sealed: Arc<EpochSnapshot>) -> bool {
+        if self.resume_skip.is_some_and(|skip| sealed.epoch <= skip) {
+            return false;
+        }
         self.log
             .push_epoch(sealed.epoch, &sealed.flips, self.flip_log_cap);
         if let Some(metrics) = &self.metrics {
@@ -384,41 +496,15 @@ impl Publisher {
         }
         let records = match &sealed.dense {
             // The normal path: slice the record table straight out of the
-            // dense counter columns through the Asn-sorted permutation —
-            // no sparse-map rebuild, no sort, and the classes were
-            // already computed at seal time in the same order.
-            Some(dense) => {
-                let mut records = Vec::with_capacity(sealed.classes.len());
-                let mut next_class = sealed.classes.iter();
-                for &(asn, id) in dense.by_asn.iter() {
-                    let counters = dense.counters[id as usize];
-                    if counters.is_zero() {
-                        continue;
-                    }
-                    let &(casn, class) = next_class.next().expect("classes cover counted ids");
-                    debug_assert_eq!(casn, asn);
-                    records.push(DbRecord {
-                        asn,
-                        class,
-                        counters,
-                    });
-                }
-                records
-            }
+            // dense counter columns through the Asn-sorted permutation.
+            Some(dense) => slice_records(dense, &sealed.classes),
             // Compacted epochs keep classes but not counters; serve
             // them with zeroed counters rather than failing. The
             // driver always publishes an epoch before it can be
             // compacted, so this is a fallback, not the normal path.
-            None => sealed
-                .classes
-                .iter()
-                .map(|&(asn, class)| DbRecord {
-                    asn,
-                    class,
-                    counters: Default::default(),
-                })
-                .collect(),
+            None => zeroed_records(&sealed.classes),
         };
+        let (replayed_steps, total_steps) = pipeline.last_replay();
         let snapshot = ServeSnapshot {
             records,
             thresholds: pipeline.config().thresholds,
@@ -430,10 +516,32 @@ impl Publisher {
                 shard_loads: pipeline.shard_loads(),
                 interned_asns: pipeline.interned_asns(),
                 arena_hops: pipeline.arena_hops(),
+                replayed_steps: replayed_steps as u64,
+                total_steps: total_steps as u64,
             },
-            epoch: Some(sealed),
+            epoch: Some(Arc::clone(&sealed)),
         };
-        self.slot.publish(Arc::new(snapshot));
+        let snapshot = Arc::new(snapshot);
+        self.slot.publish(Arc::clone(&snapshot));
+        if let Some(sink) = &self.archive {
+            sink.submit(
+                sealed,
+                SegmentStats {
+                    duplicates: snapshot.ingest.duplicates,
+                    interned_asns: snapshot.ingest.interned_asns as u64,
+                    arena_hops: snapshot.ingest.arena_hops as u64,
+                    replayed_steps: snapshot.ingest.replayed_steps,
+                    total_steps: snapshot.ingest.total_steps,
+                    shard_loads: snapshot
+                        .ingest
+                        .shard_loads
+                        .iter()
+                        .map(|&n| n as u64)
+                        .collect(),
+                },
+            );
+        }
+        true
     }
 }
 
@@ -564,6 +672,117 @@ mod tests {
             );
             assert_eq!(snap.flip_log.start_epoch(), first_epoch);
         }
+    }
+
+    fn flip(asn: u32) -> ClassFlip {
+        ClassFlip {
+            asn: Asn(asn),
+            from: Class::NONE,
+            to: "tf".parse().unwrap(),
+        }
+    }
+
+    fn chunk(asns: &[u32]) -> Arc<Vec<ClassFlip>> {
+        Arc::new(asns.iter().map(|&a| flip(a)).collect())
+    }
+
+    #[test]
+    fn trim_lands_exactly_on_chunk_boundary() {
+        // cap=4, chunks of 2: the trim removes exactly one whole chunk
+        // and start_epoch advances to the next retained chunk's epoch.
+        let log = FlipLog::from_chunks(
+            0,
+            [
+                (0, chunk(&[1, 2])),
+                (1, chunk(&[3, 4])),
+                (2, chunk(&[5, 6])),
+            ],
+            4,
+        );
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.start_epoch(), 1);
+        let (iter, complete) = log.flips_since(1);
+        assert!(complete);
+        assert_eq!(iter.count(), 4);
+        let (_, complete) = log.flips_since(0);
+        assert!(!complete, "epoch 0 was trimmed");
+    }
+
+    #[test]
+    fn since_epoch_older_than_start_after_trim_is_incomplete_but_served() {
+        let log = FlipLog::from_chunks(
+            5,
+            [(5, chunk(&[1])), (6, chunk(&[2, 3])), (7, chunk(&[4, 5]))],
+            4,
+        );
+        // Epoch 5 trimmed (5 entries > cap 4): start is 6, len 4.
+        assert_eq!(log.start_epoch(), 6);
+        assert_eq!(log.len(), 4);
+        // Asking for an epoch older than anything ever retained (3) and
+        // older than start after trimming (5): both incomplete, both
+        // still answer with everything retained.
+        for since in [3, 5] {
+            let (iter, complete) = log.flips_since(since);
+            assert!(!complete, "since={since}");
+            assert_eq!(iter.count(), 4, "since={since}");
+            assert_eq!(log.count_since(since), 4);
+        }
+        let (_, complete) = log.flips_since(6);
+        assert!(complete);
+    }
+
+    #[test]
+    fn empty_epoch_chunks_are_noops_for_retention_and_start() {
+        // Epochs that flipped nothing produce empty chunks; replaying
+        // them must neither retain anything nor move start_epoch.
+        let log = FlipLog::from_chunks(
+            0,
+            [
+                (0, chunk(&[])),
+                (1, chunk(&[1, 2])),
+                (2, chunk(&[])),
+                (3, chunk(&[3])),
+                (4, chunk(&[])),
+            ],
+            100,
+        );
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.start_epoch(), 0, "nothing trimmed");
+        let (iter, complete) = log.flips_since(0);
+        assert!(complete);
+        let got: Vec<u64> = iter.map(|(e, _)| e).collect();
+        assert_eq!(got, vec![1, 1, 3]);
+        // An empty chunk right at the cap boundary: trimming is driven
+        // by entry counts, so an all-empty log never trims.
+        let empty = FlipLog::from_chunks(0, [(0, chunk(&[])), (1, chunk(&[]))], 0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.start_epoch(), 0);
+    }
+
+    #[test]
+    fn restored_log_matches_live_replay() {
+        // from_chunks over the exact chunk sequence a live publisher
+        // consumed must land on the same (len, start_epoch, contents).
+        let chunks: Vec<(u64, Arc<Vec<ClassFlip>>)> = (0..10u64)
+            .map(|e| {
+                let n = (e % 3) as u32;
+                (
+                    e,
+                    chunk(&(0..n).map(|i| 100 + e as u32 * 10 + i).collect::<Vec<_>>()),
+                )
+            })
+            .collect();
+        let cap = 5;
+        let mut live = FlipLog::default();
+        for (e, fl) in &chunks {
+            live.push_epoch(*e, fl, cap);
+        }
+        let restored = FlipLog::from_chunks(0, chunks.clone(), cap);
+        assert_eq!(restored.len(), live.len());
+        assert_eq!(restored.start_epoch(), live.start_epoch());
+        let a: Vec<(u64, ClassFlip)> = live.iter().map(|(e, f)| (e, *f)).collect();
+        let b: Vec<(u64, ClassFlip)> = restored.iter().map(|(e, f)| (e, *f)).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

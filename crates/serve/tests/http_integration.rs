@@ -375,24 +375,34 @@ fn every_endpoint_matches_the_records_oracle() {
         .iter()
         .map(|l| l.to_string())
         .collect();
+    // Seal/count durations and replay counters are real measurements,
+    // not oracle-derivable — read them off the served snapshot itself.
+    let served = _slot.load();
+    let served_epoch = served.epoch.as_ref().expect("served snapshot has an epoch");
     let (status, body) = client.get("/v1/stats");
     assert_eq!(status, 200);
     assert_eq!(
         body,
         format!(
-            "{env},\"sealed_at\":{},\"epoch_events\":{},\"total_events\":{},\
+            "{env},\"sealed_at\":{},\"epoch_events\":{},\"seal_nanos\":{},\
+             \"count_nanos\":{},\"total_events\":{},\
              \"unique_tuples\":{},\"duplicates\":{},\"classified\":{},\"flips_logged\":{},\
-             \"interned_asns\":{},\"arena_hops\":{},\"shard_loads\":[{}],\
+             \"interned_asns\":{},\"arena_hops\":{},\
+             \"last_replay\":{{\"replayed\":{},\"total\":{}}},\"shard_loads\":[{}],\
              \"requests_total\":{requests_so_far}}}",
             last.sealed_at,
             last.events,
+            served_epoch.seal_nanos,
+            served_epoch.count_nanos,
             last.total_events,
             last.unique_tuples,
             oracle.outcome.duplicates,
             oracle.records.len(),
             flip_count,
-            _slot.load().ingest.interned_asns,
-            _slot.load().ingest.arena_hops,
+            served.ingest.interned_asns,
+            served.ingest.arena_hops,
+            served.ingest.replayed_steps,
+            served.ingest.total_steps,
             shard_loads.join(","),
         )
     );

@@ -191,6 +191,40 @@ impl EpochSnapshot {
         }
     }
 
+    /// Rebuild a snapshot from durable state — the archive restore path.
+    /// Unlike [`assemble`](EpochSnapshot::assemble) this is `pub` (the
+    /// archive lives downstream of this crate), takes the persisted
+    /// timing fields verbatim, and accepts `dense: None` for epochs
+    /// whose counter column was compacted away on disk.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restored(
+        epoch: u64,
+        sealed_at: u64,
+        events: u64,
+        total_events: u64,
+        unique_tuples: usize,
+        dense: Option<DenseOutcome>,
+        classes: Arc<Vec<(Asn, Class)>>,
+        flips: Arc<Vec<ClassFlip>>,
+        seal_nanos: u64,
+        count_nanos: u64,
+    ) -> Self {
+        EpochSnapshot {
+            epoch,
+            version: epoch + 1,
+            sealed_at,
+            events,
+            total_events,
+            unique_tuples,
+            dense,
+            outcome_cell: OnceLock::new(),
+            classes,
+            flips,
+            seal_nanos,
+            count_nanos,
+        }
+    }
+
     /// The sparse map-backed [`InferenceOutcome`] of this epoch —
     /// materialized from the dense state on first use, then cached.
     /// `None` once the snapshot has been compacted.
