@@ -46,16 +46,18 @@ fn inspect(dir: PathBuf, epoch: Option<u64>) -> Result<ExitCode> {
     if let Some(epoch) = epoch {
         let ep = archive.load_epoch(epoch, DecodeFilter::all())?;
         let m = &ep.meta;
-        println!("epoch {}:", m.epoch);
-        println!("  sealed_at        {}", m.sealed_at);
-        println!("  events           {} (total {})", m.events, m.total_events);
-        println!("  unique_tuples    {}", m.unique_tuples);
+        println!("epoch {}:", m.epoch); // cli-out
+        println!("  sealed_at        {}", m.sealed_at); // cli-out
+        println!("  events           {} (total {})", m.events, m.total_events); // cli-out
+        println!("  unique_tuples    {}", m.unique_tuples); // cli-out
+                                                            // cli-out
         println!(
             "  interner         base {} + {} new = {}",
             ep.interner_base,
             ep.interner_delta.len(),
             ep.interner_len()
         );
+        // cli-out
         println!(
             "  counters         {}",
             match &ep.counters {
@@ -63,7 +65,7 @@ fn inspect(dir: PathBuf, epoch: Option<u64>) -> Result<ExitCode> {
                 None => "dropped (compacted)".to_string(),
             }
         );
-        println!("  classified       {}", ep.classes.len());
+        println!("  classified       {}", ep.classes.len()); // cli-out
         let mut histogram: Vec<(String, usize)> = Vec::new();
         for &(_, class) in &ep.classes {
             let key = class.to_string();
@@ -74,20 +76,21 @@ fn inspect(dir: PathBuf, epoch: Option<u64>) -> Result<ExitCode> {
         }
         histogram.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
         for (class, n) in histogram {
-            println!("    {class}  {n}");
+            println!("    {class}  {n}"); // cli-out
         }
         match &ep.flips {
             Some(flips) => {
-                println!("  flips            {}", flips.len());
+                println!("  flips            {}", flips.len()); // cli-out
                 for flip in flips.iter().take(20) {
-                    println!("    {flip}");
+                    println!("    {flip}"); // cli-out
                 }
                 if flips.len() > 20 {
-                    println!("    … {} more", flips.len() - 20);
+                    println!("    … {} more", flips.len() - 20); // cli-out
                 }
             }
-            None => println!("  flips            dropped (compacted)"),
+            None => println!("  flips            dropped (compacted)"), // cli-out
         }
+        // cli-out
         println!(
             "  seal             {:.2} ms ({:.2} ms counting)",
             m.seal_nanos as f64 / 1e6,
@@ -97,6 +100,7 @@ fn inspect(dir: PathBuf, epoch: Option<u64>) -> Result<ExitCode> {
     }
 
     let bytes: u64 = manifest.entries.iter().map(|e| e.bytes).sum();
+    // cli-out
     println!(
         "archive {}: {} segments, {} epochs, {}",
         archive.dir().display(),
@@ -105,6 +109,7 @@ fn inspect(dir: PathBuf, epoch: Option<u64>) -> Result<ExitCode> {
         human_bytes(bytes)
     );
     for entry in &manifest.entries {
+        // cli-out
         println!(
             "  {}  epochs {}..={}  {}  fnv {:016x}",
             entry.file,
@@ -115,6 +120,7 @@ fn inspect(dir: PathBuf, epoch: Option<u64>) -> Result<ExitCode> {
         );
     }
     for meta in archive.epoch_metas()? {
+        // cli-out
         println!(
             "  epoch {:>4}  sealed_at {:>12}  events {:>8}  tuples {:>8}",
             meta.epoch, meta.sealed_at, meta.events, meta.unique_tuples
@@ -126,6 +132,7 @@ fn inspect(dir: PathBuf, epoch: Option<u64>) -> Result<ExitCode> {
 fn verify(dir: PathBuf) -> Result<ExitCode> {
     let archive = Archive::open(dir)?;
     let report = archive.verify();
+    // cli-out
     println!(
         "verified {} segments, {} epochs, {}",
         report.segments,
@@ -133,11 +140,11 @@ fn verify(dir: PathBuf) -> Result<ExitCode> {
         human_bytes(report.bytes)
     );
     if report.is_ok() {
-        println!("archive OK");
+        println!("archive OK"); // cli-out
         Ok(ExitCode::SUCCESS)
     } else {
         for problem in &report.problems {
-            eprintln!("problem: {problem}");
+            eprintln!("problem: {problem}"); // cli-out
         }
         Ok(ExitCode::FAILURE)
     }
@@ -146,7 +153,7 @@ fn verify(dir: PathBuf) -> Result<ExitCode> {
 fn run_compact(dir: PathBuf, keep: u64) -> Result<ExitCode> {
     match compact(&dir, keep)? {
         Some(report) => {
-            println!(
+            println!( // cli-out
                 "compacted: {} -> {} segments, {} -> {} ({} epochs merged, {} counter columns and {} flip chunks dropped)",
                 report.segments_before,
                 report.segments_after,
@@ -158,6 +165,7 @@ fn run_compact(dir: PathBuf, keep: u64) -> Result<ExitCode> {
             );
         }
         None => {
+            // cli-out
             println!("nothing to compact (fewer than 2 segments outside the last {keep} epochs)")
         }
     }
@@ -205,15 +213,15 @@ fn main() -> ExitCode {
     match parse_and_run(&args) {
         Ok(Ok(code)) => code,
         Ok(Err(e)) => {
-            eprintln!("error: {e}");
+            eprintln!("error: {e}"); // cli-out
             ExitCode::FAILURE
         }
         Err(msg) => {
             if msg.is_empty() {
-                eprintln!("{}", usage());
+                eprintln!("{}", usage()); // cli-out
                 return ExitCode::SUCCESS;
             }
-            eprintln!("error: {msg}\n{}", usage());
+            eprintln!("error: {msg}\n{}", usage()); // cli-out
             ExitCode::FAILURE
         }
     }

@@ -22,9 +22,12 @@ use crate::manifest::{segment_file_name, write_atomic, Manifest, ManifestEntry};
 use crate::segment::{DecodeFilter, EpochFrames, EpochMeta, SegmentBuilder, SegmentStats};
 use bgp_stream::epoch::EpochSnapshot;
 use bgp_types::asn::Asn;
+use obs::journal::JournalKind;
+use obs::{Counter, Gauge};
 use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Synchronous epoch appender. One segment file per appended epoch;
 /// `compact` (see [`crate::compact`]) later merges old ones.
@@ -35,6 +38,10 @@ pub struct ArchiveWriter {
     /// Interner ids already persisted by earlier segments — the next
     /// epoch writes only ids `>= interner_written`.
     interner_written: u32,
+    /// Global-registry instruments, resolved once at open: committed
+    /// segment count and payload bytes (both paths, sync and sink).
+    segments_appended: Arc<Counter>,
+    bytes_written: Arc<Counter>,
 }
 
 impl ArchiveWriter {
@@ -53,10 +60,21 @@ impl ArchiveWriter {
             }
             None => 0,
         };
+        let reg = obs::global();
         Ok(ArchiveWriter {
             dir: archive.dir().to_path_buf(),
             manifest: archive.manifest().clone(),
             interner_written,
+            segments_appended: reg.counter(
+                "bgp_archive_segments_appended_total",
+                "Segment files committed to the archive",
+                &[],
+            ),
+            bytes_written: reg.counter(
+                "bgp_archive_bytes_written_total",
+                "Segment payload bytes committed to the archive",
+                &[],
+            ),
         })
     }
 
@@ -149,6 +167,8 @@ impl ArchiveWriter {
         });
         self.manifest.store(&self.dir)?;
         self.interner_written = seal_len;
+        self.segments_appended.inc();
+        self.bytes_written.add(bytes.len() as u64);
         Ok(true)
     }
 }
@@ -158,9 +178,32 @@ enum SinkMsg {
 }
 
 /// Counters a sink exposes to its owner across threads.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct SinkShared {
     error: Mutex<Option<ArchiveError>>,
+    /// Epochs submitted but not yet appended (global-registry gauge).
+    queue_depth: Arc<Gauge>,
+    /// 1 once the sink has hit its sticky error, 0 while healthy.
+    failed: Arc<Gauge>,
+}
+
+impl Default for SinkShared {
+    fn default() -> Self {
+        let reg = obs::global();
+        SinkShared {
+            error: Mutex::new(None),
+            queue_depth: reg.gauge(
+                "bgp_archive_sink_queue_depth",
+                "Epochs submitted to the archive sink and not yet appended",
+                &[],
+            ),
+            failed: reg.gauge(
+                "bgp_archive_sink_failed",
+                "1 once the archive sink hit its sticky write error",
+                &[],
+            ),
+        }
+    }
 }
 
 /// A background archiving thread: epochs go in via a non-blocking
@@ -181,6 +224,13 @@ impl ArchiveSink {
         let (tx, rx) = mpsc::channel::<SinkMsg>();
         let shared = Arc::new(SinkShared::default());
         let thread_shared = Arc::clone(&shared);
+        let reg = obs::global();
+        let append_hist = reg.histogram(
+            "bgp_archive_append_duration_seconds",
+            "Wall time of one epoch append (segment + manifest commit)",
+            &[],
+        );
+        let journal = Arc::clone(reg.journal());
         let thread = std::thread::Builder::new()
             .name("bgp-archive-sink".into())
             .spawn(move || {
@@ -189,13 +239,31 @@ impl ArchiveSink {
                 while let Ok(SinkMsg::Epoch(snap, stats)) = rx.recv() {
                     let mut guard = thread_shared.error.lock().expect("sink error lock");
                     if guard.is_some() {
+                        thread_shared.queue_depth.add(-1);
                         continue; // sticky failure: drop, surface at finish
                     }
                     drop(guard);
-                    match writer.append_epoch(&snap, &stats) {
+                    let t_append = Instant::now();
+                    let result = writer.append_epoch(&snap, &stats);
+                    let nanos = t_append.elapsed().as_nanos() as u64;
+                    append_hist.record(nanos);
+                    journal.push(
+                        JournalKind::Span,
+                        "archive_append",
+                        nanos,
+                        format!("epoch={}", snap.epoch),
+                    );
+                    thread_shared.queue_depth.add(-1);
+                    match result {
                         Ok(true) => written += 1,
                         Ok(false) => {}
                         Err(e) => {
+                            obs::error!(
+                                "archive",
+                                "sink write failed at epoch {} (sticky: later epochs dropped): {e}",
+                                snap.epoch
+                            );
+                            thread_shared.failed.set(1);
                             guard = thread_shared.error.lock().expect("sink error lock");
                             *guard = Some(e);
                         }
@@ -215,6 +283,7 @@ impl ArchiveSink {
     /// sink silently drops (the error surfaces at `finish`).
     pub fn submit(&self, snap: Arc<EpochSnapshot>, stats: SegmentStats) {
         if let Some(tx) = &self.tx {
+            self.shared.queue_depth.add(1);
             let _ = tx.send(SinkMsg::Epoch(snap, stats));
         }
     }

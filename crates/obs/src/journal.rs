@@ -1,0 +1,184 @@
+//! Bounded ring-buffer event journal.
+//!
+//! The journal keeps the last N span completions and log events so a
+//! running daemon can answer "what just happened?" without anyone
+//! tailing stderr (`/v1/debug/trace?last=N` in `bgp-serve`). Writers
+//! claim a slot with one `fetch_add` on the head sequence and then fill
+//! it under that slot's own micro-mutex — writers on different slots
+//! never contend, and a reader snapshotting the tail takes each slot
+//! lock for a clone only. A slot overwritten mid-read is detected by
+//! its sequence number and skipped, so readers are wait-free with
+//! respect to the writers' progress (they never retry).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// What kind of event a journal entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalKind {
+    /// A completed span (`duration_nanos` is meaningful).
+    Span,
+    /// An emitted log line (`duration_nanos` is 0).
+    Log,
+}
+
+impl JournalKind {
+    /// Stable lowercase name for exposition.
+    pub fn label(self) -> &'static str {
+        match self {
+            JournalKind::Span => "span",
+            JournalKind::Log => "log",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct JournalEntry {
+    /// Monotone sequence number (process-global per journal).
+    pub seq: u64,
+    /// Span completion or log event.
+    pub kind: JournalKind,
+    /// Span stage name, or the log target.
+    pub name: &'static str,
+    /// Span wall time in nanoseconds (0 for logs).
+    pub duration_nanos: u64,
+    /// Formatted key=value detail (spans) or the log message.
+    pub detail: String,
+    /// Wall-clock time the event completed, nanoseconds since epoch.
+    pub unix_nanos: u64,
+}
+
+/// A fixed-capacity concurrent ring of [`JournalEntry`]s.
+#[derive(Debug)]
+pub struct Journal {
+    slots: Vec<Mutex<Option<JournalEntry>>>,
+    head: AtomicU64,
+}
+
+impl Journal {
+    /// A journal holding the last `capacity` events (rounded up to a
+    /// power of two, minimum 8).
+    pub fn new(capacity: usize) -> Journal {
+        let cap = capacity.max(8).next_power_of_two();
+        Journal {
+            slots: (0..cap).map(|_| Mutex::new(None)).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    fn now_unix_nanos() -> u64 {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Append one event, overwriting the oldest when full.
+    pub fn push(&self, kind: JournalKind, name: &'static str, duration_nanos: u64, detail: String) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let entry = JournalEntry {
+            seq,
+            kind,
+            name,
+            duration_nanos,
+            detail,
+            unix_nanos: Self::now_unix_nanos(),
+        };
+        let slot = &self.slots[(seq as usize) & (self.slots.len() - 1)];
+        *slot.lock().expect("journal slot lock") = Some(entry);
+    }
+
+    /// Total events ever pushed (not the retained count).
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// The most recent `n` entries, oldest first. Entries racing with
+    /// writers may be skipped; the result is always sequence-sorted.
+    pub fn last(&self, n: usize) -> Vec<JournalEntry> {
+        let head = self.head.load(Ordering::Relaxed);
+        let cap = self.slots.len() as u64;
+        let take = (n as u64).min(cap).min(head);
+        let mut out: Vec<JournalEntry> = Vec::with_capacity(take as usize);
+        for seq in (head - take)..head {
+            let slot = &self.slots[(seq as usize) & (self.slots.len() - 1)];
+            let guard = slot.lock().expect("journal slot lock");
+            if let Some(e) = guard.as_ref() {
+                // A concurrent writer may have lapped this slot (seq+cap)
+                // or not filled it yet (seq-cap): keep only the expected
+                // generation.
+                if e.seq == seq {
+                    out.push(e.clone());
+                }
+            }
+        }
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_last_capacity_entries_in_order() {
+        let j = Journal::new(8);
+        for i in 0..20u64 {
+            j.push(JournalKind::Span, "stage", i, format!("i={i}"));
+        }
+        let got = j.last(100);
+        assert_eq!(got.len(), 8);
+        let seqs: Vec<u64> = got.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (12..20).collect::<Vec<_>>());
+        assert_eq!(got[0].detail, "i=12");
+        assert_eq!(j.pushed(), 20);
+    }
+
+    #[test]
+    fn last_n_smaller_than_retained() {
+        let j = Journal::new(16);
+        for i in 0..5u64 {
+            j.push(JournalKind::Log, "serve", 0, format!("msg {i}"));
+        }
+        let got = j.last(2);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].seq, 3);
+        assert_eq!(got[1].seq, 4);
+        assert_eq!(got[1].kind, JournalKind::Log);
+        assert!(got[1].unix_nanos > 0);
+    }
+
+    #[test]
+    fn empty_journal_yields_nothing() {
+        let j = Journal::new(8);
+        assert!(j.last(10).is_empty());
+    }
+
+    #[test]
+    fn concurrent_pushes_never_lose_the_ring_invariant() {
+        let j = std::sync::Arc::new(Journal::new(32));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let j = std::sync::Arc::clone(&j);
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        j.push(JournalKind::Span, "t", i, format!("t{t}"));
+                    }
+                });
+            }
+        });
+        assert_eq!(j.pushed(), 2000);
+        let got = j.last(32);
+        assert!(got.len() <= 32);
+        // Sorted, unique, and all within the final window.
+        for w in got.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+        for e in &got {
+            assert!(e.seq >= 2000 - 32);
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! The process-wide metric registry.
+//!
+//! An [`ObsRegistry`] owns counters, gauges, and histograms keyed by
+//! `(family, labels)` plus the event [`Journal`]. Handles come back as
+//! `Arc`s so hot paths resolve their instrument once (at construction
+//! time) and record with pure atomics afterwards — the get-or-create
+//! lookup itself takes a mutex and is meant for setup, not per-event
+//! use. One [`global()`] registry serves the whole process, shared the
+//! same way `bgp-serve` shares its `Metrics`; tests that need isolation
+//! build their own with [`ObsRegistry::new`].
+//!
+//! [`render_prometheus`](ObsRegistry::render_prometheus) emits
+//! text-format v0.0.4: one `# HELP`/`# TYPE` preamble per family, then
+//! every label set's samples — histograms as cumulative `_bucket{le=…}`
+//! lines (seconds) plus `_sum`/`_count`.
+
+use crate::hist::{nanos_to_seconds_str, Histogram, HistogramSnapshot, BUCKET_COUNT};
+use crate::journal::Journal;
+use crate::span::SpanGuard;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge that can move both ways (queue depths, error flags).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Add `d` (negative to decrement).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Set an absolute value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One registered instrument: its identity plus the shared value.
+#[derive(Debug)]
+struct MetricEntry<T> {
+    family: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    value: Arc<T>,
+}
+
+fn find_or_insert<T: Default>(
+    entries: &Mutex<Vec<MetricEntry<T>>>,
+    family: &str,
+    help: &str,
+    labels: &[(&str, &str)],
+) -> Arc<T> {
+    let mut guard = entries.lock().expect("registry lock");
+    if let Some(e) = guard.iter().find(|e| {
+        e.family == family
+            && e.labels.len() == labels.len()
+            && e.labels
+                .iter()
+                .zip(labels)
+                .all(|((k1, v1), (k2, v2))| k1 == k2 && v1 == v2)
+    }) {
+        return Arc::clone(&e.value);
+    }
+    let value = Arc::new(T::default());
+    guard.push(MetricEntry {
+        family: family.to_string(),
+        help: help.to_string(),
+        labels: labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
+        value: Arc::clone(&value),
+    });
+    value
+}
+
+/// A histogram's identity and point-in-time state, for JSON rendering.
+#[derive(Debug, Clone)]
+pub struct HistogramEntrySnapshot {
+    /// Metric family name (e.g. `bgp_stream_seal_duration_seconds`).
+    pub family: String,
+    /// Label pairs distinguishing this series within the family.
+    pub labels: Vec<(String, String)>,
+    /// The histogram state.
+    pub snap: HistogramSnapshot,
+}
+
+/// Counters + gauges + histograms + the event journal.
+#[derive(Debug)]
+pub struct ObsRegistry {
+    counters: Mutex<Vec<MetricEntry<Counter>>>,
+    gauges: Mutex<Vec<MetricEntry<Gauge>>>,
+    hists: Mutex<Vec<MetricEntry<Histogram>>>,
+    journal: Arc<Journal>,
+}
+
+/// Journal capacity of the [`global()`] registry and of
+/// [`ObsRegistry::new`].
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 1024;
+
+impl Default for ObsRegistry {
+    fn default() -> Self {
+        ObsRegistry::new()
+    }
+}
+
+impl ObsRegistry {
+    /// An empty registry with a [`DEFAULT_JOURNAL_CAPACITY`] journal.
+    pub fn new() -> ObsRegistry {
+        ObsRegistry::with_journal_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
+
+    /// An empty registry with a journal holding `capacity` events.
+    pub fn with_journal_capacity(capacity: usize) -> ObsRegistry {
+        ObsRegistry {
+            counters: Mutex::new(Vec::new()),
+            gauges: Mutex::new(Vec::new()),
+            hists: Mutex::new(Vec::new()),
+            journal: Arc::new(Journal::new(capacity)),
+        }
+    }
+
+    /// The event journal.
+    pub fn journal(&self) -> &Arc<Journal> {
+        &self.journal
+    }
+
+    /// Get or create the counter `family{labels}`.
+    pub fn counter(&self, family: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        find_or_insert(&self.counters, family, help, labels)
+    }
+
+    /// Get or create the gauge `family{labels}`.
+    pub fn gauge(&self, family: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        find_or_insert(&self.gauges, family, help, labels)
+    }
+
+    /// Get or create the histogram `family{labels}`.
+    pub fn histogram(&self, family: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        find_or_insert(&self.hists, family, help, labels)
+    }
+
+    /// Start a span over a pre-resolved histogram handle (the hot-path
+    /// form: no registry lookup). The guard records wall time into
+    /// `hist` and journals a completion event on drop.
+    pub fn span_cached(
+        &self,
+        stage: &'static str,
+        hist: Arc<Histogram>,
+        detail: String,
+    ) -> SpanGuard {
+        SpanGuard::new(
+            stage,
+            hist,
+            Arc::clone(&self.journal),
+            detail,
+            Instant::now(),
+        )
+    }
+
+    /// Start a span by stage name: records into the histogram family
+    /// `bgp_<stage>_duration_seconds` (no labels). Prefer
+    /// [`span_cached`](Self::span_cached) on hot paths — this form
+    /// pays a registry lookup per call.
+    pub fn span_named(&self, stage: &'static str, detail: String) -> SpanGuard {
+        let family = format!("bgp_{stage}_duration_seconds");
+        let help = format!("Wall time of the {stage} stage");
+        let hist = self.histogram(&family, &help, &[]);
+        self.span_cached(stage, hist, detail)
+    }
+
+    /// Point-in-time state of every histogram series, sorted by
+    /// (family, labels).
+    pub fn histogram_snapshots(&self) -> Vec<HistogramEntrySnapshot> {
+        let guard = self.hists.lock().expect("registry lock");
+        let mut out: Vec<HistogramEntrySnapshot> = guard
+            .iter()
+            .map(|e| HistogramEntrySnapshot {
+                family: e.family.clone(),
+                labels: e.labels.clone(),
+                snap: e.value.snapshot(),
+            })
+            .collect();
+        drop(guard);
+        out.sort_by(|a, b| (&a.family, &a.labels).cmp(&(&b.family, &b.labels)));
+        out
+    }
+
+    /// Aggregate every label set of `family` into one histogram state
+    /// (bucket-wise sums; max of maxes). `None` if the family has no
+    /// series yet.
+    pub fn family_snapshot(&self, family: &str) -> Option<HistogramSnapshot> {
+        let guard = self.hists.lock().expect("registry lock");
+        let mut agg: Option<HistogramSnapshot> = None;
+        for e in guard.iter().filter(|e| e.family == family) {
+            let snap = e.value.snapshot();
+            match &mut agg {
+                None => agg = Some(snap),
+                Some(a) => {
+                    for i in 0..BUCKET_COUNT {
+                        a.buckets[i] += snap.buckets[i];
+                    }
+                    a.sum_nanos += snap.sum_nanos;
+                    a.count += snap.count;
+                    a.max_nanos = a.max_nanos.max(snap.max_nanos);
+                }
+            }
+        }
+        agg
+    }
+
+    /// Append every registered metric in Prometheus text-format v0.0.4.
+    pub fn render_prometheus(&self, out: &mut String) {
+        render_simple(out, &self.counters, "counter", |c: &Counter| {
+            c.get().to_string()
+        });
+        render_simple(out, &self.gauges, "gauge", |g: &Gauge| g.get().to_string());
+        self.render_histograms(out);
+    }
+
+    fn render_histograms(&self, out: &mut String) {
+        let mut entries: Vec<RenderRow<HistogramSnapshot>> = {
+            let guard = self.hists.lock().expect("registry lock");
+            guard
+                .iter()
+                .map(|e| {
+                    (
+                        e.family.clone(),
+                        e.help.clone(),
+                        e.labels.clone(),
+                        e.value.snapshot(),
+                    )
+                })
+                .collect()
+        };
+        entries.sort_by(|a, b| (&a.0, &a.2).cmp(&(&b.0, &b.2)));
+        let mut last_family = String::new();
+        for (family, help, labels, snap) in entries {
+            if family != last_family {
+                out.push_str(&format!("# HELP {family} {help}\n"));
+                out.push_str(&format!("# TYPE {family} histogram\n"));
+                last_family = family.clone();
+            }
+            let mut cum = 0u64;
+            for (i, &c) in snap.buckets.iter().enumerate() {
+                cum += c;
+                let le = nanos_to_seconds_str(Histogram::bucket_bound_nanos(i));
+                let labelstr = render_labels(&labels, Some(&le));
+                out.push_str(&format!("{family}_bucket{labelstr} {cum}\n"));
+            }
+            let labelstr = render_labels(&labels, Some("+Inf"));
+            out.push_str(&format!("{family}_bucket{labelstr} {}\n", snap.count));
+            let labelstr = render_labels(&labels, None);
+            out.push_str(&format!(
+                "{family}_sum{labelstr} {}\n",
+                nanos_to_seconds_str(snap.sum_nanos)
+            ));
+            out.push_str(&format!("{family}_count{labelstr} {}\n", snap.count));
+        }
+    }
+}
+
+/// One metric row lifted out of the registry for rendering:
+/// `(family, help, labels, rendered value)`.
+type RenderRow<V> = (String, String, Vec<(String, String)>, V);
+
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let mut escaped = String::new();
+        crate::logger::escape_json_into(&mut escaped, v);
+        out.push_str(&format!("{k}=\"{escaped}\""));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(&format!("le=\"{le}\""));
+    }
+    out.push('}');
+    out
+}
+
+fn render_simple<T>(
+    out: &mut String,
+    entries: &Mutex<Vec<MetricEntry<T>>>,
+    kind: &str,
+    value: impl Fn(&T) -> String,
+) {
+    let mut rows: Vec<RenderRow<String>> = {
+        let guard = entries.lock().expect("registry lock");
+        guard
+            .iter()
+            .map(|e| {
+                (
+                    e.family.clone(),
+                    e.help.clone(),
+                    e.labels.clone(),
+                    value(&e.value),
+                )
+            })
+            .collect()
+    };
+    rows.sort_by(|a, b| (&a.0, &a.2).cmp(&(&b.0, &b.2)));
+    let mut last_family = String::new();
+    for (family, help, labels, v) in rows {
+        if family != last_family {
+            out.push_str(&format!("# HELP {family} {help}\n"));
+            out.push_str(&format!("# TYPE {family} {kind}\n"));
+            last_family = family.clone();
+        }
+        out.push_str(&format!("{family}{} {v}\n", render_labels(&labels, None)));
+    }
+}
+
+static GLOBAL: OnceLock<Arc<ObsRegistry>> = OnceLock::new();
+
+/// The process-wide registry every instrumented layer records into.
+pub fn global() -> Arc<ObsRegistry> {
+    Arc::clone(GLOBAL.get_or_init(|| Arc::new(ObsRegistry::new())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_is_stable_per_family_and_labels() {
+        let r = ObsRegistry::new();
+        let a = r.counter("f_total", "help", &[("k", "a")]);
+        let b = r.counter("f_total", "help", &[("k", "a")]);
+        let c = r.counter("f_total", "help", &[("k", "b")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let r = ObsRegistry::new();
+        let g = r.gauge("depth", "help", &[]);
+        g.add(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+        g.set(0);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn prometheus_rendering_structure() {
+        let r = ObsRegistry::new();
+        r.counter("bgp_x_total", "Things done", &[("kind", "a")])
+            .add(7);
+        r.counter("bgp_x_total", "Things done", &[("kind", "b")])
+            .add(1);
+        r.gauge("bgp_depth", "Queue depth", &[]).set(-2);
+        let h = r.histogram("bgp_y_duration_seconds", "Y time", &[]);
+        h.record(300);
+        h.record(300);
+        h.record(70_000);
+
+        let mut out = String::new();
+        r.render_prometheus(&mut out);
+
+        // One preamble per family, samples after it.
+        assert_eq!(out.matches("# HELP bgp_x_total").count(), 1);
+        assert_eq!(out.matches("# TYPE bgp_x_total counter").count(), 1);
+        assert!(out.contains("bgp_x_total{kind=\"a\"} 7\n"));
+        assert!(out.contains("bgp_x_total{kind=\"b\"} 1\n"));
+        assert!(out.contains("# TYPE bgp_depth gauge"));
+        assert!(out.contains("bgp_depth -2\n"));
+        assert!(out.contains("# TYPE bgp_y_duration_seconds histogram"));
+        // Buckets are cumulative: both 300 ns observations land by le=512ns.
+        assert!(out.contains("bgp_y_duration_seconds_bucket{le=\"0.000000512\"} 2\n"));
+        assert!(out.contains("bgp_y_duration_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(out.contains("bgp_y_duration_seconds_count 3\n"));
+        assert!(out.contains("bgp_y_duration_seconds_sum 0.0000706\n"));
+    }
+
+    #[test]
+    fn family_snapshot_aggregates_label_sets() {
+        let r = ObsRegistry::new();
+        r.histogram("f", "h", &[("k", "a")]).record(100);
+        r.histogram("f", "h", &[("k", "b")]).record(1_000_000);
+        let agg = r.family_snapshot("f").unwrap();
+        assert_eq!(agg.count, 2);
+        assert_eq!(agg.sum_nanos, 1_000_100);
+        assert_eq!(agg.max_nanos, 1_000_000);
+        assert!(r.family_snapshot("missing").is_none());
+    }
+
+    #[test]
+    fn span_records_into_histogram_and_journal() {
+        let r = ObsRegistry::new();
+        {
+            let _g = r.span_named("unit_test_stage", "epoch=3".to_string());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let snap = r
+            .family_snapshot("bgp_unit_test_stage_duration_seconds")
+            .unwrap();
+        assert_eq!(snap.count, 1);
+        assert!(snap.max_nanos >= 1_000_000);
+        let events = r.journal().last(10);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "unit_test_stage");
+        assert_eq!(events[0].detail, "epoch=3");
+        assert!(events[0].duration_nanos >= 1_000_000);
+    }
+}

@@ -18,10 +18,18 @@
 //! | `/healthz`                   | liveness + served version |
 //! | `/metrics`                   | Prometheus text exposition |
 //!
+//! | `/v1/debug/timings`          | per-stage latency histograms (p50/p99/max) |
+//! | `/v1/debug/trace?last=N`     | the last N span completions + log events |
+//!
 //! The three time-travel routes (`?epoch=`, `/v1/epochs`,
 //! `/v1/history/…`) answer from the durable archive through a
 //! [`HistoryStore`] and respond `400` when the daemon runs without
 //! `--archive`; everything else is served from the live snapshot.
+//!
+//! Every request is timed into a per-endpoint histogram
+//! (`bgp_serve_http_request_duration_seconds{endpoint=…}`) and
+//! journaled, so `/metrics` and the two debug routes expose the serving
+//! tail without any external tracing dependency.
 
 use crate::history::HistoryStore;
 use crate::http::{Handler, Request, Response};
@@ -34,9 +42,12 @@ use bgp_infer::classify::Class;
 use bgp_infer::counters::Thresholds;
 use bgp_infer::db::{CommunityLookup, DbRecord};
 use bgp_types::prelude::*;
+use obs::journal::JournalKind;
+use obs::{Histogram, ObsRegistry};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Default (and maximum) `limit` for `/v1/classes` pages.
 pub const MAX_PAGE: usize = 10_000;
@@ -48,6 +59,13 @@ pub struct Api {
     slot: Arc<SnapshotSlot>,
     metrics: Arc<Metrics>,
     history: Option<Arc<HistoryStore>>,
+    /// Observability registry rendered by `/metrics` and the debug
+    /// routes (the process-global one unless a test injects its own).
+    obs: Arc<ObsRegistry>,
+    /// Per-endpoint request-duration histograms, indexed by
+    /// [`Endpoint::index`] — resolved once so the request path records
+    /// with pure atomics.
+    endpoint_hists: Vec<Arc<Histogram>>,
 }
 
 thread_local! {
@@ -57,12 +75,30 @@ thread_local! {
 }
 
 impl Api {
-    /// Handler over `slot`, metering into `metrics`.
+    /// Handler over `slot`, metering into `metrics` and the global
+    /// observability registry.
     pub fn new(slot: Arc<SnapshotSlot>, metrics: Arc<Metrics>) -> Self {
+        Api::with_obs(slot, metrics, obs::global())
+    }
+
+    /// [`Api::new`] recording into an explicit registry (tests).
+    pub fn with_obs(slot: Arc<SnapshotSlot>, metrics: Arc<Metrics>, obs: Arc<ObsRegistry>) -> Self {
+        let endpoint_hists = Endpoint::ALL
+            .iter()
+            .map(|e| {
+                obs.histogram(
+                    "bgp_serve_http_request_duration_seconds",
+                    "Wall time to dispatch one HTTP request, by endpoint",
+                    &[("endpoint", e.label())],
+                )
+            })
+            .collect();
         Api {
             slot,
             metrics,
             history: None,
+            obs,
+            endpoint_hists,
         }
     }
 
@@ -121,14 +157,20 @@ impl Api {
             "/v1/reclassify" => (Endpoint::Reclassify, reclassify_endpoint(&snap, request)),
             "/v1/stats" => (
                 Endpoint::Stats,
-                stats_endpoint(&snap, self.metrics.total_requests()),
+                stats_endpoint(&snap, self.metrics.total_requests(), &self.obs),
             ),
             "/v1/epochs" => (Endpoint::Epochs, self.epochs_endpoint(&snap)),
-            "/healthz" => (Endpoint::Health, health_endpoint(&snap)),
-            "/metrics" => (
-                Endpoint::Metrics,
-                Response::text(self.metrics.render(&snap)),
+            "/v1/debug/timings" => (Endpoint::DebugTimings, timings_endpoint(&snap, &self.obs)),
+            "/v1/debug/trace" => (
+                Endpoint::DebugTrace,
+                trace_endpoint(&snap, &self.obs, request),
             ),
+            "/healthz" => (Endpoint::Health, health_endpoint(&snap)),
+            "/metrics" => {
+                let mut text = self.metrics.render(&snap);
+                self.obs.render_prometheus(&mut text);
+                (Endpoint::Metrics, Response::text(text))
+            }
             _ => (Endpoint::Other, Response::error(404, "no such route")),
         }
     }
@@ -219,8 +261,17 @@ impl Api {
 
 impl Handler for Api {
     fn handle(&self, request: &Request) -> Response {
+        let t_request = Instant::now();
         let (endpoint, response) = self.dispatch(request);
         self.metrics.observe(endpoint, response.status);
+        let nanos = t_request.elapsed().as_nanos() as u64;
+        self.endpoint_hists[endpoint.index()].record(nanos);
+        self.obs.journal().push(
+            JournalKind::Span,
+            "http_request",
+            nanos,
+            format!("endpoint={} status={}", endpoint.label(), response.status),
+        );
         response
     }
 }
@@ -513,7 +564,20 @@ fn reclassify_endpoint(snap: &ServeSnapshot, request: &Request) -> Response {
     Response::json(w.finish())
 }
 
-fn stats_endpoint(snap: &ServeSnapshot, requests_total: u64) -> Response {
+/// Write `{"p50_nanos":…,"p99_nanos":…,"max_nanos":…,"observed":…}` for
+/// one histogram family aggregated across its label sets (all-zero when
+/// the family has recorded nothing yet).
+fn write_latency_field(w: &mut JsonWriter, name: &str, obs: &ObsRegistry, family: &str) {
+    let snap = obs.family_snapshot(family).unwrap_or_default();
+    w.begin_obj_field(name);
+    w.field_u64("p50_nanos", snap.quantile_nanos(0.5));
+    w.field_u64("p99_nanos", snap.quantile_nanos(0.99));
+    w.field_u64("max_nanos", snap.max_nanos);
+    w.field_u64("observed", snap.count);
+    w.end_obj();
+}
+
+fn stats_endpoint(snap: &ServeSnapshot, requests_total: u64, obs: &ObsRegistry) -> Response {
     let mut w = begin_envelope(snap);
     if let Some(epoch) = &snap.epoch {
         w.field_u64("sealed_at", epoch.sealed_at);
@@ -526,6 +590,21 @@ fn stats_endpoint(snap: &ServeSnapshot, requests_total: u64) -> Response {
         w.field_u64("seal_nanos", 0);
         w.field_u64("count_nanos", 0);
     }
+    // Distribution views of the same stages (the one-shot fields above
+    // are kept for compatibility): seal wall time across every sealed
+    // epoch, and the recount portion alone.
+    write_latency_field(
+        &mut w,
+        "seal_latency",
+        obs,
+        "bgp_stream_seal_duration_seconds",
+    );
+    write_latency_field(
+        &mut w,
+        "count_latency",
+        obs,
+        "bgp_stream_recount_duration_seconds",
+    );
     w.field_u64("total_events", snap.ingest.total_events);
     w.field_u64("unique_tuples", snap.ingest.unique_tuples as u64);
     w.field_u64("duplicates", snap.ingest.duplicates);
@@ -543,6 +622,60 @@ fn stats_endpoint(snap: &ServeSnapshot, requests_total: u64) -> Response {
     }
     w.end_arr();
     w.field_u64("requests_total", requests_total);
+    w.end_obj();
+    Response::json(w.finish())
+}
+
+/// `/v1/debug/timings` — every stage histogram's p50/p99/max, one entry
+/// per (family, label set), sorted.
+fn timings_endpoint(snap: &ServeSnapshot, obs: &ObsRegistry) -> Response {
+    let stages = obs.histogram_snapshots();
+    let mut w = begin_envelope(snap);
+    w.field_u64("stages", stages.len() as u64);
+    w.begin_arr_field("timings");
+    for entry in &stages {
+        w.begin_obj();
+        w.field_str("family", &entry.family);
+        w.begin_obj_field("labels");
+        for (k, v) in &entry.labels {
+            w.field_str(k, v);
+        }
+        w.end_obj();
+        w.field_u64("observed", entry.snap.count);
+        w.field_u64("sum_nanos", entry.snap.sum_nanos);
+        w.field_u64("p50_nanos", entry.snap.quantile_nanos(0.5));
+        w.field_u64("p99_nanos", entry.snap.quantile_nanos(0.99));
+        w.field_u64("max_nanos", entry.snap.max_nanos);
+        w.end_obj();
+    }
+    w.end_arr();
+    w.end_obj();
+    Response::json(w.finish())
+}
+
+/// `/v1/debug/trace?last=N` — the journal's most recent events (span
+/// completions and log lines), oldest first. `last` defaults to 64.
+fn trace_endpoint(snap: &ServeSnapshot, obs: &ObsRegistry, request: &Request) -> Response {
+    let last = match parse_usize(request, "last", 64) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let events = obs.journal().last(last);
+    let mut w = begin_envelope(snap);
+    w.field_u64("journaled_total", obs.journal().pushed());
+    w.field_u64("count", events.len() as u64);
+    w.begin_arr_field("events");
+    for e in &events {
+        w.begin_obj();
+        w.field_u64("seq", e.seq);
+        w.field_str("kind", e.kind.label());
+        w.field_str("name", e.name);
+        w.field_u64("duration_nanos", e.duration_nanos);
+        w.field_str("detail", &e.detail);
+        w.field_u64("unix_nanos", e.unix_nanos);
+        w.end_obj();
+    }
+    w.end_arr();
     w.end_obj();
     Response::json(w.finish())
 }

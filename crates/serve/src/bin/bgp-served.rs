@@ -28,6 +28,12 @@
 //!       --linger                keep serving after the feed is exhausted
 //!                               (default: exit once ingest drains; the
 //!                               daemon always serves *during* ingest)
+//!       --log-level <SPEC>      log filter: a default level and optional
+//!                               per-target overrides, e.g. `info`,
+//!                               `debug,http=warn`, `info,stream=trace`
+//!                               (targets: serve, stream, archive, http;
+//!                               default info)
+//!       --log-json              one JSON object per log line instead of text
 //!   -h, --help                  show this help
 //! ```
 //!
@@ -61,13 +67,15 @@ struct Options {
     repeats: u32,
     archive: Option<String>,
     linger: bool,
+    log_level: String,
+    log_json: bool,
     inputs: Vec<String>,
 }
 
 fn usage() -> &'static str {
     "usage: bgp-served [-l ADDR] [-w WORKERS] [-s SHARDS] [-e EVENTS] [--epoch-secs S]\n\
      \x20                 [-t THRESHOLD] [-b BATCH] [--archive DIR] [--linger]\n\
-     \x20                 <MRT-FILE>... | --sim SCENARIO\n\
+     \x20                 [--log-level SPEC] [--log-json] <MRT-FILE>... | --sim SCENARIO\n\
      Serves the live per-AS classification database over HTTP while ingesting."
 }
 
@@ -87,6 +95,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         repeats: 2,
         archive: None,
         linger: false,
+        log_level: "info".to_string(),
+        log_json: false,
         inputs: Vec::new(),
     };
     let mut it = args.iter();
@@ -144,6 +154,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--archive" => opts.archive = Some(num(arg)?),
             "--linger" => opts.linger = true,
+            "--log-level" => opts.log_level = num(arg)?,
+            "--log-json" => opts.log_json = true,
             "-h" | "--help" => return Err(String::new()),
             other if other.starts_with('-') => return Err(format!("unknown option {other}")),
             file => opts.inputs.push(file.to_string()),
@@ -168,6 +180,10 @@ fn epoch_policy(opts: &Options) -> EpochPolicy {
 }
 
 fn run(opts: Options) -> Result<(), String> {
+    let mut log_cfg =
+        obs::LogConfig::parse(&opts.log_level).map_err(|e| format!("--log-level: {e}"))?;
+    log_cfg.json = opts.log_json;
+    obs::logger::init(log_cfg);
     shutdown::install();
     let thresholds = bgp_infer::counters::Thresholds::uniform(opts.threshold);
     let slot = Arc::new(SnapshotSlot::new(thresholds));
@@ -201,7 +217,8 @@ fn run(opts: Options) -> Result<(), String> {
         match &restored {
             Some(snap) => {
                 slot.publish(Arc::clone(snap));
-                eprintln!(
+                obs::info!(
+                    "serve",
                     "restored epoch {} ({} classified, {} events) from {dir} in {:.1} ms; feed replay backfills",
                     snap.epoch_id().unwrap_or(0),
                     snap.records.len(),
@@ -209,7 +226,7 @@ fn run(opts: Options) -> Result<(), String> {
                     boot.elapsed().as_secs_f64() * 1e3,
                 );
             }
-            None => eprintln!("archive {dir} is empty; starting fresh"),
+            None => obs::info!("serve", "archive {dir} is empty; starting fresh"),
         }
         let writer = ArchiveWriter::open(dir).map_err(|e| format!("archive {dir}: {e}"))?;
         sink = Some(ArchiveSink::spawn(writer));
@@ -236,7 +253,11 @@ fn run(opts: Options) -> Result<(), String> {
         Arc::new(api),
     )
     .map_err(|e| format!("bind {}: {e}", opts.listen))?;
-    eprintln!("bgp-served listening on http://{}", http.local_addr());
+    obs::info!(
+        "http",
+        "bgp-served listening on http://{}",
+        http.local_addr()
+    );
 
     let feed = match &opts.sim {
         Some(scenario) => Feed::Sim {
@@ -264,14 +285,18 @@ fn run(opts: Options) -> Result<(), String> {
     while !ingest.is_finished() {
         std::thread::sleep(std::time::Duration::from_millis(250));
         if shutdown::requested() && !stop_sent {
-            eprintln!("shutdown signal: sealing and flushing the trailing epoch");
+            obs::info!(
+                "serve",
+                "shutdown signal: sealing and flushing the trailing epoch"
+            );
             ingest.stop();
             stop_sent = true;
         }
         let version = slot.version();
         if version != last_version {
             let snap = slot.load();
-            eprintln!(
+            obs::info!(
+                "serve",
                 "serving v{version}: {} classified, {} events, {} requests answered",
                 snap.records.len(),
                 snap.ingest.total_events,
@@ -281,7 +306,8 @@ fn run(opts: Options) -> Result<(), String> {
         }
     }
     let report = ingest.join()?;
-    eprintln!(
+    obs::info!(
+        "serve",
         "ingest done: {} events, {} unique tuples, {} epochs; {} requests answered",
         report.total_events,
         report.unique_tuples,
@@ -289,15 +315,18 @@ fn run(opts: Options) -> Result<(), String> {
         metrics.total_requests(),
     );
     if opts.archive.is_some() {
-        eprintln!("archived {} new epochs", report.archived_epochs);
+        obs::info!("serve", "archived {} new epochs", report.archived_epochs);
     }
 
     if opts.linger && !shutdown::requested() {
-        eprintln!("serving final snapshot until interrupted (--linger)");
+        obs::info!(
+            "serve",
+            "serving final snapshot until interrupted (--linger)"
+        );
         while !shutdown::requested() {
             std::thread::sleep(std::time::Duration::from_millis(250));
         }
-        eprintln!("shutdown signal: exiting");
+        obs::info!("serve", "shutdown signal: exiting");
     }
     http.shutdown();
     Ok(())
@@ -309,17 +338,17 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(msg) => {
             if msg.is_empty() {
-                eprintln!("{}", usage());
+                eprintln!("{}", usage()); // cli-out
                 return ExitCode::SUCCESS;
             }
-            eprintln!("error: {msg}\n{}", usage());
+            eprintln!("error: {msg}\n{}", usage()); // cli-out
             return ExitCode::FAILURE;
         }
     };
     match run(opts) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
-            eprintln!("error: {msg}");
+            eprintln!("error: {msg}"); // cli-out
             ExitCode::FAILURE
         }
     }

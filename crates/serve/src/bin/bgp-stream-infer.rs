@@ -154,7 +154,8 @@ fn epoch_policy(opts: &Options) -> EpochPolicy {
 }
 
 fn report_epoch(snap: &EpochSnapshot, print_flips: bool) {
-    eprintln!(
+    obs::info!(
+        "stream",
         "epoch {:>4} v{:<4} sealed_at={} events={:<8} unique={:<8} classified={:<6} flips={}",
         snap.epoch,
         snap.version,
@@ -166,7 +167,7 @@ fn report_epoch(snap: &EpochSnapshot, print_flips: bool) {
     );
     if print_flips {
         for f in snap.flips.iter() {
-            eprintln!("  flip {f}");
+            obs::info!("stream", "  flip {f}");
         }
     }
 }
@@ -234,7 +235,7 @@ fn run(opts: &Options) -> Result<(), String> {
                 Arc::new(Api::new(Arc::clone(&slot), Arc::clone(&metrics))),
             )
             .map_err(|e| format!("bind {addr}: {e}"))?;
-            eprintln!("serving query API on http://{}", http.local_addr());
+            obs::info!("http", "serving query API on http://{}", http.local_addr());
             Some((http, Publisher::new(slot, 100_000), metrics))
         }
         None => None,
@@ -253,7 +254,11 @@ fn run(opts: &Options) -> Result<(), String> {
         let graph = cfg.seed(opts.seed).build();
         let paths = PathSubstrate::generate(&graph, 3).paths;
         let ds = scenario.materialize(&graph, &paths, opts.seed);
-        eprintln!("simulated scenario {name}: {} tuples", ds.tuples.len());
+        obs::info!(
+            "stream",
+            "simulated scenario {name}: {} tuples",
+            ds.tuples.len()
+        );
         let feed = UpdateFeed::new(&ds, opts.seed, opts.repeats);
         let mut source = IterSource::new(feed.map(|(ts, tuple)| StreamEvent::new(ts, tuple)));
         drain(
@@ -279,7 +284,8 @@ fn run(opts: &Options) -> Result<(), String> {
             )
             .map_err(|e| format!("{file}: {e}"))?;
             let st = source.stats();
-            eprintln!(
+            obs::info!(
+                "stream",
                 "{file}: {} raw entries, kept {} dropped {}",
                 source.raw_entries(),
                 st.kept,
@@ -303,7 +309,8 @@ fn run(opts: &Options) -> Result<(), String> {
     for snap in &out.snapshots[reported..] {
         report_epoch(snap, opts.print_flips);
     }
-    eprintln!(
+    obs::info!(
+        "stream",
         "stream done: {} events, {} unique tuples ({} dups), {} epochs, shard loads {:?}",
         out.total_events,
         out.unique_tuples,
@@ -311,7 +318,8 @@ fn run(opts: &Options) -> Result<(), String> {
         out.epochs(),
         out.shard_loads,
     );
-    eprintln!(
+    obs::info!(
+        "stream",
         "compiled stores: {arena_hops} arena hops, {interned_asns} interned ASNs across shards",
     );
 
@@ -324,7 +332,8 @@ fn run(opts: &Options) -> Result<(), String> {
     }
     if let Some(http) = http {
         if let Some(metrics) = &metrics {
-            eprintln!(
+            obs::info!(
+                "http",
                 "query API answered {} requests; shutting down",
                 metrics.total_requests()
             );
@@ -340,17 +349,17 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(msg) => {
             if msg.is_empty() {
-                eprintln!("{}", usage());
+                eprintln!("{}", usage()); // cli-out
                 return ExitCode::SUCCESS;
             }
-            eprintln!("error: {msg}\n{}", usage());
+            eprintln!("error: {msg}\n{}", usage()); // cli-out
             return ExitCode::FAILURE;
         }
     };
     match run(&opts) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
-            eprintln!("error: {msg}");
+            eprintln!("error: {msg}"); // cli-out
             ExitCode::FAILURE
         }
     }

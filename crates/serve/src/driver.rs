@@ -255,10 +255,16 @@ fn drive(
     batch: usize,
     stop: &AtomicBool,
 ) -> Result<(), bgp_stream::ingest::IngestError> {
+    let batch_hist = obs::global().histogram(
+        "bgp_serve_ingest_batch_duration_seconds",
+        "Wall time to pull and push one ingest batch (including any seals)",
+        &[],
+    );
     loop {
         if stop.load(Ordering::Acquire) {
             return Ok(());
         }
+        let t_batch = std::time::Instant::now();
         let events = source.next_batch(batch)?;
         if events.is_empty() {
             return Ok(());
@@ -279,6 +285,7 @@ fn drive(
             }
         }
         metrics.events_ingested(n);
+        batch_hist.record(t_batch.elapsed().as_nanos() as u64);
     }
 }
 

@@ -34,12 +34,17 @@ pub enum Endpoint {
     Health,
     /// `/metrics`
     Metrics,
+    /// `/v1/debug/timings`
+    DebugTimings,
+    /// `/v1/debug/trace`
+    DebugTrace,
     /// Anything that matched no route.
     Other,
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 11] = [
+    /// Every metered endpoint, in label/index order.
+    pub const ALL: [Endpoint; 13] = [
         Endpoint::Class,
         Endpoint::Classes,
         Endpoint::Community,
@@ -50,10 +55,13 @@ impl Endpoint {
         Endpoint::History,
         Endpoint::Health,
         Endpoint::Metrics,
+        Endpoint::DebugTimings,
+        Endpoint::DebugTrace,
         Endpoint::Other,
     ];
 
-    fn label(self) -> &'static str {
+    /// Stable label for exposition (`endpoint="…"`).
+    pub fn label(self) -> &'static str {
         match self {
             Endpoint::Class => "class",
             Endpoint::Classes => "classes",
@@ -65,11 +73,14 @@ impl Endpoint {
             Endpoint::History => "history",
             Endpoint::Health => "healthz",
             Endpoint::Metrics => "metrics",
+            Endpoint::DebugTimings => "debug_timings",
+            Endpoint::DebugTrace => "debug_trace",
             Endpoint::Other => "other",
         }
     }
 
-    fn index(self) -> usize {
+    /// Position in [`Endpoint::ALL`] (dense array index).
+    pub fn index(self) -> usize {
         Endpoint::ALL
             .iter()
             .position(|&e| e == self)
@@ -80,7 +91,7 @@ impl Endpoint {
 /// Shared atomic counters.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    requests: [AtomicU64; 11],
+    requests: [AtomicU64; 13],
     responses_2xx: AtomicU64,
     responses_4xx: AtomicU64,
     responses_5xx: AtomicU64,

@@ -29,8 +29,11 @@ use bgp_infer::counters::Thresholds;
 use bgp_infer::db::DbRecord;
 use bgp_stream::epoch::{ClassFlip, EpochSnapshot};
 use bgp_stream::pipeline::StreamPipeline;
+use obs::journal::JournalKind;
+use obs::{Histogram, Journal};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// One sealed epoch's contribution to the flip log: the epoch id plus
 /// the epoch's flip list, shared (`Arc`) with the pipeline snapshot that
@@ -418,11 +421,16 @@ pub struct Publisher {
     /// backwards), the flip log (already seeded), or the sink (already
     /// committed).
     resume_skip: Option<u64>,
+    /// Publish-stage histogram + journal, resolved once from the global
+    /// registry.
+    publish_hist: Arc<Histogram>,
+    journal: Arc<Journal>,
 }
 
 impl Publisher {
     /// A publisher feeding `slot`, retaining at most `flip_log_cap` flips.
     pub fn new(slot: Arc<SnapshotSlot>, flip_log_cap: usize) -> Self {
+        let reg = obs::global();
         Publisher {
             slot,
             published: 0,
@@ -431,6 +439,12 @@ impl Publisher {
             metrics: None,
             archive: None,
             resume_skip: None,
+            publish_hist: reg.histogram(
+                "bgp_serve_publish_duration_seconds",
+                "Wall time to build and publish one ServeSnapshot",
+                &[],
+            ),
+            journal: Arc::clone(reg.journal()),
         }
     }
 
@@ -489,6 +503,7 @@ impl Publisher {
         if self.resume_skip.is_some_and(|skip| sealed.epoch <= skip) {
             return false;
         }
+        let t_publish = Instant::now();
         self.log
             .push_epoch(sealed.epoch, &sealed.flips, self.flip_log_cap);
         if let Some(metrics) = &self.metrics {
@@ -541,6 +556,19 @@ impl Publisher {
                 },
             );
         }
+        let nanos = t_publish.elapsed().as_nanos() as u64;
+        self.publish_hist.record(nanos);
+        self.journal.push(
+            JournalKind::Span,
+            "publish",
+            nanos,
+            format!(
+                "epoch={} version={} records={}",
+                snapshot.epoch_id().unwrap_or(0),
+                snapshot.version(),
+                snapshot.records.len()
+            ),
+        );
         true
     }
 }

@@ -1,0 +1,453 @@
+//! The observability surface, end to end over loopback TCP.
+//!
+//! A full world (ingest driver + archive sink + HTTP server) runs to
+//! completion, then a raw-socket client:
+//!
+//! * scrapes `/metrics` and **parses the text back** — every family
+//!   must carry a `# HELP` / `# TYPE` preamble, histogram buckets must
+//!   be cumulative-monotone and end at `+Inf`, `_count` must equal the
+//!   `+Inf` bucket, and `_sum` must be present — and the stage-latency
+//!   histogram families added by the obs layer must all be live;
+//! * hits `/v1/debug/timings` and asserts the seal/publish/archive
+//!   stages report real observations with ordered quantiles;
+//! * hits `/v1/debug/trace` and checks the journal replays seal,
+//!   publish, archive-append, and http-request completions with
+//!   monotone sequence numbers.
+
+use bgp_archive::prelude::*;
+use bgp_infer::counters::Thresholds;
+use bgp_serve::driver::spawn_ingest_archived;
+use bgp_serve::prelude::*;
+use bgp_stream::epoch::EpochPolicy;
+use bgp_stream::ingest::StreamEvent;
+use bgp_stream::pipeline::StreamConfig;
+use bgp_types::prelude::*;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------- client
+
+struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        Client {
+            stream: TcpStream::connect(addr).expect("connect to server"),
+        }
+    }
+
+    fn get(&mut self, path: &str) -> (u16, String) {
+        let head = format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n");
+        self.stream
+            .write_all(head.as_bytes())
+            .expect("write request");
+        let mut buf = Vec::new();
+        let mut byte = [0u8; 1];
+        while !buf.ends_with(b"\r\n\r\n") {
+            let n = self.stream.read(&mut byte).expect("read response head");
+            assert!(n > 0, "EOF mid-head");
+            buf.push(byte[0]);
+        }
+        let head = String::from_utf8(buf).expect("head is UTF-8");
+        let status: u16 = head[9..12].parse().expect("status code");
+        let length: usize = head
+            .lines()
+            .find_map(|l| {
+                l.to_ascii_lowercase()
+                    .strip_prefix("content-length:")
+                    .map(str::to_string)
+            })
+            .expect("Content-Length present")
+            .trim()
+            .parse()
+            .expect("numeric Content-Length");
+        let mut body = vec![0u8; length];
+        self.stream.read_exact(&mut body).expect("read body");
+        (status, String::from_utf8(body).expect("body is UTF-8"))
+    }
+}
+
+// ----------------------------------------------------------- the world
+
+fn world_events() -> Vec<StreamEvent> {
+    let mut state = 0x0123_4567_89AB_CDEFu64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..60u64)
+        .map(|i| {
+            let r = rng();
+            let origin = 8_000 + (i / 4) as u32;
+            let tagger = 64_500 + (r % 5) as u32;
+            let comms = if r % 9 == 0 {
+                CommunitySet::from_iter([])
+            } else {
+                CommunitySet::from_iter([AnyCommunity::tag_for(Asn(tagger), (r % 700) as u32)])
+            };
+            let tuple = PathCommTuple::new(path(&[100, tagger, origin]), comms);
+            StreamEvent::new(5 * i + 1, tuple)
+        })
+        .collect()
+}
+
+fn tmp_dir() -> std::path::PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "bgp-obs-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Run the full observable stack — archived ingest to completion, then
+/// a live HTTP server — and return a connected client.
+fn served() -> (HttpServer, Client) {
+    let slot = Arc::new(SnapshotSlot::new(Thresholds::default()));
+    let metrics = Arc::new(Metrics::new());
+    let dir = tmp_dir();
+    let sink = ArchiveSink::spawn(ArchiveWriter::open(&dir).expect("open archive"));
+    spawn_ingest_archived(
+        DriverConfig {
+            stream: StreamConfig {
+                shards: 2,
+                epoch: EpochPolicy::every_events(16),
+                ..Default::default()
+            },
+            batch: 8,
+            flip_log_cap: 100_000,
+        },
+        Feed::Events(world_events()),
+        Arc::clone(&slot),
+        Arc::clone(&metrics),
+        Some(sink),
+        None,
+    )
+    .join()
+    .expect("ingest succeeds");
+    let http = HttpServer::start(
+        HttpConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            ..Default::default()
+        },
+        Arc::new(Api::new(slot, metrics)),
+    )
+    .expect("bind loopback");
+    let client = Client::connect(http.local_addr());
+    (http, client)
+}
+
+// ------------------------------------------- Prometheus text parse-back
+
+#[derive(Debug, Default)]
+struct Family {
+    help: bool,
+    kind: String,
+    /// Sample lines in exposition order: (full label part, value).
+    samples: Vec<(String, f64)>,
+}
+
+/// Parse text-format v0.0.4 into families, panicking on any line that
+/// is not a comment, a blank, or a `name{labels} value` sample whose
+/// name (sans `_bucket`/`_sum`/`_count` suffix for histograms) has
+/// already been declared by a HELP/TYPE preamble above it.
+fn parse_families(text: &str) -> BTreeMap<String, Family> {
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().expect("HELP name");
+            assert!(
+                rest.len() > name.len() + 1,
+                "HELP line for {name} has no help text"
+            );
+            families.entry(name.to_string()).or_default().help = true;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().expect("TYPE name");
+            let kind = it.next().expect("TYPE kind");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown TYPE {kind} for {name}"
+            );
+            let fam = families.entry(name.to_string()).or_default();
+            assert!(fam.help, "TYPE for {name} precedes its HELP");
+            assert!(fam.kind.is_empty(), "duplicate TYPE for {name}");
+            fam.kind = kind.to_string();
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unexpected comment: {line}");
+        // Sample: `name value` or `name{labels} value`.
+        let (name_labels, value) = line.rsplit_once(' ').expect("sample has a value");
+        let value: f64 = value.parse().unwrap_or_else(|e| {
+            panic!("non-numeric sample value in {line:?}: {e}");
+        });
+        let (name, labels) = match name_labels.split_once('{') {
+            Some((n, l)) => (n, format!("{{{l}")),
+            None => (name_labels, String::new()),
+        };
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| families.get(*f).is_some_and(|fam| fam.kind == "histogram"))
+            .unwrap_or(name);
+        let fam = families
+            .get_mut(family)
+            .unwrap_or_else(|| panic!("sample {name} has no HELP/TYPE preamble"));
+        assert!(!fam.kind.is_empty(), "sample {name} precedes its TYPE");
+        let suffix = name.strip_prefix(family).unwrap_or("");
+        fam.samples.push((format!("{suffix}{labels}"), value));
+    }
+    families
+}
+
+/// The `le` bound of a bucket sample key like `_bucket{kind="full",le="0.5"}`.
+fn le_bound(sample_key: &str) -> Option<f64> {
+    let le = sample_key.split("le=\"").nth(1)?.split('"').next()?;
+    Some(if le == "+Inf" {
+        f64::INFINITY
+    } else {
+        le.parse().expect("numeric le bound")
+    })
+}
+
+/// Split a sample key into its (`_bucket`/`_sum`/`_count`) suffix and
+/// label part.
+fn split_key(key: &str) -> (&str, &str) {
+    match key.find('{') {
+        Some(i) => (&key[..i], &key[i..]),
+        None => (key, ""),
+    }
+}
+
+/// Strip the `le` label: the series key a sample belongs to.
+fn series_of(labels: &str) -> String {
+    labels
+        .trim_matches(|c| c == '{' || c == '}')
+        .split(',')
+        .filter(|kv| !kv.is_empty() && !kv.starts_with("le="))
+        .collect::<Vec<&str>>()
+        .join(",")
+}
+
+fn validate_histogram(name: &str, fam: &Family) {
+    // Group buckets / sums / counts by label series.
+    let mut buckets: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut sums: BTreeMap<String, f64> = BTreeMap::new();
+    let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+    for (key, value) in &fam.samples {
+        let (suffix, labels) = split_key(key);
+        match suffix {
+            "_bucket" => {
+                let le = le_bound(key).unwrap_or_else(|| panic!("{name} bucket without le: {key}"));
+                buckets
+                    .entry(series_of(labels))
+                    .or_default()
+                    .push((le, *value));
+            }
+            "_sum" => {
+                sums.insert(series_of(labels), *value);
+            }
+            "_count" => {
+                counts.insert(series_of(labels), *value);
+            }
+            other => panic!("{name}: unexpected histogram sample suffix {other:?}"),
+        }
+    }
+    assert!(!buckets.is_empty(), "{name}: histogram with no buckets");
+    for (series, bs) in &buckets {
+        let mut prev_le = f64::NEG_INFINITY;
+        let mut prev_cum = 0.0;
+        for &(le, cum) in bs {
+            assert!(le > prev_le, "{name}{series}: le bounds not increasing");
+            assert!(
+                cum >= prev_cum,
+                "{name}{series}: bucket counts not cumulative-monotone"
+            );
+            prev_le = le;
+            prev_cum = cum;
+        }
+        let (last_le, last_cum) = *bs.last().unwrap();
+        assert_eq!(
+            last_le,
+            f64::INFINITY,
+            "{name}{series}: last bucket must be +Inf"
+        );
+        let count = counts
+            .get(series)
+            .unwrap_or_else(|| panic!("{name}{series}: missing _count"));
+        assert_eq!(
+            *count, last_cum,
+            "{name}{series}: _count disagrees with +Inf bucket"
+        );
+        let sum = sums
+            .get(series)
+            .unwrap_or_else(|| panic!("{name}{series}: missing _sum"));
+        assert!(*sum >= 0.0, "{name}{series}: negative _sum");
+        if *count > 0.0 {
+            assert!(
+                *sum > 0.0,
+                "{name}{series}: observations but zero _sum (sub-nanosecond stages?)"
+            );
+        }
+    }
+}
+
+/// Stage-latency families the obs layer adds to the exposition. Each is
+/// exercised by the archived-ingest world above, so they must all be
+/// present *and live* (at least one observation).
+const OBS_HISTOGRAMS: [&str; 8] = [
+    "bgp_stream_seal_duration_seconds",
+    "bgp_stream_count_duration_seconds",
+    "bgp_stream_merge_duration_seconds",
+    "bgp_stream_recount_duration_seconds",
+    "bgp_serve_publish_duration_seconds",
+    "bgp_serve_ingest_batch_duration_seconds",
+    "bgp_archive_append_duration_seconds",
+    "bgp_serve_http_request_duration_seconds",
+];
+
+#[test]
+fn metrics_exposition_parses_back_and_is_live() {
+    let (http, mut client) = served();
+    // One request before the scrape so the http-request histogram has
+    // at least one completed observation.
+    let (status, _) = client.get("/v1/stats");
+    assert_eq!(status, 200);
+    let (status, text) = client.get("/metrics");
+    assert_eq!(status, 200);
+
+    let families = parse_families(&text);
+    for (name, fam) in &families {
+        assert!(fam.help, "{name}: missing HELP");
+        assert!(!fam.kind.is_empty(), "{name}: missing TYPE");
+        if fam.kind == "histogram" {
+            validate_histogram(name, fam);
+        } else {
+            assert!(!fam.samples.is_empty(), "{name}: family with no samples");
+        }
+    }
+
+    for name in OBS_HISTOGRAMS {
+        let fam = families
+            .get(name)
+            .unwrap_or_else(|| panic!("obs family {name} missing from /metrics"));
+        assert_eq!(fam.kind, "histogram", "{name}: wrong TYPE");
+        let observed: f64 = fam
+            .samples
+            .iter()
+            .filter(|(k, _)| k.starts_with("_count"))
+            .map(|(_, v)| v)
+            .sum();
+        assert!(observed > 0.0, "{name}: present but never observed");
+    }
+
+    // Archive counters/gauges are part of the same exposition.
+    for name in [
+        "bgp_archive_segments_appended_total",
+        "bgp_archive_bytes_written_total",
+        "bgp_archive_sink_queue_depth",
+        "bgp_archive_sink_failed",
+    ] {
+        assert!(families.contains_key(name), "{name} missing from /metrics");
+    }
+    let appended = families["bgp_archive_segments_appended_total"].samples[0].1;
+    assert!(appended >= 1.0, "no segments appended during the run");
+    assert_eq!(
+        families["bgp_archive_sink_queue_depth"].samples[0].1, 0.0,
+        "queue depth nonzero after the sink drained"
+    );
+    assert_eq!(families["bgp_archive_sink_failed"].samples[0].1, 0.0);
+
+    http.shutdown();
+}
+
+// ------------------------------------------------------ debug endpoints
+
+/// Pull `"field":<number>` out of a JSON body (flat, no nesting smarts).
+fn json_u64(body: &str, field: &str) -> Option<u64> {
+    let at = body.find(&format!("\"{field}\":"))?;
+    let rest = &body[at + field.len() + 3..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[test]
+fn debug_timings_reports_live_stage_latencies() {
+    let (http, mut client) = served();
+    let (status, body) = client.get("/v1/debug/timings");
+    assert_eq!(status, 200);
+    for family in OBS_HISTOGRAMS {
+        assert!(
+            body.contains(&format!("\"family\":\"{family}\"")),
+            "timings missing {family}: {body}"
+        );
+    }
+    // Each timing carries quantiles; spot-check the seal stage reports
+    // a real latency with ordered quantiles.
+    let seal_at = body
+        .find("\"family\":\"bgp_stream_seal_duration_seconds\"")
+        .unwrap();
+    let seal = &body[seal_at..];
+    let observed = json_u64(seal, "observed").expect("seal observed");
+    let p50 = json_u64(seal, "p50_nanos").expect("seal p50");
+    let p99 = json_u64(seal, "p99_nanos").expect("seal p99");
+    let max = json_u64(seal, "max_nanos").expect("seal max");
+    assert!(observed >= 1, "no seals observed");
+    assert!(p50 > 0 && p50 <= p99 && p99 <= max, "unordered quantiles");
+    http.shutdown();
+}
+
+#[test]
+fn debug_trace_replays_the_journal() {
+    let (http, mut client) = served();
+    // Generate a journaled http_request completion before tracing.
+    let (status, _) = client.get("/v1/stats");
+    assert_eq!(status, 200);
+    let (status, body) = client.get("/v1/debug/trace?last=512");
+    assert_eq!(status, 200);
+    let total = json_u64(&body, "journaled_total").expect("journaled_total");
+    let count = json_u64(&body, "count").expect("count");
+    assert!(total >= 1 && count >= 1, "empty journal: {body}");
+    for name in ["seal", "publish", "archive_append", "http_request"] {
+        assert!(
+            body.contains(&format!("\"name\":\"{name}\"")),
+            "trace missing {name} events: {body}"
+        );
+    }
+    // Sequence numbers are monotone increasing in the replay.
+    let mut last_seq = None;
+    for chunk in body.split("\"seq\":").skip(1) {
+        let end = chunk
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(chunk.len());
+        let seq: u64 = chunk[..end].parse().expect("numeric seq");
+        if let Some(prev) = last_seq {
+            assert!(seq > prev, "journal replay not seq-ordered");
+        }
+        last_seq = Some(seq);
+    }
+    // Bounded: asking for 3 returns at most 3.
+    let (_, body3) = client.get("/v1/debug/trace?last=3");
+    let count3 = json_u64(&body3, "count").expect("count");
+    assert!(count3 <= 3, "last=3 returned {count3} events");
+    http.shutdown();
+}

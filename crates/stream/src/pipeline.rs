@@ -8,6 +8,8 @@ use bgp_infer::classify::Class;
 use bgp_infer::compiled::DenseOutcome;
 use bgp_infer::counters::Thresholds;
 use bgp_types::prelude::*;
+use obs::journal::JournalKind;
+use obs::{Histogram, Journal};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -83,12 +85,33 @@ pub struct StreamPipeline {
     total_events: u64,
     epoch_start_ts: Option<u64>,
     last_ts: u64,
+    /// Seal-stage histograms by kind (`[zero_delta, incremental, full]`)
+    /// plus the whole-recount histogram, resolved once from the global
+    /// registry so sealing records with pure atomics.
+    seal_hists: [Arc<Histogram>; 3],
+    recount_hist: Arc<Histogram>,
+    journal: Arc<Journal>,
 }
 
 impl StreamPipeline {
     /// New pipeline.
     pub fn new(cfg: StreamConfig) -> Self {
         let shards = ShardSet::new(cfg.shards, cfg.dedup, cfg.incremental_seal);
+        let reg = obs::global();
+        let seal_help = "Wall time of one epoch seal";
+        let seal_hists = ["zero_delta", "incremental", "full"].map(|kind| {
+            reg.histogram(
+                "bgp_stream_seal_duration_seconds",
+                seal_help,
+                &[("kind", kind)],
+            )
+        });
+        let recount_hist = reg.histogram(
+            "bgp_stream_recount_duration_seconds",
+            "Wall time of the whole recount of one sealed epoch",
+            &[],
+        );
+        let journal = Arc::clone(reg.journal());
         StreamPipeline {
             cfg,
             shards,
@@ -100,6 +123,9 @@ impl StreamPipeline {
             total_events: 0,
             epoch_start_ts: None,
             last_ts: 0,
+            seal_hists,
+            recount_hist,
+            journal,
         }
     }
 
@@ -267,7 +293,8 @@ impl StreamPipeline {
     pub fn seal_epoch(&mut self) -> &Arc<EpochSnapshot> {
         let t_seal = Instant::now();
         let epoch = self.snapshots.len() as u64;
-        let mut snapshot = if self.shards.unchanged_since_seal() {
+        let zero_delta = self.shards.unchanged_since_seal();
+        let mut snapshot = if zero_delta {
             // O(1) fast path: identical tuple set => identical counters,
             // classes, and (empty) flip set. Share every component.
             self.shards.clear_replay_stats();
@@ -294,6 +321,7 @@ impl StreamPipeline {
                 self.cfg.shards > 1,
             );
             let count_nanos = t_count.elapsed().as_nanos() as u64;
+            self.recount_hist.record(count_nanos);
             self.refresh_by_asn();
             let counters = Arc::new(counters.into_counts());
             let th = self.cfg.thresholds;
@@ -349,6 +377,38 @@ impl StreamPipeline {
             }
         }
         snapshot.seal_nanos = t_seal.elapsed().as_nanos() as u64;
+        let (replayed, total) = self.shards.last_replay();
+        let kind = if zero_delta {
+            "zero_delta"
+        } else if replayed > 0 {
+            "incremental"
+        } else {
+            "full"
+        };
+        let kind_idx = match kind {
+            "zero_delta" => 0,
+            "incremental" => 1,
+            _ => 2,
+        };
+        self.seal_hists[kind_idx].record(snapshot.seal_nanos);
+        self.journal.push(
+            JournalKind::Span,
+            "seal",
+            snapshot.seal_nanos,
+            format!(
+                "epoch={epoch} kind={kind} events={} tuples={} replayed={replayed}/{total} count_nanos={}",
+                snapshot.events, snapshot.unique_tuples, snapshot.count_nanos
+            ),
+        );
+        obs::debug!(
+            "stream",
+            "sealed epoch {epoch} kind={kind} events={} tuples={} flips={} seal_nanos={} count_nanos={}",
+            snapshot.events,
+            snapshot.unique_tuples,
+            snapshot.flips.len(),
+            snapshot.seal_nanos,
+            snapshot.count_nanos
+        );
         self.snapshots.push(Arc::new(snapshot));
         self.snapshots.last().expect("just pushed")
     }

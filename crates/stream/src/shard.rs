@@ -53,8 +53,10 @@ use bgp_infer::compiled::{
 use bgp_infer::counters::{AsCounters, Thresholds};
 use bgp_infer::engine::CountPhase;
 use bgp_types::prelude::*;
+use obs::Histogram;
 use std::collections::BTreeSet;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The predicate bit words entering one (column, phase) step at the
 /// previous seal — the incremental-recount validity reference.
@@ -203,6 +205,12 @@ pub struct ShardSet {
     /// `(replayed, total)` (shard, step) counting units of the last
     /// recount — incremental-seal observability.
     last_replay: (usize, usize),
+    /// Per-phase stage histograms (`[tagging, forwarding]`), resolved
+    /// once from the global registry so the recount loop records with
+    /// pure atomics: one observation per (shard, column, phase) count
+    /// and one per (column, phase) merge.
+    hist_count: [Arc<Histogram>; 2],
+    hist_merge: [Arc<Histogram>; 2],
 }
 
 impl ShardSet {
@@ -213,6 +221,21 @@ impl ShardSet {
     pub fn new(n: usize, dedup: bool, incremental: bool) -> Self {
         let n = n.max(1);
         let interner = Arc::new(SharedInterner::new());
+        let reg = obs::global();
+        let phase_hist = |family: &str, help: &str| {
+            [
+                reg.histogram(family, help, &[("phase", "tagging")]),
+                reg.histogram(family, help, &[("phase", "forwarding")]),
+            ]
+        };
+        let hist_count = phase_hist(
+            "bgp_stream_count_duration_seconds",
+            "Wall time of one shard's count of one (column, phase) step",
+        );
+        let hist_merge = phase_hist(
+            "bgp_stream_merge_duration_seconds",
+            "Wall time of the serial dense merge of one (column, phase) step",
+        );
         ShardSet {
             shards: (0..n).map(|_| Shard::new(Arc::clone(&interner))).collect(),
             interner,
@@ -224,6 +247,8 @@ impl ShardSet {
             sealed_once: false,
             trajectory: Vec::new(),
             last_replay: (0, 0),
+            hist_count,
+            hist_merge,
         }
     }
 
@@ -422,7 +447,9 @@ impl ShardSet {
                 // suffix when that phase replays; a forwarding phase
                 // that stops replaying recomputes them in full.
                 let preds_ref = &preds;
+                let count_hist = &self.hist_count[pi];
                 let count_one = |s: &mut Shard, replay: bool, clean_full: &mut bool| {
+                    let t_count = Instant::now();
                     if phase == CountPhase::Tagging {
                         s.compiled
                             .compute_clean(preds_ref, x, enforce_cond1, replay);
@@ -439,6 +466,7 @@ impl ShardSet {
                         replay,
                         &mut s.delta,
                     );
+                    count_hist.record(t_count.elapsed().as_nanos() as u64);
                 };
                 if parallel {
                     std::thread::scope(|scope| {
@@ -465,6 +493,7 @@ impl ShardSet {
                 // merges are accumulate-only — the predicate evolution is
                 // already known — and every id whose counters moved off
                 // the replayed trajectory joins the overlay.
+                let t_merge = Instant::now();
                 for (s, &replay) in self.shards.iter_mut().zip(&reuse) {
                     if replay {
                         let step = &s.cache[x - 1][pi];
@@ -509,6 +538,7 @@ impl ShardSet {
                     }
                     s.delta.clear();
                 }
+                self.hist_merge[pi].record(t_merge.elapsed().as_nanos() as u64);
             }
             if col_active {
                 deepest_active = x;
