@@ -5,6 +5,7 @@
 //! USAGE:
 //!   bgp-archive inspect <DIR> [--epoch N]
 //!   bgp-archive verify  <DIR>
+//!   bgp-archive classes <DIR> [--epoch N]
 //!   bgp-archive compact <DIR> [--keep N]
 //!
 //! COMMANDS:
@@ -12,6 +13,10 @@
 //!             dump one epoch's header, class histogram, and flips
 //!   verify    re-read every committed byte: checksums, framing, epoch
 //!             contiguity, interner continuity; exit 1 on any problem
+//!   classes   dump one epoch's full classification table (default: the
+//!             latest epoch) as sorted `asn class` lines — a stable text
+//!             form two archives can be diffed by (the fault-injection
+//!             soak compares a faulted run against a clean one this way)
 //!   compact   merge segments older than the retention window into one
 //!             slim segment (drops counter columns and flip chunks);
 //!             --keep N retains the last N epochs untouched (default 16)
@@ -26,8 +31,9 @@ use std::process::ExitCode;
 fn usage() -> &'static str {
     "usage: bgp-archive inspect <DIR> [--epoch N]\n\
      \x20      bgp-archive verify  <DIR>\n\
+     \x20      bgp-archive classes <DIR> [--epoch N]\n\
      \x20      bgp-archive compact <DIR> [--keep N]\n\
-     Inspect, verify, or compact a bgp-served epoch archive."
+     Inspect, verify, dump, or compact a bgp-served epoch archive."
 }
 
 fn human_bytes(n: u64) -> String {
@@ -150,6 +156,28 @@ fn verify(dir: PathBuf) -> Result<ExitCode> {
     }
 }
 
+fn classes(dir: PathBuf, epoch: Option<u64>) -> Result<ExitCode> {
+    let archive = Archive::open(dir)?;
+    let epoch = match epoch {
+        Some(e) => e,
+        None => match archive.epoch_metas()?.last() {
+            Some(meta) => meta.epoch,
+            None => {
+                eprintln!("error: archive holds no epochs"); // cli-out
+                return Ok(ExitCode::FAILURE);
+            }
+        },
+    };
+    let ep = archive.load_epoch(epoch, DecodeFilter::classes_only())?;
+    let mut table = ep.classes.clone();
+    table.sort_by_key(|&(asn, _)| asn);
+    println!("epoch {epoch} classes {}", table.len()); // cli-out
+    for (asn, class) in table {
+        println!("{} {class}", asn.0); // cli-out
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn run_compact(dir: PathBuf, keep: u64) -> Result<ExitCode> {
     match compact(&dir, keep)? {
         Some(report) => {
@@ -203,6 +231,7 @@ fn parse_and_run(args: &[String]) -> std::result::Result<Result<ExitCode>, Strin
     match command.as_str() {
         "inspect" => Ok(inspect(dir, epoch)),
         "verify" => Ok(verify(dir)),
+        "classes" => Ok(classes(dir, epoch)),
         "compact" => Ok(run_compact(dir, keep)),
         other => Err(format!("unknown command {other}")),
     }

@@ -78,7 +78,9 @@ pub mod prelude {
     pub use crate::archive::{Archive, VerifyReport};
     pub use crate::compact::{compact, CompactReport};
     pub use crate::frame::{ArchiveError, Result};
-    pub use crate::manifest::{Manifest, ManifestEntry};
+    pub use crate::manifest::{IoShim, Manifest, ManifestEntry, RealIo};
     pub use crate::segment::{ArchivedEpoch, DecodeFilter, EpochMeta, SegmentStats};
-    pub use crate::writer::{ArchiveSink, ArchiveWriter};
+    pub use crate::writer::{
+        ArchiveSink, ArchiveWriter, SinkConfig, SinkError, SinkReport, SinkStatus,
+    };
 }

@@ -189,6 +189,28 @@ impl Manifest {
     }
 }
 
+/// Pluggable durable-write backend for the archive writer.
+///
+/// Production code uses [`RealIo`], which delegates straight to
+/// [`write_atomic`]. Fault-injection harnesses substitute a shim that
+/// fails, tears, or delays individual writes so the supervision layer
+/// above (`ArchiveSink` retry/reopen) can be exercised deterministically
+/// without touching the filesystem semantics themselves.
+pub trait IoShim: Send + std::fmt::Debug {
+    /// Durably write `bytes` to `dir/name` (all-or-nothing on success).
+    fn write_atomic(&mut self, dir: &Path, name: &str, bytes: &[u8]) -> Result<()>;
+}
+
+/// The default [`IoShim`]: plain [`write_atomic`] with no faults.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+impl IoShim for RealIo {
+    fn write_atomic(&mut self, dir: &Path, name: &str, bytes: &[u8]) -> Result<()> {
+        write_atomic(dir, name, bytes)
+    }
+}
+
 /// Write `bytes` to `dir/name` atomically: write `dir/name.tmp`, fsync,
 /// rename over the target, fsync the directory so the rename itself is
 /// durable.

@@ -7,27 +7,36 @@
 //! [`Archive::open`](crate::archive::Archive::open) adopts; a crash
 //! during either write leaves a `*.tmp` that is swept.
 //!
-//! [`ArchiveSink`] wraps a writer in a background thread fed by an
-//! unbounded channel of `Arc<EpochSnapshot>`s, so the publishing path
-//! pays one `Arc` clone and one channel send per epoch — a slow disk
-//! backs up the sink's queue, never the feed. The snapshot's dense
-//! column is safe to read from the sink thread: every component is
-//! `Arc`'d and append-only, and the writer bounds its interner reads by
-//! the seal-time column length, so post-seal interning by the live
-//! pipeline is never observed.
+//! [`ArchiveSink`] wraps a writer in a background thread fed by a
+//! bounded queue of `Arc<EpochSnapshot>`s, so the publishing path pays
+//! one `Arc` clone and one mutex push per epoch — a slow disk backs up
+//! the sink's queue, never the feed. The sink is *supervised*, not
+//! sticky: a failed append is retried with exponential backoff and a
+//! writer reopen between attempts (so orphan adoption repairs a
+//! segment-committed/manifest-failed split), and only after the retry
+//! budget is exhausted is the epoch dropped — loudly, with a journal
+//! event and a counter, never silently. A dropped epoch leaves a chain
+//! gap, so subsequent epochs are fast-dropped until a restart backfill
+//! (which replays the feed from epoch 0 and dedups) heals the archive.
+//!
+//! The snapshot's dense column is safe to read from the sink thread:
+//! every component is `Arc`'d and append-only, and the writer bounds
+//! its interner reads by the seal-time column length, so post-seal
+//! interning by the live pipeline is never observed.
 
 use crate::archive::Archive;
 use crate::frame::{corrupt, ArchiveError, Result};
-use crate::manifest::{segment_file_name, write_atomic, Manifest, ManifestEntry};
+use crate::manifest::{segment_file_name, IoShim, Manifest, ManifestEntry, RealIo, MANIFEST_FILE};
 use crate::segment::{DecodeFilter, EpochFrames, EpochMeta, SegmentBuilder, SegmentStats};
 use bgp_stream::epoch::EpochSnapshot;
 use bgp_types::asn::Asn;
 use obs::journal::JournalKind;
 use obs::{Counter, Gauge};
+use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Synchronous epoch appender. One segment file per appended epoch;
 /// `compact` (see [`crate::compact`]) later merges old ones.
@@ -38,33 +47,50 @@ pub struct ArchiveWriter {
     /// Interner ids already persisted by earlier segments — the next
     /// epoch writes only ids `>= interner_written`.
     interner_written: u32,
+    /// Durable-write backend; [`RealIo`] in production, a fault shim in
+    /// soak tests.
+    io: Box<dyn IoShim>,
     /// Global-registry instruments, resolved once at open: committed
     /// segment count and payload bytes (both paths, sync and sink).
     segments_appended: Arc<Counter>,
     bytes_written: Arc<Counter>,
 }
 
+/// Interner ids already persisted by `archive`'s committed epochs.
+fn interner_written_of(archive: &Archive) -> Result<u32> {
+    match archive.manifest().last_epoch() {
+        Some(last) => {
+            let filter = DecodeFilter {
+                counters: false,
+                classes: false,
+                flips: false,
+            };
+            let ep = archive.load_epoch(last, filter)?;
+            Ok(u32::try_from(ep.interner_len()).expect("interner fits u32"))
+        }
+        None => Ok(0),
+    }
+}
+
 impl ArchiveWriter {
     /// Open `dir` for appending, running full crash recovery first.
     pub fn open(dir: impl Into<PathBuf>) -> Result<ArchiveWriter> {
+        ArchiveWriter::open_with_io(dir, Box::new(RealIo))
+    }
+
+    /// Like [`open`](ArchiveWriter::open), but with an explicit
+    /// [`IoShim`] through which all of this writer's durable writes go.
+    /// Recovery itself (orphan adoption, tmp sweeps) always uses real
+    /// I/O — the shim models append-path faults, not a broken disk.
+    pub fn open_with_io(dir: impl Into<PathBuf>, io: Box<dyn IoShim>) -> Result<ArchiveWriter> {
         let archive = Archive::open(dir)?;
-        let interner_written = match archive.manifest().last_epoch() {
-            Some(last) => {
-                let filter = DecodeFilter {
-                    counters: false,
-                    classes: false,
-                    flips: false,
-                };
-                let ep = archive.load_epoch(last, filter)?;
-                u32::try_from(ep.interner_len()).expect("interner fits u32")
-            }
-            None => 0,
-        };
+        let interner_written = interner_written_of(&archive)?;
         let reg = obs::global();
         Ok(ArchiveWriter {
             dir: archive.dir().to_path_buf(),
             manifest: archive.manifest().clone(),
             interner_written,
+            io,
             segments_appended: reg.counter(
                 "bgp_archive_segments_appended_total",
                 "Segment files committed to the archive",
@@ -86,6 +112,16 @@ impl ArchiveWriter {
     /// Last committed epoch, `None` for an empty archive.
     pub fn last_epoch(&self) -> Option<u64> {
         self.manifest.last_epoch()
+    }
+
+    /// Re-run crash recovery in place after a failed append: reload the
+    /// manifest (adopting any orphan segment a torn commit left behind)
+    /// and recompute the interner watermark. Keeps the I/O shim.
+    pub fn reopen(&mut self) -> Result<()> {
+        let archive = Archive::open(&self.dir)?;
+        self.interner_written = interner_written_of(&archive)?;
+        self.manifest = archive.manifest().clone();
+        Ok(())
     }
 
     /// Append one sealed epoch. Returns `false` without touching disk
@@ -157,15 +193,22 @@ impl ArchiveWriter {
         let (bytes, checksum) = builder.finish();
 
         let file = segment_file_name(self.manifest.next_seq());
-        write_atomic(&self.dir, &file, &bytes)?;
-        self.manifest.entries.push(ManifestEntry {
+        self.io.write_atomic(&self.dir, &file, &bytes)?;
+        // Commit is transactional: the in-memory manifest only advances
+        // once the on-disk manifest write succeeded, so a failed store
+        // leaves the writer consistent with disk (segment = orphan).
+        let mut next = self.manifest.clone();
+        next.entries.push(ManifestEntry {
             file,
             first_epoch: snap.epoch,
             last_epoch: snap.epoch,
             bytes: bytes.len() as u64,
             checksum,
         });
-        self.manifest.store(&self.dir)?;
+        next.validate()?;
+        self.io
+            .write_atomic(&self.dir, MANIFEST_FILE, next.render().as_bytes())?;
+        self.manifest = next;
         self.interner_written = seal_len;
         self.segments_appended.inc();
         self.bytes_written.add(bytes.len() as u64);
@@ -173,8 +216,118 @@ impl ArchiveWriter {
     }
 }
 
-enum SinkMsg {
-    Epoch(Arc<EpochSnapshot>, SegmentStats),
+/// Retry/queue policy for an [`ArchiveSink`].
+#[derive(Debug, Clone)]
+pub struct SinkConfig {
+    /// Maximum epochs queued; submitting past this drops the *oldest*
+    /// queued epoch (newest data wins — readers care about now).
+    pub queue_cap: usize,
+    /// Append retries per epoch before it is dropped.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_cap: Duration,
+}
+
+impl Default for SinkConfig {
+    fn default() -> Self {
+        SinkConfig {
+            queue_cap: 1024,
+            max_retries: 6,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Live sink state, shared with the serving layer's health machine.
+/// All fields are monotone counters or last-event markers; `op`
+/// ordinals (one per processed submission) order drops against commits
+/// without wall clocks.
+#[derive(Debug, Default)]
+pub struct SinkStatus {
+    retrying: AtomicBool,
+    retries: AtomicU64,
+    dropped: AtomicU64,
+    committed: AtomicU64,
+    last_commit_op: AtomicU64,
+    last_drop_op: AtomicU64,
+}
+
+impl SinkStatus {
+    /// Whether the sink is currently inside a retry/backoff cycle.
+    pub fn retrying(&self) -> bool {
+        self.retrying.load(Ordering::Acquire)
+    }
+
+    /// Total append retries across all epochs.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Acquire)
+    }
+
+    /// Epochs dropped (retry budget exhausted, chain gap, or queue
+    /// overflow).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Acquire)
+    }
+
+    /// Epochs durably committed by this sink.
+    pub fn committed(&self) -> u64 {
+        self.committed.load(Ordering::Acquire)
+    }
+
+    /// Whether the most recent outcome was a drop — i.e. the archive
+    /// has lost at least one epoch and has not committed since. This is
+    /// the "archive degraded until restart backfill" signal.
+    pub fn in_drop_state(&self) -> bool {
+        let drops = self.dropped.load(Ordering::Acquire);
+        drops > 0
+            && self.last_drop_op.load(Ordering::Acquire)
+                >= self.last_commit_op.load(Ordering::Acquire)
+    }
+}
+
+/// What an [`ArchiveSink`] did over its lifetime, returned by
+/// [`finish`](ArchiveSink::finish).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinkReport {
+    /// Epochs durably committed (including ones that landed via orphan
+    /// adoption during a retry reopen).
+    pub written: u64,
+    /// Epochs dropped after exhausting retries, fast-dropped onto a
+    /// chain gap, or evicted from a full queue.
+    pub dropped: u64,
+    /// Total append retries performed.
+    pub retries: u64,
+}
+
+/// Terminal sink failure: at least one epoch was dropped. Carries the
+/// full [`SinkReport`] plus the last underlying write error.
+#[derive(Debug)]
+pub struct SinkError {
+    /// Lifetime accounting, including the dropped-epoch count.
+    pub report: SinkReport,
+    /// The last write error observed before an epoch was dropped.
+    pub error: ArchiveError,
+}
+
+impl std::fmt::Display for SinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "archive sink dropped {} epoch(s) ({} committed, {} retries); last error: {}",
+            self.report.dropped, self.report.written, self.report.retries, self.error
+        )
+    }
+}
+
+impl std::error::Error for SinkError {}
+
+#[derive(Debug)]
+struct SinkQueue {
+    queue: VecDeque<(Arc<EpochSnapshot>, SegmentStats)>,
+    closed: bool,
 }
 
 /// Counters a sink exposes to its owner across threads.
@@ -183,8 +336,15 @@ struct SinkShared {
     error: Mutex<Option<ArchiveError>>,
     /// Epochs submitted but not yet appended (global-registry gauge).
     queue_depth: Arc<Gauge>,
-    /// 1 once the sink has hit its sticky error, 0 while healthy.
+    /// 1 while the sink is degraded: at least one epoch was dropped and
+    /// none committed since. 0 while healthy.
     failed: Arc<Gauge>,
+    /// 1 while an append is inside its retry/backoff cycle.
+    retrying_gauge: Arc<Gauge>,
+    /// Append retries, total.
+    retries_total: Arc<Counter>,
+    /// Epochs dropped, total.
+    dropped_total: Arc<Counter>,
 }
 
 impl Default for SinkShared {
@@ -199,31 +359,64 @@ impl Default for SinkShared {
             ),
             failed: reg.gauge(
                 "bgp_archive_sink_failed",
-                "1 once the archive sink hit its sticky write error",
+                "1 while the archive sink has dropped an epoch without a later commit",
+                &[],
+            ),
+            retrying_gauge: reg.gauge(
+                "bgp_archive_sink_retrying",
+                "1 while an archive append is inside its retry/backoff cycle",
+                &[],
+            ),
+            retries_total: reg.counter(
+                "bgp_archive_sink_retries_total",
+                "Archive append retries after transient write failures",
+                &[],
+            ),
+            dropped_total: reg.counter(
+                "bgp_archive_epochs_dropped_total",
+                "Epochs the archive sink dropped (retries exhausted, chain gap, or queue overflow)",
                 &[],
             ),
         }
     }
 }
 
-/// A background archiving thread: epochs go in via a non-blocking
-/// channel send, segment + manifest writes happen off the caller's
-/// thread. Errors are sticky — the first failure is kept and every
-/// later submit is dropped, surfaced when [`finish`](ArchiveSink::finish)
-/// is called.
+/// A supervised background archiving thread: epochs go in via a
+/// non-blocking bounded-queue push, segment + manifest writes happen
+/// off the caller's thread. Failed appends are retried with exponential
+/// backoff and a writer reopen between attempts; an epoch is dropped
+/// only once its retry budget is exhausted, and every retry and drop is
+/// journaled and counted. [`finish`](ArchiveSink::finish) surfaces the
+/// drop count and last error.
 #[derive(Debug)]
 pub struct ArchiveSink {
-    tx: Option<mpsc::Sender<SinkMsg>>,
-    thread: Option<std::thread::JoinHandle<(ArchiveWriter, u64)>>,
+    queue: Arc<(Mutex<SinkQueue>, Condvar)>,
+    thread: Option<std::thread::JoinHandle<(ArchiveWriter, SinkReport)>>,
     shared: Arc<SinkShared>,
+    status: Arc<SinkStatus>,
+    queue_cap: usize,
 }
 
 impl ArchiveSink {
-    /// Spawn the archiving thread around `writer`.
+    /// Spawn the archiving thread around `writer` with default policy.
     pub fn spawn(writer: ArchiveWriter) -> ArchiveSink {
-        let (tx, rx) = mpsc::channel::<SinkMsg>();
+        ArchiveSink::spawn_with(writer, SinkConfig::default())
+    }
+
+    /// Spawn the archiving thread with an explicit retry/queue policy.
+    pub fn spawn_with(writer: ArchiveWriter, cfg: SinkConfig) -> ArchiveSink {
+        let queue = Arc::new((
+            Mutex::new(SinkQueue {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            Condvar::new(),
+        ));
         let shared = Arc::new(SinkShared::default());
+        let status = Arc::new(SinkStatus::default());
+        let thread_queue = Arc::clone(&queue);
         let thread_shared = Arc::clone(&shared);
+        let thread_status = Arc::clone(&status);
         let reg = obs::global();
         let append_hist = reg.histogram(
             "bgp_archive_append_duration_seconds",
@@ -231,20 +424,50 @@ impl ArchiveSink {
             &[],
         );
         let journal = Arc::clone(reg.journal());
+        let queue_cap = cfg.queue_cap;
         let thread = std::thread::Builder::new()
             .name("bgp-archive-sink".into())
             .spawn(move || {
                 let mut writer = writer;
-                let mut written = 0u64;
-                while let Ok(SinkMsg::Epoch(snap, stats)) = rx.recv() {
-                    let mut guard = thread_shared.error.lock().expect("sink error lock");
-                    if guard.is_some() {
-                        thread_shared.queue_depth.add(-1);
-                        continue; // sticky failure: drop, surface at finish
-                    }
+                let mut report = SinkReport {
+                    written: 0,
+                    dropped: 0,
+                    retries: 0,
+                };
+                // Monotone ordinal per processed submission; orders the
+                // last drop against the last commit for health checks.
+                let mut op = 0u64;
+                loop {
+                    let (lock, cvar) = &*thread_queue;
+                    let mut guard = lock
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    let item = loop {
+                        if let Some(item) = guard.queue.pop_front() {
+                            break Some(item);
+                        }
+                        if guard.closed {
+                            break None;
+                        }
+                        guard = cvar
+                            .wait(guard)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    };
                     drop(guard);
+                    let Some((snap, stats)) = item else {
+                        break;
+                    };
+                    op += 1;
                     let t_append = Instant::now();
-                    let result = writer.append_epoch(&snap, &stats);
+                    let outcome = append_supervised(
+                        &mut writer,
+                        &snap,
+                        &stats,
+                        &cfg,
+                        &thread_shared,
+                        &thread_status,
+                        &journal,
+                    );
                     let nanos = t_append.elapsed().as_nanos() as u64;
                     append_hist.record(nanos);
                     journal.push(
@@ -254,65 +477,242 @@ impl ArchiveSink {
                         format!("epoch={}", snap.epoch),
                     );
                     thread_shared.queue_depth.add(-1);
-                    match result {
-                        Ok(true) => written += 1,
-                        Ok(false) => {}
-                        Err(e) => {
+                    match outcome {
+                        Appended::Committed => {
+                            report.written += 1;
+                            thread_status.committed.fetch_add(1, Ordering::AcqRel);
+                            thread_status.last_commit_op.store(op, Ordering::Release);
+                            if !thread_status.in_drop_state() {
+                                thread_shared.failed.set(0);
+                            }
+                        }
+                        Appended::AlreadyCommitted => {}
+                        Appended::Dropped(e) => {
+                            report.dropped += 1;
+                            thread_status.dropped.fetch_add(1, Ordering::AcqRel);
+                            thread_status.last_drop_op.store(op, Ordering::Release);
+                            thread_shared.dropped_total.inc();
+                            thread_shared.failed.set(1);
+                            journal.push(
+                                JournalKind::Log,
+                                "archive_drop",
+                                0,
+                                format!("epoch={} error={e}", snap.epoch),
+                            );
                             obs::error!(
                                 "archive",
-                                "sink write failed at epoch {} (sticky: later epochs dropped): {e}",
+                                "sink dropped epoch {} after exhausting retries: {e}",
                                 snap.epoch
                             );
-                            thread_shared.failed.set(1);
-                            guard = thread_shared.error.lock().expect("sink error lock");
-                            *guard = Some(e);
+                            *thread_shared
+                                .error
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(e);
                         }
                     }
                 }
-                (writer, written)
+                report.retries = thread_status.retries.load(Ordering::Acquire);
+                (writer, report)
             })
             .expect("spawn archive sink thread");
         ArchiveSink {
-            tx: Some(tx),
+            queue,
             thread: Some(thread),
             shared,
+            status,
+            queue_cap,
         }
     }
 
-    /// Queue one epoch for archiving. Never blocks on disk; a failed
-    /// sink silently drops (the error surfaces at `finish`).
+    /// Live retry/drop counters, shareable with a health state machine.
+    pub fn status(&self) -> Arc<SinkStatus> {
+        Arc::clone(&self.status)
+    }
+
+    /// Queue one epoch for archiving. Never blocks on disk; when the
+    /// queue is full the *oldest* queued epoch is dropped (counted and
+    /// journaled) so the newest data keeps flowing.
     pub fn submit(&self, snap: Arc<EpochSnapshot>, stats: SegmentStats) {
-        if let Some(tx) = &self.tx {
-            self.shared.queue_depth.add(1);
-            let _ = tx.send(SinkMsg::Epoch(snap, stats));
+        let (lock, cvar) = &*self.queue;
+        let mut guard = lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if guard.closed {
+            return;
         }
+        while guard.queue.len() >= self.queue_cap.max(1) {
+            let Some((old, _)) = guard.queue.pop_front() else {
+                break;
+            };
+            self.shared.queue_depth.add(-1);
+            self.shared.dropped_total.inc();
+            self.status.dropped.fetch_add(1, Ordering::AcqRel);
+            self.shared.failed.set(1);
+            obs::error!(
+                "archive",
+                "sink queue full: evicted oldest queued epoch {}",
+                old.epoch
+            );
+        }
+        guard.queue.push_back((snap, stats));
+        self.shared.queue_depth.add(1);
+        cvar.notify_one();
     }
 
-    /// Whether the sink has hit a write error (later submits are
-    /// dropped once this is true).
+    /// Whether the sink has dropped at least one epoch.
     pub fn is_failed(&self) -> bool {
-        self.shared.error.lock().expect("sink error lock").is_some()
+        self.status.dropped() > 0
     }
 
     /// Close the queue, drain everything already submitted, and join
     /// the thread. Returns the writer (for reuse or inspection) and the
-    /// number of epochs committed, or the first write error.
-    pub fn finish(mut self) -> Result<(ArchiveWriter, u64)> {
-        self.tx = None; // close the channel; the thread drains and exits
-        let thread = self.thread.take().expect("sink joined twice");
-        let (writer, written) = thread
-            .join()
-            .map_err(|_| corrupt("archive sink panicked"))?;
-        if let Some(e) = self.shared.error.lock().expect("sink error lock").take() {
-            return Err(e);
+    /// lifetime [`SinkReport`]; if any epoch was dropped the report
+    /// comes wrapped in a [`SinkError`] together with the last write
+    /// error.
+    pub fn finish(mut self) -> std::result::Result<(ArchiveWriter, SinkReport), SinkError> {
+        let thread = {
+            let (lock, cvar) = &*self.queue;
+            let mut guard = lock
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard.closed = true;
+            cvar.notify_all();
+            drop(guard);
+            self.thread.take().expect("sink joined twice")
+        };
+        let (writer, mut report) = match thread.join() {
+            Ok(pair) => pair,
+            Err(_) => {
+                return Err(SinkError {
+                    report: SinkReport {
+                        written: self.status.committed(),
+                        dropped: self.status.dropped().max(1),
+                        retries: self.status.retries(),
+                    },
+                    error: corrupt("archive sink thread panicked"),
+                })
+            }
+        };
+        // Queue-overflow evictions happen on the submit side and never
+        // reach the thread's report; fold them in from the status.
+        report.dropped = self.status.dropped();
+        if report.dropped > 0 {
+            let error = self
+                .shared
+                .error
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take()
+                .unwrap_or_else(|| corrupt("epochs evicted from a full sink queue"));
+            return Err(SinkError { report, error });
         }
-        Ok((writer, written))
+        Ok((writer, report))
     }
+}
+
+enum Appended {
+    /// The epoch is durably on disk (fresh commit, or adopted as an
+    /// orphan during a retry reopen).
+    Committed,
+    /// Dedup: the archive already held the epoch before this append.
+    AlreadyCommitted,
+    /// Retry budget exhausted (or unrecoverable chain gap).
+    Dropped(ArchiveError),
+}
+
+/// One epoch through the retry/backoff/reopen cycle.
+fn append_supervised(
+    writer: &mut ArchiveWriter,
+    snap: &EpochSnapshot,
+    stats: &SegmentStats,
+    cfg: &SinkConfig,
+    shared: &SinkShared,
+    status: &SinkStatus,
+    journal: &obs::Journal,
+) -> Appended {
+    match writer.append_epoch(snap, stats) {
+        Ok(true) => Appended::Committed,
+        Ok(false) => Appended::AlreadyCommitted,
+        Err(first) => {
+            // A chain gap is permanent until a restart backfill: no
+            // amount of retrying lets epoch N+2 append over a missing
+            // N+1. Fast-drop instead of burning the retry budget.
+            if is_chain_gap(writer, snap) {
+                return Appended::Dropped(first);
+            }
+            let mut last_err = first;
+            status.retrying.store(true, Ordering::Release);
+            shared.retrying_gauge.set(1);
+            for attempt in 1..=cfg.max_retries {
+                let backoff = backoff_for(cfg, attempt);
+                journal.push(
+                    JournalKind::Log,
+                    "archive_retry",
+                    backoff.as_nanos() as u64,
+                    format!("epoch={} attempt={attempt} error={last_err}", snap.epoch),
+                );
+                shared.retries_total.inc();
+                status.retries.fetch_add(1, Ordering::AcqRel);
+                std::thread::sleep(backoff);
+                // Reopen re-runs recovery: if the segment committed but
+                // the manifest write failed, the orphan is adopted and
+                // the retry below dedups to AlreadyCommitted.
+                if let Err(e) = writer.reopen() {
+                    last_err = e;
+                    continue;
+                }
+                match writer.append_epoch(snap, stats) {
+                    Ok(true) => {
+                        status.retrying.store(false, Ordering::Release);
+                        shared.retrying_gauge.set(0);
+                        return Appended::Committed;
+                    }
+                    Ok(false) => {
+                        status.retrying.store(false, Ordering::Release);
+                        shared.retrying_gauge.set(0);
+                        // The reopen adopted this epoch's orphan: it is
+                        // durable, so it counts as written.
+                        return Appended::Committed;
+                    }
+                    Err(e) => {
+                        if is_chain_gap(writer, snap) {
+                            break;
+                        }
+                        last_err = e;
+                    }
+                }
+            }
+            status.retrying.store(false, Ordering::Release);
+            shared.retrying_gauge.set(0);
+            Appended::Dropped(last_err)
+        }
+    }
+}
+
+/// Whether `snap` can never chain onto the writer's committed range
+/// (an earlier epoch was dropped, leaving a permanent gap).
+fn is_chain_gap(writer: &ArchiveWriter, snap: &EpochSnapshot) -> bool {
+    match writer.last_epoch() {
+        Some(last) => snap.epoch > last + 1,
+        None => snap.epoch != 0,
+    }
+}
+
+/// Exponential backoff for the `attempt`-th retry (1-based), capped.
+fn backoff_for(cfg: &SinkConfig, attempt: u32) -> Duration {
+    let factor = 1u32 << (attempt - 1).min(16);
+    cfg.backoff_base
+        .checked_mul(factor)
+        .map_or(cfg.backoff_cap, |d| d.min(cfg.backoff_cap))
 }
 
 impl Drop for ArchiveSink {
     fn drop(&mut self) {
-        self.tx = None;
+        let (lock, cvar) = &*self.queue;
+        if let Ok(mut guard) = lock.lock() {
+            guard.closed = true;
+        }
+        cvar.notify_all();
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
         }

@@ -313,8 +313,10 @@ fn sink_archives_off_thread_and_reports_counts() {
         sink.submit(Arc::clone(snap), SegmentStats::default());
     }
     assert!(!sink.is_failed());
-    let (writer, written) = sink.finish().unwrap();
-    assert_eq!(written, out.snapshots.len() as u64);
+    let (writer, report) = sink.finish().unwrap();
+    assert_eq!(report.written, out.snapshots.len() as u64);
+    assert_eq!(report.dropped, 0);
+    assert_eq!(report.retries, 0);
     assert_eq!(
         writer.last_epoch(),
         Some(out.snapshots.last().unwrap().epoch)

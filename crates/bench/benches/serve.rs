@@ -125,6 +125,7 @@ fn sealed_slot(events: usize) -> Arc<SnapshotSlot> {
         },
         batch: 4096,
         flip_log_cap: 100_000,
+        ..Default::default()
     };
     spawn_ingest(
         cfg,
@@ -270,6 +271,7 @@ fn emit_baseline() {
             batch: 1024,
             // Bound /v1/flips bodies: the load mix requests deep history.
             flip_log_cap: 2_000,
+            ..Default::default()
         },
         Feed::Events(synthetic_events(s.ingest_events, 42)),
         Arc::clone(&slot),

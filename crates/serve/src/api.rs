@@ -31,6 +31,7 @@
 //! journaled, so `/metrics` and the two debug routes expose the serving
 //! tail without any external tracing dependency.
 
+use crate::health::{HealthState, HealthStatus};
 use crate::history::HistoryStore;
 use crate::http::{Handler, Request, Response};
 use crate::json::JsonWriter;
@@ -59,6 +60,9 @@ pub struct Api {
     slot: Arc<SnapshotSlot>,
     metrics: Arc<Metrics>,
     history: Option<Arc<HistoryStore>>,
+    /// Degraded-mode health state; when attached, `/healthz` answers
+    /// from the state machine instead of the legacy constant body.
+    health: Option<Arc<HealthState>>,
     /// Observability registry rendered by `/metrics` and the debug
     /// routes (the process-global one unless a test injects its own).
     obs: Arc<ObsRegistry>,
@@ -97,6 +101,7 @@ impl Api {
             slot,
             metrics,
             history: None,
+            health: None,
             obs,
             endpoint_hists,
         }
@@ -106,6 +111,14 @@ impl Api {
     /// `--archive` directory).
     pub fn with_history(mut self, history: Arc<HistoryStore>) -> Self {
         self.history = Some(history);
+        self
+    }
+
+    /// Answer `/healthz` from the degraded-mode state machine (and grow
+    /// `/v1/stats` with the supervision counters) instead of the legacy
+    /// constant `"ok"`.
+    pub fn with_health(mut self, health: Arc<HealthState>) -> Self {
+        self.health = Some(health);
         self
     }
 
@@ -157,7 +170,12 @@ impl Api {
             "/v1/reclassify" => (Endpoint::Reclassify, reclassify_endpoint(&snap, request)),
             "/v1/stats" => (
                 Endpoint::Stats,
-                stats_endpoint(&snap, self.metrics.total_requests(), &self.obs),
+                stats_endpoint(
+                    &snap,
+                    self.metrics.total_requests(),
+                    &self.obs,
+                    self.health.as_deref(),
+                ),
             ),
             "/v1/epochs" => (Endpoint::Epochs, self.epochs_endpoint(&snap)),
             "/v1/debug/timings" => (Endpoint::DebugTimings, timings_endpoint(&snap, &self.obs)),
@@ -165,7 +183,10 @@ impl Api {
                 Endpoint::DebugTrace,
                 trace_endpoint(&snap, &self.obs, request),
             ),
-            "/healthz" => (Endpoint::Health, health_endpoint(&snap)),
+            "/healthz" => (
+                Endpoint::Health,
+                health_endpoint(&snap, self.health.as_deref()),
+            ),
             "/metrics" => {
                 let mut text = self.metrics.render(&snap);
                 self.obs.render_prometheus(&mut text);
@@ -288,11 +309,48 @@ fn begin_envelope(snap: &ServeSnapshot) -> JsonWriter {
     w
 }
 
-fn health_endpoint(snap: &ServeSnapshot) -> Response {
+fn health_endpoint(snap: &ServeSnapshot, health: Option<&HealthState>) -> Response {
     let mut w = begin_envelope(snap);
-    w.field_str("status", "ok");
+    let Some(health) = health else {
+        // Legacy shape when no health state is attached: liveness only.
+        w.field_str("status", "ok");
+        w.end_obj();
+        return Response::json(w.finish());
+    };
+    let report = health.evaluate();
+    w.field_str("status", report.status.as_str());
+    w.begin_arr_field("reasons");
+    for reason in &report.reasons {
+        w.elem_str(reason);
+    }
+    w.end_arr();
+    write_supervision_fields(&mut w, health);
     w.end_obj();
-    Response::json(w.finish())
+    let status = match report.status {
+        // Degraded still serves traffic — only a dead ingest side is a
+        // load-balancer-visible failure.
+        HealthStatus::Ok | HealthStatus::Degraded => 200,
+        HealthStatus::Unhealthy => 503,
+    };
+    Response::json_status(status, w.finish())
+}
+
+/// The supervision counters shared by `/healthz` and `/v1/stats`.
+fn write_supervision_fields(w: &mut JsonWriter, health: &HealthState) {
+    w.field_u64("quarantined", health.quarantined());
+    w.field_u64("driver_restarts", health.restarts());
+    match health.sink() {
+        Some(sink) => {
+            w.field_u64("archive_retries", sink.retries());
+            w.field_u64("archive_epochs_dropped", sink.dropped());
+            w.field_u64("archive_committed", sink.committed());
+        }
+        None => {
+            w.field_u64("archive_retries", 0);
+            w.field_u64("archive_epochs_dropped", 0);
+            w.field_u64("archive_committed", 0);
+        }
+    }
 }
 
 fn class_endpoint(snap: &ServeSnapshot, raw_asn: &str) -> Response {
@@ -577,7 +635,12 @@ fn write_latency_field(w: &mut JsonWriter, name: &str, obs: &ObsRegistry, family
     w.end_obj();
 }
 
-fn stats_endpoint(snap: &ServeSnapshot, requests_total: u64, obs: &ObsRegistry) -> Response {
+fn stats_endpoint(
+    snap: &ServeSnapshot,
+    requests_total: u64,
+    obs: &ObsRegistry,
+    health: Option<&HealthState>,
+) -> Response {
     let mut w = begin_envelope(snap);
     if let Some(epoch) = &snap.epoch {
         w.field_u64("sealed_at", epoch.sealed_at);
@@ -622,6 +685,16 @@ fn stats_endpoint(snap: &ServeSnapshot, requests_total: u64, obs: &ObsRegistry) 
     }
     w.end_arr();
     w.field_u64("requests_total", requests_total);
+    if let Some(health) = health {
+        let report = health.evaluate();
+        w.field_str("health", report.status.as_str());
+        w.begin_arr_field("health_reasons");
+        for reason in &report.reasons {
+            w.elem_str(reason);
+        }
+        w.end_arr();
+        write_supervision_fields(&mut w, health);
+    }
     w.end_obj();
     Response::json(w.finish())
 }

@@ -16,7 +16,8 @@
 //!   -t, --threshold <0.5..=1.0> classification threshold (default 0.99)
 //!   -b, --batch <N>             ingest pull size (default 1024)
 //!       --sim <SCENARIO>        serve a simulated scenario feed
-//!                               (alltf|alltc|random|random+noise|random-p|random-pp)
+//!                               (alltf|alltc|random|random+noise|random-p|random-pp,
+//!                               plus the churn overlays flap-storm|peer-reset)
 //!       --seed <N>              simulation seed (default 7)
 //!       --repeats <N>           extra re-announcements per tuple in --sim (default 2)
 //!       --archive <DIR>         durable epoch archive: restore the last
@@ -28,6 +29,16 @@
 //!       --linger                keep serving after the feed is exhausted
 //!                               (default: exit once ingest drains; the
 //!                               daemon always serves *during* ingest)
+//!       --fault-plan <SPEC>     inject seeded faults for resilience soaks,
+//!                               e.g. `archive:fail@7,torn@9;feed:corrupt%0.01`
+//!                               (kinds: archive fail/torn/slow, feed
+//!                               corrupt/truncate/stall/panic; `@N` = on the
+//!                               Nth op, `%P` = with probability P)
+//!       --fault-seed <N>        fault-plan RNG seed (default 7)
+//!       --restart-budget <N>    driver respawns allowed after ingest
+//!                               panics (default 2)
+//!       --quarantine-abort <N>  abort the feed after N quarantined
+//!                               records (default 0 = never)
 //!       --log-level <SPEC>      log filter: a default level and optional
 //!                               per-target overrides, e.g. `info`,
 //!                               `debug,http=warn`, `info,stream=trace`
@@ -67,6 +78,10 @@ struct Options {
     repeats: u32,
     archive: Option<String>,
     linger: bool,
+    fault_plan: Option<String>,
+    fault_seed: u64,
+    restart_budget: u32,
+    quarantine_abort: u64,
     log_level: String,
     log_json: bool,
     inputs: Vec<String>,
@@ -75,7 +90,9 @@ struct Options {
 fn usage() -> &'static str {
     "usage: bgp-served [-l ADDR] [-w WORKERS] [-s SHARDS] [-e EVENTS] [--epoch-secs S]\n\
      \x20                 [-t THRESHOLD] [-b BATCH] [--archive DIR] [--linger]\n\
-     \x20                 [--log-level SPEC] [--log-json] <MRT-FILE>... | --sim SCENARIO\n\
+     \x20                 [--fault-plan SPEC] [--fault-seed N] [--restart-budget N]\n\
+     \x20                 [--quarantine-abort N] [--log-level SPEC] [--log-json]\n\
+     \x20                 <MRT-FILE>... | --sim SCENARIO\n\
      Serves the live per-AS classification database over HTTP while ingesting."
 }
 
@@ -95,6 +112,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         repeats: 2,
         archive: None,
         linger: false,
+        fault_plan: None,
+        fault_seed: 7,
+        restart_budget: 2,
+        quarantine_abort: 0,
         log_level: "info".to_string(),
         log_json: false,
         inputs: Vec::new(),
@@ -154,6 +175,22 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--archive" => opts.archive = Some(num(arg)?),
             "--linger" => opts.linger = true,
+            "--fault-plan" => opts.fault_plan = Some(num(arg)?),
+            "--fault-seed" => {
+                opts.fault_seed = num(arg)?
+                    .parse()
+                    .map_err(|e| format!("bad fault-seed: {e}"))?;
+            }
+            "--restart-budget" => {
+                opts.restart_budget = num(arg)?
+                    .parse()
+                    .map_err(|e| format!("bad restart-budget: {e}"))?;
+            }
+            "--quarantine-abort" => {
+                opts.quarantine_abort = num(arg)?
+                    .parse()
+                    .map_err(|e| format!("bad quarantine-abort: {e}"))?;
+            }
             "--log-level" => opts.log_level = num(arg)?,
             "--log-json" => opts.log_json = true,
             "-h" | "--help" => return Err(String::new()),
@@ -188,6 +225,20 @@ fn run(opts: Options) -> Result<(), String> {
     let thresholds = bgp_infer::counters::Thresholds::uniform(opts.threshold);
     let slot = Arc::new(SnapshotSlot::new(thresholds));
     let metrics = Arc::new(Metrics::new());
+    let health = Arc::new(HealthState::default());
+
+    let fault_plan = match &opts.fault_plan {
+        Some(spec) => {
+            let plan = fault::FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?;
+            obs::info!(
+                "serve",
+                "fault plan armed (seed {}): {spec}",
+                opts.fault_seed
+            );
+            Some(plan)
+        }
+        None => None,
+    };
 
     let driver_cfg = DriverConfig {
         stream: StreamConfig {
@@ -200,6 +251,12 @@ fn run(opts: Options) -> Result<(), String> {
             ..Default::default()
         },
         batch: opts.batch,
+        restart_budget: opts.restart_budget,
+        quarantine_abort: opts.quarantine_abort,
+        fault: fault_plan
+            .as_ref()
+            .and_then(|p| p.feed_injector(opts.fault_seed))
+            .map(Arc::new),
         ..Default::default()
     };
 
@@ -228,7 +285,14 @@ fn run(opts: Options) -> Result<(), String> {
             }
             None => obs::info!("serve", "archive {dir} is empty; starting fresh"),
         }
-        let writer = ArchiveWriter::open(dir).map_err(|e| format!("archive {dir}: {e}"))?;
+        let writer = match fault_plan
+            .as_ref()
+            .and_then(|p| p.archive_io(opts.fault_seed))
+        {
+            Some(io) => ArchiveWriter::open_with_io(dir, Box::new(io)),
+            None => ArchiveWriter::open(dir),
+        }
+        .map_err(|e| format!("archive {dir}: {e}"))?;
         sink = Some(ArchiveSink::spawn(writer));
         history = Some(Arc::new(
             HistoryStore::open(
@@ -240,7 +304,8 @@ fn run(opts: Options) -> Result<(), String> {
         ));
     }
 
-    let mut api = Api::new(Arc::clone(&slot), Arc::clone(&metrics));
+    let mut api =
+        Api::new(Arc::clone(&slot), Arc::clone(&metrics)).with_health(Arc::clone(&health));
     if let Some(history) = &history {
         api = api.with_history(Arc::clone(history));
     }
@@ -267,13 +332,14 @@ fn run(opts: Options) -> Result<(), String> {
         },
         None => Feed::MrtFiles(opts.inputs.clone()),
     };
-    let ingest = bgp_serve::driver::spawn_ingest_archived(
+    let ingest = bgp_serve::driver::spawn_supervised(
         driver_cfg,
         feed,
         Arc::clone(&slot),
         Arc::clone(&metrics),
         sink,
         restored,
+        Some(Arc::clone(&health)),
     );
 
     // Report progress until the feed drains, polling for shutdown
@@ -305,7 +371,21 @@ fn run(opts: Options) -> Result<(), String> {
             last_version = version;
         }
     }
-    let report = ingest.join()?;
+    let report = match ingest.join() {
+        Ok(report) => report,
+        Err(e) => {
+            // The supervisor already marked the health state unhealthy;
+            // report it so soak harnesses see the verdict before exit.
+            obs::error!("serve", "ingest failed: {e}");
+            obs::info!(
+                "serve",
+                "final health: {}",
+                health.evaluate().status.as_str()
+            );
+            http.shutdown();
+            return Err(e);
+        }
+    };
     obs::info!(
         "serve",
         "ingest done: {} events, {} unique tuples, {} epochs; {} requests answered",
@@ -314,8 +394,23 @@ fn run(opts: Options) -> Result<(), String> {
         report.epochs,
         metrics.total_requests(),
     );
+    if report.restarts > 0 || report.quarantined > 0 {
+        obs::info!(
+            "serve",
+            "supervision: {} driver restart(s), {} quarantined record(s)",
+            report.restarts,
+            report.quarantined,
+        );
+    }
     if opts.archive.is_some() {
         obs::info!("serve", "archived {} new epochs", report.archived_epochs);
+        if report.archive_dropped > 0 {
+            obs::error!(
+                "serve",
+                "archive dropped {} epoch(s); a restart re-derives them from the feed",
+                report.archive_dropped,
+            );
+        }
     }
 
     if opts.linger && !shutdown::requested() {
@@ -328,6 +423,11 @@ fn run(opts: Options) -> Result<(), String> {
         }
         obs::info!("serve", "shutdown signal: exiting");
     }
+    obs::info!(
+        "serve",
+        "final health: {}",
+        health.evaluate().status.as_str()
+    );
     http.shutdown();
     Ok(())
 }

@@ -6,14 +6,28 @@
 //! everything query-facing reads the immutable snapshots it publishes.
 //! The driver never blocks on readers and readers never block on the
 //! driver — the only shared state is the [`SnapshotSlot`].
+//!
+//! The driver is *supervised*: each feed attempt runs under
+//! `catch_unwind`, and a panicking attempt is respawned (up to
+//! [`DriverConfig::restart_budget`] times) with the pipeline rebuilt
+//! and the feed replayed from the start — the same deterministic-replay
+//! backfill the restart path uses, resuming past whatever the slot
+//! already serves so versions stay monotone. Sources are wrapped in a
+//! [`QuarantinedSource`], so malformed records are skipped and counted
+//! instead of poisoning the feed, and an optional
+//! [`fault::FeedInjector`] slots in underneath for resilience soaks.
 
+use crate::health::HealthState;
 use crate::metrics::Metrics;
 use crate::snapshot::{Publisher, ServeSnapshot, SnapshotSlot};
 use bgp_archive::prelude::ArchiveSink;
+use bgp_sim::feed::Churn;
 use bgp_sim::prelude::*;
-use bgp_stream::ingest::{IterSource, MrtSource, StreamEvent, TupleSource};
+use bgp_stream::ingest::{IterSource, MrtSource, QuarantinedSource, StreamEvent, TupleSource};
 use bgp_stream::pipeline::{StreamConfig, StreamPipeline};
 use bgp_topology::prelude::*;
+use fault::{FaultSource, FeedInjector};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -46,6 +60,16 @@ pub struct DriverConfig {
     pub batch: usize,
     /// Flip-log entries retained across publications.
     pub flip_log_cap: usize,
+    /// Panicking feed attempts respawned before the driver gives up and
+    /// reports itself failed (0 = die on the first panic).
+    pub restart_budget: u32,
+    /// Abort the feed once more than this many records were quarantined
+    /// (0 = never abort, quarantine forever).
+    pub quarantine_abort: u64,
+    /// Feed-domain fault injector for resilience soaks (shared so the
+    /// fault clock survives driver respawns — a `panic@N` fires once
+    /// ever, not once per attempt).
+    pub fault: Option<Arc<FeedInjector>>,
 }
 
 impl Default for DriverConfig {
@@ -54,6 +78,9 @@ impl Default for DriverConfig {
             stream: StreamConfig::default(),
             batch: 1024,
             flip_log_cap: 100_000,
+            restart_budget: 2,
+            quarantine_abort: 0,
+            fault: None,
         }
     }
 }
@@ -70,6 +97,14 @@ pub struct IngestReport {
     /// Epochs newly committed to the durable archive this run (0 when
     /// the driver runs without an archive sink).
     pub archived_epochs: u64,
+    /// Epochs the archive sink had to drop (retries exhausted or queue
+    /// overflow); every one was journaled and counted when it happened.
+    pub archive_dropped: u64,
+    /// Malformed records/chunks quarantined during the successful feed
+    /// attempt.
+    pub quarantined: u64,
+    /// Supervised respawns after ingest panics.
+    pub restarts: u64,
 }
 
 /// A running ingest thread.
@@ -127,13 +162,37 @@ pub fn spawn_ingest_archived(
     sink: Option<ArchiveSink>,
     resume: Option<Arc<ServeSnapshot>>,
 ) -> IngestHandle {
+    spawn_supervised(cfg, feed, slot, metrics, sink, resume, None)
+}
+
+/// [`spawn_ingest_archived`] with health reporting: every supervision
+/// event (publish, quarantine, respawn, fatal failure) is mirrored into
+/// `health` so `/healthz` reflects the live pipeline.
+#[allow(clippy::too_many_arguments)]
+pub fn spawn_supervised(
+    cfg: DriverConfig,
+    feed: Feed,
+    slot: Arc<SnapshotSlot>,
+    metrics: Arc<Metrics>,
+    sink: Option<ArchiveSink>,
+    resume: Option<Arc<ServeSnapshot>>,
+    health: Option<Arc<HealthState>>,
+) -> IngestHandle {
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = Arc::clone(&stop);
     let thread = std::thread::Builder::new()
         .name("bgp-serve-ingest".to_string())
-        .spawn(move || ingest_main(cfg, feed, slot, metrics, sink, resume, &stop_flag))
+        .spawn(move || ingest_main(cfg, feed, slot, metrics, sink, resume, health, &stop_flag))
         .expect("spawn ingest driver");
     IngestHandle { thread, stop }
+}
+
+/// The successful feed attempt's pipeline-side numbers.
+struct AttemptStats {
+    total_events: u64,
+    epochs: usize,
+    unique_tuples: usize,
+    quarantined: u64,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -144,29 +203,145 @@ fn ingest_main(
     metrics: Arc<Metrics>,
     sink: Option<ArchiveSink>,
     resume: Option<Arc<ServeSnapshot>>,
+    health: Option<Arc<HealthState>>,
     stop: &AtomicBool,
 ) -> Result<IngestReport, String> {
+    let sink = sink.map(Arc::new);
+    if let (Some(health), Some(sink)) = (&health, &sink) {
+        health.attach_sink(sink.status());
+    }
+
+    // The supervisor: run the feed under `catch_unwind`; a panicking
+    // attempt is respawned with a fresh pipeline, resuming past the
+    // snapshot the slot already serves (deterministic-replay backfill,
+    // same as the restart path). The fault injector's clock is shared
+    // across attempts, so an injected `panic@N` fires once ever.
+    let mut restarts = 0u64;
+    let mut resume = resume;
+    let stats = loop {
+        let attempt = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_feed_once(
+                &cfg,
+                &feed,
+                &slot,
+                &metrics,
+                sink.as_ref(),
+                resume.clone(),
+                health.as_deref(),
+                stop,
+            )
+        }));
+        match attempt {
+            Ok(Ok(stats)) => break stats,
+            Ok(Err(e)) => {
+                if let Some(health) = &health {
+                    health.mark_ingest_failed();
+                }
+                return Err(e);
+            }
+            Err(_) => {
+                restarts += 1;
+                if let Some(health) = &health {
+                    health.note_restart();
+                }
+                if restarts > u64::from(cfg.restart_budget) {
+                    if let Some(health) = &health {
+                        health.mark_ingest_failed();
+                    }
+                    return Err(format!(
+                        "ingest driver panicked {restarts} time(s); restart budget ({}) exhausted",
+                        cfg.restart_budget
+                    ));
+                }
+                obs::error!(
+                    "serve",
+                    "ingest driver panicked; respawning ({restarts}/{} used)",
+                    cfg.restart_budget
+                );
+                if let Some(injector) = &cfg.fault {
+                    injector.reset_stream();
+                }
+                // Resume past whatever the crashed attempt already
+                // published so slot versions stay monotone.
+                if slot.version() > 0 {
+                    resume = Some(slot.load());
+                }
+            }
+        }
+    };
+    if let Some(health) = &health {
+        health.mark_ingest_done();
+    }
+
+    // Flush and join the archive sink before reporting: once `finish`
+    // returns, every committed epoch is durable (segment + manifest).
+    // Dropped epochs are NOT fatal to the run — each one was already
+    // journaled and counted when it happened, the report carries the
+    // total, and `/healthz` stays degraded — but they do mean a restart
+    // must re-derive those epochs from the feed.
+    let (archived_epochs, archive_dropped) = match sink {
+        Some(sink) => {
+            let sink = Arc::try_unwrap(sink)
+                .map_err(|_| "archive sink still shared at shutdown".to_string())?;
+            match sink.finish() {
+                Ok((_, report)) => (report.written, 0),
+                Err(err) => {
+                    obs::error!("serve", "archive sink finished degraded: {err}");
+                    (err.report.written, err.report.dropped)
+                }
+            }
+        }
+        None => (0, 0),
+    };
+
+    Ok(IngestReport {
+        total_events: stats.total_events,
+        epochs: stats.epochs,
+        unique_tuples: stats.unique_tuples,
+        archived_epochs,
+        archive_dropped,
+        quarantined: stats.quarantined,
+        restarts,
+    })
+}
+
+/// One feed attempt: fresh pipeline + publisher, drive every source to
+/// exhaustion, seal the trailing epoch. Panics propagate to the
+/// supervisor in [`ingest_main`].
+#[allow(clippy::too_many_arguments)]
+fn run_feed_once(
+    cfg: &DriverConfig,
+    feed: &Feed,
+    slot: &Arc<SnapshotSlot>,
+    metrics: &Arc<Metrics>,
+    sink: Option<&Arc<ArchiveSink>>,
+    resume: Option<Arc<ServeSnapshot>>,
+    health: Option<&HealthState>,
+    stop: &AtomicBool,
+) -> Result<AttemptStats, String> {
     let mut pipeline = StreamPipeline::new(cfg.stream.clone());
-    let mut publisher = Publisher::new(slot, cfg.flip_log_cap).with_metrics(Arc::clone(&metrics));
+    let mut publisher =
+        Publisher::new(Arc::clone(slot), cfg.flip_log_cap).with_metrics(Arc::clone(metrics));
     if let Some(restored) = &resume {
         publisher.resume_from(restored);
     }
     if let Some(sink) = sink {
-        publisher = publisher.with_archive(sink);
+        publisher = publisher.with_archive(Arc::clone(sink));
     }
-    let batch = cfg.batch.max(1);
+    let mut quarantined = 0u64;
 
     match feed {
         Feed::MrtFiles(files) => {
             for file in files {
-                let bytes = std::fs::read(&file).map_err(|e| format!("read {file}: {e}"))?;
+                let bytes = std::fs::read(file).map_err(|e| format!("read {file}: {e}"))?;
                 let mut source = MrtSource::new(&bytes);
-                drive(
+                quarantined += drive_guarded(
+                    cfg,
                     &mut pipeline,
                     &mut publisher,
-                    &metrics,
+                    metrics,
+                    health,
                     &mut source,
-                    batch,
                     stop,
                 )
                 .map_err(|e| format!("{file}: {e}"))?;
@@ -180,35 +355,46 @@ fn ingest_main(
             seed,
             repeats,
         } => {
+            // The churny resilience scenarios are overlays on the
+            // paper's pinned `random` world, not new entries in
+            // `Scenario::ALL`: they only ADD duplicate re-announcements,
+            // so the classification state they converge to is identical.
+            let (base, churn) = match scenario.as_str() {
+                "flap-storm" => ("random", Churn::FlapStorm),
+                "peer-reset" => ("random", Churn::PeerReset),
+                other => (other, Churn::Steady),
+            };
             let scenario = Scenario::ALL
                 .into_iter()
-                .find(|s| s.name() == scenario)
-                .ok_or_else(|| format!("unknown scenario {scenario:?}"))?;
+                .find(|s| s.name() == base)
+                .ok_or_else(|| format!("unknown scenario {base:?}"))?;
             let mut topo_cfg = TopologyConfig::small();
             topo_cfg.collector_peers = 12;
-            let graph = topo_cfg.seed(seed).build();
+            let graph = topo_cfg.seed(*seed).build();
             let paths = PathSubstrate::generate(&graph, 3).paths;
-            let ds = scenario.materialize(&graph, &paths, seed);
-            let feed = UpdateFeed::new(&ds, seed, repeats);
+            let ds = scenario.materialize(&graph, &paths, *seed);
+            let feed = UpdateFeed::churned(&ds, *seed, *repeats, churn);
             let mut source = IterSource::new(feed.map(|(ts, tuple)| StreamEvent::new(ts, tuple)));
-            drive(
+            quarantined += drive_guarded(
+                cfg,
                 &mut pipeline,
                 &mut publisher,
-                &metrics,
+                metrics,
+                health,
                 &mut source,
-                batch,
                 stop,
             )
             .map_err(|e| e.to_string())?;
         }
         Feed::Events(events) => {
-            let mut source = IterSource::new(events.into_iter());
-            drive(
+            let mut source = IterSource::new(events.clone().into_iter());
+            quarantined += drive_guarded(
+                cfg,
                 &mut pipeline,
                 &mut publisher,
-                &metrics,
+                metrics,
+                health,
                 &mut source,
-                batch,
                 stop,
             )
             .map_err(|e| e.to_string())?;
@@ -225,32 +411,70 @@ fn ingest_main(
         for _ in 0..published {
             metrics.epoch_published();
         }
+        if let Some(health) = health {
+            health.note_publish(published as u64);
+        }
     }
 
-    // Flush and join the archive sink before reporting: once `join`
-    // returns, every sealed epoch is durably committed (segment +
-    // manifest), so a daemon that exits after this line can be
-    // restarted with zero epoch loss.
-    let archived_epochs = match publisher.take_archive() {
-        Some(sink) => {
-            let (_, written) = sink.finish().map_err(|e| format!("archive: {e}"))?;
-            written
-        }
-        None => 0,
-    };
-
-    Ok(IngestReport {
+    Ok(AttemptStats {
         total_events: pipeline.total_events(),
         epochs: pipeline.snapshots().len(),
         unique_tuples: pipeline.stored_tuples(),
-        archived_epochs,
+        quarantined,
     })
+}
+
+/// Drive one source with the resilience wrappers layered on: the
+/// optional fault injector underneath, the quarantine filter on top.
+/// Returns how many records the quarantine layer absorbed.
+fn drive_guarded(
+    cfg: &DriverConfig,
+    pipeline: &mut StreamPipeline,
+    publisher: &mut Publisher,
+    metrics: &Metrics,
+    health: Option<&HealthState>,
+    source: &mut dyn TupleSource,
+    stop: &AtomicBool,
+) -> Result<u64, bgp_stream::ingest::IngestError> {
+    let batch = cfg.batch.max(1);
+    let (drove, quarantined) = if let Some(injector) = &cfg.fault {
+        let mut faulty = FaultSource::new(injector, source);
+        let mut guarded = QuarantinedSource::new(&mut faulty, cfg.quarantine_abort);
+        let drove = drive(
+            pipeline,
+            publisher,
+            metrics,
+            health,
+            &mut guarded,
+            batch,
+            stop,
+        );
+        (drove, guarded.quarantined())
+    } else {
+        let mut guarded = QuarantinedSource::new(source, cfg.quarantine_abort);
+        let drove = drive(
+            pipeline,
+            publisher,
+            metrics,
+            health,
+            &mut guarded,
+            batch,
+            stop,
+        );
+        (drove, guarded.quarantined())
+    };
+    if let Some(health) = health {
+        health.note_quarantined(quarantined);
+    }
+    drove?;
+    Ok(quarantined)
 }
 
 fn drive(
     pipeline: &mut StreamPipeline,
     publisher: &mut Publisher,
     metrics: &Metrics,
+    health: Option<&HealthState>,
     source: &mut dyn TupleSource,
     batch: usize,
     stop: &AtomicBool,
@@ -282,9 +506,15 @@ fn drive(
                 for _ in 0..published {
                     metrics.epoch_published();
                 }
+                if let Some(health) = health {
+                    health.note_publish(published as u64);
+                }
             }
         }
         metrics.events_ingested(n);
+        if let Some(health) = health {
+            health.note_ingested(n);
+        }
         batch_hist.record(t_batch.elapsed().as_nanos() as u64);
     }
 }
@@ -323,6 +553,7 @@ mod tests {
             },
             batch: 3,
             flip_log_cap: 1024,
+            ..Default::default()
         };
         let handle = spawn_ingest(
             cfg,
@@ -395,6 +626,7 @@ mod tests {
             },
             batch: 3,
             flip_log_cap: 1024,
+            ..Default::default()
         };
 
         // First run: every sealed epoch lands in the archive.
@@ -440,6 +672,122 @@ mod tests {
         assert_eq!(after.version(), live.version());
         assert_eq!(after.records, live.records);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn driver_respawns_after_injected_panic() {
+        use fault::FaultPlan;
+
+        let plan = FaultPlan::parse("feed:panic@2").unwrap();
+        let injector = Arc::new(plan.feed_injector(7).unwrap());
+        let slot = Arc::new(SnapshotSlot::new(Thresholds::default()));
+        let health = Arc::new(crate::health::HealthState::default());
+        let cfg = DriverConfig {
+            stream: StreamConfig {
+                shards: 2,
+                epoch: EpochPolicy::every_events(4),
+                ..Default::default()
+            },
+            batch: 3,
+            fault: Some(Arc::clone(&injector)),
+            restart_budget: 2,
+            ..Default::default()
+        };
+        let report = spawn_supervised(
+            cfg,
+            Feed::Events(events(10)),
+            Arc::clone(&slot),
+            Arc::new(Metrics::new()),
+            None,
+            None,
+            Some(Arc::clone(&health)),
+        )
+        .join()
+        .expect("supervisor respawns past the panic");
+        assert_eq!(report.restarts, 1, "one panic, one respawn");
+        assert_eq!(report.total_events, 10, "replay re-derives the feed");
+        assert_eq!(health.restarts(), 1);
+        // The respawned attempt published, so the restart reason cleared
+        // and the drained feed leaves the daemon healthy again.
+        assert_eq!(
+            health.evaluate().status,
+            crate::health::HealthStatus::Ok,
+            "reasons: {:?}",
+            health.evaluate().reasons
+        );
+        assert_eq!(slot.load().ingest.total_events, 10);
+    }
+
+    #[test]
+    fn driver_restart_budget_exhausts_to_unhealthy() {
+        use fault::FaultPlan;
+
+        // Probability-1 panics: every attempt dies on its first pull.
+        let plan = FaultPlan::parse("feed:panic%1.0").unwrap();
+        let injector = Arc::new(plan.feed_injector(7).unwrap());
+        let health = Arc::new(crate::health::HealthState::default());
+        let cfg = DriverConfig {
+            fault: Some(injector),
+            restart_budget: 1,
+            ..Default::default()
+        };
+        let err = spawn_supervised(
+            cfg,
+            Feed::Events(events(10)),
+            Arc::new(SnapshotSlot::new(Thresholds::default())),
+            Arc::new(Metrics::new()),
+            None,
+            None,
+            Some(Arc::clone(&health)),
+        )
+        .join()
+        .unwrap_err();
+        assert!(err.contains("restart budget"), "{err}");
+        assert_eq!(
+            health.evaluate().status,
+            crate::health::HealthStatus::Unhealthy
+        );
+        assert_eq!(health.evaluate().reasons, vec!["ingest_failed"]);
+    }
+
+    #[test]
+    fn driver_quarantines_malformed_events() {
+        let mut feed = events(10);
+        feed.insert(4, fault::malformed_event());
+        feed.insert(8, fault::malformed_event());
+        let slot = Arc::new(SnapshotSlot::new(Thresholds::default()));
+        let report = spawn_ingest(
+            DriverConfig::default(),
+            Feed::Events(feed),
+            Arc::clone(&slot),
+            Arc::new(Metrics::new()),
+        )
+        .join()
+        .unwrap();
+        assert_eq!(report.quarantined, 2);
+        assert_eq!(report.total_events, 10, "clean events all ingested");
+    }
+
+    #[test]
+    fn driver_runs_churn_scenarios() {
+        for name in ["flap-storm", "peer-reset"] {
+            let slot = Arc::new(SnapshotSlot::new(Thresholds::default()));
+            let feed = Feed::Sim {
+                scenario: name.to_string(),
+                seed: 7,
+                repeats: 0,
+            };
+            let report = spawn_ingest(
+                DriverConfig::default(),
+                feed,
+                Arc::clone(&slot),
+                Arc::new(Metrics::new()),
+            )
+            .join()
+            .unwrap();
+            assert!(report.total_events > 0, "{name} produced events");
+            assert!(!slot.load().records.is_empty(), "{name} classified");
+        }
     }
 
     #[test]

@@ -64,7 +64,13 @@ impl HistoryStore {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, HistoryInner> {
-        self.inner.lock().expect("history store poisoned")
+        // Recover a poisoned lock rather than panic: the cache is a
+        // plain Vec of `Arc`s and the archive reader re-validates on
+        // refresh, so a panicking request can't leave torn state that
+        // would make recovery unsound.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Every retained epoch's header, in order, after picking up any

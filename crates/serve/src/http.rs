@@ -199,7 +199,14 @@ fn worker_loop(listener: &TcpListener, stop: &AtomicBool, handler: &dyn Handler,
         if stop.load(Ordering::Acquire) {
             break;
         }
-        let _ = serve_connection(stream, handler, cfg, stop);
+        // A panic anywhere in connection handling must not take the
+        // worker thread down for good — the pool never respawns.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = serve_connection(stream, handler, cfg, stop);
+        }));
+        if caught.is_err() {
+            obs::error!("http", "connection handler panicked; worker continues");
+        }
     }
 }
 
@@ -256,7 +263,23 @@ fn serve_connection(
                     )
                 } else {
                     let head_only = parsed.request.method == "HEAD";
-                    (handler.handle(&parsed.request), head_only, parsed.close)
+                    // One panicking handler becomes a 500, not a dead
+                    // worker thread (or a dropped connection).
+                    let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        handler.handle(&parsed.request)
+                    }))
+                    .unwrap_or_else(|_| {
+                        obs::global()
+                            .counter(
+                                "bgp_serve_handler_panics_total",
+                                "HTTP requests whose handler panicked (served as 500)",
+                                &[],
+                            )
+                            .inc();
+                        obs::error!("http", "request handler panicked; returning 500");
+                        Response::error(500, "internal handler panic")
+                    });
+                    (response, head_only, parsed.close)
                 }
             }
             Err(msg) => (Response::error(400, msg), false, true),

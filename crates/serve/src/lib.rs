@@ -82,6 +82,7 @@
 
 pub mod api;
 pub mod driver;
+pub mod health;
 pub mod history;
 pub mod http;
 pub mod json;
@@ -93,7 +94,11 @@ pub mod snapshot;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::api::Api;
-    pub use crate::driver::{spawn_ingest, DriverConfig, Feed, IngestHandle, IngestReport};
+    pub use crate::driver::{
+        spawn_ingest, spawn_ingest_archived, spawn_supervised, DriverConfig, Feed, IngestHandle,
+        IngestReport,
+    };
+    pub use crate::health::{HealthConfig, HealthReport, HealthState, HealthStatus};
     pub use crate::history::HistoryStore;
     pub use crate::http::{Handler, HttpConfig, HttpServer, Request, Response};
     pub use crate::json::JsonWriter;

@@ -346,7 +346,13 @@ impl SnapshotSlot {
     /// backwards between requests.
     pub fn publish(&self, snapshot: Arc<ServeSnapshot>) {
         let new_version = snapshot.version();
-        let mut guard = self.slot.lock().expect("snapshot slot poisoned");
+        // Recover a poisoned lock rather than panic: the slot only ever
+        // holds a complete `Arc` swap, so a panic elsewhere (e.g. the
+        // monotonicity assert below) never leaves a torn value behind.
+        let mut guard = self
+            .slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let old_version = guard.version();
         assert!(
             new_version > old_version,
@@ -360,7 +366,10 @@ impl SnapshotSlot {
 
     /// The current snapshot (brief lock, pointer-copy only).
     pub fn load(&self) -> Arc<ServeSnapshot> {
-        self.slot.lock().expect("snapshot slot poisoned").clone()
+        self.slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// A caching reader handle for a serving thread.
@@ -412,9 +421,10 @@ pub struct Publisher {
     /// Seal/counting duration sink (the daemon's Prometheus counters).
     metrics: Option<Arc<crate::metrics::Metrics>>,
     /// Durable epoch tap: every newly published epoch is also queued
-    /// here (one `Arc` clone + one channel send — the disk write happens
-    /// on the sink's own thread).
-    archive: Option<ArchiveSink>,
+    /// here (one `Arc` clone + one queue push — the disk write happens
+    /// on the sink's own thread). Shared (`Arc`) so a supervised driver
+    /// can keep the sink alive across publisher respawns.
+    archive: Option<Arc<ArchiveSink>>,
     /// Epochs `<=` this id were already archived and republished at boot
     /// by the restore path; the deterministic-feed backfill re-seals
     /// them, but they must not reach the slot (versions would move
@@ -456,7 +466,7 @@ impl Publisher {
     }
 
     /// Tap every newly published epoch into `sink` for durable archiving.
-    pub fn with_archive(mut self, sink: ArchiveSink) -> Self {
+    pub fn with_archive(mut self, sink: Arc<ArchiveSink>) -> Self {
         self.archive = Some(sink);
         self
     }
@@ -470,9 +480,10 @@ impl Publisher {
         self.log = restored.flip_log.clone();
     }
 
-    /// Surrender the archive sink (the driver calls this after the feed
-    /// drains, to flush and join the archiving thread).
-    pub fn take_archive(&mut self) -> Option<ArchiveSink> {
+    /// Surrender the archive sink handle (the driver calls this after
+    /// the feed drains, before unwrapping the `Arc` to flush and join
+    /// the archiving thread).
+    pub fn take_archive(&mut self) -> Option<Arc<ArchiveSink>> {
         self.archive.take()
     }
 

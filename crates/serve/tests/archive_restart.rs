@@ -85,6 +85,7 @@ fn cfg() -> DriverConfig {
         },
         batch: 7,
         flip_log_cap: 4096,
+        ..Default::default()
     }
 }
 

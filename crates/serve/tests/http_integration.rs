@@ -161,6 +161,7 @@ fn served() -> (HttpServer, Arc<SnapshotSlot>, Arc<Metrics>, IngestReport) {
             stream: stream_config(),
             batch: 5,
             flip_log_cap: 100_000,
+            ..Default::default()
         },
         Feed::Events(world_events()),
         Arc::clone(&slot),
@@ -560,6 +561,7 @@ fn concurrent_queries_stay_consistent_during_epoch_seals() {
             },
             batch: 7,
             flip_log_cap: 100_000,
+            ..Default::default()
         },
         Feed::Events(events),
         Arc::clone(&slot),

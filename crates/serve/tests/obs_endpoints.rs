@@ -126,6 +126,7 @@ fn served() -> (HttpServer, Client) {
             },
             batch: 8,
             flip_log_cap: 100_000,
+            ..Default::default()
         },
         Feed::Events(world_events()),
         Arc::clone(&slot),

@@ -17,6 +17,26 @@ use rand::{RngExt, SeedableRng};
 /// Default feed day start (2021-05-19T00:00:00Z, the paper's d_May21).
 pub const FEED_DAY_START: u64 = 1_621_382_400;
 
+/// Churn overlays for adversarial soak feeds. Each mode only *adds*
+/// re-announcements of tuples the base feed already delivers — the
+/// unique tuple set (and therefore the converged classification) is
+/// identical to [`Churn::Steady`], which is what makes churn feeds
+/// usable as fault-soak inputs with a known-good final state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Churn {
+    /// The plain feed: no extra churn.
+    #[default]
+    Steady,
+    /// A flap storm: ~5% of tuples become "flappers", each re-announced
+    /// many times inside a tight mid-day window — the classic
+    /// dampening-bait burst.
+    FlapStorm,
+    /// A peer reset: one peer's entire table is re-announced back to
+    /// back mid-day, the way a collector sees a session re-establish
+    /// and replay its Adj-RIB-In.
+    PeerReset,
+}
+
 /// A deterministic, time-ordered stream of `(timestamp, tuple)` events
 /// over one simulated day.
 #[derive(Debug, Clone)]
@@ -33,9 +53,26 @@ impl UpdateFeed {
         Self::from_tuples(&ds.tuples, seed, extra_repeats)
     }
 
+    /// Like [`UpdateFeed::new`], with a [`Churn`] overlay on top.
+    pub fn churned(ds: &GroundTruthDataset, seed: u64, extra_repeats: u32, churn: Churn) -> Self {
+        Self::from_tuples_churned(&ds.tuples, seed, extra_repeats, churn)
+    }
+
     /// Build a feed from a raw tuple list (same semantics as
     /// [`UpdateFeed::new`]).
     pub fn from_tuples(tuples: &[PathCommTuple], seed: u64, extra_repeats: u32) -> Self {
+        Self::from_tuples_churned(tuples, seed, extra_repeats, Churn::Steady)
+    }
+
+    /// Build a feed from a raw tuple list with a [`Churn`] overlay. The
+    /// base event stream is identical to the steady feed for the same
+    /// seed; churn only appends duplicate re-announcements.
+    pub fn from_tuples_churned(
+        tuples: &[PathCommTuple],
+        seed: u64,
+        extra_repeats: u32,
+        churn: Churn,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_FEED);
         let mut events = Vec::with_capacity(tuples.len());
         for t in tuples {
@@ -47,6 +84,33 @@ impl UpdateFeed {
             for _ in 0..repeats {
                 let ts = FEED_DAY_START + rng.random_range(0u64..86_400);
                 events.push((ts, t.clone()));
+            }
+        }
+        match churn {
+            Churn::Steady => {}
+            Churn::FlapStorm => {
+                // Every 20th tuple flaps: a burst of re-announcements
+                // inside a one-hour mid-day window.
+                for t in tuples.iter().step_by(20) {
+                    let bursts = 8 + rng.random_range(0u32..8);
+                    for _ in 0..bursts {
+                        let ts = FEED_DAY_START + 40_000 + rng.random_range(0u64..3_600);
+                        events.push((ts, t.clone()));
+                    }
+                }
+            }
+            Churn::PeerReset => {
+                // The first tuple's peer resets mid-day and replays its
+                // whole table back to back.
+                if let Some(first) = tuples.first() {
+                    let peer = first.path.peer();
+                    let replay: Vec<&PathCommTuple> =
+                        tuples.iter().filter(|t| t.path.peer() == peer).collect();
+                    for (i, t) in replay.into_iter().enumerate() {
+                        let ts = (FEED_DAY_START + 60_000 + i as u64).min(FEED_DAY_START + 86_399);
+                        events.push((ts, (*t).clone()));
+                    }
+                }
             }
         }
         events.sort_by_key(|a| a.0);
@@ -126,6 +190,32 @@ mod tests {
         assert!(times
             .iter()
             .all(|&t| (FEED_DAY_START..FEED_DAY_START + 86_400).contains(&t)));
+    }
+
+    #[test]
+    fn churn_only_adds_duplicates() {
+        let ts = tuples();
+        let steady = UpdateFeed::from_tuples(&ts, 7, 2);
+        let uniq = |f: &UpdateFeed| {
+            f.events()
+                .iter()
+                .map(|(_, t)| t.clone())
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        for churn in [Churn::FlapStorm, Churn::PeerReset] {
+            let churned = UpdateFeed::from_tuples_churned(&ts, 7, 2, churn);
+            assert!(churned.len() > steady.len(), "{churn:?} adds events");
+            // Same unique tuple set → same converged classification.
+            assert_eq!(uniq(&steady), uniq(&churned), "{churn:?} changed tuples");
+            // Still deterministic and time-ordered within the day.
+            let again = UpdateFeed::from_tuples_churned(&ts, 7, 2, churn);
+            assert_eq!(churned.events(), again.events());
+            let times: Vec<u64> = churned.events().iter().map(|(t, _)| *t).collect();
+            assert!(times.windows(2).all(|w| w[0] <= w[1]));
+            assert!(times
+                .iter()
+                .all(|&t| (FEED_DAY_START..FEED_DAY_START + 86_400).contains(&t)));
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod visibility;
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::feed::{UpdateFeed, FEED_DAY_START};
+    pub use crate::feed::{Churn, UpdateFeed, FEED_DAY_START};
     pub use crate::noise::NoiseModel;
     pub use crate::peering::{pop_communities, PeeringExperiment, PeeringObservation, PEERING_ASN};
     pub use crate::propagate::{tag_community, Propagator, TAG_VALUE};

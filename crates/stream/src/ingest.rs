@@ -46,12 +46,27 @@ impl StreamEvent {
 pub enum IngestError {
     /// The underlying MRT bytes failed to decode.
     Mrt(bgp_mrt::MrtError),
+    /// A [`QuarantinedSource`] hit its abort threshold: too much of the
+    /// feed was malformed to keep skipping.
+    QuarantineExceeded {
+        /// Records/chunks quarantined when the threshold tripped.
+        quarantined: u64,
+        /// The configured abort threshold.
+        threshold: u64,
+    },
 }
 
 impl std::fmt::Display for IngestError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IngestError::Mrt(e) => write!(f, "mrt decode: {e}"),
+            IngestError::QuarantineExceeded {
+                quarantined,
+                threshold,
+            } => write!(
+                f,
+                "quarantine threshold exceeded: {quarantined} malformed records/chunks (abort at {threshold})"
+            ),
         }
     }
 }
@@ -67,8 +82,98 @@ impl From<bgp_mrt::MrtError> for IngestError {
 /// A pull-based source of event batches.
 pub trait TupleSource {
     /// Produce up to `max` events. An empty batch means the source is
-    /// exhausted; errors are sticky (callers should stop on the first).
+    /// exhausted. An error consumes the failing unit (record, chunk):
+    /// callers may stop, or call again to continue with whatever the
+    /// source can still deliver — [`QuarantinedSource`] wraps that
+    /// retry-and-count policy for supervised pipelines.
     fn next_batch(&mut self, max: usize) -> Result<Vec<StreamEvent>, IngestError>;
+}
+
+/// Whether `ev` is a malformed observation a supervised pipeline must
+/// quarantine rather than classify: AS0 anywhere in the path (RFC 7607
+/// forbids AS0 on the wire; sanitized real feeds never produce it, so
+/// it doubles as the fault-injection marker).
+pub fn is_malformed(ev: &StreamEvent) -> bool {
+    ev.tuple.path.asns().iter().any(|a| a.0 == 0)
+}
+
+/// A [`TupleSource`] wrapper that quarantines malformed input instead
+/// of letting it poison the feed: decode errors are counted and the
+/// source is re-polled (the failing unit was consumed), and malformed
+/// events ([`is_malformed`]) are filtered out and counted. Once the
+/// quarantine count passes `abort_threshold` (0 = never), the wrapper
+/// aborts with [`IngestError::QuarantineExceeded`] — a feed that is
+/// mostly garbage should stop the daemon, not silently serve nothing.
+pub struct QuarantinedSource<'a> {
+    inner: &'a mut dyn TupleSource,
+    abort_threshold: u64,
+    quarantined: u64,
+}
+
+impl<'a> QuarantinedSource<'a> {
+    /// Wrap `inner`; abort after `abort_threshold` quarantined units
+    /// (0 disables the abort).
+    pub fn new(inner: &'a mut dyn TupleSource, abort_threshold: u64) -> Self {
+        QuarantinedSource {
+            inner,
+            abort_threshold,
+            quarantined: 0,
+        }
+    }
+
+    /// Malformed records and failed chunks skipped so far.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined
+    }
+
+    fn check(&self) -> Result<(), IngestError> {
+        if self.abort_threshold > 0 && self.quarantined > self.abort_threshold {
+            return Err(IngestError::QuarantineExceeded {
+                quarantined: self.quarantined,
+                threshold: self.abort_threshold,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl TupleSource for QuarantinedSource<'_> {
+    fn next_batch(&mut self, max: usize) -> Result<Vec<StreamEvent>, IngestError> {
+        loop {
+            let batch = match self.inner.next_batch(max) {
+                Ok(b) => b,
+                Err(e @ IngestError::QuarantineExceeded { .. }) => return Err(e),
+                Err(_) => {
+                    // The failing unit is consumed; count it and poll
+                    // again — an exhausted inner source returns an
+                    // empty batch next, ending the loop cleanly.
+                    self.quarantined += 1;
+                    self.check()?;
+                    continue;
+                }
+            };
+            if batch.is_empty() {
+                return Ok(batch);
+            }
+            // Clean batches (the overwhelmingly common case) pass
+            // through without a filter/reallocation round.
+            if !batch.iter().any(is_malformed) {
+                return Ok(batch);
+            }
+            let before = batch.len();
+            let kept: Vec<StreamEvent> = batch.into_iter().filter(|ev| !is_malformed(ev)).collect();
+            let skipped = (before - kept.len()) as u64;
+            if skipped > 0 {
+                self.quarantined += skipped;
+                self.check()?;
+            }
+            if !kept.is_empty() {
+                return Ok(kept);
+            }
+            // The whole batch was quarantined; pull again rather than
+            // signal a false end-of-stream.
+        }
+    }
 }
 
 /// Streams one MRT archive's records through the §4.1 sanitation pipeline
@@ -277,7 +382,7 @@ pub struct DaySource<'a> {
     next_chunk: usize,
     stats: SanitationStats,
     raw_entries: u64,
-    failed: bool,
+    quarantined_chunks: u64,
 }
 
 impl<'a> DaySource<'a> {
@@ -289,7 +394,7 @@ impl<'a> DaySource<'a> {
             next_chunk: 0,
             stats: SanitationStats::default(),
             raw_entries: 0,
-            failed: false,
+            quarantined_chunks: 0,
         }
     }
 
@@ -302,21 +407,26 @@ impl<'a> DaySource<'a> {
     pub fn raw_entries(&self) -> u64 {
         self.raw_entries
     }
+
+    /// Chunks abandoned after a decode error (their tails are lost).
+    pub fn quarantined_chunks(&self) -> u64 {
+        self.quarantined_chunks
+    }
 }
 
 impl TupleSource for DaySource<'_> {
     fn next_batch(&mut self, max: usize) -> Result<Vec<StreamEvent>, IngestError> {
-        // Sticky failure: a decode error poisons the whole day — skipping
-        // to the next chunk would silently drop the failed chunk's tail.
-        if self.failed {
-            return Ok(Vec::new());
-        }
         loop {
             if let Some(src) = self.current.as_mut() {
                 let batch = match src.next_batch(max) {
                     Ok(b) => b,
                     Err(e) => {
-                        self.failed = true;
+                        // Quarantine the chunk: its decoded prefix was
+                        // already delivered and its tail is lost, so
+                        // surface the error once (the caller counts it)
+                        // and resume with the next chunk on re-poll.
+                        self.quarantined_chunks += 1;
+                        self.current = None;
                         return Err(e);
                     }
                 };
@@ -474,7 +584,7 @@ mod tests {
     }
 
     #[test]
-    fn day_source_error_is_sticky() {
+    fn day_source_quarantines_bad_chunk_and_continues() {
         let mut w = MrtWriter::new();
         w.write_update(&update(1, &[1, 2], None, 0)).unwrap();
         let good = w.into_bytes();
@@ -490,11 +600,61 @@ mod tests {
             update_messages: 1,
         };
         let mut src = DaySource::new(&archive);
+        // The corrupt RIB chunk surfaces its error exactly once...
         assert!(src.next_batch(16).is_err());
-        // A retry must not silently resume at the next chunk: the failed
-        // chunk's tail is gone, so the day stays poisoned.
+        assert_eq!(src.quarantined_chunks(), 1);
+        // ...then the day continues with the good update chunk instead
+        // of staying poisoned.
+        assert_eq!(src.next_batch(16).unwrap().len(), 1);
         assert!(src.next_batch(16).unwrap().is_empty());
+        assert_eq!(src.quarantined_chunks(), 1);
+    }
+
+    #[test]
+    fn quarantined_source_skips_errors_and_malformed_events() {
+        let mut w = MrtWriter::new();
+        w.write_update(&update(1, &[1, 2], None, 0)).unwrap();
+        let good = w.into_bytes();
+        let mut corrupt = good.clone();
+        corrupt.truncate(corrupt.len() - 3);
+
+        let archive = DayArchive {
+            project: "test",
+            rib_bytes: corrupt,
+            update_bytes: good.clone(),
+            update_files: vec![good],
+            rib_entries: 1,
+            update_messages: 1,
+        };
+        let mut inner = DaySource::new(&archive);
+        let mut src = QuarantinedSource::new(&mut inner, 0);
+        // The corrupt chunk is absorbed: callers only see good events.
+        assert_eq!(src.next_batch(16).unwrap().len(), 1);
         assert!(src.next_batch(16).unwrap().is_empty());
+        assert_eq!(src.quarantined(), 1);
+
+        // Malformed (AS0) events are filtered and counted.
+        let evs = vec![
+            StreamEvent::new(0, PathCommTuple::new(path(&[0, 2]), CommunitySet::new())),
+            StreamEvent::new(1, PathCommTuple::new(path(&[1, 2]), CommunitySet::new())),
+        ];
+        let mut inner = IterSource::new(evs.into_iter());
+        let mut src = QuarantinedSource::new(&mut inner, 0);
+        let batch = src.next_batch(16).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].timestamp, 1);
+        assert_eq!(src.quarantined(), 1);
+    }
+
+    #[test]
+    fn quarantined_source_aborts_past_threshold() {
+        let evs: Vec<StreamEvent> = (0..4)
+            .map(|i| StreamEvent::new(i, PathCommTuple::new(path(&[0, 2]), CommunitySet::new())))
+            .collect();
+        let mut inner = IterSource::new(evs.into_iter());
+        let mut src = QuarantinedSource::new(&mut inner, 2);
+        let err = src.next_batch(1).unwrap_err();
+        assert!(matches!(err, IngestError::QuarantineExceeded { .. }));
     }
 
     #[test]

@@ -81,7 +81,9 @@ pub mod shard;
 /// Commonly used items.
 pub mod prelude {
     pub use crate::epoch::{ClassFlip, EpochPolicy, EpochSnapshot};
-    pub use crate::ingest::{DaySource, IterSource, MrtSource, StreamEvent, TupleSource};
+    pub use crate::ingest::{
+        DaySource, IterSource, MrtSource, QuarantinedSource, StreamEvent, TupleSource,
+    };
     pub use crate::outcome::StreamOutcome;
     pub use crate::pipeline::{StreamConfig, StreamPipeline};
     pub use crate::shard::ShardSet;
