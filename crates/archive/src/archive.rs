@@ -216,6 +216,7 @@ impl Archive {
             counters: false,
             classes: false,
             flips: false,
+            trace: false,
         };
         Ok(self.read_all(filter)?.into_iter().map(|e| e.meta).collect())
     }
@@ -230,6 +231,7 @@ impl Archive {
             counters: false,
             classes: false,
             flips: false,
+            trace: false,
         };
         let mut table: Vec<Asn> = Vec::new();
         for entry in &self.manifest.entries {

@@ -196,6 +196,10 @@ pub enum Kind {
     Flips = 5,
     /// Ingest statistics frozen at publish time.
     Stats = 6,
+    /// Per-epoch provenance timeline (stage, offset, duration,
+    /// counters). Optional: epochs archived by daemons without tracing
+    /// simply omit it.
+    Trace = 7,
     /// Segment trailer carrying the checksum.
     End = 0xEE,
 }
@@ -210,6 +214,7 @@ impl Kind {
             4 => Some(Kind::Classes),
             5 => Some(Kind::Flips),
             6 => Some(Kind::Stats),
+            7 => Some(Kind::Trace),
             0xEE => Some(Kind::End),
             _ => None,
         }

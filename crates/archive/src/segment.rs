@@ -32,6 +32,7 @@ use bgp_infer::classify::{Class, ForwardingClass, TaggingClass};
 use bgp_infer::counters::{AsCounters, Thresholds};
 use bgp_stream::epoch::ClassFlip;
 use bgp_types::asn::Asn;
+use obs::trace::{EpochTrace, TraceStage};
 
 /// File magic: the first four bytes of every segment.
 pub const MAGIC: &[u8; 4] = b"BGPA";
@@ -103,6 +104,10 @@ pub struct ArchivedEpoch {
     pub flips: Option<Vec<ClassFlip>>,
     /// Ingest statistics at archive time.
     pub stats: SegmentStats,
+    /// Whether a provenance trace frame exists on disk.
+    pub has_trace: bool,
+    /// The epoch's provenance timeline, when archived and requested.
+    pub trace: Option<EpochTrace>,
 }
 
 impl ArchivedEpoch {
@@ -130,6 +135,9 @@ pub struct EpochFrames<'a> {
     pub flips: Option<&'a [ClassFlip]>,
     /// Ingest statistics.
     pub stats: &'a SegmentStats,
+    /// Provenance timeline; `None` omits the frame (daemon running
+    /// without tracing, or a pre-trace archive being compacted).
+    pub trace: Option<&'a EpochTrace>,
 }
 
 /// Which heavyweight frames to materialize when decoding. Meta, interner
@@ -144,6 +152,8 @@ pub struct DecodeFilter {
     pub classes: bool,
     /// Parse flip lists.
     pub flips: bool,
+    /// Parse provenance traces.
+    pub trace: bool,
 }
 
 impl DecodeFilter {
@@ -153,6 +163,7 @@ impl DecodeFilter {
             counters: true,
             classes: true,
             flips: true,
+            trace: true,
         }
     }
 
@@ -162,6 +173,7 @@ impl DecodeFilter {
             counters: false,
             classes: true,
             flips: false,
+            trace: false,
         }
     }
 
@@ -171,6 +183,17 @@ impl DecodeFilter {
             counters: false,
             classes: false,
             flips: true,
+            trace: false,
+        }
+    }
+
+    /// Parse only the provenance traces (plus meta/interner/stats).
+    pub fn trace_only() -> Self {
+        DecodeFilter {
+            counters: false,
+            classes: false,
+            flips: false,
+            trace: true,
         }
     }
 }
@@ -311,6 +334,22 @@ impl SegmentBuilder {
             p.put_u64(load);
         }
         put_frame(&mut self.buf, Kind::Stats, &p);
+
+        if let Some(trace) = ep.trace {
+            let mut p = Vec::with_capacity(16 + 64 * trace.stages.len());
+            p.put_u32(u32::try_from(trace.stages.len()).expect("stage count fits u32"));
+            for stage in &trace.stages {
+                put_str(&mut p, &stage.stage);
+                p.put_u64(stage.start_offset_nanos);
+                p.put_u64(stage.duration_nanos);
+                p.put_u32(u32::try_from(stage.counters.len()).expect("counter count fits u32"));
+                for (k, v) in &stage.counters {
+                    put_str(&mut p, k);
+                    p.put_u64(*v);
+                }
+            }
+            put_frame(&mut self.buf, Kind::Trace, &p);
+        }
     }
 
     /// Seal the segment: append the checksum trailer and return the
@@ -398,6 +437,46 @@ fn parse_flips(payload: &[u8]) -> Result<Vec<ClassFlip>> {
         flips.push(ClassFlip { asn, from, to });
     }
     Ok(flips)
+}
+
+/// Append a length-prefixed UTF-8 string.
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.put_u32(u32::try_from(s.len()).expect("string fits u32"));
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_str(r: &mut ByteReader<'_>) -> Result<String> {
+    let n = r.u32()? as usize;
+    let bytes = r.take(n)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("non-UTF-8 string in trace frame"))
+}
+
+/// Parse a trace frame's stages; the epoch id comes from the meta frame.
+fn parse_trace(payload: &[u8], epoch: u64) -> Result<EpochTrace> {
+    let mut r = ByteReader::new(payload);
+    let n = r.u32()? as usize;
+    let mut stages = Vec::with_capacity(n);
+    for _ in 0..n {
+        let stage = read_str(&mut r)?;
+        let start_offset_nanos = r.u64()?;
+        let duration_nanos = r.u64()?;
+        let counter_count = r.u32()? as usize;
+        let mut counters = Vec::with_capacity(counter_count);
+        for _ in 0..counter_count {
+            let k = read_str(&mut r)?;
+            counters.push((k, r.u64()?));
+        }
+        stages.push(TraceStage {
+            stage,
+            start_offset_nanos,
+            duration_nanos,
+            counters,
+        });
+    }
+    if !r.is_empty() {
+        return Err(corrupt("trailing bytes in trace frame"));
+    }
+    Ok(EpochTrace { epoch, stages })
 }
 
 fn parse_stats(payload: &[u8]) -> Result<SegmentStats> {
@@ -495,6 +574,8 @@ pub fn decode_segment(bytes: &[u8], filter: DecodeFilter) -> Result<Vec<Archived
                 has_flips: false,
                 flips: None,
                 stats: SegmentStats::default(),
+                has_trace: false,
+                trace: None,
             });
             continue;
         }
@@ -528,6 +609,12 @@ pub fn decode_segment(bytes: &[u8], filter: DecodeFilter) -> Result<Vec<Archived
                 }
             }
             Kind::Stats => epoch.stats = parse_stats(frame.payload)?,
+            Kind::Trace => {
+                epoch.has_trace = true;
+                if filter.trace {
+                    epoch.trace = Some(parse_trace(frame.payload, epoch.meta.epoch)?);
+                }
+            }
             Kind::EpochMeta | Kind::End => unreachable!("handled above"),
         }
     }
@@ -595,6 +682,7 @@ mod tests {
                 classes: &classes(),
                 flips: Some(&flips),
                 stats: &stats,
+                trace: None,
             });
         }
         assert_eq!(b.epoch_range(), Some((0, 1)));
@@ -613,6 +701,52 @@ mod tests {
     }
 
     #[test]
+    fn trace_frame_roundtrips_and_filters() {
+        let trace = EpochTrace {
+            epoch: 0,
+            stages: vec![
+                TraceStage {
+                    stage: "ingest".to_string(),
+                    start_offset_nanos: 0,
+                    duration_nanos: 5_000,
+                    counters: vec![("batches".to_string(), 3), ("events".to_string(), 10)],
+                },
+                TraceStage {
+                    stage: "seal".to_string(),
+                    start_offset_nanos: 5_000,
+                    duration_nanos: 2_000,
+                    counters: vec![],
+                },
+            ],
+        };
+        let mut b = SegmentBuilder::new();
+        let (meta, delta, counters) = sample_epoch(0, 0);
+        b.push_epoch(&EpochFrames {
+            meta,
+            interner_base: 0,
+            interner_delta: &delta,
+            counters: Some(&counters),
+            classes: &classes(),
+            flips: None,
+            stats: &SegmentStats::default(),
+            trace: Some(&trace),
+        });
+        let (bytes, _) = b.finish();
+        let full = decode_segment(&bytes, DecodeFilter::all()).unwrap();
+        assert!(full[0].has_trace);
+        assert_eq!(full[0].trace.as_ref().unwrap(), &trace);
+        // trace_only keeps the timeline but drops the heavy frames.
+        let slim = decode_segment(&bytes, DecodeFilter::trace_only()).unwrap();
+        assert_eq!(slim[0].trace.as_ref().unwrap(), &trace);
+        assert!(slim[0].counters.is_none());
+        assert!(slim[0].classes.is_empty());
+        // classes_only records presence without materializing.
+        let classes_only = decode_segment(&bytes, DecodeFilter::classes_only()).unwrap();
+        assert!(classes_only[0].has_trace);
+        assert!(classes_only[0].trace.is_none());
+    }
+
+    #[test]
     fn filter_skips_heavy_frames_but_records_presence() {
         let mut b = SegmentBuilder::new();
         let (meta, delta, counters) = sample_epoch(0, 0);
@@ -624,6 +758,7 @@ mod tests {
             classes: &classes(),
             flips: None,
             stats: &SegmentStats::default(),
+            trace: None,
         });
         let (bytes, _) = b.finish();
         let epochs = decode_segment(&bytes, DecodeFilter::classes_only()).unwrap();
@@ -645,6 +780,7 @@ mod tests {
             classes: &classes(),
             flips: Some(&[]),
             stats: &SegmentStats::default(),
+            trace: None,
         });
         let (bytes, _) = b.finish();
         for cut in 0..bytes.len() {
@@ -669,6 +805,7 @@ mod tests {
             classes: &classes(),
             flips: None,
             stats: &SegmentStats::default(),
+            trace: None,
         });
         let (bytes, _) = b.finish();
         // Flip one byte inside the counters payload (past header+meta).

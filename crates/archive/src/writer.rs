@@ -31,6 +31,7 @@ use crate::segment::{DecodeFilter, EpochFrames, EpochMeta, SegmentBuilder, Segme
 use bgp_stream::epoch::EpochSnapshot;
 use bgp_types::asn::Asn;
 use obs::journal::JournalKind;
+use obs::trace::TraceStore;
 use obs::{Counter, Gauge};
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
@@ -54,6 +55,13 @@ pub struct ArchiveWriter {
     /// segment count and payload bytes (both paths, sync and sink).
     segments_appended: Arc<Counter>,
     bytes_written: Arc<Counter>,
+    /// Provenance store to record the `archive` stage into (and whose
+    /// timeline each epoch persists as a Trace frame). `None` keeps the
+    /// writer trace-free.
+    trace: Option<Arc<TraceStore>>,
+    /// `(epoch, attempts)` of the most recent append, so a sink retry
+    /// re-records the archive stage with a bumped attempt count.
+    last_attempt: (u64, u64),
 }
 
 /// Interner ids already persisted by `archive`'s committed epochs.
@@ -64,6 +72,7 @@ fn interner_written_of(archive: &Archive) -> Result<u32> {
                 counters: false,
                 classes: false,
                 flips: false,
+                trace: false,
             };
             let ep = archive.load_epoch(last, filter)?;
             Ok(u32::try_from(ep.interner_len()).expect("interner fits u32"))
@@ -101,7 +110,16 @@ impl ArchiveWriter {
                 "Segment payload bytes committed to the archive",
                 &[],
             ),
+            trace: None,
+            last_attempt: (u64::MAX, 0),
         })
+    }
+
+    /// Record archive stages into `store` and persist each epoch's
+    /// timeline as a Trace frame alongside its data frames.
+    pub fn with_traces(mut self, store: Arc<TraceStore>) -> ArchiveWriter {
+        self.trace = Some(store);
+        self
     }
 
     /// The archive directory.
@@ -180,6 +198,22 @@ impl ArchiveWriter {
             deepest_active_index: dense.deepest_active_index as u64,
             thresholds: dense.thresholds,
         };
+        // Close the epoch's provenance timeline: the archive stage spans
+        // from the end of the last pipeline stage to this commit attempt,
+        // and a retry replaces the row with a bumped attempt count — so
+        // the persisted frame always equals what the store serves live.
+        let trace = if let Some(store) = self.trace.clone() {
+            let attempts = if self.last_attempt.0 == snap.epoch {
+                self.last_attempt.1 + 1
+            } else {
+                1
+            };
+            self.last_attempt = (snap.epoch, attempts);
+            store.record_since_last(snap.epoch, "archive", &[("attempt", attempts)]);
+            store.get(snap.epoch)
+        } else {
+            None
+        };
         let mut builder = SegmentBuilder::new();
         builder.push_epoch(&EpochFrames {
             meta,
@@ -189,6 +223,7 @@ impl ArchiveWriter {
             classes: &snap.classes,
             flips: Some(&snap.flips),
             stats,
+            trace: trace.as_ref(),
         });
         let (bytes, checksum) = builder.finish();
 

@@ -48,6 +48,9 @@ pub struct JournalEntry {
     pub detail: String,
     /// Wall-clock time the event completed, nanoseconds since epoch.
     pub unix_nanos: u64,
+    /// The same wall-clock instant in milliseconds since epoch — the
+    /// resolution external log pipelines correlate on.
+    pub unix_millis: u64,
 }
 
 /// A fixed-capacity concurrent ring of [`JournalEntry`]s.
@@ -78,13 +81,15 @@ impl Journal {
     /// Append one event, overwriting the oldest when full.
     pub fn push(&self, kind: JournalKind, name: &'static str, duration_nanos: u64, detail: String) {
         let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let unix_nanos = Self::now_unix_nanos();
         let entry = JournalEntry {
             seq,
             kind,
             name,
             duration_nanos,
             detail,
-            unix_nanos: Self::now_unix_nanos(),
+            unix_nanos,
+            unix_millis: unix_nanos / 1_000_000,
         };
         let slot = &self.slots[(seq as usize) & (self.slots.len() - 1)];
         *slot.lock().expect("journal slot lock") = Some(entry);
@@ -149,6 +154,7 @@ mod tests {
         assert_eq!(got[1].seq, 4);
         assert_eq!(got[1].kind, JournalKind::Log);
         assert!(got[1].unix_nanos > 0);
+        assert_eq!(got[1].unix_millis, got[1].unix_nanos / 1_000_000);
     }
 
     #[test]

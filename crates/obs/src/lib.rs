@@ -39,9 +39,16 @@ pub mod journal;
 pub mod logger;
 pub mod registry;
 pub mod span;
+pub mod timeseries;
+pub mod trace;
 
 pub use hist::{Histogram, HistogramSnapshot, BUCKET_COUNT};
 pub use journal::{Journal, JournalEntry, JournalKind};
 pub use logger::{Level, LogConfig};
 pub use registry::{global, Counter, Gauge, ObsRegistry};
 pub use span::SpanGuard;
+pub use timeseries::{
+    parse_alert_rules, spawn_sampler, AlertRule, AlertState, MetricRing, MetricSelector, Recorder,
+    Sample, SamplerHandle,
+};
+pub use trace::{EpochTrace, TraceStage, TraceStore};

@@ -214,6 +214,42 @@ impl ObsRegistry {
         out
     }
 
+    /// Every counter family with its value summed across label sets,
+    /// sorted by family — the sampler's enumeration view.
+    pub fn counter_families(&self) -> Vec<(String, u64)> {
+        sum_families(&self.counters, |c: &Counter| c.get())
+    }
+
+    /// Every gauge family with its value summed across label sets,
+    /// sorted by family.
+    pub fn gauge_families(&self) -> Vec<(String, i64)> {
+        sum_families(&self.gauges, |g: &Gauge| g.get())
+    }
+
+    /// Every histogram family aggregated across its label sets
+    /// (bucket-wise sums; max of maxes), sorted by family.
+    pub fn histogram_families(&self) -> Vec<(String, HistogramSnapshot)> {
+        let guard = self.hists.lock().expect("registry lock");
+        let mut out: Vec<(String, HistogramSnapshot)> = Vec::new();
+        for e in guard.iter() {
+            let snap = e.value.snapshot();
+            match out.iter_mut().find(|(f, _)| f == &e.family) {
+                None => out.push((e.family.clone(), snap)),
+                Some((_, a)) => {
+                    for i in 0..BUCKET_COUNT {
+                        a.buckets[i] += snap.buckets[i];
+                    }
+                    a.sum_nanos += snap.sum_nanos;
+                    a.count += snap.count;
+                    a.max_nanos = a.max_nanos.max(snap.max_nanos);
+                }
+            }
+        }
+        drop(guard);
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Aggregate every label set of `family` into one histogram state
     /// (bucket-wise sums; max of maxes). `None` if the family has no
     /// series yet.
@@ -291,6 +327,26 @@ impl ObsRegistry {
 /// One metric row lifted out of the registry for rendering:
 /// `(family, help, labels, rendered value)`.
 type RenderRow<V> = (String, String, Vec<(String, String)>, V);
+
+/// Sum every label set of each family into one value per family,
+/// sorted by family.
+fn sum_families<T, V: Copy + std::ops::Add<Output = V>>(
+    entries: &Mutex<Vec<MetricEntry<T>>>,
+    value: impl Fn(&T) -> V,
+) -> Vec<(String, V)> {
+    let guard = entries.lock().expect("registry lock");
+    let mut out: Vec<(String, V)> = Vec::new();
+    for e in guard.iter() {
+        let v = value(&e.value);
+        match out.iter_mut().find(|(f, _)| f == &e.family) {
+            None => out.push((e.family.clone(), v)),
+            Some((_, acc)) => *acc = *acc + v,
+        }
+    }
+    drop(guard);
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
 
 fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
     if labels.is_empty() && le.is_none() {
@@ -424,6 +480,28 @@ mod tests {
         assert_eq!(agg.sum_nanos, 1_000_100);
         assert_eq!(agg.max_nanos, 1_000_000);
         assert!(r.family_snapshot("missing").is_none());
+    }
+
+    #[test]
+    fn family_enumeration_sums_label_sets() {
+        let r = ObsRegistry::new();
+        r.counter("b_total", "h", &[("k", "a")]).add(3);
+        r.counter("b_total", "h", &[("k", "b")]).add(4);
+        r.counter("a_total", "h", &[]).add(1);
+        r.gauge("depth", "h", &[]).set(-2);
+        r.histogram("t_seconds", "h", &[("k", "a")]).record(100);
+        r.histogram("t_seconds", "h", &[("k", "b")]).record(200);
+
+        assert_eq!(
+            r.counter_families(),
+            vec![("a_total".to_string(), 1), ("b_total".to_string(), 7)]
+        );
+        assert_eq!(r.gauge_families(), vec![("depth".to_string(), -2)]);
+        let hists = r.histogram_families();
+        assert_eq!(hists.len(), 1);
+        assert_eq!(hists[0].0, "t_seconds");
+        assert_eq!(hists[0].1.count, 2);
+        assert_eq!(hists[0].1.sum_nanos, 300);
     }
 
     #[test]

@@ -1,0 +1,830 @@
+//! Self-monitoring time series and the alert-rules engine.
+//!
+//! A [`Recorder`] snapshots an [`ObsRegistry`] on a fixed interval (the
+//! daemon's sampler thread, default 1 s) into one bounded [`MetricRing`]
+//! per metric family: each tick appends a windowed [`Sample`] carrying
+//! the family's current value, its delta-rate over the window, and — for
+//! histograms — the p50/p99 of *this window's* observations (consecutive
+//! bucket snapshots diffed, so a long-running daemon's tail is visible,
+//! not drowned by its history). Rings follow the journal's slot
+//! discipline: the single sampler claims slots, readers sequence-verify
+//! and never block the writer, so `/v1/debug/timeseries` is safe to
+//! hammer while the daemon runs.
+//!
+//! The same tick evaluates [`AlertRule`]s — `name>threshold@N` fires
+//! after N consecutive over-threshold windows — into an [`AlertState`]:
+//! firing and clearing emit journal events, move the
+//! `bgp_alerts_firing` gauge, and surface as ordered `alert:{name}`
+//! reasons in `/healthz`'s degraded state.
+
+use crate::hist::HistogramSnapshot;
+use crate::journal::{Journal, JournalKind};
+use crate::registry::{Gauge, ObsRegistry};
+use crate::BUCKET_COUNT;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// What kind of instrument a ring samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// A monotone counter: `value` is the running total, `rate` its
+    /// per-second delta over the window.
+    Counter,
+    /// A gauge: `value` is the level, `rate` its per-second movement.
+    Gauge,
+    /// A histogram: `value` is the observation count, `rate` the
+    /// observations/s, `p50`/`p99` the window's quantiles.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Stable lowercase name for JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One sampled window of one metric family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Ring-local sequence number (monotone per family).
+    pub seq: u64,
+    /// Wall clock at the sample, milliseconds since the unix epoch.
+    pub unix_millis: u64,
+    /// The family's value at the tick (counter total, gauge level,
+    /// histogram observation count), summed across label sets.
+    pub value: f64,
+    /// Per-second delta of `value` over the window just closed.
+    pub rate: f64,
+    /// Window p50 in nanoseconds (histograms with observations in the
+    /// window only).
+    pub p50_nanos: Option<u64>,
+    /// Window p99 in nanoseconds (histograms with observations in the
+    /// window only).
+    pub p99_nanos: Option<u64>,
+}
+
+/// Whole-ring aggregate for the `/v1/debug/timeseries` summary view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingSummary {
+    /// Samples currently retained.
+    pub samples: u64,
+    /// Smallest retained `value`.
+    pub min: f64,
+    /// Largest retained `value`.
+    pub max: f64,
+    /// Mean of retained `value`s.
+    pub mean: f64,
+    /// Most recent `value`.
+    pub last: f64,
+    /// Most recent `rate`.
+    pub last_rate: f64,
+}
+
+/// A bounded ring of [`Sample`]s for one metric family. Single writer
+/// (the sampler), concurrently read; readers sequence-verify each slot
+/// so a reader racing the writer skips the torn slot instead of
+/// blocking it.
+#[derive(Debug)]
+pub struct MetricRing {
+    family: String,
+    kind: MetricKind,
+    slots: Vec<Mutex<Option<Sample>>>,
+    head: AtomicU64,
+}
+
+impl MetricRing {
+    fn new(family: &str, kind: MetricKind, capacity: usize) -> MetricRing {
+        let cap = capacity.max(8).next_power_of_two();
+        MetricRing {
+            family: family.to_string(),
+            kind,
+            slots: (0..cap).map(|_| Mutex::new(None)).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// The metric family this ring samples.
+    pub fn family(&self) -> &str {
+        &self.family
+    }
+
+    /// The instrument kind behind the ring.
+    pub fn kind(&self) -> MetricKind {
+        self.kind
+    }
+
+    /// Sampler-side append (single writer).
+    fn push(&self, mut sample: Sample) {
+        let seq = self.head.load(Ordering::Relaxed);
+        sample.seq = seq;
+        let slot = &self.slots[(seq as usize) & (self.slots.len() - 1)];
+        *slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(sample);
+        self.head.store(seq + 1, Ordering::Release);
+    }
+
+    /// The most recent `n` samples, oldest first. Samples racing the
+    /// writer are skipped; the result is always sequence-sorted.
+    pub fn last(&self, n: usize) -> Vec<Sample> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let take = (n as u64).min(cap).min(head);
+        let mut out = Vec::with_capacity(take as usize);
+        for seq in (head - take)..head {
+            let slot = &self.slots[(seq as usize) & (self.slots.len() - 1)];
+            let guard = slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(s) = guard.as_ref() {
+                if s.seq == seq {
+                    out.push(s.clone());
+                }
+            }
+        }
+        out.sort_by_key(|s| s.seq);
+        out
+    }
+
+    /// Aggregate the retained window (`None` before the first tick).
+    pub fn summary(&self) -> Option<RingSummary> {
+        let samples = self.last(self.slots.len());
+        let last = samples.last()?;
+        let (mut min, mut max, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+        for s in &samples {
+            min = min.min(s.value);
+            max = max.max(s.value);
+            sum += s.value;
+        }
+        Some(RingSummary {
+            samples: samples.len() as u64,
+            min,
+            max,
+            mean: sum / samples.len() as f64,
+            last: last.value,
+            last_rate: last.rate,
+        })
+    }
+}
+
+/// What a rule's threshold is compared against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricSelector {
+    /// The family's sampled value (counter total, gauge level).
+    Value(String),
+    /// The family's per-second delta-rate.
+    Rate(String),
+    /// The family's window p50 in nanoseconds.
+    P50(String),
+    /// The family's window p99 in nanoseconds.
+    P99(String),
+    /// The quarantined share of the feed,
+    /// `quarantined / (quarantined + ingested)`, from the serve-side
+    /// supervision counters.
+    QuarantineRatio,
+}
+
+/// One parsed alert rule: fire once the selected signal exceeds
+/// `threshold` for `windows` consecutive sampler ticks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRule {
+    /// Rule name as written in the spec (the `/healthz` reason is
+    /// `alert:{name}`).
+    pub name: String,
+    /// What the threshold compares against.
+    pub selector: MetricSelector,
+    /// Threshold (nanoseconds for quantile selectors; durations like
+    /// `50ms` in the spec are converted at parse time).
+    pub threshold: f64,
+    /// Consecutive over-threshold windows required to fire.
+    pub windows: u32,
+}
+
+/// Shorthand names wired to the daemon's well-known families.
+fn resolve_selector(name: &str) -> MetricSelector {
+    match name {
+        "seal_p99" => MetricSelector::P99("bgp_stream_seal_duration_seconds".to_string()),
+        "seal_p50" => MetricSelector::P50("bgp_stream_seal_duration_seconds".to_string()),
+        "archive_sink_queue" => MetricSelector::Value("bgp_archive_sink_queue_depth".to_string()),
+        "quarantine_rate" => MetricSelector::QuarantineRatio,
+        other => {
+            if let Some(fam) = other.strip_suffix("_p50") {
+                MetricSelector::P50(fam.to_string())
+            } else if let Some(fam) = other.strip_suffix("_p99") {
+                MetricSelector::P99(fam.to_string())
+            } else if let Some(fam) = other.strip_suffix("_rate") {
+                MetricSelector::Rate(fam.to_string())
+            } else {
+                MetricSelector::Value(other.to_string())
+            }
+        }
+    }
+}
+
+/// Parse a threshold: a bare float, or a duration (`ns`/`us`/`ms`/`s`)
+/// converted to nanoseconds.
+fn parse_threshold(raw: &str) -> Result<f64, String> {
+    let (digits, scale) = if let Some(d) = raw.strip_suffix("ms") {
+        (d, 1e6)
+    } else if let Some(d) = raw.strip_suffix("us") {
+        (d, 1e3)
+    } else if let Some(d) = raw.strip_suffix("ns") {
+        (d, 1.0)
+    } else if let Some(d) = raw.strip_suffix('s') {
+        (d, 1e9)
+    } else {
+        (raw, 1.0)
+    };
+    let v: f64 = digits
+        .parse()
+        .map_err(|_| format!("bad threshold {raw:?}"))?;
+    Ok(v * scale)
+}
+
+/// Parse a semicolon-separated rule spec, e.g.
+/// `seal_p99>50ms@3;archive_sink_queue>64@5;quarantine_rate>0.05@10`.
+pub fn parse_alert_rules(spec: &str) -> Result<Vec<AlertRule>, String> {
+    let mut rules = Vec::new();
+    for part in spec.split(';') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (name, rest) = part
+            .split_once('>')
+            .ok_or_else(|| format!("rule {part:?}: expected name>threshold@windows"))?;
+        let (threshold, windows) = rest
+            .split_once('@')
+            .ok_or_else(|| format!("rule {part:?}: expected name>threshold@windows"))?;
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(format!("rule {part:?}: empty name"));
+        }
+        let windows: u32 = windows
+            .trim()
+            .parse()
+            .map_err(|_| format!("rule {part:?}: bad window count {windows:?}"))?;
+        if windows == 0 {
+            return Err(format!("rule {part:?}: window count must be >= 1"));
+        }
+        rules.push(AlertRule {
+            name: name.to_string(),
+            selector: resolve_selector(name),
+            threshold: parse_threshold(threshold.trim())?,
+            windows,
+        });
+    }
+    Ok(rules)
+}
+
+/// Live firing state of a rule set, evaluated each sampler tick.
+#[derive(Debug)]
+pub struct AlertState {
+    rules: Vec<AlertRule>,
+    /// Per-rule consecutive over-threshold windows (sampler-written).
+    streaks: Vec<AtomicU32>,
+    firing: Vec<AtomicBool>,
+    /// Names of currently firing rules, spec order, for `/healthz`.
+    firing_names: Mutex<Vec<String>>,
+    gauge: Arc<Gauge>,
+    journal: Arc<Journal>,
+}
+
+impl AlertState {
+    /// State over `rules`, with the `bgp_alerts_firing` gauge and
+    /// fire/clear events registered in `obs`.
+    pub fn new(rules: Vec<AlertRule>, obs: &ObsRegistry) -> AlertState {
+        let gauge = obs.gauge(
+            "bgp_alerts_firing",
+            "Alert rules currently over threshold",
+            &[],
+        );
+        AlertState {
+            streaks: rules.iter().map(|_| AtomicU32::new(0)).collect(),
+            firing: rules.iter().map(|_| AtomicBool::new(false)).collect(),
+            rules,
+            firing_names: Mutex::new(Vec::new()),
+            gauge,
+            journal: Arc::clone(obs.journal()),
+        }
+    }
+
+    /// The parsed rules, spec order.
+    pub fn rules(&self) -> &[AlertRule] {
+        &self.rules
+    }
+
+    /// Names of currently firing rules, spec order.
+    pub fn firing(&self) -> Vec<String> {
+        self.firing_names
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    fn set_firing_names(&self) {
+        let names: Vec<String> = self
+            .rules
+            .iter()
+            .zip(&self.firing)
+            .filter(|(_, f)| f.load(Ordering::Acquire))
+            .map(|(r, _)| r.name.clone())
+            .collect();
+        *self
+            .firing_names
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = names;
+    }
+
+    /// Evaluate every rule against one tick's signals. `signal` answers
+    /// a selector with the current value (`None` = metric absent, which
+    /// counts as under threshold).
+    fn observe(&self, signal: impl Fn(&MetricSelector) -> Option<f64>) {
+        let mut dirty = false;
+        for (i, rule) in self.rules.iter().enumerate() {
+            let over = signal(&rule.selector).is_some_and(|v| v > rule.threshold);
+            if over {
+                let streak = self.streaks[i].fetch_add(1, Ordering::AcqRel) + 1;
+                if streak >= rule.windows && !self.firing[i].swap(true, Ordering::AcqRel) {
+                    self.gauge.add(1);
+                    self.journal.push(
+                        JournalKind::Log,
+                        "alert",
+                        0,
+                        format!(
+                            "firing rule={} threshold={} windows={}",
+                            rule.name, rule.threshold, rule.windows
+                        ),
+                    );
+                    dirty = true;
+                }
+            } else {
+                self.streaks[i].store(0, Ordering::Release);
+                if self.firing[i].swap(false, Ordering::AcqRel) {
+                    self.gauge.add(-1);
+                    self.journal.push(
+                        JournalKind::Log,
+                        "alert",
+                        0,
+                        format!("cleared rule={}", rule.name),
+                    );
+                    dirty = true;
+                }
+            }
+        }
+        if dirty {
+            self.set_firing_names();
+        }
+    }
+}
+
+/// Sampler-private carry-over between ticks.
+#[derive(Debug)]
+struct TickState {
+    last_tick: Instant,
+    counter_prev: BTreeMap<String, u64>,
+    gauge_prev: BTreeMap<String, i64>,
+    hist_prev: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// The time-series recorder: one ring per metric family, filled by
+/// [`tick`](Recorder::tick) (called by the sampler thread, or directly
+/// by deterministic tests).
+#[derive(Debug)]
+pub struct Recorder {
+    obs: Arc<ObsRegistry>,
+    window: usize,
+    rings: Mutex<Vec<Arc<MetricRing>>>,
+    state: Mutex<TickState>,
+    ticks: AtomicU64,
+    alerts: Option<Arc<AlertState>>,
+}
+
+impl Recorder {
+    /// A recorder over `obs` retaining `window` samples per family.
+    pub fn new(obs: Arc<ObsRegistry>, window: usize) -> Recorder {
+        Recorder {
+            obs,
+            window,
+            rings: Mutex::new(Vec::new()),
+            state: Mutex::new(TickState {
+                last_tick: Instant::now(),
+                counter_prev: BTreeMap::new(),
+                gauge_prev: BTreeMap::new(),
+                hist_prev: BTreeMap::new(),
+            }),
+            ticks: AtomicU64::new(0),
+            alerts: None,
+        }
+    }
+
+    /// Evaluate `alerts` on every tick.
+    pub fn with_alerts(mut self, alerts: Arc<AlertState>) -> Recorder {
+        self.alerts = Some(alerts);
+        self
+    }
+
+    /// The attached alert state, if any.
+    pub fn alerts(&self) -> Option<&Arc<AlertState>> {
+        self.alerts.as_ref()
+    }
+
+    /// Ticks sampled so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Acquire)
+    }
+
+    /// The ring for `family`, if it has been sampled at least once.
+    pub fn ring(&self, family: &str) -> Option<Arc<MetricRing>> {
+        self.rings
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .find(|r| r.family == family)
+            .cloned()
+    }
+
+    /// Every ring, sorted by family, for the summary endpoint.
+    pub fn rings(&self) -> Vec<Arc<MetricRing>> {
+        let mut out: Vec<Arc<MetricRing>> = self
+            .rings
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        out.sort_by(|a, b| a.family.cmp(&b.family));
+        out
+    }
+
+    fn ring_for(&self, family: &str, kind: MetricKind) -> Arc<MetricRing> {
+        let mut rings = self
+            .rings
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(r) = rings.iter().find(|r| r.family == family && r.kind == kind) {
+            return Arc::clone(r);
+        }
+        let r = Arc::new(MetricRing::new(family, kind, self.window));
+        rings.push(Arc::clone(&r));
+        r
+    }
+
+    /// Sample the registry once: append one windowed [`Sample`] per
+    /// family and evaluate the alert rules against the new window.
+    pub fn tick(&self) {
+        let now = Instant::now();
+        let unix_millis = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Guard against a zero-length window (back-to-back test ticks):
+        // rates divide by at least 1 µs.
+        let elapsed = now
+            .saturating_duration_since(state.last_tick)
+            .as_secs_f64()
+            .max(1e-6);
+        state.last_tick = now;
+
+        // One tick's signals, kept for alert evaluation after the rings
+        // are updated.
+        let mut values: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+        let mut quantiles: BTreeMap<String, (Option<u64>, Option<u64>)> = BTreeMap::new();
+
+        for (family, v) in self.obs.counter_families() {
+            let prev = state.counter_prev.insert(family.clone(), v).unwrap_or(0);
+            let rate = v.saturating_sub(prev) as f64 / elapsed;
+            values.insert(family.clone(), (v as f64, rate));
+            self.ring_for(&family, MetricKind::Counter).push(Sample {
+                seq: 0,
+                unix_millis,
+                value: v as f64,
+                rate,
+                p50_nanos: None,
+                p99_nanos: None,
+            });
+        }
+        for (family, v) in self.obs.gauge_families() {
+            let prev = state.gauge_prev.insert(family.clone(), v).unwrap_or(0);
+            let rate = (v - prev) as f64 / elapsed;
+            values.insert(family.clone(), (v as f64, rate));
+            self.ring_for(&family, MetricKind::Gauge).push(Sample {
+                seq: 0,
+                unix_millis,
+                value: v as f64,
+                rate,
+                p50_nanos: None,
+                p99_nanos: None,
+            });
+        }
+        for (family, snap) in self.obs.histogram_families() {
+            let prev = state
+                .hist_prev
+                .insert(family.clone(), snap.clone())
+                .unwrap_or_default();
+            // The window's own distribution: consecutive (non-cumulative)
+            // bucket snapshots diffed into a synthetic histogram.
+            let mut window = HistogramSnapshot {
+                buckets: [0; BUCKET_COUNT],
+                sum_nanos: snap.sum_nanos.saturating_sub(prev.sum_nanos),
+                count: snap.count.saturating_sub(prev.count),
+                max_nanos: snap.max_nanos,
+            };
+            for i in 0..BUCKET_COUNT {
+                window.buckets[i] = snap.buckets[i].saturating_sub(prev.buckets[i]);
+            }
+            let (p50, p99) = if window.count > 0 {
+                (
+                    Some(window.quantile_nanos(0.5)),
+                    Some(window.quantile_nanos(0.99)),
+                )
+            } else {
+                (None, None)
+            };
+            let rate = window.count as f64 / elapsed;
+            values.insert(family.clone(), (snap.count as f64, rate));
+            quantiles.insert(family.clone(), (p50, p99));
+            self.ring_for(&family, MetricKind::Histogram).push(Sample {
+                seq: 0,
+                unix_millis,
+                value: snap.count as f64,
+                rate,
+                p50_nanos: p50,
+                p99_nanos: p99,
+            });
+        }
+        drop(state);
+        self.ticks.fetch_add(1, Ordering::AcqRel);
+
+        if let Some(alerts) = &self.alerts {
+            alerts.observe(|selector| match selector {
+                MetricSelector::Value(f) => values.get(f).map(|&(v, _)| v),
+                MetricSelector::Rate(f) => values.get(f).map(|&(_, r)| r),
+                MetricSelector::P50(f) => {
+                    quantiles.get(f).and_then(|&(p50, _)| p50).map(|n| n as f64)
+                }
+                MetricSelector::P99(f) => {
+                    quantiles.get(f).and_then(|&(_, p99)| p99).map(|n| n as f64)
+                }
+                MetricSelector::QuarantineRatio => {
+                    let q = values
+                        .get("bgp_serve_quarantined_total")
+                        .map_or(0.0, |&(v, _)| v);
+                    let i = values
+                        .get("bgp_serve_ingested_total")
+                        .map_or(0.0, |&(v, _)| v);
+                    Some(if q == 0.0 { 0.0 } else { q / (q + i) })
+                }
+            });
+        }
+    }
+}
+
+/// A running sampler thread; stop + join on shutdown.
+#[derive(Debug)]
+pub struct SamplerHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SamplerHandle {
+    /// Ask the sampler to exit after the tick in flight.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Stop and wait for the thread.
+    pub fn join(mut self) {
+        self.stop();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Spawn the background sampler: one [`Recorder::tick`] every
+/// `interval` until stopped. Sleeps in small slices so shutdown is
+/// prompt even with long intervals.
+pub fn spawn_sampler(recorder: Arc<Recorder>, interval: Duration) -> SamplerHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("bgp-obs-sampler".to_string())
+        .spawn(move || {
+            let slice = Duration::from_millis(25);
+            'outer: loop {
+                let mut slept = Duration::ZERO;
+                while slept < interval {
+                    if stop_flag.load(Ordering::Acquire) {
+                        break 'outer;
+                    }
+                    let nap = slice.min(interval - slept);
+                    std::thread::sleep(nap);
+                    slept += nap;
+                }
+                recorder.tick();
+            }
+        })
+        .expect("spawn obs sampler");
+    SamplerHandle {
+        stop,
+        thread: Some(thread),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sample_value_and_rate() {
+        let obs = Arc::new(ObsRegistry::new());
+        let c = obs.counter("x_total", "h", &[]);
+        let rec = Recorder::new(Arc::clone(&obs), 16);
+        c.add(10);
+        rec.tick();
+        c.add(30);
+        rec.tick();
+        let ring = rec.ring("x_total").unwrap();
+        assert_eq!(ring.kind(), MetricKind::Counter);
+        let samples = ring.last(10);
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].value, 10.0);
+        assert_eq!(samples[1].value, 40.0);
+        assert!(samples[0].rate > 0.0, "first window rates from zero");
+        assert!(samples[1].rate > 0.0);
+        assert!(samples[1].unix_millis >= samples[0].unix_millis);
+        let summary = ring.summary().unwrap();
+        assert_eq!(summary.samples, 2);
+        assert_eq!(summary.min, 10.0);
+        assert_eq!(summary.max, 40.0);
+        assert_eq!(summary.mean, 25.0);
+        assert_eq!(summary.last, 40.0);
+    }
+
+    #[test]
+    fn histogram_window_quantiles_drain() {
+        let obs = Arc::new(ObsRegistry::new());
+        let h = obs.histogram("y_duration_seconds", "h", &[]);
+        let rec = Recorder::new(Arc::clone(&obs), 16);
+        for _ in 0..100 {
+            h.record(300);
+        }
+        rec.tick();
+        // Second window: only slow observations — the window p50 must
+        // reflect them, not the 100 fast ones already drained.
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        rec.tick();
+        // Third window: nothing observed.
+        rec.tick();
+        let samples = rec.ring("y_duration_seconds").unwrap().last(10);
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].p50_nanos, Some(300), "clamped to tracked max");
+        // Quantiles clamp to the tracked max, so a 1 ms-dominated window
+        // reports 1 ms, not the 2^20 ns bucket bound above it.
+        assert_eq!(samples[1].p50_nanos, Some(1_000_000));
+        assert_eq!(samples[2].p50_nanos, None, "empty window is null");
+        assert_eq!(samples[2].rate, 0.0);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let obs = Arc::new(ObsRegistry::new());
+        obs.counter("z_total", "h", &[]).inc();
+        let rec = Recorder::new(Arc::clone(&obs), 8);
+        for _ in 0..20 {
+            rec.tick();
+        }
+        assert_eq!(rec.ticks(), 20);
+        let samples = rec.ring("z_total").unwrap().last(100);
+        assert_eq!(samples.len(), 8);
+        for w in samples.windows(2) {
+            assert_eq!(w[0].seq + 1, w[1].seq);
+        }
+        assert_eq!(samples.last().unwrap().seq, 19);
+    }
+
+    #[test]
+    fn parse_rules_aliases_durations_and_errors() {
+        let rules =
+            parse_alert_rules("seal_p99>50ms@3;archive_sink_queue>64@5;quarantine_rate>0.05@10")
+                .unwrap();
+        assert_eq!(rules.len(), 3);
+        assert_eq!(
+            rules[0].selector,
+            MetricSelector::P99("bgp_stream_seal_duration_seconds".to_string())
+        );
+        assert_eq!(rules[0].threshold, 50e6);
+        assert_eq!(rules[0].windows, 3);
+        assert_eq!(
+            rules[1].selector,
+            MetricSelector::Value("bgp_archive_sink_queue_depth".to_string())
+        );
+        assert_eq!(rules[2].selector, MetricSelector::QuarantineRatio);
+        assert_eq!(rules[2].threshold, 0.05);
+
+        let generic = parse_alert_rules("my_total_rate>1.5@2;other_p50>2us@1").unwrap();
+        assert_eq!(
+            generic[0].selector,
+            MetricSelector::Rate("my_total".to_string())
+        );
+        assert_eq!(
+            generic[1].selector,
+            MetricSelector::P50("other".to_string())
+        );
+        assert_eq!(generic[1].threshold, 2e3);
+
+        assert!(parse_alert_rules("nope").is_err());
+        assert!(parse_alert_rules("a>1").is_err());
+        assert!(parse_alert_rules("a>x@2").is_err());
+        assert!(parse_alert_rules("a>1@0").is_err());
+        assert!(parse_alert_rules("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn alerts_fire_after_n_windows_and_clear() {
+        let obs = Arc::new(ObsRegistry::new());
+        let g = obs.gauge("depth", "h", &[]);
+        let rules = parse_alert_rules("depth>5@3").unwrap();
+        let alerts = Arc::new(AlertState::new(rules, &obs));
+        let rec = Recorder::new(Arc::clone(&obs), 16).with_alerts(Arc::clone(&alerts));
+
+        g.set(10);
+        rec.tick();
+        rec.tick();
+        assert!(alerts.firing().is_empty(), "two windows is not three");
+        rec.tick();
+        assert_eq!(alerts.firing(), vec!["depth".to_string()]);
+        assert_eq!(obs.gauge("bgp_alerts_firing", "", &[]).get(), 1);
+
+        // A single under-threshold window clears the alert and resets
+        // the streak.
+        g.set(0);
+        rec.tick();
+        assert!(alerts.firing().is_empty());
+        assert_eq!(obs.gauge("bgp_alerts_firing", "", &[]).get(), 0);
+        g.set(10);
+        rec.tick();
+        rec.tick();
+        assert!(alerts.firing().is_empty(), "streak restarted from zero");
+
+        let events = obs.journal().last(16);
+        let alerts_logged: Vec<&str> = events
+            .iter()
+            .filter(|e| e.name == "alert")
+            .map(|e| e.detail.as_str())
+            .collect();
+        assert_eq!(alerts_logged.len(), 2, "{alerts_logged:?}");
+        assert!(alerts_logged[0].starts_with("firing rule=depth"));
+        assert!(alerts_logged[1].starts_with("cleared rule=depth"));
+    }
+
+    #[test]
+    fn quarantine_ratio_selector() {
+        let obs = Arc::new(ObsRegistry::new());
+        let ingested = obs.counter("bgp_serve_ingested_total", "h", &[]);
+        let quarantined = obs.counter("bgp_serve_quarantined_total", "h", &[]);
+        let rules = parse_alert_rules("quarantine_rate>0.10@1").unwrap();
+        let alerts = Arc::new(AlertState::new(rules, &obs));
+        let rec = Recorder::new(Arc::clone(&obs), 16).with_alerts(Arc::clone(&alerts));
+
+        ingested.add(99);
+        quarantined.add(1);
+        rec.tick();
+        assert!(alerts.firing().is_empty(), "1% is under the 10% threshold");
+        quarantined.add(20);
+        rec.tick();
+        assert_eq!(alerts.firing(), vec!["quarantine_rate".to_string()]);
+        ingested.add(10_000);
+        rec.tick();
+        assert!(alerts.firing().is_empty(), "rate recovered");
+    }
+
+    #[test]
+    fn sampler_thread_ticks_and_stops() {
+        let obs = Arc::new(ObsRegistry::new());
+        obs.counter("w_total", "h", &[]).inc();
+        let rec = Arc::new(Recorder::new(Arc::clone(&obs), 16));
+        let handle = spawn_sampler(Arc::clone(&rec), Duration::from_millis(10));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while rec.ticks() < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        handle.join();
+        assert!(rec.ticks() >= 2, "sampler ticked while running");
+        let after = rec.ticks();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(rec.ticks(), after, "no ticks after join");
+    }
+}

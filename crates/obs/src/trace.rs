@@ -1,0 +1,291 @@
+//! Per-epoch provenance traces.
+//!
+//! A [`TraceStore`] collects, for every sealed epoch, a timeline of the
+//! stages that produced it — ingest batches, per-shard counting, the
+//! merge, the seal itself, the snapshot publish, and the archive append
+//! — each with a start offset relative to the first recorded stage, a
+//! wall-clock duration, and a small bag of named counters. The daemon
+//! serves the timeline at `/v1/debug/epoch/{N}/trace` and persists it
+//! as an optional archive frame, so "where did this epoch come from and
+//! what did it cost" survives a restart and time-travels with the rest
+//! of the archive.
+//!
+//! Concurrency follows the workspace's writer-owned discipline: the
+//! single ingest/seal thread records, readers clone finished timelines
+//! out from under a short mutex. The store is bounded — old epochs are
+//! evicted front-first once `capacity` is exceeded (the archive frame
+//! is the durable copy).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One stage of an epoch's timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStage {
+    /// Stage name (`ingest`, `shard_count`, `shard_merge`, `seal`,
+    /// `publish`, `archive`).
+    pub stage: String,
+    /// Nanoseconds from the epoch's first recorded stage to this
+    /// stage's start.
+    pub start_offset_nanos: u64,
+    /// Stage wall time in nanoseconds (accumulated stages sum their
+    /// batches; parallel shard counting sums CPU time across shards).
+    pub duration_nanos: u64,
+    /// Stage-specific counters (`events`, `tuples`, `attempt`, …).
+    pub counters: Vec<(String, u64)>,
+}
+
+/// A finished (or in-flight) epoch timeline: every recorded stage in
+/// the order it first started.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochTrace {
+    /// The epoch this timeline belongs to.
+    pub epoch: u64,
+    /// Stages, ordered by first start.
+    pub stages: Vec<TraceStage>,
+}
+
+/// One epoch's in-flight trace plus the instant offsets anchor to.
+#[derive(Debug)]
+struct TraceEntry {
+    epoch: u64,
+    /// The instant of the first recorded stage's start; later stages
+    /// measure their offset against it.
+    base: Instant,
+    stages: Vec<TraceStage>,
+}
+
+/// Bounded store of per-epoch provenance timelines.
+#[derive(Debug)]
+pub struct TraceStore {
+    /// The epoch currently being assembled by the ingest side — batch
+    /// accumulation attributes to it without plumbing an epoch id
+    /// through every source.
+    active: AtomicU64,
+    entries: Mutex<VecDeque<TraceEntry>>,
+    capacity: usize,
+}
+
+impl TraceStore {
+    /// A store retaining the last `capacity` epochs (minimum 1).
+    pub fn new(capacity: usize) -> TraceStore {
+        TraceStore {
+            active: AtomicU64::new(0),
+            entries: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<TraceEntry>> {
+        self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Mark `epoch` as the one ingest is currently filling.
+    pub fn set_active(&self, epoch: u64) {
+        self.active.store(epoch, Ordering::Release);
+    }
+
+    /// The epoch ingest is currently filling.
+    pub fn active(&self) -> u64 {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Find-or-create the entry for `epoch`, evicting the oldest when
+    /// over capacity. `now` anchors a fresh entry's offset base.
+    fn entry_mut(
+        entries: &mut VecDeque<TraceEntry>,
+        epoch: u64,
+        base_if_new: Instant,
+        capacity: usize,
+    ) -> &mut TraceEntry {
+        if let Some(pos) = entries.iter().position(|e| e.epoch == epoch) {
+            return &mut entries[pos];
+        }
+        entries.push_back(TraceEntry {
+            epoch,
+            base: base_if_new,
+            stages: Vec::new(),
+        });
+        while entries.len() > capacity {
+            entries.pop_front();
+        }
+        let last = entries.len() - 1;
+        &mut entries[last]
+    }
+
+    /// Record one completed stage of `duration_nanos` that ended now.
+    /// The first stage recorded for an epoch anchors the timeline (its
+    /// start is offset 0); later stages are offset against it. A stage
+    /// name recorded twice appends a second timeline row.
+    pub fn record(&self, epoch: u64, stage: &str, duration_nanos: u64, counters: &[(&str, u64)]) {
+        let now = Instant::now();
+        let started = now - std::time::Duration::from_nanos(duration_nanos);
+        let mut entries = self.lock();
+        let entry = Self::entry_mut(&mut entries, epoch, started, self.capacity);
+        let start_offset_nanos = started.saturating_duration_since(entry.base).as_nanos() as u64;
+        entry.stages.push(TraceStage {
+            stage: stage.to_string(),
+            start_offset_nanos,
+            duration_nanos,
+            counters: counters.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+        });
+    }
+
+    /// Like [`record`](Self::record), but a repeated stage name merges
+    /// into the existing row: durations and same-named counters sum,
+    /// the first start offset is kept. Used for per-batch ingest, where
+    /// one epoch sees many batches.
+    pub fn accumulate(
+        &self,
+        epoch: u64,
+        stage: &str,
+        duration_nanos: u64,
+        counters: &[(&str, u64)],
+    ) {
+        let now = Instant::now();
+        let started = now - std::time::Duration::from_nanos(duration_nanos);
+        let mut entries = self.lock();
+        let entry = Self::entry_mut(&mut entries, epoch, started, self.capacity);
+        if let Some(existing) = entry.stages.iter_mut().find(|s| s.stage == stage) {
+            existing.duration_nanos += duration_nanos;
+            for &(k, v) in counters {
+                match existing.counters.iter_mut().find(|(ek, _)| ek == k) {
+                    Some((_, ev)) => *ev += v,
+                    None => existing.counters.push((k.to_string(), v)),
+                }
+            }
+            return;
+        }
+        let start_offset_nanos = started.saturating_duration_since(entry.base).as_nanos() as u64;
+        entry.stages.push(TraceStage {
+            stage: stage.to_string(),
+            start_offset_nanos,
+            duration_nanos,
+            counters: counters.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+        });
+    }
+
+    /// Record `stage` as spanning from the end of the last recorded
+    /// stage to now, replacing any existing row with the same name.
+    /// Used for the archive append, whose duration includes queueing
+    /// and retries and is only known at commit time — a sink retry
+    /// re-records the stage with the final attempt count.
+    pub fn record_since_last(&self, epoch: u64, stage: &str, counters: &[(&str, u64)]) {
+        let now = Instant::now();
+        let mut entries = self.lock();
+        let entry = Self::entry_mut(&mut entries, epoch, now, self.capacity);
+        let now_offset = now.saturating_duration_since(entry.base).as_nanos() as u64;
+        let last_end = entry
+            .stages
+            .iter()
+            .filter(|s| s.stage != stage)
+            .map(|s| s.start_offset_nanos + s.duration_nanos)
+            .max()
+            .unwrap_or(0)
+            .min(now_offset);
+        let row = TraceStage {
+            stage: stage.to_string(),
+            start_offset_nanos: last_end,
+            duration_nanos: now_offset - last_end,
+            counters: counters.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+        };
+        match entry.stages.iter_mut().find(|s| s.stage == stage) {
+            Some(existing) => *existing = row,
+            None => entry.stages.push(row),
+        }
+    }
+
+    /// The timeline recorded for `epoch`, if still retained.
+    pub fn get(&self, epoch: u64) -> Option<EpochTrace> {
+        let entries = self.lock();
+        entries
+            .iter()
+            .find(|e| e.epoch == epoch)
+            .map(|e| EpochTrace {
+                epoch: e.epoch,
+                stages: e.stages.clone(),
+            })
+    }
+
+    /// Epochs currently retained, oldest first.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.lock().iter().map(|e| e.epoch).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_orders_stages_and_offsets() {
+        let t = TraceStore::new(8);
+        t.record(3, "seal", 1_000, &[("events", 10)]);
+        t.record(3, "publish", 500, &[("records", 4)]);
+        let trace = t.get(3).unwrap();
+        assert_eq!(trace.epoch, 3);
+        assert_eq!(trace.stages.len(), 2);
+        assert_eq!(trace.stages[0].stage, "seal");
+        assert_eq!(trace.stages[0].start_offset_nanos, 0);
+        assert_eq!(trace.stages[0].duration_nanos, 1_000);
+        assert_eq!(trace.stages[0].counters, vec![("events".to_string(), 10)]);
+        assert_eq!(trace.stages[1].stage, "publish");
+        assert!(trace.stages[1].start_offset_nanos >= 500);
+        assert!(t.get(99).is_none());
+    }
+
+    #[test]
+    fn accumulate_merges_batches() {
+        let t = TraceStore::new(8);
+        t.accumulate(0, "ingest", 100, &[("batches", 1), ("events", 32)]);
+        t.accumulate(0, "ingest", 200, &[("batches", 1), ("events", 32)]);
+        let trace = t.get(0).unwrap();
+        assert_eq!(trace.stages.len(), 1);
+        assert_eq!(trace.stages[0].duration_nanos, 300);
+        assert_eq!(
+            trace.stages[0].counters,
+            vec![("batches".to_string(), 2), ("events".to_string(), 64)]
+        );
+    }
+
+    #[test]
+    fn record_since_last_replaces_and_spans_tail() {
+        let t = TraceStore::new(8);
+        t.record(1, "seal", 1_000, &[]);
+        t.record_since_last(1, "archive", &[("attempt", 1)]);
+        let first = t.get(1).unwrap();
+        assert_eq!(first.stages.len(), 2);
+        let archive = &first.stages[1];
+        assert_eq!(archive.stage, "archive");
+        assert!(archive.start_offset_nanos >= 1_000);
+        // A retry re-records the same row instead of appending.
+        t.record_since_last(1, "archive", &[("attempt", 2)]);
+        let second = t.get(1).unwrap();
+        assert_eq!(second.stages.len(), 2);
+        assert_eq!(second.stages[1].counters, vec![("attempt".to_string(), 2)]);
+        assert!(second.stages[1].duration_nanos >= archive.duration_nanos);
+    }
+
+    #[test]
+    fn bounded_eviction_drops_oldest() {
+        let t = TraceStore::new(2);
+        for epoch in 0..5u64 {
+            t.record(epoch, "seal", 10, &[]);
+        }
+        assert_eq!(t.epochs(), vec![3, 4]);
+        assert!(t.get(0).is_none());
+        assert!(t.get(4).is_some());
+    }
+
+    #[test]
+    fn active_epoch_round_trips() {
+        let t = TraceStore::new(2);
+        assert_eq!(t.active(), 0);
+        t.set_active(7);
+        assert_eq!(t.active(), 7);
+    }
+}

@@ -1,0 +1,112 @@
+//! The Prometheus renderer under concurrent get-or-create registration.
+//!
+//! Worker threads hammer the registry with `counter`/`gauge`/`histogram`
+//! calls — mostly get-or-create hits on shared families, plus a stream
+//! of brand-new label sets — while a render thread snapshots the text
+//! exposition the whole time. Every rendered snapshot must be
+//! well-formed (no torn lines, no family emitted before its HELP/TYPE
+//! preamble), and the final exposition must account for every increment.
+
+use obs::ObsRegistry;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn assert_well_formed(text: &str) {
+    let mut seen_preamble: Vec<String> = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let family = rest.split_whitespace().next().expect("family after HELP");
+            seen_preamble.push(family.to_string());
+            continue;
+        }
+        if line.starts_with("# TYPE ") {
+            continue;
+        }
+        // `name{labels} value` or `name value` — exactly two fields
+        // once the label block (which may contain spaces in values) is
+        // dropped.
+        let name_end = line.find(['{', ' ']).expect("metric name");
+        let name = &line[..name_end];
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .unwrap_or(name);
+        assert!(
+            seen_preamble.iter().any(|f| f == base || f == name),
+            "sample {name} before its preamble: {line}"
+        );
+        let value = line.rsplit(' ').next().expect("value field");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable value in {line:?}"
+        );
+    }
+}
+
+#[test]
+fn renderer_is_consistent_under_concurrent_registration() {
+    let obs = Arc::new(ObsRegistry::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    const WORKERS: usize = 4;
+    const ROUNDS: usize = 300;
+
+    let render_worker = {
+        let obs = Arc::clone(&obs);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut renders = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let mut out = String::new();
+                obs.render_prometheus(&mut out);
+                assert_well_formed(&out);
+                renders += 1;
+            }
+            renders
+        })
+    };
+
+    let workers: Vec<_> = (0..WORKERS)
+        .map(|w| {
+            let obs = Arc::clone(&obs);
+            std::thread::spawn(move || {
+                for i in 0..ROUNDS {
+                    // Shared family, shared label set: every thread must
+                    // resolve the same underlying counter.
+                    obs.counter("conc_shared_total", "h", &[]).inc();
+                    // Shared family, per-thread label set.
+                    obs.counter("conc_labeled_total", "h", &[("w", &w.to_string())])
+                        .inc();
+                    // A stream of brand-new families racing the renderer.
+                    obs.gauge(&format!("conc_gauge_{w}_{}", i % 7), "h", &[])
+                        .set(i as i64);
+                    obs.histogram("conc_latency_seconds", "h", &[("w", &w.to_string())])
+                        .record(1_000 * (i as u64 + 1));
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("worker thread");
+    }
+    stop.store(true, Ordering::Release);
+    let renders = render_worker.join().expect("render thread");
+    assert!(renders > 0, "render thread never completed a pass");
+
+    // Final exposition accounts for every increment.
+    let mut out = String::new();
+    obs.render_prometheus(&mut out);
+    assert_well_formed(&out);
+    let total = (WORKERS * ROUNDS) as u64;
+    assert!(
+        out.contains(&format!("conc_shared_total {total}")),
+        "lost shared-counter increments:\n{out}"
+    );
+    for w in 0..WORKERS {
+        assert!(
+            out.contains(&format!("conc_labeled_total{{w=\"{w}\"}} {ROUNDS}")),
+            "lost labeled increments for worker {w}:\n{out}"
+        );
+        assert!(out.contains(&format!("conc_latency_seconds_count{{w=\"{w}\"}} {ROUNDS}")));
+    }
+}

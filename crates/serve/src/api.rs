@@ -20,6 +20,10 @@
 //!
 //! | `/v1/debug/timings`          | per-stage latency histograms (p50/p99/max) |
 //! | `/v1/debug/trace?last=N`     | the last N span completions + log events |
+//! | `/v1/debug/timeseries`       | per-family sampled-window summary |
+//! | `/v1/debug/timeseries?metric=FAM&last=N` | the last N sampled windows of one family |
+//! | `/v1/debug/epoch/{N}/trace`  | epoch `N`'s provenance timeline (live or archived) |
+//! | `/v1/version`                | crate version, build profile, uptime |
 //!
 //! The three time-travel routes (`?epoch=`, `/v1/epochs`,
 //! `/v1/history/…`) answer from the durable archive through a
@@ -44,7 +48,8 @@ use bgp_infer::counters::Thresholds;
 use bgp_infer::db::{CommunityLookup, DbRecord};
 use bgp_types::prelude::*;
 use obs::journal::JournalKind;
-use obs::{Histogram, ObsRegistry};
+use obs::trace::{EpochTrace, TraceStore};
+use obs::{Histogram, ObsRegistry, Recorder};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -70,6 +75,14 @@ pub struct Api {
     /// [`Endpoint::index`] — resolved once so the request path records
     /// with pure atomics.
     endpoint_hists: Vec<Arc<Histogram>>,
+    /// Time-series recorder behind `/v1/debug/timeseries` (the daemon's
+    /// sampler thread feeds it).
+    timeseries: Option<Arc<Recorder>>,
+    /// Live per-epoch provenance traces for `/v1/debug/epoch/{N}/trace`
+    /// (evicted epochs fall back to the archive through `history`).
+    traces: Option<Arc<TraceStore>>,
+    /// Process start, for `/v1/version` and `/v1/stats` uptime.
+    start: Instant,
 }
 
 thread_local! {
@@ -104,6 +117,9 @@ impl Api {
             health: None,
             obs,
             endpoint_hists,
+            timeseries: None,
+            traces: None,
+            start: Instant::now(),
         }
     }
 
@@ -119,6 +135,19 @@ impl Api {
     /// constant `"ok"`.
     pub fn with_health(mut self, health: Arc<HealthState>) -> Self {
         self.health = Some(health);
+        self
+    }
+
+    /// Serve `/v1/debug/timeseries` from `recorder`'s sampled rings.
+    pub fn with_timeseries(mut self, recorder: Arc<Recorder>) -> Self {
+        self.timeseries = Some(recorder);
+        self
+    }
+
+    /// Serve `/v1/debug/epoch/{N}/trace` from `traces` (live epochs),
+    /// falling back to the archive when one is attached.
+    pub fn with_traces(mut self, traces: Arc<TraceStore>) -> Self {
+        self.traces = Some(traces);
         self
     }
 
@@ -164,6 +193,14 @@ impl Api {
         if let Some(asn) = path.strip_prefix("/v1/history/") {
             return (Endpoint::History, self.history_endpoint(&snap, asn));
         }
+        if let Some(rest) = path.strip_prefix("/v1/debug/epoch/") {
+            if let Some(raw_epoch) = rest.strip_suffix("/trace") {
+                return (
+                    Endpoint::EpochTrace,
+                    self.epoch_trace_endpoint(&snap, raw_epoch),
+                );
+            }
+        }
         match path {
             "/v1/classes" => (Endpoint::Classes, classes_endpoint(&snap, request)),
             "/v1/flips" => (Endpoint::Flips, flips_endpoint(&snap, request)),
@@ -175,13 +212,22 @@ impl Api {
                     self.metrics.total_requests(),
                     &self.obs,
                     self.health.as_deref(),
+                    self.start.elapsed().as_secs(),
                 ),
             ),
             "/v1/epochs" => (Endpoint::Epochs, self.epochs_endpoint(&snap)),
+            "/v1/version" => (
+                Endpoint::Version,
+                version_endpoint(&snap, self.start.elapsed().as_secs()),
+            ),
             "/v1/debug/timings" => (Endpoint::DebugTimings, timings_endpoint(&snap, &self.obs)),
             "/v1/debug/trace" => (
                 Endpoint::DebugTrace,
                 trace_endpoint(&snap, &self.obs, request),
+            ),
+            "/v1/debug/timeseries" => (
+                Endpoint::DebugTimeseries,
+                self.timeseries_endpoint(&snap, request),
             ),
             "/healthz" => (
                 Endpoint::Health,
@@ -244,6 +290,103 @@ impl Api {
             w.end_obj();
         }
         w.end_arr();
+        w.end_obj();
+        Response::json(w.finish())
+    }
+
+    /// `/v1/debug/timeseries` — the sampler's rings: a per-family
+    /// summary, or (`?metric=FAM&last=N`) one family's recent windows.
+    fn timeseries_endpoint(&self, snap: &ServeSnapshot, request: &Request) -> Response {
+        let Some(rec) = &self.timeseries else {
+            return Response::error(400, "no time-series recorder attached");
+        };
+        if let Some(family) = request.param("metric") {
+            let last = match parse_usize(request, "last", 64) {
+                Ok(v) => v,
+                Err(resp) => return resp,
+            };
+            let Some(ring) = rec.ring(family) else {
+                return Response::error(404, "metric family not sampled yet");
+            };
+            let samples = ring.last(last);
+            let mut w = begin_envelope(snap);
+            w.field_u64("ticks", rec.ticks());
+            w.field_str("metric", ring.family());
+            w.field_str("kind", ring.kind().label());
+            w.field_u64("count", samples.len() as u64);
+            w.begin_arr_field("samples");
+            for s in &samples {
+                w.begin_obj();
+                w.field_u64("seq", s.seq);
+                w.field_u64("unix_millis", s.unix_millis);
+                w.field_f64("value", s.value);
+                w.field_f64("rate", s.rate);
+                match s.p50_nanos {
+                    Some(v) => w.field_u64("p50_nanos", v),
+                    None => w.field_null("p50_nanos"),
+                }
+                match s.p99_nanos {
+                    Some(v) => w.field_u64("p99_nanos", v),
+                    None => w.field_null("p99_nanos"),
+                }
+                w.end_obj();
+            }
+            w.end_arr();
+            w.end_obj();
+            return Response::json(w.finish());
+        }
+        let rings = rec.rings();
+        let mut w = begin_envelope(snap);
+        w.field_u64("ticks", rec.ticks());
+        w.field_u64("families", rings.len() as u64);
+        w.begin_arr_field("metrics");
+        for ring in &rings {
+            let Some(summary) = ring.summary() else {
+                continue;
+            };
+            w.begin_obj();
+            w.field_str("metric", ring.family());
+            w.field_str("kind", ring.kind().label());
+            w.field_u64("samples", summary.samples);
+            w.field_f64("min", summary.min);
+            w.field_f64("max", summary.max);
+            w.field_f64("mean", summary.mean);
+            w.field_f64("last", summary.last);
+            w.field_f64("last_rate", summary.last_rate);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.end_obj();
+        Response::json(w.finish())
+    }
+
+    /// `/v1/debug/epoch/{N}/trace` — the epoch's provenance timeline:
+    /// the live store first, then the archive's persisted Trace frame
+    /// (same shape either way, so restarts answer identically).
+    fn epoch_trace_endpoint(&self, snap: &ServeSnapshot, raw_epoch: &str) -> Response {
+        let Ok(epoch) = raw_epoch.parse::<u64>() else {
+            return Response::error(400, "epoch must be an unsigned integer");
+        };
+        let mut trace = self.traces.as_ref().and_then(|t| t.get(epoch));
+        let mut source = "live";
+        if trace.is_none() {
+            if let Some(history) = &self.history {
+                match history.trace_at(epoch) {
+                    Ok(t) => {
+                        trace = t;
+                        source = "archive";
+                    }
+                    Err(e) => return Response::error(500, &format!("archive: {e}")),
+                }
+            }
+        }
+        let Some(trace) = trace else {
+            return Response::error(404, "no trace recorded for this epoch");
+        };
+        let mut w = begin_envelope(snap);
+        w.field_u64("trace_epoch", trace.epoch);
+        w.field_str("source", source);
+        write_trace_stages(&mut w, &trace);
         w.end_obj();
         Response::json(w.finish())
     }
@@ -623,16 +766,57 @@ fn reclassify_endpoint(snap: &ServeSnapshot, request: &Request) -> Response {
 }
 
 /// Write `{"p50_nanos":…,"p99_nanos":…,"max_nanos":…,"observed":…}` for
-/// one histogram family aggregated across its label sets (all-zero when
-/// the family has recorded nothing yet).
+/// one histogram family aggregated across its label sets. An empty
+/// histogram has no quantiles — report `null`, not a misleading zero.
 fn write_latency_field(w: &mut JsonWriter, name: &str, obs: &ObsRegistry, family: &str) {
     let snap = obs.family_snapshot(family).unwrap_or_default();
     w.begin_obj_field(name);
-    w.field_u64("p50_nanos", snap.quantile_nanos(0.5));
-    w.field_u64("p99_nanos", snap.quantile_nanos(0.99));
+    if snap.count == 0 {
+        w.field_null("p50_nanos");
+        w.field_null("p99_nanos");
+    } else {
+        w.field_u64("p50_nanos", snap.quantile_nanos(0.5));
+        w.field_u64("p99_nanos", snap.quantile_nanos(0.99));
+    }
     w.field_u64("max_nanos", snap.max_nanos);
     w.field_u64("observed", snap.count);
     w.end_obj();
+}
+
+/// `/v1/version` — build identity and process uptime.
+fn version_endpoint(snap: &ServeSnapshot, uptime_seconds: u64) -> Response {
+    let mut w = begin_envelope(snap);
+    w.field_str("crate_version", env!("CARGO_PKG_VERSION"));
+    w.field_str(
+        "profile",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        },
+    );
+    w.field_u64("uptime_seconds", uptime_seconds);
+    w.end_obj();
+    Response::json(w.finish())
+}
+
+/// The `"stages"` array shared by live and archived trace responses.
+fn write_trace_stages(w: &mut JsonWriter, trace: &EpochTrace) {
+    w.field_u64("stage_count", trace.stages.len() as u64);
+    w.begin_arr_field("stages");
+    for stage in &trace.stages {
+        w.begin_obj();
+        w.field_str("stage", &stage.stage);
+        w.field_u64("start_offset_nanos", stage.start_offset_nanos);
+        w.field_u64("duration_nanos", stage.duration_nanos);
+        w.begin_obj_field("counters");
+        for (name, value) in &stage.counters {
+            w.field_u64(name, *value);
+        }
+        w.end_obj();
+        w.end_obj();
+    }
+    w.end_arr();
 }
 
 fn stats_endpoint(
@@ -640,6 +824,7 @@ fn stats_endpoint(
     requests_total: u64,
     obs: &ObsRegistry,
     health: Option<&HealthState>,
+    uptime_seconds: u64,
 ) -> Response {
     let mut w = begin_envelope(snap);
     if let Some(epoch) = &snap.epoch {
@@ -685,6 +870,7 @@ fn stats_endpoint(
     }
     w.end_arr();
     w.field_u64("requests_total", requests_total);
+    w.field_u64("uptime_seconds", uptime_seconds);
     if let Some(health) = health {
         let report = health.evaluate();
         w.field_str("health", report.status.as_str());
@@ -716,8 +902,13 @@ fn timings_endpoint(snap: &ServeSnapshot, obs: &ObsRegistry) -> Response {
         w.end_obj();
         w.field_u64("observed", entry.snap.count);
         w.field_u64("sum_nanos", entry.snap.sum_nanos);
-        w.field_u64("p50_nanos", entry.snap.quantile_nanos(0.5));
-        w.field_u64("p99_nanos", entry.snap.quantile_nanos(0.99));
+        if entry.snap.count == 0 {
+            w.field_null("p50_nanos");
+            w.field_null("p99_nanos");
+        } else {
+            w.field_u64("p50_nanos", entry.snap.quantile_nanos(0.5));
+            w.field_u64("p99_nanos", entry.snap.quantile_nanos(0.99));
+        }
         w.field_u64("max_nanos", entry.snap.max_nanos);
         w.end_obj();
     }
@@ -746,6 +937,7 @@ fn trace_endpoint(snap: &ServeSnapshot, obs: &ObsRegistry, request: &Request) ->
         w.field_u64("duration_nanos", e.duration_nanos);
         w.field_str("detail", &e.detail);
         w.field_u64("unix_nanos", e.unix_nanos);
+        w.field_u64("unix_millis", e.unix_millis);
         w.end_obj();
     }
     w.end_arr();

@@ -45,6 +45,13 @@
 //!                               (targets: serve, stream, archive, http;
 //!                               default info)
 //!       --log-json              one JSON object per log line instead of text
+//!       --sample-interval <MS>  self-monitoring sampler tick in milliseconds
+//!                               (default 1000; feeds /v1/debug/timeseries)
+//!       --alert-rules <SPEC>    alert rules evaluated every sampler tick,
+//!                               e.g. `seal_p99>50ms@3;archive_sink_queue>64@5;
+//!                               quarantine_rate>0.05@10` — firing alerts
+//!                               surface in /healthz reasons and the
+//!                               bgp_alerts_firing gauge
 //!   -h, --help                  show this help
 //! ```
 //!
@@ -61,6 +68,7 @@ use bgp_serve::prelude::*;
 use bgp_serve::shutdown;
 use bgp_stream::epoch::EpochPolicy;
 use bgp_stream::pipeline::StreamConfig;
+use obs::{AlertState, Recorder};
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -84,6 +92,8 @@ struct Options {
     quarantine_abort: u64,
     log_level: String,
     log_json: bool,
+    sample_interval_ms: u64,
+    alert_rules: Option<String>,
     inputs: Vec<String>,
 }
 
@@ -92,6 +102,7 @@ fn usage() -> &'static str {
      \x20                 [-t THRESHOLD] [-b BATCH] [--archive DIR] [--linger]\n\
      \x20                 [--fault-plan SPEC] [--fault-seed N] [--restart-budget N]\n\
      \x20                 [--quarantine-abort N] [--log-level SPEC] [--log-json]\n\
+     \x20                 [--sample-interval MS] [--alert-rules SPEC]\n\
      \x20                 <MRT-FILE>... | --sim SCENARIO\n\
      Serves the live per-AS classification database over HTTP while ingesting."
 }
@@ -118,6 +129,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         quarantine_abort: 0,
         log_level: "info".to_string(),
         log_json: false,
+        sample_interval_ms: 1000,
+        alert_rules: None,
         inputs: Vec::new(),
     };
     let mut it = args.iter();
@@ -193,6 +206,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--log-level" => opts.log_level = num(arg)?,
             "--log-json" => opts.log_json = true,
+            "--sample-interval" => {
+                opts.sample_interval_ms = num(arg)?
+                    .parse()
+                    .map_err(|e| format!("bad sample-interval: {e}"))?;
+                if opts.sample_interval_ms == 0 {
+                    return Err("sample-interval must be >= 1 ms".into());
+                }
+            }
+            "--alert-rules" => opts.alert_rules = Some(num(arg)?),
             "-h" | "--help" => return Err(String::new()),
             other if other.starts_with('-') => return Err(format!("unknown option {other}")),
             file => opts.inputs.push(file.to_string()),
@@ -226,6 +248,28 @@ fn run(opts: Options) -> Result<(), String> {
     let slot = Arc::new(SnapshotSlot::new(thresholds));
     let metrics = Arc::new(Metrics::new());
     let health = Arc::new(HealthState::default());
+    // Per-epoch provenance traces: threaded through the pipeline, the
+    // publisher, and the archive writer; served live (or from the
+    // archive after a restart) at /v1/debug/epoch/{N}/trace.
+    let traces = Arc::new(obs::trace::TraceStore::new(256));
+
+    // Self-monitoring: the sampler snapshots every obs family into
+    // bounded rings each tick and evaluates the alert rules.
+    let alert_rules = match &opts.alert_rules {
+        Some(spec) => obs::parse_alert_rules(spec).map_err(|e| format!("--alert-rules: {e}"))?,
+        None => Vec::new(),
+    };
+    let mut recorder = Recorder::new(obs::global(), 512);
+    if !alert_rules.is_empty() {
+        let alerts = Arc::new(AlertState::new(alert_rules, &obs::global()));
+        health.attach_alerts(Arc::clone(&alerts));
+        recorder = recorder.with_alerts(alerts);
+    }
+    let recorder = Arc::new(recorder);
+    let sampler = obs::spawn_sampler(
+        Arc::clone(&recorder),
+        std::time::Duration::from_millis(opts.sample_interval_ms),
+    );
 
     let fault_plan = match &opts.fault_plan {
         Some(spec) => {
@@ -248,6 +292,7 @@ fn run(opts: Options) -> Result<(), String> {
             // The daemon serves the latest snapshot; historical counter
             // stores would grow without bound on a long-lived feed.
             compact_history: true,
+            trace: Some(Arc::clone(&traces)),
             ..Default::default()
         },
         batch: opts.batch,
@@ -293,6 +338,7 @@ fn run(opts: Options) -> Result<(), String> {
             None => ArchiveWriter::open(dir),
         }
         .map_err(|e| format!("archive {dir}: {e}"))?;
+        let writer = writer.with_traces(Arc::clone(&traces));
         sink = Some(ArchiveSink::spawn(writer));
         history = Some(Arc::new(
             HistoryStore::open(
@@ -304,8 +350,10 @@ fn run(opts: Options) -> Result<(), String> {
         ));
     }
 
-    let mut api =
-        Api::new(Arc::clone(&slot), Arc::clone(&metrics)).with_health(Arc::clone(&health));
+    let mut api = Api::new(Arc::clone(&slot), Arc::clone(&metrics))
+        .with_health(Arc::clone(&health))
+        .with_timeseries(Arc::clone(&recorder))
+        .with_traces(Arc::clone(&traces));
     if let Some(history) = &history {
         api = api.with_history(Arc::clone(history));
     }
@@ -428,6 +476,8 @@ fn run(opts: Options) -> Result<(), String> {
         "final health: {}",
         health.evaluate().status.as_str()
     );
+    sampler.stop();
+    sampler.join();
     http.shutdown();
     Ok(())
 }

@@ -328,6 +328,9 @@ fn run_feed_once(
     if let Some(sink) = sink {
         publisher = publisher.with_archive(Arc::clone(sink));
     }
+    if let Some(traces) = &cfg.stream.trace {
+        publisher = publisher.with_traces(Arc::clone(traces));
+    }
     let mut quarantined = 0u64;
 
     match feed {
@@ -484,6 +487,7 @@ fn drive(
         "Wall time to pull and push one ingest batch (including any seals)",
         &[],
     );
+    let traces = pipeline.config().trace.clone();
     loop {
         if stop.load(Ordering::Acquire) {
             return Ok(());
@@ -515,7 +519,19 @@ fn drive(
         if let Some(health) = health {
             health.note_ingested(n);
         }
-        batch_hist.record(t_batch.elapsed().as_nanos() as u64);
+        let batch_nanos = t_batch.elapsed().as_nanos() as u64;
+        batch_hist.record(batch_nanos);
+        if let Some(traces) = &traces {
+            // Accumulated into whichever epoch is open when the batch
+            // ends — a batch that straddles a seal attributes its tail
+            // to the next epoch, which is close enough for provenance.
+            traces.accumulate(
+                traces.active(),
+                "ingest",
+                batch_nanos,
+                &[("batches", 1), ("events", n)],
+            );
+        }
     }
 }
 

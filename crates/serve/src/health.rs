@@ -10,7 +10,9 @@
 //! * **degraded** — the daemon is serving but something needs
 //!   attention; each active condition is named in `reasons`:
 //!   `archive_sink_retrying`, `archive_epochs_dropped`,
-//!   `epochs_stale`, `quarantine_rate`, `driver_restarted`.
+//!   `epochs_stale`, `quarantine_rate`, `driver_restarted`, plus one
+//!   `alert:{name}` per firing rule of an attached
+//!   [`AlertState`](obs::AlertState) (`--alert-rules`).
 //! * **unhealthy** — ingest is gone for good (`ingest_failed`): the
 //!   restart budget was exhausted or the feed aborted. `/healthz`
 //!   answers 503 so load balancers eject the instance.
@@ -23,6 +25,7 @@
 //! test drives end to end.
 
 use bgp_archive::prelude::SinkStatus;
+use obs::{AlertState, Counter};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -76,7 +79,7 @@ pub struct HealthReport {
     /// The rolled-up verdict.
     pub status: HealthStatus,
     /// Active conditions, stable names, deterministic order.
-    pub reasons: Vec<&'static str>,
+    pub reasons: Vec<String>,
 }
 
 /// Shared, lock-free-readable health state (see module docs).
@@ -97,11 +100,18 @@ pub struct HealthState {
     ingest_done: AtomicBool,
     ingest_failed: AtomicBool,
     sink: Mutex<Option<Arc<SinkStatus>>>,
+    alerts: Mutex<Option<Arc<AlertState>>>,
+    /// Global-registry mirrors of the ingested/quarantined totals, so
+    /// the time-series sampler (and the `quarantine_rate` alert
+    /// selector) can watch the same numbers `evaluate` rates on.
+    ingested_total: Arc<Counter>,
+    quarantined_total: Arc<Counter>,
 }
 
 impl HealthState {
     /// Fresh state; the staleness grace period starts now.
     pub fn new(cfg: HealthConfig) -> HealthState {
+        let reg = obs::global();
         HealthState {
             cfg,
             created: Instant::now(),
@@ -114,6 +124,17 @@ impl HealthState {
             ingest_done: AtomicBool::new(false),
             ingest_failed: AtomicBool::new(false),
             sink: Mutex::new(None),
+            alerts: Mutex::new(None),
+            ingested_total: reg.counter(
+                "bgp_serve_ingested_total",
+                "Events delivered to the pipeline by the ingest driver",
+                &[],
+            ),
+            quarantined_total: reg.counter(
+                "bgp_serve_quarantined_total",
+                "Records/chunks quarantined by the ingest driver",
+                &[],
+            ),
         }
     }
 
@@ -123,6 +144,15 @@ impl HealthState {
             .sink
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(status);
+    }
+
+    /// Surface an alert engine's firing rules as `alert:{name}`
+    /// degraded reasons.
+    pub fn attach_alerts(&self, alerts: Arc<AlertState>) {
+        *self
+            .alerts
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(alerts);
     }
 
     /// Record `n` snapshot publications (fresh epochs served).
@@ -139,12 +169,14 @@ impl HealthState {
     /// Record `n` events delivered to the pipeline.
     pub fn note_ingested(&self, n: u64) {
         self.ingested.fetch_add(n, Ordering::AcqRel);
+        self.ingested_total.add(n);
     }
 
     /// Record `n` quarantined records/chunks.
     pub fn note_quarantined(&self, n: u64) {
         if n > 0 {
             self.quarantined.fetch_add(n, Ordering::AcqRel);
+            self.quarantined_total.add(n);
         }
     }
 
@@ -199,27 +231,27 @@ impl HealthState {
         if self.ingest_failed.load(Ordering::Acquire) {
             return HealthReport {
                 status: HealthStatus::Unhealthy,
-                reasons: vec!["ingest_failed"],
+                reasons: vec!["ingest_failed".to_string()],
             };
         }
         let mut reasons = Vec::new();
         if let Some(sink) = self.sink() {
             if sink.retrying() {
-                reasons.push("archive_sink_retrying");
+                reasons.push("archive_sink_retrying".to_string());
             }
             if sink.in_drop_state() {
-                reasons.push("archive_epochs_dropped");
+                reasons.push("archive_epochs_dropped".to_string());
             }
         }
         if !self.ingest_done.load(Ordering::Acquire) {
             let last = self.last_publish_nanos.load(Ordering::Acquire);
             let since = self.created.elapsed().as_nanos() as u64 - last;
             if since > self.cfg.stale_after.as_nanos() as u64 {
-                reasons.push("epochs_stale");
+                reasons.push("epochs_stale".to_string());
             }
         }
         if self.quarantine_ratio() > self.cfg.quarantine_max_ratio {
-            reasons.push("quarantine_rate");
+            reasons.push("quarantine_rate".to_string());
         }
         // A restart stays visible until the respawned driver proves
         // itself with a publish (or drains the feed completely).
@@ -228,7 +260,19 @@ impl HealthState {
             && self.publishes.load(Ordering::Acquire)
                 == self.publishes_at_restart.load(Ordering::Acquire)
         {
-            reasons.push("driver_restarted");
+            reasons.push("driver_restarted".to_string());
+        }
+        // Alert-rule reasons come last: operator-defined conditions
+        // annotate, never mask, the built-in supervision signals.
+        if let Some(alerts) = self
+            .alerts
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+        {
+            for name in alerts.firing() {
+                reasons.push(format!("alert:{name}"));
+            }
         }
         HealthReport {
             status: if reasons.is_empty() {

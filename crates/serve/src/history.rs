@@ -115,6 +115,24 @@ impl HistoryStore {
         Ok(Some(snap))
     }
 
+    /// The provenance trace persisted with epoch `epoch`, or `None`
+    /// when the archive does not retain that epoch (or it was written
+    /// without tracing). Trace frames are tiny, so these reads skip the
+    /// snapshot cache entirely.
+    pub fn trace_at(&self, epoch: u64) -> Result<Option<obs::trace::EpochTrace>> {
+        let mut inner = self.lock();
+        if inner.archive.manifest().entry_for_epoch(epoch).is_none() {
+            inner.archive.refresh()?;
+            if inner.archive.manifest().entry_for_epoch(epoch).is_none() {
+                return Ok(None);
+            }
+        }
+        let archived = inner
+            .archive
+            .load_epoch(epoch, DecodeFilter::trace_only())?;
+        Ok(archived.trace)
+    }
+
     /// Per-epoch class of `asn` across every retained epoch (`None`
     /// where the AS had no class that epoch).
     pub fn trajectory(&self, asn: Asn) -> Result<Vec<(u64, Option<Class>)>> {

@@ -38,13 +38,19 @@ pub enum Endpoint {
     DebugTimings,
     /// `/v1/debug/trace`
     DebugTrace,
+    /// `/v1/debug/timeseries`
+    DebugTimeseries,
+    /// `/v1/debug/epoch/{epoch}/trace`
+    EpochTrace,
+    /// `/v1/version`
+    Version,
     /// Anything that matched no route.
     Other,
 }
 
 impl Endpoint {
     /// Every metered endpoint, in label/index order.
-    pub const ALL: [Endpoint; 13] = [
+    pub const ALL: [Endpoint; 16] = [
         Endpoint::Class,
         Endpoint::Classes,
         Endpoint::Community,
@@ -57,6 +63,9 @@ impl Endpoint {
         Endpoint::Metrics,
         Endpoint::DebugTimings,
         Endpoint::DebugTrace,
+        Endpoint::DebugTimeseries,
+        Endpoint::EpochTrace,
+        Endpoint::Version,
         Endpoint::Other,
     ];
 
@@ -75,6 +84,9 @@ impl Endpoint {
             Endpoint::Metrics => "metrics",
             Endpoint::DebugTimings => "debug_timings",
             Endpoint::DebugTrace => "debug_trace",
+            Endpoint::DebugTimeseries => "debug_timeseries",
+            Endpoint::EpochTrace => "epoch_trace",
+            Endpoint::Version => "version",
             Endpoint::Other => "other",
         }
     }
@@ -91,7 +103,7 @@ impl Endpoint {
 /// Shared atomic counters.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    requests: [AtomicU64; 13],
+    requests: [AtomicU64; 16],
     responses_2xx: AtomicU64,
     responses_4xx: AtomicU64,
     responses_5xx: AtomicU64,

@@ -30,6 +30,7 @@ use bgp_infer::db::DbRecord;
 use bgp_stream::epoch::{ClassFlip, EpochSnapshot};
 use bgp_stream::pipeline::StreamPipeline;
 use obs::journal::JournalKind;
+use obs::trace::TraceStore;
 use obs::{Histogram, Journal};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -435,6 +436,9 @@ pub struct Publisher {
     /// registry.
     publish_hist: Arc<Histogram>,
     journal: Arc<Journal>,
+    /// Per-epoch provenance traces: each publication appends a
+    /// `"publish"` stage to its epoch's timeline.
+    traces: Option<Arc<TraceStore>>,
 }
 
 impl Publisher {
@@ -455,6 +459,7 @@ impl Publisher {
                 &[],
             ),
             journal: Arc::clone(reg.journal()),
+            traces: None,
         }
     }
 
@@ -468,6 +473,12 @@ impl Publisher {
     /// Tap every newly published epoch into `sink` for durable archiving.
     pub fn with_archive(mut self, sink: Arc<ArchiveSink>) -> Self {
         self.archive = Some(sink);
+        self
+    }
+
+    /// Record each epoch's `"publish"` stage into `traces`.
+    pub fn with_traces(mut self, traces: Arc<TraceStore>) -> Self {
+        self.traces = Some(traces);
         self
     }
 
@@ -549,6 +560,20 @@ impl Publisher {
         };
         let snapshot = Arc::new(snapshot);
         self.slot.publish(Arc::clone(&snapshot));
+        // Trace the publish before handing the epoch to the archive
+        // sink: the sink's thread encodes the trace frame, so the
+        // `"publish"` stage must already be in the store by then.
+        if let Some(traces) = &self.traces {
+            traces.record(
+                sealed.epoch,
+                "publish",
+                t_publish.elapsed().as_nanos() as u64,
+                &[
+                    ("records", snapshot.records.len() as u64),
+                    ("version", snapshot.version()),
+                ],
+            );
+        }
         if let Some(sink) = &self.archive {
             sink.submit(
                 sealed,

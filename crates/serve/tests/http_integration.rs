@@ -402,6 +402,15 @@ fn every_endpoint_matches_the_records_oracle() {
         format!("{}{}", &body[..start], &body[end..])
     };
     let body = strip(&strip(&body, "seal_latency"), "count_latency");
+    // Uptime is wall-clock, not oracle-derivable — check presence, then
+    // excise the scalar before the byte-compare.
+    let uptime_at = body.find(",\"uptime_seconds\":").expect("uptime_seconds");
+    let uptime_end = uptime_at
+        + 1
+        + body[uptime_at + 1..]
+            .find([',', '}'])
+            .expect("uptime value end");
+    let body = format!("{}{}", &body[..uptime_at], &body[uptime_end..]);
     assert_eq!(
         body,
         format!(

@@ -452,3 +452,56 @@ fn debug_trace_replays_the_journal() {
     assert!(count3 <= 3, "last=3 returned {count3} events");
     http.shutdown();
 }
+
+/// An empty histogram has no quantiles: the JSON endpoints must report
+/// `null` for p50/p99 (never a misleading `0`), and switch to numbers
+/// once the family records an observation.
+#[test]
+fn empty_histogram_quantiles_are_null_in_json() {
+    let slot = Arc::new(SnapshotSlot::new(Thresholds::default()));
+    let obs = Arc::new(obs::ObsRegistry::new());
+    // Registered but never recorded — along with the endpoint
+    // histograms Api registers on construction, everything is empty.
+    obs.histogram("bgp_stream_seal_duration_seconds", "h", &[]);
+    let api = Api::with_obs(slot, Arc::new(Metrics::new()), Arc::clone(&obs));
+    let request = |path: &str| Request {
+        method: "GET".to_string(),
+        path: path.to_string(),
+        query: Vec::new(),
+    };
+
+    let timings = api.handle(&request("/v1/debug/timings"));
+    assert_eq!(timings.status, 200);
+    assert!(timings.body.contains("\"observed\":0"), "{}", timings.body);
+    assert!(
+        timings
+            .body
+            .contains("\"p50_nanos\":null,\"p99_nanos\":null"),
+        "{}",
+        timings.body
+    );
+    assert!(
+        !timings.body.contains("\"p50_nanos\":0"),
+        "zero quantile leaked for an empty histogram: {}",
+        timings.body
+    );
+
+    let stats = api.handle(&request("/v1/stats"));
+    assert_eq!(stats.status, 200);
+    assert!(
+        stats
+            .body
+            .contains("\"seal_latency\":{\"p50_nanos\":null,\"p99_nanos\":null"),
+        "{}",
+        stats.body
+    );
+
+    // One observation: the same family now reports numeric quantiles.
+    obs.histogram("bgp_stream_seal_duration_seconds", "h", &[])
+        .record(1_000);
+    let stats = api.handle(&request("/v1/stats"));
+    let seal_at = stats.body.find("\"seal_latency\":{").expect("seal_latency");
+    let seal = &stats.body[seal_at..];
+    let p50 = json_u64(seal, "p50_nanos").expect("numeric p50 after a record");
+    assert!(p50 > 0, "{}", stats.body);
+}

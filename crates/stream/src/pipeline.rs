@@ -9,6 +9,7 @@ use bgp_infer::compiled::DenseOutcome;
 use bgp_infer::counters::Thresholds;
 use bgp_types::prelude::*;
 use obs::journal::JournalKind;
+use obs::trace::TraceStore;
 use obs::{Histogram, Journal};
 use std::sync::Arc;
 use std::time::Instant;
@@ -44,6 +45,10 @@ pub struct StreamConfig {
     /// a full recount; see `crate::shard`). Disable to force full
     /// recounts.
     pub incremental_seal: bool,
+    /// Provenance store to record per-epoch stage timelines into
+    /// (shard counting, merge, seal; owners of the pipeline add ingest,
+    /// publish, and archive stages around it). `None` disables tracing.
+    pub trace: Option<Arc<TraceStore>>,
 }
 
 impl Default for StreamConfig {
@@ -58,6 +63,7 @@ impl Default for StreamConfig {
             dedup: true,
             compact_history: false,
             incremental_seal: true,
+            trace: None,
         }
     }
 }
@@ -112,6 +118,9 @@ impl StreamPipeline {
             &[],
         );
         let journal = Arc::clone(reg.journal());
+        if let Some(trace) = &cfg.trace {
+            trace.set_active(0);
+        }
         StreamPipeline {
             cfg,
             shards,
@@ -409,6 +418,33 @@ impl StreamPipeline {
             snapshot.seal_nanos,
             snapshot.count_nanos
         );
+        if let Some(trace) = &self.cfg.trace {
+            if !zero_delta {
+                trace.record(
+                    epoch,
+                    "shard_count",
+                    self.shards.last_count_nanos(),
+                    &[("steps", total as u64)],
+                );
+                trace.record(epoch, "shard_merge", self.shards.last_merge_nanos(), &[]);
+            }
+            // `kind` as a counter: 0 = zero_delta, 1 = incremental,
+            // 2 = full — the journal's seal span carries the word form.
+            trace.record(
+                epoch,
+                "seal",
+                snapshot.seal_nanos,
+                &[
+                    ("events", snapshot.events),
+                    ("tuples", snapshot.unique_tuples as u64),
+                    ("replayed", replayed as u64),
+                    ("total_steps", total as u64),
+                    ("kind", kind_idx as u64),
+                ],
+            );
+            // Later batches belong to the next epoch's timeline.
+            trace.set_active(epoch + 1);
+        }
         self.snapshots.push(Arc::new(snapshot));
         self.snapshots.last().expect("just pushed")
     }

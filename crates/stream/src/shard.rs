@@ -55,6 +55,7 @@ use bgp_infer::engine::CountPhase;
 use bgp_types::prelude::*;
 use obs::Histogram;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -211,6 +212,12 @@ pub struct ShardSet {
     /// and one per (column, phase) merge.
     hist_count: [Arc<Histogram>; 2],
     hist_merge: [Arc<Histogram>; 2],
+    /// Counting / serial-merge nanoseconds accumulated by the last
+    /// recount, summed across shards and steps — the provenance-trace
+    /// inputs mirroring the per-step histograms. Atomic because the
+    /// count side accumulates from scoped worker threads.
+    count_nanos: AtomicU64,
+    merge_nanos: AtomicU64,
 }
 
 impl ShardSet {
@@ -249,6 +256,8 @@ impl ShardSet {
             last_replay: (0, 0),
             hist_count,
             hist_merge,
+            count_nanos: AtomicU64::new(0),
+            merge_nanos: AtomicU64::new(0),
         }
     }
 
@@ -262,6 +271,21 @@ impl ShardSet {
     /// skips the recount entirely, so no counting units ran).
     pub(crate) fn clear_replay_stats(&mut self) {
         self.last_replay = (0, 0);
+        self.count_nanos.store(0, Ordering::Relaxed);
+        self.merge_nanos.store(0, Ordering::Relaxed);
+    }
+
+    /// Shard-counting nanoseconds of the last recount, summed across
+    /// shards and (column, phase) steps — CPU time, not wall time, when
+    /// shards count in parallel.
+    pub fn last_count_nanos(&self) -> u64 {
+        self.count_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Serial dense-merge nanoseconds of the last recount, summed
+    /// across (column, phase) steps.
+    pub fn last_merge_nanos(&self) -> u64 {
+        self.merge_nanos.load(Ordering::Relaxed)
     }
 
     /// The workspace-shared interner all shards intern through.
@@ -393,6 +417,8 @@ impl ShardSet {
         let mut reuse = vec![false; self.shards.len()];
         let mut clean_full = vec![false; self.shards.len()];
         self.last_replay = (0, 0);
+        self.count_nanos.store(0, Ordering::Relaxed);
+        self.merge_nanos.store(0, Ordering::Relaxed);
         for x in 1..=deepest {
             let mut col_active = false;
             for phase in [CountPhase::Tagging, CountPhase::Forwarding] {
@@ -448,6 +474,7 @@ impl ShardSet {
                 // that stops replaying recomputes them in full.
                 let preds_ref = &preds;
                 let count_hist = &self.hist_count[pi];
+                let count_acc = &self.count_nanos;
                 let count_one = |s: &mut Shard, replay: bool, clean_full: &mut bool| {
                     let t_count = Instant::now();
                     if phase == CountPhase::Tagging {
@@ -466,7 +493,9 @@ impl ShardSet {
                         replay,
                         &mut s.delta,
                     );
-                    count_hist.record(t_count.elapsed().as_nanos() as u64);
+                    let nanos = t_count.elapsed().as_nanos() as u64;
+                    count_hist.record(nanos);
+                    count_acc.fetch_add(nanos, Ordering::Relaxed);
                 };
                 if parallel {
                     std::thread::scope(|scope| {
@@ -538,7 +567,9 @@ impl ShardSet {
                     }
                     s.delta.clear();
                 }
-                self.hist_merge[pi].record(t_merge.elapsed().as_nanos() as u64);
+                let merge_elapsed = t_merge.elapsed().as_nanos() as u64;
+                self.hist_merge[pi].record(merge_elapsed);
+                self.merge_nanos.fetch_add(merge_elapsed, Ordering::Relaxed);
             }
             if col_active {
                 deepest_active = x;
