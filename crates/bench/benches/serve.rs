@@ -8,7 +8,10 @@
 //! * a **load generator** over real loopback TCP: `CLIENTS` keep-alive
 //!   connections issue a point-lookup-heavy request mix while the ingest
 //!   driver keeps sealing epochs, reporting req/s and p50/p99 latency
-//!   into `BENCH_serve.json` at the workspace root.
+//!   into `BENCH_serve.json` at the workspace root — followed by a
+//!   **concurrency phase** that parks thousands of idle keep-alive
+//!   connections on the epoll reactors and probes tail latency at that
+//!   concurrency (`concurrent_conns` / `concurrent_p99_us`).
 //!
 //! Set `BENCH_QUICK=1` for the CI smoke mode (shrunken world, fewer
 //! requests; the JSON then records `"quick": true` and is routed to an
@@ -87,6 +90,15 @@ struct Scale {
     clients: usize,
     requests_per_client: usize,
     workers: usize,
+    /// Idle keep-alive connections held open during the concurrency
+    /// phase. Identical in both modes: `concurrent_conns` is a
+    /// capacity headline checked flat by scripts/bench_guard, so quick
+    /// mode must demonstrate the same concurrency as the committed
+    /// baseline (the epoll transport makes 2k idle sockets cheap —
+    /// this phase costs milliseconds, not minutes).
+    idle_conns: usize,
+    /// Probe requests measured while the idle connections are parked.
+    probe_requests: usize,
 }
 
 fn scale() -> Scale {
@@ -101,6 +113,8 @@ fn scale() -> Scale {
             clients: 4,
             requests_per_client: 2_500,
             workers: 4,
+            idle_conns: 2_000,
+            probe_requests: 2_000,
         }
     } else {
         Scale {
@@ -109,6 +123,8 @@ fn scale() -> Scale {
             clients: 4,
             requests_per_client: 20_000,
             workers: 4,
+            idle_conns: 2_000,
+            probe_requests: 2_000,
         }
     }
 }
@@ -236,6 +252,43 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[idx]
 }
 
+/// Open `n` keep-alive connections, prime each with one served request
+/// (so "open" means accepted and answered, not sitting in the listener
+/// backlog), and return them held open.
+fn hold_idle_connections(addr: std::net::SocketAddr, n: usize) -> Vec<TcpStream> {
+    (0..n)
+        .map(|_| {
+            let mut stream = TcpStream::connect(addr).expect("connect idle conn");
+            stream.set_nodelay(true).expect("nodelay");
+            stream
+                .write_all(b"GET /healthz HTTP/1.1\r\nHost: bench\r\n\r\n")
+                .expect("prime idle conn");
+            let mut buf = Vec::with_capacity(512);
+            let mut chunk = [0u8; 1024];
+            let (head_end, length) = loop {
+                let read = stream.read(&mut chunk).expect("read prime response");
+                assert!(read > 0, "server closed priming an idle conn");
+                buf.extend_from_slice(&chunk[..read]);
+                if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                    let head = std::str::from_utf8(&buf[..pos]).expect("utf8 head");
+                    let length = head
+                        .lines()
+                        .find_map(|l| l.strip_prefix("Content-Length: "))
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .expect("content-length");
+                    break (pos + 4, length);
+                }
+            };
+            while buf.len() < head_end + length {
+                let read = stream.read(&mut chunk).expect("read prime body");
+                assert!(read > 0, "server closed mid-prime-body");
+                buf.extend_from_slice(&chunk[..read]);
+            }
+            stream
+        })
+        .collect()
+}
+
 /// Run the TCP load generator under concurrent ingest and write the
 /// `BENCH_serve.json` baseline.
 fn emit_baseline() {
@@ -302,6 +355,24 @@ fn emit_baseline() {
     });
     let wall = started.elapsed();
     let epochs_during = slot.version().saturating_sub(warm_version);
+
+    // Concurrency phase: hold `idle_conns` primed keep-alive
+    // connections parked on the reactors, then measure request latency
+    // through the loaded server. The headline `concurrent_conns` is the
+    // demonstrated concurrency; `concurrent_p99_us` is the tail at that
+    // concurrency.
+    let idle = hold_idle_connections(addr, s.idle_conns);
+    let concurrent_conns = http.open_connections();
+    assert!(
+        concurrent_conns >= s.idle_conns,
+        "only {concurrent_conns} of {} idle connections held",
+        s.idle_conns
+    );
+    let mut probe = client_loop(addr, s.probe_requests, 0xBEEF, &asns);
+    probe.sort_unstable();
+    let concurrent_p99_us = percentile(&probe, 0.99) as f64 / 1e3;
+    drop(idle);
+
     ingest.stop();
     let _ = ingest.join();
     http.shutdown();
@@ -317,16 +388,25 @@ fn emit_baseline() {
          p50 {p50_us:.1} µs, p99 {p99_us:.1} µs ({epochs_during} epochs sealed during run)",
         wall.as_secs_f64(),
     );
+    println!(
+        "concurrency: {concurrent_conns} keep-alive connections held, \
+         probe p99 {concurrent_p99_us:.1} µs at that concurrency",
+    );
 
     let unix_secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let json = format!(
         "{{\n  \"bench\": \"serve\",\n  \"quick\": {},\n  \"unix_secs\": {unix_secs},\n  \
-         \"workers\": {},\n  \"clients\": {},\n  \"requests\": {total},\n  \
+         \"workers\": {},\n  \"cores\": {cores},\n  \"clients\": {},\n  \"requests\": {total},\n  \
          \"req_per_sec\": {req_per_sec:.0},\n  \"p50_us\": {p50_us:.1},\n  \
-         \"p99_us\": {p99_us:.1},\n  \"epochs_sealed_during_run\": {epochs_during}\n}}\n",
+         \"p99_us\": {p99_us:.1},\n  \"concurrent_conns\": {concurrent_conns},\n  \
+         \"concurrent_p99_us\": {concurrent_p99_us:.1},\n  \
+         \"epochs_sealed_during_run\": {epochs_during}\n}}\n",
         quick_mode(),
         s.workers,
         s.clients,

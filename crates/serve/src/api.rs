@@ -11,6 +11,7 @@
 //! | `/v1/classes?class=tf`       | filtered record table (paged) |
 //! | `/v1/community/{a}:{v}`      | dictionary lookup of a community value |
 //! | `/v1/flips?since_epoch=N`    | class flips from epoch `N` on |
+//! | `/v1/flips?since_epoch=N&wait_ms=M` | long-poll: parks until epoch `N` seals (or `M` ms) |
 //! | `/v1/reclassify?uniform=0.9` | threshold what-if on the live snapshot |
 //! | `/v1/stats`                  | ingest + serving statistics |
 //! | `/v1/epochs`                 | every epoch the archive retains |
@@ -37,7 +38,7 @@
 
 use crate::health::{HealthState, HealthStatus};
 use crate::history::HistoryStore;
-use crate::http::{Handler, Request, Response};
+use crate::http::{Dispatch, Handler, Request, Response};
 use crate::json::JsonWriter;
 use crate::metrics::{Endpoint, Metrics};
 use crate::snapshot::{
@@ -424,6 +425,34 @@ impl Api {
 }
 
 impl Handler for Api {
+    /// Long-poll entry point: `/v1/flips?since_epoch=N&wait_ms=M` parks
+    /// the connection while no epoch `>= N` has been published yet. The
+    /// transport re-polls on every publish wakeup, so the answer lands
+    /// within one publish of the epoch the client is waiting for; at
+    /// the deadline (or graceful shutdown) [`Handler::handle`] produces
+    /// the regular — possibly empty — flips envelope. Requests without
+    /// `wait_ms` (or with malformed parameters, which must surface as
+    /// `400`s) are answered immediately.
+    fn poll(&self, request: &Request) -> Dispatch {
+        if request.path == "/v1/flips" {
+            let wait_ms = request
+                .param("wait_ms")
+                .and_then(|raw| raw.parse::<u64>().ok())
+                .unwrap_or(0);
+            let since = match request.param("since_epoch") {
+                None => Some(0),
+                Some(raw) => raw.parse::<u64>().ok(),
+            };
+            if let (true, Some(since)) = (wait_ms > 0, since) {
+                let have = self.snapshot().epoch_id();
+                if have.is_none_or(|epoch| epoch < since) {
+                    return Dispatch::Park { wait_ms };
+                }
+            }
+        }
+        Dispatch::Ready(self.handle(request))
+    }
+
     fn handle(&self, request: &Request) -> Response {
         let t_request = Instant::now();
         let (endpoint, response) = self.dispatch(request);

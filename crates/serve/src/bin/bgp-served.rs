@@ -9,7 +9,14 @@
 //!
 //! OPTIONS:
 //!   -l, --listen <ADDR>         bind address (default 127.0.0.1:7179)
-//!   -w, --workers <N>           HTTP worker threads (default 4)
+//!   -w, --workers <N>           HTTP reactor (event-loop) threads
+//!                               (default 4; each owns an epoll instance,
+//!                               and connections are balanced across them
+//!                               at accept time — this no longer bounds
+//!                               concurrent connections, see --max-conns)
+//!       --max-conns <N>         global concurrent-connection budget;
+//!                               beyond it new connections are shed with
+//!                               503 and accept pauses (default 16384)
 //!   -s, --shards <N>            pipeline worker shards (default: cores)
 //!   -e, --epoch-events <N>      seal an epoch every N events (default 8192)
 //!       --epoch-secs <S>        seal an epoch every S seconds of stream time
@@ -76,6 +83,7 @@ use std::sync::Arc;
 struct Options {
     listen: String,
     workers: usize,
+    max_conns: usize,
     shards: usize,
     epoch_events: Option<u64>,
     epoch_secs: Option<u64>,
@@ -98,7 +106,7 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: bgp-served [-l ADDR] [-w WORKERS] [-s SHARDS] [-e EVENTS] [--epoch-secs S]\n\
+    "usage: bgp-served [-l ADDR] [-w WORKERS] [--max-conns N] [-s SHARDS] [-e EVENTS] [--epoch-secs S]\n\
      \x20                 [-t THRESHOLD] [-b BATCH] [--archive DIR] [--linger]\n\
      \x20                 [--fault-plan SPEC] [--fault-seed N] [--restart-budget N]\n\
      \x20                 [--quarantine-abort N] [--log-level SPEC] [--log-json]\n\
@@ -111,6 +119,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         listen: "127.0.0.1:7179".to_string(),
         workers: 4,
+        max_conns: 16_384,
         shards: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4),
@@ -146,6 +155,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.workers = num(arg)?.parse().map_err(|e| format!("bad workers: {e}"))?;
                 if opts.workers == 0 {
                     return Err("workers must be >= 1".into());
+                }
+            }
+            "--max-conns" => {
+                opts.max_conns = num(arg)?
+                    .parse()
+                    .map_err(|e| format!("bad max-conns: {e}"))?;
+                if opts.max_conns == 0 {
+                    return Err("max-conns must be >= 1".into());
                 }
             }
             "-s" | "--shards" => {
@@ -357,19 +374,32 @@ fn run(opts: Options) -> Result<(), String> {
     if let Some(history) = &history {
         api = api.with_history(Arc::clone(history));
     }
-    let http = HttpServer::start(
-        HttpConfig {
-            addr: opts.listen.clone(),
-            workers: opts.workers,
-            ..Default::default()
-        },
-        Arc::new(api),
-    )
-    .map_err(|e| format!("bind {}: {e}", opts.listen))?;
+    let http_cfg = HttpConfig {
+        addr: opts.listen.clone(),
+        workers: opts.workers,
+        max_connections: opts.max_conns,
+        ..Default::default()
+    };
+    // Same flag, new meaning since the epoll transport: an idle
+    // keep-alive connection no longer pins a worker thread, so the old
+    // socket read timeout now drives the idle-reap deadline only.
     obs::info!(
         "http",
-        "bgp-served listening on http://{}",
-        http.local_addr()
+        "read-timeout {}s maps to the idle keep-alive reap deadline (event-loop transport; idle connections cost bytes, not threads)",
+        http_cfg.read_timeout.as_secs()
+    );
+    let http = HttpServer::start(http_cfg, Arc::new(api))
+        .map_err(|e| format!("bind {}: {e}", opts.listen))?;
+    // Publish wakeups: every sealed epoch resumes parked long-poll
+    // clients (/v1/flips?since_epoch=N&wait_ms=M) within one publish.
+    let waker = http.waker();
+    slot.register_waker(Arc::new(move || waker.wake_all()));
+    obs::info!(
+        "http",
+        "bgp-served listening on http://{} ({} reactor threads, {} connection budget)",
+        http.local_addr(),
+        opts.workers,
+        opts.max_conns,
     );
 
     let feed = match &opts.sim {

@@ -1,11 +1,25 @@
-//! The ingest side of the daemon: one writer thread feeding the
-//! pipeline and publishing sealed epochs to the snapshot slot.
+//! The ingest side of the daemon: a feed-puller thread and a dedicated
+//! sealer worker, publishing sealed epochs to the snapshot slot.
 //!
 //! The serving architecture is single-writer/many-readers: exactly one
-//! driver thread owns the [`StreamPipeline`] (ingest needs `&mut`), and
+//! sealer thread owns the [`StreamPipeline`] (ingest needs `&mut`), and
 //! everything query-facing reads the immutable snapshots it publishes.
-//! The driver never blocks on readers and readers never block on the
-//! driver — the only shared state is the [`SnapshotSlot`].
+//! The sealer never blocks on readers and readers never block on the
+//! sealer — the only shared state is the [`SnapshotSlot`].
+//!
+//! Within one feed attempt the work is split across two threads:
+//!
+//! * the **feed puller** (the supervised driver thread) reads, parses,
+//!   fault-injects, and quarantines source batches, pushing clean event
+//!   batches into a bounded channel;
+//! * the **sealer worker** owns the pipeline + publisher: it pushes
+//!   events, seals epochs when the policy fires, and publishes — so a
+//!   slow recount stalls the feed only once the small channel fills,
+//!   instead of on every seal.
+//!
+//! A panic on either side is contained: the puller always joins the
+//! sealer before propagating, so the supervisor never respawns while an
+//! old publisher could still touch the slot.
 //!
 //! The driver is *supervised*: each feed attempt runs under
 //! `catch_unwind`, and a panicking attempt is respawned (up to
@@ -227,7 +241,7 @@ fn ingest_main(
                 &metrics,
                 sink.as_ref(),
                 resume.clone(),
-                health.as_deref(),
+                health.as_ref(),
                 stop,
             )
         }));
@@ -305,9 +319,25 @@ fn ingest_main(
     })
 }
 
-/// One feed attempt: fresh pipeline + publisher, drive every source to
-/// exhaustion, seal the trailing epoch. Panics propagate to the
-/// supervisor in [`ingest_main`].
+/// Bounded seal-queue depth, in batches. Small on purpose: it is the
+/// feed's only slack during a slow recount — deep enough to absorb one
+/// seal, shallow enough that a stuck sealer applies backpressure fast.
+const SEAL_QUEUE_BATCHES: usize = 4;
+
+/// The sealer worker's share of [`AttemptStats`].
+struct SealerStats {
+    total_events: u64,
+    epochs: usize,
+    unique_tuples: usize,
+}
+
+/// One feed attempt: a fresh pipeline + publisher are handed to a
+/// dedicated **sealer worker** thread, and this (supervised) thread
+/// becomes the **feed puller**, pushing quarantine-scrubbed event
+/// batches over a bounded channel. Panics on either side propagate to
+/// the supervisor in [`ingest_main`] — but only after the sealer has
+/// been joined, so a respawned attempt can never race an old publisher
+/// on the slot.
 #[allow(clippy::too_many_arguments)]
 fn run_feed_once(
     cfg: &DriverConfig,
@@ -316,10 +346,10 @@ fn run_feed_once(
     metrics: &Arc<Metrics>,
     sink: Option<&Arc<ArchiveSink>>,
     resume: Option<Arc<ServeSnapshot>>,
-    health: Option<&HealthState>,
+    health: Option<&Arc<HealthState>>,
     stop: &AtomicBool,
 ) -> Result<AttemptStats, String> {
-    let mut pipeline = StreamPipeline::new(cfg.stream.clone());
+    let pipeline = StreamPipeline::new(cfg.stream.clone());
     let mut publisher =
         Publisher::new(Arc::clone(slot), cfg.flip_log_cap).with_metrics(Arc::clone(metrics));
     if let Some(restored) = &resume {
@@ -331,24 +361,84 @@ fn run_feed_once(
     if let Some(traces) = &cfg.stream.trace {
         publisher = publisher.with_traces(Arc::clone(traces));
     }
-    let mut quarantined = 0u64;
 
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<StreamEvent>>(SEAL_QUEUE_BATCHES);
+    let depth_gauge = obs::global().gauge(
+        "bgp_serve_seal_queue_depth",
+        "Event batches queued between the feed puller and the sealer worker",
+        &[],
+    );
+    let sealer = {
+        let metrics = Arc::clone(metrics);
+        let health = health.map(Arc::clone);
+        let depth_gauge = Arc::clone(&depth_gauge);
+        std::thread::Builder::new()
+            .name("bgp-serve-sealer".to_string())
+            .spawn(move || {
+                sealer_main(
+                    pipeline,
+                    publisher,
+                    rx,
+                    &metrics,
+                    health.as_deref(),
+                    &depth_gauge,
+                )
+            })
+            .expect("spawn sealer worker")
+    };
+
+    // Pull the feed under catch_unwind so the sealer is ALWAYS joined
+    // before a puller panic reaches the supervisor.
+    let health_ref = health.map(Arc::as_ref);
+    let pulled = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        pull_feed(cfg, feed, &tx, &depth_gauge, health_ref, stop)
+    }));
+    drop(tx); // disconnect: the sealer drains, seals the trailing epoch, exits
+    let sealed = sealer.join();
+    let quarantined = match pulled {
+        Err(panic) => {
+            let _ = sealed;
+            std::panic::resume_unwind(panic);
+        }
+        Ok(Err(e)) => {
+            let _ = sealed;
+            return Err(e);
+        }
+        Ok(Ok(q)) => q,
+    };
+    match sealed {
+        Err(panic) => std::panic::resume_unwind(panic),
+        Ok(stats) => Ok(AttemptStats {
+            total_events: stats.total_events,
+            epochs: stats.epochs,
+            unique_tuples: stats.unique_tuples,
+            quarantined,
+        }),
+    }
+}
+
+/// Feed-puller half of an attempt: materialize each source, layer the
+/// resilience wrappers, and pump batches to the sealer. Returns the
+/// total quarantined count.
+fn pull_feed(
+    cfg: &DriverConfig,
+    feed: &Feed,
+    tx: &std::sync::mpsc::SyncSender<Vec<StreamEvent>>,
+    depth_gauge: &obs::Gauge,
+    health: Option<&HealthState>,
+    stop: &AtomicBool,
+) -> Result<u64, String> {
+    let mut quarantined = 0u64;
     match feed {
         Feed::MrtFiles(files) => {
             for file in files {
                 let bytes = std::fs::read(file).map_err(|e| format!("read {file}: {e}"))?;
                 let mut source = MrtSource::new(&bytes);
-                quarantined += drive_guarded(
-                    cfg,
-                    &mut pipeline,
-                    &mut publisher,
-                    metrics,
-                    health,
-                    &mut source,
-                    stop,
-                )
-                .map_err(|e| format!("{file}: {e}"))?;
-                if stop.load(Ordering::Acquire) {
+                let (q, sealer_alive) =
+                    pump_guarded(cfg, tx, depth_gauge, health, &mut source, stop)
+                        .map_err(|e| format!("{file}: {e}"))?;
+                quarantined += q;
+                if !sealer_alive || stop.load(Ordering::Acquire) {
                     break;
                 }
             }
@@ -378,125 +468,96 @@ fn run_feed_once(
             let ds = scenario.materialize(&graph, &paths, *seed);
             let feed = UpdateFeed::churned(&ds, *seed, *repeats, churn);
             let mut source = IterSource::new(feed.map(|(ts, tuple)| StreamEvent::new(ts, tuple)));
-            quarantined += drive_guarded(
-                cfg,
-                &mut pipeline,
-                &mut publisher,
-                metrics,
-                health,
-                &mut source,
-                stop,
-            )
-            .map_err(|e| e.to_string())?;
+            let (q, _) = pump_guarded(cfg, tx, depth_gauge, health, &mut source, stop)
+                .map_err(|e| e.to_string())?;
+            quarantined += q;
         }
         Feed::Events(events) => {
             let mut source = IterSource::new(events.clone().into_iter());
-            quarantined += drive_guarded(
-                cfg,
-                &mut pipeline,
-                &mut publisher,
-                metrics,
-                health,
-                &mut source,
-                stop,
-            )
-            .map_err(|e| e.to_string())?;
+            let (q, _) = pump_guarded(cfg, tx, depth_gauge, health, &mut source, stop)
+                .map_err(|e| e.to_string())?;
+            quarantined += q;
         }
     }
-
-    // Seal whatever the last epoch policy window left open so queries
-    // reflect the complete feed (idempotent when nothing is pending and
-    // at least one epoch already sealed).
-    let sealed_events = pipeline.latest().map(|s| s.total_events);
-    if sealed_events != Some(pipeline.total_events()) {
-        pipeline.seal_epoch();
-        let published = publisher.sync(&pipeline);
-        for _ in 0..published {
-            metrics.epoch_published();
-        }
-        if let Some(health) = health {
-            health.note_publish(published as u64);
-        }
-    }
-
-    Ok(AttemptStats {
-        total_events: pipeline.total_events(),
-        epochs: pipeline.snapshots().len(),
-        unique_tuples: pipeline.stored_tuples(),
-        quarantined,
-    })
+    Ok(quarantined)
 }
 
-/// Drive one source with the resilience wrappers layered on: the
+/// Pump one source with the resilience wrappers layered on: the
 /// optional fault injector underneath, the quarantine filter on top.
-/// Returns how many records the quarantine layer absorbed.
-fn drive_guarded(
+/// Returns how many records the quarantine layer absorbed and whether
+/// the sealer was still accepting batches (false = it died; the caller
+/// discovers the panic at join time).
+fn pump_guarded(
     cfg: &DriverConfig,
-    pipeline: &mut StreamPipeline,
-    publisher: &mut Publisher,
-    metrics: &Metrics,
+    tx: &std::sync::mpsc::SyncSender<Vec<StreamEvent>>,
+    depth_gauge: &obs::Gauge,
     health: Option<&HealthState>,
     source: &mut dyn TupleSource,
     stop: &AtomicBool,
-) -> Result<u64, bgp_stream::ingest::IngestError> {
+) -> Result<(u64, bool), bgp_stream::ingest::IngestError> {
     let batch = cfg.batch.max(1);
-    let (drove, quarantined) = if let Some(injector) = &cfg.fault {
+    let (pumped, quarantined) = if let Some(injector) = &cfg.fault {
         let mut faulty = FaultSource::new(injector, source);
         let mut guarded = QuarantinedSource::new(&mut faulty, cfg.quarantine_abort);
-        let drove = drive(
-            pipeline,
-            publisher,
-            metrics,
-            health,
-            &mut guarded,
-            batch,
-            stop,
-        );
-        (drove, guarded.quarantined())
+        let pumped = pump(&mut guarded, batch, tx, depth_gauge, stop);
+        (pumped, guarded.quarantined())
     } else {
         let mut guarded = QuarantinedSource::new(source, cfg.quarantine_abort);
-        let drove = drive(
-            pipeline,
-            publisher,
-            metrics,
-            health,
-            &mut guarded,
-            batch,
-            stop,
-        );
-        (drove, guarded.quarantined())
+        let pumped = pump(&mut guarded, batch, tx, depth_gauge, stop);
+        (pumped, guarded.quarantined())
     };
     if let Some(health) = health {
         health.note_quarantined(quarantined);
     }
-    drove?;
-    Ok(quarantined)
+    Ok((quarantined, pumped?))
 }
 
-fn drive(
-    pipeline: &mut StreamPipeline,
-    publisher: &mut Publisher,
-    metrics: &Metrics,
-    health: Option<&HealthState>,
+/// Pull batches from `source` and send them to the sealer until the
+/// source drains, `stop` is raised, or the sealer hangs up.
+fn pump(
     source: &mut dyn TupleSource,
     batch: usize,
+    tx: &std::sync::mpsc::SyncSender<Vec<StreamEvent>>,
+    depth_gauge: &obs::Gauge,
     stop: &AtomicBool,
-) -> Result<(), bgp_stream::ingest::IngestError> {
+) -> Result<bool, bgp_stream::ingest::IngestError> {
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return Ok(true);
+        }
+        let events = source.next_batch(batch)?;
+        if events.is_empty() {
+            return Ok(true);
+        }
+        if tx.send(events).is_err() {
+            // Receiver gone: the sealer panicked. Surface it via join.
+            return Ok(false);
+        }
+        depth_gauge.add(1);
+    }
+}
+
+/// Sealer-worker main: owns the pipeline + publisher for one attempt.
+/// Pushes every received batch, seals/publishes when the epoch policy
+/// fires, and seals the trailing partial epoch once the feed hangs up,
+/// so the served snapshot always covers every ingested event.
+fn sealer_main(
+    mut pipeline: StreamPipeline,
+    mut publisher: Publisher,
+    rx: std::sync::mpsc::Receiver<Vec<StreamEvent>>,
+    metrics: &Metrics,
+    health: Option<&HealthState>,
+    depth_gauge: &obs::Gauge,
+) -> SealerStats {
     let batch_hist = obs::global().histogram(
         "bgp_serve_ingest_batch_duration_seconds",
-        "Wall time to pull and push one ingest batch (including any seals)",
+        "Wall time to push one ingest batch through the pipeline (including any seals)",
         &[],
     );
     let traces = pipeline.config().trace.clone();
-    loop {
-        if stop.load(Ordering::Acquire) {
-            return Ok(());
-        }
+    while let Ok(events) = rx.recv() {
+        depth_gauge.add(-1);
         let t_batch = std::time::Instant::now();
-        let events = source.next_batch(batch)?;
-        if events.is_empty() {
-            return Ok(());
-        }
         let n = events.len() as u64;
         for ev in events {
             // Publish per seal, not per batch: with `compact_history`
@@ -506,7 +567,7 @@ fn drive(
             // snapshot intact). A batch can seal several epochs.
             let sealed = pipeline.push(ev).is_some();
             if sealed {
-                let published = publisher.sync(pipeline);
+                let published = publisher.sync(&pipeline);
                 for _ in 0..published {
                     metrics.epoch_published();
                 }
@@ -532,6 +593,27 @@ fn drive(
                 &[("batches", 1), ("events", n)],
             );
         }
+    }
+
+    // Seal whatever the last epoch policy window left open so queries
+    // reflect the complete feed (idempotent when nothing is pending and
+    // at least one epoch already sealed).
+    let sealed_events = pipeline.latest().map(|s| s.total_events);
+    if sealed_events != Some(pipeline.total_events()) {
+        pipeline.seal_epoch();
+        let published = publisher.sync(&pipeline);
+        for _ in 0..published {
+            metrics.epoch_published();
+        }
+        if let Some(health) = health {
+            health.note_publish(published as u64);
+        }
+    }
+
+    SealerStats {
+        total_events: pipeline.total_events(),
+        epochs: pipeline.snapshots().len(),
+        unique_tuples: pipeline.stored_tuples(),
     }
 }
 

@@ -6,22 +6,26 @@
 //! service ("query the classification database *while* it ingests").
 //!
 //! ```text
-//!             ┌───────── ingest driver (1 writer thread) ─────────┐
-//! MRT files ──┤ StreamPipeline: shard, count, seal epochs         │
-//! sim feed  ──┤ Publisher: EpochSnapshot -> Arc<ServeSnapshot>    │
-//!             └──────────────────┬────────────────────────────────┘
-//!                                │ SnapshotSlot::publish (atomic version bump)
+//!             ┌── feed puller (1 thread) ──┐   bounded   ┌─ sealer worker ─────┐
+//! MRT files ──┤ read, parse, fault-inject, ├─── queue ──▶│ StreamPipeline:     │
+//! sim feed  ──┤ quarantine                 │  (batches)  │ count, seal epochs  │
+//!             └────────────────────────────┘             │ Publisher: publish  │
+//!                                                        └──────────┬──────────┘
+//!                   SnapshotSlot::publish (atomic version bump)     │
+//!                   + waker: TransportWaker::wake_all ◀─────────────┘
+//!                                │
 //!                                ▼
 //!             ┌──────────── SnapshotSlot ─────────────┐
 //!             │ version: AtomicU64   slot: Arc swap   │
 //!             └──────────────────┬────────────────────┘
 //!                                │ SnapshotReader::current (lock-free revalidate)
 //!                                ▼
-//!             ┌──────── HTTP workers (N threads) ─────┐
-//!             │ hand-rolled HTTP/1.1, keep-alive      │ /v1/class /v1/classes
-//!             │ every request answered from ONE       │ /v1/community /v1/flips
-//!             │ immutable snapshot                    │ /v1/reclassify /v1/stats
-//!             └───────────────────────────────────────┘ /healthz /metrics
+//!             ┌──── epoll reactors (≤ cores threads) ──┐
+//!             │ nonblocking HTTP/1.1 state machines:   │ /v1/class /v1/classes
+//!             │ reading / writing / parked (long-poll) │ /v1/community /v1/flips
+//!             │ 10k+ keep-alive conns, every request   │ /v1/reclassify /v1/stats
+//!             │ answered from ONE immutable snapshot   │ /healthz /metrics
+//!             └────────────────────────────────────────┘
 //! ```
 //!
 //! ## Consistency model
@@ -38,14 +42,17 @@
 //!
 //! ## Pieces
 //!
-//! * [`snapshot`] — the publication layer (slot, reader, publisher);
-//! * [`http`] — minimal multi-threaded HTTP/1.1 transport on `std::net`;
+//! * [`snapshot`] — the publication layer (slot, reader, publisher,
+//!   publish wakeups for parked long-pollers);
+//! * [`http`] — nonblocking HTTP/1.1 transport: per-core epoll reactors,
+//!   connection budgets, idle/head deadlines, long-poll parking;
 //! * [`json`] — hand-rolled JSON encoder (the vendored serde shim has no
 //!   JSON backend);
 //! * [`api`] — routes, parameter parsing, response shapes;
 //! * [`metrics`] — atomic server counters + Prometheus text exposition;
-//! * [`driver`] — the single-writer ingest thread (MRT files, simulated
-//!   scenario feeds, or in-memory events);
+//! * [`driver`] — the ingest pair: a feed-puller thread (MRT files,
+//!   simulated scenario feeds, or in-memory events) handing batches over
+//!   a bounded queue to a dedicated sealer/publisher worker;
 //! * [`restore`] — rebuilding `ServeSnapshot`s from the durable epoch
 //!   archive (`bgp-served --archive`): instant restart without waiting
 //!   for the feed to replay;
@@ -100,7 +107,9 @@ pub mod prelude {
     };
     pub use crate::health::{HealthConfig, HealthReport, HealthState, HealthStatus};
     pub use crate::history::HistoryStore;
-    pub use crate::http::{Handler, HttpConfig, HttpServer, Request, Response};
+    pub use crate::http::{
+        Dispatch, Handler, HttpConfig, HttpServer, Request, Response, TransportWaker,
+    };
     pub use crate::json::JsonWriter;
     pub use crate::metrics::{Endpoint, Metrics};
     pub use crate::restore::{rebuild_snapshot, restore_latest};

@@ -320,12 +320,32 @@ pub fn write_record_field(w: &mut JsonWriter, name: &str, r: &DbRecord) {
 }
 
 /// The atomic publication slot: one writer, any number of readers.
-#[derive(Debug)]
 pub struct SnapshotSlot {
     /// Bumped to the snapshot's version on every publish. Readers use it
     /// to revalidate cached `Arc`s without locking.
     version: AtomicU64,
     slot: Mutex<Arc<ServeSnapshot>>,
+    /// Callbacks fired after every publish — the HTTP transport
+    /// registers its reactor waker here so parked long-poll clients
+    /// are resumed the moment a new epoch lands.
+    wakers: Mutex<Vec<Arc<dyn Fn() + Send + Sync>>>,
+}
+
+impl std::fmt::Debug for SnapshotSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotSlot")
+            .field("version", &self.version)
+            .field("slot", &self.slot)
+            .field(
+                "wakers",
+                &self
+                    .wakers
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len(),
+            )
+            .finish()
+    }
 }
 
 impl SnapshotSlot {
@@ -334,7 +354,17 @@ impl SnapshotSlot {
         SnapshotSlot {
             version: AtomicU64::new(0),
             slot: Mutex::new(Arc::new(ServeSnapshot::empty(thresholds))),
+            wakers: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Register a callback invoked (outside the slot lock) after every
+    /// successful publish.
+    pub fn register_waker(&self, waker: Arc<dyn Fn() + Send + Sync>) {
+        self.wakers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(waker);
     }
 
     /// Current publication version (lock-free).
@@ -363,6 +393,16 @@ impl SnapshotSlot {
         // Publish the version while still holding the lock so a reader
         // that sees the new version always finds the new snapshot.
         self.version.store(new_version, Ordering::Release);
+        drop(guard);
+        // Wake listeners outside the lock: a waker that triggers a
+        // reader must find the new snapshot already visible.
+        let wakers = self
+            .wakers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for waker in wakers.iter() {
+            waker();
+        }
     }
 
     /// The current snapshot (brief lock, pointer-copy only).
